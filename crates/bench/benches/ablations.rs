@@ -1,0 +1,106 @@
+//! Ablation benchmarks for the design decisions called out in
+//! `DESIGN.md` §4: they measure the *simulated* consequences (cycle
+//! counts) of each mechanism by toggling it, using Criterion only as a
+//! convenient runner/reporter. Each benchmark body also asserts the
+//! directional effect, so `cargo bench` doubles as a coarse sanity
+//! check of the mechanisms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lookahead_core::btb::BtbConfig;
+use lookahead_core::ds::{Ds, DsConfig};
+use lookahead_core::model::ProcessorModel;
+use lookahead_harness::pipeline::AppRun;
+use lookahead_multiproc::SimConfig;
+use lookahead_workloads::pthor::Pthor;
+use lookahead_workloads::App;
+
+fn config() -> SimConfig {
+    SimConfig {
+        num_procs: 8,
+        ..SimConfig::default()
+    }
+}
+
+/// MSHR capacity: unlimited vs 4 vs 1 outstanding misses.
+fn ablate_mshrs(c: &mut Criterion) {
+    let run = AppRun::generate(App::Ocean.small_workload().as_ref(), &config()).unwrap();
+    let cycles = |limit: Option<usize>| {
+        Ds::new(DsConfig {
+            mshr_limit: limit,
+            ..DsConfig::rc().window(64)
+        })
+        .run(&run.program, &run.trace)
+        .cycles()
+    };
+    assert!(
+        cycles(Some(1)) >= cycles(Some(4)) && cycles(Some(4)) >= cycles(None),
+        "fewer MSHRs can never help"
+    );
+    let mut group = c.benchmark_group("ablation_mshrs");
+    for (name, limit) in [("unbounded", None), ("four", Some(4)), ("one", Some(1))] {
+        group.bench_function(name, |b| b.iter(|| cycles(limit)));
+    }
+    group.finish();
+}
+
+/// Store buffer depth: the paper's 16 vs shallow buffers.
+fn ablate_store_buffer(c: &mut Criterion) {
+    let run = AppRun::generate(App::Ocean.small_workload().as_ref(), &config()).unwrap();
+    let cycles = |depth: usize| {
+        Ds::new(DsConfig {
+            store_buffer_depth: depth,
+            ..DsConfig::rc().window(64)
+        })
+        .run(&run.program, &run.trace)
+        .cycles()
+    };
+    assert!(cycles(1) >= cycles(16), "deeper store buffer can never hurt");
+    let mut group = c.benchmark_group("ablation_store_buffer");
+    for depth in [1usize, 4, 16] {
+        group.bench_function(format!("depth_{depth}"), |b| b.iter(|| cycles(depth)));
+    }
+    group.finish();
+}
+
+/// BTB organization on the branchy application: the paper's 2048x4
+/// vs a tiny direct-mapped buffer vs perfect prediction.
+fn ablate_btb(c: &mut Criterion) {
+    let run = AppRun::generate(&Pthor::small(), &config()).unwrap();
+    let with_btb = |btb: BtbConfig| {
+        Ds::new(DsConfig {
+            btb,
+            ..DsConfig::rc().window(64)
+        })
+        .run(&run.program, &run.trace)
+    };
+    let paper = with_btb(BtbConfig::PAPER);
+    let tiny = with_btb(BtbConfig {
+        entries: 16,
+        ways: 1,
+    });
+    let perfect = Ds::new(DsConfig {
+        perfect_branch_prediction: true,
+        ..DsConfig::rc().window(64)
+    })
+    .run(&run.program, &run.trace);
+    assert!(tiny.stats.mispredictions >= paper.stats.mispredictions);
+    assert!(perfect.cycles() <= paper.cycles());
+    let mut group = c.benchmark_group("ablation_btb");
+    group.bench_function("paper_2048x4", |b| b.iter(|| with_btb(BtbConfig::PAPER)));
+    group.bench_function("tiny_16x1", |b| {
+        b.iter(|| {
+            with_btb(BtbConfig {
+                entries: 16,
+                ways: 1,
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablate_mshrs, ablate_store_buffer, ablate_btb
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the simulator components themselves:
+//! how fast the multiprocessor simulator generates traces and how fast
+//! each processor model re-times them. These guard against performance
+//! regressions in the simulation loops (the figure binaries re-time
+//! dozens of configurations, so model throughput matters).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lookahead_core::base::Base;
+use lookahead_core::ds::{Ds, DsConfig};
+use lookahead_core::inorder::InOrder;
+use lookahead_core::model::ProcessorModel;
+use lookahead_core::ConsistencyModel;
+use lookahead_harness::pipeline::AppRun;
+use lookahead_multiproc::{SimConfig, Simulator};
+use lookahead_workloads::lu::Lu;
+use lookahead_workloads::ocean::Ocean;
+use lookahead_workloads::Workload;
+
+fn config() -> SimConfig {
+    SimConfig {
+        num_procs: 8,
+        ..SimConfig::default()
+    }
+}
+
+/// Trace generation throughput: full multiprocessor simulation of a
+/// small LU, measured in simulated instructions per second.
+fn bench_multiproc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiproc");
+    let workload = Lu { n: 24 };
+    // One calibration run to size the throughput denominator.
+    let built = workload.build(8);
+    let out = Simulator::new(built.program, built.image, config())
+        .unwrap()
+        .run()
+        .unwrap();
+    let total: usize = out.traces.iter().map(|t| t.len()).sum();
+    group.throughput(Throughput::Elements(total as u64));
+    group.bench_function("lu24_8procs", |b| {
+        b.iter(|| {
+            let built = workload.build(8);
+            Simulator::new(built.program, built.image, config())
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// Processor-model re-timing throughput on one shared trace.
+fn bench_models(c: &mut Criterion) {
+    let run = AppRun::generate(
+        &Ocean {
+            n: 18,
+            grids: 2,
+            steps: 1,
+        },
+        &config(),
+    )
+    .unwrap();
+    let n = run.trace.len() as u64;
+
+    let mut group = c.benchmark_group("models");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("base", |b| {
+        b.iter(|| Base.run(&run.program, &run.trace))
+    });
+    group.bench_function("ssbr_rc", |b| {
+        b.iter(|| InOrder::ssbr(ConsistencyModel::Rc).run(&run.program, &run.trace))
+    });
+    group.bench_function("ss_rc", |b| {
+        b.iter(|| InOrder::ss(ConsistencyModel::Rc).run(&run.program, &run.trace))
+    });
+    for w in [16, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("ds_rc", w), &w, |b, &w| {
+            let ds = Ds::new(DsConfig::rc().window(w));
+            b.iter(|| ds.run(&run.program, &run.trace))
+        });
+    }
+    group.bench_function("ds_sc_64", |b| {
+        let ds = Ds::new(DsConfig::with_model(ConsistencyModel::Sc).window(64));
+        b.iter(|| ds.run(&run.program, &run.trace))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_multiproc, bench_models
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Compares **multiple hardware contexts** (blocked multithreading,
+//! the §5 alternative technique) with dynamic scheduling on the same
+//! work: the per-context cost of running 1, 2 or 4 of the
+//! multiprocessor run's traces on one pipeline, next to the DS window
+//! sweep on a single trace.
+//!
+//! Expected shape (cf. the paper's reference \[14\], Gupta et al.):
+//! a handful of contexts hides most read latency for the regular
+//! applications at much lower hardware cost than a 64-entry window,
+//! but pays switch overhead on every miss and does nothing for a
+//! single thread.
+//!
+//! Run with `cargo run --release -p lookahead-bench --bin contexts`.
+
+use lookahead_bench::{config_from_env, generate_all_runs};
+use lookahead_core::base::Base;
+use lookahead_core::contexts::Contexts;
+use lookahead_core::ds::{Ds, DsConfig};
+use lookahead_core::model::ProcessorModel;
+use lookahead_harness::format::render_table;
+use lookahead_trace::Trace;
+
+fn main() {
+    let config = config_from_env();
+    let runs = generate_all_runs(&config);
+    let mut rows = vec![vec![
+        "Program".to_string(),
+        "MC x1".to_string(),
+        "MC x2".to_string(),
+        "MC x4".to_string(),
+        "DS-16".to_string(),
+        "DS-64".to_string(),
+    ]];
+    for run in &runs {
+        let base = Base.run(&run.program, &run.trace);
+        // Multiple contexts: interleave k traces (starting from the
+        // representative) and report per-context cost relative to the
+        // representative's BASE time.
+        let mc = |k: usize| {
+            let picked: Vec<&Trace> = (0..k)
+                .map(|i| &run.all_traces[(run.proc + i) % run.all_traces.len()])
+                .collect();
+            let r = Contexts::default().run_traces(&picked);
+            // Per-context cycles normalized to one BASE run.
+            format!(
+                "{:.1}",
+                r.breakdown.total() as f64 / k as f64 * 100.0 / base.breakdown.total() as f64
+            )
+        };
+        let ds = |w: usize| {
+            let r = Ds::new(DsConfig::rc().window(w)).run(&run.program, &run.trace);
+            format!("{:.1}", r.breakdown.normalized_to(&base.breakdown))
+        };
+        rows.push(vec![run.app.clone(), mc(1), mc(2), mc(4), ds(16), ds(64)]);
+    }
+    println!(
+        "Multiple hardware contexts (blocked multithreading, 10-cycle switch)\n\
+         vs dynamic scheduling; per-context execution time normalized to\n\
+         BASE = 100 (lower is better)"
+    );
+    println!("{}", render_table(&rows));
+}

@@ -1,0 +1,33 @@
+//! Regenerates **Figure 3**: execution-time breakdown for BASE and
+//! {SSBR, SS, DS} under SC, PC and RC with the window sweep, for all
+//! five applications at 50-cycle miss latency.
+//!
+//! Run with `cargo run --release -p lookahead-bench --bin figure3`.
+
+use lookahead_bench::{config_from_env, generate_all_runs};
+use lookahead_harness::experiments::{figure3, PAPER_WINDOWS};
+use lookahead_harness::format::render_figure;
+
+fn main() {
+    let config = config_from_env();
+    eprintln!(
+        "Figure 3: {} processors, {}-cycle miss penalty",
+        config.num_procs, config.mem.miss_penalty
+    );
+    let runs = generate_all_runs(&config);
+    for run in &runs {
+        let cols = figure3(run, &PAPER_WINDOWS);
+        println!(
+            "{}",
+            render_figure(
+                &format!(
+                    "Figure 3 — {} (trace: {} instructions, processor {})",
+                    run.app,
+                    run.trace.len(),
+                    run.proc
+                ),
+                &cols
+            )
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Figure 4**: the effect of perfect branch prediction,
+//! and of perfect prediction plus ignored data dependences, on the RC
+//! dynamic-scheduling window sweep.
+//!
+//! Run with `cargo run --release -p lookahead-bench --bin figure4`.
+
+use lookahead_bench::{config_from_env, generate_all_runs};
+use lookahead_harness::experiments::{figure4, PAPER_WINDOWS};
+use lookahead_harness::format::render_figure;
+
+fn main() {
+    let config = config_from_env();
+    eprintln!(
+        "Figure 4: RC, {} processors, {}-cycle miss penalty",
+        config.num_procs, config.mem.miss_penalty
+    );
+    let runs = generate_all_runs(&config);
+    for run in &runs {
+        let cols = figure4(run, &PAPER_WINDOWS);
+        println!(
+            "{}",
+            render_figure(
+                &format!(
+                    "Figure 4 — {} (bp = perfect branch prediction; \
+                     bp+nd = also ignoring data dependences)",
+                    run.app
+                ),
+                &cols
+            )
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates the §4.2 / \[9\] **100-cycle latency** study: the RC
+//! window sweep with the miss penalty doubled. The paper's finding:
+//! the same trends as at 50 cycles, but performance levels off at
+//! window 128 instead of 64 (the window must exceed the latency), and
+//! the relative gain from hiding latency is larger.
+//!
+//! Run with `cargo run --release -p lookahead-bench --bin latency100`.
+
+use lookahead_bench::config_from_env;
+use lookahead_harness::experiments::{latency_sweep, PAPER_WINDOWS};
+use lookahead_harness::format::render_figure;
+use lookahead_workloads::App;
+
+fn main() {
+    let config = config_from_env();
+    for app in App::ALL {
+        let workload = app.default_workload();
+        for penalty in [50u32, 100] {
+            let (run, cols) =
+                latency_sweep(workload.as_ref(), &config, penalty, &PAPER_WINDOWS)
+                    .unwrap_or_else(|e| panic!("{app}: {e}"));
+            println!(
+                "{}",
+                render_figure(
+                    &format!("{} — {}-cycle miss penalty (RC, DS sweep)", run.app, penalty),
+                    &cols
+                )
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Tests the paper's §6 conjecture about hardware stride prefetching
+//! (Baer–Chen): it "may achieve reasonable gains for applications with
+//! regular access behavior (e.g., LU and OCEAN)" but "would probably
+//! fail to hide latency for applications that do not have such
+//! regular characteristics (e.g., MP3D, PTHOR, LOCUS)".
+//!
+//! We run a reference-prediction-table prefetcher over each trace and
+//! report (a) the fraction of read misses it covers and (b) the
+//! execution time of the blocking in-order processor (SSBR/RC) with
+//! and without prefetching, next to dynamic scheduling for scale.
+//!
+//! Run with `cargo run --release -p lookahead-bench --bin prefetch`.
+
+use lookahead_bench::{config_from_env, generate_all_runs};
+use lookahead_core::base::Base;
+use lookahead_core::ds::{Ds, DsConfig};
+use lookahead_core::inorder::InOrder;
+use lookahead_core::model::ProcessorModel;
+use lookahead_core::prefetch::{PrefetchConfig, StridePrefetcher};
+use lookahead_core::ConsistencyModel;
+use lookahead_harness::format::render_table;
+
+fn main() {
+    let config = config_from_env();
+    let runs = generate_all_runs(&config);
+    let mut rows = vec![vec![
+        "Program".to_string(),
+        "misses covered".to_string(),
+        "SSBR".to_string(),
+        "SSBR+rpt".to_string(),
+        "DS-64".to_string(),
+    ]];
+    for run in &runs {
+        let (covered_trace, stats) =
+            StridePrefetcher::new(PrefetchConfig::default()).cover(&run.trace);
+        let base = Base.run(&run.program, &run.trace);
+        let norm = |r: &lookahead_core::ExecutionResult| {
+            format!("{:.1}", r.breakdown.normalized_to(&base.breakdown))
+        };
+        let ssbr = InOrder::ssbr(ConsistencyModel::Rc);
+        let plain = ssbr.run(&run.program, &run.trace);
+        let with_pf = ssbr.run(&run.program, &covered_trace);
+        let ds = Ds::new(DsConfig::rc().window(64)).run(&run.program, &run.trace);
+        rows.push(vec![
+            run.app.clone(),
+            format!("{:.0}%", stats.coverage() * 100.0),
+            norm(&plain),
+            norm(&with_pf),
+            norm(&ds),
+        ]);
+    }
+    println!(
+        "Baer–Chen stride prefetching (512-entry RPT) vs dynamic scheduling\n\
+         (execution time normalized to BASE = 100; the paper's §6 predicts\n\
+         prefetching helps LU/OCEAN but not MP3D/PTHOR/LOCUS)"
+    );
+    println!("{}", render_table(&rows));
+}

@@ -1,0 +1,83 @@
+//! Trace utility: generate, inspect, save and reload workload traces.
+//!
+//! ```text
+//! trace_tool stats  <APP>              print Tables 1-3 statistics
+//! trace_tool dump   <APP> <N>          print the first N trace lines
+//! trace_tool save   <APP> <FILE>       write the binary trace
+//! trace_tool retime <FILE> <APP>       reload a trace and re-time it
+//! ```
+//!
+//! Run with `cargo run --release -p lookahead-bench --bin trace_tool -- stats LU`.
+
+use lookahead_bench::{config_from_env, generate_run};
+use lookahead_core::base::Base;
+use lookahead_core::ds::{Ds, DsConfig};
+use lookahead_core::model::ProcessorModel;
+use lookahead_core::{Btb, BtbConfig};
+use lookahead_trace::storage::{read_trace, write_trace};
+use lookahead_trace::TraceStats;
+use lookahead_workloads::App;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn parse_app(name: &str) -> App {
+    App::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown application {name}; one of MP3D, LU, PTHOR, LOCUS, OCEAN");
+            std::process::exit(2);
+        })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = config_from_env();
+    match args.as_slice() {
+        [cmd, app] if cmd == "stats" => {
+            let run = generate_run(parse_app(app), &config);
+            let mut btb = Btb::new(BtbConfig::PAPER);
+            let stats = TraceStats::collect(&run.trace, Some(&mut btb));
+            println!("{}: {} instructions (processor {})", run.app, run.trace.len(), run.proc);
+            println!("  data:   {}", stats.data);
+            println!("  sync:   {}", stats.sync);
+            println!("  branch: {}", stats.branch);
+        }
+        [cmd, app, n] if cmd == "dump" => {
+            let run = generate_run(parse_app(app), &config);
+            let n: usize = n.parse()?;
+            print!("{}", run.trace.listing(&run.program, n));
+        }
+        [cmd, app, file] if cmd == "save" => {
+            let run = generate_run(parse_app(app), &config);
+            let mut w = BufWriter::new(File::create(file)?);
+            write_trace(&mut w, &run.trace)?;
+            println!(
+                "wrote {} entries to {file} ({} bytes)",
+                run.trace.len(),
+                std::fs::metadata(file)?.len()
+            );
+        }
+        [cmd, file, app] if cmd == "retime" => {
+            // The program is regenerated from the workload; the trace
+            // comes from the file.
+            let run = generate_run(parse_app(app), &config);
+            let trace = read_trace(BufReader::new(File::open(file)?))?;
+            let base = Base.run(&run.program, &trace);
+            let ds = Ds::new(DsConfig::rc().window(64)).run(&run.program, &trace);
+            println!("BASE:     {}", base.breakdown);
+            println!("DS-64/RC: {}", ds.breakdown);
+            println!(
+                "normalized: {:.1}",
+                ds.breakdown.normalized_to(&base.breakdown)
+            );
+        }
+        _ => {
+            eprintln!(
+                "usage: trace_tool stats <APP> | dump <APP> <N> | save <APP> <FILE> | retime <FILE> <APP>"
+            );
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,135 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` for the index). They share the trace
+//! generation here: all five applications at their default sizes on
+//! 16 processors with the paper's memory system.
+//!
+//! Environment knobs (useful when iterating):
+//!
+//! * `LOOKAHEAD_SMALL=1` — use the unit-test workload sizes;
+//! * `LOOKAHEAD_PROCS=n` — simulate `n` processors instead of 16;
+//! * `LOOKAHEAD_APPS=LU,MP3D` — restrict to a subset of applications.
+
+use lookahead_harness::pipeline::AppRun;
+use lookahead_multiproc::SimConfig;
+use lookahead_workloads::App;
+use std::time::Instant;
+
+/// Parses the environment knobs into a simulation configuration.
+pub fn config_from_env() -> SimConfig {
+    let mut config = SimConfig::default();
+    if let Ok(p) = std::env::var("LOOKAHEAD_PROCS") {
+        if let Ok(n) = p.parse::<usize>() {
+            config.num_procs = n.max(1);
+        }
+    }
+    config
+}
+
+fn selected_apps() -> Vec<App> {
+    match std::env::var("LOOKAHEAD_APPS") {
+        Ok(list) => {
+            let wanted: Vec<String> = list
+                .split(',')
+                .map(|s| s.trim().to_uppercase())
+                .filter(|s| !s.is_empty())
+                .collect();
+            App::ALL
+                .into_iter()
+                .filter(|a| wanted.iter().any(|w| w == a.name()))
+                .collect()
+        }
+        Err(_) => App::ALL.to_vec(),
+    }
+}
+
+fn small() -> bool {
+    std::env::var("LOOKAHEAD_SMALL").is_ok_and(|v| v != "0")
+}
+
+fn paper() -> bool {
+    std::env::var("LOOKAHEAD_PAPER").is_ok_and(|v| v != "0")
+}
+
+fn sized_workload(app: App) -> Box<dyn lookahead_workloads::Workload + Send + Sync> {
+    if small() {
+        app.small_workload()
+    } else if paper() {
+        app.paper_workload()
+    } else {
+        app.default_workload()
+    }
+}
+
+/// Generates the verified representative trace for every selected
+/// application, in parallel, printing progress to stderr.
+///
+/// # Panics
+///
+/// Panics if any workload fails to simulate or verify — that is a bug
+/// in the simulator stack worth failing loudly on.
+pub fn generate_all_runs(config: &SimConfig) -> Vec<AppRun> {
+    let apps = selected_apps();
+    assert!(
+        !apps.is_empty(),
+        "LOOKAHEAD_APPS={:?} matched no applications; valid names: {:?}",
+        std::env::var("LOOKAHEAD_APPS").unwrap_or_default(),
+        App::ALL.map(|a| a.name())
+    );
+    let handles: Vec<_> = apps
+        .into_iter()
+        .map(|app| {
+            let config = *config;
+            std::thread::spawn(move || {
+                let started = Instant::now();
+                let workload = sized_workload(app);
+                let run = AppRun::generate(workload.as_ref(), &config)
+                    .unwrap_or_else(|e| panic!("{app}: {e}"));
+                eprintln!(
+                    "  generated {} trace: {} instructions ({} mp cycles) in {:.1}s",
+                    app,
+                    run.trace.len(),
+                    run.mp_cycles,
+                    started.elapsed().as_secs_f64()
+                );
+                run
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("workload thread"))
+        .collect()
+}
+
+/// Generates one application's run (for single-app binaries).
+///
+/// # Panics
+///
+/// Panics if the workload fails to simulate or verify.
+pub fn generate_run(app: App, config: &SimConfig) -> AppRun {
+    let workload = sized_workload(app);
+    AppRun::generate(workload.as_ref(), config).unwrap_or_else(|e| panic!("{app}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_paper_config() {
+        // Note: env-dependent knobs are exercised by the binaries; the
+        // default path must match the paper.
+        let c = SimConfig::default();
+        assert_eq!(c.num_procs, 16);
+        assert_eq!(c.mem.miss_penalty, 50);
+    }
+
+    #[test]
+    fn selected_apps_defaults_to_all() {
+        if std::env::var("LOOKAHEAD_APPS").is_err() {
+            assert_eq!(selected_apps().len(), 5);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! The BASE processor: in-order execution with no overlap at all.
+//!
+//! BASE "completes each operation before initiating the next one
+//! (i.e., no overlap in execution of instructions and memory
+//! operations)" (§4.1). It is the left-most, 100%-height bar of
+//! Figure 3 that every other configuration is normalized against.
+//!
+//! Costs per operation: one busy cycle for every instruction, the full
+//! memory latency for every load *and* store (nothing is buffered),
+//! and wait-plus-access for every synchronization operation. Releases
+//! are charged to write time, acquires to sync time, matching the
+//! paper's accounting ("release operations are included in the total
+//! write miss time").
+
+use crate::model::{ExecutionResult, ProcessorModel};
+use lookahead_isa::Program;
+use lookahead_trace::{Trace, TraceOp};
+
+/// The no-overlap in-order processor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Base;
+
+impl ProcessorModel for Base {
+    fn name(&self) -> String {
+        "BASE".to_string()
+    }
+
+    fn run(&self, _program: &Program, trace: &Trace) -> ExecutionResult {
+        let mut result = ExecutionResult::default();
+        let b = &mut result.breakdown;
+        for entry in trace.iter() {
+            b.busy += 1;
+            result.stats.instructions += 1;
+            match entry.op {
+                TraceOp::Compute | TraceOp::Jump { .. } => {}
+                TraceOp::Branch { .. } => {
+                    result.stats.branches += 1;
+                }
+                TraceOp::Load(m) => {
+                    b.read += (m.latency - 1) as u64;
+                }
+                TraceOp::Store(m) => {
+                    b.write += (m.latency - 1) as u64;
+                }
+                TraceOp::Sync(s) => {
+                    if s.kind.is_acquire() {
+                        b.sync += s.wait as u64 + (s.access - 1) as u64;
+                    } else {
+                        b.write += s.wait as u64 + (s.access - 1) as u64;
+                    }
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lookahead_isa::SyncKind;
+    use lookahead_trace::{MemAccess, SyncAccess, TraceEntry};
+
+    fn entry(pc: u32, op: TraceOp) -> TraceEntry {
+        TraceEntry { pc, op }
+    }
+
+    #[test]
+    fn base_serializes_every_latency() {
+        let trace = Trace::from_entries(vec![
+            entry(0, TraceOp::Compute),
+            entry(1, TraceOp::Load(MemAccess::miss(0, 50))),
+            entry(2, TraceOp::Store(MemAccess::miss(16, 50))),
+            entry(3, TraceOp::Load(MemAccess::hit(0))),
+            entry(
+                4,
+                TraceOp::Sync(SyncAccess {
+                    kind: SyncKind::Lock,
+                    addr: 8,
+                    wait: 30,
+                    access: 50,
+                }),
+            ),
+            entry(
+                5,
+                TraceOp::Sync(SyncAccess {
+                    kind: SyncKind::Unlock,
+                    addr: 8,
+                    wait: 0,
+                    access: 50,
+                }),
+            ),
+        ]);
+        let r = Base.run(&Program::default(), &trace);
+        assert_eq!(r.breakdown.busy, 6);
+        assert_eq!(r.breakdown.read, 49, "one read miss");
+        assert_eq!(r.breakdown.write, 49 + 49, "store miss + release");
+        assert_eq!(r.breakdown.sync, 30 + 49, "lock wait + access");
+        assert_eq!(r.cycles(), 6 + 49 + 98 + 79);
+        assert_eq!(r.stats.instructions, 6);
+    }
+
+    #[test]
+    fn base_on_pure_compute_is_trace_length() {
+        let trace: Trace = (0..100).map(TraceEntry::compute).collect();
+        let r = Base.run(&Program::default(), &trace);
+        assert_eq!(r.cycles(), 100);
+        assert_eq!(r.breakdown.busy, 100);
+    }
+
+    #[test]
+    fn name_is_base() {
+        assert_eq!(Base.name(), "BASE");
+    }
+}

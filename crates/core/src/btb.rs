@@ -1,0 +1,287 @@
+//! Branch target buffer with 2-bit saturating counters.
+//!
+//! The paper's processor (§3.1) uses a 2048-entry, 4-way
+//! set-associative branch target buffer [Lee & Smith 84] for dynamic
+//! branch prediction. A branch hits in the BTB if its PC tag matches;
+//! prediction is the 2-bit counter's direction with the stored target.
+//! A branch that misses predicts not-taken (fall-through). Entries are
+//! allocated on taken branches and replaced LRU within the set.
+//!
+//! A prediction is *correct* when the predicted direction matches the
+//! outcome and, for taken predictions, the stored target matches the
+//! actual target (SRISC branches have static targets, so a stale
+//! target can only occur through aliasing/replacement).
+
+use lookahead_trace::BranchPredictor;
+
+/// Geometry of the branch target buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BtbConfig {
+    /// Total entries (paper: 2048).
+    pub entries: usize,
+    /// Set associativity (paper: 4).
+    pub ways: usize,
+}
+
+impl BtbConfig {
+    /// The paper's configuration: 2048 entries, 4-way.
+    pub const PAPER: BtbConfig = BtbConfig {
+        entries: 2048,
+        ways: 4,
+    };
+
+    fn sets(&self) -> usize {
+        (self.entries / self.ways).max(1)
+    }
+}
+
+impl Default for BtbConfig {
+    fn default() -> BtbConfig {
+        BtbConfig::PAPER
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    pc: u32,
+    target: u32,
+    /// 2-bit saturating counter; >= 2 predicts taken.
+    counter: u8,
+    /// LRU stamp.
+    last_used: u64,
+}
+
+/// The branch target buffer.
+///
+/// # Example
+///
+/// ```
+/// use lookahead_core::btb::{Btb, BtbConfig};
+///
+/// let mut btb = Btb::new(BtbConfig::PAPER);
+/// // First encounter of a taken branch: predicted not-taken (miss).
+/// let p = btb.predict(100);
+/// assert!(!p.taken);
+/// btb.update(100, true, 7);
+/// btb.update(100, true, 7);
+/// // Now the counter predicts taken with the learned target.
+/// let p = btb.predict(100);
+/// assert!(p.taken);
+/// assert_eq!(p.target, Some(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    config: BtbConfig,
+    sets: Vec<Vec<Entry>>,
+    clock: u64,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+/// A BTB prediction: direction plus target when predicted taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted direction.
+    pub taken: bool,
+    /// Predicted target (present only for taken predictions).
+    pub target: Option<u32>,
+}
+
+impl Btb {
+    /// Creates an empty BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or exceeds `entries`.
+    pub fn new(config: BtbConfig) -> Btb {
+        assert!(config.ways > 0 && config.ways <= config.entries);
+        Btb {
+            config,
+            sets: vec![Vec::new(); config.sets()],
+            clock: 0,
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    #[inline]
+    fn set_index(&self, pc: u32) -> usize {
+        pc as usize % self.config.sets()
+    }
+
+    /// Predicts the branch at `pc` without updating any state.
+    pub fn predict(&self, pc: u32) -> Prediction {
+        let set = &self.sets[self.set_index(pc)];
+        match set.iter().find(|e| e.pc == pc) {
+            Some(e) if e.counter >= 2 => Prediction {
+                taken: true,
+                target: Some(e.target),
+            },
+            _ => Prediction {
+                taken: false,
+                target: None,
+            },
+        }
+    }
+
+    /// Updates the BTB with a resolved branch outcome.
+    pub fn update(&mut self, pc: u32, taken: bool, target: u32) {
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.config.ways;
+        let idx = self.set_index(pc);
+        let set = &mut self.sets[idx];
+        if let Some(e) = set.iter_mut().find(|e| e.pc == pc) {
+            if taken {
+                e.counter = (e.counter + 1).min(3);
+                e.target = target;
+            } else {
+                e.counter = e.counter.saturating_sub(1);
+            }
+            e.last_used = clock;
+            return;
+        }
+        if !taken {
+            // Not-taken branches that miss are predicted correctly by
+            // fall-through; no need to allocate.
+            return;
+        }
+        let entry = Entry {
+            pc,
+            target,
+            counter: 2, // weakly taken on allocation
+            last_used: clock,
+        };
+        if set.len() < ways {
+            set.push(entry);
+        } else {
+            let victim = set
+                .iter_mut()
+                .min_by_key(|e| e.last_used)
+                .expect("non-empty set");
+            *victim = entry;
+        }
+    }
+
+    /// Branches scored so far via [`BranchPredictor::predict_and_update`].
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Mispredictions so far.
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+}
+
+impl BranchPredictor for Btb {
+    fn predict_and_update(&mut self, pc: u32, taken: bool, target: u32) -> bool {
+        let p = self.predict(pc);
+        let correct = p.taken == taken && (!taken || p.target == Some(target));
+        self.update(pc, taken, target);
+        self.predictions += 1;
+        if !correct {
+            self.mispredictions += 1;
+        }
+        correct
+    }
+
+    fn reset(&mut self) {
+        let config = self.config;
+        *self = Btb::new(config);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_branch_predicts_not_taken() {
+        let btb = Btb::new(BtbConfig::PAPER);
+        assert_eq!(
+            btb.predict(42),
+            Prediction {
+                taken: false,
+                target: None
+            }
+        );
+    }
+
+    #[test]
+    fn two_bit_counter_hysteresis() {
+        let mut btb = Btb::new(BtbConfig::PAPER);
+        btb.update(10, true, 99); // allocate at weakly-taken (2)
+        assert!(btb.predict(10).taken);
+        btb.update(10, false, 99); // 2 -> 1
+        assert!(!btb.predict(10).taken);
+        btb.update(10, true, 99); // 1 -> 2
+        assert!(btb.predict(10).taken);
+        btb.update(10, true, 99); // 2 -> 3 (saturate)
+        btb.update(10, false, 99); // 3 -> 2: still predicts taken
+        assert!(btb.predict(10).taken, "hysteresis keeps taken");
+    }
+
+    #[test]
+    fn lru_replacement_within_set() {
+        // 1 set, 2 ways: third distinct taken branch evicts the LRU.
+        let mut btb = Btb::new(BtbConfig { entries: 2, ways: 2 });
+        btb.update(1, true, 11);
+        btb.update(2, true, 22);
+        btb.update(1, true, 11); // touch 1 so 2 becomes LRU
+        btb.update(3, true, 33); // evicts 2
+        assert!(btb.predict(1).taken);
+        assert!(btb.predict(3).taken);
+        assert!(!btb.predict(2).taken, "evicted");
+    }
+
+    #[test]
+    fn loop_branch_learns_quickly() {
+        let mut btb = Btb::new(BtbConfig::PAPER);
+        let mut correct = 0;
+        for _ in 0..100 {
+            if btb.predict_and_update(5, true, 2) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 99, "only the cold prediction misses: {correct}");
+        assert_eq!(btb.predictions(), 100);
+        assert_eq!(btb.mispredictions(), 100 - correct);
+    }
+
+    #[test]
+    fn alternating_branch_mispredicts_half() {
+        let mut btb = Btb::new(BtbConfig::PAPER);
+        let mut correct = 0;
+        for i in 0..100 {
+            if btb.predict_and_update(5, i % 2 == 0, 2) {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct <= 60,
+            "alternating branches defeat a 2-bit counter: {correct}"
+        );
+    }
+
+    #[test]
+    fn not_taken_branches_do_not_allocate() {
+        let mut btb = Btb::new(BtbConfig { entries: 2, ways: 2 });
+        btb.update(1, false, 0);
+        btb.update(1, false, 0);
+        // Set still empty: a taken branch allocates without eviction.
+        btb.update(2, true, 9);
+        btb.update(3, true, 9);
+        assert!(btb.predict(2).taken);
+        assert!(btb.predict(3).taken);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut btb = Btb::new(BtbConfig::PAPER);
+        btb.predict_and_update(1, true, 2);
+        btb.reset();
+        assert_eq!(btb.predictions(), 0);
+        assert!(!btb.predict(1).taken);
+    }
+}

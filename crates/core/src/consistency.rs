@@ -1,0 +1,281 @@
+//! Memory consistency models as ordering constraints — the paper's
+//! Figure 1.
+//!
+//! A consistency model is implemented as a *must-wait matrix*: memory
+//! operation `o` may be issued to the memory system only when every
+//! earlier (program-order) operation `e` that has not yet *performed*
+//! satisfies `!must_wait_for(e.kind, o.kind)`.
+//!
+//! The four models, following the paper's Figure 1:
+//!
+//! * **SC** — every access waits for every earlier access: fully
+//!   serial.
+//! * **PC** — reads may bypass earlier writes; all other pairs stay
+//!   ordered (writes are seen in program order; reads are serialized
+//!   with respect to reads).
+//! * **WO** — ordinary reads and writes between synchronization points
+//!   are unordered; any synchronization operation waits for all
+//!   earlier accesses, and all later accesses wait for it.
+//! * **RC** — refines WO with the acquire/release classification: an
+//!   *acquire* blocks only the accesses after it; a *release* waits
+//!   only for the accesses before it. Ordinary accesses after a
+//!   release need not wait, and an acquire need not wait for ordinary
+//!   accesses before it. Special accesses are kept processor-
+//!   consistent among themselves (this is the RCpc model of the
+//!   paper's reference \[10\], which the paper uses).
+//!
+//! True same-address dependences (a load after a store to the same
+//! word) are *not* the consistency model's business — the load/store
+//! unit enforces them via store-buffer checking regardless of model.
+
+use std::fmt;
+
+/// Kinds of memory operations for ordering purposes.
+///
+/// Barriers act as an acquire *and* a release; the timing models
+/// represent a barrier as an [`MemOpKind::Acquire`] that is also
+/// release-ordered, via [`MemOpKind::Barrier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOpKind {
+    /// Ordinary load.
+    Read,
+    /// Ordinary store.
+    Write,
+    /// Acquire synchronization (lock, wait-event).
+    Acquire,
+    /// Release synchronization (unlock, set-event).
+    Release,
+    /// Barrier: both an acquire and a release.
+    Barrier,
+}
+
+impl MemOpKind {
+    /// Whether the operation has acquire semantics.
+    pub fn acquires(self) -> bool {
+        matches!(self, MemOpKind::Acquire | MemOpKind::Barrier)
+    }
+
+    /// Whether the operation has release semantics.
+    pub fn releases(self) -> bool {
+        matches!(self, MemOpKind::Release | MemOpKind::Barrier)
+    }
+
+    /// Whether this is a synchronization (special) access.
+    pub fn is_sync(self) -> bool {
+        !matches!(self, MemOpKind::Read | MemOpKind::Write)
+    }
+}
+
+/// The memory consistency models evaluated by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConsistencyModel {
+    /// Sequential consistency.
+    Sc,
+    /// Processor consistency.
+    Pc,
+    /// Weak ordering.
+    Wo,
+    /// Release consistency (RCpc).
+    Rc,
+}
+
+impl ConsistencyModel {
+    /// The three models of the paper's evaluation, in figure order.
+    pub const EVALUATED: [ConsistencyModel; 3] = [
+        ConsistencyModel::Sc,
+        ConsistencyModel::Pc,
+        ConsistencyModel::Rc,
+    ];
+
+    /// All four models described in §2.1.
+    pub const ALL: [ConsistencyModel; 4] = [
+        ConsistencyModel::Sc,
+        ConsistencyModel::Pc,
+        ConsistencyModel::Wo,
+        ConsistencyModel::Rc,
+    ];
+
+    /// Whether a later operation of kind `later` must wait for an
+    /// earlier, not-yet-performed operation of kind `earlier` before
+    /// being issued to the memory system.
+    pub fn must_wait_for(self, earlier: MemOpKind, later: MemOpKind) -> bool {
+        use MemOpKind::{Read, Write};
+        match self {
+            ConsistencyModel::Sc => true,
+            ConsistencyModel::Pc => {
+                // Only the write -> read ordering is relaxed.
+                !(matches!(earlier, Write | MemOpKind::Release)
+                    && matches!(later, Read | MemOpKind::Acquire))
+            }
+            ConsistencyModel::Wo => {
+                // Data accesses are unordered among themselves; any
+                // synchronization is a full fence.
+                earlier.is_sync() || later.is_sync()
+            }
+            ConsistencyModel::Rc => {
+                if earlier.acquires() {
+                    // An acquire blocks everything after it.
+                    true
+                } else if later.releases() {
+                    // A release waits for everything before it.
+                    true
+                } else if earlier.is_sync() && later.is_sync() {
+                    // Specials stay processor-consistent: only the
+                    // release -> acquire (write -> read) pair relaxes,
+                    // and that pair was already handled above when the
+                    // earlier op has acquire semantics.
+                    !(earlier.releases() && later.acquires())
+                } else {
+                    // Ordinary accesses are unordered; they need not
+                    // wait for earlier releases either.
+                    false
+                }
+            }
+        }
+    }
+
+    /// The model's conventional abbreviation ("SC", "PC", "WO", "RC").
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            ConsistencyModel::Sc => "SC",
+            ConsistencyModel::Pc => "PC",
+            ConsistencyModel::Wo => "WO",
+            ConsistencyModel::Rc => "RC",
+        }
+    }
+
+    /// Renders the full must-wait matrix as a table (used by the
+    /// `consistency_rules` example to print Figure 1's content).
+    pub fn rule_table(self) -> String {
+        use MemOpKind::*;
+        let kinds = [Read, Write, Acquire, Release, Barrier];
+        let mut out = format!("{}: rows = earlier, cols = later\n", self.abbrev());
+        out.push_str("          ");
+        for k in kinds {
+            out.push_str(&format!("{k:>9?}"));
+        }
+        out.push('\n');
+        for e in kinds {
+            out.push_str(&format!("{e:>9?} "));
+            for l in kinds {
+                out.push_str(&format!(
+                    "{:>9}",
+                    if self.must_wait_for(e, l) { "wait" } else { "-" }
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for ConsistencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ConsistencyModel::*;
+    use MemOpKind::*;
+
+    #[test]
+    fn sc_orders_everything() {
+        for e in [Read, Write, Acquire, Release, Barrier] {
+            for l in [Read, Write, Acquire, Release, Barrier] {
+                assert!(Sc.must_wait_for(e, l), "{e:?} -> {l:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pc_relaxes_only_write_to_read() {
+        assert!(!Pc.must_wait_for(Write, Read), "reads bypass writes");
+        assert!(Pc.must_wait_for(Read, Read), "reads serialize");
+        assert!(Pc.must_wait_for(Write, Write), "writes in order");
+        assert!(Pc.must_wait_for(Read, Write));
+        assert!(!Pc.must_wait_for(Release, Acquire), "sync write -> sync read relaxes too");
+    }
+
+    #[test]
+    fn wo_fences_at_synchronization() {
+        assert!(!Wo.must_wait_for(Read, Read));
+        assert!(!Wo.must_wait_for(Write, Read));
+        assert!(!Wo.must_wait_for(Read, Write));
+        assert!(!Wo.must_wait_for(Write, Write));
+        for s in [Acquire, Release, Barrier] {
+            assert!(Wo.must_wait_for(s, Read), "{s:?} blocks later data");
+            assert!(Wo.must_wait_for(Write, s), "{s:?} waits for earlier data");
+            assert!(Wo.must_wait_for(s, s));
+        }
+    }
+
+    #[test]
+    fn rc_acquire_blocks_following() {
+        for l in [Read, Write, Acquire, Release, Barrier] {
+            assert!(Rc.must_wait_for(Acquire, l), "acquire -> {l:?}");
+            assert!(Rc.must_wait_for(Barrier, l), "barrier -> {l:?}");
+        }
+    }
+
+    #[test]
+    fn rc_release_waits_for_previous() {
+        for e in [Read, Write, Acquire, Release, Barrier] {
+            assert!(Rc.must_wait_for(e, Release), "{e:?} -> release");
+            assert!(Rc.must_wait_for(e, Barrier), "{e:?} -> barrier");
+        }
+    }
+
+    #[test]
+    fn rc_relaxes_ordinary_accesses() {
+        assert!(!Rc.must_wait_for(Read, Read));
+        assert!(!Rc.must_wait_for(Read, Write));
+        assert!(!Rc.must_wait_for(Write, Read));
+        assert!(!Rc.must_wait_for(Write, Write));
+        // Accesses after a release need not wait for it...
+        assert!(!Rc.must_wait_for(Release, Read));
+        assert!(!Rc.must_wait_for(Release, Write));
+        // ...and an acquire after a release may bypass it (RCpc).
+        assert!(!Rc.must_wait_for(Release, Acquire));
+    }
+
+    #[test]
+    fn models_are_ordered_in_permissiveness() {
+        // Over ordinary data accesses the hierarchy is strict:
+        // SC orders all 4 pairs, PC relaxes one (W->R), WO and RC
+        // relax all of them.
+        let data = [Read, Write];
+        let count_data = |m: ConsistencyModel| {
+            data.iter()
+                .flat_map(|&e| data.iter().map(move |&l| (e, l)))
+                .filter(|&(e, l)| m.must_wait_for(e, l))
+                .count()
+        };
+        assert_eq!(count_data(Sc), 4);
+        assert_eq!(count_data(Pc), 3);
+        assert_eq!(count_data(Wo), 0);
+        assert_eq!(count_data(Rc), 0);
+        // RC strictly relaxes WO around synchronization: data after a
+        // release, and data before an acquire, need not wait.
+        assert!(Wo.must_wait_for(Release, Read) && !Rc.must_wait_for(Release, Read));
+        assert!(Wo.must_wait_for(Read, Acquire) && !Rc.must_wait_for(Read, Acquire));
+    }
+
+    #[test]
+    fn rule_table_mentions_every_kind() {
+        let t = Rc.rule_table();
+        for k in ["Read", "Write", "Acquire", "Release", "Barrier"] {
+            assert!(t.contains(k), "missing {k} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(Barrier.acquires() && Barrier.releases() && Barrier.is_sync());
+        assert!(Acquire.acquires() && !Acquire.releases());
+        assert!(Release.releases() && !Release.acquires());
+        assert!(!Read.is_sync() && !Write.is_sync());
+    }
+}

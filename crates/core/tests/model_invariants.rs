@@ -1,0 +1,224 @@
+//! Cross-model invariants of the processor timing models, checked on
+//! generated traces.
+
+use lookahead_core::base::Base;
+use lookahead_core::ds::{Ds, DsConfig};
+use lookahead_core::inorder::InOrder;
+use lookahead_core::model::ProcessorModel;
+use lookahead_core::ConsistencyModel;
+use lookahead_isa::{Assembler, IntReg, Program, SyncKind};
+use lookahead_trace::{MemAccess, SyncAccess, Trace, TraceEntry, TraceOp};
+use proptest::prelude::*;
+
+/// A sync-free random workload: loads/stores/compute only.
+fn arb_syncfree() -> impl Strategy<Value = (Program, Trace)> {
+    proptest::collection::vec((0u8..6, 0u64..48, any::<bool>(), 0u8..4), 1..100).prop_map(
+        |steps| {
+            let regs = [IntReg::T1, IntReg::T2, IntReg::T3, IntReg::T4];
+            let mut a = Assembler::new();
+            let mut entries = Vec::new();
+            let mut pc = 0u32;
+            for (op, word, miss, reg) in steps {
+                let addr = word * 8;
+                let r = regs[reg as usize % 4];
+                let latency = if miss { 50 } else { 1 };
+                match op {
+                    0..=2 => {
+                        a.load(r, IntReg::G0, addr as i64);
+                        entries.push(TraceEntry {
+                            pc,
+                            op: TraceOp::Load(MemAccess {
+                                addr,
+                                miss,
+                                latency,
+                            }),
+                        });
+                    }
+                    3 => {
+                        a.store(r, IntReg::G0, addr as i64);
+                        entries.push(TraceEntry {
+                            pc,
+                            op: TraceOp::Store(MemAccess {
+                                addr,
+                                miss,
+                                latency,
+                            }),
+                        });
+                    }
+                    _ => {
+                        a.addi(r, r, 1);
+                        entries.push(TraceEntry::compute(pc));
+                    }
+                }
+                pc += 1;
+            }
+            a.halt();
+            (a.assemble().unwrap(), Trace::from_entries(entries))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Without synchronization, WO and RC impose identical constraints
+    /// — every model pair that differs only in sync handling must
+    /// produce identical timing on sync-free traces.
+    #[test]
+    fn wo_equals_rc_without_sync((program, trace) in arb_syncfree()) {
+        for w in [16, 64] {
+            let wo = Ds::new(DsConfig::with_model(ConsistencyModel::Wo).window(w))
+                .run(&program, &trace);
+            let rc = Ds::new(DsConfig::rc().window(w)).run(&program, &trace);
+            prop_assert_eq!(wo.breakdown, rc.breakdown, "window {}", w);
+        }
+        let wo = InOrder::ssbr(ConsistencyModel::Wo).run(&program, &trace);
+        let rc = InOrder::ssbr(ConsistencyModel::Rc).run(&program, &trace);
+        prop_assert_eq!(wo.breakdown, rc.breakdown);
+    }
+
+    /// The DS window is an upper bound on overlap: an infinitely large
+    /// window (trace length) never loses to 256.
+    #[test]
+    fn window_saturates_at_trace_length((program, trace) in arb_syncfree()) {
+        let big = Ds::new(DsConfig::rc().window(trace.len().max(1)))
+            .run(&program, &trace)
+            .cycles();
+        let w256 = Ds::new(DsConfig::rc().window(256)).run(&program, &trace).cycles();
+        prop_assert!(big <= w256 + w256 / 64, "big {} vs 256 {}", big, w256);
+    }
+
+    /// The issue-delay diagnostic records exactly one sample per read
+    /// miss.
+    #[test]
+    fn issue_delays_cover_every_read_miss((program, trace) in arb_syncfree()) {
+        let misses = trace
+            .iter()
+            .filter(|e| matches!(e.op, TraceOp::Load(m) if m.miss))
+            .count();
+        let r = Ds::new(DsConfig::rc().window(64)).run(&program, &trace);
+        prop_assert_eq!(r.stats.read_miss_issue_delays.len(), misses);
+    }
+
+    /// Retiming a trace is a pure function: every model gives the same
+    /// result again (no hidden state between runs).
+    #[test]
+    fn models_are_pure((program, trace) in arb_syncfree()) {
+        let ds = Ds::new(DsConfig::rc().window(32));
+        prop_assert_eq!(ds.run(&program, &trace), ds.run(&program, &trace));
+        let ss = InOrder::ss(ConsistencyModel::Pc);
+        prop_assert_eq!(ss.run(&program, &trace), ss.run(&program, &trace));
+        prop_assert_eq!(Base.run(&program, &trace), Base.run(&program, &trace));
+    }
+}
+
+/// Acquire wait time is unhidable by construction: however large the
+/// window, an acquire's recorded wait appears in full in the sync
+/// section.
+#[test]
+fn acquire_wait_is_never_hidden() {
+    let mut a = Assembler::new();
+    for _ in 0..30 {
+        a.addi(IntReg::T1, IntReg::T1, 1);
+    }
+    a.lock(IntReg::G1, 0);
+    a.unlock(IntReg::G1, 0);
+    a.halt();
+    let program = a.assemble().unwrap();
+    let mut entries: Vec<TraceEntry> = (0..30).map(TraceEntry::compute).collect();
+    entries.push(TraceEntry {
+        pc: 30,
+        op: TraceOp::Sync(SyncAccess {
+            kind: SyncKind::Lock,
+            addr: 8,
+            wait: 500,
+            access: 50,
+        }),
+    });
+    entries.push(TraceEntry {
+        pc: 31,
+        op: TraceOp::Sync(SyncAccess {
+            kind: SyncKind::Unlock,
+            addr: 8,
+            wait: 0,
+            access: 1,
+        }),
+    });
+    let trace = Trace::from_entries(entries);
+    for w in [16, 64, 256] {
+        let r = Ds::new(DsConfig::rc().window(w)).run(&program, &trace);
+        assert!(
+            r.breakdown.sync >= 500,
+            "window {w}: wait partially hidden ({})",
+            r.breakdown.sync
+        );
+    }
+}
+
+/// The access component of an acquire IS hidable (the paper's PTHOR
+/// observation) — but only when an earlier stall lets the window run
+/// ahead of retirement (with 1-wide fetch, an acquire cannot decode
+/// earlier than its position). A read miss before the acquire gives a
+/// big window the chance to issue the lock access underneath the miss.
+#[test]
+fn acquire_access_is_hidable() {
+    let mut a = Assembler::new();
+    for _ in 0..5 {
+        a.addi(IntReg::T1, IntReg::T1, 1);
+    }
+    a.load(IntReg::T2, IntReg::G0, 0);
+    for _ in 0..5 {
+        a.addi(IntReg::T3, IntReg::T3, 1);
+    }
+    a.lock(IntReg::G1, 0);
+    a.halt();
+    let program = a.assemble().unwrap();
+    let mut entries: Vec<TraceEntry> = (0..5).map(TraceEntry::compute).collect();
+    entries.push(TraceEntry {
+        pc: 5,
+        op: TraceOp::Load(MemAccess::miss(128, 50)),
+    });
+    entries.extend((6..11).map(TraceEntry::compute));
+    entries.push(TraceEntry {
+        pc: 11,
+        op: TraceOp::Sync(SyncAccess {
+            kind: SyncKind::Lock,
+            addr: 8,
+            wait: 0,
+            access: 50,
+        }),
+    });
+    let trace = Trace::from_entries(entries);
+    let small = Ds::new(DsConfig::rc().window(2)).run(&program, &trace);
+    let big = Ds::new(DsConfig::rc().window(64)).run(&program, &trace);
+    assert!(
+        big.cycles() + 30 < small.cycles(),
+        "lock access not overlapped with the miss: small {} big {}",
+        small.cycles(),
+        big.cycles()
+    );
+}
+
+/// A mismatched program/trace pair (user error) must degrade to wrong
+/// timing, never to a silent hang: a trace *store* entry whose pc maps
+/// onto an ALU instruction with a destination register used to leave
+/// that register's consumers waiting forever.
+#[test]
+fn mismatched_program_and_trace_terminate() {
+    let mut a = Assembler::new();
+    a.addi(IntReg::T1, IntReg::T1, 1); // pc 0: ALU writing T1
+    a.addi(IntReg::T2, IntReg::T1, 1); // pc 1: reads T1
+    a.halt();
+    let program = a.assemble().unwrap();
+    // The trace claims pc 0 was a store (so it never "completes" as a
+    // register producer) and pc 1 a compute reading T1.
+    let trace = Trace::from_entries(vec![
+        TraceEntry {
+            pc: 0,
+            op: TraceOp::Store(MemAccess::miss(64, 50)),
+        },
+        TraceEntry::compute(1),
+    ]);
+    let r = Ds::new(DsConfig::rc().window(16)).run(&program, &trace);
+    assert!(r.cycles() < 10_000, "mismatch must not stall: {}", r.cycles());
+}

@@ -1,0 +1,369 @@
+//! Steps 4–5: re-time a generated trace under every configuration a
+//! table or figure of the paper needs.
+
+use crate::pipeline::{AppRun, PipelineError};
+use lookahead_core::base::Base;
+use lookahead_core::ds::{Ds, DsConfig};
+use lookahead_core::inorder::InOrder;
+use lookahead_core::model::{ExecutionResult, ProcessorModel};
+use lookahead_core::{Btb, BtbConfig, ConsistencyModel};
+use lookahead_memsys::MemoryParams;
+use lookahead_multiproc::SimConfig;
+use lookahead_trace::{Breakdown, BranchStats, DataRefStats, SyncStats, TraceStats};
+use lookahead_workloads::Workload;
+
+/// The window sizes of the paper's sweeps.
+pub const PAPER_WINDOWS: [usize; 5] = [16, 32, 64, 128, 256];
+
+/// One stacked bar of Figure 3 or the latency/issue-width variants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure3Column {
+    /// Column label as in the figure ("BASE", "SSBR", "DS.64", ...).
+    pub label: String,
+    /// Consistency model group ("" for BASE).
+    pub model: String,
+    /// The cycle breakdown.
+    pub breakdown: Breakdown,
+    /// Execution time normalized to BASE = 100.
+    pub normalized: f64,
+}
+
+/// One stacked bar of Figure 4 (branch/dependence ablations).
+pub type Figure4Column = Figure3Column;
+
+fn column(
+    label: &str,
+    model: &str,
+    result: &ExecutionResult,
+    base: &Breakdown,
+) -> Figure3Column {
+    Figure3Column {
+        label: label.to_string(),
+        model: model.to_string(),
+        breakdown: result.breakdown,
+        normalized: result.breakdown.normalized_to(base),
+    }
+}
+
+/// Figure 3: BASE, then {SSBR, SS, DS} under SC, PC and RC, with the
+/// full window sweep under RC (the gains under SC/PC are small, so the
+/// paper shows only the most aggressive 256-entry window there).
+pub fn figure3(run: &AppRun, windows: &[usize]) -> Vec<Figure3Column> {
+    let base = Base.run(&run.program, &run.trace);
+    let mut cols = vec![column("BASE", "", &base, &base.breakdown)];
+    for model in ConsistencyModel::EVALUATED {
+        let group = model.abbrev();
+        let ssbr = InOrder::ssbr(model).run(&run.program, &run.trace);
+        cols.push(column("SSBR", group, &ssbr, &base.breakdown));
+        let ss = InOrder::ss(model).run(&run.program, &run.trace);
+        cols.push(column("SS", group, &ss, &base.breakdown));
+        let ds_windows: &[usize] = if model == ConsistencyModel::Rc {
+            windows
+        } else {
+            &[256]
+        };
+        for &w in ds_windows {
+            let ds = Ds::new(DsConfig::with_model(model).window(w));
+            let r = ds.run(&run.program, &run.trace);
+            cols.push(column(&format!("DS.{w}"), group, &r, &base.breakdown));
+        }
+    }
+    cols
+}
+
+/// Figure 4: the RC dynamic-scheduling ablations — perfect branch
+/// prediction alone, then perfect prediction plus ignored data
+/// dependences, across the window sweep.
+pub fn figure4(run: &AppRun, windows: &[usize]) -> Vec<Figure4Column> {
+    let base = Base.run(&run.program, &run.trace);
+    let mut cols = vec![column("BASE", "", &base, &base.breakdown)];
+    for (suffix, nodep) in [("bp", false), ("bp+nd", true)] {
+        for &w in windows {
+            let ds = Ds::new(DsConfig {
+                perfect_branch_prediction: true,
+                ignore_data_dependences: nodep,
+                ..DsConfig::rc().window(w)
+            });
+            let r = ds.run(&run.program, &run.trace);
+            cols.push(column(
+                &format!("DS.{w}"),
+                suffix,
+                &r,
+                &base.breakdown,
+            ));
+        }
+    }
+    cols
+}
+
+/// Table 1: data-reference statistics of the representative trace.
+pub fn table1(run: &AppRun) -> DataRefStats {
+    TraceStats::collect(&run.trace, None).data
+}
+
+/// Table 2: synchronization statistics of the representative trace.
+pub fn table2(run: &AppRun) -> SyncStats {
+    TraceStats::collect(&run.trace, None).sync
+}
+
+/// Table 3: branch statistics, scored with the paper's 2048-entry
+/// 4-way BTB.
+pub fn table3(run: &AppRun) -> BranchStats {
+    let mut btb = Btb::new(BtbConfig::PAPER);
+    TraceStats::collect(&run.trace, Some(&mut btb)).branch
+}
+
+/// The fraction of BASE's read-stall time hidden by `DS-window` under
+/// RC — the paper's headline metric (§7: on average 33% at window 16,
+/// 63% at 32, 81% at 64 with 50-cycle latency).
+pub fn read_latency_hidden(run: &AppRun, window: usize) -> f64 {
+    let base = Base.run(&run.program, &run.trace);
+    let ds = Ds::new(DsConfig::rc().window(window)).run(&run.program, &run.trace);
+    ds.breakdown
+        .read_latency_hidden_vs(&base.breakdown)
+        .unwrap_or(1.0)
+}
+
+/// The summary of §7: average percentage of read latency hidden across
+/// runs, per window size.
+pub fn read_latency_hidden_summary(runs: &[AppRun], windows: &[usize]) -> Vec<(usize, f64)> {
+    windows
+        .iter()
+        .map(|&w| {
+            let avg = runs
+                .iter()
+                .map(|r| read_latency_hidden(r, w))
+                .sum::<f64>()
+                / runs.len().max(1) as f64;
+            (w, avg * 100.0)
+        })
+        .collect()
+}
+
+/// §4.1.3's read-miss issue-delay diagnostic for `DS-window` under RC
+/// with perfect branch prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissDelayReport {
+    /// Number of read misses observed.
+    pub misses: usize,
+    /// Fraction delayed more than 10 cycles from decode to issue.
+    pub over_10: f64,
+    /// Fraction delayed more than 40 cycles.
+    pub over_40: f64,
+    /// Fraction delayed more than 50 cycles.
+    pub over_50: f64,
+    /// Mean delay in cycles.
+    pub mean: f64,
+}
+
+/// Measures how long read misses sit in the window before issuing —
+/// long delays indicate dependence chains (§4.1.3).
+pub fn miss_delay(run: &AppRun, window: usize) -> MissDelayReport {
+    let ds = Ds::new(DsConfig {
+        perfect_branch_prediction: true,
+        ..DsConfig::rc().window(window)
+    });
+    let r = ds.run(&run.program, &run.trace);
+    let delays = &r.stats.read_miss_issue_delays;
+    let n = delays.len();
+    let frac = |t: u32| {
+        if n == 0 {
+            0.0
+        } else {
+            delays.iter().filter(|&&d| d > t).count() as f64 / n as f64
+        }
+    };
+    MissDelayReport {
+        misses: n,
+        over_10: frac(10),
+        over_40: frac(40),
+        over_50: frac(50),
+        mean: if n == 0 {
+            0.0
+        } else {
+            delays.iter().map(|&d| d as f64).sum::<f64>() / n as f64
+        },
+    }
+}
+
+/// §4.2 multiple-issue study: the RC window sweep at 4-wide decode,
+/// issue and retirement, normalized to the same BASE.
+pub fn multi_issue(run: &AppRun, windows: &[usize]) -> Vec<Figure3Column> {
+    let base = Base.run(&run.program, &run.trace);
+    let mut cols = vec![column("BASE", "", &base, &base.breakdown)];
+    for &w in windows {
+        let ds = Ds::new(DsConfig {
+            issue_width: 4,
+            ..DsConfig::rc().window(w)
+        });
+        let r = ds.run(&run.program, &run.trace);
+        cols.push(column(&format!("DS.{w}"), "RCx4", &r, &base.breakdown));
+    }
+    cols
+}
+
+/// §4.2 latency study: regenerates the trace with a different miss
+/// penalty (the trace carries latencies, so it must be regenerated)
+/// and runs the RC window sweep.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn latency_sweep(
+    workload: &dyn Workload,
+    config: &SimConfig,
+    miss_penalty: u32,
+    windows: &[usize],
+) -> Result<(AppRun, Vec<Figure3Column>), PipelineError> {
+    let config = SimConfig {
+        mem: MemoryParams::with_miss_penalty(miss_penalty),
+        ..*config
+    };
+    let run = AppRun::generate(workload, &config)?;
+    let base = Base.run(&run.program, &run.trace);
+    let mut cols = vec![column("BASE", "", &base, &base.breakdown)];
+    for &w in windows {
+        let ds = Ds::new(DsConfig::rc().window(w));
+        let r = ds.run(&run.program, &run.trace);
+        cols.push(column(&format!("DS.{w}"), "RC", &r, &base.breakdown));
+    }
+    Ok((run, cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lookahead_workloads::lu::Lu;
+
+    fn small_run() -> AppRun {
+        let config = SimConfig {
+            num_procs: 4,
+            ..SimConfig::default()
+        };
+        AppRun::generate(&Lu { n: 12 }, &config).unwrap()
+    }
+
+    #[test]
+    fn figure3_has_expected_columns() {
+        let run = small_run();
+        let cols = figure3(&run, &[16, 64]);
+        // BASE + 3 models * (SSBR + SS) + SC:1 + PC:1 + RC:2 windows.
+        assert_eq!(cols.len(), 1 + 3 * 2 + 1 + 1 + 2);
+        assert_eq!(cols[0].label, "BASE");
+        assert!((cols[0].normalized - 100.0).abs() < 1e-9);
+        // Every column at or below BASE (overlap never hurts).
+        for c in &cols {
+            assert!(
+                c.normalized <= 100.5,
+                "{}/{} above BASE: {}",
+                c.model,
+                c.label,
+                c.normalized
+            );
+        }
+    }
+
+    #[test]
+    fn rc_ds_improves_with_window_size() {
+        let run = small_run();
+        let cols = figure3(&run, &[16, 256]);
+        let rc16 = cols
+            .iter()
+            .find(|c| c.model == "RC" && c.label == "DS.16")
+            .unwrap();
+        let rc256 = cols
+            .iter()
+            .find(|c| c.model == "RC" && c.label == "DS.256")
+            .unwrap();
+        assert!(rc256.normalized <= rc16.normalized + 1e-9);
+    }
+
+    #[test]
+    fn figure4_ablations_only_help() {
+        let run = small_run();
+        let f3 = figure3(&run, &[64]);
+        let real = f3
+            .iter()
+            .find(|c| c.model == "RC" && c.label == "DS.64")
+            .unwrap()
+            .normalized;
+        let f4 = figure4(&run, &[64]);
+        let bp = f4
+            .iter()
+            .find(|c| c.model == "bp" && c.label == "DS.64")
+            .unwrap();
+        let nd = f4
+            .iter()
+            .find(|c| c.model == "bp+nd" && c.label == "DS.64")
+            .unwrap();
+        assert!(bp.normalized <= real + 1e-9);
+        assert!(nd.normalized <= bp.normalized + 1e-9);
+    }
+
+    #[test]
+    fn tables_report_activity() {
+        let run = small_run();
+        let t1 = table1(&run);
+        assert!(t1.reads > 0 && t1.writes > 0);
+        let t2 = table2(&run);
+        assert!(t2.wait_events + t2.set_events > 0, "LU uses events");
+        let t3 = table3(&run);
+        assert!(t3.branches > 0);
+        assert!(t3.predicted_percent().unwrap() > 50.0);
+    }
+
+    #[test]
+    fn hidden_read_latency_grows_with_window() {
+        let run = small_run();
+        let h16 = read_latency_hidden(&run, 16);
+        let h64 = read_latency_hidden(&run, 64);
+        assert!(h64 >= h16 - 1e-9, "h16={h16} h64={h64}");
+        let summary = read_latency_hidden_summary(&[run], &[16, 64]);
+        assert_eq!(summary.len(), 2);
+        assert!((summary[0].1 - h16 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_delay_reports_fractions() {
+        let run = small_run();
+        let d = miss_delay(&run, 64);
+        assert!(d.misses > 0);
+        assert!(d.over_40 <= d.over_10 + 1e-12);
+        assert!(d.over_50 <= d.over_40 + 1e-12);
+    }
+
+    #[test]
+    fn multi_issue_beats_single_issue() {
+        let run = small_run();
+        let single = figure3(&run, &[64]);
+        let s64 = single
+            .iter()
+            .find(|c| c.model == "RC" && c.label == "DS.64")
+            .unwrap()
+            .normalized;
+        let multi = multi_issue(&run, &[64]);
+        let m64 = multi
+            .iter()
+            .find(|c| c.label == "DS.64")
+            .unwrap()
+            .normalized;
+        assert!(m64 <= s64 + 1e-9, "4-wide {m64} vs 1-wide {s64}");
+    }
+
+    #[test]
+    fn latency_sweep_regenerates_at_new_penalty() {
+        let config = SimConfig {
+            num_procs: 4,
+            ..SimConfig::default()
+        };
+        let (run, cols) = latency_sweep(&Lu { n: 12 }, &config, 100, &[64]).unwrap();
+        // Misses now cost 100 cycles; the trace must reflect it.
+        let has_100 = run
+            .trace
+            .iter()
+            .filter_map(|e| e.mem_access())
+            .any(|m| m.latency == 100);
+        assert!(has_100);
+        assert_eq!(cols.len(), 2);
+    }
+}

@@ -1,0 +1,202 @@
+//! Text rendering of tables and stacked-bar figures.
+
+use crate::experiments::Figure3Column;
+use lookahead_trace::Breakdown;
+
+/// Renders a simple aligned text table. The first row is the header.
+///
+/// # Example
+///
+/// ```
+/// use lookahead_harness::format::render_table;
+/// let t = render_table(&[
+///     vec!["app".into(), "busy".into()],
+///     vec!["LU".into(), "12345".into()],
+/// ]);
+/// assert!(t.contains("LU"));
+/// ```
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            // Right-align numbers, left-align the first column.
+            if i == 0 {
+                out.push_str(&format!("{cell:<width$}", width = widths[i]));
+            } else {
+                out.push_str(&format!("{cell:>width$}", width = widths[i]));
+            }
+        }
+        out.push('\n');
+        if r == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders one breakdown as a horizontal stacked bar of width
+/// `scale_width` characters at `normalized`% of the baseline:
+/// `#` busy, `s` sync, `r` read, `w` write.
+pub fn render_bar(b: &Breakdown, normalized: f64, scale_width: usize) -> String {
+    let total = b.total().max(1) as f64;
+    let bar_len = (normalized / 100.0 * scale_width as f64).round() as usize;
+    let mut lens = [
+        (b.busy as f64 / total * bar_len as f64).round() as usize,
+        (b.sync as f64 / total * bar_len as f64).round() as usize,
+        (b.read as f64 / total * bar_len as f64).round() as usize,
+        (b.write as f64 / total * bar_len as f64).round() as usize,
+    ];
+    // Fix rounding drift on the largest section.
+    let sum: usize = lens.iter().sum();
+    if sum != bar_len {
+        let max = lens
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &l)| l)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        lens[max] = (lens[max] + bar_len).saturating_sub(sum);
+    }
+    let mut bar = String::new();
+    for (len, ch) in lens.iter().zip(['#', 's', 'r', 'w']) {
+        bar.extend(std::iter::repeat(ch).take(*len));
+    }
+    bar
+}
+
+/// Renders a whole figure (list of columns) as labelled stacked bars,
+/// like the paper's Figure 3 turned sideways.
+pub fn render_figure(title: &str, cols: &[Figure3Column]) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str("  legend: # busy   s sync   r read-stall   w write-stall\n");
+    let label_w = cols
+        .iter()
+        .map(|c| c.model.len() + c.label.len() + 1)
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    let mut last_model = String::new();
+    for c in cols {
+        if c.model != last_model {
+            last_model = c.model.clone();
+            if !c.model.is_empty() {
+                out.push_str(&format!("  --- {} ---\n", c.model));
+            }
+        }
+        let label = if c.model.is_empty() {
+            c.label.clone()
+        } else {
+            format!("{} {}", c.model, c.label)
+        };
+        out.push_str(&format!(
+            "  {label:<label_w$} |{:<60}| {:6.1}  (busy {} sync {} read {} write {})\n",
+            render_bar(&c.breakdown, c.normalized, 60),
+            c.normalized,
+            c.breakdown.busy,
+            c.breakdown.sync,
+            c.breakdown.read,
+            c.breakdown.write,
+        ));
+    }
+    out
+}
+
+/// Formats a count with its per-thousand-instruction rate, like the
+/// paper's Table 1 cells.
+pub fn count_with_rate(count: u64, busy: u64) -> String {
+    let rate = if busy == 0 {
+        0.0
+    } else {
+        count as f64 * 1000.0 / busy as f64
+    };
+    format!("{count} ({rate:.1})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(&[
+            vec!["h1".into(), "header2".into()],
+            vec!["a".into(), "1".into()],
+            vec!["bb".into(), "22".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("--"));
+        // Right-aligned numeric column.
+        assert!(lines[2].ends_with("1"));
+        assert_eq!(render_table(&[]), "");
+    }
+
+    #[test]
+    fn bar_length_tracks_normalization() {
+        let b = Breakdown {
+            busy: 50,
+            sync: 0,
+            read: 50,
+            write: 0,
+        };
+        let full = render_bar(&b, 100.0, 60);
+        let half = render_bar(&b, 50.0, 60);
+        assert_eq!(full.len(), 60);
+        assert_eq!(half.len(), 30);
+        assert!(full.contains('#') && full.contains('r'));
+        assert!(!full.contains('s'));
+    }
+
+    #[test]
+    fn figure_includes_groups_and_legend() {
+        let cols = vec![
+            Figure3Column {
+                label: "BASE".into(),
+                model: "".into(),
+                breakdown: Breakdown {
+                    busy: 10,
+                    sync: 0,
+                    read: 10,
+                    write: 0,
+                },
+                normalized: 100.0,
+            },
+            Figure3Column {
+                label: "DS.64".into(),
+                model: "RC".into(),
+                breakdown: Breakdown {
+                    busy: 10,
+                    sync: 0,
+                    read: 2,
+                    write: 0,
+                },
+                normalized: 60.0,
+            },
+        ];
+        let f = render_figure("LU", &cols);
+        assert!(f.contains("--- RC ---"));
+        assert!(f.contains("legend"));
+        assert!(f.contains("60.0"));
+    }
+
+    #[test]
+    fn count_with_rate_formats() {
+        assert_eq!(count_with_rate(500, 1000), "500 (500.0)");
+        assert_eq!(count_with_rate(5, 0), "5 (0.0)");
+    }
+}

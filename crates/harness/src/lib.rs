@@ -1,0 +1,26 @@
+//! Experiment harness: the full pipeline from workload to the paper's
+//! tables and figures.
+//!
+//! The pipeline mirrors the paper's methodology (§3):
+//!
+//! 1. compile a workload ([`lookahead_workloads`]) to SRISC,
+//! 2. run the 16-processor execution-driven simulation
+//!    ([`lookahead_multiproc`]) to produce annotated traces,
+//! 3. pick a representative processor's trace,
+//! 4. re-time it under every processor model / consistency model /
+//!    window size of interest ([`lookahead_core`]),
+//! 5. report normalized execution-time breakdowns and derived metrics.
+//!
+//! [`pipeline`] implements steps 1–3 (with verification),
+//! [`experiments`] steps 4–5 for each table and figure of the paper,
+//! and [`format`](mod@format) renders text tables and stacked bars.
+
+pub mod experiments;
+pub mod format;
+pub mod pipeline;
+
+pub use experiments::{
+    figure3, figure4, latency_sweep, miss_delay, multi_issue, read_latency_hidden_summary,
+    table1, table2, table3, Figure3Column, Figure4Column, MissDelayReport,
+};
+pub use pipeline::{AppRun, PipelineError};

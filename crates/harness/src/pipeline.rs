@@ -1,0 +1,127 @@
+//! Steps 1–3 of the paper's methodology: workload → multiprocessor
+//! simulation → representative annotated trace.
+
+use lookahead_isa::Program;
+use lookahead_multiproc::{SimConfig, SimError, SimOutcome, Simulator};
+use lookahead_trace::{Breakdown, Trace};
+use lookahead_workloads::Workload;
+use std::fmt;
+
+/// Errors from trace generation.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The multiprocessor simulation failed (deadlock, cycle limit,
+    /// interpreter fault).
+    Sim(SimError),
+    /// The workload's self-check rejected the final memory — the
+    /// simulation stack miscomputed the application.
+    Verification { app: String, reason: String },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Sim(e) => write!(f, "multiprocessor simulation failed: {e}"),
+            PipelineError::Verification { app, reason } => {
+                write!(f, "{app} result verification failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Sim(e) => Some(e),
+            PipelineError::Verification { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for PipelineError {
+    fn from(e: SimError) -> PipelineError {
+        PipelineError::Sim(e)
+    }
+}
+
+/// A generated run of one application: the program, the representative
+/// processor's trace, and the multiprocessor-level statistics the
+/// paper's Tables 1–2 report.
+#[derive(Debug)]
+pub struct AppRun {
+    /// Application name ("MP3D", "LU", ...).
+    pub app: String,
+    /// The SPMD program (needed by the processor models for register
+    /// dependences).
+    pub program: Program,
+    /// The representative processor's annotated trace.
+    pub trace: Trace,
+    /// Which processor the trace belongs to.
+    pub proc: usize,
+    /// Every processor's trace from the same run (used by the
+    /// multiple-contexts comparison, which interleaves several streams
+    /// on one pipeline).
+    pub all_traces: Vec<Trace>,
+    /// The generating run's per-processor breakdowns (diagnostic).
+    pub mp_breakdowns: Vec<Breakdown>,
+    /// Total multiprocessor cycles of the generating run.
+    pub mp_cycles: u64,
+}
+
+impl AppRun {
+    /// Generates a verified trace for `workload` under `config`.
+    ///
+    /// The representative processor is the one that executed the most
+    /// instructions (the paper picks "one of the processes"; the
+    /// busiest one avoids an unluckily idle pick).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the simulation fails or the workload's self-check
+    /// rejects the result.
+    pub fn generate(
+        workload: &dyn Workload,
+        config: &SimConfig,
+    ) -> Result<AppRun, PipelineError> {
+        let built = workload.build(config.num_procs);
+        let program = built.program.clone();
+        let sim = Simulator::new(built.program, built.image, *config)?;
+        let outcome: SimOutcome = sim.run()?;
+        (built.verify)(&outcome.final_memory).map_err(|reason| {
+            PipelineError::Verification {
+                app: workload.name().to_string(),
+                reason,
+            }
+        })?;
+        let proc = outcome.busiest_proc();
+        Ok(AppRun {
+            app: workload.name().to_string(),
+            program,
+            trace: outcome.traces[proc].clone(),
+            proc,
+            all_traces: outcome.traces,
+            mp_breakdowns: outcome.breakdowns,
+            mp_cycles: outcome.total_cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lookahead_workloads::lu::Lu;
+
+    #[test]
+    fn generate_produces_verified_trace() {
+        let config = SimConfig {
+            num_procs: 4,
+            ..SimConfig::default()
+        };
+        let run = AppRun::generate(&Lu { n: 12 }, &config).expect("pipeline succeeds");
+        assert_eq!(run.app, "LU");
+        assert!(!run.trace.is_empty());
+        assert!(run.mp_cycles > 0);
+        assert_eq!(run.mp_breakdowns.len(), 4);
+        assert!(run.proc < 4);
+    }
+}

@@ -1,0 +1,475 @@
+//! A small two-pass assembler: emit instructions with symbolic labels,
+//! then resolve all branch and jump targets.
+//!
+//! The assembler is the low-level interface; workload code normally
+//! uses the structured [`ProgramBuilder`](crate::builder::ProgramBuilder)
+//! on top of it.
+
+use crate::instr::{AluOp, BranchCond, FpCmpOp, FpuOp, Instruction, SyncKind};
+use crate::program::Program;
+use crate::reg::{FpReg, IntReg};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A symbolic branch/jump target. Created by [`Assembler::label`] and
+/// given a position by [`Assembler::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors produced when assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound to a position.
+    UnboundLabel { label: usize, name: Option<String> },
+    /// A label was bound twice.
+    Rebound { label: usize, name: Option<String> },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let describe = |label: &usize, name: &Option<String>| match name {
+            Some(n) => format!("label {label} ({n})"),
+            None => format!("label {label}"),
+        };
+        match self {
+            AsmError::UnboundLabel { label, name } => {
+                write!(f, "{} referenced but never bound", describe(label, name))
+            }
+            AsmError::Rebound { label, name } => {
+                write!(f, "{} bound more than once", describe(label, name))
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Instruction with possibly unresolved control-flow target.
+#[derive(Debug, Clone)]
+enum Pending {
+    Ready(Instruction),
+    Branch {
+        cond: BranchCond,
+        rs1: IntReg,
+        rs2: IntReg,
+        target: Label,
+    },
+    Jump {
+        target: Label,
+    },
+    JumpAndLink {
+        rd: IntReg,
+        target: Label,
+    },
+}
+
+/// A two-pass assembler for SRISC programs.
+///
+/// # Example
+///
+/// ```
+/// use lookahead_isa::asm::Assembler;
+/// use lookahead_isa::reg::IntReg;
+/// use lookahead_isa::instr::BranchCond;
+///
+/// let mut a = Assembler::new();
+/// let done = a.label();
+/// a.li(IntReg::T0, 3);
+/// a.branch(BranchCond::Eq, IntReg::T0, IntReg::ZERO, done);
+/// a.addi(IntReg::T0, IntReg::T0, -1);
+/// a.bind(done)?;
+/// a.halt();
+/// let program = a.assemble()?;
+/// assert_eq!(program.len(), 4);
+/// # Ok::<(), lookahead_isa::asm::AsmError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    pending: Vec<Pending>,
+    /// label id -> bound instruction index
+    bindings: Vec<Option<usize>>,
+    names: BTreeMap<usize, String>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.bindings.push(None);
+        Label(self.bindings.len() - 1)
+    }
+
+    /// Creates a fresh label with a human-readable name (appears in
+    /// disassembly).
+    pub fn named_label(&mut self, name: &str) -> Label {
+        let l = self.label();
+        self.names.insert(l.0, name.to_string());
+        l
+    }
+
+    /// Binds `label` to the current position (the index of the next
+    /// emitted instruction).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::Rebound`] if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), AsmError> {
+        let slot = &mut self.bindings[label.0];
+        if slot.is_some() {
+            return Err(AsmError::Rebound {
+                label: label.0,
+                name: self.names.get(&label.0).cloned(),
+            });
+        }
+        *slot = Some(self.pending.len());
+        Ok(())
+    }
+
+    /// The index the next instruction will be emitted at.
+    pub fn here(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Emits a raw instruction (no label resolution needed).
+    pub fn emit(&mut self, instr: Instruction) {
+        self.pending.push(Pending::Ready(instr));
+    }
+
+    // ---- convenience emitters -------------------------------------------
+
+    /// `rd = rs1 op rs2`
+    pub fn alu(&mut self, op: AluOp, rd: IntReg, rs1: IntReg, rs2: IntReg) {
+        self.emit(Instruction::Alu { op, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 op imm`
+    pub fn alu_imm(&mut self, op: AluOp, rd: IntReg, rs1: IntReg, imm: i64) {
+        self.emit(Instruction::AluImm { op, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) {
+        self.alu(AluOp::Add, rd, rs1, rs2);
+    }
+
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) {
+        self.alu(AluOp::Sub, rd, rs1, rs2);
+    }
+
+    /// `rd = rs1 * rs2`
+    pub fn mul(&mut self, rd: IntReg, rs1: IntReg, rs2: IntReg) {
+        self.alu(AluOp::Mul, rd, rs1, rs2);
+    }
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: IntReg, rs1: IntReg, imm: i64) {
+        self.alu_imm(AluOp::Add, rd, rs1, imm);
+    }
+
+    /// `rd = rs1 * imm`
+    pub fn muli(&mut self, rd: IntReg, rs1: IntReg, imm: i64) {
+        self.alu_imm(AluOp::Mul, rd, rs1, imm);
+    }
+
+    /// `rd = imm`
+    pub fn li(&mut self, rd: IntReg, imm: i64) {
+        self.emit(Instruction::LoadImm { rd, imm });
+    }
+
+    /// `fd = value`
+    pub fn lif(&mut self, fd: FpReg, value: f64) {
+        self.emit(Instruction::LoadImmF { fd, value });
+    }
+
+    /// `rd = rs` (move, encoded as `add rd, rs, r0`)
+    pub fn mv(&mut self, rd: IntReg, rs: IntReg) {
+        self.alu(AluOp::Add, rd, rs, IntReg::ZERO);
+    }
+
+    /// `fd = fs1 op fs2`
+    pub fn fpu(&mut self, op: FpuOp, fd: FpReg, fs1: FpReg, fs2: FpReg) {
+        self.emit(Instruction::Fpu { op, fd, fs1, fs2 });
+    }
+
+    /// `fd = fs1 + fs2`
+    pub fn fadd(&mut self, fd: FpReg, fs1: FpReg, fs2: FpReg) {
+        self.fpu(FpuOp::Add, fd, fs1, fs2);
+    }
+
+    /// `fd = fs1 - fs2`
+    pub fn fsub(&mut self, fd: FpReg, fs1: FpReg, fs2: FpReg) {
+        self.fpu(FpuOp::Sub, fd, fs1, fs2);
+    }
+
+    /// `fd = fs1 * fs2`
+    pub fn fmul(&mut self, fd: FpReg, fs1: FpReg, fs2: FpReg) {
+        self.fpu(FpuOp::Mul, fd, fs1, fs2);
+    }
+
+    /// `fd = fs1 / fs2`
+    pub fn fdiv(&mut self, fd: FpReg, fs1: FpReg, fs2: FpReg) {
+        self.fpu(FpuOp::Div, fd, fs1, fs2);
+    }
+
+    /// `fd = fs` (move, encoded as `fadd fd, fs, f-zero`) — SRISC has no
+    /// dedicated fp move; use add with itself-minus... simply `fmax fd, fs, fs`.
+    pub fn fmv(&mut self, fd: FpReg, fs: FpReg) {
+        self.fpu(FpuOp::Max, fd, fs, fs);
+    }
+
+    /// `rd = (fs1 op fs2) as i64`
+    pub fn fcmp(&mut self, op: FpCmpOp, rd: IntReg, fs1: FpReg, fs2: FpReg) {
+        self.emit(Instruction::FpCmp { op, rd, fs1, fs2 });
+    }
+
+    /// `fd = rs as f64`
+    pub fn int_to_fp(&mut self, fd: FpReg, rs: IntReg) {
+        self.emit(Instruction::IntToFp { fd, rs });
+    }
+
+    /// `rd = fs as i64` (truncating)
+    pub fn fp_to_int(&mut self, rd: IntReg, fs: FpReg) {
+        self.emit(Instruction::FpToInt { rd, fs });
+    }
+
+    /// `rd = mem[base + offset]`
+    pub fn load(&mut self, rd: IntReg, base: IntReg, offset: i64) {
+        self.emit(Instruction::Load { rd, base, offset });
+    }
+
+    /// `mem[base + offset] = rs`
+    pub fn store(&mut self, rs: IntReg, base: IntReg, offset: i64) {
+        self.emit(Instruction::Store { rs, base, offset });
+    }
+
+    /// `fd = mem[base + offset]`
+    pub fn loadf(&mut self, fd: FpReg, base: IntReg, offset: i64) {
+        self.emit(Instruction::LoadF { fd, base, offset });
+    }
+
+    /// `mem[base + offset] = fs`
+    pub fn storef(&mut self, fs: FpReg, base: IntReg, offset: i64) {
+        self.emit(Instruction::StoreF { fs, base, offset });
+    }
+
+    /// Conditional branch to a label.
+    pub fn branch(&mut self, cond: BranchCond, rs1: IntReg, rs2: IntReg, target: Label) {
+        self.pending.push(Pending::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        });
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jump(&mut self, target: Label) {
+        self.pending.push(Pending::Jump { target });
+    }
+
+    /// Jump-and-link to a label (call).
+    pub fn jal(&mut self, rd: IntReg, target: Label) {
+        self.pending.push(Pending::JumpAndLink { rd, target });
+    }
+
+    /// Indirect jump through a register (return).
+    pub fn jr(&mut self, rs: IntReg) {
+        self.emit(Instruction::JumpReg { rs });
+    }
+
+    /// Synchronization operation on the word at `base + offset`.
+    pub fn sync(&mut self, kind: SyncKind, base: IntReg, offset: i64) {
+        self.emit(Instruction::Sync { kind, base, offset });
+    }
+
+    /// Acquire the lock whose variable is at `base + offset`.
+    pub fn lock(&mut self, base: IntReg, offset: i64) {
+        self.sync(SyncKind::Lock, base, offset);
+    }
+
+    /// Release the lock whose variable is at `base + offset`.
+    pub fn unlock(&mut self, base: IntReg, offset: i64) {
+        self.sync(SyncKind::Unlock, base, offset);
+    }
+
+    /// Global barrier; each static barrier site should use a distinct
+    /// address.
+    pub fn barrier(&mut self, base: IntReg, offset: i64) {
+        self.sync(SyncKind::Barrier, base, offset);
+    }
+
+    /// Block until the event word at `base + offset` becomes non-zero.
+    pub fn wait_event(&mut self, base: IntReg, offset: i64) {
+        self.sync(SyncKind::WaitEvent, base, offset);
+    }
+
+    /// Set the event word at `base + offset`, waking waiters.
+    pub fn set_event(&mut self, base: IntReg, offset: i64) {
+        self.sync(SyncKind::SetEvent, base, offset);
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) {
+        self.emit(Instruction::Nop);
+    }
+
+    /// Halt this processor.
+    pub fn halt(&mut self) {
+        self.emit(Instruction::Halt);
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Resolves all labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was
+    /// never bound.
+    pub fn assemble(self) -> Result<Program, AsmError> {
+        let resolve = |label: Label| -> Result<usize, AsmError> {
+            self.bindings[label.0].ok_or_else(|| AsmError::UnboundLabel {
+                label: label.0,
+                name: self.names.get(&label.0).cloned(),
+            })
+        };
+        let mut instructions = Vec::with_capacity(self.pending.len());
+        for p in &self.pending {
+            let instr = match p {
+                Pending::Ready(i) => *i,
+                Pending::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => Instruction::Branch {
+                    cond: *cond,
+                    rs1: *rs1,
+                    rs2: *rs2,
+                    target: resolve(*target)?,
+                },
+                Pending::Jump { target } => Instruction::Jump {
+                    target: resolve(*target)?,
+                },
+                Pending::JumpAndLink { rd, target } => Instruction::JumpAndLink {
+                    rd: *rd,
+                    target: resolve(*target)?,
+                },
+            };
+            instructions.push(instr);
+        }
+        let mut label_names = BTreeMap::new();
+        for (id, pos) in self.bindings.iter().enumerate() {
+            if let (Some(pos), Some(name)) = (pos, self.names.get(&id)) {
+                label_names.insert(*pos, name.clone());
+            }
+        }
+        Ok(Program::with_labels(instructions, label_names))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Assembler::new();
+        let top = a.label();
+        let out = a.label();
+        a.bind(top).unwrap();
+        a.addi(IntReg::T0, IntReg::T0, 1);
+        a.branch(BranchCond::Ge, IntReg::T0, IntReg::A1, out);
+        a.jump(top);
+        a.bind(out).unwrap();
+        a.halt();
+        let p = a.assemble().unwrap();
+        match p.fetch(1).unwrap() {
+            Instruction::Branch { target, .. } => assert_eq!(*target, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p.fetch(2).unwrap() {
+            Instruction::Jump { target } => assert_eq!(*target, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_error() {
+        let mut a = Assembler::new();
+        let l = a.named_label("missing");
+        a.jump(l);
+        let err = a.assemble().unwrap_err();
+        assert!(matches!(err, AsmError::UnboundLabel { .. }));
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn rebound_label_is_error() {
+        let mut a = Assembler::new();
+        let l = a.label();
+        a.bind(l).unwrap();
+        a.nop();
+        let err = a.bind(l).unwrap_err();
+        assert!(matches!(err, AsmError::Rebound { .. }));
+    }
+
+    #[test]
+    fn named_labels_appear_in_disassembly() {
+        let mut a = Assembler::new();
+        let l = a.named_label("entry");
+        a.bind(l).unwrap();
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert!(p.disassemble().contains("entry:"));
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut a = Assembler::new();
+        assert_eq!(a.here(), 0);
+        a.nop();
+        a.nop();
+        assert_eq!(a.here(), 2);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn convenience_emitters_produce_expected_instructions() {
+        let mut a = Assembler::new();
+        a.mv(IntReg::T1, IntReg::T0);
+        a.lock(IntReg::G0, 8);
+        a.wait_event(IntReg::G1, 0);
+        let p = a.assemble().unwrap();
+        assert_eq!(
+            p.fetch(0),
+            Some(&Instruction::Alu {
+                op: AluOp::Add,
+                rd: IntReg::T1,
+                rs1: IntReg::T0,
+                rs2: IntReg::ZERO
+            })
+        );
+        assert_eq!(
+            p.fetch(1),
+            Some(&Instruction::Sync {
+                kind: SyncKind::Lock,
+                base: IntReg::G0,
+                offset: 8
+            })
+        );
+    }
+}

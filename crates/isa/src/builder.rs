@@ -1,0 +1,293 @@
+//! Structured control-flow helpers layered on the [`Assembler`].
+//!
+//! Workload kernels are long; writing every loop out of raw labels and
+//! branches is error-prone. This module extends [`Assembler`] with
+//! counted loops, while loops and if/then/else built from closures, so
+//! a kernel reads top-to-bottom like structured code:
+//!
+//! ```
+//! use lookahead_isa::{Assembler, IntReg, BranchCond};
+//!
+//! let mut b = Assembler::new();
+//! let (i, n, acc) = (IntReg::T0, IntReg::T1, IntReg::T2);
+//! b.li(n, 8);
+//! b.li(acc, 0);
+//! b.for_to(i, 0, n, |b| {
+//!     b.if_then(BranchCond::Lt, i, n, |b| {
+//!         b.add(acc, acc, i);
+//!     });
+//! });
+//! b.halt();
+//! let program = b.assemble()?;
+//! assert!(program.len() > 6);
+//! # Ok::<(), lookahead_isa::AsmError>(())
+//! ```
+
+use crate::asm::Assembler;
+use crate::instr::BranchCond;
+use crate::reg::IntReg;
+
+/// Alias kept for discoverability: the program builder *is* the
+/// assembler plus the structured helpers in this module.
+pub use crate::asm::Assembler as ProgramBuilder;
+
+impl Assembler {
+    /// Counted loop with an immediate bound:
+    /// `for reg in start..end { body }`.
+    ///
+    /// The loop variable is live in `reg` inside the body; the body
+    /// must not clobber it. The loop test is at the top, so a loop with
+    /// `start >= end` executes zero iterations.
+    pub fn for_range(&mut self, reg: IntReg, start: i64, end: i64, body: impl FnOnce(&mut Self)) {
+        self.li(reg, start);
+        let head = self.label();
+        let exit = self.label();
+        self.bind(head).expect("fresh label");
+        self.branch_imm(BranchCond::Ge, reg, end, exit);
+        body(self);
+        self.addi(reg, reg, 1);
+        self.jump(head);
+        self.bind(exit).expect("fresh label");
+    }
+
+    /// Counted loop with a register bound:
+    /// `for reg in start..end_reg { body }`.
+    ///
+    /// `end_reg` is re-read each iteration, so the body may update it.
+    pub fn for_to(&mut self, reg: IntReg, start: i64, end_reg: IntReg, body: impl FnOnce(&mut Self)) {
+        self.li(reg, start);
+        let head = self.label();
+        let exit = self.label();
+        self.bind(head).expect("fresh label");
+        self.branch(BranchCond::Ge, reg, end_reg, exit);
+        body(self);
+        self.addi(reg, reg, 1);
+        self.jump(head);
+        self.bind(exit).expect("fresh label");
+    }
+
+    /// Counted loop with a register bound and an arbitrary positive
+    /// immediate step: `for reg in start_reg..end_reg step s { body }`.
+    ///
+    /// `reg` is initialized by copying `start_reg`.
+    pub fn for_step(
+        &mut self,
+        reg: IntReg,
+        start_reg: IntReg,
+        end_reg: IntReg,
+        step: i64,
+        body: impl FnOnce(&mut Self),
+    ) {
+        self.mv(reg, start_reg);
+        let head = self.label();
+        let exit = self.label();
+        self.bind(head).expect("fresh label");
+        self.branch(BranchCond::Ge, reg, end_reg, exit);
+        body(self);
+        self.addi(reg, reg, step);
+        self.jump(head);
+        self.bind(exit).expect("fresh label");
+    }
+
+    /// `while (rs1 cond rs2) { body }` with the test at the top.
+    pub fn while_loop(
+        &mut self,
+        cond: BranchCond,
+        rs1: IntReg,
+        rs2: IntReg,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let head = self.label();
+        let exit = self.label();
+        self.bind(head).expect("fresh label");
+        self.branch(cond.negate(), rs1, rs2, exit);
+        body(self);
+        self.jump(head);
+        self.bind(exit).expect("fresh label");
+    }
+
+    /// `if (rs1 cond rs2) { body }`.
+    pub fn if_then(
+        &mut self,
+        cond: BranchCond,
+        rs1: IntReg,
+        rs2: IntReg,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let skip = self.label();
+        self.branch(cond.negate(), rs1, rs2, skip);
+        body(self);
+        self.bind(skip).expect("fresh label");
+    }
+
+    /// `if (rs1 cond rs2) { then_body } else { else_body }`.
+    pub fn if_then_else(
+        &mut self,
+        cond: BranchCond,
+        rs1: IntReg,
+        rs2: IntReg,
+        then_body: impl FnOnce(&mut Self),
+        else_body: impl FnOnce(&mut Self),
+    ) {
+        let else_l = self.label();
+        let done = self.label();
+        self.branch(cond.negate(), rs1, rs2, else_l);
+        then_body(self);
+        self.jump(done);
+        self.bind(else_l).expect("fresh label");
+        else_body(self);
+        self.bind(done).expect("fresh label");
+    }
+
+    /// Branch comparing a register against an immediate. SRISC branches
+    /// compare two registers: comparison against zero uses `r0`
+    /// directly; any other immediate is materialized into the scratch
+    /// register [`Assembler::SCRATCH`], which workload code must treat
+    /// as clobbered by this helper (and by `for_range`, which uses it).
+    pub fn branch_imm(&mut self, cond: BranchCond, rs1: IntReg, imm: i64, target: crate::asm::Label) {
+        if imm == 0 {
+            self.branch(cond, rs1, IntReg::ZERO, target);
+        } else {
+            self.li(Self::SCRATCH, imm);
+            self.branch(cond, rs1, Self::SCRATCH, target);
+        }
+    }
+
+    /// Scratch register clobbered by [`Assembler::branch_imm`] and
+    /// [`Assembler::for_range`]: `T9` (`r14`). Workload code must not
+    /// keep live values there across those helpers.
+    pub const SCRATCH: IntReg = IntReg::T9;
+
+    /// Computes `rd = base_reg + index_reg * 8`: the address of element
+    /// `index` of a word array at `base`. Clobbers [`Assembler::SCRATCH`].
+    pub fn index_word(&mut self, rd: IntReg, base_reg: IntReg, index_reg: IntReg) {
+        self.alu_imm(crate::instr::AluOp::Sll, Self::SCRATCH, index_reg, 3);
+        self.add(rd, base_reg, Self::SCRATCH);
+    }
+
+    /// Computes `rd = base_reg + (row_reg * cols + col_reg) * 8` for a
+    /// row-major 2-D word array with an immediate column count.
+    /// Clobbers [`Assembler::SCRATCH`].
+    pub fn index_2d(
+        &mut self,
+        rd: IntReg,
+        base_reg: IntReg,
+        row_reg: IntReg,
+        cols: i64,
+        col_reg: IntReg,
+    ) {
+        self.muli(Self::SCRATCH, row_reg, cols);
+        self.add(Self::SCRATCH, Self::SCRATCH, col_reg);
+        self.alu_imm(crate::instr::AluOp::Sll, Self::SCRATCH, Self::SCRATCH, 3);
+        self.add(rd, base_reg, Self::SCRATCH);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{FlatMemory, Machine};
+
+    fn run(b: Assembler) -> Machine {
+        let p = b.assemble().unwrap();
+        let mut mem = FlatMemory::new(1024);
+        let mut m = Machine::new();
+        m.run(&p, &mut mem, 1_000_000).unwrap();
+        m
+    }
+
+    #[test]
+    fn for_range_sums() {
+        let mut b = Assembler::new();
+        b.li(IntReg::T1, 0);
+        b.for_range(IntReg::T0, 0, 10, |b| {
+            b.add(IntReg::T1, IntReg::T1, IntReg::T0);
+        });
+        b.halt();
+        assert_eq!(run(b).ireg(IntReg::T1), 45);
+    }
+
+    #[test]
+    fn for_range_zero_iterations() {
+        let mut b = Assembler::new();
+        b.li(IntReg::T1, 7);
+        b.for_range(IntReg::T0, 5, 5, |b| {
+            b.li(IntReg::T1, 0);
+        });
+        b.halt();
+        assert_eq!(run(b).ireg(IntReg::T1), 7);
+    }
+
+    #[test]
+    fn for_to_uses_register_bound() {
+        let mut b = Assembler::new();
+        b.li(IntReg::T2, 4);
+        b.li(IntReg::T1, 0);
+        b.for_to(IntReg::T0, 1, IntReg::T2, |b| {
+            b.add(IntReg::T1, IntReg::T1, IntReg::T0);
+        });
+        b.halt();
+        assert_eq!(run(b).ireg(IntReg::T1), 1 + 2 + 3);
+    }
+
+    #[test]
+    fn for_step_strides() {
+        let mut b = Assembler::new();
+        b.li(IntReg::T2, 10);
+        b.li(IntReg::T3, 0);
+        b.li(IntReg::T1, 0);
+        b.for_step(IntReg::T0, IntReg::T3, IntReg::T2, 3, |b| {
+            b.addi(IntReg::T1, IntReg::T1, 1);
+        });
+        b.halt();
+        // 0, 3, 6, 9 -> 4 iterations
+        assert_eq!(run(b).ireg(IntReg::T1), 4);
+    }
+
+    #[test]
+    fn while_loop_counts_down() {
+        let mut b = Assembler::new();
+        b.li(IntReg::T0, 5);
+        b.li(IntReg::T1, 0);
+        b.while_loop(BranchCond::Gt, IntReg::T0, IntReg::ZERO, |b| {
+            b.addi(IntReg::T0, IntReg::T0, -1);
+            b.addi(IntReg::T1, IntReg::T1, 1);
+        });
+        b.halt();
+        let m = run(b);
+        assert_eq!(m.ireg(IntReg::T0), 0);
+        assert_eq!(m.ireg(IntReg::T1), 5);
+    }
+
+    #[test]
+    fn if_then_else_both_arms() {
+        for (value, expect) in [(1i64, 10i64), (-1, 20)] {
+            let mut b = Assembler::new();
+            b.li(IntReg::T0, value);
+            b.if_then_else(
+                BranchCond::Gt,
+                IntReg::T0,
+                IntReg::ZERO,
+                |b| b.li(IntReg::T1, 10),
+                |b| b.li(IntReg::T1, 20),
+            );
+            b.halt();
+            assert_eq!(run(b).ireg(IntReg::T1), expect, "value {value}");
+        }
+    }
+
+    #[test]
+    fn index_helpers_compute_addresses() {
+        let mut b = Assembler::new();
+        b.li(IntReg::G0, 512);
+        b.li(IntReg::T0, 3);
+        b.index_word(IntReg::T1, IntReg::G0, IntReg::T0);
+        b.li(IntReg::T2, 2); // row
+        b.li(IntReg::T3, 5); // col
+        b.index_2d(IntReg::T4, IntReg::G0, IntReg::T2, 8, IntReg::T3);
+        b.halt();
+        let m = run(b);
+        assert_eq!(m.ireg(IntReg::T1), 512 + 3 * 8);
+        assert_eq!(m.ireg(IntReg::T4), 512 + (2 * 8 + 5) * 8);
+    }
+}

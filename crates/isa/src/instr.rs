@@ -1,0 +1,773 @@
+//! SRISC instruction definitions.
+//!
+//! Instructions are held fully decoded — the simulators never need an
+//! encoded binary form, so there is none. Each variant corresponds to
+//! one instruction class of the paper's processor model: single-cycle
+//! integer/floating-point operations, loads and stores handled by the
+//! load/store unit, branches resolved by the branch unit, and the
+//! ANL-macro-style synchronization primitives (classified as *acquire*
+//! or *release* operations for the consistency models).
+
+use crate::reg::{FpReg, IntReg};
+use std::fmt;
+
+/// Size in bytes of an SRISC memory word. All loads and stores move one
+/// aligned 8-byte word; a 16-byte cache line therefore holds two words.
+pub const WORD_BYTES: u64 = 8;
+
+/// Integer ALU operations (all single-cycle in the paper's model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    /// Signed division; division by zero yields 0 (the simulators never
+    /// trap).
+    Div,
+    /// Signed remainder; remainder by zero yields the dividend.
+    Rem,
+    And,
+    Or,
+    Xor,
+    /// Shift left logical (shift amount taken modulo 64).
+    Sll,
+    /// Shift right logical (shift amount taken modulo 64).
+    Srl,
+    /// Shift right arithmetic (shift amount taken modulo 64).
+    Sra,
+    /// Set-less-than, signed: `rd = (rs1 < rs2) as i64`.
+    Slt,
+    /// Set-less-than, unsigned comparison of the raw bits.
+    Sltu,
+}
+
+/// Floating-point ALU operations (single-cycle, per the paper's
+/// assumption that all functional units except load/store take one
+/// cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpuOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// `fd = -fs1` (`fs2` ignored).
+    Neg,
+    /// `fd = |fs1|` (`fs2` ignored).
+    Abs,
+    /// `fd = max(fs1, fs2)`.
+    Max,
+    /// `fd = min(fs1, fs2)`.
+    Min,
+    /// `fd = sqrt(fs1)` (`fs2` ignored).
+    Sqrt,
+}
+
+/// Floating-point comparisons, producing 0/1 in an integer register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpCmpOp {
+    Eq,
+    Lt,
+    Le,
+}
+
+/// Conditions for conditional branches, comparing two integer registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Le,
+    Gt,
+}
+
+impl BranchCond {
+    /// Evaluates the condition on two signed operands.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => a < b,
+            BranchCond::Ge => a >= b,
+            BranchCond::Le => a <= b,
+            BranchCond::Gt => a > b,
+        }
+    }
+
+    /// The condition that is true exactly when `self` is false.
+    pub fn negate(self) -> BranchCond {
+        match self {
+            BranchCond::Eq => BranchCond::Ne,
+            BranchCond::Ne => BranchCond::Eq,
+            BranchCond::Lt => BranchCond::Ge,
+            BranchCond::Ge => BranchCond::Lt,
+            BranchCond::Le => BranchCond::Gt,
+            BranchCond::Gt => BranchCond::Le,
+        }
+    }
+}
+
+/// The kind of a synchronization instruction.
+///
+/// The paper's applications synchronize through the Argonne National
+/// Laboratory macro package: locks, barriers, and producer/consumer
+/// events. Release consistency classifies each as an *acquire* (gains
+/// permission: lock, wait-event, leaving a barrier) or a *release*
+/// (gives permission: unlock, set-event, arriving at a barrier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncKind {
+    /// Acquire a lock; the lock variable lives at a shared address.
+    Lock,
+    /// Release a lock.
+    Unlock,
+    /// Global barrier across all processors.
+    Barrier,
+    /// Block until the event word at the address becomes non-zero.
+    WaitEvent,
+    /// Set the event word at the address to one, waking waiters.
+    SetEvent,
+}
+
+impl SyncKind {
+    /// Whether the operation is an acquire in the release-consistency
+    /// classification. A barrier acts as both: arrival is a release,
+    /// departure an acquire; we classify it as an acquire because the
+    /// processor *stalls* on the acquire half.
+    pub fn is_acquire(self) -> bool {
+        matches!(
+            self,
+            SyncKind::Lock | SyncKind::WaitEvent | SyncKind::Barrier
+        )
+    }
+
+    /// Whether the operation is a release in the release-consistency
+    /// classification. Barriers are releases as well as acquires.
+    pub fn is_release(self) -> bool {
+        matches!(
+            self,
+            SyncKind::Unlock | SyncKind::SetEvent | SyncKind::Barrier
+        )
+    }
+}
+
+/// A fully decoded SRISC instruction.
+///
+/// Branch and jump targets are instruction indices into the containing
+/// [`Program`](crate::program::Program) (the PC advances by one per
+/// instruction, not by a byte size).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instruction {
+    /// Three-register integer ALU operation: `rd = rs1 op rs2`.
+    Alu {
+        op: AluOp,
+        rd: IntReg,
+        rs1: IntReg,
+        rs2: IntReg,
+    },
+    /// Register-immediate integer ALU operation: `rd = rs1 op imm`.
+    AluImm {
+        op: AluOp,
+        rd: IntReg,
+        rs1: IntReg,
+        imm: i64,
+    },
+    /// Load immediate: `rd = imm`.
+    LoadImm { rd: IntReg, imm: i64 },
+    /// Load floating-point immediate: `fd = value`.
+    LoadImmF { fd: FpReg, value: f64 },
+    /// Three-register floating-point operation: `fd = fs1 op fs2`.
+    Fpu {
+        op: FpuOp,
+        fd: FpReg,
+        fs1: FpReg,
+        fs2: FpReg,
+    },
+    /// Floating-point compare into an integer register: `rd = (fs1 op fs2)`.
+    FpCmp {
+        op: FpCmpOp,
+        rd: IntReg,
+        fs1: FpReg,
+        fs2: FpReg,
+    },
+    /// Convert integer to double: `fd = rs as f64`.
+    IntToFp { fd: FpReg, rs: IntReg },
+    /// Convert double to integer (truncating): `rd = fs as i64`.
+    FpToInt { rd: IntReg, fs: FpReg },
+    /// Integer load: `rd = mem[rs1 + offset]` (8-byte word).
+    Load {
+        rd: IntReg,
+        base: IntReg,
+        offset: i64,
+    },
+    /// Integer store: `mem[rs1 + offset] = rs`.
+    Store {
+        rs: IntReg,
+        base: IntReg,
+        offset: i64,
+    },
+    /// Floating-point load: `fd = mem[rs1 + offset]`.
+    LoadF {
+        fd: FpReg,
+        base: IntReg,
+        offset: i64,
+    },
+    /// Floating-point store: `mem[rs1 + offset] = fs`.
+    StoreF {
+        fs: FpReg,
+        base: IntReg,
+        offset: i64,
+    },
+    /// Conditional branch to an instruction index.
+    Branch {
+        cond: BranchCond,
+        rs1: IntReg,
+        rs2: IntReg,
+        target: usize,
+    },
+    /// Unconditional jump to an instruction index.
+    Jump { target: usize },
+    /// Jump and link: `rd = pc + 1; pc = target`.
+    JumpAndLink { rd: IntReg, target: usize },
+    /// Indirect jump: `pc = rs` (used for returns).
+    JumpReg { rs: IntReg },
+    /// Synchronization operation on the shared word at `base + offset`.
+    /// Barriers ignore the address operand's value but it is kept for
+    /// uniformity (each static barrier site uses a distinct address).
+    Sync {
+        kind: SyncKind,
+        base: IntReg,
+        offset: i64,
+    },
+    /// No operation.
+    Nop,
+    /// Stop this processor.
+    Halt,
+}
+
+/// Coarse classification of an instruction, as used by the timing
+/// models to route the instruction to a functional unit and by the
+/// trace statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Integer ALU (including immediate forms, moves, conversions).
+    IntAlu,
+    /// Floating-point ALU.
+    FpAlu,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump / jump-and-link / indirect jump.
+    Jump,
+    /// Synchronization primitive.
+    Sync(SyncKind),
+    /// Nop or halt.
+    Other,
+}
+
+impl Instruction {
+    /// The coarse class of this instruction.
+    pub fn class(&self) -> OpClass {
+        match self {
+            Instruction::Alu { .. } | Instruction::AluImm { .. } | Instruction::LoadImm { .. } => {
+                OpClass::IntAlu
+            }
+            Instruction::FpToInt { .. } | Instruction::FpCmp { .. } => OpClass::IntAlu,
+            Instruction::Fpu { .. } | Instruction::LoadImmF { .. } | Instruction::IntToFp { .. } => {
+                OpClass::FpAlu
+            }
+            Instruction::Load { .. } | Instruction::LoadF { .. } => OpClass::Load,
+            Instruction::Store { .. } | Instruction::StoreF { .. } => OpClass::Store,
+            Instruction::Branch { .. } => OpClass::Branch,
+            Instruction::Jump { .. }
+            | Instruction::JumpAndLink { .. }
+            | Instruction::JumpReg { .. } => OpClass::Jump,
+            Instruction::Sync { kind, .. } => OpClass::Sync(*kind),
+            Instruction::Nop | Instruction::Halt => OpClass::Other,
+        }
+    }
+
+    /// Whether this instruction reads or writes memory (loads, stores,
+    /// and synchronization operations, which all touch a shared word).
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self.class(),
+            OpClass::Load | OpClass::Store | OpClass::Sync(_)
+        )
+    }
+
+    /// Whether this instruction can redirect control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(self.class(), OpClass::Branch | OpClass::Jump)
+    }
+
+    /// Integer source registers read by this instruction, in a fixed
+    /// small buffer (at most two). The hard-wired zero register is
+    /// still reported; dependence tracking may ignore it.
+    pub fn int_sources(&self) -> SourceRegs {
+        let mut s = SourceRegs::default();
+        match *self {
+            Instruction::Alu { rs1, rs2, .. } => {
+                s.push(rs1);
+                s.push(rs2);
+            }
+            Instruction::AluImm { rs1, .. } => s.push(rs1),
+            Instruction::IntToFp { rs, .. } => s.push(rs),
+            Instruction::Load { base, .. } | Instruction::LoadF { base, .. } => s.push(base),
+            Instruction::Store { rs, base, .. } => {
+                s.push(rs);
+                s.push(base);
+            }
+            Instruction::StoreF { base, .. } => s.push(base),
+            Instruction::Branch { rs1, rs2, .. } => {
+                s.push(rs1);
+                s.push(rs2);
+            }
+            Instruction::JumpReg { rs } => s.push(rs),
+            Instruction::Sync { base, .. } => s.push(base),
+            _ => {}
+        }
+        s
+    }
+
+    /// Floating-point source registers read by this instruction.
+    pub fn fp_sources(&self) -> SourceFpRegs {
+        let mut s = SourceFpRegs::default();
+        match *self {
+            Instruction::Fpu { op, fs1, fs2, .. } => {
+                s.push(fs1);
+                if !matches!(op, FpuOp::Neg | FpuOp::Abs | FpuOp::Sqrt) {
+                    s.push(fs2);
+                }
+            }
+            Instruction::FpCmp { fs1, fs2, .. } => {
+                s.push(fs1);
+                s.push(fs2);
+            }
+            Instruction::FpToInt { fs, .. } => s.push(fs),
+            Instruction::StoreF { fs, .. } => s.push(fs),
+            _ => {}
+        }
+        s
+    }
+
+    /// The integer destination register written by this instruction, if
+    /// any. Writes to the zero register are reported as `None` (they
+    /// have no architectural effect and create no dependence).
+    pub fn int_dest(&self) -> Option<IntReg> {
+        let rd = match *self {
+            Instruction::Alu { rd, .. }
+            | Instruction::AluImm { rd, .. }
+            | Instruction::LoadImm { rd, .. }
+            | Instruction::FpCmp { rd, .. }
+            | Instruction::FpToInt { rd, .. }
+            | Instruction::Load { rd, .. }
+            | Instruction::JumpAndLink { rd, .. } => rd,
+            _ => return None,
+        };
+        if rd.is_zero() {
+            None
+        } else {
+            Some(rd)
+        }
+    }
+
+    /// The floating-point destination register written by this
+    /// instruction, if any.
+    pub fn fp_dest(&self) -> Option<FpReg> {
+        match *self {
+            Instruction::Fpu { fd, .. }
+            | Instruction::LoadImmF { fd, .. }
+            | Instruction::IntToFp { fd, .. }
+            | Instruction::LoadF { fd, .. } => Some(fd),
+            _ => None,
+        }
+    }
+}
+
+impl Instruction {
+    /// Rewrites the instruction's register operands through separate
+    /// source and destination maps (needed by register renaming, where
+    /// an instruction like `add r1, r1, r2` reads the *old* value of
+    /// `r1` but defines a new one). Branch/jump targets, immediates and
+    /// opcodes are untouched.
+    pub fn map_registers(
+        self,
+        mut src_int: impl FnMut(IntReg) -> IntReg,
+        mut dst_int: impl FnMut(IntReg) -> IntReg,
+        mut src_fp: impl FnMut(FpReg) -> FpReg,
+        mut dst_fp: impl FnMut(FpReg) -> FpReg,
+    ) -> Instruction {
+        match self {
+            Instruction::Alu { op, rd, rs1, rs2 } => Instruction::Alu {
+                op,
+                rd: dst_int(rd),
+                rs1: src_int(rs1),
+                rs2: src_int(rs2),
+            },
+            Instruction::AluImm { op, rd, rs1, imm } => Instruction::AluImm {
+                op,
+                rd: dst_int(rd),
+                rs1: src_int(rs1),
+                imm,
+            },
+            Instruction::LoadImm { rd, imm } => Instruction::LoadImm {
+                rd: dst_int(rd),
+                imm,
+            },
+            Instruction::LoadImmF { fd, value } => Instruction::LoadImmF {
+                fd: dst_fp(fd),
+                value,
+            },
+            Instruction::Fpu { op, fd, fs1, fs2 } => Instruction::Fpu {
+                op,
+                fd: dst_fp(fd),
+                fs1: src_fp(fs1),
+                fs2: src_fp(fs2),
+            },
+            Instruction::FpCmp { op, rd, fs1, fs2 } => Instruction::FpCmp {
+                op,
+                rd: dst_int(rd),
+                fs1: src_fp(fs1),
+                fs2: src_fp(fs2),
+            },
+            Instruction::IntToFp { fd, rs } => Instruction::IntToFp {
+                fd: dst_fp(fd),
+                rs: src_int(rs),
+            },
+            Instruction::FpToInt { rd, fs } => Instruction::FpToInt {
+                rd: dst_int(rd),
+                fs: src_fp(fs),
+            },
+            Instruction::Load { rd, base, offset } => Instruction::Load {
+                rd: dst_int(rd),
+                base: src_int(base),
+                offset,
+            },
+            Instruction::Store { rs, base, offset } => Instruction::Store {
+                rs: src_int(rs),
+                base: src_int(base),
+                offset,
+            },
+            Instruction::LoadF { fd, base, offset } => Instruction::LoadF {
+                fd: dst_fp(fd),
+                base: src_int(base),
+                offset,
+            },
+            Instruction::StoreF { fs, base, offset } => Instruction::StoreF {
+                fs: src_fp(fs),
+                base: src_int(base),
+                offset,
+            },
+            Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => Instruction::Branch {
+                cond,
+                rs1: src_int(rs1),
+                rs2: src_int(rs2),
+                target,
+            },
+            Instruction::JumpAndLink { rd, target } => Instruction::JumpAndLink {
+                rd: dst_int(rd),
+                target,
+            },
+            Instruction::JumpReg { rs } => Instruction::JumpReg { rs: src_int(rs) },
+            Instruction::Sync { kind, base, offset } => Instruction::Sync {
+                kind,
+                base: src_int(base),
+                offset,
+            },
+            other @ (Instruction::Jump { .. } | Instruction::Nop | Instruction::Halt) => other,
+        }
+    }
+}
+
+/// Fixed-capacity list of integer source registers (at most two).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceRegs {
+    regs: [Option<IntReg>; 2],
+}
+
+impl SourceRegs {
+    fn push(&mut self, r: IntReg) {
+        for slot in &mut self.regs {
+            if slot.is_none() {
+                *slot = Some(r);
+                return;
+            }
+        }
+        unreachable!("more than two integer sources");
+    }
+
+    /// Iterates over the source registers.
+    pub fn iter(&self) -> impl Iterator<Item = IntReg> + '_ {
+        self.regs.iter().flatten().copied()
+    }
+
+    /// Number of source registers.
+    pub fn len(&self) -> usize {
+        self.regs.iter().flatten().count()
+    }
+
+    /// Whether there are no source registers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Fixed-capacity list of floating-point source registers (at most two).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceFpRegs {
+    regs: [Option<FpReg>; 2],
+}
+
+impl SourceFpRegs {
+    fn push(&mut self, r: FpReg) {
+        for slot in &mut self.regs {
+            if slot.is_none() {
+                *slot = Some(r);
+                return;
+            }
+        }
+        unreachable!("more than two fp sources");
+    }
+
+    /// Iterates over the source registers.
+    pub fn iter(&self) -> impl Iterator<Item = FpReg> + '_ {
+        self.regs.iter().flatten().copied()
+    }
+
+    /// Number of source registers.
+    pub fn len(&self) -> usize {
+        self.regs.iter().flatten().count()
+    }
+
+    /// Whether there are no source registers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", alu_name(*op))
+            }
+            Instruction::AluImm { op, rd, rs1, imm } => {
+                write!(f, "{}i {rd}, {rs1}, {imm}", alu_name(*op))
+            }
+            Instruction::LoadImm { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Instruction::LoadImmF { fd, value } => write!(f, "lif {fd}, {value}"),
+            Instruction::Fpu { op, fd, fs1, fs2 } => {
+                write!(f, "f{} {fd}, {fs1}, {fs2}", fpu_name(*op))
+            }
+            Instruction::FpCmp { op, rd, fs1, fs2 } => {
+                let n = match op {
+                    FpCmpOp::Eq => "eq",
+                    FpCmpOp::Lt => "lt",
+                    FpCmpOp::Le => "le",
+                };
+                write!(f, "fcmp.{n} {rd}, {fs1}, {fs2}")
+            }
+            Instruction::IntToFp { fd, rs } => write!(f, "cvt.d.l {fd}, {rs}"),
+            Instruction::FpToInt { rd, fs } => write!(f, "cvt.l.d {rd}, {fs}"),
+            Instruction::Load { rd, base, offset } => write!(f, "ld {rd}, {offset}({base})"),
+            Instruction::Store { rs, base, offset } => write!(f, "sd {rs}, {offset}({base})"),
+            Instruction::LoadF { fd, base, offset } => write!(f, "fld {fd}, {offset}({base})"),
+            Instruction::StoreF { fs, base, offset } => write!(f, "fsd {fs}, {offset}({base})"),
+            Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let n = match cond {
+                    BranchCond::Eq => "beq",
+                    BranchCond::Ne => "bne",
+                    BranchCond::Lt => "blt",
+                    BranchCond::Ge => "bge",
+                    BranchCond::Le => "ble",
+                    BranchCond::Gt => "bgt",
+                };
+                write!(f, "{n} {rs1}, {rs2}, @{target}")
+            }
+            Instruction::Jump { target } => write!(f, "j @{target}"),
+            Instruction::JumpAndLink { rd, target } => write!(f, "jal {rd}, @{target}"),
+            Instruction::JumpReg { rs } => write!(f, "jr {rs}"),
+            Instruction::Sync { kind, base, offset } => {
+                let n = match kind {
+                    SyncKind::Lock => "lock",
+                    SyncKind::Unlock => "unlock",
+                    SyncKind::Barrier => "barrier",
+                    SyncKind::WaitEvent => "waitev",
+                    SyncKind::SetEvent => "setev",
+                };
+                write!(f, "{n} {offset}({base})")
+            }
+            Instruction::Nop => write!(f, "nop"),
+            Instruction::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::Rem => "rem",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Sll => "sll",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+    }
+}
+
+fn fpu_name(op: FpuOp) -> &'static str {
+    match op {
+        FpuOp::Add => "add",
+        FpuOp::Sub => "sub",
+        FpuOp::Mul => "mul",
+        FpuOp::Div => "div",
+        FpuOp::Neg => "neg",
+        FpuOp::Abs => "abs",
+        FpuOp::Max => "max",
+        FpuOp::Min => "min",
+        FpuOp::Sqrt => "sqrt",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_cond_eval_and_negate() {
+        for (cond, a, b, expect) in [
+            (BranchCond::Eq, 1, 1, true),
+            (BranchCond::Ne, 1, 1, false),
+            (BranchCond::Lt, -2, 1, true),
+            (BranchCond::Ge, -2, 1, false),
+            (BranchCond::Le, 3, 3, true),
+            (BranchCond::Gt, 3, 3, false),
+        ] {
+            assert_eq!(cond.eval(a, b), expect, "{cond:?} {a} {b}");
+            assert_eq!(cond.negate().eval(a, b), !expect, "negated {cond:?}");
+        }
+    }
+
+    #[test]
+    fn sync_kind_classification() {
+        assert!(SyncKind::Lock.is_acquire());
+        assert!(!SyncKind::Lock.is_release());
+        assert!(SyncKind::Unlock.is_release());
+        assert!(!SyncKind::Unlock.is_acquire());
+        assert!(SyncKind::Barrier.is_acquire());
+        assert!(SyncKind::Barrier.is_release());
+        assert!(SyncKind::WaitEvent.is_acquire());
+        assert!(SyncKind::SetEvent.is_release());
+    }
+
+    #[test]
+    fn class_of_each_variant() {
+        let ld = Instruction::Load {
+            rd: IntReg::T0,
+            base: IntReg::G0,
+            offset: 8,
+        };
+        assert_eq!(ld.class(), OpClass::Load);
+        assert!(ld.is_memory());
+        assert!(!ld.is_control());
+
+        let br = Instruction::Branch {
+            cond: BranchCond::Eq,
+            rs1: IntReg::T0,
+            rs2: IntReg::ZERO,
+            target: 0,
+        };
+        assert_eq!(br.class(), OpClass::Branch);
+        assert!(br.is_control());
+        assert!(!br.is_memory());
+
+        let sync = Instruction::Sync {
+            kind: SyncKind::Lock,
+            base: IntReg::G1,
+            offset: 0,
+        };
+        assert_eq!(sync.class(), OpClass::Sync(SyncKind::Lock));
+        assert!(sync.is_memory());
+    }
+
+    #[test]
+    fn dest_of_zero_register_write_is_none() {
+        let i = Instruction::AluImm {
+            op: AluOp::Add,
+            rd: IntReg::ZERO,
+            rs1: IntReg::T0,
+            imm: 1,
+        };
+        assert_eq!(i.int_dest(), None);
+    }
+
+    #[test]
+    fn sources_of_store() {
+        let st = Instruction::Store {
+            rs: IntReg::T1,
+            base: IntReg::G0,
+            offset: 0,
+        };
+        let srcs: Vec<_> = st.int_sources().iter().collect();
+        assert_eq!(srcs, vec![IntReg::T1, IntReg::G0]);
+        assert_eq!(st.int_dest(), None);
+    }
+
+    #[test]
+    fn unary_fpu_has_single_fp_source() {
+        let neg = Instruction::Fpu {
+            op: FpuOp::Neg,
+            fd: FpReg::F1,
+            fs1: FpReg::F2,
+            fs2: FpReg::F0,
+        };
+        assert_eq!(neg.fp_sources().len(), 1);
+        let add = Instruction::Fpu {
+            op: FpuOp::Add,
+            fd: FpReg::F1,
+            fs1: FpReg::F2,
+            fs2: FpReg::F3,
+        };
+        assert_eq!(add.fp_sources().len(), 2);
+    }
+
+    #[test]
+    fn display_round_trip_spot_checks() {
+        let i = Instruction::Load {
+            rd: IntReg::T0,
+            base: IntReg::G0,
+            offset: 16,
+        };
+        assert_eq!(i.to_string(), "ld r5, 16(r25)");
+        assert_eq!(Instruction::Halt.to_string(), "halt");
+        assert_eq!(
+            Instruction::Sync {
+                kind: SyncKind::Barrier,
+                base: IntReg::G5,
+                offset: 0
+            }
+            .to_string(),
+            "barrier 0(r30)"
+        );
+    }
+}

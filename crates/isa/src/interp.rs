@@ -1,0 +1,676 @@
+//! Architectural semantics of SRISC: a functional interpreter.
+//!
+//! The interpreter defines *what* every instruction does. Both timing
+//! simulators (the multiprocessor trace generator and the processor
+//! models) reuse this single implementation so they can never disagree
+//! about architectural state, only about timing.
+//!
+//! The [`Machine`] holds one processor's architectural state (PC and
+//! register files). Memory is behind the [`Memory`] trait so callers
+//! can interpose caches, coherence and instrumentation;
+//! [`FlatMemory`] is the plain backing store used for functional runs.
+//!
+//! Synchronization instructions have single-step semantics designed
+//! for a cooperative scheduler: an acquire that cannot proceed returns
+//! [`InterpError::WouldBlock`] *without advancing the PC*, so the
+//! caller can retry the same instruction later. In single-threaded
+//! functional runs a `WouldBlock` therefore means deadlock.
+
+use crate::instr::{AluOp, FpCmpOp, FpuOp, Instruction, SyncKind, WORD_BYTES};
+use crate::program::Program;
+use crate::reg::{FpReg, IntReg, NUM_FP_REGS, NUM_INT_REGS};
+use std::fmt;
+
+/// Random-access word memory as seen by the interpreter.
+///
+/// Addresses are byte addresses and must be aligned to
+/// [`WORD_BYTES`]; implementations may panic on unaligned or
+/// out-of-range access (the assembler-level workloads never produce
+/// them except through bugs, which should fail loudly).
+pub trait Memory {
+    /// Reads the aligned word at `addr`.
+    fn read(&mut self, addr: u64) -> u64;
+    /// Writes the aligned word at `addr`.
+    fn write(&mut self, addr: u64, value: u64);
+}
+
+/// A plain flat memory of zero-initialized words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatMemory {
+    words: Vec<u64>,
+}
+
+impl FlatMemory {
+    /// Creates a memory of `size_bytes` (rounded up to a whole word),
+    /// zero-filled.
+    pub fn new(size_bytes: u64) -> FlatMemory {
+        let words = size_bytes.div_ceil(WORD_BYTES) as usize;
+        FlatMemory {
+            words: vec![0; words],
+        }
+    }
+
+    /// Creates a memory initialized from a word image (for example a
+    /// [`DataImage`](crate::program::DataImage)), extended with zeroed
+    /// words up to `size_bytes` if larger than the image.
+    pub fn from_image(image: Vec<u64>, size_bytes: u64) -> FlatMemory {
+        let mut words = image;
+        let need = size_bytes.div_ceil(WORD_BYTES) as usize;
+        if need > words.len() {
+            words.resize(need, 0);
+        }
+        FlatMemory { words }
+    }
+
+    /// Size of the memory in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.words.len() as u64 * WORD_BYTES
+    }
+
+    #[inline]
+    fn index(&self, addr: u64) -> usize {
+        assert!(
+            addr % WORD_BYTES == 0,
+            "unaligned memory access at {addr:#x}"
+        );
+        let idx = (addr / WORD_BYTES) as usize;
+        assert!(
+            idx < self.words.len(),
+            "memory access at {addr:#x} beyond size {:#x}",
+            self.size_bytes()
+        );
+        idx
+    }
+
+    /// Reads a word as a double (convenience for checking results).
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.words[self.index(addr)])
+    }
+
+    /// Reads a word as a signed integer (convenience for checking
+    /// results).
+    pub fn read_i64(&self, addr: u64) -> i64 {
+        self.words[self.index(addr)] as i64
+    }
+}
+
+impl Memory for FlatMemory {
+    #[inline]
+    fn read(&mut self, addr: u64) -> u64 {
+        self.words[self.index(addr)]
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u64, value: u64) {
+        let idx = self.index(addr);
+        self.words[idx] = value;
+    }
+}
+
+/// What a single [`Machine::step`] did, for tracing and scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effect {
+    /// An integer or floating-point ALU operation completed.
+    Alu,
+    /// A load read the word at `addr`.
+    Load { addr: u64 },
+    /// A store wrote the word at `addr`.
+    Store { addr: u64 },
+    /// A conditional branch resolved.
+    Branch { taken: bool, target: usize },
+    /// An unconditional jump redirected to `target`.
+    Jump { target: usize },
+    /// A synchronization operation on the word at `addr` completed
+    /// (for barriers the caller still has to hold the processor until
+    /// all participants arrive).
+    Sync { kind: SyncKind, addr: u64 },
+    /// A no-op.
+    Nop,
+    /// The processor halted; further steps return the same effect.
+    Halt,
+}
+
+/// Errors from stepping or running the interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The PC fell off the end of the program without a `halt`.
+    PcOutOfRange { pc: usize, len: usize },
+    /// An acquire-type synchronization operation cannot proceed: the
+    /// lock is held or the event is unset. The PC was not advanced;
+    /// retrying the same step later (after another processor changes
+    /// the word) is the intended recovery.
+    WouldBlock { kind: SyncKind, addr: u64 },
+    /// [`Machine::run`] exceeded its step budget.
+    StepLimit { steps: u64 },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::PcOutOfRange { pc, len } => {
+                write!(f, "pc {pc} outside program of {len} instructions")
+            }
+            InterpError::WouldBlock { kind, addr } => {
+                write!(f, "{kind:?} at {addr:#x} would block")
+            }
+            InterpError::StepLimit { steps } => write!(f, "exceeded step limit of {steps}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// One processor's architectural state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    pc: usize,
+    iregs: [i64; NUM_INT_REGS],
+    fregs: [f64; NUM_FP_REGS],
+    halted: bool,
+}
+
+impl Default for Machine {
+    fn default() -> Machine {
+        Machine::new()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with PC 0 and zeroed registers.
+    pub fn new() -> Machine {
+        Machine {
+            pc: 0,
+            iregs: [0; NUM_INT_REGS],
+            fregs: [0.0; NUM_FP_REGS],
+            halted: false,
+        }
+    }
+
+    /// Current program counter (instruction index).
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Whether the machine has executed `halt`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Reads an integer register (`r0` always reads zero).
+    pub fn ireg(&self, r: IntReg) -> i64 {
+        self.iregs[r.index()]
+    }
+
+    /// Writes an integer register (writes to `r0` are discarded).
+    pub fn set_ireg(&mut self, r: IntReg, value: i64) {
+        if !r.is_zero() {
+            self.iregs[r.index()] = value;
+        }
+    }
+
+    /// Reads a floating-point register.
+    pub fn freg(&self, r: FpReg) -> f64 {
+        self.fregs[r.index()]
+    }
+
+    /// Writes a floating-point register.
+    pub fn set_freg(&mut self, r: FpReg, value: f64) {
+        self.fregs[r.index()] = value;
+    }
+
+    /// The effective address of the next instruction if it is a memory
+    /// or synchronization operation, without executing it.
+    pub fn peek_addr(&self, program: &Program) -> Option<u64> {
+        match program.fetch(self.pc)? {
+            Instruction::Load { base, offset, .. }
+            | Instruction::Store { base, offset, .. }
+            | Instruction::LoadF { base, offset, .. }
+            | Instruction::StoreF { base, offset, .. }
+            | Instruction::Sync { base, offset, .. } => {
+                Some(self.effective_addr(*base, *offset))
+            }
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn effective_addr(&self, base: IntReg, offset: i64) -> u64 {
+        (self.ireg(base) + offset) as u64
+    }
+
+    /// Executes exactly one instruction.
+    ///
+    /// On success the PC has advanced (or been redirected) and the
+    /// returned [`Effect`] describes what happened. A halted machine
+    /// returns [`Effect::Halt`] forever.
+    ///
+    /// # Errors
+    ///
+    /// * [`InterpError::PcOutOfRange`] if the PC is past the program end.
+    /// * [`InterpError::WouldBlock`] if an acquire cannot proceed; the
+    ///   PC is left on the blocking instruction.
+    pub fn step(&mut self, program: &Program, mem: &mut impl Memory) -> Result<Effect, InterpError> {
+        if self.halted {
+            return Ok(Effect::Halt);
+        }
+        let instr = *program.fetch(self.pc).ok_or(InterpError::PcOutOfRange {
+            pc: self.pc,
+            len: program.len(),
+        })?;
+        let mut next_pc = self.pc + 1;
+        let effect = match instr {
+            Instruction::Alu { op, rd, rs1, rs2 } => {
+                let v = eval_alu(op, self.ireg(rs1), self.ireg(rs2));
+                self.set_ireg(rd, v);
+                Effect::Alu
+            }
+            Instruction::AluImm { op, rd, rs1, imm } => {
+                let v = eval_alu(op, self.ireg(rs1), imm);
+                self.set_ireg(rd, v);
+                Effect::Alu
+            }
+            Instruction::LoadImm { rd, imm } => {
+                self.set_ireg(rd, imm);
+                Effect::Alu
+            }
+            Instruction::LoadImmF { fd, value } => {
+                self.set_freg(fd, value);
+                Effect::Alu
+            }
+            Instruction::Fpu { op, fd, fs1, fs2 } => {
+                let v = eval_fpu(op, self.freg(fs1), self.freg(fs2));
+                self.set_freg(fd, v);
+                Effect::Alu
+            }
+            Instruction::FpCmp { op, rd, fs1, fs2 } => {
+                let (a, b) = (self.freg(fs1), self.freg(fs2));
+                let v = match op {
+                    FpCmpOp::Eq => a == b,
+                    FpCmpOp::Lt => a < b,
+                    FpCmpOp::Le => a <= b,
+                };
+                self.set_ireg(rd, v as i64);
+                Effect::Alu
+            }
+            Instruction::IntToFp { fd, rs } => {
+                self.set_freg(fd, self.ireg(rs) as f64);
+                Effect::Alu
+            }
+            Instruction::FpToInt { rd, fs } => {
+                self.set_ireg(rd, self.freg(fs) as i64);
+                Effect::Alu
+            }
+            Instruction::Load { rd, base, offset } => {
+                let addr = self.effective_addr(base, offset);
+                let v = mem.read(addr) as i64;
+                self.set_ireg(rd, v);
+                Effect::Load { addr }
+            }
+            Instruction::Store { rs, base, offset } => {
+                let addr = self.effective_addr(base, offset);
+                mem.write(addr, self.ireg(rs) as u64);
+                Effect::Store { addr }
+            }
+            Instruction::LoadF { fd, base, offset } => {
+                let addr = self.effective_addr(base, offset);
+                let v = f64::from_bits(mem.read(addr));
+                self.set_freg(fd, v);
+                Effect::Load { addr }
+            }
+            Instruction::StoreF { fs, base, offset } => {
+                let addr = self.effective_addr(base, offset);
+                mem.write(addr, self.freg(fs).to_bits());
+                Effect::Store { addr }
+            }
+            Instruction::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let taken = cond.eval(self.ireg(rs1), self.ireg(rs2));
+                if taken {
+                    next_pc = target;
+                }
+                Effect::Branch { taken, target }
+            }
+            Instruction::Jump { target } => {
+                next_pc = target;
+                Effect::Jump { target }
+            }
+            Instruction::JumpAndLink { rd, target } => {
+                self.set_ireg(rd, (self.pc + 1) as i64);
+                next_pc = target;
+                Effect::Jump { target }
+            }
+            Instruction::JumpReg { rs } => {
+                next_pc = self.ireg(rs) as usize;
+                Effect::Jump { target: next_pc }
+            }
+            Instruction::Sync { kind, base, offset } => {
+                let addr = self.effective_addr(base, offset);
+                match kind {
+                    SyncKind::Lock => {
+                        if mem.read(addr) != 0 {
+                            return Err(InterpError::WouldBlock { kind, addr });
+                        }
+                        mem.write(addr, 1);
+                    }
+                    SyncKind::Unlock => mem.write(addr, 0),
+                    SyncKind::WaitEvent => {
+                        if mem.read(addr) == 0 {
+                            return Err(InterpError::WouldBlock { kind, addr });
+                        }
+                    }
+                    SyncKind::SetEvent => mem.write(addr, 1),
+                    // Barrier coordination is the scheduler's job; the
+                    // architectural effect is nothing.
+                    SyncKind::Barrier => {}
+                }
+                Effect::Sync { kind, addr }
+            }
+            Instruction::Nop => Effect::Nop,
+            Instruction::Halt => {
+                self.halted = true;
+                return Ok(Effect::Halt);
+            }
+        };
+        self.pc = next_pc;
+        Ok(effect)
+    }
+
+    /// Runs until `halt` or until `max_steps` instructions have
+    /// executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Machine::step`] errors and returns
+    /// [`InterpError::StepLimit`] if the budget is exhausted. A
+    /// `WouldBlock` from a single-threaded run indicates deadlock.
+    pub fn run(
+        &mut self,
+        program: &Program,
+        mem: &mut impl Memory,
+        max_steps: u64,
+    ) -> Result<u64, InterpError> {
+        let mut steps = 0;
+        while !self.halted {
+            if steps >= max_steps {
+                return Err(InterpError::StepLimit { steps });
+            }
+            self.step(program, mem)?;
+            steps += 1;
+        }
+        Ok(steps)
+    }
+}
+
+/// Evaluates an integer ALU operation. Division and remainder by zero
+/// produce 0 and the dividend respectively; all arithmetic wraps.
+#[inline]
+pub fn eval_alu(op: AluOp, a: i64, b: i64) -> i64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => ((a as u64) << (b as u64 & 63)) as i64,
+        AluOp::Srl => ((a as u64) >> (b as u64 & 63)) as i64,
+        AluOp::Sra => a >> (b as u64 & 63),
+        AluOp::Slt => (a < b) as i64,
+        AluOp::Sltu => ((a as u64) < (b as u64)) as i64,
+    }
+}
+
+/// Evaluates a floating-point ALU operation.
+#[inline]
+pub fn eval_fpu(op: FpuOp, a: f64, b: f64) -> f64 {
+    match op {
+        FpuOp::Add => a + b,
+        FpuOp::Sub => a - b,
+        FpuOp::Mul => a * b,
+        FpuOp::Div => a / b,
+        FpuOp::Neg => -a,
+        FpuOp::Abs => a.abs(),
+        FpuOp::Max => a.max(b),
+        FpuOp::Min => a.min(b),
+        FpuOp::Sqrt => a.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::instr::BranchCond;
+
+    fn exec(build: impl FnOnce(&mut Assembler)) -> (Machine, FlatMemory) {
+        let mut a = Assembler::new();
+        build(&mut a);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut mem = FlatMemory::new(4096);
+        let mut m = Machine::new();
+        m.run(&p, &mut mem, 100_000).unwrap();
+        (m, mem)
+    }
+
+    #[test]
+    fn alu_arithmetic() {
+        let (m, _) = exec(|a| {
+            a.li(IntReg::T0, 7);
+            a.li(IntReg::T1, 3);
+            a.alu(AluOp::Add, IntReg::T2, IntReg::T0, IntReg::T1);
+            a.alu(AluOp::Sub, IntReg::T3, IntReg::T0, IntReg::T1);
+            a.alu(AluOp::Mul, IntReg::T4, IntReg::T0, IntReg::T1);
+            a.alu(AluOp::Div, IntReg::T5, IntReg::T0, IntReg::T1);
+            a.alu(AluOp::Rem, IntReg::T6, IntReg::T0, IntReg::T1);
+        });
+        assert_eq!(m.ireg(IntReg::T2), 10);
+        assert_eq!(m.ireg(IntReg::T3), 4);
+        assert_eq!(m.ireg(IntReg::T4), 21);
+        assert_eq!(m.ireg(IntReg::T5), 2);
+        assert_eq!(m.ireg(IntReg::T6), 1);
+    }
+
+    #[test]
+    fn division_by_zero_is_defined() {
+        assert_eq!(eval_alu(AluOp::Div, 5, 0), 0);
+        assert_eq!(eval_alu(AluOp::Rem, 5, 0), 5);
+        assert_eq!(eval_alu(AluOp::Div, i64::MIN, -1), i64::MIN.wrapping_div(-1));
+    }
+
+    #[test]
+    fn shifts_mask_amounts() {
+        assert_eq!(eval_alu(AluOp::Sll, 1, 64), 1);
+        assert_eq!(eval_alu(AluOp::Srl, -1, 63), 1);
+        assert_eq!(eval_alu(AluOp::Sra, -8, 2), -2);
+    }
+
+    #[test]
+    fn zero_register_ignores_writes() {
+        let (m, _) = exec(|a| {
+            a.li(IntReg::ZERO, 42);
+            a.addi(IntReg::T0, IntReg::ZERO, 1);
+        });
+        assert_eq!(m.ireg(IntReg::ZERO), 0);
+        assert_eq!(m.ireg(IntReg::T0), 1);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let (m, mem) = exec(|a| {
+            a.li(IntReg::G0, 256);
+            a.li(IntReg::T0, -99);
+            a.store(IntReg::T0, IntReg::G0, 8);
+            a.load(IntReg::T1, IntReg::G0, 8);
+            a.lif(FpReg::F0, 1.25);
+            a.storef(FpReg::F0, IntReg::G0, 16);
+            a.loadf(FpReg::F1, IntReg::G0, 16);
+        });
+        assert_eq!(m.ireg(IntReg::T1), -99);
+        assert_eq!(m.freg(FpReg::F1), 1.25);
+        assert_eq!(mem.read_i64(264), -99);
+        assert_eq!(mem.read_f64(272), 1.25);
+    }
+
+    #[test]
+    fn fp_ops_and_conversions() {
+        let (m, _) = exec(|a| {
+            a.lif(FpReg::F0, 9.0);
+            a.fpu(FpuOp::Sqrt, FpReg::F1, FpReg::F0, FpReg::F0);
+            a.fp_to_int(IntReg::T0, FpReg::F1);
+            a.int_to_fp(FpReg::F2, IntReg::T0);
+            a.fcmp(FpCmpOp::Lt, IntReg::T1, FpReg::F2, FpReg::F0);
+        });
+        assert_eq!(m.ireg(IntReg::T0), 3);
+        assert_eq!(m.freg(FpReg::F2), 3.0);
+        assert_eq!(m.ireg(IntReg::T1), 1);
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken() {
+        let (m, _) = exec(|a| {
+            let skip = a.label();
+            a.li(IntReg::T0, 1);
+            a.branch(BranchCond::Eq, IntReg::T0, IntReg::ZERO, skip);
+            a.li(IntReg::T1, 5); // executed: branch not taken
+            a.bind(skip).unwrap();
+            let skip2 = a.label();
+            a.branch(BranchCond::Ne, IntReg::T0, IntReg::ZERO, skip2);
+            a.li(IntReg::T2, 7); // skipped: branch taken
+            a.bind(skip2).unwrap();
+        });
+        assert_eq!(m.ireg(IntReg::T1), 5);
+        assert_eq!(m.ireg(IntReg::T2), 0);
+    }
+
+    #[test]
+    fn jal_and_jr_call_return() {
+        let (m, _) = exec(|a| {
+            let func = a.label();
+            let over = a.label();
+            a.jal(IntReg::RA, func);
+            a.li(IntReg::T1, 2); // after return
+            a.jump(over);
+            a.bind(func).unwrap();
+            a.li(IntReg::T0, 1);
+            a.jr(IntReg::RA);
+            a.bind(over).unwrap();
+        });
+        assert_eq!(m.ireg(IntReg::T0), 1);
+        assert_eq!(m.ireg(IntReg::T1), 2);
+    }
+
+    #[test]
+    fn lock_free_then_held() {
+        let mut a = Assembler::new();
+        a.li(IntReg::G0, 512);
+        a.lock(IntReg::G0, 0);
+        a.lock(IntReg::G0, 0); // second acquire blocks
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut mem = FlatMemory::new(1024);
+        let mut m = Machine::new();
+        m.step(&p, &mut mem).unwrap(); // li
+        let e = m.step(&p, &mut mem).unwrap();
+        assert_eq!(
+            e,
+            Effect::Sync {
+                kind: SyncKind::Lock,
+                addr: 512
+            }
+        );
+        assert_eq!(mem.read(512), 1);
+        let pc_before = m.pc();
+        let err = m.step(&p, &mut mem).unwrap_err();
+        assert!(matches!(err, InterpError::WouldBlock { .. }));
+        assert_eq!(m.pc(), pc_before, "blocking step must not advance pc");
+        // Unlock from "another processor", then the retry succeeds.
+        mem.write(512, 0);
+        m.step(&p, &mut mem).unwrap();
+    }
+
+    #[test]
+    fn wait_event_blocks_until_set() {
+        let mut a = Assembler::new();
+        a.li(IntReg::G0, 512);
+        a.wait_event(IntReg::G0, 0);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut mem = FlatMemory::new(1024);
+        let mut m = Machine::new();
+        m.step(&p, &mut mem).unwrap();
+        assert!(m.step(&p, &mut mem).is_err());
+        mem.write(512, 1);
+        assert!(m.step(&p, &mut mem).is_ok());
+    }
+
+    #[test]
+    fn halt_is_sticky() {
+        let mut a = Assembler::new();
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut mem = FlatMemory::new(64);
+        let mut m = Machine::new();
+        assert_eq!(m.step(&p, &mut mem).unwrap(), Effect::Halt);
+        assert_eq!(m.step(&p, &mut mem).unwrap(), Effect::Halt);
+        assert!(m.is_halted());
+    }
+
+    #[test]
+    fn pc_out_of_range_is_error() {
+        let p = Program::new(vec![Instruction::Nop]);
+        let mut mem = FlatMemory::new(64);
+        let mut m = Machine::new();
+        m.step(&p, &mut mem).unwrap();
+        assert!(matches!(
+            m.step(&p, &mut mem),
+            Err(InterpError::PcOutOfRange { pc: 1, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let mut a = Assembler::new();
+        let top = a.label();
+        a.bind(top).unwrap();
+        a.jump(top);
+        let p = a.assemble().unwrap();
+        let mut mem = FlatMemory::new(64);
+        let mut m = Machine::new();
+        assert!(matches!(
+            m.run(&p, &mut mem, 10),
+            Err(InterpError::StepLimit { steps: 10 })
+        ));
+    }
+
+    #[test]
+    fn peek_addr_sees_memory_ops() {
+        let mut a = Assembler::new();
+        a.li(IntReg::G0, 128);
+        a.load(IntReg::T0, IntReg::G0, 16);
+        let p = a.assemble().unwrap();
+        let mut mem = FlatMemory::new(1024);
+        let mut m = Machine::new();
+        assert_eq!(m.peek_addr(&p), None);
+        m.step(&p, &mut mem).unwrap();
+        assert_eq!(m.peek_addr(&p), Some(144));
+    }
+}

@@ -1,0 +1,71 @@
+//! SRISC: the small RISC instruction set used throughout Lookahead.
+//!
+//! This crate is the bottom layer of the Lookahead simulation suite, a
+//! reproduction of Gharachorloo, Gupta and Hennessy, *"Hiding Memory
+//! Latency using Dynamic Scheduling in Shared-Memory Multiprocessors"*
+//! (ISCA 1992). The paper drives two simulators from dynamic instruction
+//! traces of parallel programs; SRISC is the instruction set those
+//! programs are written in.
+//!
+//! The ISA is deliberately simple — a classic three-operand RISC with
+//! 32 integer and 32 floating-point registers — but complete enough to
+//! express the paper's five workloads (MP3D, LU, PTHOR, LOCUS, OCEAN):
+//!
+//! * integer and floating-point ALU operations (all single-cycle in the
+//!   paper's processor model),
+//! * loads and stores of 8-byte words with base+offset addressing,
+//! * conditional branches, jumps and jump-and-link,
+//! * synchronization primitives in the style of the Argonne National
+//!   Laboratory macro package used by the paper's applications:
+//!   lock/unlock, barrier, and wait-event/set-event.
+//!
+//! The crate provides:
+//!
+//! * [`Instruction`] and friends — the instruction definitions,
+//! * [`asm::Assembler`] — labels, fixups, and program assembly,
+//! * [`builder::ProgramBuilder`] — structured control-flow helpers
+//!   (counted loops, if/then/else) so workloads read like code rather
+//!   than like a fixup table,
+//! * [`interp`] — a functional interpreter giving the architectural
+//!   semantics of every instruction, shared by the timing simulators so
+//!   that timing models can never disagree about *what* an instruction
+//!   does, only about *when* it completes.
+//!
+//! # Example
+//!
+//! ```
+//! use lookahead_isa::builder::ProgramBuilder;
+//! use lookahead_isa::reg::IntReg;
+//! use lookahead_isa::interp::{Machine, FlatMemory};
+//!
+//! // Sum the integers 0..10 into T1.
+//! let mut b = ProgramBuilder::new();
+//! let (i, acc) = (IntReg::T0, IntReg::T1);
+//! b.li(acc, 0);
+//! b.for_range(i, 0, 10, |b| {
+//!     b.add(acc, acc, i);
+//! });
+//! b.halt();
+//! let program = b.assemble()?;
+//!
+//! let mut mem = FlatMemory::new(0);
+//! let mut m = Machine::new();
+//! m.run(&program, &mut mem, 10_000)?;
+//! assert_eq!(m.ireg(acc), 45);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod asm;
+pub mod builder;
+pub mod instr;
+pub mod interp;
+pub mod program;
+pub mod reg;
+
+pub use asm::{AsmError, Assembler, Label};
+pub use builder::ProgramBuilder;
+pub use instr::{
+    AluOp, BranchCond, FpCmpOp, FpuOp, Instruction, OpClass, SyncKind, WORD_BYTES,
+};
+pub use program::Program;
+pub use reg::{FpReg, IntReg};

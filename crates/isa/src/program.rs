@@ -1,0 +1,296 @@
+//! Assembled SRISC programs and their initial shared-memory images.
+
+use crate::instr::{Instruction, WORD_BYTES};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An assembled, immutable SRISC program.
+///
+/// A program is a sequence of instructions addressed by instruction
+/// index (the PC advances by one per instruction). All processors in a
+/// multiprocessor run execute the *same* program, distinguishing
+/// themselves by the processor id passed in `A0` — the SPMD style of
+/// the paper's applications.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+    /// Optional source-level names for instruction indices, used by the
+    /// disassembler output.
+    labels: BTreeMap<usize, String>,
+}
+
+impl Program {
+    /// Creates a program from raw instructions.
+    pub fn new(instructions: Vec<Instruction>) -> Program {
+        Program {
+            instructions,
+            labels: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a program with named labels at instruction indices.
+    pub fn with_labels(instructions: Vec<Instruction>, labels: BTreeMap<usize, String>) -> Program {
+        Program {
+            instructions,
+            labels,
+        }
+    }
+
+    /// The instruction at `pc`, or `None` past the end of the program.
+    #[inline]
+    pub fn fetch(&self, pc: usize) -> Option<&Instruction> {
+        self.instructions.get(pc)
+    }
+
+    /// All instructions in program order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// The label at an instruction index, if one was defined.
+    pub fn label_at(&self, pc: usize) -> Option<&str> {
+        self.labels.get(&pc).map(String::as_str)
+    }
+
+    /// Renders the whole program as assembly text (the disassembler).
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (pc, instr) in self.instructions.iter().enumerate() {
+            if let Some(name) = self.label_at(pc) {
+                out.push_str(name);
+                out.push_str(":\n");
+            }
+            out.push_str(&format!("  {pc:6}  {instr}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.disassemble())
+    }
+}
+
+/// Initial contents of the shared memory, produced by a workload's
+/// setup phase, plus a bump allocator for laying out shared data.
+///
+/// Addresses are byte addresses; allocations are aligned to the 8-byte
+/// word size. The layout starts at address 0 and grows upward.
+///
+/// # Example
+///
+/// ```
+/// use lookahead_isa::program::DataImage;
+///
+/// let mut image = DataImage::new();
+/// let vec_base = image.alloc_words(4);      // 4 zero words
+/// let pi = image.alloc_f64(3.14159);        // one initialized double
+/// assert_eq!(vec_base % 8, 0);
+/// assert_eq!(image.read_f64(pi), 3.14159);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataImage {
+    words: Vec<u64>,
+}
+
+impl DataImage {
+    /// Creates an empty image.
+    pub fn new() -> DataImage {
+        DataImage::default()
+    }
+
+    /// Total size of the image in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.words.len() as u64 * WORD_BYTES
+    }
+
+    /// Allocates `n` zeroed words and returns the byte address of the
+    /// first.
+    pub fn alloc_words(&mut self, n: usize) -> u64 {
+        let addr = self.size_bytes();
+        self.words.resize(self.words.len() + n, 0);
+        addr
+    }
+
+    /// Allocates one word holding a signed integer.
+    pub fn alloc_i64(&mut self, value: i64) -> u64 {
+        let addr = self.alloc_words(1);
+        self.write_i64(addr, value);
+        addr
+    }
+
+    /// Allocates one word holding a double.
+    pub fn alloc_f64(&mut self, value: f64) -> u64 {
+        let addr = self.alloc_words(1);
+        self.write_f64(addr, value);
+        addr
+    }
+
+    /// Allocates a slice of integers, returning the base byte address.
+    pub fn alloc_i64_slice(&mut self, values: &[i64]) -> u64 {
+        let addr = self.alloc_words(values.len());
+        for (i, v) in values.iter().enumerate() {
+            self.write_i64(addr + i as u64 * WORD_BYTES, *v);
+        }
+        addr
+    }
+
+    /// Allocates a slice of doubles, returning the base byte address.
+    pub fn alloc_f64_slice(&mut self, values: &[f64]) -> u64 {
+        let addr = self.alloc_words(values.len());
+        for (i, v) in values.iter().enumerate() {
+            self.write_f64(addr + i as u64 * WORD_BYTES, *v);
+        }
+        addr
+    }
+
+    /// Pads the allocation point up to a multiple of `align` bytes
+    /// (must itself be a multiple of the word size). Useful to place
+    /// data structures on cache-line boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero or not a multiple of [`WORD_BYTES`].
+    pub fn align_to(&mut self, align: u64) -> u64 {
+        assert!(align > 0 && align % WORD_BYTES == 0, "bad alignment {align}");
+        while self.size_bytes() % align != 0 {
+            self.alloc_words(1);
+        }
+        self.size_bytes()
+    }
+
+    fn word_index(addr: u64) -> usize {
+        assert!(addr % WORD_BYTES == 0, "unaligned address {addr:#x}");
+        (addr / WORD_BYTES) as usize
+    }
+
+    /// Reads the raw word at a byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-range addresses.
+    pub fn read_raw(&self, addr: u64) -> u64 {
+        self.words[Self::word_index(addr)]
+    }
+
+    /// Writes the raw word at a byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned or out-of-range addresses.
+    pub fn write_raw(&mut self, addr: u64, value: u64) {
+        let idx = Self::word_index(addr);
+        self.words[idx] = value;
+    }
+
+    /// Reads the word at a byte address as a signed integer.
+    pub fn read_i64(&self, addr: u64) -> i64 {
+        self.read_raw(addr) as i64
+    }
+
+    /// Writes a signed integer at a byte address.
+    pub fn write_i64(&mut self, addr: u64, value: i64) {
+        self.write_raw(addr, value as u64);
+    }
+
+    /// Reads the word at a byte address as a double.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_raw(addr))
+    }
+
+    /// Writes a double at a byte address.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_raw(addr, value.to_bits());
+    }
+
+    /// The raw words of the image, for handing to a simulator's memory.
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
+    }
+
+    /// The raw words of the image, borrowed.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instruction;
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let p = Program::new(vec![Instruction::Nop, Instruction::Halt]);
+        assert_eq!(p.fetch(0), Some(&Instruction::Nop));
+        assert_eq!(p.fetch(1), Some(&Instruction::Halt));
+        assert_eq!(p.fetch(2), None);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn disassemble_includes_labels() {
+        let mut labels = BTreeMap::new();
+        labels.insert(1, "loop".to_string());
+        let p = Program::with_labels(vec![Instruction::Nop, Instruction::Halt], labels);
+        let text = p.disassemble();
+        assert!(text.contains("loop:"));
+        assert!(text.contains("halt"));
+        assert_eq!(p.label_at(1), Some("loop"));
+        assert_eq!(p.label_at(0), None);
+    }
+
+    #[test]
+    fn data_image_alloc_and_rw() {
+        let mut img = DataImage::new();
+        let a = img.alloc_words(2);
+        let b = img.alloc_i64(-7);
+        let c = img.alloc_f64(2.5);
+        assert_eq!(a, 0);
+        assert_eq!(b, 16);
+        assert_eq!(c, 24);
+        assert_eq!(img.read_i64(b), -7);
+        assert_eq!(img.read_f64(c), 2.5);
+        img.write_i64(a, 42);
+        assert_eq!(img.read_i64(a), 42);
+        assert_eq!(img.size_bytes(), 32);
+    }
+
+    #[test]
+    fn data_image_slices() {
+        let mut img = DataImage::new();
+        let ints = img.alloc_i64_slice(&[1, 2, 3]);
+        let flts = img.alloc_f64_slice(&[0.5, 1.5]);
+        assert_eq!(img.read_i64(ints + 16), 3);
+        assert_eq!(img.read_f64(flts + 8), 1.5);
+    }
+
+    #[test]
+    fn align_to_cache_line() {
+        let mut img = DataImage::new();
+        img.alloc_words(1);
+        let aligned = img.align_to(16);
+        assert_eq!(aligned % 16, 0);
+        assert_eq!(aligned, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_access_panics() {
+        let mut img = DataImage::new();
+        img.alloc_words(2);
+        img.read_raw(4);
+    }
+}

@@ -1,0 +1,221 @@
+//! Register names for the SRISC architecture.
+//!
+//! SRISC has 32 integer registers and 32 floating-point registers.
+//! Integer register 0 ([`IntReg::ZERO`]) is hard-wired to zero, as in
+//! MIPS; writes to it are discarded. The remaining registers are
+//! general purpose, but the conventional aliases below (`T*` caller
+//! temporaries, `S*` saved values, `A*` arguments, `G*` globals) make
+//! hand-written workload kernels readable.
+
+use std::fmt;
+
+/// An integer register, `r0`–`r31`.
+///
+/// `r0` is hard-wired to zero. Construct registers either from the
+/// named constants (preferred in workload code) or via
+/// [`IntReg::new`], which validates the index.
+///
+/// # Example
+///
+/// ```
+/// use lookahead_isa::reg::IntReg;
+/// let r = IntReg::new(5)?;
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// # Ok::<(), lookahead_isa::reg::RegIndexError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntReg(u8);
+
+/// A floating-point register, `f0`–`f31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FpReg(u8);
+
+/// Error returned when constructing a register from an out-of-range index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegIndexError {
+    index: usize,
+}
+
+impl fmt::Display for RegIndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "register index {} out of range (0..32)", self.index)
+    }
+}
+
+impl std::error::Error for RegIndexError {}
+
+/// Number of integer registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point registers.
+pub const NUM_FP_REGS: usize = 32;
+
+impl IntReg {
+    /// The hard-wired zero register, `r0`.
+    pub const ZERO: IntReg = IntReg(0);
+    /// Argument registers `a0`..`a3` (`r1`..`r4`). The multiprocessor
+    /// simulator passes the processor id in `A0` and the processor
+    /// count in `A1` at program start.
+    pub const A0: IntReg = IntReg(1);
+    pub const A1: IntReg = IntReg(2);
+    pub const A2: IntReg = IntReg(3);
+    pub const A3: IntReg = IntReg(4);
+    /// Caller temporaries `t0`..`t9` (`r5`..`r14`).
+    pub const T0: IntReg = IntReg(5);
+    pub const T1: IntReg = IntReg(6);
+    pub const T2: IntReg = IntReg(7);
+    pub const T3: IntReg = IntReg(8);
+    pub const T4: IntReg = IntReg(9);
+    pub const T5: IntReg = IntReg(10);
+    pub const T6: IntReg = IntReg(11);
+    pub const T7: IntReg = IntReg(12);
+    pub const T8: IntReg = IntReg(13);
+    pub const T9: IntReg = IntReg(14);
+    /// Saved values `s0`..`s9` (`r15`..`r24`).
+    pub const S0: IntReg = IntReg(15);
+    pub const S1: IntReg = IntReg(16);
+    pub const S2: IntReg = IntReg(17);
+    pub const S3: IntReg = IntReg(18);
+    pub const S4: IntReg = IntReg(19);
+    pub const S5: IntReg = IntReg(20);
+    pub const S6: IntReg = IntReg(21);
+    pub const S7: IntReg = IntReg(22);
+    pub const S8: IntReg = IntReg(23);
+    pub const S9: IntReg = IntReg(24);
+    /// Globals `g0`..`g5` (`r25`..`r30`), conventionally base pointers
+    /// to shared data structures.
+    pub const G0: IntReg = IntReg(25);
+    pub const G1: IntReg = IntReg(26);
+    pub const G2: IntReg = IntReg(27);
+    pub const G3: IntReg = IntReg(28);
+    pub const G4: IntReg = IntReg(29);
+    pub const G5: IntReg = IntReg(30);
+    /// Link register (`r31`), written by jump-and-link.
+    pub const RA: IntReg = IntReg(31);
+
+    /// Creates a register from a raw index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegIndexError`] if `index >= 32`.
+    pub fn new(index: usize) -> Result<IntReg, RegIndexError> {
+        if index < NUM_INT_REGS {
+            Ok(IntReg(index as u8))
+        } else {
+            Err(RegIndexError { index })
+        }
+    }
+
+    /// The register's index, in `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 32 integer registers.
+    pub fn all() -> impl Iterator<Item = IntReg> {
+        (0..NUM_INT_REGS as u8).map(IntReg)
+    }
+}
+
+impl FpReg {
+    pub const F0: FpReg = FpReg(0);
+    pub const F1: FpReg = FpReg(1);
+    pub const F2: FpReg = FpReg(2);
+    pub const F3: FpReg = FpReg(3);
+    pub const F4: FpReg = FpReg(4);
+    pub const F5: FpReg = FpReg(5);
+    pub const F6: FpReg = FpReg(6);
+    pub const F7: FpReg = FpReg(7);
+    pub const F8: FpReg = FpReg(8);
+    pub const F9: FpReg = FpReg(9);
+    pub const F10: FpReg = FpReg(10);
+    pub const F11: FpReg = FpReg(11);
+    pub const F12: FpReg = FpReg(12);
+    pub const F13: FpReg = FpReg(13);
+    pub const F14: FpReg = FpReg(14);
+    pub const F15: FpReg = FpReg(15);
+
+    /// Creates a register from a raw index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegIndexError`] if `index >= 32`.
+    pub fn new(index: usize) -> Result<FpReg, RegIndexError> {
+        if index < NUM_FP_REGS {
+            Ok(FpReg(index as u8))
+        } else {
+            Err(RegIndexError { index })
+        }
+    }
+
+    /// The register's index, in `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all 32 floating-point registers.
+    pub fn all() -> impl Iterator<Item = FpReg> {
+        (0..NUM_FP_REGS as u8).map(FpReg)
+    }
+}
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_reg_new_validates() {
+        assert_eq!(IntReg::new(0).unwrap(), IntReg::ZERO);
+        assert_eq!(IntReg::new(31).unwrap(), IntReg::RA);
+        assert!(IntReg::new(32).is_err());
+    }
+
+    #[test]
+    fn fp_reg_new_validates() {
+        assert_eq!(FpReg::new(3).unwrap(), FpReg::F3);
+        assert!(FpReg::new(32).is_err());
+    }
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(IntReg::ZERO.is_zero());
+        assert!(!IntReg::T0.is_zero());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(IntReg::T0.to_string(), "r5");
+        assert_eq!(FpReg::F2.to_string(), "f2");
+        assert_eq!(
+            IntReg::new(99).unwrap_err().to_string(),
+            "register index 99 out of range (0..32)"
+        );
+    }
+
+    #[test]
+    fn all_iterators_cover_register_files() {
+        assert_eq!(IntReg::all().count(), 32);
+        assert_eq!(FpReg::all().count(), 32);
+        assert_eq!(IntReg::all().next().unwrap(), IntReg::ZERO);
+    }
+}

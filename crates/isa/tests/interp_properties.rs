@@ -1,0 +1,221 @@
+//! Property tests of the SRISC interpreter and assembler: structured
+//! control flow compiles to programs whose execution matches a direct
+//! Rust evaluation of the same computation.
+
+use lookahead_isa::interp::{Effect, FlatMemory, Machine, Memory};
+use lookahead_isa::{AluOp, Assembler, BranchCond, IntReg, Program};
+use proptest::prelude::*;
+
+/// Evaluate a small arithmetic expression both through SRISC and in
+/// Rust directly.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+}
+
+impl Op {
+    fn alu(self) -> AluOp {
+        match self {
+            Op::Add => AluOp::Add,
+            Op::Sub => AluOp::Sub,
+            Op::Mul => AluOp::Mul,
+            Op::Div => AluOp::Div,
+            Op::Rem => AluOp::Rem,
+            Op::And => AluOp::And,
+            Op::Or => AluOp::Or,
+            Op::Xor => AluOp::Xor,
+        }
+    }
+
+    fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            Op::Add => a.wrapping_add(b),
+            Op::Sub => a.wrapping_sub(b),
+            Op::Mul => a.wrapping_mul(b),
+            Op::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            Op::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            Op::And => a & b,
+            Op::Or => a | b,
+            Op::Xor => a ^ b,
+        }
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Add),
+        Just(Op::Sub),
+        Just(Op::Mul),
+        Just(Op::Div),
+        Just(Op::Rem),
+        Just(Op::And),
+        Just(Op::Or),
+        Just(Op::Xor),
+    ]
+}
+
+fn run(p: &Program) -> Machine {
+    let mut mem = FlatMemory::new(4096);
+    let mut m = Machine::new();
+    m.run(p, &mut mem, 10_000_000).expect("halts");
+    m
+}
+
+proptest! {
+    /// A chain of ALU operations folded over two seed values matches
+    /// the wrapping Rust evaluation.
+    #[test]
+    fn alu_chains_match_rust(seed_a in any::<i64>(), seed_b in any::<i64>(),
+                             ops in proptest::collection::vec(arb_op(), 1..24)) {
+        let mut a = Assembler::new();
+        a.li(IntReg::T1, seed_a);
+        a.li(IntReg::T2, seed_b);
+        let mut expect = seed_a;
+        for op in &ops {
+            a.alu(op.alu(), IntReg::T1, IntReg::T1, IntReg::T2);
+            expect = op.eval(expect, seed_b);
+        }
+        a.halt();
+        let m = run(&a.assemble().unwrap());
+        prop_assert_eq!(m.ireg(IntReg::T1), expect);
+    }
+
+    /// Counted loops execute exactly their trip count, for any bounds.
+    #[test]
+    fn for_range_trip_counts(start in -50i64..50, end in -50i64..50) {
+        let mut a = Assembler::new();
+        a.li(IntReg::T1, 0);
+        a.for_range(IntReg::T0, start, end, |a| {
+            a.addi(IntReg::T1, IntReg::T1, 1);
+        });
+        a.halt();
+        let m = run(&a.assemble().unwrap());
+        prop_assert_eq!(m.ireg(IntReg::T1), (end - start).max(0));
+    }
+
+    /// Nested structured control flow: count the pairs (i, j) with
+    /// j < i, both through SRISC and directly.
+    #[test]
+    fn nested_loops_and_branches(n in 0i64..20) {
+        let mut a = Assembler::new();
+        a.li(IntReg::T3, 0);
+        a.for_range(IntReg::T0, 0, n, |a| {
+            a.for_to(IntReg::T1, 0, IntReg::T0, |a| {
+                a.if_then(BranchCond::Lt, IntReg::T1, IntReg::T0, |a| {
+                    a.addi(IntReg::T3, IntReg::T3, 1);
+                });
+            });
+        });
+        a.halt();
+        let m = run(&a.assemble().unwrap());
+        prop_assert_eq!(m.ireg(IntReg::T3), n * (n - 1) / 2);
+    }
+
+    /// `peek_addr` always predicts the address the subsequent step
+    /// actually touches.
+    #[test]
+    fn peek_addr_matches_effects(words in proptest::collection::vec(0u64..64, 1..40),
+                                 writes in any::<bool>()) {
+        let mut a = Assembler::new();
+        a.li(IntReg::G0, 0);
+        a.li(IntReg::T1, 7);
+        for &w in &words {
+            if writes {
+                a.store(IntReg::T1, IntReg::G0, (w * 8) as i64);
+            } else {
+                a.load(IntReg::T2, IntReg::G0, (w * 8) as i64);
+            }
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut mem = FlatMemory::new(4096);
+        let mut m = Machine::new();
+        loop {
+            let peeked = m.peek_addr(&p);
+            match m.step(&p, &mut mem).unwrap() {
+                Effect::Load { addr } | Effect::Store { addr } => {
+                    prop_assert_eq!(peeked, Some(addr));
+                }
+                Effect::Halt => break,
+                _ => prop_assert_eq!(peeked, None),
+            }
+        }
+    }
+
+    /// Stores land where they should and nowhere else.
+    #[test]
+    fn stores_are_word_precise(word in 0u64..64, value in any::<i64>()) {
+        let mut a = Assembler::new();
+        a.li(IntReg::G0, 0);
+        a.li(IntReg::T1, value);
+        a.store(IntReg::T1, IntReg::G0, (word * 8) as i64);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut mem = FlatMemory::new(64 * 8);
+        let mut m = Machine::new();
+        m.run(&p, &mut mem, 1000).unwrap();
+        for w in 0..64u64 {
+            let got = mem.read(w * 8);
+            if w == word {
+                prop_assert_eq!(got, value as u64);
+            } else {
+                prop_assert_eq!(got, 0);
+            }
+        }
+    }
+
+    /// Assembled structured programs never contain out-of-range branch
+    /// targets (every target is a valid instruction index).
+    #[test]
+    fn assembled_targets_in_range(n in 1i64..12, m in 1i64..12) {
+        let mut a = Assembler::new();
+        a.for_range(IntReg::T0, 0, n, |a| {
+            a.if_then_else(
+                BranchCond::Lt,
+                IntReg::T0,
+                IntReg::T1,
+                |a| a.addi(IntReg::T2, IntReg::T2, 1),
+                |a| {
+                    a.for_range(IntReg::T3, 0, m, |a| {
+                        a.addi(IntReg::T4, IntReg::T4, 1);
+                    })
+                },
+            );
+        });
+        a.halt();
+        let p = a.assemble().unwrap();
+        for ins in p.instructions() {
+            use lookahead_isa::Instruction;
+            let target = match ins {
+                Instruction::Branch { target, .. }
+                | Instruction::Jump { target }
+                | Instruction::JumpAndLink { target, .. } => Some(*target),
+                _ => None,
+            };
+            if let Some(t) = target {
+                prop_assert!(t <= p.len(), "target {t} beyond program {}", p.len());
+            }
+        }
+        // And it runs to completion.
+        run(&p);
+    }
+}

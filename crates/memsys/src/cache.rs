@@ -1,0 +1,474 @@
+//! Direct-mapped write-back cache tag array.
+//!
+//! The cache tracks only *tags and states* — never data. Architectural
+//! values live in the interpreter's flat memory; the simulators consult
+//! the cache purely to classify accesses as hits or misses and to model
+//! coherence, which is all the paper's fixed-latency memory model
+//! needs.
+
+use std::fmt;
+
+/// MSI coherence state of one cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LineState {
+    /// Not present (or invalidated by another processor's write).
+    #[default]
+    Invalid,
+    /// Present, clean, possibly shared with other caches. Readable.
+    Shared,
+    /// Present, dirty, exclusive to this cache. Readable and writable.
+    Modified,
+}
+
+impl LineState {
+    /// Whether a read hits in this state.
+    #[inline]
+    pub fn readable(self) -> bool {
+        !matches!(self, LineState::Invalid)
+    }
+
+    /// Whether a write hits in this state (ownership already held).
+    #[inline]
+    pub fn writable(self) -> bool {
+        matches!(self, LineState::Modified)
+    }
+}
+
+/// Geometry of a direct-mapped cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Set associativity; 1 = direct-mapped (the paper's choice).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// The paper's configuration: 64 KB, 16-byte lines, direct-mapped.
+    pub const PAPER: CacheConfig = CacheConfig {
+        size_bytes: 64 * 1024,
+        line_bytes: 16,
+        ways: 1,
+    };
+
+    /// Returns the configuration with a different associativity
+    /// (1 = direct-mapped).
+    pub fn with_ways(self, ways: usize) -> CacheConfig {
+        CacheConfig { ways, ..self }
+    }
+
+    /// Number of lines in the cache.
+    pub fn num_lines(&self) -> usize {
+        (self.size_bytes / self.line_bytes) as usize
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_lines() / self.ways.max(1)
+    }
+
+    /// The line-aligned address containing `addr`.
+    #[inline]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes - 1)
+    }
+
+    /// The set index for `addr`.
+    #[inline]
+    pub fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.line_bytes) % self.num_sets() as u64) as usize
+    }
+
+    /// Validates that sizes are non-zero powers of two and the cache
+    /// holds at least one full set.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
+        if !self.line_bytes.is_power_of_two() || self.line_bytes == 0 {
+            return Err(CacheConfigError::LineNotPowerOfTwo(self.line_bytes));
+        }
+        if !self.size_bytes.is_power_of_two() || self.size_bytes < self.line_bytes {
+            return Err(CacheConfigError::SizeNotPowerOfTwo(self.size_bytes));
+        }
+        if self.ways == 0 || self.num_lines() % self.ways != 0 || self.num_lines() < self.ways {
+            return Err(CacheConfigError::BadAssociativity(self.ways));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig::PAPER
+    }
+}
+
+/// Error for invalid cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// Line size must be a non-zero power of two.
+    LineNotPowerOfTwo(u64),
+    /// Capacity must be a power of two and at least one line.
+    SizeNotPowerOfTwo(u64),
+    /// Associativity must be non-zero and divide the line count.
+    BadAssociativity(usize),
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheConfigError::LineNotPowerOfTwo(n) => {
+                write!(f, "line size {n} is not a non-zero power of two")
+            }
+            CacheConfigError::SizeNotPowerOfTwo(n) => {
+                write!(f, "cache size {n} is not a power of two at least one line")
+            }
+            CacheConfigError::BadAssociativity(w) => {
+                write!(f, "associativity {w} does not divide the cache's line count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    state: LineState,
+    /// LRU stamp (larger = more recently touched).
+    used: u64,
+}
+
+/// What happens to the victim line when a new line is filled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Eviction {
+    /// The set was empty (or held the same line already).
+    None,
+    /// A clean line was silently dropped; its line address is reported
+    /// so the coherence layer can forget it.
+    Clean { line_addr: u64 },
+    /// A dirty line was written back to memory.
+    Writeback { line_addr: u64 },
+}
+
+/// A set-associative, write-back cache tag array with LRU replacement
+/// (associativity 1 gives the paper's direct-mapped cache).
+///
+/// # Example
+///
+/// ```
+/// use lookahead_memsys::cache::{CacheConfig, DirectCache, LineState};
+///
+/// let mut c = DirectCache::new(CacheConfig::PAPER);
+/// assert_eq!(c.state_of(0x40), LineState::Invalid);
+/// c.fill(0x40, LineState::Shared);
+/// assert!(c.state_of(0x40).readable());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirectCache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    clock: u64,
+}
+
+impl DirectCache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`CacheConfig::validate`]).
+    pub fn new(config: CacheConfig) -> DirectCache {
+        config.validate().expect("invalid cache configuration");
+        DirectCache {
+            config,
+            lines: vec![Line::default(); config.num_lines()],
+            clock: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    #[inline]
+    fn set_range(&self, addr: u64) -> std::ops::Range<usize> {
+        let set = self.config.set_index(addr);
+        let ways = self.config.ways;
+        set * ways..(set + 1) * ways
+    }
+
+    /// Index of the resident way holding `addr`'s line, if any.
+    #[inline]
+    fn find(&self, addr: u64) -> Option<usize> {
+        let tag = self.config.line_addr(addr);
+        self.set_range(addr)
+            .find(|&i| self.lines[i].state != LineState::Invalid && self.lines[i].tag == tag)
+    }
+
+    /// The coherence state of the line containing `addr`
+    /// ([`LineState::Invalid`] if it is not resident).
+    pub fn state_of(&self, addr: u64) -> LineState {
+        self.find(addr)
+            .map(|i| self.lines[i].state)
+            .unwrap_or(LineState::Invalid)
+    }
+
+    /// Records a use of the (resident) line for LRU purposes.
+    pub fn touch(&mut self, addr: u64) {
+        if let Some(i) = self.find(addr) {
+            self.clock += 1;
+            self.lines[i].used = self.clock;
+        }
+    }
+
+    /// Changes the state of a *resident* line (e.g. Shared → Modified
+    /// on an upgrade, Modified → Shared on a remote read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident; callers must check
+    /// [`DirectCache::state_of`] first.
+    pub fn set_state(&mut self, addr: u64, state: LineState) {
+        let line_addr = self.config.line_addr(addr);
+        let i = self
+            .find(addr)
+            .unwrap_or_else(|| panic!("set_state on non-resident line {line_addr:#x}"));
+        self.lines[i].state = state;
+    }
+
+    /// Invalidates the line containing `addr` if resident, returning
+    /// its previous state.
+    pub fn invalidate(&mut self, addr: u64) -> Option<LineState> {
+        self.find(addr).map(|i| {
+            let old = self.lines[i].state;
+            self.lines[i].state = LineState::Invalid;
+            old
+        })
+    }
+
+    /// Fills the line containing `addr` in the given state, evicting
+    /// the LRU way if the set is full. Returns what happened to the
+    /// victim.
+    pub fn fill(&mut self, addr: u64, state: LineState) -> Eviction {
+        let line_addr = self.config.line_addr(addr);
+        self.clock += 1;
+        let clock = self.clock;
+        // Refill of a resident line.
+        if let Some(i) = self.find(addr) {
+            self.lines[i].state = state;
+            self.lines[i].used = clock;
+            return Eviction::None;
+        }
+        let range = self.set_range(addr);
+        // Prefer an invalid way; otherwise evict the LRU.
+        let victim = range
+            .clone()
+            .find(|&i| self.lines[i].state == LineState::Invalid)
+            .unwrap_or_else(|| {
+                range
+                    .min_by_key(|&i| self.lines[i].used)
+                    .expect("set has at least one way")
+            });
+        let line = &mut self.lines[victim];
+        let eviction = match line.state {
+            LineState::Invalid => Eviction::None,
+            LineState::Modified => Eviction::Writeback {
+                line_addr: line.tag,
+            },
+            LineState::Shared => Eviction::Clean {
+                line_addr: line.tag,
+            },
+        };
+        line.tag = line_addr;
+        line.state = state;
+        line.used = clock;
+        eviction
+    }
+
+    /// Iterates over resident lines as `(line_address, state)` pairs.
+    pub fn resident(&self) -> impl Iterator<Item = (u64, LineState)> + '_ {
+        self.lines
+            .iter()
+            .filter(|l| l.state != LineState::Invalid)
+            .map(|l| (l.tag, l.state))
+    }
+
+    /// Number of resident (non-invalid) lines — for tests and stats.
+    pub fn resident_lines(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| l.state != LineState::Invalid)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DirectCache {
+        // 4 lines of 16 bytes -> 64-byte cache.
+        DirectCache::new(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 16,
+            ways: 1,
+        })
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let c = CacheConfig::PAPER;
+        assert_eq!(c.num_lines(), 4096);
+        assert_eq!(c.line_addr(0x12345), 0x12340);
+        assert_eq!(c.set_index(0x0), c.set_index(0x10000));
+        assert_ne!(c.set_index(0x0), c.set_index(0x10));
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        assert!(CacheConfig {
+            size_bytes: 48,
+            line_bytes: 16,
+            ways: 1        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 12,
+            ways: 1        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            size_bytes: 8,
+            line_bytes: 16,
+            ways: 1        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig::PAPER.validate().is_ok());
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        assert_eq!(c.state_of(0x20), LineState::Invalid);
+        assert_eq!(c.fill(0x20, LineState::Shared), Eviction::None);
+        assert_eq!(c.state_of(0x20), LineState::Shared);
+        assert_eq!(c.state_of(0x28), LineState::Shared, "same line");
+        assert_eq!(c.state_of(0x30), LineState::Invalid, "different line");
+    }
+
+    #[test]
+    fn conflict_eviction_clean_and_dirty() {
+        let mut c = small();
+        c.fill(0x00, LineState::Shared);
+        // 0x40 maps to the same set (4 lines * 16 bytes = 64-byte wrap).
+        assert_eq!(c.fill(0x40, LineState::Shared), Eviction::Clean { line_addr: 0x00 });
+        c.set_state(0x40, LineState::Modified);
+        assert_eq!(
+            c.fill(0x80, LineState::Shared),
+            Eviction::Writeback { line_addr: 0x40 }
+        );
+    }
+
+    #[test]
+    fn refill_same_line_is_not_eviction() {
+        let mut c = small();
+        c.fill(0x10, LineState::Shared);
+        assert_eq!(c.fill(0x10, LineState::Modified), Eviction::None);
+        assert_eq!(c.state_of(0x10), LineState::Modified);
+    }
+
+    #[test]
+    fn invalidate_reports_previous_state() {
+        let mut c = small();
+        c.fill(0x10, LineState::Modified);
+        assert_eq!(c.invalidate(0x18), Some(LineState::Modified));
+        assert_eq!(c.state_of(0x10), LineState::Invalid);
+        assert_eq!(c.invalidate(0x10), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn set_state_requires_residency() {
+        let mut c = small();
+        c.set_state(0x10, LineState::Modified);
+    }
+
+    #[test]
+    fn resident_line_count() {
+        let mut c = small();
+        assert_eq!(c.resident_lines(), 0);
+        c.fill(0x00, LineState::Shared);
+        c.fill(0x10, LineState::Modified);
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    fn two_way_set_keeps_both_lines() {
+        // 2 sets x 2 ways, 16B lines -> 64-byte cache. 0x00 and 0x40
+        // map to set 0; direct-mapped they'd conflict, 2-way they
+        // coexist.
+        let mut c = DirectCache::new(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 16,
+            ways: 2,
+        });
+        assert_eq!(c.fill(0x00, LineState::Shared), Eviction::None);
+        assert_eq!(c.fill(0x40, LineState::Shared), Eviction::None);
+        assert!(c.state_of(0x00).readable());
+        assert!(c.state_of(0x40).readable());
+        // Third line in the set evicts the LRU (0x00).
+        assert_eq!(c.fill(0x80, LineState::Shared), Eviction::Clean { line_addr: 0x00 });
+        assert!(c.state_of(0x40).readable());
+        assert!(!c.state_of(0x00).readable());
+    }
+
+    #[test]
+    fn lru_respects_touch() {
+        let mut c = DirectCache::new(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 16,
+            ways: 2,
+        });
+        c.fill(0x00, LineState::Shared);
+        c.fill(0x40, LineState::Shared);
+        c.touch(0x00); // 0x40 becomes LRU
+        assert_eq!(c.fill(0x80, LineState::Shared), Eviction::Clean { line_addr: 0x40 });
+        assert!(c.state_of(0x00).readable());
+    }
+
+    #[test]
+    fn bad_associativity_rejected() {
+        assert!(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 16,
+            ways: 0
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 16,
+            ways: 3
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 16,
+            ways: 4
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(!LineState::Invalid.readable());
+        assert!(LineState::Shared.readable());
+        assert!(!LineState::Shared.writable());
+        assert!(LineState::Modified.writable());
+    }
+}

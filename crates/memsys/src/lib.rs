@@ -1,0 +1,33 @@
+//! Memory-system substrates for the Lookahead simulators.
+//!
+//! The paper's simulated memory system (§3.1–3.2) consists of:
+//!
+//! * per-processor **64 KB direct-mapped write-back data caches** with
+//!   16-byte lines, kept coherent by an **invalidation-based** scheme
+//!   ([`cache`], [`coherent`]);
+//! * **lockup-free** caches in the dynamically scheduled processor,
+//!   allowing multiple outstanding misses ([`mshr`]);
+//! * **write buffers** that let the processor proceed past pending
+//!   writes, with reads allowed to bypass them ([`writebuf`]);
+//! * a fixed-latency memory: 1 cycle on a hit, a constant penalty
+//!   (50 or 100 cycles) on any miss, with no contention modelled
+//!   ([`params`]).
+//!
+//! These components are shared between the multiprocessor trace
+//! generator (`lookahead-multiproc`) and the processor timing models
+//! (`lookahead-core`). Architectural *data* is kept separately (in the
+//! interpreter's flat memory); the structures here track only tags,
+//! states and timing, which is exactly what the paper's trace-driven
+//! methodology requires.
+
+pub mod cache;
+pub mod coherent;
+pub mod mshr;
+pub mod params;
+pub mod writebuf;
+
+pub use cache::{CacheConfig, DirectCache, LineState};
+pub use coherent::{AccessOutcome, CoherenceStats, CoherentSystem, MissKind};
+pub use mshr::MshrFile;
+pub use params::MemoryParams;
+pub use writebuf::{DrainPolicy, WriteBuffer};

@@ -1,0 +1,180 @@
+//! Miss status holding registers (MSHRs) for lockup-free caches.
+//!
+//! The paper's dynamically scheduled processor uses a lockup-free data
+//! cache [Kroft 81] "that allows for multiple outstanding requests"
+//! (§3.1). The MSHR file tracks those outstanding misses: a primary
+//! miss allocates an entry; a secondary miss to the same line merges
+//! into the existing entry and completes when it does; the file has a
+//! configurable capacity (unbounded by default, matching the paper's
+//! aggressive memory-system assumption).
+
+use std::collections::BTreeMap;
+
+/// A file of miss status holding registers keyed by line address.
+///
+/// Timing is expressed in absolute cycles: the caller supplies `now`
+/// and the miss latency and gets back the completion time.
+///
+/// # Example
+///
+/// ```
+/// use lookahead_memsys::mshr::MshrFile;
+///
+/// let mut mshrs = MshrFile::new(Some(2));
+/// let t1 = mshrs.request(0x100, 10, 50).expect("allocates");
+/// assert_eq!(t1, 60);
+/// // Secondary miss to the same line merges:
+/// assert_eq!(mshrs.request(0x100, 12, 50), Some(60));
+/// // A different line allocates the second entry:
+/// assert_eq!(mshrs.request(0x200, 12, 50), Some(62));
+/// // The file is now full for new lines:
+/// assert_eq!(mshrs.request(0x300, 13, 50), None);
+/// mshrs.retire_completed(60);
+/// assert_eq!(mshrs.request(0x300, 61, 50), Some(111));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MshrFile {
+    /// Maximum simultaneously outstanding lines; `None` = unbounded.
+    capacity: Option<usize>,
+    /// line address -> completion cycle
+    outstanding: BTreeMap<u64, u64>,
+    /// Peak simultaneously outstanding entries (for stats).
+    peak: usize,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with the given capacity (`None` for
+    /// unbounded, the paper's aggressive assumption).
+    pub fn new(capacity: Option<usize>) -> MshrFile {
+        MshrFile {
+            capacity,
+            outstanding: BTreeMap::new(),
+            peak: 0,
+        }
+    }
+
+    /// Requests service for a miss on `line_addr` at cycle `now` with
+    /// the given latency.
+    ///
+    /// Returns the completion cycle, or `None` if the file is full and
+    /// the line has no outstanding entry (structural hazard: the caller
+    /// must retry later). A request for a line already outstanding
+    /// merges and returns the existing completion time.
+    pub fn request(&mut self, line_addr: u64, now: u64, latency: u32) -> Option<u64> {
+        if let Some(&done) = self.outstanding.get(&line_addr) {
+            return Some(done);
+        }
+        if let Some(cap) = self.capacity {
+            if self.outstanding.len() >= cap {
+                return None;
+            }
+        }
+        let done = now + latency as u64;
+        self.outstanding.insert(line_addr, done);
+        self.peak = self.peak.max(self.outstanding.len());
+        Some(done)
+    }
+
+    /// Completion time of the outstanding miss on `line_addr`, if any.
+    pub fn completion_of(&self, line_addr: u64) -> Option<u64> {
+        self.outstanding.get(&line_addr).copied()
+    }
+
+    /// Drops all entries whose completion time is `<= now`.
+    pub fn retire_completed(&mut self, now: u64) {
+        self.outstanding.retain(|_, &mut done| done > now);
+    }
+
+    /// Number of outstanding misses.
+    pub fn len(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Whether no misses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.outstanding.is_empty()
+    }
+
+    /// Whether a new line cannot currently be allocated.
+    pub fn is_full(&self) -> bool {
+        self.capacity
+            .is_some_and(|cap| self.outstanding.len() >= cap)
+    }
+
+    /// The earliest completion time among outstanding misses.
+    pub fn next_completion(&self) -> Option<u64> {
+        self.outstanding.values().min().copied()
+    }
+
+    /// Peak number of simultaneously outstanding misses observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Clears all entries (e.g. between re-timed runs).
+    pub fn reset(&mut self) {
+        self.outstanding.clear();
+        self.peak = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_miss_allocates() {
+        let mut m = MshrFile::new(None);
+        assert_eq!(m.request(0x40, 100, 50), Some(150));
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn secondary_miss_merges() {
+        let mut m = MshrFile::new(None);
+        let t = m.request(0x40, 100, 50).unwrap();
+        assert_eq!(m.request(0x40, 120, 50), Some(t), "merged, same completion");
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn capacity_limits_distinct_lines() {
+        let mut m = MshrFile::new(Some(1));
+        assert!(m.request(0x40, 0, 50).is_some());
+        assert!(m.is_full());
+        assert_eq!(m.request(0x80, 0, 50), None);
+        // Merge into the existing line still works at capacity.
+        assert!(m.request(0x40, 10, 50).is_some());
+    }
+
+    #[test]
+    fn retire_frees_entries() {
+        let mut m = MshrFile::new(Some(1));
+        m.request(0x40, 0, 50);
+        m.retire_completed(49);
+        assert!(m.is_full(), "not yet complete at 49");
+        m.retire_completed(50);
+        assert!(m.is_empty());
+        assert_eq!(m.request(0x80, 51, 50), Some(101));
+    }
+
+    #[test]
+    fn next_completion_is_minimum() {
+        let mut m = MshrFile::new(None);
+        m.request(0x40, 0, 50);
+        m.request(0x80, 10, 50);
+        assert_eq!(m.next_completion(), Some(50));
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut m = MshrFile::new(None);
+        m.request(0x40, 0, 50);
+        m.request(0x80, 0, 50);
+        m.retire_completed(1000);
+        assert_eq!(m.peak(), 2);
+        m.reset();
+        assert_eq!(m.peak(), 0);
+    }
+}

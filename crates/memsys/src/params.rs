@@ -1,0 +1,73 @@
+//! Memory timing parameters.
+
+/// Timing parameters of the simulated memory hierarchy.
+///
+/// The paper uses a fixed miss penalty — 50 cycles in the main
+/// experiments, 100 cycles in the sensitivity study — and does not
+/// model queueing or contention in the interconnect or at memory
+/// modules (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryParams {
+    /// Latency of a cache hit, in cycles (1 in the paper).
+    pub hit_latency: u32,
+    /// Latency of any cache miss, in cycles (50 or 100 in the paper).
+    pub miss_penalty: u32,
+}
+
+impl MemoryParams {
+    /// The paper's main configuration: 1-cycle hits, 50-cycle misses.
+    pub const LATENCY_50: MemoryParams = MemoryParams {
+        hit_latency: 1,
+        miss_penalty: 50,
+    };
+
+    /// The paper's high-latency configuration: 100-cycle misses.
+    pub const LATENCY_100: MemoryParams = MemoryParams {
+        hit_latency: 1,
+        miss_penalty: 100,
+    };
+
+    /// Creates parameters with an explicit miss penalty and 1-cycle hits.
+    pub fn with_miss_penalty(miss_penalty: u32) -> MemoryParams {
+        MemoryParams {
+            hit_latency: 1,
+            miss_penalty,
+        }
+    }
+
+    /// Latency of an access given whether it missed.
+    #[inline]
+    pub fn latency(&self, miss: bool) -> u32 {
+        if miss {
+            self.miss_penalty
+        } else {
+            self.hit_latency
+        }
+    }
+}
+
+impl Default for MemoryParams {
+    /// Defaults to the paper's main configuration ([`MemoryParams::LATENCY_50`]).
+    fn default() -> MemoryParams {
+        MemoryParams::LATENCY_50
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        assert_eq!(MemoryParams::LATENCY_50.miss_penalty, 50);
+        assert_eq!(MemoryParams::LATENCY_100.miss_penalty, 100);
+        assert_eq!(MemoryParams::default(), MemoryParams::LATENCY_50);
+    }
+
+    #[test]
+    fn latency_selects_on_miss() {
+        let p = MemoryParams::with_miss_penalty(80);
+        assert_eq!(p.latency(false), 1);
+        assert_eq!(p.latency(true), 80);
+    }
+}

@@ -1,0 +1,325 @@
+//! Write buffers with read bypass.
+//!
+//! Statically scheduled processors hide write latency by placing stores
+//! in a write buffer and continuing execution (§2.2). How aggressively
+//! the buffer may drain depends on the consistency model:
+//!
+//! * **Serialized** draining (SC, PC, and any model that keeps writes
+//!   in order with respect to one another): one write is in flight at a
+//!   time; the next issues when the previous completes.
+//! * **Overlapped** draining (WO/RC between synchronization points):
+//!   every write issues immediately and completes after its own
+//!   latency, so multiple writes overlap.
+//!
+//! *Releases* (unlock, set-event, barrier arrival) are pushed with
+//! [`WriteBuffer::push_release`]: they must not complete before every
+//! earlier write has completed, even under overlapped draining —
+//! that is precisely the release-consistency constraint.
+//!
+//! The buffer reports completion times; the caller decides what stalls
+//! (a full buffer stalls the processor; a release does not).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// How pending writes drain to memory. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DrainPolicy {
+    /// One write in flight at a time (writes serialize).
+    Serialized,
+    /// All writes in flight simultaneously (writes overlap).
+    Overlapped,
+}
+
+/// Error returned by pushes into a full buffer; the caller should stall
+/// the processor and retry after [`WriteBuffer::retire`] frees a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferFull;
+
+impl fmt::Display for BufferFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "write buffer full")
+    }
+}
+
+impl std::error::Error for BufferFull {}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    addr: u64,
+    completes_at: u64,
+}
+
+/// A FIFO write buffer with deterministic completion times.
+///
+/// # Example
+///
+/// ```
+/// use lookahead_memsys::writebuf::{DrainPolicy, WriteBuffer};
+///
+/// let mut wb = WriteBuffer::new(16, DrainPolicy::Overlapped);
+/// let t1 = wb.push(0x100, 50, 0)?;   // completes at 50
+/// let t2 = wb.push(0x200, 50, 1)?;   // overlaps: completes at 51
+/// assert_eq!((t1, t2), (50, 51));
+/// // A release waits for both:
+/// let tr = wb.push_release(0x300, 1, 2)?;
+/// assert_eq!(tr, 52);
+/// # Ok::<(), lookahead_memsys::writebuf::BufferFull>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WriteBuffer {
+    capacity: usize,
+    policy: DrainPolicy,
+    entries: VecDeque<Entry>,
+    /// Completion time of the most recently pushed entry (survives
+    /// retirement; used for serialized issue).
+    last_completion: u64,
+    /// Total cycles-weighted occupancy and pushes, for stats.
+    pushes: u64,
+    full_stalls: u64,
+}
+
+impl WriteBuffer {
+    /// Creates a buffer of `capacity` entries (the paper uses 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, policy: DrainPolicy) -> WriteBuffer {
+        assert!(capacity > 0, "write buffer needs at least one entry");
+        WriteBuffer {
+            capacity,
+            policy,
+            entries: VecDeque::with_capacity(capacity),
+            last_completion: 0,
+            pushes: 0,
+            full_stalls: 0,
+        }
+    }
+
+    /// The drain policy.
+    pub fn policy(&self) -> DrainPolicy {
+        self.policy
+    }
+
+    /// Number of pending writes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer has no pending writes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a push would fail right now.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Pushes an ordinary write observed at cycle `now` with the given
+    /// memory latency, returning its completion cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BufferFull`] if no slot is free; also counts the event
+    /// for [`WriteBuffer::full_stalls`].
+    pub fn push(&mut self, addr: u64, latency: u32, now: u64) -> Result<u64, BufferFull> {
+        self.push_inner(addr, latency, now, false)
+    }
+
+    /// Pushes a release operation: under any policy it completes only
+    /// after every previously pushed write has completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BufferFull`] if no slot is free.
+    pub fn push_release(&mut self, addr: u64, latency: u32, now: u64) -> Result<u64, BufferFull> {
+        self.push_inner(addr, latency, now, true)
+    }
+
+    fn push_inner(
+        &mut self,
+        addr: u64,
+        latency: u32,
+        now: u64,
+        release: bool,
+    ) -> Result<u64, BufferFull> {
+        if self.is_full() {
+            self.full_stalls += 1;
+            return Err(BufferFull);
+        }
+        let start = match self.policy {
+            DrainPolicy::Serialized => now.max(self.last_completion),
+            DrainPolicy::Overlapped => {
+                if release {
+                    // A release is ordered after all pending writes.
+                    now.max(self.pending_drain_time())
+                } else {
+                    now
+                }
+            }
+        };
+        let completes_at = start + latency as u64;
+        self.entries.push_back(Entry { addr, completes_at });
+        // FIFO retirement: a write cannot leave the buffer before the
+        // one ahead of it, so clamp last_completion monotonically.
+        self.last_completion = self.last_completion.max(completes_at);
+        self.pushes += 1;
+        Ok(completes_at)
+    }
+
+    /// Pops every entry at the head whose completion time is `<= now`
+    /// (FIFO retirement). Returns how many retired.
+    pub fn retire(&mut self, now: u64) -> usize {
+        let mut n = 0;
+        while let Some(head) = self.entries.front() {
+            if head.completes_at <= now {
+                self.entries.pop_front();
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        n
+    }
+
+    /// Whether a pending write matches the exact word address — a
+    /// subsequent read of that word can be serviced by forwarding from
+    /// the buffer instead of going to memory.
+    pub fn contains_word(&self, addr: u64) -> bool {
+        self.entries.iter().any(|e| e.addr == addr)
+    }
+
+    /// Whether any pending write falls in the line containing `addr`.
+    pub fn contains_line(&self, addr: u64, line_bytes: u64) -> bool {
+        let line = addr & !(line_bytes - 1);
+        self.entries
+            .iter()
+            .any(|e| (e.addr & !(line_bytes - 1)) == line)
+    }
+
+    /// Cycle by which every currently pending write will have
+    /// completed (0 if empty).
+    pub fn pending_drain_time(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| e.completes_at)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Completion time of the head entry, if any — the next retirement
+    /// opportunity.
+    pub fn head_completion(&self) -> Option<u64> {
+        self.entries.front().map(|e| e.completes_at)
+    }
+
+    /// Total writes pushed.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Times a push failed because the buffer was full.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+
+    /// Empties the buffer and zeroes timing state (not statistics).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.last_completion = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialized_writes_queue_behind_each_other() {
+        let mut wb = WriteBuffer::new(16, DrainPolicy::Serialized);
+        assert_eq!(wb.push(0x0, 50, 0).unwrap(), 50);
+        assert_eq!(wb.push(0x8, 50, 1).unwrap(), 100, "waits for first");
+        assert_eq!(wb.push(0x10, 1, 2).unwrap(), 101);
+    }
+
+    #[test]
+    fn overlapped_writes_complete_independently() {
+        let mut wb = WriteBuffer::new(16, DrainPolicy::Overlapped);
+        assert_eq!(wb.push(0x0, 50, 0).unwrap(), 50);
+        assert_eq!(wb.push(0x8, 50, 1).unwrap(), 51);
+        assert_eq!(wb.push(0x10, 1, 2).unwrap(), 3);
+    }
+
+    #[test]
+    fn release_orders_after_pending_writes() {
+        let mut wb = WriteBuffer::new(16, DrainPolicy::Overlapped);
+        wb.push(0x0, 50, 0).unwrap();
+        wb.push(0x8, 50, 5).unwrap(); // completes at 55
+        let t = wb.push_release(0x100, 1, 6).unwrap();
+        assert_eq!(t, 56, "release issues after last write completes");
+    }
+
+    #[test]
+    fn release_on_empty_buffer_issues_immediately() {
+        let mut wb = WriteBuffer::new(4, DrainPolicy::Overlapped);
+        assert_eq!(wb.push_release(0x100, 50, 10).unwrap(), 60);
+    }
+
+    #[test]
+    fn full_buffer_rejects_and_counts() {
+        let mut wb = WriteBuffer::new(2, DrainPolicy::Serialized);
+        wb.push(0x0, 50, 0).unwrap();
+        wb.push(0x8, 50, 0).unwrap();
+        assert_eq!(wb.push(0x10, 50, 0), Err(BufferFull));
+        assert_eq!(wb.full_stalls(), 1);
+        assert!(wb.is_full());
+    }
+
+    #[test]
+    fn fifo_retirement() {
+        let mut wb = WriteBuffer::new(4, DrainPolicy::Overlapped);
+        wb.push(0x0, 50, 0).unwrap(); // done at 50
+        wb.push(0x8, 1, 1).unwrap(); // done at 2 but behind head
+        assert_eq!(wb.retire(10), 0, "head not complete, nothing retires");
+        assert_eq!(wb.retire(50), 2, "head completes, both leave");
+        assert!(wb.is_empty());
+    }
+
+    #[test]
+    fn forwarding_probes() {
+        let mut wb = WriteBuffer::new(4, DrainPolicy::Overlapped);
+        wb.push(0x108, 50, 0).unwrap();
+        assert!(wb.contains_word(0x108));
+        assert!(!wb.contains_word(0x100));
+        assert!(wb.contains_line(0x100, 16), "0x108 is in line 0x100");
+        assert!(!wb.contains_line(0x110, 16));
+    }
+
+    #[test]
+    fn serialized_issue_after_retirement_gap() {
+        let mut wb = WriteBuffer::new(4, DrainPolicy::Serialized);
+        wb.push(0x0, 50, 0).unwrap();
+        wb.retire(50);
+        // Pushed long after the previous completed: issues immediately.
+        assert_eq!(wb.push(0x8, 50, 200).unwrap(), 250);
+    }
+
+    #[test]
+    fn drain_time_and_head_completion() {
+        let mut wb = WriteBuffer::new(4, DrainPolicy::Overlapped);
+        assert_eq!(wb.pending_drain_time(), 0);
+        assert_eq!(wb.head_completion(), None);
+        wb.push(0x0, 50, 0).unwrap();
+        wb.push(0x8, 10, 1).unwrap();
+        assert_eq!(wb.pending_drain_time(), 50);
+        assert_eq!(wb.head_completion(), Some(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        WriteBuffer::new(0, DrainPolicy::Serialized);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests of the write buffer and MSHR file timing contracts.
+
+use lookahead_memsys::{DrainPolicy, MshrFile, WriteBuffer};
+use proptest::prelude::*;
+
+proptest! {
+    /// Completion times reported by a write buffer never decrease for
+    /// later pushes under serialized draining, and an overlapped
+    /// buffer's completions are never later than a serialized one's
+    /// for the same pushes.
+    #[test]
+    fn overlapped_never_slower_than_serialized(
+        pushes in proptest::collection::vec((0u64..8, 1u32..60), 1..40)
+    ) {
+        let mut ser = WriteBuffer::new(64, DrainPolicy::Serialized);
+        let mut ovl = WriteBuffer::new(64, DrainPolicy::Overlapped);
+        let mut now = 0u64;
+        let mut last_ser = 0u64;
+        for (gap, lat) in pushes {
+            now += gap;
+            ser.retire(now);
+            ovl.retire(now);
+            let s = ser.push(0x100, lat, now).unwrap();
+            let o = ovl.push(0x100, lat, now).unwrap();
+            prop_assert!(o <= s, "overlapped {o} later than serialized {s}");
+            prop_assert!(s >= last_ser, "serialized completions must be monotone");
+            last_ser = s;
+            prop_assert!(o >= now + lat as u64, "cannot finish before its own latency");
+        }
+    }
+
+    /// A release never completes before any previously pushed write,
+    /// under either policy.
+    #[test]
+    fn release_is_ordered_after_all_writes(
+        lats in proptest::collection::vec(1u32..80, 1..20),
+        policy_ser in any::<bool>(),
+    ) {
+        let policy = if policy_ser { DrainPolicy::Serialized } else { DrainPolicy::Overlapped };
+        let mut wb = WriteBuffer::new(64, policy);
+        let mut latest = 0u64;
+        for (i, lat) in lats.iter().enumerate() {
+            let t = wb.push(i as u64 * 8, *lat, i as u64).unwrap();
+            latest = latest.max(t);
+        }
+        let rel = wb.push_release(0x1000, 1, lats.len() as u64).unwrap();
+        prop_assert!(rel > latest - 1, "release {rel} before a pending write {latest}");
+    }
+
+    /// The buffer never holds more than its capacity, and FIFO
+    /// retirement frees pushes in order.
+    #[test]
+    fn capacity_is_respected(
+        ops in proptest::collection::vec((any::<bool>(), 1u32..60), 1..60)
+    ) {
+        let mut wb = WriteBuffer::new(4, DrainPolicy::Overlapped);
+        let mut now = 0u64;
+        for (advance, lat) in ops {
+            if advance {
+                now += 40;
+                wb.retire(now);
+            }
+            if !wb.is_full() {
+                wb.push(0x40, lat, now).unwrap();
+            } else {
+                prop_assert!(wb.push(0x40, lat, now).is_err());
+            }
+            prop_assert!(wb.len() <= 4);
+        }
+    }
+
+    /// MSHR merging: requests to the same line always return the same
+    /// completion while outstanding; distinct lines respect capacity.
+    #[test]
+    fn mshr_merge_and_capacity(
+        lines in proptest::collection::vec(0u64..8, 1..50),
+        cap in 1usize..5,
+    ) {
+        let mut m = MshrFile::new(Some(cap));
+        let mut outstanding: std::collections::HashMap<u64, u64> = Default::default();
+        let mut now = 0u64;
+        for line_idx in lines {
+            now += 1;
+            m.retire_completed(now);
+            outstanding.retain(|_, &mut t| t > now);
+            let line = line_idx * 16;
+            match m.request(line, now, 50) {
+                Some(done) => {
+                    if let Some(&prev) = outstanding.get(&line) {
+                        prop_assert_eq!(done, prev, "merge must reuse completion");
+                    } else {
+                        prop_assert_eq!(done, now + 50);
+                        prop_assert!(outstanding.len() < cap);
+                        outstanding.insert(line, done);
+                    }
+                }
+                None => {
+                    prop_assert!(outstanding.len() >= cap, "refused below capacity");
+                    prop_assert!(!outstanding.contains_key(&line));
+                }
+            }
+            prop_assert!(m.len() <= cap);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Multiprocessor simulation configuration.
+
+use lookahead_memsys::{CacheConfig, MemoryParams};
+
+/// Configuration of the multiprocessor trace-generation run.
+///
+/// Defaults reproduce the paper's setup: 16 processors, 64 KB
+/// direct-mapped write-back caches with 16-byte lines, 16-entry write
+/// buffers, 50-cycle miss penalty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of processors (16 in the paper).
+    pub num_procs: usize,
+    /// Per-processor data-cache geometry.
+    pub cache: CacheConfig,
+    /// Memory latency parameters.
+    pub mem: MemoryParams,
+    /// Write buffer depth in entries (16 in the paper).
+    pub write_buffer_depth: usize,
+    /// Shared memory size in bytes; `None` sizes it to the data image
+    /// plus this much headroom is not needed because workloads allocate
+    /// everything in the image up front.
+    pub memory_bytes: Option<u64>,
+    /// Hard upper bound on simulated cycles (safety net against
+    /// livelock in buggy workloads).
+    pub max_cycles: u64,
+    /// Maximum misses the memory system services concurrently across
+    /// all processors; `None` reproduces the paper's contention-free
+    /// assumption (§3.2/§5). Queueing delay flows into the recorded
+    /// trace latencies.
+    pub memory_bandwidth: Option<usize>,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            num_procs: 16,
+            cache: CacheConfig::PAPER,
+            mem: MemoryParams::LATENCY_50,
+            write_buffer_depth: 16,
+            memory_bytes: None,
+            max_cycles: 2_000_000_000,
+            memory_bandwidth: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_procs == 0 {
+            return Err("num_procs must be at least 1".to_string());
+        }
+        if self.write_buffer_depth == 0 {
+            return Err("write_buffer_depth must be at least 1".to_string());
+        }
+        if self.memory_bandwidth == Some(0) {
+            return Err("memory_bandwidth must be at least 1 (or None)".to_string());
+        }
+        self.cache.validate().map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SimConfig::default();
+        assert_eq!(c.num_procs, 16);
+        assert_eq!(c.cache.size_bytes, 64 * 1024);
+        assert_eq!(c.cache.line_bytes, 16);
+        assert_eq!(c.mem.miss_penalty, 50);
+        assert_eq!(c.write_buffer_depth, 16);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        assert!(SimConfig {
+            num_procs: 0,
+            ..SimConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SimConfig {
+            write_buffer_depth: 0,
+            ..SimConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

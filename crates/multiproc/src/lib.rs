@@ -1,0 +1,53 @@
+//! Execution-driven shared-memory multiprocessor simulation — the
+//! Tango Lite equivalent of the paper's methodology (§3.2).
+//!
+//! The simulator runs one SRISC program SPMD-style on `N` processors
+//! (16 in the paper) over a shared flat memory, with:
+//!
+//! * simple **in-order, blocking-read** processors;
+//! * a **16-entry write buffer** per processor draining under release
+//!   consistency (writes overlap; releases wait for pending writes);
+//! * per-processor **64 KB direct-mapped write-back caches** kept
+//!   coherent by an invalidation protocol;
+//! * fixed memory latency: 1-cycle hits, a constant miss penalty;
+//! * lock / barrier / event synchronization in the style of the ANL
+//!   macro package, with precise wait-time accounting.
+//!
+//! Its product is one annotated dynamic instruction
+//! [`Trace`](lookahead_trace::Trace) per processor: every memory
+//! access carries its effective address and observed latency, every
+//! acquire its wait/access split, every branch its direction — exactly
+//! the information the paper's processor timing models re-time.
+//!
+//! # Example
+//!
+//! ```
+//! use lookahead_isa::{Assembler, IntReg};
+//! use lookahead_isa::program::DataImage;
+//! use lookahead_multiproc::{SimConfig, Simulator};
+//!
+//! // Each processor stores its id into slot id of a shared array.
+//! let mut image = DataImage::new();
+//! let array = image.alloc_words(4);
+//! let mut b = Assembler::new();
+//! b.li(IntReg::G0, array as i64);
+//! b.index_word(IntReg::T0, IntReg::G0, IntReg::A0);
+//! b.store(IntReg::A0, IntReg::T0, 0);
+//! b.halt();
+//! let program = b.assemble()?;
+//!
+//! let config = SimConfig { num_procs: 4, ..SimConfig::default() };
+//! let outcome = Simulator::new(program, image, config)?.run()?;
+//! assert_eq!(outcome.final_memory.read_i64(array + 3 * 8), 3);
+//! assert_eq!(outcome.traces.len(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod config;
+pub mod contention;
+pub mod sim;
+pub mod sync;
+
+pub use config::SimConfig;
+pub use contention::MemoryContention;
+pub use sim::{SimError, SimOutcome, Simulator};

@@ -1,0 +1,292 @@
+//! Synchronization coordination tables: locks, events, barriers.
+//!
+//! The tables gate *timing*; the architectural side effects (setting a
+//! lock word to 1, an event flag to 1) are performed by the SRISC
+//! interpreter when the simulator decides the operation may proceed.
+//!
+//! A lock released at cycle `t_exec` by an unlock whose memory write
+//! completes at `t_done >= t_exec` becomes grantable only at `t_done` —
+//! under release consistency the unlock goes through the write buffer
+//! and must wait for previous writes, and a competing acquirer cannot
+//! observe the release before it is performed.
+
+use std::collections::{HashMap, VecDeque};
+
+/// State of one lock variable.
+#[derive(Debug, Clone, Default)]
+pub struct LockState {
+    /// Processor currently holding the lock, if any.
+    holder: Option<usize>,
+    /// Cycle at which the most recent release becomes visible.
+    free_at: u64,
+    /// FIFO queue of blocked acquirers.
+    queue: VecDeque<usize>,
+}
+
+/// All lock variables, keyed by shared-memory address.
+#[derive(Debug, Clone, Default)]
+pub struct LockTable {
+    locks: HashMap<u64, LockState>,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    pub fn new() -> LockTable {
+        LockTable::default()
+    }
+
+    /// Attempts an immediate acquire by `proc` at cycle `now`.
+    /// Returns `true` (and records the hold) if the lock is free, its
+    /// last release is visible, and nobody is queued ahead; otherwise
+    /// enqueues `proc` and returns `false`.
+    pub fn try_acquire(&mut self, addr: u64, proc: usize, now: u64) -> bool {
+        let lock = self.locks.entry(addr).or_default();
+        if lock.holder.is_none() && now >= lock.free_at && lock.queue.is_empty() {
+            lock.holder = Some(proc);
+            true
+        } else {
+            lock.queue.push_back(proc);
+            false
+        }
+    }
+
+    /// Whether blocked `proc` can be granted the lock at cycle `now`
+    /// (it must be at the head of the queue). If so, the grant is
+    /// performed (the proc is dequeued and recorded as holder).
+    pub fn try_grant(&mut self, addr: u64, proc: usize, now: u64) -> bool {
+        let Some(lock) = self.locks.get_mut(&addr) else {
+            return false;
+        };
+        if lock.holder.is_none() && now >= lock.free_at && lock.queue.front() == Some(&proc) {
+            lock.queue.pop_front();
+            lock.holder = Some(proc);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases the lock; the release becomes visible at `visible_at`
+    /// (the completion time of the unlock's memory write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` does not hold the lock — an unlock without a
+    /// matching lock is a workload bug worth failing loudly on.
+    pub fn release(&mut self, addr: u64, proc: usize, visible_at: u64) {
+        let lock = self
+            .locks
+            .get_mut(&addr)
+            .unwrap_or_else(|| panic!("unlock of unknown lock {addr:#x}"));
+        assert_eq!(
+            lock.holder,
+            Some(proc),
+            "processor {proc} unlocking lock {addr:#x} it does not hold"
+        );
+        lock.holder = None;
+        lock.free_at = lock.free_at.max(visible_at);
+    }
+
+    /// If `proc` is the queue head of a free lock, the cycle at which
+    /// the grant will be possible (for fast-forwarding); `None` if the
+    /// wake time is unknown (lock still held or proc not at head).
+    pub fn wake_time(&self, addr: u64, proc: usize) -> Option<u64> {
+        let lock = self.locks.get(&addr)?;
+        if lock.holder.is_none() && lock.queue.front() == Some(&proc) {
+            Some(lock.free_at)
+        } else {
+            None
+        }
+    }
+
+    /// Current holder of the lock at `addr`, if any.
+    pub fn holder(&self, addr: u64) -> Option<usize> {
+        self.locks.get(&addr).and_then(|l| l.holder)
+    }
+
+    /// Number of processors queued on the lock at `addr`.
+    pub fn queue_len(&self, addr: u64) -> usize {
+        self.locks.get(&addr).map_or(0, |l| l.queue.len())
+    }
+}
+
+/// State of one event variable.
+#[derive(Debug, Clone, Copy, Default)]
+struct EventState {
+    /// Cycle at which the event's set becomes visible, if set.
+    set_at: Option<u64>,
+}
+
+/// All event variables, keyed by address.
+#[derive(Debug, Clone, Default)]
+pub struct EventTable {
+    events: HashMap<u64, EventState>,
+}
+
+impl EventTable {
+    /// Creates an empty table.
+    pub fn new() -> EventTable {
+        EventTable::default()
+    }
+
+    /// Marks the event as set, visible at `visible_at`. Setting an
+    /// already-set event keeps the earlier visibility time.
+    pub fn set(&mut self, addr: u64, visible_at: u64) {
+        let e = self.events.entry(addr).or_default();
+        e.set_at = Some(e.set_at.map_or(visible_at, |t| t.min(visible_at)));
+    }
+
+    /// Whether a waiter can proceed at cycle `now`.
+    pub fn is_set(&self, addr: u64, now: u64) -> bool {
+        self.events
+            .get(&addr)
+            .and_then(|e| e.set_at)
+            .is_some_and(|t| now >= t)
+    }
+
+    /// The visibility time of the set, if the event has been set.
+    pub fn set_time(&self, addr: u64) -> Option<u64> {
+        self.events.get(&addr).and_then(|e| e.set_at)
+    }
+}
+
+/// State of one barrier site (reusable across generations).
+#[derive(Debug, Clone, Default)]
+struct BarrierState {
+    /// Generation currently filling.
+    generation: u64,
+    arrived: usize,
+    max_arrive: u64,
+    /// generation -> release time, once complete.
+    releases: HashMap<u64, u64>,
+}
+
+/// All barrier sites, keyed by address.
+#[derive(Debug, Clone, Default)]
+pub struct BarrierTable {
+    barriers: HashMap<u64, BarrierState>,
+}
+
+impl BarrierTable {
+    /// Creates an empty table.
+    pub fn new() -> BarrierTable {
+        BarrierTable::default()
+    }
+
+    /// Registers an arrival that becomes effective at `arrive_time`
+    /// (after the arriving processor's writes have drained — the
+    /// release half of the barrier). Returns the generation joined.
+    /// When the `participants`-th processor arrives, the generation's
+    /// release time is fixed at one cycle past the latest arrival.
+    pub fn arrive(&mut self, addr: u64, arrive_time: u64, participants: usize) -> u64 {
+        let b = self.barriers.entry(addr).or_default();
+        b.arrived += 1;
+        b.max_arrive = b.max_arrive.max(arrive_time);
+        let generation = b.generation;
+        if b.arrived == participants {
+            b.releases.insert(generation, b.max_arrive + 1);
+            b.generation += 1;
+            b.arrived = 0;
+            b.max_arrive = 0;
+        }
+        generation
+    }
+
+    /// The release time of `generation` at this barrier, if complete.
+    pub fn release_time(&self, addr: u64, generation: u64) -> Option<u64> {
+        self.barriers
+            .get(&addr)
+            .and_then(|b| b.releases.get(&generation))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_uncontended_roundtrip() {
+        let mut t = LockTable::new();
+        assert!(t.try_acquire(0x40, 0, 10));
+        assert_eq!(t.holder(0x40), Some(0));
+        t.release(0x40, 0, 60);
+        assert_eq!(t.holder(0x40), None);
+        // Visible only at 60.
+        assert!(!t.try_acquire(0x40, 1, 50));
+        assert_eq!(t.wake_time(0x40, 1), Some(60));
+        assert!(t.try_grant(0x40, 1, 60));
+        assert_eq!(t.holder(0x40), Some(1));
+    }
+
+    #[test]
+    fn lock_queue_is_fifo() {
+        let mut t = LockTable::new();
+        assert!(t.try_acquire(0x40, 0, 0));
+        assert!(!t.try_acquire(0x40, 1, 1));
+        assert!(!t.try_acquire(0x40, 2, 2));
+        assert_eq!(t.queue_len(0x40), 2);
+        t.release(0x40, 0, 5);
+        assert!(!t.try_grant(0x40, 2, 10), "proc 2 is not queue head");
+        assert!(t.try_grant(0x40, 1, 10));
+        t.release(0x40, 1, 20);
+        assert!(t.try_grant(0x40, 2, 20));
+    }
+
+    #[test]
+    fn queued_acquire_does_not_steal_even_if_free() {
+        let mut t = LockTable::new();
+        assert!(t.try_acquire(0x40, 0, 0));
+        assert!(!t.try_acquire(0x40, 1, 1));
+        t.release(0x40, 0, 2);
+        // A latecomer must queue behind proc 1.
+        assert!(!t.try_acquire(0x40, 2, 10));
+        assert!(t.try_grant(0x40, 1, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn unlock_by_non_holder_panics() {
+        let mut t = LockTable::new();
+        t.try_acquire(0x40, 0, 0);
+        t.release(0x40, 1, 0);
+    }
+
+    #[test]
+    fn wake_time_unknown_while_held() {
+        let mut t = LockTable::new();
+        t.try_acquire(0x40, 0, 0);
+        t.try_acquire(0x40, 1, 1);
+        assert_eq!(t.wake_time(0x40, 1), None);
+        t.release(0x40, 0, 30);
+        assert_eq!(t.wake_time(0x40, 1), Some(30));
+    }
+
+    #[test]
+    fn event_visibility() {
+        let mut t = EventTable::new();
+        assert!(!t.is_set(0x80, 100));
+        t.set(0x80, 50);
+        assert!(!t.is_set(0x80, 49));
+        assert!(t.is_set(0x80, 50));
+        // Re-set keeps earliest time.
+        t.set(0x80, 70);
+        assert_eq!(t.set_time(0x80), Some(50));
+    }
+
+    #[test]
+    fn barrier_generations() {
+        let mut t = BarrierTable::new();
+        let g0a = t.arrive(0xc0, 10, 2);
+        assert_eq!(t.release_time(0xc0, g0a), None, "only one arrived");
+        let g0b = t.arrive(0xc0, 25, 2);
+        assert_eq!(g0a, g0b);
+        assert_eq!(t.release_time(0xc0, g0a), Some(26));
+        // Next generation is independent.
+        let g1 = t.arrive(0xc0, 100, 2);
+        assert_eq!(g1, g0a + 1);
+        assert_eq!(t.release_time(0xc0, g1), None);
+        t.arrive(0xc0, 90, 2);
+        assert_eq!(t.release_time(0xc0, g1), Some(101));
+    }
+}

@@ -1,0 +1,725 @@
+//! Compile-time instruction scheduling for SRISC programs.
+//!
+//! The paper closes with: "it would be interesting to evaluate
+//! compiler techniques that exploit relaxed models to schedule reads
+//! early. Such compiler rescheduling may allow dynamic processors with
+//! small windows or statically scheduled processors with non-blocking
+//! reads to effectively hide read latency with simpler hardware"
+//! (§7). This crate implements that technique: a basic-block list
+//! scheduler that hoists loads as early as their dependences allow and
+//! sinks their uses as late as possible, widening the load-to-use
+//! distance that the SS processor (stall at first use) can overlap.
+//!
+//! The pass is *RC-legal*: it reorders ordinary loads and stores only
+//! between synchronization operations and never moves a memory access
+//! across a store or a synchronization instruction — exactly the
+//! reordering a release-consistent system permits the compiler. Under
+//! SC the same transformation would be unsound for shared data, which
+//! is the paper's §2 point about relaxed models enabling compiler
+//! optimizations.
+//!
+//! Guarantees:
+//!
+//! * single-thread semantics are preserved exactly (register and
+//!   memory dependences are honored; the property/workload tests
+//!   verify final architectural state end to end);
+//! * basic-block boundaries and sizes are unchanged, so every branch
+//!   target remains valid;
+//! * stores, synchronization and control instructions keep their
+//!   relative order.
+//!
+//! # Example
+//!
+//! ```
+//! use lookahead_isa::{Assembler, IntReg};
+//! use lookahead_schedule::schedule_program;
+//!
+//! let mut a = Assembler::new();
+//! a.addi(IntReg::T2, IntReg::T2, 1);       // filler
+//! a.load(IntReg::T1, IntReg::G0, 0);       // load...
+//! a.addi(IntReg::T3, IntReg::T1, 1);       // ...used immediately
+//! a.halt();
+//! let p = a.assemble()?;
+//! let (scheduled, stats) = schedule_program(&p);
+//! assert_eq!(scheduled.len(), p.len());
+//! assert!(stats.loads_hoisted >= 1, "{stats:?}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod unroll;
+
+use lookahead_isa::{FpReg, Instruction, IntReg, OpClass, Program};
+pub use unroll::{unroll_program, UnrollStats};
+
+/// Statistics from a scheduling pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Basic blocks processed.
+    pub blocks: usize,
+    /// Loads moved to an earlier position within their block.
+    pub loads_hoisted: u64,
+    /// Sum of positions gained by hoisted loads (instructions).
+    pub hoist_distance: u64,
+    /// Register definitions renamed to break WAR/WAW hazards.
+    pub defs_renamed: u64,
+}
+
+/// Schedules every basic block of `program` (with local register
+/// renaming first — see [`rename_program`]), returning the transformed
+/// program and pass statistics.
+pub fn schedule_program(program: &Program) -> (Program, ScheduleStats) {
+    let (renamed, rename_stats) = rename_program(program);
+    let instrs = renamed.instructions();
+    let leaders = block_leaders(instrs);
+    let mut stats = ScheduleStats {
+        defs_renamed: rename_stats.defs_renamed,
+        ..ScheduleStats::default()
+    };
+    let mut out: Vec<Instruction> = Vec::with_capacity(instrs.len());
+    let mut starts: Vec<usize> = leaders.iter().copied().collect();
+    starts.sort_unstable();
+    starts.dedup();
+    for (bi, &start) in starts.iter().enumerate() {
+        let end = starts.get(bi + 1).copied().unwrap_or(instrs.len());
+        stats.blocks += 1;
+        schedule_block(&instrs[start..end], &mut out, &mut stats);
+    }
+    (Program::new(out), stats)
+}
+
+/// The full optimization pipeline of the paper's §7 conjecture:
+/// unroll counted loops by `unroll_factor` (putting several iterations
+/// into one basic block), rename killed definitions to break WAR/WAW
+/// hazards, then list-schedule each block with loads first.
+pub fn optimize_program(
+    program: &Program,
+    unroll_factor: usize,
+) -> (Program, ScheduleStats, UnrollStats) {
+    let (unrolled, ustats) = if unroll_factor >= 2 {
+        unroll_program(program, unroll_factor)
+    } else {
+        (program.clone(), UnrollStats::default())
+    };
+    let (scheduled, sstats) = schedule_program(&unrolled);
+    (scheduled, sstats, ustats)
+}
+
+/// Local register renaming: within each basic block, definitions that
+/// are killed (redefined) before the block ends are renamed to
+/// registers the program never touches, eliminating the WAR/WAW
+/// hazards that hand-written kernels create by reusing temporaries.
+/// The *last* definition of each architectural register keeps its
+/// name, so live-out values are unchanged; block sizes and therefore
+/// all branch targets are preserved.
+pub fn rename_program(program: &Program) -> (Program, ScheduleStats) {
+    let instrs = program.instructions();
+    // Registers the program never references are safe rename targets.
+    let mut int_used = [false; 32];
+    let mut fp_used = [false; 32];
+    for ins in instrs {
+        for r in ins.int_sources().iter() {
+            int_used[r.index()] = true;
+        }
+        if let Some(r) = ins.int_dest() {
+            int_used[r.index()] = true;
+        }
+        for r in ins.fp_sources().iter() {
+            fp_used[r.index()] = true;
+        }
+        if let Some(r) = ins.fp_dest() {
+            fp_used[r.index()] = true;
+        }
+    }
+    let free_int: Vec<IntReg> = (1..32)
+        .filter(|&i| !int_used[i])
+        .map(|i| IntReg::new(i).expect("index in range"))
+        .collect();
+    let free_fp: Vec<FpReg> = (0..32)
+        .filter(|&i| !fp_used[i])
+        .map(|i| FpReg::new(i).expect("index in range"))
+        .collect();
+
+    let leaders = block_leaders(instrs);
+    let mut starts: Vec<usize> = leaders;
+    starts.sort_unstable();
+    starts.dedup();
+    let mut stats = ScheduleStats::default();
+    let mut out: Vec<Instruction> = Vec::with_capacity(instrs.len());
+    for (bi, &start) in starts.iter().enumerate() {
+        let end = starts.get(bi + 1).copied().unwrap_or(instrs.len());
+        rename_block(&instrs[start..end], &free_int, &free_fp, &mut out, &mut stats);
+    }
+    (Program::new(out), stats)
+}
+
+fn rename_block(
+    block: &[Instruction],
+    free_int: &[IntReg],
+    free_fp: &[FpReg],
+    out: &mut Vec<Instruction>,
+    stats: &mut ScheduleStats,
+) {
+    // Count remaining definitions of each register from each position,
+    // so we know whether a def is the last one in the block.
+    let n = block.len();
+    let mut int_defs_after = vec![[0u32; 32]; n + 1];
+    let mut fp_defs_after = vec![[0u32; 32]; n + 1];
+    for i in (0..n).rev() {
+        int_defs_after[i] = int_defs_after[i + 1];
+        fp_defs_after[i] = fp_defs_after[i + 1];
+        if let Some(r) = block[i].int_dest() {
+            int_defs_after[i][r.index()] += 1;
+        }
+        if let Some(r) = block[i].fp_dest() {
+            fp_defs_after[i][r.index()] += 1;
+        }
+    }
+    // Current location of each architectural register's value.
+    let mut cur_int: Vec<IntReg> = IntReg::all().collect();
+    let mut cur_fp: Vec<FpReg> = FpReg::all().collect();
+    let mut next_free_int = 0usize;
+    let mut next_free_fp = 0usize;
+    for (i, ins) in block.iter().enumerate() {
+        // Phase 1: rewrite sources through the current locations
+        // (reads see the value of the *previous* definition).
+        let src_mapped = ins.map_registers(
+            |r| cur_int[r.index()],
+            |r| r,
+            |r| cur_fp[r.index()],
+            |r| r,
+        );
+        // Phase 2: pick the destination's new home.
+        let new_int_dest = ins.int_dest().map(|r| {
+            if int_defs_after[i + 1][r.index()] > 0 && next_free_int < free_int.len() {
+                let fresh = free_int[next_free_int];
+                next_free_int += 1;
+                stats.defs_renamed += 1;
+                cur_int[r.index()] = fresh;
+                fresh
+            } else {
+                cur_int[r.index()] = r;
+                r
+            }
+        });
+        let new_fp_dest = ins.fp_dest().map(|r| {
+            if fp_defs_after[i + 1][r.index()] > 0 && next_free_fp < free_fp.len() {
+                let fresh = free_fp[next_free_fp];
+                next_free_fp += 1;
+                stats.defs_renamed += 1;
+                cur_fp[r.index()] = fresh;
+                fresh
+            } else {
+                cur_fp[r.index()] = r;
+                r
+            }
+        });
+        out.push(src_mapped.map_registers(
+            |r| r,
+            |r| new_int_dest.unwrap_or(r),
+            |r| r,
+            |r| new_fp_dest.unwrap_or(r),
+        ));
+    }
+}
+
+/// The set of basic-block leader indices: entry, all branch/jump
+/// targets, and every instruction following a control transfer or
+/// halt.
+fn block_leaders(instrs: &[Instruction]) -> Vec<usize> {
+    let mut leaders = vec![0usize];
+    for (i, ins) in instrs.iter().enumerate() {
+        match ins {
+            Instruction::Branch { target, .. } => {
+                leaders.push(*target);
+                leaders.push(i + 1);
+            }
+            Instruction::Jump { target } | Instruction::JumpAndLink { target, .. } => {
+                leaders.push(*target);
+                leaders.push(i + 1);
+            }
+            Instruction::JumpReg { .. } | Instruction::Halt => {
+                leaders.push(i + 1);
+            }
+            // A jump-and-link's return point is the instruction after
+            // the *call site*, already covered above; the callee's
+            // `jr` target is a former `jal`'s successor, also covered.
+            _ => {}
+        }
+    }
+    leaders.retain(|&l| l < instrs.len());
+    leaders
+}
+
+/// Register slots: 0..32 integer, 32..64 floating point.
+fn reg_slots(ins: &Instruction) -> (Vec<usize>, Vec<usize>) {
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for r in ins.int_sources().iter() {
+        if !r.is_zero() {
+            reads.push(r.index());
+        }
+    }
+    for r in ins.fp_sources().iter() {
+        reads.push(32 + r.index());
+    }
+    if let Some(r) = ins.int_dest() {
+        writes.push(r.index());
+    }
+    if let Some(r) = ins.fp_dest() {
+        writes.push(32 + r.index());
+    }
+    (reads, writes)
+}
+
+/// A symbolic address: a sum of at most two scaled value terms plus a
+/// displacement. Value ids 0..64 denote the register contents at block
+/// entry (`r0` is the constant zero); larger ids are opaque values
+/// created inside the block. Two addresses with identical terms and
+/// different displacements are provably distinct words (all SRISC
+/// accesses are word-aligned), which lets the scheduler move a load
+/// past a store it cannot alias — the disambiguation a compiler needs
+/// to overlap unrolled iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Expr {
+    terms: [(u32, i64); 2],
+    nterms: u8,
+    disp: i64,
+}
+
+impl Expr {
+    fn constant(disp: i64) -> Expr {
+        Expr {
+            terms: [(0, 0); 2],
+            nterms: 0,
+            disp,
+        }
+    }
+
+    fn value(id: u32) -> Expr {
+        Expr {
+            terms: [(id, 1), (0, 0)],
+            nterms: 1,
+            disp: 0,
+        }
+    }
+
+    fn add_imm(self, imm: i64) -> Expr {
+        Expr {
+            disp: self.disp.wrapping_add(imm),
+            ..self
+        }
+    }
+
+    fn scale(self, f: i64) -> Option<Expr> {
+        if f == 0 {
+            return Some(Expr::constant(0));
+        }
+        let mut e = self;
+        for t in e.terms.iter_mut().take(e.nterms as usize) {
+            t.1 = t.1.checked_mul(f)?;
+        }
+        e.disp = e.disp.checked_mul(f)?;
+        Some(e)
+    }
+
+    fn sum(self, other: Expr) -> Option<Expr> {
+        let mut terms: Vec<(u32, i64)> = Vec::with_capacity(4);
+        terms.extend_from_slice(&self.terms[..self.nterms as usize]);
+        for &(id, sc) in &other.terms[..other.nterms as usize] {
+            if let Some(t) = terms.iter_mut().find(|t| t.0 == id) {
+                t.1 = t.1.checked_add(sc)?;
+            } else {
+                terms.push((id, sc));
+            }
+        }
+        terms.retain(|t| t.1 != 0);
+        if terms.len() > 2 {
+            return None;
+        }
+        terms.sort_unstable();
+        let mut arr = [(0u32, 0i64); 2];
+        for (i, t) in terms.iter().enumerate() {
+            arr[i] = *t;
+        }
+        Some(Expr {
+            terms: arr,
+            nterms: terms.len() as u8,
+            disp: self.disp.checked_add(other.disp)?,
+        })
+    }
+
+    /// Provably different words: identical symbolic part, different
+    /// displacement.
+    fn disjoint_from(self, other: Expr) -> bool {
+        self.nterms == other.nterms
+            && self.terms[..self.nterms as usize] == other.terms[..other.nterms as usize]
+            && self.disp != other.disp
+    }
+}
+
+/// Tracks symbolic register contents through a block.
+struct ExprState {
+    regs: [Expr; 32],
+    next_id: u32,
+}
+
+impl ExprState {
+    fn new() -> ExprState {
+        let mut regs = [Expr::constant(0); 32];
+        for (i, e) in regs.iter_mut().enumerate().skip(1) {
+            *e = Expr::value(i as u32);
+        }
+        ExprState { regs, next_id: 64 }
+    }
+
+    fn fresh(&mut self) -> Expr {
+        let id = self.next_id;
+        self.next_id += 1;
+        Expr::value(id)
+    }
+
+    /// The address of a memory operation, if it is one.
+    fn address_of(&self, ins: &Instruction) -> Option<Expr> {
+        match *ins {
+            Instruction::Load { base, offset, .. }
+            | Instruction::Store { base, offset, .. }
+            | Instruction::LoadF { base, offset, .. }
+            | Instruction::StoreF { base, offset, .. } => {
+                Some(self.regs[base.index()].add_imm(offset))
+            }
+            _ => None,
+        }
+    }
+
+    /// Updates the destination register's symbolic value.
+    fn step(&mut self, ins: &Instruction) {
+        use lookahead_isa::AluOp;
+        let Some(rd) = ins.int_dest() else {
+            return;
+        };
+        let value = match *ins {
+            Instruction::LoadImm { imm, .. } => Expr::constant(imm),
+            Instruction::AluImm { op, rs1, imm, .. } => {
+                let src = self.regs[rs1.index()];
+                match op {
+                    AluOp::Add => Some(src.add_imm(imm)),
+                    AluOp::Sub => Some(src.add_imm(-imm)),
+                    AluOp::Mul => src.scale(imm),
+                    AluOp::Sll if (0..32).contains(&imm) => src.scale(1i64 << imm),
+                    _ => None,
+                }
+                .unwrap_or_else(|| self.fresh())
+            }
+            Instruction::Alu { op, rs1, rs2, .. } => {
+                let (a, b) = (self.regs[rs1.index()], self.regs[rs2.index()]);
+                match op {
+                    AluOp::Add => a.sum(b),
+                    AluOp::Sub => b.scale(-1).and_then(|nb| a.sum(nb)),
+                    _ => None,
+                }
+                .unwrap_or_else(|| self.fresh())
+            }
+            _ => self.fresh(),
+        };
+        self.regs[rd.index()] = value;
+    }
+}
+
+/// List-schedules one block into `out`.
+fn schedule_block(block: &[Instruction], out: &mut Vec<Instruction>, stats: &mut ScheduleStats) {
+    let n = block.len();
+    if n <= 1 {
+        out.extend_from_slice(block);
+        return;
+    }
+    // The trailing control instruction (branch/jump/halt) is pinned.
+    let pinned_tail = block
+        .last()
+        .map(|i| {
+            i.is_control() || matches!(i, Instruction::Halt)
+        })
+        .unwrap_or(false);
+    let schedulable = if pinned_tail { n - 1 } else { n };
+
+    // Build dependence edges.
+    let mut preds: Vec<u32> = vec![0; schedulable];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); schedulable];
+    let add_edge = |from: usize, to: usize, succs: &mut Vec<Vec<usize>>, preds: &mut Vec<u32>| {
+        if from != to && !succs[from].contains(&to) {
+            succs[from].push(to);
+            preds[to] += 1;
+        }
+    };
+    let mut last_write: [Option<usize>; 64] = [None; 64];
+    let mut readers: Vec<Vec<usize>> = vec![Vec::new(); 64];
+    // Memory ordering with symbolic disambiguation: an access only
+    // depends on a prior access it may alias (or any synchronization,
+    // which is a full fence).
+    let mut mem_since_sync: Vec<(usize, bool, Option<Expr>)> = Vec::new();
+    let mut last_sync: Option<usize> = None;
+    let mut exprs = ExprState::new();
+
+    for (i, ins) in block[..schedulable].iter().enumerate() {
+        let (reads, writes) = reg_slots(ins);
+        for &r in &reads {
+            if let Some(w) = last_write[r] {
+                add_edge(w, i, &mut succs, &mut preds); // RAW
+            }
+            readers[r].push(i);
+        }
+        for &w in &writes {
+            if let Some(prev) = last_write[w] {
+                add_edge(prev, i, &mut succs, &mut preds); // WAW
+            }
+            for &rd in &readers[w] {
+                add_edge(rd, i, &mut succs, &mut preds); // WAR
+            }
+            readers[w].clear();
+            last_write[w] = Some(i);
+        }
+        let my_addr = exprs.address_of(ins);
+        let may_alias = |a: &Option<Expr>, b: &Option<Expr>| match (a, b) {
+            (Some(x), Some(y)) => !x.disjoint_from(*y),
+            _ => true, // unknown address: assume aliasing
+        };
+        match ins.class() {
+            OpClass::Load => {
+                if let Some(b) = last_sync {
+                    add_edge(b, i, &mut succs, &mut preds);
+                }
+                for &(p, is_store, ref pe) in &mem_since_sync {
+                    if is_store && may_alias(pe, &my_addr) {
+                        add_edge(p, i, &mut succs, &mut preds);
+                    }
+                }
+                mem_since_sync.push((i, false, my_addr));
+            }
+            OpClass::Store => {
+                if let Some(b) = last_sync {
+                    add_edge(b, i, &mut succs, &mut preds);
+                }
+                for &(p, _, ref pe) in &mem_since_sync {
+                    if may_alias(pe, &my_addr) {
+                        add_edge(p, i, &mut succs, &mut preds);
+                    }
+                }
+                mem_since_sync.push((i, true, my_addr));
+            }
+            OpClass::Sync(_) => {
+                if let Some(b) = last_sync {
+                    add_edge(b, i, &mut succs, &mut preds);
+                }
+                for &(p, _, _) in &mem_since_sync {
+                    add_edge(p, i, &mut succs, &mut preds);
+                }
+                mem_since_sync.clear();
+                last_sync = Some(i);
+            }
+            _ => {}
+        }
+        exprs.step(ins);
+    }
+
+    // Greedy list scheduling: loads first among ready instructions,
+    // otherwise original order.
+    let mut ready: Vec<usize> = (0..schedulable).filter(|&i| preds[i] == 0).collect();
+    let mut scheduled: Vec<usize> = Vec::with_capacity(schedulable);
+    while let Some(pos) = {
+        ready.sort_unstable();
+        ready
+            .iter()
+            .position(|&i| block[i].class() == OpClass::Load)
+            .or(if ready.is_empty() { None } else { Some(0) })
+    } {
+        let i = ready.remove(pos);
+        scheduled.push(i);
+        for &s in &succs[i] {
+            preds[s] -= 1;
+            if preds[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    debug_assert_eq!(scheduled.len(), schedulable, "scheduling lost instructions");
+
+    for (new_pos, &old_pos) in scheduled.iter().enumerate() {
+        if block[old_pos].class() == OpClass::Load && new_pos < old_pos {
+            stats.loads_hoisted += 1;
+            stats.hoist_distance += (old_pos - new_pos) as u64;
+        }
+        out.push(block[old_pos]);
+    }
+    if pinned_tail {
+        out.push(block[n - 1]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lookahead_isa::interp::{FlatMemory, Machine};
+    use lookahead_isa::program::DataImage;
+    use lookahead_isa::{Assembler, IntReg};
+
+    /// Runs a program to completion and returns (T1..T5, memory).
+    fn run(p: &Program, image: &DataImage) -> ([i64; 5], FlatMemory) {
+        let mut mem = FlatMemory::from_image(image.words().to_vec(), 8192);
+        let mut m = Machine::new();
+        m.run(p, &mut mem, 1_000_000).unwrap();
+        (
+            [
+                m.ireg(IntReg::T1),
+                m.ireg(IntReg::T2),
+                m.ireg(IntReg::T3),
+                m.ireg(IntReg::T4),
+                m.ireg(IntReg::T5),
+            ],
+            mem,
+        )
+    }
+
+    fn image_with_data() -> DataImage {
+        let mut img = DataImage::new();
+        img.alloc_i64_slice(&[10, 20, 30, 40, 50, 60, 70, 80]);
+        img
+    }
+
+    #[test]
+    fn load_hoisted_above_independent_compute() {
+        let mut a = Assembler::new();
+        a.li(IntReg::G0, 0);
+        a.addi(IntReg::T2, IntReg::T2, 1);
+        a.addi(IntReg::T2, IntReg::T2, 1);
+        a.load(IntReg::T1, IntReg::G0, 0);
+        a.addi(IntReg::T3, IntReg::T1, 5);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (sp, stats) = schedule_program(&p);
+        assert!(stats.loads_hoisted >= 1);
+        assert!(stats.hoist_distance >= 2);
+        // The load now sits right after its address producer.
+        let pos = |prog: &Program, pred: fn(&Instruction) -> bool| {
+            prog.instructions().iter().position(pred).unwrap()
+        };
+        let load_at = pos(&sp, |i| matches!(i, Instruction::Load { .. }));
+        assert!(load_at < 2, "load not hoisted: at {load_at}\n{sp}");
+        // Semantics preserved.
+        let img = image_with_data();
+        assert_eq!(run(&p, &img), run(&sp, &img));
+    }
+
+    #[test]
+    fn load_not_hoisted_above_store() {
+        let mut a = Assembler::new();
+        a.li(IntReg::G0, 0);
+        a.li(IntReg::T2, 99);
+        a.store(IntReg::T2, IntReg::G0, 0); // store to the same word
+        a.load(IntReg::T1, IntReg::G0, 0); // must stay after the store
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (sp, _) = schedule_program(&p);
+        let instrs = sp.instructions();
+        let store_at = instrs
+            .iter()
+            .position(|i| matches!(i, Instruction::Store { .. }))
+            .unwrap();
+        let load_at = instrs
+            .iter()
+            .position(|i| matches!(i, Instruction::Load { .. }))
+            .unwrap();
+        assert!(store_at < load_at, "load crossed a store\n{sp}");
+        let img = image_with_data();
+        assert_eq!(run(&p, &img), run(&sp, &img));
+    }
+
+    #[test]
+    fn loads_do_not_cross_synchronization() {
+        let mut a = Assembler::new();
+        a.li(IntReg::G0, 0);
+        a.lock(IntReg::G0, 64);
+        a.load(IntReg::T1, IntReg::G0, 0);
+        a.unlock(IntReg::G0, 64);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (sp, _) = schedule_program(&p);
+        let classes: Vec<_> = sp.instructions().iter().map(|i| i.class()).collect();
+        let lock_at = classes
+            .iter()
+            .position(|c| matches!(c, OpClass::Sync(lookahead_isa::SyncKind::Lock)))
+            .unwrap();
+        let load_at = classes.iter().position(|c| *c == OpClass::Load).unwrap();
+        let unlock_at = classes
+            .iter()
+            .position(|c| matches!(c, OpClass::Sync(lookahead_isa::SyncKind::Unlock)))
+            .unwrap();
+        assert!(lock_at < load_at && load_at < unlock_at, "{sp}");
+    }
+
+    #[test]
+    fn branches_stay_at_block_ends_and_targets_hold() {
+        let mut a = Assembler::new();
+        a.li(IntReg::T1, 0);
+        a.for_range(IntReg::T2, 0, 5, |a| {
+            a.load(IntReg::T3, IntReg::T1, 0);
+            a.addi(IntReg::T1, IntReg::T1, 8);
+            a.add(IntReg::T4, IntReg::T4, IntReg::T3);
+        });
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (sp, _) = schedule_program(&p);
+        assert_eq!(sp.len(), p.len());
+        let img = image_with_data();
+        assert_eq!(run(&p, &img), run(&sp, &img));
+    }
+
+    #[test]
+    fn waw_and_war_hazards_respected() {
+        let mut a = Assembler::new();
+        a.li(IntReg::G0, 0);
+        a.load(IntReg::T1, IntReg::G0, 0); // T1 = 10
+        a.addi(IntReg::T2, IntReg::T1, 1); // reads T1 (11)
+        a.load(IntReg::T1, IntReg::G0, 8); // WAW/WAR on T1 (20)
+        a.addi(IntReg::T3, IntReg::T1, 2); // reads new T1 (22)
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (sp, _) = schedule_program(&p);
+        let img = image_with_data();
+        let (regs, _) = run(&sp, &img);
+        assert_eq!(regs[1], 11, "{sp}");
+        assert_eq!(regs[2], 22, "{sp}");
+    }
+
+    #[test]
+    fn empty_and_tiny_blocks_survive() {
+        let mut a = Assembler::new();
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (sp, stats) = schedule_program(&p);
+        assert_eq!(sp.len(), 1);
+        assert_eq!(stats.loads_hoisted, 0);
+    }
+
+    #[test]
+    fn workload_programs_still_verify_after_scheduling() {
+        use lookahead_multiproc::{SimConfig, Simulator};
+        use lookahead_workloads::App;
+        for app in App::ALL {
+            let w = app.small_workload();
+            let built = w.build(4);
+            let (scheduled, stats) = schedule_program(&built.program);
+            assert_eq!(scheduled.len(), built.program.len(), "{app}");
+            let config = SimConfig {
+                num_procs: 4,
+                max_cycles: 500_000_000,
+                ..SimConfig::default()
+            };
+            let out = Simulator::new(scheduled, built.image, config)
+                .unwrap()
+                .run()
+                .unwrap_or_else(|e| panic!("{app}: scheduled program failed: {e}"));
+            (built.verify)(&out.final_memory)
+                .unwrap_or_else(|e| panic!("{app}: scheduled program wrong: {e}"));
+            assert!(stats.blocks > 0, "{app}");
+        }
+    }
+}

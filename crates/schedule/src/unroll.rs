@@ -1,0 +1,440 @@
+//! Loop unrolling for SRISC programs.
+//!
+//! Basic-block scheduling alone cannot help a loop whose body is one
+//! serial dependence chain (address → load → use), which is the common
+//! shape of our kernels' inner loops. Unrolling places `factor`
+//! consecutive iterations into a *single* basic block, so the
+//! downstream renamer and list scheduler can hoist iteration *i+1*'s
+//! loads above iteration *i*'s uses — the cross-iteration overlap the
+//! paper's §7 compiler conjecture is really about.
+//!
+//! Only a conservative loop shape is transformed (everything else is
+//! left untouched):
+//!
+//! ```text
+//! head:  <preamble: integer ALU only, e.g. a materialized bound>
+//!        bge  var, end, exit
+//!        <straight-line body>
+//!        addi var, var, step        ; step > 0
+//!        j    head
+//! exit:
+//! ```
+//!
+//! which is exactly what the assembler's `for_range`, `for_step` and
+//! `while_loop(Lt)` helpers emit. The transformed code runs an
+//! unrolled pack guarded by `var + (factor-1)*step < end`, followed by
+//! the original loop as the remainder — so any trip count, including
+//! zero, executes identically. One program-wide pass then remaps every
+//! branch target.
+
+use lookahead_isa::{AluOp, BranchCond, Instruction, IntReg, OpClass, Program};
+
+
+/// Statistics from an unrolling pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnrollStats {
+    /// Loops matching the unrollable shape.
+    pub loops_unrolled: usize,
+    /// Instructions added by duplication.
+    pub instructions_added: usize,
+}
+
+/// A recognized unrollable loop.
+#[derive(Debug, Clone, Copy)]
+struct LoopShape {
+    /// Index of the loop head (jump target).
+    head: usize,
+    /// Index of the exit branch (`bge var, end, exit`).
+    branch: usize,
+    /// First index past the loop (branch target).
+    exit: usize,
+    var: IntReg,
+    end: IntReg,
+    step: i64,
+}
+
+/// Unrolls every recognizable counted loop by `factor`, remapping all
+/// branch targets. Returns the transformed program and statistics.
+///
+/// # Panics
+///
+/// Panics if `factor < 2` (1 would be the identity).
+pub fn unroll_program(program: &Program, factor: usize) -> (Program, UnrollStats) {
+    assert!(factor >= 2, "unroll factor must be at least 2");
+    let instrs = program.instructions();
+    let mut stats = UnrollStats::default();
+
+    // One free integer register is needed for the pack guard.
+    let mut used = [false; 32];
+    used[0] = true;
+    for ins in instrs {
+        for r in ins.int_sources().iter() {
+            used[r.index()] = true;
+        }
+        if let Some(r) = ins.int_dest() {
+            used[r.index()] = true;
+        }
+    }
+    let Some(guard_reg) = (1..32)
+        .find(|&i| !used[i])
+        .map(|i| IntReg::new(i).expect("in range"))
+    else {
+        return (Program::new(instrs.to_vec()), stats);
+    };
+
+    // All branch/jump targets, to reject loops that are entered from
+    // elsewhere mid-body.
+    let mut target_count = vec![0u32; instrs.len() + 1];
+    for ins in instrs {
+        match ins {
+            Instruction::Branch { target, .. }
+            | Instruction::Jump { target }
+            | Instruction::JumpAndLink { target, .. } => target_count[*target] += 1,
+            _ => {}
+        }
+    }
+
+    let loops = find_loops(instrs, &target_count);
+
+    // Pass 1: sizes. map[i] = new index of original instruction i.
+    // Emitted layout per loop: pack = preamble + guard(2) +
+    // factor*(body+addi) + jump; remainder = preamble + branch +
+    // (body+addi) + jump.
+    let emitted_len = |l: &LoopShape| {
+        let preamble = l.branch - l.head;
+        let body_and_addi = (l.exit - 1) - (l.branch + 1);
+        2 * preamble + (factor + 1) * body_and_addi + 5
+    };
+    let mut map = vec![0usize; instrs.len() + 1];
+    let mut cursor = 0usize;
+    let mut li = 0usize; // index into loops
+    let mut i = 0usize;
+    while i < instrs.len() {
+        if li < loops.len() && loops[li].head == i {
+            let l = loops[li];
+            // Only `head` is a legal external target; map the whole
+            // region to the pack start so any target stays defined.
+            for k in l.head..l.exit {
+                map[k] = cursor;
+            }
+            cursor += emitted_len(&l);
+            i = l.exit;
+            li += 1;
+        } else {
+            map[i] = cursor;
+            cursor += 1;
+            i += 1;
+        }
+    }
+    map[instrs.len()] = cursor;
+
+    // Pass 2: emit with targets remapped through `map`.
+    let remap = |ins: Instruction, map: &[usize]| match ins {
+        Instruction::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => Instruction::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: map[target],
+        },
+        Instruction::Jump { target } => Instruction::Jump {
+            target: map[target],
+        },
+        Instruction::JumpAndLink { rd, target } => Instruction::JumpAndLink {
+            rd,
+            target: map[target],
+        },
+        other => other,
+    };
+    let mut out: Vec<Instruction> = Vec::with_capacity(cursor);
+    let mut li = 0usize;
+    let mut i = 0usize;
+    while i < instrs.len() {
+        if li < loops.len() && loops[li].head == i {
+            let l = loops[li];
+            let preamble = &instrs[l.head..l.branch];
+            let body = &instrs[l.branch + 1..l.exit - 1]; // includes the addi
+            let uhead = out.len();
+            debug_assert_eq!(uhead, map[l.head]);
+            // Pack guard: var + (factor-1)*step < end ?
+            for p in preamble {
+                out.push(remap(*p, &map));
+            }
+            let rhead_pos = uhead
+                + (l.branch - l.head)
+                + 2
+                + (factor) * body.len()
+                + 1;
+            out.push(Instruction::AluImm {
+                op: AluOp::Add,
+                rd: guard_reg,
+                rs1: l.var,
+                imm: (factor as i64 - 1) * l.step,
+            });
+            out.push(Instruction::Branch {
+                cond: BranchCond::Ge,
+                rs1: guard_reg,
+                rs2: l.end,
+                target: rhead_pos,
+            });
+            for _ in 0..factor {
+                for b in body {
+                    out.push(remap(*b, &map));
+                }
+            }
+            out.push(Instruction::Jump { target: uhead });
+            // Remainder: the original loop, verbatim.
+            debug_assert_eq!(out.len(), rhead_pos);
+            for p in preamble {
+                out.push(remap(*p, &map));
+            }
+            out.push(Instruction::Branch {
+                cond: BranchCond::Ge,
+                rs1: l.var,
+                rs2: l.end,
+                target: map[l.exit],
+            });
+            for b in body {
+                out.push(remap(*b, &map));
+            }
+            out.push(Instruction::Jump { target: rhead_pos });
+            stats.loops_unrolled += 1;
+            i = l.exit;
+            li += 1;
+        } else {
+            out.push(remap(instrs[i], &map));
+            i += 1;
+        }
+    }
+    stats.instructions_added = out.len() - instrs.len();
+    (Program::new(out), stats)
+}
+
+/// Finds non-overlapping unrollable loops, in program order.
+fn find_loops(instrs: &[Instruction], target_count: &[u32]) -> Vec<LoopShape> {
+    let mut loops = Vec::new();
+    let mut next_free = 0usize;
+    for (j, ins) in instrs.iter().enumerate() {
+        // The backward jump identifies the loop tail.
+        let Instruction::Jump { target: head } = ins else {
+            continue;
+        };
+        let head = *head;
+        if head >= j || head < next_free {
+            continue;
+        }
+        let Some(shape) = match_loop(instrs, head, j, target_count) else {
+            continue;
+        };
+        loops.push(shape);
+        next_free = j + 1;
+    }
+    loops
+}
+
+fn match_loop(
+    instrs: &[Instruction],
+    head: usize,
+    tail_jump: usize,
+    target_count: &[u32],
+) -> Option<LoopShape> {
+    // Find the exit branch: first control instruction at/after head.
+    let mut branch = head;
+    while branch < tail_jump {
+        match instrs[branch].class() {
+            OpClass::IntAlu => branch += 1, // preamble (e.g. bound li)
+            OpClass::Branch => break,
+            _ => return None,
+        }
+    }
+    let Instruction::Branch {
+        cond: BranchCond::Ge,
+        rs1: var,
+        rs2: end,
+        target: exit,
+    } = instrs[branch]
+    else {
+        return None;
+    };
+    if exit != tail_jump + 1 {
+        return None;
+    }
+    // The induction step right before the back jump.
+    let Instruction::AluImm {
+        op: AluOp::Add,
+        rd,
+        rs1,
+        imm: step,
+    } = instrs[tail_jump - 1]
+    else {
+        return None;
+    };
+    if rd != var || rs1 != var || step <= 0 {
+        return None;
+    }
+    // Body must be straight-line and must not redefine var (other than
+    // the induction step) or end, and nothing may jump into the loop.
+    for (k, ins) in instrs[branch + 1..tail_jump - 1].iter().enumerate() {
+        if ins.is_control() || matches!(ins, Instruction::Halt) {
+            return None;
+        }
+        if ins.int_dest() == Some(var) || ins.int_dest() == Some(end) {
+            return None;
+        }
+        if target_count[branch + 1 + k] > 0 {
+            return None;
+        }
+    }
+    // Preamble must not write var/end's... it may write `end` (the
+    // materialized bound): allowed because it is re-executed before
+    // every guard. It must not write var.
+    for ins in &instrs[head..branch] {
+        if ins.int_dest() == Some(var) {
+            return None;
+        }
+    }
+    for k in head + 1..tail_jump + 1 {
+        if target_count[k] > 0 {
+            return None;
+        }
+    }
+    Some(LoopShape {
+        head,
+        branch,
+        exit,
+        var,
+        end,
+        step,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lookahead_isa::interp::{FlatMemory, Machine, Memory};
+    use lookahead_isa::{Assembler, IntReg};
+
+    fn sum_loop(n: i64) -> Program {
+        let mut a = Assembler::new();
+        a.li(IntReg::T1, 0);
+        a.for_range(IntReg::T0, 0, n, |a| {
+            a.add(IntReg::T1, IntReg::T1, IntReg::T0);
+        });
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    fn run_t1(p: &Program) -> i64 {
+        let mut mem = FlatMemory::new(1024);
+        let mut m = Machine::new();
+        m.run(p, &mut mem, 1_000_000).unwrap();
+        m.ireg(IntReg::T1)
+    }
+
+    #[test]
+    fn unrolled_loop_computes_same_sum() {
+        for n in [0i64, 1, 2, 3, 7, 8, 9, 100] {
+            let p = sum_loop(n);
+            for factor in [2usize, 3, 4] {
+                let (u, stats) = unroll_program(&p, factor);
+                assert_eq!(stats.loops_unrolled, 1, "n={n} factor={factor}");
+                assert_eq!(
+                    run_t1(&u),
+                    (0..n).sum::<i64>(),
+                    "n={n} factor={factor}\n{u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nested_loops_unroll_inner() {
+        let mut a = Assembler::new();
+        a.li(IntReg::T1, 0);
+        a.for_range(IntReg::T0, 0, 5, |a| {
+            a.for_range(IntReg::T2, 0, 7, |a| {
+                a.add(IntReg::T1, IntReg::T1, IntReg::T2);
+            });
+        });
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (u, stats) = unroll_program(&p, 2);
+        // The inner loop matches; the outer contains control flow so
+        // it is left alone.
+        assert_eq!(stats.loops_unrolled, 1);
+        assert_eq!(run_t1(&u), 5 * (0..7).sum::<i64>());
+    }
+
+    #[test]
+    fn loop_with_memory_ops_unrolls_and_preserves_memory() {
+        // A register-bound loop (for_range's immediate bound lives in
+        // the scratch register, which index_word also clobbers — the
+        // matcher rightly rejects that shape, tested below).
+        let mut a = Assembler::new();
+        a.li(IntReg::G0, 256);
+        a.li(IntReg::T1, 0);
+        a.li(IntReg::T5, 10);
+        a.li(IntReg::T6, 0);
+        a.for_step(IntReg::T0, IntReg::T6, IntReg::T5, 1, |a| {
+            a.index_word(IntReg::T3, IntReg::G0, IntReg::T0);
+            a.load(IntReg::T4, IntReg::T3, 0);
+            a.add(IntReg::T1, IntReg::T1, IntReg::T4);
+            a.addi(IntReg::T4, IntReg::T4, 1);
+            a.store(IntReg::T4, IntReg::T3, 0);
+        });
+        a.halt();
+        let p = a.assemble().unwrap();
+        let run_full = |p: &Program| {
+            let mut mem = FlatMemory::new(1024);
+            for i in 0..10u64 {
+                mem.write(256 + i * 8, i * 3);
+            }
+            let mut m = Machine::new();
+            m.run(p, &mut mem, 1_000_000).unwrap();
+            let vals: Vec<u64> = (0..10).map(|i| mem.read(256 + i * 8)).collect();
+            (m.ireg(IntReg::T1), vals)
+        };
+        let (u, stats) = unroll_program(&p, 4);
+        assert_eq!(stats.loops_unrolled, 1);
+        assert_eq!(run_full(&p), run_full(&u));
+    }
+
+    #[test]
+    fn uneven_trip_counts_fall_into_remainder() {
+        // factor 4 with n = 6: one pack (4 iterations) + 2 remainder.
+        let p = sum_loop(6);
+        let (u, _) = unroll_program(&p, 4);
+        assert_eq!(run_t1(&u), 15);
+    }
+
+    #[test]
+    fn loop_modifying_its_bound_is_rejected() {
+        let mut a = Assembler::new();
+        a.li(IntReg::T2, 10);
+        a.li(IntReg::T1, 0);
+        a.for_to(IntReg::T0, 0, IntReg::T2, |a| {
+            a.addi(IntReg::T2, IntReg::T2, -1); // shrinks its own bound
+            a.addi(IntReg::T1, IntReg::T1, 1);
+        });
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (u, stats) = unroll_program(&p, 2);
+        assert_eq!(stats.loops_unrolled, 0);
+        assert_eq!(run_t1(&u), run_t1(&p));
+    }
+
+    #[test]
+    fn program_without_loops_is_unchanged() {
+        let mut a = Assembler::new();
+        a.li(IntReg::T1, 42);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (u, stats) = unroll_program(&p, 2);
+        assert_eq!(stats.loops_unrolled, 0);
+        assert_eq!(u, p);
+    }
+}

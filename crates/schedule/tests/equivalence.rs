@@ -1,0 +1,222 @@
+//! The compiler passes must preserve single-thread semantics exactly:
+//! for arbitrary generated programs, running the original and the
+//! optimized program (unroll + rename + schedule) from the same
+//! initial state must produce identical registers and memory.
+
+use lookahead_isa::interp::{FlatMemory, Machine, Memory};
+use lookahead_isa::{AluOp, Assembler, FpReg, IntReg, Program};
+use lookahead_schedule::{optimize_program, rename_program, schedule_program};
+use proptest::prelude::*;
+
+const MEM_WORDS: u64 = 64;
+
+/// One step of a generated straight-line body.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Alu(u8, u8, u8, u8),     // op, rd, rs1, rs2
+    AluImm(u8, u8, u8, i8),  // op, rd, rs1, imm
+    Load(u8, u8),            // rd, word
+    Store(u8, u8),           // rs, word
+    Fpu(u8, u8, u8, u8),     // op, fd, fs1, fs2
+}
+
+fn regs() -> [IntReg; 6] {
+    [
+        IntReg::T1,
+        IntReg::T2,
+        IntReg::T3,
+        IntReg::T4,
+        IntReg::S1,
+        IntReg::S2,
+    ]
+}
+
+fn fregs() -> [FpReg; 4] {
+    [FpReg::F1, FpReg::F2, FpReg::F3, FpReg::F4]
+}
+
+fn alu_ops() -> [AluOp; 6] {
+    [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+    ]
+}
+
+fn emit_step(a: &mut Assembler, s: Step) {
+    let r = regs();
+    let f = fregs();
+    match s {
+        Step::Alu(op, rd, rs1, rs2) => a.alu(
+            alu_ops()[op as usize % 6],
+            r[rd as usize % 6],
+            r[rs1 as usize % 6],
+            r[rs2 as usize % 6],
+        ),
+        Step::AluImm(op, rd, rs1, imm) => a.alu_imm(
+            alu_ops()[op as usize % 6],
+            r[rd as usize % 6],
+            r[rs1 as usize % 6],
+            imm as i64,
+        ),
+        Step::Load(rd, word) => a.load(
+            r[rd as usize % 6],
+            IntReg::G0,
+            (word as u64 % MEM_WORDS) as i64 * 8,
+        ),
+        Step::Store(rs, word) => a.store(
+            r[rs as usize % 6],
+            IntReg::G0,
+            (word as u64 % MEM_WORDS) as i64 * 8,
+        ),
+        Step::Fpu(op, fd, fs1, fs2) => {
+            let ops = [
+                lookahead_isa::FpuOp::Add,
+                lookahead_isa::FpuOp::Sub,
+                lookahead_isa::FpuOp::Mul,
+                lookahead_isa::FpuOp::Max,
+            ];
+            a.fpu(
+                ops[op as usize % 4],
+                f[fd as usize % 4],
+                f[fs1 as usize % 4],
+                f[fs2 as usize % 4],
+            )
+        }
+    }
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(a, b, c, d)| Step::Alu(a, b, c, d)),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<i8>())
+            .prop_map(|(a, b, c, d)| Step::AluImm(a, b, c, d)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Load(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Store(a, b)),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(a, b, c, d)| Step::Fpu(a, b, c, d)),
+    ]
+}
+
+/// A program: init registers, a straight-line prefix, a counted loop
+/// whose body is generated, a straight-line suffix.
+fn build_program(prefix: &[Step], body: &[Step], suffix: &[Step], trips: i64) -> Program {
+    let mut a = Assembler::new();
+    a.li(IntReg::G0, 0);
+    for (i, r) in regs().into_iter().enumerate() {
+        a.li(r, (i as i64 + 1) * 3);
+    }
+    for (i, f) in fregs().into_iter().enumerate() {
+        a.lif(f, (i as f64 + 1.0) * 0.5);
+    }
+    for &s in prefix {
+        emit_step(&mut a, s);
+    }
+    a.li(IntReg::S4, trips);
+    a.li(IntReg::S5, 0);
+    a.for_step(IntReg::S3, IntReg::S5, IntReg::S4, 1, |a| {
+        for &s in body {
+            emit_step(a, s);
+        }
+    });
+    for &s in suffix {
+        emit_step(&mut a, s);
+    }
+    a.halt();
+    a.assemble().expect("generated programs assemble")
+}
+
+/// Final architectural state, restricted to the registers the
+/// *reference* program touches — the optimization passes are free to
+/// clobber registers the program never names (they use them as
+/// renaming targets and loop guards).
+fn run_state(p: &Program, reference: &Program) -> (Vec<i64>, Vec<u64>, Vec<u64>) {
+    let mut int_used = [false; 32];
+    let mut fp_used = [false; 32];
+    for ins in reference.instructions() {
+        for r in ins.int_sources().iter() {
+            int_used[r.index()] = true;
+        }
+        if let Some(r) = ins.int_dest() {
+            int_used[r.index()] = true;
+        }
+        for r in ins.fp_sources().iter() {
+            fp_used[r.index()] = true;
+        }
+        if let Some(r) = ins.fp_dest() {
+            fp_used[r.index()] = true;
+        }
+    }
+    let mut mem = FlatMemory::new(MEM_WORDS * 8);
+    for w in 0..MEM_WORDS {
+        mem.write(w * 8, w.wrapping_mul(0x9e3779b9));
+    }
+    let mut m = Machine::new();
+    m.run(p, &mut mem, 5_000_000).expect("terminates");
+    let ints = IntReg::all()
+        .filter(|r| int_used[r.index()])
+        .map(|r| m.ireg(r))
+        .collect();
+    let fps = FpReg::all()
+        .filter(|r| fp_used[r.index()])
+        .map(|r| m.freg(r).to_bits())
+        .collect();
+    let words = (0..MEM_WORDS).map(|w| mem.read(w * 8)).collect();
+    (ints, fps, words)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimized_programs_are_equivalent(
+        prefix in proptest::collection::vec(arb_step(), 0..12),
+        body in proptest::collection::vec(arb_step(), 1..10),
+        suffix in proptest::collection::vec(arb_step(), 0..8),
+        trips in 0i64..9,
+        factor in 2usize..5,
+    ) {
+        let p = build_program(&prefix, &body, &suffix, trips);
+        let original = run_state(&p, &p);
+
+        let (renamed, _) = rename_program(&p);
+        prop_assert_eq!(run_state(&renamed, &p), original.clone(), "rename changed semantics");
+
+        let (scheduled, _) = schedule_program(&p);
+        prop_assert_eq!(run_state(&scheduled, &p), original.clone(), "schedule changed semantics");
+
+        let (optimized, _, _) = optimize_program(&p, factor);
+        prop_assert_eq!(run_state(&optimized, &p), original, "unroll+schedule changed semantics");
+    }
+
+    #[test]
+    fn optimization_preserves_instruction_mix(
+        body in proptest::collection::vec(arb_step(), 1..10),
+        trips in 1i64..6,
+    ) {
+        // Unrolling duplicates code but must not invent or drop
+        // *dynamic* loads/stores: count executed memory ops via the
+        // trace of a single-processor run of both programs.
+        let p = build_program(&[], &body, &[], trips);
+        let (optimized, _, _) = optimize_program(&p, 3);
+        let count = |p: &Program| {
+            let mut mem = FlatMemory::new(MEM_WORDS * 8);
+            let mut m = Machine::new();
+            let mut loads = 0u64;
+            let mut stores = 0u64;
+            while !m.is_halted() {
+                match m.step(p, &mut mem).expect("runs") {
+                    lookahead_isa::interp::Effect::Load { .. } => loads += 1,
+                    lookahead_isa::interp::Effect::Store { .. } => stores += 1,
+                    _ => {}
+                }
+            }
+            (loads, stores)
+        };
+        prop_assert_eq!(count(&p), count(&optimized));
+    }
+}

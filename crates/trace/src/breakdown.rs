@@ -1,0 +1,192 @@
+//! Execution-time breakdowns — the stacked bars of the paper's
+//! Figures 3 and 4.
+//!
+//! Every timing model in Lookahead accounts each simulated cycle to
+//! exactly one of four categories:
+//!
+//! * **busy** — a useful instruction completed (on the 1-IPC models,
+//!   one cycle per instruction);
+//! * **sync** — stalled on acquire synchronization (lock wait, barrier
+//!   wait, event wait, plus the memory latency of accessing the
+//!   synchronization variable);
+//! * **read** — stalled on read-miss latency;
+//! * **write** — stalled on write-miss latency (including releases,
+//!   which the paper folds into write-miss time, and stalls caused by
+//!   a full write buffer).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Cycle counts by stall category. See the module docs for the
+/// category definitions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Cycles retiring useful instructions.
+    pub busy: u64,
+    /// Cycles stalled on acquire synchronization.
+    pub sync: u64,
+    /// Cycles stalled on read latency.
+    pub read: u64,
+    /// Cycles stalled on write latency (including releases).
+    pub write: u64,
+}
+
+impl Breakdown {
+    /// A zeroed breakdown.
+    pub fn new() -> Breakdown {
+        Breakdown::default()
+    }
+
+    /// Total execution time in cycles.
+    pub fn total(&self) -> u64 {
+        self.busy + self.sync + self.read + self.write
+    }
+
+    /// Each category as a fraction of the total (busy, sync, read,
+    /// write). Returns zeros for an empty breakdown.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 4];
+        }
+        let t = t as f64;
+        [
+            self.busy as f64 / t,
+            self.sync as f64 / t,
+            self.read as f64 / t,
+            self.write as f64 / t,
+        ]
+    }
+
+    /// Execution time normalized to a baseline's total, times 100 —
+    /// the y-axis of the paper's Figure 3 (baseline = 100).
+    pub fn normalized_to(&self, baseline: &Breakdown) -> f64 {
+        if baseline.total() == 0 {
+            0.0
+        } else {
+            self.total() as f64 * 100.0 / baseline.total() as f64
+        }
+    }
+
+    /// Fraction of the baseline's read-stall time that this breakdown
+    /// hides: `1 - read/baseline.read`. The headline metric of the
+    /// paper ("the average percentage of read latency hidden ... was
+    /// 33% for window size 16"). Returns `None` when the baseline has
+    /// no read stall.
+    pub fn read_latency_hidden_vs(&self, baseline: &Breakdown) -> Option<f64> {
+        if baseline.read == 0 {
+            None
+        } else {
+            Some(1.0 - self.read as f64 / baseline.read as f64)
+        }
+    }
+}
+
+impl Add for Breakdown {
+    type Output = Breakdown;
+
+    fn add(self, rhs: Breakdown) -> Breakdown {
+        Breakdown {
+            busy: self.busy + rhs.busy,
+            sync: self.sync + rhs.sync,
+            read: self.read + rhs.read,
+            write: self.write + rhs.write,
+        }
+    }
+}
+
+impl AddAssign for Breakdown {
+    fn add_assign(&mut self, rhs: Breakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for Breakdown {
+    fn sum<I: Iterator<Item = Breakdown>>(iter: I) -> Breakdown {
+        iter.fold(Breakdown::new(), Add::add)
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total={} busy={} sync={} read={} write={}",
+            self.total(),
+            self.busy,
+            self.sync,
+            self.read,
+            self.write
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Breakdown {
+        Breakdown {
+            busy: 50,
+            sync: 10,
+            read: 30,
+            write: 10,
+        }
+    }
+
+    #[test]
+    fn total_and_fractions() {
+        let b = sample();
+        assert_eq!(b.total(), 100);
+        let f = b.fractions();
+        assert_eq!(f, [0.5, 0.1, 0.3, 0.1]);
+        assert_eq!(Breakdown::new().fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn normalization() {
+        let base = sample();
+        let faster = Breakdown {
+            busy: 50,
+            sync: 10,
+            read: 0,
+            write: 0,
+        };
+        assert_eq!(faster.normalized_to(&base), 60.0);
+        assert_eq!(base.normalized_to(&base), 100.0);
+    }
+
+    #[test]
+    fn read_latency_hidden() {
+        let base = sample();
+        let half = Breakdown {
+            read: 15,
+            ..sample()
+        };
+        assert_eq!(half.read_latency_hidden_vs(&base), Some(0.5));
+        assert_eq!(base.read_latency_hidden_vs(&base), Some(0.0));
+        let no_read = Breakdown {
+            read: 0,
+            ..sample()
+        };
+        assert_eq!(no_read.read_latency_hidden_vs(&base), Some(1.0));
+        assert_eq!(base.read_latency_hidden_vs(&no_read), None);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let two = sample() + sample();
+        assert_eq!(two.total(), 200);
+        let sum: Breakdown = vec![sample(), sample(), sample()].into_iter().sum();
+        assert_eq!(sum.busy, 150);
+        let mut acc = Breakdown::new();
+        acc += sample();
+        assert_eq!(acc, sample());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(sample().to_string().contains("total=100"));
+    }
+}

@@ -1,0 +1,308 @@
+//! Trace record types.
+
+use lookahead_isa::{Program, SyncKind};
+use std::fmt;
+
+/// Dynamic annotation of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Effective byte address of the accessed word.
+    pub addr: u64,
+    /// Whether the access missed in the processor's cache during the
+    /// generating multiprocessor run.
+    pub miss: bool,
+    /// Effective latency in cycles (1 for a hit, the configured miss
+    /// penalty for a miss).
+    pub latency: u32,
+}
+
+impl MemAccess {
+    /// A 1-cycle cache hit at `addr`.
+    pub fn hit(addr: u64) -> MemAccess {
+        MemAccess {
+            addr,
+            miss: false,
+            latency: 1,
+        }
+    }
+
+    /// A miss at `addr` with the given total latency.
+    pub fn miss(addr: u64, latency: u32) -> MemAccess {
+        MemAccess {
+            addr,
+            miss: true,
+            latency,
+        }
+    }
+}
+
+/// Dynamic annotation of a synchronization operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncAccess {
+    /// The kind of synchronization performed.
+    pub kind: SyncKind,
+    /// Address of the synchronization variable.
+    pub addr: u64,
+    /// Cycles spent *waiting* for the synchronization condition (lock
+    /// held by another processor, barrier not yet full, event unset).
+    /// This component reflects load imbalance and contention and is
+    /// not hidable by overlap.
+    pub wait: u32,
+    /// Cycles of memory latency to access the synchronization variable
+    /// itself once free (1 on a cache hit, miss penalty otherwise).
+    /// This component is hidable exactly like an ordinary access.
+    pub access: u32,
+}
+
+impl SyncAccess {
+    /// Total latency observed for the operation.
+    pub fn total_latency(self) -> u32 {
+        self.wait + self.access
+    }
+}
+
+/// The dynamic outcome of one executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceOp {
+    /// Any single-cycle computational instruction (integer or
+    /// floating-point ALU, immediate load, conversion, nop).
+    Compute,
+    /// A load with its observed address and latency.
+    Load(MemAccess),
+    /// A store with its observed address and latency.
+    Store(MemAccess),
+    /// A conditional branch with its resolved direction. `target` is
+    /// the branch's static target instruction index.
+    Branch { taken: bool, target: u32 },
+    /// An unconditional jump (including jump-and-link and indirect
+    /// jumps) with its resolved target.
+    Jump { target: u32 },
+    /// A synchronization operation with its observed wait/access
+    /// latencies.
+    Sync(SyncAccess),
+}
+
+/// One executed instruction in a trace: the PC it executed at plus its
+/// dynamic outcome. Static properties (registers read/written, opcode)
+/// are recovered from the program at the PC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// Instruction index in the program.
+    pub pc: u32,
+    /// Dynamic outcome.
+    pub op: TraceOp,
+}
+
+impl TraceEntry {
+    /// Convenience constructor for a compute entry.
+    pub fn compute(pc: u32) -> TraceEntry {
+        TraceEntry {
+            pc,
+            op: TraceOp::Compute,
+        }
+    }
+
+    /// The memory access annotation, if this entry is a load or store.
+    pub fn mem_access(&self) -> Option<MemAccess> {
+        match self.op {
+            TraceOp::Load(m) | TraceOp::Store(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The synchronization annotation, if this entry is a sync op.
+    pub fn sync_access(&self) -> Option<SyncAccess> {
+        match self.op {
+            TraceOp::Sync(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A dynamic instruction trace for a single processor.
+///
+/// Produced by the multiprocessor simulator
+/// (`lookahead-multiproc`) and consumed by the processor timing models
+/// (`lookahead-core`). The trace does not own the program; pass the
+/// program alongside wherever static instruction properties are
+/// needed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Creates a trace from raw entries.
+    pub fn from_entries(entries: Vec<TraceEntry>) -> Trace {
+        Trace { entries }
+    }
+
+    /// Appends an entry.
+    #[inline]
+    pub fn push(&mut self, entry: TraceEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The entries in execution order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of executed instructions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Renders a human-readable listing of the first `limit` entries,
+    /// resolving instructions through `program`.
+    pub fn listing(&self, program: &Program, limit: usize) -> String {
+        let mut out = String::new();
+        for e in self.entries.iter().take(limit) {
+            let text = program
+                .fetch(e.pc as usize)
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "<bad pc>".to_string());
+            let note = match e.op {
+                TraceOp::Compute => String::new(),
+                TraceOp::Load(m) | TraceOp::Store(m) => format!(
+                    "addr={:#x} {} lat={}",
+                    m.addr,
+                    if m.miss { "MISS" } else { "hit" },
+                    m.latency
+                ),
+                TraceOp::Branch { taken, .. } => {
+                    format!("{}", if taken { "taken" } else { "not-taken" })
+                }
+                TraceOp::Jump { target } => format!("-> {target}"),
+                TraceOp::Sync(s) => format!(
+                    "addr={:#x} wait={} access={}",
+                    s.addr, s.wait, s.access
+                ),
+            };
+            out.push_str(&format!("{:8}  {:<28} {}\n", e.pc, text, note));
+        }
+        out
+    }
+}
+
+impl Extend<TraceEntry> for Trace {
+    fn extend<T: IntoIterator<Item = TraceEntry>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+impl FromIterator<TraceEntry> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceEntry>>(iter: T) -> Trace {
+        Trace {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEntry;
+    type IntoIter = std::slice::Iter<'a, TraceEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = TraceEntry;
+    type IntoIter = std::vec::IntoIter<TraceEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl fmt::Display for Trace {
+    /// A one-line summary; use [`Trace::listing`] for a full listing
+    /// (it needs the program to resolve instructions).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace of {} instructions", self.entries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lookahead_isa::{Assembler, IntReg};
+
+    #[test]
+    fn mem_access_constructors() {
+        let h = MemAccess::hit(64);
+        assert!(!h.miss);
+        assert_eq!(h.latency, 1);
+        let m = MemAccess::miss(64, 50);
+        assert!(m.miss);
+        assert_eq!(m.latency, 50);
+    }
+
+    #[test]
+    fn sync_access_total() {
+        let s = SyncAccess {
+            kind: SyncKind::Lock,
+            addr: 8,
+            wait: 40,
+            access: 50,
+        };
+        assert_eq!(s.total_latency(), 90);
+    }
+
+    #[test]
+    fn trace_collect_and_iterate() {
+        let t: Trace = (0..5).map(TraceEntry::compute).collect();
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert_eq!(t.iter().count(), 5);
+        let pcs: Vec<u32> = (&t).into_iter().map(|e| e.pc).collect();
+        assert_eq!(pcs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn entry_accessors() {
+        let e = TraceEntry {
+            pc: 0,
+            op: TraceOp::Load(MemAccess::hit(8)),
+        };
+        assert_eq!(e.mem_access().unwrap().addr, 8);
+        assert!(e.sync_access().is_none());
+        assert!(TraceEntry::compute(1).mem_access().is_none());
+    }
+
+    #[test]
+    fn listing_resolves_instructions() {
+        let mut a = Assembler::new();
+        a.li(IntReg::T0, 1);
+        a.load(IntReg::T1, IntReg::T0, 0);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut t = Trace::new();
+        t.push(TraceEntry::compute(0));
+        t.push(TraceEntry {
+            pc: 1,
+            op: TraceOp::Load(MemAccess::miss(8, 50)),
+        });
+        let text = t.listing(&p, 10);
+        assert!(text.contains("li r5, 1"));
+        assert!(text.contains("MISS"));
+        assert_eq!(t.to_string(), "trace of 2 instructions");
+    }
+}

@@ -1,0 +1,407 @@
+//! Trace statistics: the quantities the paper reports in Tables 1–3.
+//!
+//! * [`DataRefStats`] — Table 1: reads, writes, read misses and write
+//!   misses, as counts and as references per thousand instructions.
+//! * [`SyncStats`] — Table 2: locks, unlocks, wait/set events and
+//!   barriers, plus the acquire wait/access cycle split.
+//! * [`BranchStats`] — Table 3: branch frequency, average distance
+//!   between branches, prediction accuracy (given a branch predictor,
+//!   normally the BTB model from `lookahead-core`), and average
+//!   distance between mispredictions.
+
+use crate::record::{Trace, TraceOp};
+use lookahead_isa::SyncKind;
+use std::fmt;
+
+/// Direction/target predictor interface used to score traces.
+///
+/// The paper's Table 3 reports the accuracy of a 2048-entry 4-way
+/// branch target buffer; that model lives in `lookahead-core` and
+/// implements this trait. A trivial always-taken predictor is provided
+/// here as [`AlwaysTaken`] for baselines and tests.
+pub trait BranchPredictor {
+    /// Predicts the branch at `pc`, then updates the predictor with the
+    /// actual outcome. Returns `true` if the prediction (direction and,
+    /// for taken branches, target) was correct.
+    fn predict_and_update(&mut self, pc: u32, taken: bool, target: u32) -> bool;
+
+    /// Resets all prediction state.
+    fn reset(&mut self);
+}
+
+/// The degenerate static predictor: always predicts taken with a
+/// correct target (i.e. scores direction only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlwaysTaken;
+
+impl BranchPredictor for AlwaysTaken {
+    fn predict_and_update(&mut self, _pc: u32, taken: bool, _target: u32) -> bool {
+        taken
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Table 1 quantities: data reference statistics for one processor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataRefStats {
+    /// Useful (busy) cycles — the number of executed instructions on a
+    /// 1-IPC processor.
+    pub busy_cycles: u64,
+    /// Number of loads executed.
+    pub reads: u64,
+    /// Number of stores executed.
+    pub writes: u64,
+    /// Loads that missed in the data cache.
+    pub read_misses: u64,
+    /// Stores that missed in the data cache.
+    pub write_misses: u64,
+}
+
+impl DataRefStats {
+    /// References per thousand instructions for an event count.
+    pub fn per_thousand(&self, count: u64) -> f64 {
+        if self.busy_cycles == 0 {
+            0.0
+        } else {
+            count as f64 * 1000.0 / self.busy_cycles as f64
+        }
+    }
+
+    /// Fraction of loads that missed.
+    pub fn read_miss_ratio(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_misses as f64 / self.reads as f64
+        }
+    }
+
+    /// Fraction of stores that missed.
+    pub fn write_miss_ratio(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.write_misses as f64 / self.writes as f64
+        }
+    }
+}
+
+impl fmt::Display for DataRefStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "busy={} reads={} ({:.1}/k) writes={} ({:.1}/k) rmiss={} ({:.1}/k) wmiss={} ({:.1}/k)",
+            self.busy_cycles,
+            self.reads,
+            self.per_thousand(self.reads),
+            self.writes,
+            self.per_thousand(self.writes),
+            self.read_misses,
+            self.per_thousand(self.read_misses),
+            self.write_misses,
+            self.per_thousand(self.write_misses),
+        )
+    }
+}
+
+/// Table 2 quantities: synchronization statistics for one processor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    pub locks: u64,
+    pub unlocks: u64,
+    pub wait_events: u64,
+    pub set_events: u64,
+    pub barriers: u64,
+    /// Total cycles spent waiting at acquires (contention/imbalance).
+    pub acquire_wait_cycles: u64,
+    /// Total memory-access cycles at acquires (hidable component).
+    pub acquire_access_cycles: u64,
+}
+
+impl SyncStats {
+    /// Total acquire-type operations (locks, wait events, barriers).
+    pub fn acquires(&self) -> u64 {
+        self.locks + self.wait_events + self.barriers
+    }
+
+    /// Fraction of total acquire overhead that is memory-access latency
+    /// (the hidable component); the paper reports ~30% for PTHOR.
+    pub fn hidable_acquire_fraction(&self) -> f64 {
+        let total = self.acquire_wait_cycles + self.acquire_access_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.acquire_access_cycles as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for SyncStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "locks={} unlocks={} waitev={} setev={} barriers={} wait_cyc={} access_cyc={}",
+            self.locks,
+            self.unlocks,
+            self.wait_events,
+            self.set_events,
+            self.barriers,
+            self.acquire_wait_cycles,
+            self.acquire_access_cycles,
+        )
+    }
+}
+
+/// Table 3 quantities: conditional-branch behaviour for one processor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchStats {
+    /// Total executed instructions.
+    pub instructions: u64,
+    /// Executed conditional branches.
+    pub branches: u64,
+    /// Branches the supplied predictor got wrong (`None` if no
+    /// predictor was supplied).
+    pub mispredictions: Option<u64>,
+}
+
+impl BranchStats {
+    /// Percentage of instructions that are conditional branches.
+    pub fn branch_percent(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.branches as f64 * 100.0 / self.instructions as f64
+        }
+    }
+
+    /// Average distance between branches, in instructions.
+    pub fn avg_branch_distance(&self) -> f64 {
+        if self.branches == 0 {
+            f64::INFINITY
+        } else {
+            self.instructions as f64 / self.branches as f64
+        }
+    }
+
+    /// Percentage of branches correctly predicted, if scored.
+    pub fn predicted_percent(&self) -> Option<f64> {
+        let miss = self.mispredictions?;
+        Some(if self.branches == 0 {
+            100.0
+        } else {
+            (self.branches - miss) as f64 * 100.0 / self.branches as f64
+        })
+    }
+
+    /// Average distance between mispredictions, in instructions, if
+    /// scored.
+    pub fn avg_mispredict_distance(&self) -> Option<f64> {
+        let miss = self.mispredictions?;
+        Some(if miss == 0 {
+            f64::INFINITY
+        } else {
+            self.instructions as f64 / miss as f64
+        })
+    }
+}
+
+impl fmt::Display for BranchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "branches={} ({:.1}% of instrs, every {:.1})",
+            self.branches,
+            self.branch_percent(),
+            self.avg_branch_distance()
+        )?;
+        if let Some(pct) = self.predicted_percent() {
+            write!(
+                f,
+                " predicted={:.1}% mispredict-every={:.1}",
+                pct,
+                self.avg_mispredict_distance().unwrap_or(f64::INFINITY)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// All per-trace statistics together.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceStats {
+    pub data: DataRefStats,
+    pub sync: SyncStats,
+    pub branch: BranchStats,
+}
+
+impl TraceStats {
+    /// Collects statistics over a trace. If a `predictor` is supplied,
+    /// every conditional branch is run through it (in trace order) to
+    /// score prediction accuracy.
+    pub fn collect(trace: &Trace, mut predictor: Option<&mut dyn BranchPredictor>) -> TraceStats {
+        let mut s = TraceStats::default();
+        for e in trace.iter() {
+            s.data.busy_cycles += 1;
+            s.branch.instructions += 1;
+            match e.op {
+                TraceOp::Compute | TraceOp::Jump { .. } => {}
+                TraceOp::Load(m) => {
+                    s.data.reads += 1;
+                    if m.miss {
+                        s.data.read_misses += 1;
+                    }
+                }
+                TraceOp::Store(m) => {
+                    s.data.writes += 1;
+                    if m.miss {
+                        s.data.write_misses += 1;
+                    }
+                }
+                TraceOp::Branch { taken, target } => {
+                    s.branch.branches += 1;
+                    if let Some(p) = predictor.as_deref_mut() {
+                        let correct = p.predict_and_update(e.pc, taken, target);
+                        let miss = s.branch.mispredictions.get_or_insert(0);
+                        if !correct {
+                            *miss += 1;
+                        }
+                    }
+                }
+                TraceOp::Sync(sa) => {
+                    match sa.kind {
+                        SyncKind::Lock => s.sync.locks += 1,
+                        SyncKind::Unlock => s.sync.unlocks += 1,
+                        SyncKind::WaitEvent => s.sync.wait_events += 1,
+                        SyncKind::SetEvent => s.sync.set_events += 1,
+                        SyncKind::Barrier => s.sync.barriers += 1,
+                    }
+                    if sa.kind.is_acquire() {
+                        s.sync.acquire_wait_cycles += sa.wait as u64;
+                        s.sync.acquire_access_cycles += sa.access as u64;
+                    }
+                }
+            }
+        }
+        // Ensure mispredictions is Some(0) rather than None when a
+        // predictor was supplied but the trace had no branches.
+        if let (Some(_), None) = (&predictor, s.branch.mispredictions) {
+            s.branch.mispredictions = Some(0);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{MemAccess, SyncAccess, TraceEntry};
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(TraceEntry::compute(0));
+        t.push(TraceEntry {
+            pc: 1,
+            op: TraceOp::Load(MemAccess::miss(64, 50)),
+        });
+        t.push(TraceEntry {
+            pc: 2,
+            op: TraceOp::Store(MemAccess::hit(64)),
+        });
+        t.push(TraceEntry {
+            pc: 3,
+            op: TraceOp::Branch {
+                taken: true,
+                target: 0,
+            },
+        });
+        t.push(TraceEntry {
+            pc: 4,
+            op: TraceOp::Sync(SyncAccess {
+                kind: SyncKind::Lock,
+                addr: 8,
+                wait: 30,
+                access: 50,
+            }),
+        });
+        t.push(TraceEntry {
+            pc: 5,
+            op: TraceOp::Sync(SyncAccess {
+                kind: SyncKind::Unlock,
+                addr: 8,
+                wait: 0,
+                access: 1,
+            }),
+        });
+        t
+    }
+
+    #[test]
+    fn collects_data_ref_stats() {
+        let s = TraceStats::collect(&sample_trace(), None);
+        assert_eq!(s.data.busy_cycles, 6);
+        assert_eq!(s.data.reads, 1);
+        assert_eq!(s.data.read_misses, 1);
+        assert_eq!(s.data.writes, 1);
+        assert_eq!(s.data.write_misses, 0);
+        assert_eq!(s.data.read_miss_ratio(), 1.0);
+        assert_eq!(s.data.write_miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn collects_sync_stats_with_acquire_split() {
+        let s = TraceStats::collect(&sample_trace(), None);
+        assert_eq!(s.sync.locks, 1);
+        assert_eq!(s.sync.unlocks, 1);
+        assert_eq!(s.sync.acquires(), 1);
+        assert_eq!(s.sync.acquire_wait_cycles, 30);
+        assert_eq!(s.sync.acquire_access_cycles, 50);
+        assert!((s.sync.hidable_acquire_fraction() - 50.0 / 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branch_stats_without_predictor() {
+        let s = TraceStats::collect(&sample_trace(), None);
+        assert_eq!(s.branch.branches, 1);
+        assert_eq!(s.branch.mispredictions, None);
+        assert_eq!(s.branch.predicted_percent(), None);
+        assert!((s.branch.branch_percent() - 100.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_stats_with_always_taken() {
+        let mut p = AlwaysTaken;
+        let s = TraceStats::collect(&sample_trace(), Some(&mut p));
+        assert_eq!(s.branch.mispredictions, Some(0));
+        assert_eq!(s.branch.predicted_percent(), Some(100.0));
+        assert_eq!(s.branch.avg_mispredict_distance(), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn per_thousand_rates() {
+        let d = DataRefStats {
+            busy_cycles: 2000,
+            reads: 500,
+            writes: 100,
+            read_misses: 10,
+            write_misses: 4,
+        };
+        assert_eq!(d.per_thousand(d.reads), 250.0);
+        assert_eq!(d.per_thousand(d.write_misses), 2.0);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zeros() {
+        let s = TraceStats::collect(&Trace::new(), None);
+        assert_eq!(s.data, DataRefStats::default());
+        assert_eq!(s.branch.avg_branch_distance(), f64::INFINITY);
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        let s = TraceStats::collect(&sample_trace(), Some(&mut AlwaysTaken));
+        assert!(!s.data.to_string().is_empty());
+        assert!(!s.sync.to_string().is_empty());
+        assert!(s.branch.to_string().contains("predicted"));
+    }
+}

@@ -1,0 +1,367 @@
+//! Compact binary serialization of traces.
+//!
+//! Traces for realistic workload sizes run to millions of entries;
+//! regenerating them for every experiment is wasteful. This module
+//! provides a simple, versioned binary format so the harness can cache
+//! traces on disk between experiments.
+//!
+//! The format is deliberately plain: a magic/version header, an entry
+//! count, then one tagged record per entry with little-endian fields.
+
+use crate::record::{MemAccess, SyncAccess, Trace, TraceEntry, TraceOp};
+use lookahead_isa::SyncKind;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"LKTR";
+const VERSION: u8 = 1;
+
+const TAG_COMPUTE: u8 = 0;
+const TAG_LOAD: u8 = 1;
+const TAG_STORE: u8 = 2;
+const TAG_BRANCH: u8 = 3;
+const TAG_JUMP: u8 = 4;
+const TAG_SYNC: u8 = 5;
+
+/// Errors produced when decoding a trace stream.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Stream did not start with the trace magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Unknown record tag.
+    BadTag(u8),
+    /// Unknown synchronization kind code.
+    BadSyncKind(u8),
+    /// A memory access with latency zero (the models require >= 1).
+    BadLatency,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            DecodeError::BadMagic => write!(f, "not a lookahead trace (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            DecodeError::BadTag(t) => write!(f, "unknown trace record tag {t}"),
+            DecodeError::BadSyncKind(k) => write!(f, "unknown sync kind code {k}"),
+            DecodeError::BadLatency => {
+                write!(f, "memory access with zero latency (minimum is 1 cycle)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DecodeError {
+    fn from(e: io::Error) -> DecodeError {
+        DecodeError::Io(e)
+    }
+}
+
+fn sync_kind_code(kind: SyncKind) -> u8 {
+    match kind {
+        SyncKind::Lock => 0,
+        SyncKind::Unlock => 1,
+        SyncKind::Barrier => 2,
+        SyncKind::WaitEvent => 3,
+        SyncKind::SetEvent => 4,
+    }
+}
+
+fn sync_kind_from_code(code: u8) -> Result<SyncKind, DecodeError> {
+    Ok(match code {
+        0 => SyncKind::Lock,
+        1 => SyncKind::Unlock,
+        2 => SyncKind::Barrier,
+        3 => SyncKind::WaitEvent,
+        4 => SyncKind::SetEvent,
+        other => return Err(DecodeError::BadSyncKind(other)),
+    })
+}
+
+/// Writes `trace` to `w` in the Lookahead binary trace format.
+///
+/// The writer is taken by value per the usual Rust convention; pass
+/// `&mut writer` to keep using it afterwards.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for e in trace.iter() {
+        w.write_all(&e.pc.to_le_bytes())?;
+        match e.op {
+            TraceOp::Compute => w.write_all(&[TAG_COMPUTE])?,
+            TraceOp::Load(m) | TraceOp::Store(m) => {
+                let tag = if matches!(e.op, TraceOp::Load(_)) {
+                    TAG_LOAD
+                } else {
+                    TAG_STORE
+                };
+                w.write_all(&[tag, m.miss as u8])?;
+                w.write_all(&m.addr.to_le_bytes())?;
+                w.write_all(&m.latency.to_le_bytes())?;
+            }
+            TraceOp::Branch { taken, target } => {
+                w.write_all(&[TAG_BRANCH, taken as u8])?;
+                w.write_all(&target.to_le_bytes())?;
+            }
+            TraceOp::Jump { target } => {
+                w.write_all(&[TAG_JUMP])?;
+                w.write_all(&target.to_le_bytes())?;
+            }
+            TraceOp::Sync(s) => {
+                w.write_all(&[TAG_SYNC, sync_kind_code(s.kind)])?;
+                w.write_all(&s.addr.to_le_bytes())?;
+                w.write_all(&s.wait.to_le_bytes())?;
+                w.write_all(&s.access.to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_exact<R: Read, const N: usize>(r: &mut R) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Reads a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input or I/O failure.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, DecodeError> {
+    let magic: [u8; 4] = read_exact(&mut r)?;
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let [version] = read_exact::<_, 1>(&mut r)?;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let count = u64::from_le_bytes(read_exact(&mut r)?);
+    let mut entries = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        let pc = u32::from_le_bytes(read_exact(&mut r)?);
+        let [tag] = read_exact::<_, 1>(&mut r)?;
+        let op = match tag {
+            TAG_COMPUTE => TraceOp::Compute,
+            TAG_LOAD | TAG_STORE => {
+                let [miss] = read_exact::<_, 1>(&mut r)?;
+                let addr = u64::from_le_bytes(read_exact(&mut r)?);
+                let latency = u32::from_le_bytes(read_exact(&mut r)?);
+                if latency == 0 {
+                    return Err(DecodeError::BadLatency);
+                }
+                let m = MemAccess {
+                    addr,
+                    miss: miss != 0,
+                    latency,
+                };
+                if tag == TAG_LOAD {
+                    TraceOp::Load(m)
+                } else {
+                    TraceOp::Store(m)
+                }
+            }
+            TAG_BRANCH => {
+                let [taken] = read_exact::<_, 1>(&mut r)?;
+                let target = u32::from_le_bytes(read_exact(&mut r)?);
+                TraceOp::Branch {
+                    taken: taken != 0,
+                    target,
+                }
+            }
+            TAG_JUMP => {
+                let target = u32::from_le_bytes(read_exact(&mut r)?);
+                TraceOp::Jump { target }
+            }
+            TAG_SYNC => {
+                let [kind] = read_exact::<_, 1>(&mut r)?;
+                let addr = u64::from_le_bytes(read_exact(&mut r)?);
+                let wait = u32::from_le_bytes(read_exact(&mut r)?);
+                let access = u32::from_le_bytes(read_exact(&mut r)?);
+                if access == 0 {
+                    return Err(DecodeError::BadLatency);
+                }
+                TraceOp::Sync(SyncAccess {
+                    kind: sync_kind_from_code(kind)?,
+                    addr,
+                    wait,
+                    access,
+                })
+            }
+            other => return Err(DecodeError::BadTag(other)),
+        };
+        entries.push(TraceEntry { pc, op });
+    }
+    Ok(Trace::from_entries(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(trace: &Trace) -> Trace {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, trace).unwrap();
+        read_trace(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        assert_eq!(roundtrip(&Trace::new()), Trace::new());
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let mut t = Trace::new();
+        t.push(TraceEntry::compute(1));
+        t.push(TraceEntry {
+            pc: 2,
+            op: TraceOp::Load(MemAccess::miss(0xdead0, 50)),
+        });
+        t.push(TraceEntry {
+            pc: 3,
+            op: TraceOp::Store(MemAccess::hit(0x10)),
+        });
+        t.push(TraceEntry {
+            pc: 4,
+            op: TraceOp::Branch {
+                taken: true,
+                target: 99,
+            },
+        });
+        t.push(TraceEntry {
+            pc: 5,
+            op: TraceOp::Jump { target: 7 },
+        });
+        t.push(TraceEntry {
+            pc: 6,
+            op: TraceOp::Sync(SyncAccess {
+                kind: SyncKind::Barrier,
+                addr: 0x40,
+                wait: 123,
+                access: 50,
+            }),
+        });
+        assert_eq!(roundtrip(&t), t);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &Trace::new()).unwrap();
+        buf[4] = 99;
+        assert!(matches!(
+            read_trace(buf.as_slice()).unwrap_err(),
+            DecodeError::BadVersion(99)
+        ));
+    }
+
+    #[test]
+    fn zero_latency_rejected() {
+        let mut t = Trace::new();
+        t.push(TraceEntry {
+            pc: 0,
+            op: TraceOp::Load(MemAccess {
+                addr: 8,
+                miss: false,
+                latency: 0,
+            }),
+        });
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        assert!(matches!(
+            read_trace(buf.as_slice()).unwrap_err(),
+            DecodeError::BadLatency
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let mut buf = Vec::new();
+        let mut t = Trace::new();
+        t.push(TraceEntry::compute(1));
+        write_trace(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(matches!(
+            read_trace(buf.as_slice()).unwrap_err(),
+            DecodeError::Io(_)
+        ));
+    }
+
+    fn arb_sync_kind() -> impl Strategy<Value = SyncKind> {
+        prop_oneof![
+            Just(SyncKind::Lock),
+            Just(SyncKind::Unlock),
+            Just(SyncKind::Barrier),
+            Just(SyncKind::WaitEvent),
+            Just(SyncKind::SetEvent),
+        ]
+    }
+
+    fn arb_entry() -> impl Strategy<Value = TraceEntry> {
+        let op = prop_oneof![
+            Just(TraceOp::Compute),
+            (any::<u64>(), any::<bool>(), 1u32..).prop_map(|(addr, miss, latency)| {
+                TraceOp::Load(MemAccess {
+                    addr,
+                    miss,
+                    latency,
+                })
+            }),
+            (any::<u64>(), any::<bool>(), 1u32..).prop_map(|(addr, miss, latency)| {
+                TraceOp::Store(MemAccess {
+                    addr,
+                    miss,
+                    latency,
+                })
+            }),
+            (any::<bool>(), any::<u32>())
+                .prop_map(|(taken, target)| TraceOp::Branch { taken, target }),
+            any::<u32>().prop_map(|target| TraceOp::Jump { target }),
+            (arb_sync_kind(), any::<u64>(), any::<u32>(), 1u32..).prop_map(
+                |(kind, addr, wait, access)| TraceOp::Sync(SyncAccess {
+                    kind,
+                    addr,
+                    wait,
+                    access,
+                })
+            ),
+        ];
+        (any::<u32>(), op).prop_map(|(pc, op)| TraceEntry { pc, op })
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_traces_roundtrip(entries in proptest::collection::vec(arb_entry(), 0..200)) {
+            let t = Trace::from_entries(entries);
+            prop_assert_eq!(roundtrip(&t), t);
+        }
+    }
+}

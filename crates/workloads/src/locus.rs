@@ -1,0 +1,444 @@
+//! LOCUS — standard-cell wire routing over a shared cost array.
+//!
+//! The paper's LOCUS (LocusRoute) routes the wires of a standard-cell
+//! circuit over a *cost array* that counts the wires running through
+//! each routing cell; wires are routed in parallel, each evaluating
+//! several candidate paths and marking the cheapest into the shared
+//! array. Our kernel routes each two-pin wire by evaluating its two
+//! L-shaped candidate paths (horizontal-first and vertical-first):
+//! summing the current cost cells along each (bursts of reads over
+//! shared data), choosing the cheaper (a data-dependent branch), then
+//! incrementing the cells of the winner (read-modify-writes that
+//! invalidate other processors' copies — LOCUS's communication). A
+//! lock-protected global tally is updated once per wire, matching the
+//! paper's modest lock count (Table 2).
+//!
+//! As in the real LocusRoute, concurrent wires read the cost array
+//! *while others update it*, so the chosen paths — and hence the exact
+//! final array — depend on the interleaving. The verifier therefore
+//! checks interleaving-independent invariants (every candidate pair
+//! covers the same number of cells, so the array total is exact), and
+//! for single-processor builds it checks the full array against the
+//! reference bit for bit.
+
+use crate::{BuiltWorkload, Workload};
+use lookahead_isa::program::DataImage;
+use lookahead_isa::{AluOp, Assembler, BranchCond, IntReg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Globals block layout (byte offsets).
+const G_LOCK: i64 = 0;
+const G_ROUTED: i64 = 16;
+const G_TOTAL_COST: i64 = 24;
+const G_BARRIER: i64 = 32;
+
+/// The LOCUS wire-routing kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Locus {
+    /// Number of two-pin wires to route (paper: 1,266 multi-pin wires).
+    pub wires: usize,
+    /// Cost-array columns (paper: 481).
+    pub cols: usize,
+    /// Cost-array rows (paper: 18).
+    pub rows: usize,
+    /// Wire-placement seed.
+    pub seed: u64,
+}
+
+impl Default for Locus {
+    /// The experiment-harness size: 300 wires over a 160×18 array.
+    fn default() -> Locus {
+        Locus {
+            wires: 300,
+            cols: 160,
+            rows: 18,
+            seed: 11,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Wire {
+    x1: i64,
+    y1: i64,
+    x2: i64,
+    y2: i64,
+}
+
+impl Wire {
+    /// Number of cells on either candidate path.
+    fn cells(&self) -> i64 {
+        (self.x2 - self.x1).abs() + (self.y2 - self.y1).abs() + 1
+    }
+}
+
+impl Locus {
+    /// A size small enough for unit tests.
+    pub fn small() -> Locus {
+        Locus {
+            wires: 40,
+            cols: 32,
+            rows: 8,
+            seed: 11,
+        }
+    }
+
+    /// The paper's size: 1,266 wires over a 481×18 cost array.
+    pub fn paper() -> Locus {
+        Locus {
+            wires: 1_266,
+            cols: 481,
+            rows: 18,
+            seed: 11,
+        }
+    }
+
+    fn wire_list(&self) -> Vec<Wire> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        (0..self.wires)
+            .map(|_| {
+                // Standard-cell wires are mostly short and horizontal:
+                // pick a span of bounded width.
+                let x1 = rng.gen_range(0..self.cols as i64);
+                let span = (self.cols as i64 / 4).max(2);
+                let x2 = (x1 + rng.gen_range(-span..=span))
+                    .clamp(0, self.cols as i64 - 1);
+                let y1 = rng.gen_range(0..self.rows as i64);
+                let y2 = rng.gen_range(0..self.rows as i64);
+                Wire { x1, y1, x2, y2 }
+            })
+            .collect()
+    }
+
+    /// Reference single-threaded routing (wires in index order) with
+    /// the identical cost and tie-break rules. Returns the final cost
+    /// array and the total cost tally.
+    fn reference(&self, wires: &[Wire]) -> (Vec<i64>, i64) {
+        let mut cost = vec![0i64; self.cols * self.rows];
+        let mut total = 0i64;
+        for w in wires {
+            let sum_path = |cost: &[i64], horiz_first: bool| -> i64 {
+                let mut s = 0;
+                for (x, y) in self.path_cells(w, horiz_first) {
+                    s += cost[(y * self.cols as i64 + x) as usize];
+                }
+                s
+            };
+            let sh = sum_path(&cost, true);
+            let sv = sum_path(&cost, false);
+            let horiz = sh <= sv;
+            total += if horiz { sh } else { sv };
+            for (x, y) in self.path_cells(w, horiz) {
+                cost[(y * self.cols as i64 + x) as usize] += 1;
+            }
+        }
+        (cost, total)
+    }
+
+    /// The cells of a candidate L path, in walk order.
+    fn path_cells(&self, w: &Wire, horiz_first: bool) -> Vec<(i64, i64)> {
+        let mut cells = Vec::new();
+        let step = |a: i64, b: i64| if b >= a { 1 } else { -1 };
+        if horiz_first {
+            let mut x = w.x1;
+            loop {
+                cells.push((x, w.y1));
+                if x == w.x2 {
+                    break;
+                }
+                x += step(w.x1, w.x2);
+            }
+            let mut y = w.y1;
+            while y != w.y2 {
+                y += step(w.y1, w.y2);
+                cells.push((w.x2, y));
+            }
+        } else {
+            let mut y = w.y1;
+            loop {
+                cells.push((w.x1, y));
+                if y == w.y2 {
+                    break;
+                }
+                y += step(w.y1, w.y2);
+            }
+            let mut x = w.x1;
+            while x != w.x2 {
+                x += step(w.x1, w.x2);
+                cells.push((x, w.y2));
+            }
+        }
+        cells
+    }
+}
+
+impl Workload for Locus {
+    fn name(&self) -> &'static str {
+        "LOCUS"
+    }
+
+    fn build(&self, num_procs: usize) -> BuiltWorkload {
+        assert!(self.wires >= 1 && self.cols >= 2 && self.rows >= 2);
+        let wires = self.wire_list();
+
+        // ---- shared memory layout -------------------------------------
+        let mut image = DataImage::new();
+        image.align_to(16);
+        let cost_base = image.alloc_words(self.cols * self.rows);
+        image.align_to(16);
+        let wires_base = image.alloc_words(self.wires * 4);
+        for (i, w) in wires.iter().enumerate() {
+            let rec = wires_base + (i * 32) as u64;
+            image.write_i64(rec, w.x1);
+            image.write_i64(rec + 8, w.y1);
+            image.write_i64(rec + 16, w.x2);
+            image.write_i64(rec + 24, w.y2);
+        }
+        image.align_to(16);
+        let globals = image.alloc_words(8);
+
+        // ---- program ----------------------------------------------------
+        // G0 cost base, G1 wires base, G2 wire count, G3 globals,
+        // G4 cols. S1 wire index; S2..S5 = x1,y1,x2,y2;
+        // T1 x, T2 y, T3 step, T4 addr, T5 value, T6 sum_h, T7 sum_v.
+        use IntReg as R;
+        let mut b = Assembler::new();
+        b.li(R::G0, cost_base as i64);
+        b.li(R::G1, wires_base as i64);
+        b.li(R::G2, self.wires as i64);
+        b.li(R::G3, globals as i64);
+        b.li(R::G4, self.cols as i64);
+
+        // Accumulate or increment the cell at (x=T1, y=T2).
+        // `inc` chooses increment (routing) vs accumulate into `acc`.
+        let touch_cell = |b: &mut Assembler, inc: bool, acc: IntReg| {
+            b.mul(R::T4, R::T2, R::G4);
+            b.add(R::T4, R::T4, R::T1);
+            b.alu_imm(AluOp::Sll, R::T4, R::T4, 3);
+            b.add(R::T4, R::G0, R::T4);
+            b.load(R::T5, R::T4, 0);
+            if inc {
+                b.addi(R::T5, R::T5, 1);
+                b.store(R::T5, R::T4, 0);
+            } else {
+                b.add(acc, acc, R::T5);
+            }
+        };
+
+        // Walk one L path. `horiz_first` fixes the leg order; `inc`
+        // selects increment vs sum into `acc`.
+        let walk = |b: &mut Assembler, horiz_first: bool, inc: bool, acc: IntReg| {
+            if !inc {
+                b.li(acc, 0);
+            }
+            let (lead_cur, lead_end, lead_fix) = if horiz_first {
+                (R::S2, R::S4, R::S3) // x from x1 to x2 at y1
+            } else {
+                (R::S3, R::S5, R::S2) // y from y1 to y2 at x1
+            };
+            // Leading leg, inclusive of both endpoints.
+            if horiz_first {
+                b.mv(R::T1, lead_cur);
+                b.mv(R::T2, lead_fix);
+            } else {
+                b.mv(R::T2, lead_cur);
+                b.mv(R::T1, lead_fix);
+            }
+            let cur = if horiz_first { R::T1 } else { R::T2 };
+            b.li(R::T3, 1);
+            b.if_then(BranchCond::Lt, lead_end, lead_cur, |b| {
+                b.li(R::T3, -1);
+            });
+            let head = b.label();
+            let tail_start = b.label();
+            b.bind(head).expect("fresh label");
+            touch_cell(b, inc, acc);
+            b.branch(BranchCond::Eq, cur, lead_end, tail_start);
+            b.add(cur, cur, R::T3);
+            b.jump(head);
+            b.bind(tail_start).expect("fresh label");
+            // Trailing leg, exclusive of the corner.
+            let (tail_cur_src, tail_end) = if horiz_first {
+                (R::S3, R::S5) // y from y1 to y2 at x2 (T1 == x2 already)
+            } else {
+                (R::S2, R::S4) // x from x1 to x2 at y2 (T2 == y2 already)
+            };
+            let tcur = if horiz_first { R::T2 } else { R::T1 };
+            b.mv(tcur, tail_cur_src);
+            b.li(R::T3, 1);
+            b.if_then(BranchCond::Lt, tail_end, tail_cur_src, |b| {
+                b.li(R::T3, -1);
+            });
+            let thead = b.label();
+            let tdone = b.label();
+            b.bind(thead).expect("fresh label");
+            b.branch(BranchCond::Eq, tcur, tail_end, tdone);
+            b.add(tcur, tcur, R::T3);
+            touch_cell(b, inc, acc);
+            b.jump(thead);
+            b.bind(tdone).expect("fresh label");
+        };
+
+        // Route my (interleaved) share of the wires.
+        b.for_step(R::S1, R::A0, R::G2, num_procs as i64, |b| {
+            b.muli(R::S6, R::S1, 32);
+            b.add(R::S6, R::G1, R::S6);
+            b.load(R::S2, R::S6, 0); // x1
+            b.load(R::S3, R::S6, 8); // y1
+            b.load(R::S4, R::S6, 16); // x2
+            b.load(R::S5, R::S6, 24); // y2
+            walk(b, true, false, R::T6); // sum horizontal-first
+            walk(b, false, false, R::T7); // sum vertical-first
+            // Choose the cheaper path (ties go horizontal) and mark it.
+            b.if_then_else(
+                BranchCond::Le,
+                R::T6,
+                R::T7,
+                |b| {
+                    b.mv(R::S7, R::T6);
+                    walk(b, true, true, R::ZERO);
+                },
+                |b| {
+                    b.mv(R::S7, R::T7);
+                    walk(b, false, true, R::ZERO);
+                },
+            );
+            // Global tally under the lock.
+            b.lock(R::G3, G_LOCK);
+            b.load(R::T0, R::G3, G_ROUTED);
+            b.addi(R::T0, R::T0, 1);
+            b.store(R::T0, R::G3, G_ROUTED);
+            b.load(R::T0, R::G3, G_TOTAL_COST);
+            b.add(R::T0, R::T0, R::S7);
+            b.store(R::T0, R::G3, G_TOTAL_COST);
+            b.unlock(R::G3, G_LOCK);
+        });
+        b.barrier(R::G3, G_BARRIER);
+        b.halt();
+        let program = b.assemble().expect("LOCUS assembles");
+
+        // ---- verifier ---------------------------------------------------
+        let me = *self;
+        let expected_cells: i64 = wires.iter().map(Wire::cells).sum();
+        let single_proc_ref = if num_procs == 1 {
+            Some(self.reference(&wires))
+        } else {
+            None
+        };
+        let verify = move |mem: &lookahead_isa::interp::FlatMemory| -> Result<(), String> {
+            let routed = mem.read_i64(globals + G_ROUTED as u64);
+            if routed != me.wires as i64 {
+                return Err(format!("routed {routed} of {} wires", me.wires));
+            }
+            let mut sum = 0i64;
+            for c in 0..me.cols * me.rows {
+                let v = mem.read_i64(cost_base + (c * 8) as u64);
+                if v < 0 || v > me.wires as i64 {
+                    return Err(format!("cost cell {c} out of range: {v}"));
+                }
+                sum += v;
+            }
+            // Cost-cell increments are unprotected read-modify-writes,
+            // as in the real LocusRoute, so with several processors an
+            // increment can occasionally be lost to a race; the total
+            // may only ever fall short, never exceed.
+            if sum > expected_cells {
+                return Err(format!(
+                    "cost array total {sum} exceeds expected {expected_cells}"
+                ));
+            }
+            if sum * 100 < expected_cells * 99 {
+                return Err(format!(
+                    "lost too many cost updates: {sum} of {expected_cells}"
+                ));
+            }
+            if single_proc_ref.is_some() && sum != expected_cells {
+                return Err(format!(
+                    "cost array total {sum} != expected {expected_cells} (single processor)"
+                ));
+            }
+            if let Some((ref_cost, ref_total)) = &single_proc_ref {
+                for (c, want) in ref_cost.iter().enumerate() {
+                    let got = mem.read_i64(cost_base + (c * 8) as u64);
+                    if got != *want {
+                        return Err(format!(
+                            "cost cell {c}: simulated {got} != reference {want}"
+                        ));
+                    }
+                }
+                let total = mem.read_i64(globals + G_TOTAL_COST as u64);
+                if total != *ref_total {
+                    return Err(format!(
+                        "total cost {total} != reference {ref_total}"
+                    ));
+                }
+            }
+            Ok(())
+        };
+
+        BuiltWorkload {
+            program,
+            image,
+            verify: Box::new(verify),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_verify;
+    use lookahead_isa::SyncKind;
+
+    #[test]
+    fn path_cells_cover_both_candidates_equally() {
+        let l = Locus::small();
+        for w in l.wire_list() {
+            let h = l.path_cells(&w, true);
+            let v = l.path_cells(&w, false);
+            assert_eq!(h.len() as i64, w.cells());
+            assert_eq!(v.len() as i64, w.cells());
+            assert_eq!(h.first(), Some(&(w.x1, w.y1)));
+            assert_eq!(h.last(), Some(&(w.x2, w.y2)));
+            assert_eq!(v.first(), Some(&(w.x1, w.y1)));
+            assert_eq!(v.last(), Some(&(w.x2, w.y2)));
+        }
+    }
+
+    #[test]
+    fn locus_verifies_on_one_processor_exactly() {
+        run_and_verify(&Locus::small(), 1);
+    }
+
+    #[test]
+    fn locus_verifies_on_four_processors() {
+        run_and_verify(&Locus::small(), 4);
+    }
+
+    #[test]
+    fn locus_verifies_on_sixteen_processors() {
+        run_and_verify(
+            &Locus {
+                wires: 96,
+                ..Locus::small()
+            },
+            16,
+        );
+    }
+
+    #[test]
+    fn locus_takes_one_lock_per_wire() {
+        let out = run_and_verify(&Locus::small(), 4);
+        let locks: u64 = out
+            .traces
+            .iter()
+            .flat_map(|t| t.iter())
+            .filter(|e| {
+                e.sync_access()
+                    .is_some_and(|s| s.kind == SyncKind::Lock)
+            })
+            .count() as u64;
+        assert_eq!(locks, 40, "one lock acquisition per routed wire");
+    }
+}

@@ -1,0 +1,463 @@
+//! MP3D — particle simulation through a shared cell space.
+//!
+//! The paper's MP3D moves rarefied-gas molecules through a 3-D space
+//! array each time step, with barriers between steps and a handful of
+//! lock-protected global counters. Communication comes from particles
+//! owned by different processors updating the *same* space-array
+//! cells, which is what gives MP3D its high miss rates (Table 1:
+//! 24.3 read misses and 22.5 write misses per thousand instructions —
+//! the highest of the five applications).
+//!
+//! Our kernel keeps exactly that structure. Each time step, every
+//! processor moves its (interleaved) share of particles: advance the
+//! position by the velocity, reflect off the six walls (data-dependent
+//! branches), locate the containing cell, and read-modify-write the
+//! cell's occupancy count and quantized momentum accumulators. A
+//! lock-protected global counter and two barriers close each step.
+//!
+//! Cell accumulators are *integers* (quantized velocities), so their
+//! updates commute and the final memory is deterministic regardless of
+//! interleaving — the verifier checks particles and cells bit-exactly
+//! against a Rust reference. The paper's collision phase is omitted
+//! (it would make results interleaving-dependent); the communication
+//! pattern it produces — processors sharing cell records — is
+//! preserved by the accumulator updates. See `DESIGN.md`.
+
+use crate::{BuiltWorkload, Workload};
+use lookahead_isa::program::DataImage;
+use lookahead_isa::{Assembler, BranchCond, FpCmpOp, FpReg, FpuOp, IntReg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Words per particle record (x, y, z, vx, vy, vz, 2 words pad).
+const PARTICLE_WORDS: usize = 8;
+/// Words per cell record (count, mx, my, mz).
+const CELL_WORDS: usize = 4;
+/// Velocity quantization factor for the integer momentum accumulators.
+const QUANT: f64 = 1000.0;
+
+/// The MP3D particle-in-cell kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mp3d {
+    /// Number of particles (paper: 10,000).
+    pub particles: usize,
+    /// Space-array dimensions (paper: 64×8×8).
+    pub space: (usize, usize, usize),
+    /// Number of time steps (paper: 5).
+    pub steps: usize,
+    /// RNG seed for initial positions and velocities.
+    pub seed: u64,
+}
+
+impl Default for Mp3d {
+    /// The experiment-harness size: 4,000 particles in 32×8×8 cells,
+    /// 5 steps.
+    fn default() -> Mp3d {
+        Mp3d {
+            particles: 4_000,
+            space: (32, 8, 8),
+            steps: 5,
+            seed: 42,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Particle {
+    pos: [f64; 3],
+    vel: [f64; 3],
+}
+
+impl Mp3d {
+    /// A size small enough for unit tests.
+    pub fn small() -> Mp3d {
+        Mp3d {
+            particles: 64,
+            space: (8, 4, 4),
+            steps: 2,
+            seed: 42,
+        }
+    }
+
+    /// The paper's size: 10,000 particles in a 64×8×8 space array,
+    /// 5 time steps.
+    pub fn paper() -> Mp3d {
+        Mp3d {
+            particles: 10_000,
+            space: (64, 8, 8),
+            steps: 5,
+            seed: 42,
+        }
+    }
+
+    fn num_cells(&self) -> usize {
+        self.space.0 * self.space.1 * self.space.2
+    }
+
+    fn initial_particles(&self) -> Vec<Particle> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let dims = [self.space.0 as f64, self.space.1 as f64, self.space.2 as f64];
+        (0..self.particles)
+            .map(|_| Particle {
+                pos: [
+                    rng.gen_range(0.0..dims[0]),
+                    rng.gen_range(0.0..dims[1]),
+                    rng.gen_range(0.0..dims[2]),
+                ],
+                vel: [
+                    rng.gen_range(-0.7..0.7),
+                    rng.gen_range(-0.7..0.7),
+                    rng.gen_range(-0.7..0.7),
+                ],
+            })
+            .collect()
+    }
+
+    /// Reference simulation with the identical arithmetic: returns the
+    /// final particles and the cell accumulators `(count, mx, my, mz)`.
+    fn reference(&self) -> (Vec<Particle>, Vec<[i64; 4]>) {
+        let mut parts = self.initial_particles();
+        let mut cells = vec![[0i64; 4]; self.num_cells()];
+        let dims = [self.space.0, self.space.1, self.space.2];
+        for _t in 0..self.steps {
+            for p in parts.iter_mut() {
+                let mut cell_coord = [0i64; 3];
+                for a in 0..3 {
+                    let d = dims[a] as f64;
+                    p.pos[a] += p.vel[a];
+                    if p.pos[a] < 0.0 {
+                        p.pos[a] = -p.pos[a];
+                        p.vel[a] = -p.vel[a];
+                    } else if d <= p.pos[a] {
+                        p.pos[a] = 2.0 * d - p.pos[a];
+                        p.vel[a] = -p.vel[a];
+                    }
+                    let mut c = p.pos[a] as i64;
+                    if c >= dims[a] as i64 {
+                        c = dims[a] as i64 - 1;
+                    }
+                    cell_coord[a] = c;
+                }
+                let idx = ((cell_coord[2] * dims[1] as i64 + cell_coord[1])
+                    * dims[0] as i64
+                    + cell_coord[0]) as usize;
+                cells[idx][0] += 1;
+                for a in 0..3 {
+                    cells[idx][1 + a] += (p.vel[a] * QUANT) as i64;
+                }
+            }
+        }
+        (parts, cells)
+    }
+}
+
+impl Workload for Mp3d {
+    fn name(&self) -> &'static str {
+        "MP3D"
+    }
+
+    fn build(&self, num_procs: usize) -> BuiltWorkload {
+        assert!(self.particles >= 1 && self.steps >= 1);
+        let (cx, cy, cz) = self.space;
+        assert!(cx >= 1 && cy >= 1 && cz >= 1);
+
+        // ---- shared memory layout -------------------------------------
+        let mut image = DataImage::new();
+        image.align_to(16);
+        let particles_base = image.alloc_words(self.particles * PARTICLE_WORDS);
+        for (i, p) in self.initial_particles().iter().enumerate() {
+            let base = particles_base + (i * PARTICLE_WORDS * 8) as u64;
+            for a in 0..3 {
+                image.write_f64(base + (a * 8) as u64, p.pos[a]);
+                image.write_f64(base + ((3 + a) * 8) as u64, p.vel[a]);
+            }
+        }
+        image.align_to(16);
+        let cells_base = image.alloc_words(self.num_cells() * CELL_WORDS);
+        image.align_to(16);
+        let barrier = image.alloc_words(2);
+        let lock = image.alloc_words(2);
+        image.align_to(16);
+        let global_moves = image.alloc_words(2);
+
+        // ---- registers -------------------------------------------------
+        // G0 particles, G1 cells, G2 particle count, G3 barrier,
+        // G4 lock, G5 globals. S0 step, S1 particle index, S2 particle
+        // addr, S4 local-moved counter. F8 = 0.0, F9 = QUANT,
+        // F10/F11 = X/2X, F12/F13 = Y/2Y, F14/F15 = Z/2Z.
+        use FpReg as F;
+        use IntReg as R;
+        let mut b = Assembler::new();
+        b.li(R::G0, particles_base as i64);
+        b.li(R::G1, cells_base as i64);
+        b.li(R::G2, self.particles as i64);
+        b.li(R::G3, barrier as i64);
+        b.li(R::G4, lock as i64);
+        b.li(R::G5, global_moves as i64);
+        b.lif(F::F8, 0.0);
+        b.lif(F::F9, QUANT);
+        b.lif(F::F10, cx as f64);
+        b.lif(F::F11, 2.0 * cx as f64);
+        b.lif(F::F12, cy as f64);
+        b.lif(F::F13, 2.0 * cy as f64);
+        b.lif(F::F14, cz as f64);
+        b.lif(F::F15, 2.0 * cz as f64);
+
+        // One axis: position in `pos`, velocity in `vel`, wall in
+        // `dim`, 2*wall in `dim2`. Trashes T0.
+        let reflect = |b: &mut Assembler, pos: F, vel: F, dim: F, dim2: F| {
+            b.fadd(pos, pos, vel);
+            b.fcmp(FpCmpOp::Lt, R::T0, pos, F::F8);
+            b.if_then_else(
+                BranchCond::Ne,
+                R::T0,
+                R::ZERO,
+                |b| {
+                    b.fpu(FpuOp::Neg, pos, pos, pos);
+                    b.fpu(FpuOp::Neg, vel, vel, vel);
+                },
+                |b| {
+                    b.fcmp(FpCmpOp::Le, R::T0, dim, pos);
+                    b.if_then(BranchCond::Ne, R::T0, R::ZERO, |b| {
+                        b.fsub(pos, dim2, pos);
+                        b.fpu(FpuOp::Neg, vel, vel, vel);
+                    });
+                },
+            );
+        };
+        // Cell coordinate of `pos` into `out`, clamped to [0, dim).
+        let cell_coord = |b: &mut Assembler, out: R, pos: F, dim: i64| {
+            b.fp_to_int(out, pos);
+            b.li(R::T5, dim);
+            b.if_then(BranchCond::Ge, out, R::T5, |b| {
+                b.addi(out, R::T5, -1);
+            });
+        };
+
+        b.for_range(R::S0, 0, self.steps as i64, |b| {
+            b.li(R::S4, 0); // particles I moved this step
+            b.for_step(R::S1, R::A0, R::G2, num_procs as i64, |b| {
+                // S2 = &particle
+                b.muli(R::S2, R::S1, (PARTICLE_WORDS * 8) as i64);
+                b.add(R::S2, R::G0, R::S2);
+                b.loadf(F::F0, R::S2, 0); // x
+                b.loadf(F::F1, R::S2, 8); // y
+                b.loadf(F::F2, R::S2, 16); // z
+                b.loadf(F::F3, R::S2, 24); // vx
+                b.loadf(F::F4, R::S2, 32); // vy
+                b.loadf(F::F5, R::S2, 40); // vz
+                reflect(b, F::F0, F::F3, F::F10, F::F11);
+                reflect(b, F::F1, F::F4, F::F12, F::F13);
+                reflect(b, F::F2, F::F5, F::F14, F::F15);
+                b.storef(F::F0, R::S2, 0);
+                b.storef(F::F1, R::S2, 8);
+                b.storef(F::F2, R::S2, 16);
+                b.storef(F::F3, R::S2, 24);
+                b.storef(F::F4, R::S2, 32);
+                b.storef(F::F5, R::S2, 40);
+                // cell coordinates
+                cell_coord(b, R::T1, F::F0, cx as i64);
+                cell_coord(b, R::T2, F::F1, cy as i64);
+                cell_coord(b, R::T3, F::F2, cz as i64);
+                // T3 = (((cz*CY)+cy)*CX + cx) * CELL_BYTES + cells
+                b.muli(R::T3, R::T3, cy as i64);
+                b.add(R::T3, R::T3, R::T2);
+                b.muli(R::T3, R::T3, cx as i64);
+                b.add(R::T3, R::T3, R::T1);
+                b.muli(R::T3, R::T3, (CELL_WORDS * 8) as i64);
+                b.add(R::T3, R::G1, R::T3);
+                // count++
+                b.load(R::T4, R::T3, 0);
+                b.addi(R::T4, R::T4, 1);
+                b.store(R::T4, R::T3, 0);
+                b.mv(R::S5, R::T4); // keep the occupancy we observed
+                // momentum accumulators (quantized)
+                for (axis, vel) in [(0i64, F::F3), (1, F::F4), (2, F::F5)] {
+                    b.fmul(F::F6, vel, F::F9);
+                    b.fp_to_int(R::T4, F::F6);
+                    let off = 8 + axis * 8;
+                    b.load(R::T5, R::T3, off);
+                    b.add(R::T5, R::T5, R::T4);
+                    b.store(R::T5, R::T3, off);
+                }
+                // Collision-partner probe: chase a second cell whose
+                // address depends on the occupancy value just loaded —
+                // the paper's MP3D dependence chains, where "one read
+                // miss affect[s] the address of the next read miss"
+                // (§4.1.3). The probe is read-only (the value feeds a
+                // running checksum in S6 only), so it perturbs timing
+                // and coherence traffic without touching verified
+                // state.
+                b.sub(R::T5, R::T3, R::G1);
+                b.alu_imm(lookahead_isa::AluOp::Srl, R::T5, R::T5, 5);
+                b.muli(R::T4, R::S5, 7);
+                b.add(R::T4, R::T4, R::T5);
+                b.alu_imm(lookahead_isa::AluOp::Rem, R::T4, R::T4, self.num_cells() as i64);
+                b.muli(R::T4, R::T4, (CELL_WORDS * 8) as i64);
+                b.add(R::T4, R::G1, R::T4);
+                b.load(R::T5, R::T4, 0);
+                b.add(R::S6, R::S6, R::T5);
+                // Second link of the chain: the next probe's address
+                // depends on the first probe's value.
+                b.alu_imm(lookahead_isa::AluOp::Rem, R::T4, R::S6, self.num_cells() as i64);
+                b.muli(R::T4, R::T4, (CELL_WORDS * 8) as i64);
+                b.add(R::T4, R::G1, R::T4);
+                b.load(R::T5, R::T4, 8);
+                b.add(R::S6, R::S6, R::T5);
+                b.addi(R::S4, R::S4, 1);
+            });
+            b.barrier(R::G3, 0);
+            // lock-protected global move counter
+            b.lock(R::G4, 0);
+            b.load(R::T0, R::G5, 0);
+            b.add(R::T0, R::T0, R::S4);
+            b.store(R::T0, R::G5, 0);
+            b.unlock(R::G4, 0);
+            b.barrier(R::G3, 0);
+        });
+        b.halt();
+        let program = b.assemble().expect("MP3D assembles");
+
+        // ---- verifier ---------------------------------------------------
+        // Particle state is deterministic (only the owner touches it)
+        // and checked bit-exactly. The cell accumulators are updated
+        // with unprotected read-modify-writes — as in the real SPLASH
+        // MP3D, which is famously racy on its space array — so on more
+        // than one processor an increment can occasionally be lost.
+        // With one processor there are no races and cells are exact;
+        // otherwise we check the interleaving-independent invariants:
+        // counts never exceed the reference and at least 95% of all
+        // increments land (the simulator is deterministic, so this is
+        // reproducible, not flaky).
+        let (expect_parts, expect_cells) = self.reference();
+        let me = *self;
+        let exact_cells = num_procs == 1;
+        let verify = move |mem: &lookahead_isa::interp::FlatMemory| -> Result<(), String> {
+            for (i, p) in expect_parts.iter().enumerate() {
+                let base = particles_base + (i * PARTICLE_WORDS * 8) as u64;
+                for a in 0..3 {
+                    let gp = mem.read_f64(base + (a * 8) as u64);
+                    let gv = mem.read_f64(base + ((3 + a) * 8) as u64);
+                    if gp.to_bits() != p.pos[a].to_bits() {
+                        return Err(format!(
+                            "particle {i} pos[{a}]: simulated {gp} != reference {}",
+                            p.pos[a]
+                        ));
+                    }
+                    if gv.to_bits() != p.vel[a].to_bits() {
+                        return Err(format!(
+                            "particle {i} vel[{a}]: simulated {gv} != reference {}",
+                            p.vel[a]
+                        ));
+                    }
+                }
+            }
+            let mut total_count = 0i64;
+            for (c, want) in expect_cells.iter().enumerate() {
+                let base = cells_base + (c * CELL_WORDS * 8) as u64;
+                let count = mem.read_i64(base);
+                if exact_cells {
+                    for w in 0..4 {
+                        let got = mem.read_i64(base + (w * 8) as u64);
+                        if got != want[w] {
+                            return Err(format!(
+                                "cell {c} word {w}: simulated {got} != reference {}",
+                                want[w]
+                            ));
+                        }
+                    }
+                } else if count < 0 || count > want[0] {
+                    return Err(format!(
+                        "cell {c} count {count} outside [0, {}]",
+                        want[0]
+                    ));
+                }
+                total_count += count;
+            }
+            let want_total = (me.particles * me.steps) as i64;
+            if total_count * 100 < want_total * 95 {
+                return Err(format!(
+                    "lost too many cell updates: {total_count} of {want_total}"
+                ));
+            }
+            let moves = mem.read_i64(global_moves);
+            if moves != want_total {
+                return Err(format!("global moves {moves} != {want_total}"));
+            }
+            Ok(())
+        };
+
+        BuiltWorkload {
+            program,
+            image,
+            verify: Box::new(verify),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_verify;
+    use lookahead_isa::SyncKind;
+
+    #[test]
+    fn mp3d_verifies_on_one_processor() {
+        run_and_verify(&Mp3d::small(), 1);
+    }
+
+    #[test]
+    fn mp3d_verifies_on_four_processors() {
+        run_and_verify(&Mp3d::small(), 4);
+    }
+
+    #[test]
+    fn mp3d_verifies_on_sixteen_processors() {
+        run_and_verify(
+            &Mp3d {
+                particles: 200,
+                ..Mp3d::small()
+            },
+            16,
+        );
+    }
+
+    #[test]
+    fn mp3d_reflects_off_walls() {
+        // With enough steps every particle reflects at least once; the
+        // reference must keep all positions in bounds.
+        let m = Mp3d {
+            particles: 32,
+            space: (4, 4, 4),
+            steps: 20,
+            seed: 7,
+        };
+        let (parts, cells) = m.reference();
+        for p in &parts {
+            for a in 0..3 {
+                assert!(p.pos[a] >= 0.0 && p.pos[a] <= 4.0, "escaped: {:?}", p.pos);
+            }
+        }
+        let total: i64 = cells.iter().map(|c| c[0]).sum();
+        assert_eq!(total, 32 * 20, "every move lands in exactly one cell");
+    }
+
+    #[test]
+    fn mp3d_uses_locks_and_barriers() {
+        let out = run_and_verify(&Mp3d::small(), 4);
+        let (mut locks, mut barriers) = (0u64, 0u64);
+        for t in &out.traces {
+            for e in t.iter() {
+                if let Some(s) = e.sync_access() {
+                    match s.kind {
+                        SyncKind::Lock => locks += 1,
+                        SyncKind::Barrier => barriers += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert_eq!(locks, 4 * 2, "one lock per processor per step");
+        assert_eq!(barriers, 4 * 2 * 2, "two barriers per processor per step");
+    }
+}

@@ -1,0 +1,657 @@
+//! PTHOR — parallel event-driven logic simulation.
+//!
+//! The paper's PTHOR is a Chandy–Misra distributed-time logic
+//! simulator: logic elements, nets linking them, and per-processor
+//! task queues of activated elements. Each processor repeatedly pops
+//! an activated element, evaluates it, and schedules newly activated
+//! elements onto the task queues. Its profile in the paper is extreme
+//! on every axis: the most locks by far (Table 2: ~6,000 per
+//! processor), the worst branch prediction (Table 3: 81.2%), and long
+//! load-dependence chains (§4.1.3: ~50% of read misses delayed over 50
+//! cycles by dependences).
+//!
+//! Our kernel is a faithful event-driven simulator over a generated
+//! gate netlist: per-processor LIFO task queues protected by locks,
+//! work stealing from other processors' queues, a lock-protected
+//! global active-task counter for termination detection, and a
+//! three-phase clock cycle (stimulus/flip-flop release → event loop to
+//! convergence → flip-flop next-state capture) separated by barriers.
+//! Gate evaluation chases pointers — gate record → input gate ids →
+//! their output words — producing exactly the dependent-load chains
+//! and data-dependent branches (gate-type dispatch, value-change
+//! tests, steal loops) the paper attributes PTHOR's behaviour to.
+//!
+//! Determinism: the final gate outputs are the unique fixed point of
+//! the combinational network given the flip-flop states and stimulus,
+//! so they match the levelized Rust reference regardless of the order
+//! in which events were processed.
+
+use crate::{BuiltWorkload, Workload};
+use lookahead_isa::program::DataImage;
+use lookahead_isa::{AluOp, Assembler, BranchCond, IntReg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Gate type codes stored in the netlist.
+const T_AND: i64 = 0;
+const T_OR: i64 = 1;
+const T_XOR: i64 = 2;
+const T_NAND: i64 = 3;
+const T_NOT: i64 = 4;
+const T_DFF: i64 = 5;
+const T_INPUT: i64 = 6;
+
+/// Gate record layout (byte offsets within the 64-byte record).
+const OFF_TYPE: i64 = 0;
+const OFF_IN0: i64 = 8;
+const OFF_IN1: i64 = 16;
+const OFF_OUT: i64 = 24;
+const OFF_NEXT: i64 = 32;
+const OFF_FANOUT_N: i64 = 40;
+const OFF_FANOUT_BASE: i64 = 48;
+const GATE_BYTES: i64 = 64;
+
+/// Globals block layout (byte offsets from the globals base).
+const G_BARRIER: i64 = 0;
+const G_ACTIVE_LOCK: i64 = 16;
+const G_ACTIVE: i64 = 32;
+const G_ERROR: i64 = 48;
+
+/// The PTHOR logic-simulation kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pthor {
+    /// Total gates, including primary inputs (paper: ~11,000
+    /// two-input gates).
+    pub gates: usize,
+    /// Number of primary-input gates (driven by the stimulus).
+    pub inputs: usize,
+    /// Fraction of non-input gates that are flip-flops, in percent.
+    pub dff_percent: usize,
+    /// Simulated clock cycles (paper: 5).
+    pub cycles: usize,
+    /// Netlist generation seed.
+    pub seed: u64,
+}
+
+impl Default for Pthor {
+    /// The experiment-harness size: a ~1,500-gate circuit, 5 clock
+    /// cycles.
+    fn default() -> Pthor {
+        Pthor {
+            gates: 1_500,
+            inputs: 12,
+            dff_percent: 10,
+            cycles: 5,
+            seed: 1992,
+        }
+    }
+}
+
+/// A generated netlist gate.
+#[derive(Debug, Clone, Copy)]
+struct Gate {
+    ty: i64,
+    in0: i64,
+    in1: i64,
+}
+
+impl Pthor {
+    /// A size small enough for unit tests.
+    pub fn small() -> Pthor {
+        Pthor {
+            gates: 80,
+            inputs: 6,
+            dff_percent: 15,
+            cycles: 2,
+            seed: 7,
+        }
+    }
+
+    /// The paper's size: an ~11,000-gate circuit simulated for 5
+    /// clock cycles.
+    pub fn paper() -> Pthor {
+        Pthor {
+            gates: 11_000,
+            inputs: 32,
+            dff_percent: 10,
+            cycles: 5,
+            seed: 1992,
+        }
+    }
+
+    /// Generates the netlist: primary inputs first, then a topological
+    /// mix of combinational gates (inputs strictly earlier in id
+    /// order, so the combinational network is a DAG) and flip-flops
+    /// (whose input may be any other gate, giving sequential
+    /// feedback).
+    fn netlist(&self) -> Vec<Gate> {
+        assert!(self.inputs >= 2 && self.gates > self.inputs + 2);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut gates = Vec::with_capacity(self.gates);
+        for _ in 0..self.inputs {
+            gates.push(Gate {
+                ty: T_INPUT,
+                in0: -1,
+                in1: -1,
+            });
+        }
+        for g in self.inputs..self.gates {
+            let is_dff = rng.gen_range(0..100) < self.dff_percent;
+            if is_dff {
+                // Any other gate may feed a flip-flop (feedback ok).
+                let mut in0 = rng.gen_range(0..self.gates as i64);
+                if in0 == g as i64 {
+                    in0 = (in0 + 1) % self.gates as i64;
+                }
+                gates.push(Gate {
+                    ty: T_DFF,
+                    in0,
+                    in1: -1,
+                });
+            } else {
+                let ty = rng.gen_range(0..5);
+                let in0 = rng.gen_range(0..g as i64);
+                let in1 = if ty == T_NOT {
+                    -1
+                } else {
+                    rng.gen_range(0..g as i64)
+                };
+                gates.push(Gate { ty, in0, in1 });
+            }
+        }
+        gates
+    }
+
+    /// Fanout lists: for every gate, the *combinational* gates it
+    /// feeds (flip-flops sample their input at the clock edge instead
+    /// of being event-driven).
+    fn fanouts(netlist: &[Gate]) -> Vec<Vec<i64>> {
+        let mut fan: Vec<Vec<i64>> = vec![Vec::new(); netlist.len()];
+        for (g, gate) in netlist.iter().enumerate() {
+            if gate.ty == T_DFF || gate.ty == T_INPUT {
+                continue;
+            }
+            for src in [gate.in0, gate.in1] {
+                if src >= 0 {
+                    fan[src as usize].push(g as i64);
+                }
+            }
+        }
+        fan
+    }
+
+    fn stimulus(cycle: usize, gate: usize) -> i64 {
+        ((cycle as i64 + 1) >> (gate % 4)) & 1
+    }
+
+    fn eval(ty: i64, v0: i64, v1: i64) -> i64 {
+        match ty {
+            T_AND => v0 & v1,
+            T_OR => v0 | v1,
+            T_XOR => v0 ^ v1,
+            T_NAND => (v0 & v1) ^ 1,
+            T_NOT => v0 ^ 1,
+            _ => unreachable!("combinational eval of {ty}"),
+        }
+    }
+
+    /// The combinational fixed point with all inputs and flip-flops at
+    /// zero — the state the netlist image starts in. The event-driven
+    /// simulator is incremental, so it must start from a consistent
+    /// state (e.g. a NAND of two zeros must already read 1).
+    fn initial_outputs(netlist: &[Gate]) -> Vec<i64> {
+        let mut out = vec![0i64; netlist.len()];
+        for (g, gate) in netlist.iter().enumerate() {
+            if gate.ty != T_INPUT && gate.ty != T_DFF {
+                let v0 = if gate.in0 >= 0 { out[gate.in0 as usize] } else { 0 };
+                let v1 = if gate.in1 >= 0 { out[gate.in1 as usize] } else { 0 };
+                out[g] = Self::eval(gate.ty, v0, v1);
+            }
+        }
+        out
+    }
+
+    /// Reference levelized simulation: returns `(out, next)` per gate
+    /// after all cycles.
+    fn reference(&self, netlist: &[Gate]) -> (Vec<i64>, Vec<i64>) {
+        let n = netlist.len();
+        let mut out = vec![0i64; n];
+        let mut next = vec![0i64; n];
+        for c in 0..self.cycles {
+            for (g, gate) in netlist.iter().enumerate() {
+                match gate.ty {
+                    T_INPUT => out[g] = Self::stimulus(c, g),
+                    T_DFF => out[g] = next[g],
+                    _ => {}
+                }
+            }
+            // One pass in id order suffices: combinational inputs are
+            // strictly earlier gates.
+            for (g, gate) in netlist.iter().enumerate() {
+                if gate.ty != T_INPUT && gate.ty != T_DFF {
+                    let v0 = if gate.in0 >= 0 { out[gate.in0 as usize] } else { 0 };
+                    let v1 = if gate.in1 >= 0 { out[gate.in1 as usize] } else { 0 };
+                    out[g] = Self::eval(gate.ty, v0, v1);
+                }
+            }
+            for (g, gate) in netlist.iter().enumerate() {
+                if gate.ty == T_DFF {
+                    next[g] = out[gate.in0 as usize];
+                }
+            }
+        }
+        (out, next)
+    }
+}
+
+impl Workload for Pthor {
+    fn name(&self) -> &'static str {
+        "PTHOR"
+    }
+
+    fn build(&self, num_procs: usize) -> BuiltWorkload {
+        let netlist = self.netlist();
+        let fanouts = Self::fanouts(&netlist);
+        let n = netlist.len();
+        let p = num_procs;
+
+        // ---- shared memory layout -------------------------------------
+        let mut image = DataImage::new();
+        image.align_to(16);
+        // Gate records.
+        let gates_base = image.alloc_words(n * 8);
+        // Flat fanout array with per-gate (count, base) in the record.
+        let total_fanout: usize = fanouts.iter().map(Vec::len).sum();
+        image.align_to(16);
+        let fanout_base = image.alloc_words(total_fanout.max(1));
+        let initial_out = Self::initial_outputs(&netlist);
+        let mut cursor = 0usize;
+        for (g, gate) in netlist.iter().enumerate() {
+            let rec = gates_base + (g as i64 * GATE_BYTES) as u64;
+            image.write_i64(rec + OFF_TYPE as u64, gate.ty);
+            image.write_i64(rec + OFF_IN0 as u64, gate.in0);
+            image.write_i64(rec + OFF_IN1 as u64, gate.in1);
+            image.write_i64(rec + OFF_OUT as u64, initial_out[g]);
+            image.write_i64(rec + OFF_FANOUT_N as u64, fanouts[g].len() as i64);
+            image.write_i64(rec + OFF_FANOUT_BASE as u64, cursor as i64);
+            for (k, &f) in fanouts[g].iter().enumerate() {
+                image.write_i64(fanout_base + ((cursor + k) * 8) as u64, f);
+            }
+            cursor += fanouts[g].len();
+        }
+        // Per-processor task queues: [lock, count, items...].
+        let capacity = (16 * n / p).max(128);
+        let queue_words = 2 + capacity;
+        image.align_to(16);
+        let queues_base = image.alloc_words(p * queue_words);
+        let queue_stride = (queue_words * 8) as i64;
+        // Globals: barrier, active lock, active counter, error flag.
+        image.align_to(16);
+        let globals = image.alloc_words(8);
+
+        // ---- program ----------------------------------------------------
+        // G0 gates, G1 fanout array, G2 queues, G3 globals, G4 gate
+        // count, G5 queue stride. S0 cycle, S1 popped gate id, S2 gate
+        // record addr, S4 steal attempt, S5 fanout index, S6 fanout
+        // count, S7 fanout cursor, S8 enqueue target gate.
+        use IntReg as R;
+        let mut b = Assembler::new();
+        b.li(R::G0, gates_base as i64);
+        b.li(R::G1, fanout_base as i64);
+        b.li(R::G2, queues_base as i64);
+        b.li(R::G3, globals as i64);
+        b.li(R::G4, n as i64);
+        b.li(R::G5, queue_stride);
+
+        // enqueue(S8): push S8 onto its owner's queue. The active
+        // counter was already bumped in bulk by enqueue_fanouts (the
+        // increment must precede the push so the counter never
+        // under-counts live work). Trashes T0, T7, T8.
+        let enqueue = |b: &mut Assembler| {
+            // owner queue address: T8 = queues + (S8 % P) * stride
+            b.alu(AluOp::Rem, R::T8, R::S8, R::A1);
+            b.mul(R::T8, R::T8, R::G5);
+            b.add(R::T8, R::G2, R::T8);
+            b.lock(R::T8, 0);
+            b.load(R::T0, R::T8, 8); // count
+            b.li(R::T7, capacity as i64);
+            b.if_then_else(
+                BranchCond::Ge,
+                R::T0,
+                R::T7,
+                |b| {
+                    // Overflow: record the error, drop the task.
+                    b.li(R::T7, 1);
+                    b.store(R::T7, R::G3, G_ERROR);
+                },
+                |b| {
+                    // items[count] = S8; count++
+                    b.alu_imm(AluOp::Sll, R::T7, R::T0, 3);
+                    b.add(R::T7, R::T8, R::T7);
+                    b.store(R::S8, R::T7, 16);
+                    b.addi(R::T0, R::T0, 1);
+                    b.store(R::T0, R::T8, 8);
+                },
+            );
+            b.unlock(R::T8, 0);
+        };
+
+        // enqueue_fanouts of the gate whose record is in S2: bump the
+        // active counter once for the whole fanout list (one lock per
+        // evaluation instead of one per consumer, which would hammer
+        // the global lock), then push each consumer.
+        let enqueue_fanouts = |b: &mut Assembler| {
+            b.load(R::S6, R::S2, OFF_FANOUT_N);
+            b.load(R::S7, R::S2, OFF_FANOUT_BASE);
+            b.if_then(BranchCond::Gt, R::S6, R::ZERO, |b| {
+                b.lock(R::G3, G_ACTIVE_LOCK);
+                b.load(R::T0, R::G3, G_ACTIVE);
+                b.add(R::T0, R::T0, R::S6);
+                b.store(R::T0, R::G3, G_ACTIVE);
+                b.unlock(R::G3, G_ACTIVE_LOCK);
+            });
+            b.li(R::S5, 0);
+            b.while_loop(BranchCond::Lt, R::S5, R::S6, |b| {
+                b.add(R::T8, R::S7, R::S5);
+                b.alu_imm(AluOp::Sll, R::T8, R::T8, 3);
+                b.add(R::T8, R::G1, R::T8);
+                b.load(R::S8, R::T8, 0);
+                enqueue(b);
+                b.addi(R::S5, R::S5, 1);
+            });
+        };
+
+        // Flush batched task-completion decrements (held in S9) to the
+        // global active counter.
+        let flush_decrements = |b: &mut Assembler| {
+            b.if_then(BranchCond::Gt, R::S9, R::ZERO, |b| {
+                b.lock(R::G3, G_ACTIVE_LOCK);
+                b.load(R::T0, R::G3, G_ACTIVE);
+                b.sub(R::T0, R::T0, R::S9);
+                b.store(R::T0, R::G3, G_ACTIVE);
+                b.unlock(R::G3, G_ACTIVE_LOCK);
+                b.li(R::S9, 0);
+            });
+        };
+
+        b.for_range(R::S0, 0, self.cycles as i64, |b| {
+            // ---- phase A: stimulus + flip-flop release ----------------
+            b.for_step(R::S1, R::A0, R::G4, p as i64, |b| {
+                b.muli(R::S2, R::S1, GATE_BYTES);
+                b.add(R::S2, R::G0, R::S2);
+                b.load(R::T1, R::S2, OFF_TYPE);
+                b.li(R::T2, T_INPUT);
+                b.if_then_else(
+                    BranchCond::Eq,
+                    R::T1,
+                    R::T2,
+                    |b| {
+                        // T3 = stimulus = ((cycle+1) >> (id % 4)) & 1
+                        b.alu_imm(AluOp::Rem, R::T4, R::S1, 4);
+                        b.addi(R::T3, R::S0, 1);
+                        b.alu(AluOp::Srl, R::T3, R::T3, R::T4);
+                        b.alu_imm(AluOp::And, R::T3, R::T3, 1);
+                        b.load(R::T5, R::S2, OFF_OUT);
+                        b.if_then(BranchCond::Ne, R::T3, R::T5, |b| {
+                            b.store(R::T3, R::S2, OFF_OUT);
+                            enqueue_fanouts(b);
+                        });
+                    },
+                    |b| {
+                        b.li(R::T2, T_DFF);
+                        b.if_then(BranchCond::Eq, R::T1, R::T2, |b| {
+                            b.load(R::T3, R::S2, OFF_NEXT);
+                            b.load(R::T5, R::S2, OFF_OUT);
+                            b.if_then(BranchCond::Ne, R::T3, R::T5, |b| {
+                                b.store(R::T3, R::S2, OFF_OUT);
+                                enqueue_fanouts(b);
+                            });
+                        });
+                    },
+                );
+            });
+            b.barrier(R::G3, G_BARRIER);
+
+            // ---- phase B: event loop until the active counter drains --
+            b.li(R::S9, 0); // batched completion decrements
+            let steal_top = b.named_label("steal_top");
+            let got_task = b.named_label("got_task");
+            let phase_done = b.named_label("phase_done");
+            b.bind(steal_top).expect("fresh label");
+            // Try each queue starting with my own.
+            b.li(R::S4, 0);
+            let try_next = b.named_label("try_next");
+            let no_task = b.named_label("no_task");
+            b.bind(try_next).expect("fresh label");
+            b.branch(BranchCond::Ge, R::S4, R::A1, no_task);
+            // victim = (me + S4) % P; T8 = its queue
+            b.add(R::T8, R::A0, R::S4);
+            b.alu(AluOp::Rem, R::T8, R::T8, R::A1);
+            b.mul(R::T8, R::T8, R::G5);
+            b.add(R::T8, R::G2, R::T8);
+            b.lock(R::T8, 0);
+            b.load(R::T0, R::T8, 8); // count
+            b.if_then(BranchCond::Gt, R::T0, R::ZERO, |b| {
+                b.addi(R::T0, R::T0, -1);
+                b.store(R::T0, R::T8, 8);
+                b.alu_imm(AluOp::Sll, R::T7, R::T0, 3);
+                b.add(R::T7, R::T8, R::T7);
+                b.load(R::S1, R::T7, 16); // popped gate id
+                b.unlock(R::T8, 0);
+                b.jump(got_task);
+            });
+            b.unlock(R::T8, 0);
+            b.addi(R::S4, R::S4, 1);
+            b.jump(try_next);
+
+            b.bind(no_task).expect("fresh label");
+            // All queues empty: publish my batched completions, then
+            // check whether any work remains in flight. (The flush
+            // must come first — the counter includes my unflushed
+            // decrements, so it cannot read zero before them.)
+            flush_decrements(b);
+            b.load(R::T0, R::G3, G_ACTIVE);
+            b.branch(BranchCond::Eq, R::T0, R::ZERO, phase_done);
+            b.jump(steal_top);
+
+            b.bind(got_task).expect("fresh label");
+            // Evaluate gate S1.
+            b.muli(R::S2, R::S1, GATE_BYTES);
+            b.add(R::S2, R::G0, R::S2);
+            b.load(R::T1, R::S2, OFF_TYPE);
+            b.load(R::T2, R::S2, OFF_IN0);
+            b.load(R::T3, R::S2, OFF_IN1);
+            // T4 = value(in0)
+            b.li(R::T4, 0);
+            b.if_then(BranchCond::Ge, R::T2, R::ZERO, |b| {
+                b.muli(R::T8, R::T2, GATE_BYTES);
+                b.add(R::T8, R::G0, R::T8);
+                b.load(R::T4, R::T8, OFF_OUT);
+            });
+            // T5 = value(in1)
+            b.li(R::T5, 0);
+            b.if_then(BranchCond::Ge, R::T3, R::ZERO, |b| {
+                b.muli(R::T8, R::T3, GATE_BYTES);
+                b.add(R::T8, R::G0, R::T8);
+                b.load(R::T5, R::T8, OFF_OUT);
+            });
+            // T6 = eval(type, T4, T5) — chained type dispatch.
+            let dispatch_done = b.label();
+            for (code, emit) in [
+                (T_AND, 0),
+                (T_OR, 1),
+                (T_XOR, 2),
+                (T_NAND, 3),
+                (T_NOT, 4),
+            ] {
+                let skip = b.label();
+                b.li(R::T7, code);
+                b.branch(BranchCond::Ne, R::T1, R::T7, skip);
+                match emit {
+                    0 => b.alu(AluOp::And, R::T6, R::T4, R::T5),
+                    1 => b.alu(AluOp::Or, R::T6, R::T4, R::T5),
+                    2 => b.alu(AluOp::Xor, R::T6, R::T4, R::T5),
+                    3 => {
+                        b.alu(AluOp::And, R::T6, R::T4, R::T5);
+                        b.alu_imm(AluOp::Xor, R::T6, R::T6, 1);
+                    }
+                    _ => b.alu_imm(AluOp::Xor, R::T6, R::T4, 1),
+                }
+                b.jump(dispatch_done);
+                b.bind(skip).expect("fresh label");
+            }
+            // Unknown type (DFF/INPUT should never be queued): keep old.
+            b.load(R::T6, R::S2, OFF_OUT);
+            b.bind(dispatch_done).expect("fresh label");
+            // Publish if changed, then activate consumers.
+            b.load(R::T7, R::S2, OFF_OUT);
+            b.if_then(BranchCond::Ne, R::T6, R::T7, |b| {
+                b.store(R::T6, R::S2, OFF_OUT);
+                enqueue_fanouts(b);
+            });
+            // Task complete: batch the decrement, flushing every 8
+            // completions to keep the counter from drifting far.
+            b.addi(R::S9, R::S9, 1);
+            b.li(R::T0, 8);
+            b.if_then(BranchCond::Ge, R::S9, R::T0, |b| {
+                flush_decrements(b);
+            });
+            b.jump(steal_top);
+
+            b.bind(phase_done).expect("fresh label");
+            b.barrier(R::G3, G_BARRIER);
+
+            // ---- phase C: flip-flops capture next state ----------------
+            b.for_step(R::S1, R::A0, R::G4, p as i64, |b| {
+                b.muli(R::S2, R::S1, GATE_BYTES);
+                b.add(R::S2, R::G0, R::S2);
+                b.load(R::T1, R::S2, OFF_TYPE);
+                b.li(R::T2, T_DFF);
+                b.if_then(BranchCond::Eq, R::T1, R::T2, |b| {
+                    b.load(R::T3, R::S2, OFF_IN0);
+                    b.muli(R::T8, R::T3, GATE_BYTES);
+                    b.add(R::T8, R::G0, R::T8);
+                    b.load(R::T4, R::T8, OFF_OUT);
+                    b.store(R::T4, R::S2, OFF_NEXT);
+                });
+            });
+            b.barrier(R::G3, G_BARRIER);
+        });
+        b.halt();
+        let program = b.assemble().expect("PTHOR assembles");
+
+        // ---- verifier ---------------------------------------------------
+        let (expect_out, expect_next) = self.reference(&netlist);
+        let verify = move |mem: &lookahead_isa::interp::FlatMemory| -> Result<(), String> {
+            if mem.read_i64(globals + G_ERROR as u64) != 0 {
+                return Err("task queue overflow during simulation".to_string());
+            }
+            if mem.read_i64(globals + G_ACTIVE as u64) != 0 {
+                return Err("active-task counter nonzero at end".to_string());
+            }
+            for g in 0..expect_out.len() {
+                let rec = gates_base + (g as i64 * GATE_BYTES) as u64;
+                let out = mem.read_i64(rec + OFF_OUT as u64);
+                if out != expect_out[g] {
+                    return Err(format!(
+                        "gate {g} output: simulated {out} != reference {}",
+                        expect_out[g]
+                    ));
+                }
+                let next = mem.read_i64(rec + OFF_NEXT as u64);
+                if next != expect_next[g] {
+                    return Err(format!(
+                        "gate {g} next: simulated {next} != reference {}",
+                        expect_next[g]
+                    ));
+                }
+            }
+            Ok(())
+        };
+
+        BuiltWorkload {
+            program,
+            image,
+            verify: Box::new(verify),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_and_verify;
+    use lookahead_isa::SyncKind;
+
+    #[test]
+    fn reference_is_stable_fixpoint() {
+        // Evaluating the reference's combinational pass twice changes
+        // nothing (it is a fixed point).
+        let p = Pthor::small();
+        let netlist = p.netlist();
+        let (mut out, _) = p.reference(&netlist);
+        let before = out.clone();
+        for (g, gate) in netlist.iter().enumerate() {
+            if gate.ty != T_INPUT && gate.ty != T_DFF {
+                let v0 = if gate.in0 >= 0 { out[gate.in0 as usize] } else { 0 };
+                let v1 = if gate.in1 >= 0 { out[gate.in1 as usize] } else { 0 };
+                out[g] = Pthor::eval(gate.ty, v0, v1);
+            }
+        }
+        assert_eq!(out, before);
+    }
+
+    #[test]
+    fn netlist_is_combinationally_acyclic() {
+        let p = Pthor::default();
+        for (g, gate) in p.netlist().iter().enumerate() {
+            if gate.ty != T_DFF && gate.ty != T_INPUT {
+                assert!(gate.in0 < g as i64, "gate {g} in0 not earlier");
+                assert!(gate.in1 < g as i64, "gate {g} in1 not earlier");
+            }
+        }
+    }
+
+    #[test]
+    fn pthor_verifies_on_one_processor() {
+        run_and_verify(&Pthor::small(), 1);
+    }
+
+    #[test]
+    fn pthor_verifies_on_four_processors() {
+        run_and_verify(&Pthor::small(), 4);
+    }
+
+    #[test]
+    fn pthor_verifies_on_sixteen_processors() {
+        run_and_verify(
+            &Pthor {
+                gates: 200,
+                ..Pthor::small()
+            },
+            16,
+        );
+    }
+
+    #[test]
+    fn pthor_is_lock_dominated() {
+        let out = run_and_verify(&Pthor::small(), 4);
+        let (mut locks, mut barriers) = (0u64, 0u64);
+        for t in &out.traces {
+            for e in t.iter() {
+                if let Some(s) = e.sync_access() {
+                    match s.kind {
+                        SyncKind::Lock => locks += 1,
+                        SyncKind::Barrier => barriers += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert_eq!(barriers, 4 * 2 * 3, "three barriers per cycle");
+        assert!(
+            locks > barriers * 5,
+            "PTHOR should be lock-dominated: {locks} locks vs {barriers} barriers"
+        );
+    }
+}

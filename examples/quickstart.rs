@@ -1,0 +1,48 @@
+//! Quickstart: the whole Lookahead pipeline in one page.
+//!
+//! Builds the LU workload, runs the 16-processor trace-generating
+//! simulation, re-times the representative trace under the BASE
+//! processor and the dynamically scheduled processor with a 64-entry
+//! window under release consistency, and reports how much read
+//! latency dynamic scheduling hid.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use lookahead_core::base::Base;
+use lookahead_core::ds::{Ds, DsConfig};
+use lookahead_core::model::ProcessorModel;
+use lookahead_harness::pipeline::AppRun;
+use lookahead_multiproc::SimConfig;
+use lookahead_workloads::lu::Lu;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A workload: LU decomposition of a 64x64 matrix, SPMD across
+    //    16 processors (the paper's machine).
+    let workload = Lu { n: 64 };
+    let config = SimConfig::default();
+
+    // 2. Execution-driven multiprocessor simulation -> verified,
+    //    annotated instruction trace for a representative processor.
+    let run = AppRun::generate(&workload, &config)?;
+    println!(
+        "generated {} trace: {} instructions from processor {}",
+        run.app,
+        run.trace.len(),
+        run.proc
+    );
+
+    // 3. Re-time the trace under two processor models.
+    let base = Base.run(&run.program, &run.trace);
+    let ds = Ds::new(DsConfig::rc().window(64)).run(&run.program, &run.trace);
+
+    println!("BASE     : {}", base.breakdown);
+    println!("DS-64/RC : {}", ds.breakdown);
+    println!(
+        "execution time: {:.1}% of BASE",
+        ds.breakdown.normalized_to(&base.breakdown)
+    );
+    if let Some(hidden) = ds.breakdown.read_latency_hidden_vs(&base.breakdown) {
+        println!("read latency hidden: {:.1}%", hidden * 100.0);
+    }
+    Ok(())
+}

@@ -1,0 +1,198 @@
+//! Integration tests spanning the whole stack: workload compilation,
+//! multiprocessor simulation, trace generation and processor-model
+//! re-timing, on all five applications at small sizes.
+
+use lookahead_core::base::Base;
+use lookahead_core::ds::{Ds, DsConfig};
+use lookahead_core::inorder::InOrder;
+use lookahead_core::model::ProcessorModel;
+use lookahead_core::ConsistencyModel;
+use lookahead_harness::pipeline::AppRun;
+use lookahead_multiproc::SimConfig;
+use lookahead_trace::TraceStats;
+use lookahead_workloads::App;
+
+fn small_config() -> SimConfig {
+    SimConfig {
+        num_procs: 8,
+        ..SimConfig::default()
+    }
+}
+
+fn generate(app: App) -> AppRun {
+    let w = app.small_workload();
+    AppRun::generate(w.as_ref(), &small_config())
+        .unwrap_or_else(|e| panic!("{app}: {e}"))
+}
+
+#[test]
+fn all_five_applications_run_and_verify() {
+    for app in App::ALL {
+        let run = generate(app);
+        assert!(!run.trace.is_empty(), "{app}: empty trace");
+        // The generating run's breakdowns account every cycle.
+        for (p, b) in run.mp_breakdowns.iter().enumerate() {
+            assert!(b.total() > 0, "{app}: processor {p} never ran");
+        }
+    }
+}
+
+#[test]
+fn base_model_equals_sum_of_trace_latencies() {
+    let run = generate(App::Lu);
+    let base = Base.run(&run.program, &run.trace);
+    let stats = TraceStats::collect(&run.trace, None);
+    assert_eq!(base.breakdown.busy, stats.data.busy_cycles);
+    // Every read-stall cycle comes from a read-miss latency.
+    let expected_read: u64 = run
+        .trace
+        .iter()
+        .filter_map(|e| match e.op {
+            lookahead_trace::TraceOp::Load(m) => Some((m.latency - 1) as u64),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(base.breakdown.read, expected_read);
+}
+
+#[test]
+fn busy_time_is_invariant_across_models() {
+    let run = generate(App::Ocean);
+    let n = run.trace.len() as u64;
+    for model in ConsistencyModel::EVALUATED {
+        let ssbr = InOrder::ssbr(model).run(&run.program, &run.trace);
+        assert_eq!(ssbr.breakdown.busy, n, "SSBR/{model}");
+        let ss = InOrder::ss(model).run(&run.program, &run.trace);
+        assert_eq!(ss.breakdown.busy, n, "SS/{model}");
+        let ds = Ds::new(DsConfig::with_model(model).window(64)).run(&run.program, &run.trace);
+        assert_eq!(
+            ds.breakdown.busy,
+            n + ds.stats.fetch_stall_cycles,
+            "DS/{model}: busy = instructions + fetch gaps"
+        );
+    }
+}
+
+#[test]
+fn relaxing_the_model_never_hurts() {
+    for app in App::ALL {
+        let run = generate(app);
+        let cycles = |m: ConsistencyModel| {
+            (
+                InOrder::ssbr(m).run(&run.program, &run.trace).cycles(),
+                Ds::new(DsConfig::with_model(m).window(64))
+                    .run(&run.program, &run.trace)
+                    .cycles(),
+            )
+        };
+        let (sc_in, sc_ds) = cycles(ConsistencyModel::Sc);
+        let (pc_in, pc_ds) = cycles(ConsistencyModel::Pc);
+        let (wo_in, _wo_ds) = cycles(ConsistencyModel::Wo);
+        let (rc_in, rc_ds) = cycles(ConsistencyModel::Rc);
+        assert!(pc_in <= sc_in, "{app}: PC {pc_in} > SC {sc_in} (in-order)");
+        assert!(rc_in <= pc_in, "{app}: RC {rc_in} > PC {pc_in} (in-order)");
+        assert!(rc_in <= wo_in, "{app}: RC {rc_in} > WO {wo_in} (in-order)");
+        assert!(pc_ds <= sc_ds, "{app}: PC {pc_ds} > SC {sc_ds} (DS)");
+        assert!(rc_ds <= pc_ds + pc_ds / 50, "{app}: RC {rc_ds} >> PC {pc_ds} (DS)");
+    }
+}
+
+#[test]
+fn ds_window_growth_is_monotone_under_rc() {
+    for app in App::ALL {
+        let run = generate(app);
+        let mut last = u64::MAX;
+        for w in [16, 32, 64, 128, 256] {
+            let c = Ds::new(DsConfig::rc().window(w))
+                .run(&run.program, &run.trace)
+                .cycles();
+            // Allow a sliver of slack: attribution ties can wiggle.
+            assert!(
+                c <= last.saturating_add(last / 100),
+                "{app}: window {w} slower ({c} vs {last})"
+            );
+            last = c;
+        }
+    }
+}
+
+#[test]
+fn write_latency_fully_hidden_in_order_under_rc() {
+    // The paper's prior-work result, reconfirmed in §4.1.1: RC hides
+    // the latency of writes on a statically scheduled processor.
+    for app in App::ALL {
+        let run = generate(app);
+        let base = Base.run(&run.program, &run.trace);
+        let rc = InOrder::ssbr(ConsistencyModel::Rc).run(&run.program, &run.trace);
+        if base.breakdown.write > 2000 {
+            assert!(
+                rc.breakdown.write * 5 < base.breakdown.write,
+                "{app}: RC write stall {} vs BASE {}",
+                rc.breakdown.write,
+                base.breakdown.write
+            );
+        }
+    }
+}
+
+#[test]
+fn ds_hides_read_latency_under_rc_but_not_sc() {
+    for app in App::ALL {
+        let run = generate(app);
+        let base = Base.run(&run.program, &run.trace);
+        if base.breakdown.read < 500 {
+            continue;
+        }
+        let rc = Ds::new(DsConfig::rc().window(64)).run(&run.program, &run.trace);
+        let sc = Ds::new(DsConfig::with_model(ConsistencyModel::Sc).window(64))
+            .run(&run.program, &run.trace);
+        let hidden_rc = rc
+            .breakdown
+            .read_latency_hidden_vs(&base.breakdown)
+            .unwrap();
+        assert!(
+            hidden_rc > 0.3,
+            "{app}: DS-64/RC hides only {:.0}% of read latency",
+            hidden_rc * 100.0
+        );
+        // SC's total barely improves over BASE no matter the window
+        // (small traces leave SC a little room at the edges).
+        assert!(
+            sc.cycles() as f64 > base.cycles() as f64 * 0.8,
+            "{app}: SC unexpectedly fast ({} vs BASE {})",
+            sc.cycles(),
+            base.cycles()
+        );
+    }
+}
+
+#[test]
+fn representative_trace_statistics_are_plausible() {
+    for app in App::ALL {
+        let run = generate(app);
+        let stats = TraceStats::collect(&run.trace, None);
+        assert!(
+            stats.data.reads > 0 && stats.data.writes > 0,
+            "{app}: no data references"
+        );
+        let refs_per_k = stats.data.per_thousand(stats.data.reads + stats.data.writes);
+        assert!(
+            refs_per_k > 50.0 && refs_per_k < 600.0,
+            "{app}: implausible reference rate {refs_per_k}"
+        );
+    }
+}
+
+/// Paper-sized workloads build, simulate and verify end to end.
+/// Ignored by default (minutes, not seconds):
+/// `cargo test --release -- --ignored paper_sizes`.
+#[test]
+#[ignore = "paper-sized runs take minutes; run explicitly with --ignored"]
+fn paper_sizes_verify() {
+    for app in App::ALL {
+        let w = app.paper_workload();
+        let run = AppRun::generate(w.as_ref(), &SimConfig::default())
+            .unwrap_or_else(|e| panic!("{app}: {e}"));
+        assert!(run.trace.len() > 100_000, "{app}: paper size too small");
+    }
+}

@@ -1,11 +1,10 @@
 //! Ablation benchmarks for the design decisions called out in
 //! `DESIGN.md` §4: they measure the *simulated* consequences (cycle
-//! counts) of each mechanism by toggling it, using Criterion only as a
-//! convenient runner/reporter. Each benchmark body also asserts the
+//! counts) of each mechanism by toggling it, using a plain timing
+//! harness as runner/reporter. Each benchmark body also asserts the
 //! directional effect, so `cargo bench` doubles as a coarse sanity
 //! check of the mechanisms.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lookahead_core::btb::BtbConfig;
 use lookahead_core::ds::{Ds, DsConfig};
 use lookahead_core::model::ProcessorModel;
@@ -13,6 +12,18 @@ use lookahead_harness::pipeline::AppRun;
 use lookahead_multiproc::SimConfig;
 use lookahead_workloads::pthor::Pthor;
 use lookahead_workloads::App;
+use std::time::Instant;
+
+const SAMPLES: u32 = 10;
+
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..SAMPLES {
+        std::hint::black_box(f());
+    }
+    println!("{name:40} {:>12.2?}/iter", start.elapsed() / SAMPLES);
+}
 
 fn config() -> SimConfig {
     SimConfig {
@@ -22,7 +33,7 @@ fn config() -> SimConfig {
 }
 
 /// MSHR capacity: unlimited vs 4 vs 1 outstanding misses.
-fn ablate_mshrs(c: &mut Criterion) {
+fn ablate_mshrs() {
     let run = AppRun::generate(App::Ocean.small_workload().as_ref(), &config()).unwrap();
     let cycles = |limit: Option<usize>| {
         Ds::new(DsConfig {
@@ -36,15 +47,13 @@ fn ablate_mshrs(c: &mut Criterion) {
         cycles(Some(1)) >= cycles(Some(4)) && cycles(Some(4)) >= cycles(None),
         "fewer MSHRs can never help"
     );
-    let mut group = c.benchmark_group("ablation_mshrs");
     for (name, limit) in [("unbounded", None), ("four", Some(4)), ("one", Some(1))] {
-        group.bench_function(name, |b| b.iter(|| cycles(limit)));
+        bench(&format!("ablation_mshrs/{name}"), || cycles(limit));
     }
-    group.finish();
 }
 
 /// Store buffer depth: the paper's 16 vs shallow buffers.
-fn ablate_store_buffer(c: &mut Criterion) {
+fn ablate_store_buffer() {
     let run = AppRun::generate(App::Ocean.small_workload().as_ref(), &config()).unwrap();
     let cycles = |depth: usize| {
         Ds::new(DsConfig {
@@ -54,17 +63,20 @@ fn ablate_store_buffer(c: &mut Criterion) {
         .run(&run.program, &run.trace)
         .cycles()
     };
-    assert!(cycles(1) >= cycles(16), "deeper store buffer can never hurt");
-    let mut group = c.benchmark_group("ablation_store_buffer");
+    assert!(
+        cycles(1) >= cycles(16),
+        "deeper store buffer can never hurt"
+    );
     for depth in [1usize, 4, 16] {
-        group.bench_function(format!("depth_{depth}"), |b| b.iter(|| cycles(depth)));
+        bench(&format!("ablation_store_buffer/depth_{depth}"), || {
+            cycles(depth)
+        });
     }
-    group.finish();
 }
 
 /// BTB organization on the branchy application: the paper's 2048x4
 /// vs a tiny direct-mapped buffer vs perfect prediction.
-fn ablate_btb(c: &mut Criterion) {
+fn ablate_btb() {
     let run = AppRun::generate(&Pthor::small(), &config()).unwrap();
     let with_btb = |btb: BtbConfig| {
         Ds::new(DsConfig {
@@ -85,22 +97,17 @@ fn ablate_btb(c: &mut Criterion) {
     .run(&run.program, &run.trace);
     assert!(tiny.stats.mispredictions >= paper.stats.mispredictions);
     assert!(perfect.cycles() <= paper.cycles());
-    let mut group = c.benchmark_group("ablation_btb");
-    group.bench_function("paper_2048x4", |b| b.iter(|| with_btb(BtbConfig::PAPER)));
-    group.bench_function("tiny_16x1", |b| {
-        b.iter(|| {
-            with_btb(BtbConfig {
-                entries: 16,
-                ways: 1,
-            })
+    bench("ablation_btb/paper_2048x4", || with_btb(BtbConfig::PAPER));
+    bench("ablation_btb/tiny_16x1", || {
+        with_btb(BtbConfig {
+            entries: 16,
+            ways: 1,
         })
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = ablate_mshrs, ablate_store_buffer, ablate_btb
+fn main() {
+    ablate_mshrs();
+    ablate_store_buffer();
+    ablate_btb();
 }
-criterion_main!(benches);

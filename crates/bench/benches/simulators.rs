@@ -1,10 +1,15 @@
-//! Criterion benchmarks of the simulator components themselves:
-//! how fast the multiprocessor simulator generates traces and how fast
-//! each processor model re-times them. These guard against performance
+//! Benchmarks of the simulator components themselves: how fast the
+//! multiprocessor simulator generates traces and how fast each
+//! processor model re-times them. These guard against performance
 //! regressions in the simulation loops (the figure binaries re-time
 //! dozens of configurations, so model throughput matters).
+//!
+//! Uses a plain `std::time::Instant` harness (no external benchmark
+//! crate) so the workspace builds offline: each case runs a warmup
+//! pass, then a fixed number of timed iterations, and reports the
+//! per-iteration mean plus throughput in simulated trace entries per
+//! second.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lookahead_core::base::Base;
 use lookahead_core::ds::{Ds, DsConfig};
 use lookahead_core::inorder::InOrder;
@@ -15,6 +20,26 @@ use lookahead_multiproc::{SimConfig, Simulator};
 use lookahead_workloads::lu::Lu;
 use lookahead_workloads::ocean::Ocean;
 use lookahead_workloads::Workload;
+use std::time::Instant;
+
+const SAMPLES: u32 = 10;
+
+/// Times `f` over `SAMPLES` iterations (after one warmup) and prints
+/// mean time per iteration and entries/sec for `elements` per call.
+fn bench<T>(name: &str, elements: u64, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..SAMPLES {
+        std::hint::black_box(f());
+    }
+    let mean = start.elapsed() / SAMPLES;
+    let per_sec = if mean.as_nanos() > 0 {
+        elements as f64 / mean.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+    println!("{name:32} {mean:>12.2?}/iter  {per_sec:>14.0} elem/s");
+}
 
 fn config() -> SimConfig {
     SimConfig {
@@ -25,8 +50,7 @@ fn config() -> SimConfig {
 
 /// Trace generation throughput: full multiprocessor simulation of a
 /// small LU, measured in simulated instructions per second.
-fn bench_multiproc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("multiproc");
+fn bench_multiproc() {
     let workload = Lu { n: 24 };
     // One calibration run to size the throughput denominator.
     let built = workload.build(8);
@@ -35,21 +59,17 @@ fn bench_multiproc(c: &mut Criterion) {
         .run()
         .unwrap();
     let total: usize = out.traces.iter().map(|t| t.len()).sum();
-    group.throughput(Throughput::Elements(total as u64));
-    group.bench_function("lu24_8procs", |b| {
-        b.iter(|| {
-            let built = workload.build(8);
-            Simulator::new(built.program, built.image, config())
-                .unwrap()
-                .run()
-                .unwrap()
-        })
+    bench("multiproc/lu24_8procs", total as u64, || {
+        let built = workload.build(8);
+        Simulator::new(built.program, built.image, config())
+            .unwrap()
+            .run()
+            .unwrap()
     });
-    group.finish();
 }
 
 /// Processor-model re-timing throughput on one shared trace.
-fn bench_models(c: &mut Criterion) {
+fn bench_models() {
     let run = AppRun::generate(
         &Ocean {
             n: 18,
@@ -61,33 +81,24 @@ fn bench_models(c: &mut Criterion) {
     .unwrap();
     let n = run.trace.len() as u64;
 
-    let mut group = c.benchmark_group("models");
-    group.throughput(Throughput::Elements(n));
-    group.bench_function("base", |b| {
-        b.iter(|| Base.run(&run.program, &run.trace))
+    bench("models/base", n, || Base.run(&run.program, &run.trace));
+    bench("models/ssbr_rc", n, || {
+        InOrder::ssbr(ConsistencyModel::Rc).run(&run.program, &run.trace)
     });
-    group.bench_function("ssbr_rc", |b| {
-        b.iter(|| InOrder::ssbr(ConsistencyModel::Rc).run(&run.program, &run.trace))
-    });
-    group.bench_function("ss_rc", |b| {
-        b.iter(|| InOrder::ss(ConsistencyModel::Rc).run(&run.program, &run.trace))
+    bench("models/ss_rc", n, || {
+        InOrder::ss(ConsistencyModel::Rc).run(&run.program, &run.trace)
     });
     for w in [16, 64, 256] {
-        group.bench_with_input(BenchmarkId::new("ds_rc", w), &w, |b, &w| {
-            let ds = Ds::new(DsConfig::rc().window(w));
-            b.iter(|| ds.run(&run.program, &run.trace))
+        let ds = Ds::new(DsConfig::rc().window(w));
+        bench(&format!("models/ds_rc/{w}"), n, || {
+            ds.run(&run.program, &run.trace)
         });
     }
-    group.bench_function("ds_sc_64", |b| {
-        let ds = Ds::new(DsConfig::with_model(ConsistencyModel::Sc).window(64));
-        b.iter(|| ds.run(&run.program, &run.trace))
-    });
-    group.finish();
+    let ds = Ds::new(DsConfig::with_model(ConsistencyModel::Sc).window(64));
+    bench("models/ds_sc_64", n, || ds.run(&run.program, &run.trace));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_multiproc, bench_models
+fn main() {
+    bench_multiproc();
+    bench_models();
 }
-criterion_main!(benches);

@@ -25,12 +25,7 @@ fn main() {
         "write misses".to_string(),
     ]];
     for app in [App::Lu, App::Mp3d] {
-        for (size, ways) in [
-            (64 * 1024, 1),
-            (64 * 1024, 4),
-            (4 * 1024, 1),
-            (4 * 1024, 4),
-        ] {
+        for (size, ways) in [(64 * 1024, 1), (64 * 1024, 4), (4 * 1024, 1), (4 * 1024, 4)] {
             let workload = if std::env::var("LOOKAHEAD_SMALL").is_ok() {
                 app.small_workload()
             } else {

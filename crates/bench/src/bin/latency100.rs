@@ -16,13 +16,15 @@ fn main() {
     for app in App::ALL {
         let workload = app.default_workload();
         for penalty in [50u32, 100] {
-            let (run, cols) =
-                latency_sweep(workload.as_ref(), &config, penalty, &PAPER_WINDOWS)
-                    .unwrap_or_else(|e| panic!("{app}: {e}"));
+            let (run, cols) = latency_sweep(workload.as_ref(), &config, penalty, &PAPER_WINDOWS)
+                .unwrap_or_else(|e| panic!("{app}: {e}"));
             println!(
                 "{}",
                 render_figure(
-                    &format!("{} — {}-cycle miss penalty (RC, DS sweep)", run.app, penalty),
+                    &format!(
+                        "{} — {}-cycle miss penalty (RC, DS sweep)",
+                        run.app, penalty
+                    ),
                     &cols
                 )
             );

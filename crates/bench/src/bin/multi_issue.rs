@@ -21,10 +21,7 @@ fn main() {
         let cols = multi_issue(run, &PAPER_WINDOWS);
         println!(
             "{}",
-            render_figure(
-                &format!("{} — 4-wide issue under RC", run.app),
-                &cols
-            )
+            render_figure(&format!("{} — 4-wide issue under RC", run.app), &cols)
         );
         // The paper also observes the RC:SC gain is larger 4-wide.
         let gain = |width: usize, model: ConsistencyModel| {

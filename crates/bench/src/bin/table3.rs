@@ -24,7 +24,10 @@ fn main() {
             format!("{:.1}%", t.branch_percent()),
             format!("{:.1}", t.avg_branch_distance()),
             format!("{:.1}%", t.predicted_percent().unwrap_or(100.0)),
-            format!("{:.1}", t.avg_mispredict_distance().unwrap_or(f64::INFINITY)),
+            format!(
+                "{:.1}",
+                t.avg_mispredict_distance().unwrap_or(f64::INFINITY)
+            ),
         ]);
     }
     println!("Table 3 — Statistics on branch behaviour (2048-entry 4-way BTB)");

@@ -1,68 +1,163 @@
-//! Trace utility: generate, inspect, save and reload workload traces.
+//! Trace utility: generate, inspect, save, reload, and profile
+//! workload traces.
 //!
 //! ```text
-//! trace_tool stats  <APP>              print Tables 1-3 statistics
-//! trace_tool dump   <APP> <N>          print the first N trace lines
-//! trace_tool save   <APP> <FILE>       write the binary trace
-//! trace_tool retime <FILE> <APP>       reload a trace and re-time it
+//! trace_tool stats   <APP>        print Tables 1-3 statistics
+//! trace_tool dump    <APP> <N>    print the first N trace lines
+//! trace_tool save    <APP> <FILE> write the binary trace
+//! trace_tool retime  <FILE> <APP> reload a trace and re-time it
+//! trace_tool profile <APP> [N]    re-time under DS-64/RC with the
+//!                                 instrumentation layer and print the
+//!                                 top-N stall sites (default 10)
 //! ```
+//!
+//! `profile` requires the `obs` cargo feature; with `--obs-out DIR`
+//! (or `LOOKAHEAD_OBS_OUT=DIR`) it also writes per-run artifacts
+//! (manifest.json, journal.jsonl, Perfetto-loadable trace.json).
 //!
 //! Run with `cargo run --release -p lookahead-bench --bin trace_tool -- stats LU`.
 
-use lookahead_bench::{config_from_env, generate_run};
+use lookahead_bench::{config_from_env, generate_run, obs_out_dir, write_obs_artifacts};
 use lookahead_core::base::Base;
 use lookahead_core::ds::{Ds, DsConfig};
 use lookahead_core::model::ProcessorModel;
 use lookahead_core::{Btb, BtbConfig};
+use lookahead_obs::{StallCause, StallClass};
 use lookahead_trace::storage::{read_trace, write_trace};
 use lookahead_trace::TraceStats;
 use lookahead_workloads::App;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
 
-fn parse_app(name: &str) -> App {
+const USAGE: &str = "usage: trace_tool <COMMAND>
+
+commands:
+  stats   <APP>         print instruction-mix statistics for APP's trace
+  dump    <APP> <N>     print the first N lines of APP's trace
+  save    <APP> <FILE>  generate APP's trace and write it to FILE
+  retime  <FILE> <APP>  reload a saved trace and re-time it under
+                        BASE and DS-64/RC
+  profile <APP> [N]     re-time APP under DS-64/RC with the obs
+                        instrumentation layer; print the stall-cause
+                        matrix, its reconciliation against the
+                        execution-time breakdown, and the top-N stall
+                        sites (default 10)
+
+APP is one of MP3D, LU, PTHOR, LOCUS, OCEAN (case-insensitive).
+
+options (all commands):
+  --obs-out DIR   write per-run observability artifacts under DIR
+                  (also via the LOOKAHEAD_OBS_OUT environment variable)
+  -h, --help      show this help
+
+environment: LOOKAHEAD_SMALL=1, LOOKAHEAD_PROCS=n, LOOKAHEAD_PAPER=1
+`profile` (and artifact capture) need a build with `--features obs`.";
+
+fn parse_app(name: &str) -> Result<App, String> {
     App::ALL
         .into_iter()
         .find(|a| a.name().eq_ignore_ascii_case(name))
-        .unwrap_or_else(|| {
-            eprintln!("unknown application {name}; one of MP3D, LU, PTHOR, LOCUS, OCEAN");
-            std::process::exit(2);
+        .ok_or_else(|| {
+            format!("unknown application {name:?}; one of MP3D, LU, PTHOR, LOCUS, OCEAN")
         })
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// Strips `--obs-out DIR` / `--obs-out=DIR` (consumed separately by
+/// [`obs_out_dir`]) so the command match sees only positional args.
+fn positional_args() -> Vec<String> {
+    let mut out = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        if a == "--obs-out" {
+            let _ = raw.next();
+        } else if !a.starts_with("--obs-out=") {
+            out.push(a);
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = positional_args();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(UsageError::BadInvocation(msg)) => {
+            eprintln!("trace_tool: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(UsageError::Failed(msg)) => {
+            eprintln!("trace_tool: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Distinguishes "you called it wrong" (exit 2) from "the operation
+/// failed" (exit 1).
+enum UsageError {
+    BadInvocation(String),
+    Failed(String),
+}
+
+fn run(args: &[String]) -> Result<(), UsageError> {
+    let bad = |m: String| UsageError::BadInvocation(m);
+    let failed = |m: String| UsageError::Failed(m);
     let config = config_from_env();
-    match args.as_slice() {
+    match args {
         [cmd, app] if cmd == "stats" => {
-            let run = generate_run(parse_app(app), &config);
+            let run = generate_run(parse_app(app).map_err(bad)?, &config);
             let mut btb = Btb::new(BtbConfig::PAPER);
             let stats = TraceStats::collect(&run.trace, Some(&mut btb));
-            println!("{}: {} instructions (processor {})", run.app, run.trace.len(), run.proc);
+            println!(
+                "{}: {} instructions (processor {})",
+                run.app,
+                run.trace.len(),
+                run.proc
+            );
             println!("  data:   {}", stats.data);
             println!("  sync:   {}", stats.sync);
             println!("  branch: {}", stats.branch);
+            Ok(())
         }
         [cmd, app, n] if cmd == "dump" => {
-            let run = generate_run(parse_app(app), &config);
-            let n: usize = n.parse()?;
+            let n: usize = n
+                .parse()
+                .map_err(|_| bad(format!("dump: N must be a non-negative integer, got {n:?}")))?;
+            let run = generate_run(parse_app(app).map_err(bad)?, &config);
             print!("{}", run.trace.listing(&run.program, n));
+            Ok(())
         }
         [cmd, app, file] if cmd == "save" => {
-            let run = generate_run(parse_app(app), &config);
-            let mut w = BufWriter::new(File::create(file)?);
-            write_trace(&mut w, &run.trace)?;
+            let run = generate_run(parse_app(app).map_err(bad)?, &config);
+            let mut w = BufWriter::new(
+                File::create(file).map_err(|e| failed(format!("cannot create {file}: {e}")))?,
+            );
+            write_trace(&mut w, &run.trace).map_err(|e| failed(format!("writing {file}: {e}")))?;
+            drop(w);
             println!(
                 "wrote {} entries to {file} ({} bytes)",
                 run.trace.len(),
-                std::fs::metadata(file)?.len()
+                std::fs::metadata(file).map(|m| m.len()).unwrap_or(0)
             );
+            Ok(())
         }
         [cmd, file, app] if cmd == "retime" => {
+            let app = parse_app(app).map_err(bad)?;
+            // Validate the trace file before paying for generation.
+            let f = File::open(file).map_err(|e| failed(format!("cannot open {file}: {e}")))?;
+            let trace = read_trace(BufReader::new(f)).map_err(|e| {
+                failed(format!(
+                    "{file} is not a valid trace file (write one with `trace_tool save`): {e}"
+                ))
+            })?;
             // The program is regenerated from the workload; the trace
             // comes from the file.
-            let run = generate_run(parse_app(app), &config);
-            let trace = read_trace(BufReader::new(File::open(file)?))?;
+            let run = generate_run(app, &config);
             let base = Base.run(&run.program, &trace);
             let ds = Ds::new(DsConfig::rc().window(64)).run(&run.program, &trace);
             println!("BASE:     {}", base.breakdown);
@@ -71,13 +166,123 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "normalized: {:.1}",
                 ds.breakdown.normalized_to(&base.breakdown)
             );
+            Ok(())
         }
-        _ => {
-            eprintln!(
-                "usage: trace_tool stats <APP> | dump <APP> <N> | save <APP> <FILE> | retime <FILE> <APP>"
-            );
-            std::process::exit(2);
+        [cmd, rest @ ..] if cmd == "profile" => {
+            let (app, top_n) = match rest {
+                [app] => (app, 10usize),
+                [app, n] => (
+                    app,
+                    n.parse().map_err(|_| {
+                        bad(format!("profile: N must be a positive integer, got {n:?}"))
+                    })?,
+                ),
+                _ => return Err(bad("profile takes <APP> [N]".into())),
+            };
+            profile(parse_app(app).map_err(bad)?, &config, top_n).map_err(failed)
         }
+        [] => Err(bad("no command given".into())),
+        [cmd, ..] => Err(bad(format!("unknown or malformed command {cmd:?}"))),
     }
-    Ok(())
+}
+
+/// Re-times `app` under DS-64/RC with a recorder installed, checks the
+/// attribution/breakdown reconciliation, and prints the profile.
+fn profile(app: App, config: &lookahead_multiproc::SimConfig, top_n: usize) -> Result<(), String> {
+    if !cfg!(feature = "obs") {
+        return Err(
+            "profile needs the instrumentation hooks; rebuild with \
+             `cargo run --release -p lookahead-bench --features obs --bin trace_tool -- profile ...`"
+                .into(),
+        );
+    }
+    // Generation captures its own recorder inside generate_run when
+    // --obs-out is set; the profile recorder covers only the re-timing.
+    let run = generate_run(app, config);
+    lookahead_obs::install(lookahead_obs::Recorder::new(run.proc as u32));
+    let model = Ds::new(DsConfig::rc().window(64));
+    let result = model.run(&run.program, &run.trace);
+    let rec = lookahead_obs::take().expect("installed above");
+    let attr = &rec.attribution;
+    let b = &result.breakdown;
+
+    println!(
+        "{} under {}: {} cycles ({} instructions)",
+        run.app,
+        model.name(),
+        result.cycles(),
+        result.stats.instructions
+    );
+    println!("\nstall matrix (cycles by class x cause):");
+    for (class, cause, n) in attr.cells() {
+        println!("  {:>5} / {:<15} {:>12}", class.name(), cause.name(), n);
+    }
+    println!(
+        "  {:>5}   {:<15} {:>12}",
+        "busy", "(retired)", attr.busy_cycles
+    );
+
+    // Exact reconciliation against the run's breakdown: read/write/sync
+    // classes match their components; fetch stalls are folded into
+    // busy, as the models charge them.
+    let checks = [
+        ("read", attr.class_cycles(StallClass::Read), b.read),
+        ("write", attr.class_cycles(StallClass::Write), b.write),
+        ("sync", attr.class_cycles(StallClass::Sync), b.sync),
+        (
+            "busy",
+            attr.busy_cycles + attr.class_cycles(StallClass::Fetch),
+            b.busy,
+        ),
+        ("total", attr.total_cycles(), result.cycles()),
+    ];
+    println!("\nreconciliation vs execution-time breakdown:");
+    let mut ok = true;
+    for (name, got, want) in checks {
+        let mark = if got == want { "ok" } else { "MISMATCH" };
+        ok &= got == want;
+        println!("  {name:>5}: attribution {got:>12}  breakdown {want:>12}  {mark}");
+    }
+
+    println!("\ntop {top_n} stall sites:");
+    let total_stall = attr.stall_cycles().max(1);
+    for site in attr.top_sites(top_n) {
+        println!(
+            "  pc {:>6}  {:<15} {:>12} cycles ({:>5.1}%)",
+            site.pc,
+            site.cause.name(),
+            site.cycles,
+            100.0 * site.cycles as f64 / total_stall as f64
+        );
+    }
+    let fetch_limited = attr.cell(StallClass::Fetch, StallCause::FetchLimit);
+    if fetch_limited > 0 {
+        println!("  (+ {fetch_limited} fetch-limited cycles charged to busy)");
+    }
+
+    if let Some(dir) = obs_out_dir() {
+        write_obs_artifacts(
+            &dir,
+            &format!("{}-{}", run.app, model.name()),
+            config,
+            &[(
+                "breakdown",
+                format!(
+                    "{{\"busy\":{},\"read\":{},\"write\":{},\"sync\":{},\"cycles\":{}}}",
+                    b.busy,
+                    b.read,
+                    b.write,
+                    b.sync,
+                    result.cycles()
+                ),
+            )],
+            &rec,
+        );
+    }
+
+    if ok {
+        Ok(())
+    } else {
+        Err("stall attribution does not reconcile with the breakdown (simulator bug)".into())
+    }
 }

@@ -9,11 +9,16 @@
 //!
 //! * `LOOKAHEAD_SMALL=1` — use the unit-test workload sizes;
 //! * `LOOKAHEAD_PROCS=n` — simulate `n` processors instead of 16;
-//! * `LOOKAHEAD_APPS=LU,MP3D` — restrict to a subset of applications.
+//! * `LOOKAHEAD_APPS=LU,MP3D` — restrict to a subset of applications;
+//! * `--obs-out DIR` (or `LOOKAHEAD_OBS_OUT=DIR`) — write per-run
+//!   observability artifacts (manifest, event journal, Chrome trace)
+//!   under `DIR`. Event/counter capture needs the `obs` cargo feature;
+//!   without it the artifacts are written but mostly empty.
 
 use lookahead_harness::pipeline::AppRun;
 use lookahead_multiproc::SimConfig;
 use lookahead_workloads::App;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Parses the environment knobs into a simulation configuration.
@@ -62,6 +67,51 @@ fn sized_workload(app: App) -> Box<dyn lookahead_workloads::Workload + Send + Sy
     }
 }
 
+/// Directory for observability artifacts: `--obs-out DIR` (or
+/// `--obs-out=DIR`) on the command line, else `LOOKAHEAD_OBS_OUT`.
+/// `None` disables artifact writing.
+pub fn obs_out_dir() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--obs-out" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(v) = a.strip_prefix("--obs-out=") {
+            return Some(PathBuf::from(v));
+        }
+    }
+    std::env::var_os("LOOKAHEAD_OBS_OUT").map(PathBuf::from)
+}
+
+/// Flat key/value description of `config` for run manifests.
+pub fn config_kv(config: &SimConfig) -> Vec<(&'static str, String)> {
+    vec![
+        ("num_procs", config.num_procs.to_string()),
+        ("hit_latency", config.mem.hit_latency.to_string()),
+        ("miss_penalty", config.mem.miss_penalty.to_string()),
+        ("write_buffer_depth", config.write_buffer_depth.to_string()),
+        ("small", small().to_string()),
+        ("paper", paper().to_string()),
+        ("obs_feature", cfg!(feature = "obs").to_string()),
+    ]
+}
+
+/// Writes observability artifacts for a recorded run, logging instead
+/// of failing: artifact output must never break a benchmark run.
+pub fn write_obs_artifacts(
+    dir: &std::path::Path,
+    name: &str,
+    config: &SimConfig,
+    extra: &[(&str, String)],
+    rec: &lookahead_obs::Recorder,
+) {
+    match lookahead_harness::obsout::write_run_artifacts(dir, name, &config_kv(config), extra, rec)
+    {
+        Ok(a) => eprintln!("  wrote observability artifacts to {}", a.dir.display()),
+        Err(e) => eprintln!("  failed to write observability artifacts for {name}: {e}"),
+    }
+}
+
 /// Generates the verified representative trace for every selected
 /// application, in parallel, printing progress to stderr.
 ///
@@ -77,11 +127,18 @@ pub fn generate_all_runs(config: &SimConfig) -> Vec<AppRun> {
         std::env::var("LOOKAHEAD_APPS").unwrap_or_default(),
         App::ALL.map(|a| a.name())
     );
+    let obs_dir = obs_out_dir();
     let handles: Vec<_> = apps
         .into_iter()
         .map(|app| {
             let config = *config;
+            let obs_dir = obs_dir.clone();
             std::thread::spawn(move || {
+                // The recorder is thread-local, so each app's
+                // generation records in isolation.
+                if obs_dir.is_some() {
+                    lookahead_obs::install(lookahead_obs::Recorder::new(0));
+                }
                 let started = Instant::now();
                 let workload = sized_workload(app);
                 let run = AppRun::generate(workload.as_ref(), &config)
@@ -93,6 +150,17 @@ pub fn generate_all_runs(config: &SimConfig) -> Vec<AppRun> {
                     run.mp_cycles,
                     started.elapsed().as_secs_f64()
                 );
+                if let Some(dir) = obs_dir {
+                    if let Some(rec) = lookahead_obs::take() {
+                        write_obs_artifacts(
+                            &dir,
+                            &format!("generate-{app}"),
+                            &config,
+                            &[("mp_cycles", run.mp_cycles.to_string())],
+                            &rec,
+                        );
+                    }
+                }
                 run
             })
         })
@@ -109,8 +177,24 @@ pub fn generate_all_runs(config: &SimConfig) -> Vec<AppRun> {
 ///
 /// Panics if the workload fails to simulate or verify.
 pub fn generate_run(app: App, config: &SimConfig) -> AppRun {
+    let obs_dir = obs_out_dir();
+    if obs_dir.is_some() {
+        lookahead_obs::install(lookahead_obs::Recorder::new(0));
+    }
     let workload = sized_workload(app);
-    AppRun::generate(workload.as_ref(), config).unwrap_or_else(|e| panic!("{app}: {e}"))
+    let run = AppRun::generate(workload.as_ref(), config).unwrap_or_else(|e| panic!("{app}: {e}"));
+    if let Some(dir) = obs_dir {
+        if let Some(rec) = lookahead_obs::take() {
+            write_obs_artifacts(
+                &dir,
+                &format!("generate-{app}"),
+                config,
+                &[("mp_cycles", run.mp_cycles.to_string())],
+                &rec,
+            );
+        }
+    }
+    run
 }
 
 #[cfg(test)]

@@ -14,7 +14,19 @@
 
 use crate::model::{ExecutionResult, ProcessorModel};
 use lookahead_isa::Program;
+#[cfg(feature = "obs")]
+use lookahead_obs as obs;
 use lookahead_trace::{Trace, TraceOp};
+
+/// Records `n` stalled cycles starting at `from`, blamed on `pc`.
+#[cfg(feature = "obs")]
+fn stall(from: u64, pc: u32, n: u64, class: obs::StallClass, cause: obs::StallCause) {
+    obs::with(|r| {
+        for i in 0..n {
+            r.stall_cycle(from + i, pc, class, cause);
+        }
+    });
+}
 
 /// The no-overlap in-order processor.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -28,9 +40,13 @@ impl ProcessorModel for Base {
     fn run(&self, _program: &Program, trace: &Trace) -> ExecutionResult {
         let mut result = ExecutionResult::default();
         let b = &mut result.breakdown;
+        #[cfg(feature = "obs")]
+        let mut now: u64 = 0;
         for entry in trace.iter() {
             b.busy += 1;
             result.stats.instructions += 1;
+            #[cfg(feature = "obs")]
+            obs::with(|r| r.busy_cycle());
             match entry.op {
                 TraceOp::Compute | TraceOp::Jump { .. } => {}
                 TraceOp::Branch { .. } => {
@@ -38,17 +54,58 @@ impl ProcessorModel for Base {
                 }
                 TraceOp::Load(m) => {
                     b.read += (m.latency - 1) as u64;
+                    #[cfg(feature = "obs")]
+                    stall(
+                        now + 1,
+                        entry.pc,
+                        (m.latency - 1) as u64,
+                        obs::StallClass::Read,
+                        obs::StallCause::ReadMiss,
+                    );
                 }
                 TraceOp::Store(m) => {
                     b.write += (m.latency - 1) as u64;
+                    #[cfg(feature = "obs")]
+                    stall(
+                        now + 1,
+                        entry.pc,
+                        (m.latency - 1) as u64,
+                        obs::StallClass::Write,
+                        obs::StallCause::WriteMiss,
+                    );
                 }
                 TraceOp::Sync(s) => {
+                    let d = s.wait as u64 + (s.access - 1) as u64;
                     if s.kind.is_acquire() {
-                        b.sync += s.wait as u64 + (s.access - 1) as u64;
+                        b.sync += d;
+                        #[cfg(feature = "obs")]
+                        stall(
+                            now + 1,
+                            entry.pc,
+                            d,
+                            obs::StallClass::Sync,
+                            obs::StallCause::Acquire,
+                        );
                     } else {
-                        b.write += s.wait as u64 + (s.access - 1) as u64;
+                        b.write += d;
+                        #[cfg(feature = "obs")]
+                        stall(
+                            now + 1,
+                            entry.pc,
+                            d,
+                            obs::StallClass::Write,
+                            obs::StallCause::WriteMiss,
+                        );
                     }
                 }
+            }
+            #[cfg(feature = "obs")]
+            {
+                now += 1 + match entry.op {
+                    TraceOp::Load(m) | TraceOp::Store(m) => (m.latency - 1) as u64,
+                    TraceOp::Sync(s) => s.wait as u64 + (s.access - 1) as u64,
+                    _ => 0,
+                };
             }
         }
         result

@@ -225,7 +225,10 @@ mod tests {
     #[test]
     fn lru_replacement_within_set() {
         // 1 set, 2 ways: third distinct taken branch evicts the LRU.
-        let mut btb = Btb::new(BtbConfig { entries: 2, ways: 2 });
+        let mut btb = Btb::new(BtbConfig {
+            entries: 2,
+            ways: 2,
+        });
         btb.update(1, true, 11);
         btb.update(2, true, 22);
         btb.update(1, true, 11); // touch 1 so 2 becomes LRU
@@ -266,7 +269,10 @@ mod tests {
 
     #[test]
     fn not_taken_branches_do_not_allocate() {
-        let mut btb = Btb::new(BtbConfig { entries: 2, ways: 2 });
+        let mut btb = Btb::new(BtbConfig {
+            entries: 2,
+            ways: 2,
+        });
         btb.update(1, false, 0);
         btb.update(1, false, 0);
         // Set still empty: a taken branch allocates without eviction.

@@ -160,7 +160,11 @@ impl ConsistencyModel {
             for l in kinds {
                 out.push_str(&format!(
                     "{:>9}",
-                    if self.must_wait_for(e, l) { "wait" } else { "-" }
+                    if self.must_wait_for(e, l) {
+                        "wait"
+                    } else {
+                        "-"
+                    }
                 ));
             }
             out.push('\n');
@@ -196,7 +200,10 @@ mod tests {
         assert!(Pc.must_wait_for(Read, Read), "reads serialize");
         assert!(Pc.must_wait_for(Write, Write), "writes in order");
         assert!(Pc.must_wait_for(Read, Write));
-        assert!(!Pc.must_wait_for(Release, Acquire), "sync write -> sync read relaxes too");
+        assert!(
+            !Pc.must_wait_for(Release, Acquire),
+            "sync write -> sync read relaxes too"
+        );
     }
 
     #[test]

@@ -23,6 +23,8 @@
 
 use crate::model::{ExecutionResult, ProcessorModel};
 use lookahead_isa::Program;
+#[cfg(feature = "obs")]
+use lookahead_obs::{self as obs, EventKind};
 use lookahead_trace::{Trace, TraceOp};
 
 /// The blocked-multithreading processor.
@@ -46,7 +48,10 @@ impl Default for Contexts {
 enum CtxState {
     Ready,
     /// Blocked until the cycle, on a read (`true`) or sync (`false`).
-    Blocked { until: u64, read: bool },
+    Blocked {
+        until: u64,
+        read: bool,
+    },
     Done,
 }
 
@@ -109,6 +114,19 @@ impl Contexts {
                         result.stats.context_switches += 1;
                         result.stats.switch_overhead_cycles += self.switch_overhead as u64;
                         result.breakdown.busy += self.switch_overhead as u64;
+                        #[cfg(feature = "obs")]
+                        {
+                            let overhead = self.switch_overhead as u64;
+                            obs::with(|rec| {
+                                rec.event(now, EventKind::ContextSwitch { to: i as u32 });
+                                rec.metrics.inc("core.contexts.switches", 1);
+                                // Switch overhead is charged to busy
+                                // time, matching the breakdown.
+                                for _ in 0..overhead {
+                                    rec.busy_cycle();
+                                }
+                            });
+                        }
                         now += self.switch_overhead as u64;
                         active = i;
                         continue;
@@ -130,6 +148,35 @@ impl Contexts {
                         } else {
                             result.breakdown.sync += stall;
                         }
+                        #[cfg(feature = "obs")]
+                        {
+                            // Blame the instruction that blocked the
+                            // context waking first (cursor is already
+                            // past it).
+                            let pc = ctxs
+                                .iter()
+                                .filter(|c| {
+                                    matches!(c.state, CtxState::Blocked { until: u, read: r }
+                                        if u == until && r == read)
+                                })
+                                .find_map(|c| {
+                                    c.trace
+                                        .entries()
+                                        .get(c.cursor.wrapping_sub(1))
+                                        .map(|e| e.pc)
+                                })
+                                .unwrap_or(0);
+                            let (class, cause) = if read {
+                                (obs::StallClass::Read, obs::StallCause::ReadMiss)
+                            } else {
+                                (obs::StallClass::Sync, obs::StallCause::Acquire)
+                            };
+                            obs::with(|rec| {
+                                for i in 0..stall {
+                                    rec.stall_cycle(now + i, pc, class, cause);
+                                }
+                            });
+                        }
                         now = until;
                         continue;
                     }
@@ -141,6 +188,8 @@ impl Contexts {
             c.cursor += 1;
             result.stats.instructions += 1;
             result.breakdown.busy += 1;
+            #[cfg(feature = "obs")]
+            obs::with(|rec| rec.busy_cycle());
             now += 1;
             match entry.op {
                 TraceOp::Compute | TraceOp::Jump { .. } => {}

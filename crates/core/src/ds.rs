@@ -45,6 +45,8 @@ use crate::consistency::{ConsistencyModel, MemOpKind};
 use crate::model::{ExecutionResult, ProcessorModel};
 use lookahead_isa::{Program, SyncKind, WORD_BYTES};
 use lookahead_memsys::MshrFile;
+#[cfg(feature = "obs")]
+use lookahead_obs::{self as obs, EventKind};
 use lookahead_trace::{Trace, TraceOp};
 use std::collections::{HashMap, VecDeque};
 
@@ -202,6 +204,9 @@ struct MemOp {
     decode_time: u64,
     entry_id: u64,
     state: MState,
+    /// Trace pc, kept past retirement for event labelling.
+    #[cfg(feature = "obs")]
+    pc: u32,
     /// First cycle the operation was observed at the window head.
     head_since: Option<u64>,
     /// For acquires/barriers: the cycle the operation retired, which
@@ -293,10 +298,18 @@ impl<'a> Engine<'a> {
             let retired = self.retire_phase();
             self.issue_phase();
             self.fetch_phase();
+            #[cfg(feature = "obs")]
+            {
+                let occupancy = self.window.len() as u64;
+                obs::with(|r| r.metrics.observe("core.ds.rob_occupancy", occupancy));
+            }
             if retired > 0 {
                 self.result.breakdown.busy += 1;
+                #[cfg(feature = "obs")]
+                obs::with(|r| r.busy_cycle());
             } else {
-                match self.stall_class() {
+                let class = self.stall_class();
+                match class {
                     StallClass::Read => self.result.breakdown.read += 1,
                     StallClass::Write => self.result.breakdown.write += 1,
                     StallClass::Sync => self.result.breakdown.sync += 1,
@@ -304,6 +317,12 @@ impl<'a> Engine<'a> {
                         self.result.breakdown.busy += 1;
                         self.result.stats.fetch_stall_cycles += 1;
                     }
+                }
+                #[cfg(feature = "obs")]
+                {
+                    let (pc, cause) = self.stall_blame(class);
+                    let now = self.now;
+                    obs::with(|r| r.stall_cycle(now, pc, obs_class(class), cause));
                 }
             }
             self.now += 1;
@@ -337,15 +356,11 @@ impl<'a> Engine<'a> {
                 (e.kind, e.mem, e.completion)
             };
             let can_retire = match kind {
-                EKind::Alu | EKind::Branch => {
-                    completion.is_some_and(|c| c <= self.now)
-                }
+                EKind::Alu | EKind::Branch => completion.is_some_and(|c| c <= self.now),
                 EKind::Mem => {
                     let mi = mem_idx.expect("mem entry");
                     match self.memops[mi].kind {
-                        MemOpKind::Write | MemOpKind::Release => {
-                            self.store_can_move_to_buffer(mi)
-                        }
+                        MemOpKind::Write | MemOpKind::Release => self.store_can_move_to_buffer(mi),
                         MemOpKind::Acquire | MemOpKind::Barrier => {
                             // The wait component starts counting when
                             // the acquire reaches the head: imbalance
@@ -354,8 +369,7 @@ impl<'a> Engine<'a> {
                             let since = *m.head_since.get_or_insert(self.now);
                             let wait_over = self.now >= since + m.wait as u64;
                             let m = &self.memops[mi];
-                            let access_done =
-                                matches!(m.state, MState::Issued(d) if d <= self.now);
+                            let access_done = matches!(m.state, MState::Issued(d) if d <= self.now);
                             wait_over && access_done
                         }
                         MemOpKind::Read => completion.is_some_and(|c| c <= self.now),
@@ -378,6 +392,15 @@ impl<'a> Engine<'a> {
                     }
                     MemOpKind::Read => {}
                 }
+            }
+            #[cfg(feature = "obs")]
+            {
+                let pc = self.trace.entries()[self.entries[&head].trace_idx].pc;
+                let now = self.now;
+                obs::with(|r| {
+                    r.event(now, EventKind::Retire { pc });
+                    r.metrics.inc("core.ds.retired", 1);
+                });
             }
             self.entries.remove(&head).expect("head exists");
             self.window.pop_front();
@@ -426,14 +449,12 @@ impl<'a> Engine<'a> {
     /// same word, if any.
     fn forwarding_source(&self, mi: usize) -> Option<usize> {
         let addr = self.memops[mi].word_addr;
-        (self.mem_head..mi)
-            .rev()
-            .find(|&j| {
-                let e = &self.memops[j];
-                matches!(e.kind, MemOpKind::Write | MemOpKind::Release)
-                    && e.word_addr == addr
-                    && !e.performed_by(self.now)
-            })
+        (self.mem_head..mi).rev().find(|&j| {
+            let e = &self.memops[j];
+            matches!(e.kind, MemOpKind::Write | MemOpKind::Release)
+                && e.word_addr == addr
+                && !e.performed_by(self.now)
+        })
     }
 
     fn issue_phase(&mut self) {
@@ -497,6 +518,15 @@ impl<'a> Engine<'a> {
         }
         if let Some((mi, done)) = chosen {
             self.pending_loads.retain(|&x| x != mi);
+            #[cfg(feature = "obs")]
+            {
+                let m = &self.memops[mi];
+                let (now, pc, addr) = (self.now, m.pc, m.word_addr);
+                obs::with(|r| {
+                    r.event(now, EventKind::Issue { pc, addr });
+                    r.event(done, EventKind::Complete { pc, addr });
+                });
+            }
             let m = &mut self.memops[mi];
             m.state = MState::Issued(done);
             if m.kind == MemOpKind::Read && m.is_miss {
@@ -531,13 +561,20 @@ impl<'a> Engine<'a> {
             } else {
                 self.now + m.latency as u64
             };
+            #[cfg(feature = "obs")]
+            {
+                let (now, pc, addr) = (self.now, m.pc, m.word_addr);
+                obs::with(|r| {
+                    r.event(now, EventKind::Issue { pc, addr });
+                    r.event(done, EventKind::Complete { pc, addr });
+                });
+            }
             self.memops[mi].state = MState::Issued(done);
         }
     }
 
     fn advance_mem_head(&mut self) {
-        while self.mem_head < self.memops.len()
-            && self.memops[self.mem_head].performed_by(self.now)
+        while self.mem_head < self.memops.len() && self.memops[self.mem_head].performed_by(self.now)
         {
             self.mem_head += 1;
         }
@@ -557,9 +594,7 @@ impl<'a> Engine<'a> {
             return;
         }
         for _ in 0..self.cfg.issue_width {
-            if self.window.len() >= self.cfg.window_size
-                || self.next_decode >= self.trace.len()
-            {
+            if self.window.len() >= self.cfg.window_size || self.next_decode >= self.trace.len() {
                 return;
             }
             let stop_after = self.decode_one();
@@ -577,6 +612,11 @@ impl<'a> Engine<'a> {
         let te = &self.trace.entries()[idx];
         let id = self.next_id;
         self.next_id += 1;
+        #[cfg(feature = "obs")]
+        {
+            let (now, pc) = (self.now, te.pc);
+            obs::with(|r| r.event(now, EventKind::Fetch { pc }));
+        }
 
         let (kind, mem) = match te.op {
             TraceOp::Compute | TraceOp::Jump { .. } => (EKind::Alu, None),
@@ -592,6 +632,8 @@ impl<'a> Engine<'a> {
                     decode_time: self.now,
                     entry_id: id,
                     state: MState::Waiting,
+                    #[cfg(feature = "obs")]
+                    pc: te.pc,
                     head_since: None,
                     acquire_done: None,
                 }),
@@ -607,6 +649,8 @@ impl<'a> Engine<'a> {
                     decode_time: self.now,
                     entry_id: id,
                     state: MState::Waiting,
+                    #[cfg(feature = "obs")]
+                    pc: te.pc,
                     head_since: None,
                     acquire_done: None,
                 }),
@@ -635,6 +679,8 @@ impl<'a> Engine<'a> {
                         decode_time: self.now,
                         entry_id: id,
                         state: MState::Waiting,
+                        #[cfg(feature = "obs")]
+                        pc: te.pc,
                         head_since: None,
                         acquire_done: None,
                     }),
@@ -821,12 +867,9 @@ impl<'a> Engine<'a> {
             Some(None) => {
                 // ALU/branch at head: blame the oldest unperformed
                 // memory operation, the usual producer of the wait.
-                self.oldest_unperformed_class()
-                    .unwrap_or(StallClass::Fetch)
+                self.oldest_unperformed_class().unwrap_or(StallClass::Fetch)
             }
-            None => self
-                .oldest_unperformed_class()
-                .unwrap_or(StallClass::Fetch),
+            None => self.oldest_unperformed_class().unwrap_or(StallClass::Fetch),
         }
     }
 
@@ -834,6 +877,69 @@ impl<'a> Engine<'a> {
         (self.mem_head..self.memops.len())
             .find(|&j| !self.memops[j].performed_by(self.now))
             .map(|j| class_of(self.memops[j].kind))
+    }
+
+    /// Refines a coarse stall class into the blamed pc and fine cause.
+    /// Purely observational: the coarse class is passed through
+    /// unchanged, so attribution reconciles with the breakdown by
+    /// construction.
+    #[cfg(feature = "obs")]
+    fn stall_blame(&self, class: StallClass) -> (u32, obs::StallCause) {
+        use obs::StallCause as C;
+        if let Some(id) = self.window.front() {
+            let e = &self.entries[id];
+            let pc = self.trace.entries()[e.trace_idx].pc;
+            let cause = match e.kind {
+                // ALU/branch at head: retirement waits on its operands.
+                EKind::Alu | EKind::Branch => C::TrueDependence,
+                EKind::Mem => {
+                    let m = &self.memops[e.mem.expect("mem entry")];
+                    match m.kind {
+                        MemOpKind::Read => match m.state {
+                            MState::Waiting => C::TrueDependence,
+                            MState::Ready(t) if t > self.now => C::TrueDependence,
+                            MState::Issued(_) if self.window.len() >= self.cfg.window_size => {
+                                C::RobFull
+                            }
+                            _ => C::ReadMiss,
+                        },
+                        MemOpKind::Write | MemOpKind::Release => match m.state {
+                            MState::Waiting => C::TrueDependence,
+                            MState::Ready(t) if t > self.now => C::TrueDependence,
+                            _ => C::WriteMiss,
+                        },
+                        MemOpKind::Acquire | MemOpKind::Barrier => C::Acquire,
+                    }
+                }
+            };
+            (pc, cause)
+        } else {
+            // Window empty: nothing to retire; blame the next
+            // instruction the fetch stage would decode.
+            let pc = self
+                .trace
+                .entries()
+                .get(self.next_decode)
+                .map_or(0, |e| e.pc);
+            let cause = match class {
+                StallClass::Read => C::ReadMiss,
+                StallClass::Write => C::WriteMiss,
+                StallClass::Sync => C::Acquire,
+                StallClass::Fetch => C::FetchLimit,
+            };
+            (pc, cause)
+        }
+    }
+}
+
+/// Maps the core-local stall class onto the obs taxonomy.
+#[cfg(feature = "obs")]
+fn obs_class(c: StallClass) -> obs::StallClass {
+    match c {
+        StallClass::Read => obs::StallClass::Read,
+        StallClass::Write => obs::StallClass::Write,
+        StallClass::Sync => obs::StallClass::Sync,
+        StallClass::Fetch => obs::StallClass::Fetch,
     }
 }
 

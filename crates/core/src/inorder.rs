@@ -28,6 +28,8 @@
 use crate::consistency::{ConsistencyModel, MemOpKind};
 use crate::model::{ExecutionResult, ProcessorModel};
 use lookahead_isa::{Program, SyncKind};
+#[cfg(feature = "obs")]
+use lookahead_obs::{self as obs, EventKind};
 use lookahead_trace::{Trace, TraceOp};
 use std::collections::VecDeque;
 
@@ -83,6 +85,9 @@ struct Engine<'a> {
     reads: VecDeque<u64>,
     /// Per-register value-ready times (ints 0..32, fp 32..64).
     reg_ready: [u64; 64],
+    /// PC of the trace entry currently executing, for stall blame.
+    #[cfg(feature = "obs")]
+    cur_pc: u32,
     result: ExecutionResult,
 }
 
@@ -95,8 +100,22 @@ impl<'a> Engine<'a> {
             writes: VecDeque::new(),
             reads: VecDeque::new(),
             reg_ready: [0; 64],
+            #[cfg(feature = "obs")]
+            cur_pc: 0,
             result: ExecutionResult::default(),
         }
+    }
+
+    /// Records `cycles` stalled cycles starting at `from`, blamed on
+    /// the current instruction.
+    #[cfg(feature = "obs")]
+    fn obs_stall(&self, from: u64, cycles: u64, class: obs::StallClass, cause: obs::StallCause) {
+        let pc = self.cur_pc;
+        obs::with(|r| {
+            for i in 0..cycles {
+                r.stall_cycle(from + i, pc, class, cause);
+            }
+        });
     }
 
     fn stall_to(&mut self, t: u64, class: StallClass) {
@@ -105,6 +124,18 @@ impl<'a> Engine<'a> {
             match class {
                 StallClass::Read => self.result.breakdown.read += d,
                 StallClass::Write => self.result.breakdown.write += d,
+            }
+            #[cfg(feature = "obs")]
+            {
+                // Every read-class wait in this model is ultimately a
+                // wait for an outstanding load's value (operand stalls
+                // included), so it attributes as a read miss; write-
+                // class waits are buffered-write drains.
+                let (c, cause) = match class {
+                    StallClass::Read => (obs::StallClass::Read, obs::StallCause::ReadMiss),
+                    StallClass::Write => (obs::StallClass::Write, obs::StallCause::WriteMiss),
+                };
+                self.obs_stall(self.now, d, c, cause);
             }
             self.now = t;
         }
@@ -203,9 +234,18 @@ impl<'a> Engine<'a> {
 
     fn run(mut self, trace: &Trace) -> ExecutionResult {
         for entry in trace.iter() {
+            #[cfg(feature = "obs")]
+            {
+                self.cur_pc = entry.pc;
+            }
             self.retire_buffers();
             self.wait_for_operands(entry.pc);
             self.result.stats.instructions += 1;
+            // Every instruction contributes exactly one busy cycle in
+            // this model, so attribution's busy count equals the
+            // instruction count.
+            #[cfg(feature = "obs")]
+            obs::with(|r| r.busy_cycle());
             match entry.op {
                 TraceOp::Compute | TraceOp::Jump { .. } => {
                     self.result.breakdown.busy += 1;
@@ -223,6 +263,13 @@ impl<'a> Engine<'a> {
                     self.result.breakdown.busy += 1;
                     if self.cfg.blocking_reads {
                         self.result.breakdown.read += (m.latency - 1) as u64;
+                        #[cfg(feature = "obs")]
+                        self.obs_stall(
+                            self.now + 1,
+                            (m.latency - 1) as u64,
+                            obs::StallClass::Read,
+                            obs::StallCause::ReadMiss,
+                        );
                         self.now += m.latency as u64;
                     } else {
                         // Non-blocking: issue, record availability,
@@ -252,8 +299,19 @@ impl<'a> Engine<'a> {
                             self.wait_for_issue(kind);
                             self.retire_buffers();
                             self.result.breakdown.busy += 1;
-                            self.result.breakdown.sync +=
-                                s.wait as u64 + (s.access - 1) as u64;
+                            self.result.breakdown.sync += s.wait as u64 + (s.access - 1) as u64;
+                            #[cfg(feature = "obs")]
+                            {
+                                let (now, addr) = (self.now, s.addr);
+                                let dur = s.wait as u64 + s.access as u64;
+                                obs::with(|r| r.event(now, EventKind::AcquireWait { addr, dur }));
+                                self.obs_stall(
+                                    self.now + 1,
+                                    s.wait as u64 + (s.access - 1) as u64,
+                                    obs::StallClass::Sync,
+                                    obs::StallCause::Acquire,
+                                );
+                            }
                             self.now += s.wait as u64 + s.access as u64;
                         }
                         SyncKind::Unlock | SyncKind::SetEvent => {
@@ -271,12 +329,7 @@ impl<'a> Engine<'a> {
         // performs. Completion times are not monotonic in issue order
         // (a hit issued after a miss finishes first), so take the max.
         let read_drain = self.reads.iter().copied().max().unwrap_or(0);
-        let write_drain = self
-            .writes
-            .iter()
-            .map(|&(_, t)| t)
-            .max()
-            .unwrap_or(0);
+        let write_drain = self.writes.iter().map(|&(_, t)| t).max().unwrap_or(0);
         if read_drain > self.now || write_drain > self.now {
             if write_drain >= read_drain {
                 self.stall_to(read_drain, StallClass::Read);

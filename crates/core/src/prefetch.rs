@@ -122,8 +122,7 @@ impl StridePrefetcher {
                     if m.miss && r.stride != 0 {
                         let gap = (idx - r.last_idx).max(1) as u32;
                         let needed = cfg.lead_time / gap + 1;
-                        let predicted =
-                            m.addr as i64 == r.last_addr as i64 + r.stride;
+                        let predicted = m.addr as i64 == r.last_addr as i64 + r.stride;
                         if predicted && r.stable_count >= needed {
                             stats.covered += 1;
                             entry.op = TraceOp::Load(MemAccess::hit(m.addr));
@@ -172,9 +171,7 @@ impl StridePrefetcher {
                         predicted_line: u64::MAX,
                     },
                 };
-                if self.table.len() >= cfg.table_entries
-                    && !self.table.contains_key(&e.pc)
-                {
+                if self.table.len() >= cfg.table_entries && !self.table.contains_key(&e.pc) {
                     // Table full: crude random-ish replacement — drop
                     // the entry with the smallest PC (deterministic).
                     if let Some(&victim) = self.table.keys().min() {
@@ -185,6 +182,13 @@ impl StridePrefetcher {
             }
             out.push(entry);
         }
+        #[cfg(feature = "obs")]
+        lookahead_obs::with(|r| {
+            r.metrics.inc("core.prefetch.loads", stats.loads);
+            r.metrics.inc("core.prefetch.misses", stats.misses);
+            r.metrics.inc("core.prefetch.covered", stats.covered);
+            r.metrics.inc("core.prefetch.partial", stats.partial);
+        });
         (Trace::from_entries(out), stats)
     }
 }

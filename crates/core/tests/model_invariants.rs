@@ -6,109 +6,123 @@ use lookahead_core::ds::{Ds, DsConfig};
 use lookahead_core::inorder::InOrder;
 use lookahead_core::model::ProcessorModel;
 use lookahead_core::ConsistencyModel;
+use lookahead_isa::rng::XorShift64;
 use lookahead_isa::{Assembler, IntReg, Program, SyncKind};
 use lookahead_trace::{MemAccess, SyncAccess, Trace, TraceEntry, TraceOp};
-use proptest::prelude::*;
 
 /// A sync-free random workload: loads/stores/compute only.
-fn arb_syncfree() -> impl Strategy<Value = (Program, Trace)> {
-    proptest::collection::vec((0u8..6, 0u64..48, any::<bool>(), 0u8..4), 1..100).prop_map(
-        |steps| {
-            let regs = [IntReg::T1, IntReg::T2, IntReg::T3, IntReg::T4];
-            let mut a = Assembler::new();
-            let mut entries = Vec::new();
-            let mut pc = 0u32;
-            for (op, word, miss, reg) in steps {
-                let addr = word * 8;
-                let r = regs[reg as usize % 4];
-                let latency = if miss { 50 } else { 1 };
-                match op {
-                    0..=2 => {
-                        a.load(r, IntReg::G0, addr as i64);
-                        entries.push(TraceEntry {
-                            pc,
-                            op: TraceOp::Load(MemAccess {
-                                addr,
-                                miss,
-                                latency,
-                            }),
-                        });
-                    }
-                    3 => {
-                        a.store(r, IntReg::G0, addr as i64);
-                        entries.push(TraceEntry {
-                            pc,
-                            op: TraceOp::Store(MemAccess {
-                                addr,
-                                miss,
-                                latency,
-                            }),
-                        });
-                    }
-                    _ => {
-                        a.addi(r, r, 1);
-                        entries.push(TraceEntry::compute(pc));
-                    }
-                }
-                pc += 1;
+fn gen_syncfree(rng: &mut XorShift64) -> (Program, Trace) {
+    let regs = [IntReg::T1, IntReg::T2, IntReg::T3, IntReg::T4];
+    let steps = rng.range_usize(99) + 1;
+    let mut a = Assembler::new();
+    let mut entries = Vec::new();
+    for pc in 0..steps as u32 {
+        let op = rng.next_below(6);
+        let addr = rng.next_below(48) * 8;
+        let miss = rng.next_bool();
+        let r = *rng.choose(&regs);
+        let latency = if miss { 50 } else { 1 };
+        match op {
+            0..=2 => {
+                a.load(r, IntReg::G0, addr as i64);
+                entries.push(TraceEntry {
+                    pc,
+                    op: TraceOp::Load(MemAccess {
+                        addr,
+                        miss,
+                        latency,
+                    }),
+                });
             }
-            a.halt();
-            (a.assemble().unwrap(), Trace::from_entries(entries))
-        },
-    )
+            3 => {
+                a.store(r, IntReg::G0, addr as i64);
+                entries.push(TraceEntry {
+                    pc,
+                    op: TraceOp::Store(MemAccess {
+                        addr,
+                        miss,
+                        latency,
+                    }),
+                });
+            }
+            _ => {
+                a.addi(r, r, 1);
+                entries.push(TraceEntry::compute(pc));
+            }
+        }
+    }
+    a.halt();
+    (a.assemble().unwrap(), Trace::from_entries(entries))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Without synchronization, WO and RC impose identical constraints
-    /// — every model pair that differs only in sync handling must
-    /// produce identical timing on sync-free traces.
-    #[test]
-    fn wo_equals_rc_without_sync((program, trace) in arb_syncfree()) {
+/// Without synchronization, WO and RC impose identical constraints —
+/// every model pair that differs only in sync handling must produce
+/// identical timing on sync-free traces.
+#[test]
+fn wo_equals_rc_without_sync() {
+    let mut rng = XorShift64::seed_from_u64(0xC1);
+    for case in 0..48 {
+        let (program, trace) = gen_syncfree(&mut rng);
         for w in [16, 64] {
-            let wo = Ds::new(DsConfig::with_model(ConsistencyModel::Wo).window(w))
-                .run(&program, &trace);
+            let wo =
+                Ds::new(DsConfig::with_model(ConsistencyModel::Wo).window(w)).run(&program, &trace);
             let rc = Ds::new(DsConfig::rc().window(w)).run(&program, &trace);
-            prop_assert_eq!(wo.breakdown, rc.breakdown, "window {}", w);
+            assert_eq!(wo.breakdown, rc.breakdown, "case {case} window {w}");
         }
         let wo = InOrder::ssbr(ConsistencyModel::Wo).run(&program, &trace);
         let rc = InOrder::ssbr(ConsistencyModel::Rc).run(&program, &trace);
-        prop_assert_eq!(wo.breakdown, rc.breakdown);
+        assert_eq!(wo.breakdown, rc.breakdown, "case {case}");
     }
+}
 
-    /// The DS window is an upper bound on overlap: an infinitely large
-    /// window (trace length) never loses to 256.
-    #[test]
-    fn window_saturates_at_trace_length((program, trace) in arb_syncfree()) {
+/// The DS window is an upper bound on overlap: an infinitely large
+/// window (trace length) never loses to 256.
+#[test]
+fn window_saturates_at_trace_length() {
+    let mut rng = XorShift64::seed_from_u64(0xC2);
+    for case in 0..48 {
+        let (program, trace) = gen_syncfree(&mut rng);
         let big = Ds::new(DsConfig::rc().window(trace.len().max(1)))
             .run(&program, &trace)
             .cycles();
-        let w256 = Ds::new(DsConfig::rc().window(256)).run(&program, &trace).cycles();
-        prop_assert!(big <= w256 + w256 / 64, "big {} vs 256 {}", big, w256);
+        let w256 = Ds::new(DsConfig::rc().window(256))
+            .run(&program, &trace)
+            .cycles();
+        assert!(
+            big <= w256 + w256 / 64,
+            "case {case}: big {big} vs 256 {w256}"
+        );
     }
+}
 
-    /// The issue-delay diagnostic records exactly one sample per read
-    /// miss.
-    #[test]
-    fn issue_delays_cover_every_read_miss((program, trace) in arb_syncfree()) {
+/// The issue-delay diagnostic records exactly one sample per read
+/// miss.
+#[test]
+fn issue_delays_cover_every_read_miss() {
+    let mut rng = XorShift64::seed_from_u64(0xC3);
+    for case in 0..48 {
+        let (program, trace) = gen_syncfree(&mut rng);
         let misses = trace
             .iter()
             .filter(|e| matches!(e.op, TraceOp::Load(m) if m.miss))
             .count();
         let r = Ds::new(DsConfig::rc().window(64)).run(&program, &trace);
-        prop_assert_eq!(r.stats.read_miss_issue_delays.len(), misses);
+        assert_eq!(r.stats.read_miss_issue_delays.len(), misses, "case {case}");
     }
+}
 
-    /// Retiming a trace is a pure function: every model gives the same
-    /// result again (no hidden state between runs).
-    #[test]
-    fn models_are_pure((program, trace) in arb_syncfree()) {
+/// Retiming a trace is a pure function: every model gives the same
+/// result again (no hidden state between runs).
+#[test]
+fn models_are_pure() {
+    let mut rng = XorShift64::seed_from_u64(0xC4);
+    for _ in 0..48 {
+        let (program, trace) = gen_syncfree(&mut rng);
         let ds = Ds::new(DsConfig::rc().window(32));
-        prop_assert_eq!(ds.run(&program, &trace), ds.run(&program, &trace));
+        assert_eq!(ds.run(&program, &trace), ds.run(&program, &trace));
         let ss = InOrder::ss(ConsistencyModel::Pc);
-        prop_assert_eq!(ss.run(&program, &trace), ss.run(&program, &trace));
-        prop_assert_eq!(Base.run(&program, &trace), Base.run(&program, &trace));
+        assert_eq!(ss.run(&program, &trace), ss.run(&program, &trace));
+        assert_eq!(Base.run(&program, &trace), Base.run(&program, &trace));
     }
 }
 
@@ -220,5 +234,9 @@ fn mismatched_program_and_trace_terminate() {
         TraceEntry::compute(1),
     ]);
     let r = Ds::new(DsConfig::rc().window(16)).run(&program, &trace);
-    assert!(r.cycles() < 10_000, "mismatch must not stall: {}", r.cycles());
+    assert!(
+        r.cycles() < 10_000,
+        "mismatch must not stall: {}",
+        r.cycles()
+    );
 }

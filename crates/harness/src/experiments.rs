@@ -9,7 +9,7 @@ use lookahead_core::model::{ExecutionResult, ProcessorModel};
 use lookahead_core::{Btb, BtbConfig, ConsistencyModel};
 use lookahead_memsys::MemoryParams;
 use lookahead_multiproc::SimConfig;
-use lookahead_trace::{Breakdown, BranchStats, DataRefStats, SyncStats, TraceStats};
+use lookahead_trace::{BranchStats, Breakdown, DataRefStats, SyncStats, TraceStats};
 use lookahead_workloads::Workload;
 
 /// The window sizes of the paper's sweeps.
@@ -31,12 +31,7 @@ pub struct Figure3Column {
 /// One stacked bar of Figure 4 (branch/dependence ablations).
 pub type Figure4Column = Figure3Column;
 
-fn column(
-    label: &str,
-    model: &str,
-    result: &ExecutionResult,
-    base: &Breakdown,
-) -> Figure3Column {
+fn column(label: &str, model: &str, result: &ExecutionResult, base: &Breakdown) -> Figure3Column {
     Figure3Column {
         label: label.to_string(),
         model: model.to_string(),
@@ -85,12 +80,7 @@ pub fn figure4(run: &AppRun, windows: &[usize]) -> Vec<Figure4Column> {
                 ..DsConfig::rc().window(w)
             });
             let r = ds.run(&run.program, &run.trace);
-            cols.push(column(
-                &format!("DS.{w}"),
-                suffix,
-                &r,
-                &base.breakdown,
-            ));
+            cols.push(column(&format!("DS.{w}"), suffix, &r, &base.breakdown));
         }
     }
     cols
@@ -130,10 +120,7 @@ pub fn read_latency_hidden_summary(runs: &[AppRun], windows: &[usize]) -> Vec<(u
     windows
         .iter()
         .map(|&w| {
-            let avg = runs
-                .iter()
-                .map(|r| read_latency_hidden(r, w))
-                .sum::<f64>()
+            let avg = runs.iter().map(|r| read_latency_hidden(r, w)).sum::<f64>()
                 / runs.len().max(1) as f64;
             (w, avg * 100.0)
         })

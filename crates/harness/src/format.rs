@@ -74,7 +74,7 @@ pub fn render_bar(b: &Breakdown, normalized: f64, scale_width: usize) -> String 
     }
     let mut bar = String::new();
     for (len, ch) in lens.iter().zip(['#', 's', 'r', 'w']) {
-        bar.extend(std::iter::repeat(ch).take(*len));
+        bar.extend(std::iter::repeat_n(ch, *len));
     }
     bar
 }

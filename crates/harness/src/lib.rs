@@ -17,10 +17,11 @@
 
 pub mod experiments;
 pub mod format;
+pub mod obsout;
 pub mod pipeline;
 
 pub use experiments::{
-    figure3, figure4, latency_sweep, miss_delay, multi_issue, read_latency_hidden_summary,
-    table1, table2, table3, Figure3Column, Figure4Column, MissDelayReport,
+    figure3, figure4, latency_sweep, miss_delay, multi_issue, read_latency_hidden_summary, table1,
+    table2, table3, Figure3Column, Figure4Column, MissDelayReport,
 };
 pub use pipeline::{AppRun, PipelineError};

@@ -79,19 +79,14 @@ impl AppRun {
     ///
     /// Fails if the simulation fails or the workload's self-check
     /// rejects the result.
-    pub fn generate(
-        workload: &dyn Workload,
-        config: &SimConfig,
-    ) -> Result<AppRun, PipelineError> {
+    pub fn generate(workload: &dyn Workload, config: &SimConfig) -> Result<AppRun, PipelineError> {
         let built = workload.build(config.num_procs);
         let program = built.program.clone();
         let sim = Simulator::new(built.program, built.image, *config)?;
         let outcome: SimOutcome = sim.run()?;
-        (built.verify)(&outcome.final_memory).map_err(|reason| {
-            PipelineError::Verification {
-                app: workload.name().to_string(),
-                reason,
-            }
+        (built.verify)(&outcome.final_memory).map_err(|reason| PipelineError::Verification {
+            app: workload.name().to_string(),
+            reason,
         })?;
         let proc = outcome.busiest_proc();
         Ok(AppRun {

@@ -54,7 +54,13 @@ impl Assembler {
     /// `for reg in start..end_reg { body }`.
     ///
     /// `end_reg` is re-read each iteration, so the body may update it.
-    pub fn for_to(&mut self, reg: IntReg, start: i64, end_reg: IntReg, body: impl FnOnce(&mut Self)) {
+    pub fn for_to(
+        &mut self,
+        reg: IntReg,
+        start: i64,
+        end_reg: IntReg,
+        body: impl FnOnce(&mut Self),
+    ) {
         self.li(reg, start);
         let head = self.label();
         let exit = self.label();
@@ -144,7 +150,13 @@ impl Assembler {
     /// directly; any other immediate is materialized into the scratch
     /// register [`Assembler::SCRATCH`], which workload code must treat
     /// as clobbered by this helper (and by `for_range`, which uses it).
-    pub fn branch_imm(&mut self, cond: BranchCond, rs1: IntReg, imm: i64, target: crate::asm::Label) {
+    pub fn branch_imm(
+        &mut self,
+        cond: BranchCond,
+        rs1: IntReg,
+        imm: i64,
+        target: crate::asm::Label,
+    ) {
         if imm == 0 {
             self.branch(cond, rs1, IntReg::ZERO, target);
         } else {

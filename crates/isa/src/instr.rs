@@ -276,9 +276,9 @@ impl Instruction {
                 OpClass::IntAlu
             }
             Instruction::FpToInt { .. } | Instruction::FpCmp { .. } => OpClass::IntAlu,
-            Instruction::Fpu { .. } | Instruction::LoadImmF { .. } | Instruction::IntToFp { .. } => {
-                OpClass::FpAlu
-            }
+            Instruction::Fpu { .. }
+            | Instruction::LoadImmF { .. }
+            | Instruction::IntToFp { .. } => OpClass::FpAlu,
             Instruction::Load { .. } | Instruction::LoadF { .. } => OpClass::Load,
             Instruction::Store { .. } | Instruction::StoreF { .. } => OpClass::Store,
             Instruction::Branch { .. } => OpClass::Branch,

@@ -70,7 +70,7 @@ impl FlatMemory {
     #[inline]
     fn index(&self, addr: u64) -> usize {
         assert!(
-            addr % WORD_BYTES == 0,
+            addr.is_multiple_of(WORD_BYTES),
             "unaligned memory access at {addr:#x}"
         );
         let idx = (addr / WORD_BYTES) as usize;
@@ -226,9 +226,7 @@ impl Machine {
             | Instruction::Store { base, offset, .. }
             | Instruction::LoadF { base, offset, .. }
             | Instruction::StoreF { base, offset, .. }
-            | Instruction::Sync { base, offset, .. } => {
-                Some(self.effective_addr(*base, *offset))
-            }
+            | Instruction::Sync { base, offset, .. } => Some(self.effective_addr(*base, *offset)),
             _ => None,
         }
     }
@@ -249,7 +247,11 @@ impl Machine {
     /// * [`InterpError::PcOutOfRange`] if the PC is past the program end.
     /// * [`InterpError::WouldBlock`] if an acquire cannot proceed; the
     ///   PC is left on the blocking instruction.
-    pub fn step(&mut self, program: &Program, mem: &mut impl Memory) -> Result<Effect, InterpError> {
+    pub fn step(
+        &mut self,
+        program: &Program,
+        mem: &mut impl Memory,
+    ) -> Result<Effect, InterpError> {
         if self.halted {
             return Ok(Effect::Halt);
         }
@@ -493,7 +495,10 @@ mod tests {
     fn division_by_zero_is_defined() {
         assert_eq!(eval_alu(AluOp::Div, 5, 0), 0);
         assert_eq!(eval_alu(AluOp::Rem, 5, 0), 5);
-        assert_eq!(eval_alu(AluOp::Div, i64::MIN, -1), i64::MIN.wrapping_div(-1));
+        assert_eq!(
+            eval_alu(AluOp::Div, i64::MIN, -1),
+            i64::MIN.wrapping_div(-1)
+        );
     }
 
     #[test]

@@ -61,11 +61,11 @@ pub mod instr;
 pub mod interp;
 pub mod program;
 pub mod reg;
+pub mod rng;
 
 pub use asm::{AsmError, Assembler, Label};
 pub use builder::ProgramBuilder;
-pub use instr::{
-    AluOp, BranchCond, FpCmpOp, FpuOp, Instruction, OpClass, SyncKind, WORD_BYTES,
-};
+pub use instr::{AluOp, BranchCond, FpCmpOp, FpuOp, Instruction, OpClass, SyncKind, WORD_BYTES};
 pub use program::Program;
 pub use reg::{FpReg, IntReg};
+pub use rng::XorShift64;

@@ -163,15 +163,21 @@ impl DataImage {
     ///
     /// Panics if `align` is zero or not a multiple of [`WORD_BYTES`].
     pub fn align_to(&mut self, align: u64) -> u64 {
-        assert!(align > 0 && align % WORD_BYTES == 0, "bad alignment {align}");
-        while self.size_bytes() % align != 0 {
+        assert!(
+            align > 0 && align.is_multiple_of(WORD_BYTES),
+            "bad alignment {align}"
+        );
+        while !self.size_bytes().is_multiple_of(align) {
             self.alloc_words(1);
         }
         self.size_bytes()
     }
 
     fn word_index(addr: u64) -> usize {
-        assert!(addr % WORD_BYTES == 0, "unaligned address {addr:#x}");
+        assert!(
+            addr.is_multiple_of(WORD_BYTES),
+            "unaligned address {addr:#x}"
+        );
         (addr / WORD_BYTES) as usize
     }
 

@@ -1,0 +1,169 @@
+//! A small deterministic PRNG used throughout the workspace.
+//!
+//! Lookahead's workloads need reproducible pseudo-random inputs
+//! (particle positions, wire lists, netlists) and the test suites need
+//! cheap randomized coverage. Neither needs cryptographic quality, and
+//! the workspace builds offline, so instead of an external crate we
+//! keep one xorshift* generator here in the bottom crate where every
+//! other crate can reach it.
+//!
+//! The generator is `xorshift64*` (Vigna, "An experimental exploration
+//! of Marsaglia's xorshift generators, scrambled"): a 64-bit xorshift
+//! state with a multiplicative output scramble. Seeds pass through a
+//! splitmix64 step so that small or zero seeds still produce
+//! well-mixed streams.
+
+/// A deterministic `xorshift64*` pseudo-random number generator.
+///
+/// The same seed always yields the same sequence, on every platform —
+/// workload generation and tests rely on this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from `seed`. Any seed is acceptable
+    /// (including 0): it is pre-mixed with splitmix64 so the xorshift
+    /// state is never zero.
+    pub fn seed_from_u64(seed: u64) -> XorShift64 {
+        // splitmix64 finalizer; its output is uniform over u64 and is
+        // zero only for one input, which we then nudge.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        XorShift64 {
+            state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z },
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// The next value in `[0, n)`. `n` must be non-zero.
+    ///
+    /// Uses the widening-multiply reduction (Lemire); the slight
+    /// modulo bias is irrelevant at the ranges used here and keeps the
+    /// generator branch-free and fast.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "next_below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A uniform value in the half-open range `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi, "empty range {lo}..{hi}");
+        let width = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add(self.next_below(width) as i64)
+    }
+
+    /// A uniform value in the closed range `[lo, hi]`.
+    pub fn range_i64_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi, "empty range {lo}..={hi}");
+        let width = (hi.wrapping_sub(lo) as u64).wrapping_add(1);
+        if width == 0 {
+            // Full i64 range: every u64 maps to a distinct value.
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add(self.next_below(width) as i64)
+    }
+
+    /// A uniform value in `[0, n)` as `usize`.
+    pub fn range_usize(&mut self, n: usize) -> usize {
+        self.next_below(n as u64) as usize
+    }
+
+    /// A uniform float in the half-open range `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi, "empty range {lo}..{hi}");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+
+    /// A uniform boolean.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Returns `true` with probability `percent / 100`.
+    pub fn percent(&mut self, percent: u32) -> bool {
+        self.next_below(100) < percent as u64
+    }
+
+    /// Picks a uniformly random element of `items`.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range_usize(items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = XorShift64::seed_from_u64(7);
+        let mut b = XorShift64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift64::seed_from_u64(1);
+        let mut b = XorShift64::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let mut r = XorShift64::seed_from_u64(0);
+        let values: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(values.iter().any(|&v| v != 0));
+        assert!(values.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = XorShift64::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.range_i64(-5, 17);
+            assert!((-5..17).contains(&v));
+            let w = r.range_i64_inclusive(-3, 3);
+            assert!((-3..=3).contains(&w));
+            let f = r.range_f64(-0.7, 0.7);
+            assert!((-0.7..0.7).contains(&f));
+            let u = r.next_below(9);
+            assert!(u < 9);
+        }
+    }
+
+    #[test]
+    fn ranges_cover_their_bounds() {
+        // Every value of a small range appears over enough draws.
+        let mut r = XorShift64::seed_from_u64(4);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[r.range_i64_inclusive(0, 6) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn percent_is_roughly_calibrated() {
+        let mut r = XorShift64::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| r.percent(10)).count();
+        assert!((700..1300).contains(&hits), "10% of 10k draws: {hits}");
+    }
+}

@@ -1,10 +1,14 @@
-//! Property tests of the SRISC interpreter and assembler: structured
-//! control flow compiles to programs whose execution matches a direct
-//! Rust evaluation of the same computation.
+//! Randomized property tests of the SRISC interpreter and assembler:
+//! structured control flow compiles to programs whose execution matches
+//! a direct Rust evaluation of the same computation.
+//!
+//! Inputs are driven by the in-tree deterministic PRNG
+//! ([`XorShift64`]) rather than an external property-testing crate, so
+//! every run explores the same fixed family of cases.
 
 use lookahead_isa::interp::{Effect, FlatMemory, Machine, Memory};
+use lookahead_isa::rng::XorShift64;
 use lookahead_isa::{AluOp, Assembler, BranchCond, IntReg, Program};
-use proptest::prelude::*;
 
 /// Evaluate a small arithmetic expression both through SRISC and in
 /// Rust directly.
@@ -19,6 +23,17 @@ enum Op {
     Or,
     Xor,
 }
+
+const ALL_OPS: [Op; 8] = [
+    Op::Add,
+    Op::Sub,
+    Op::Mul,
+    Op::Div,
+    Op::Rem,
+    Op::And,
+    Op::Or,
+    Op::Xor,
+];
 
 impl Op {
     fn alu(self) -> AluOp {
@@ -60,19 +75,6 @@ impl Op {
     }
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::Add),
-        Just(Op::Sub),
-        Just(Op::Mul),
-        Just(Op::Div),
-        Just(Op::Rem),
-        Just(Op::And),
-        Just(Op::Or),
-        Just(Op::Xor),
-    ]
-}
-
 fn run(p: &Program) -> Machine {
     let mut mem = FlatMemory::new(4096);
     let mut m = Machine::new();
@@ -80,12 +82,16 @@ fn run(p: &Program) -> Machine {
     m
 }
 
-proptest! {
-    /// A chain of ALU operations folded over two seed values matches
-    /// the wrapping Rust evaluation.
-    #[test]
-    fn alu_chains_match_rust(seed_a in any::<i64>(), seed_b in any::<i64>(),
-                             ops in proptest::collection::vec(arb_op(), 1..24)) {
+/// A chain of ALU operations folded over two seed values matches the
+/// wrapping Rust evaluation.
+#[test]
+fn alu_chains_match_rust() {
+    let mut rng = XorShift64::seed_from_u64(0xA1);
+    for case in 0..256 {
+        let seed_a = rng.next_u64() as i64;
+        let seed_b = rng.next_u64() as i64;
+        let len = rng.range_usize(23) + 1;
+        let ops: Vec<Op> = (0..len).map(|_| *rng.choose(&ALL_OPS)).collect();
         let mut a = Assembler::new();
         a.li(IntReg::T1, seed_a);
         a.li(IntReg::T2, seed_b);
@@ -96,26 +102,44 @@ proptest! {
         }
         a.halt();
         let m = run(&a.assemble().unwrap());
-        prop_assert_eq!(m.ireg(IntReg::T1), expect);
+        assert_eq!(m.ireg(IntReg::T1), expect, "case {case}: {ops:?}");
     }
-
-    /// Counted loops execute exactly their trip count, for any bounds.
-    #[test]
-    fn for_range_trip_counts(start in -50i64..50, end in -50i64..50) {
-        let mut a = Assembler::new();
-        a.li(IntReg::T1, 0);
-        a.for_range(IntReg::T0, start, end, |a| {
-            a.addi(IntReg::T1, IntReg::T1, 1);
-        });
-        a.halt();
-        let m = run(&a.assemble().unwrap());
-        prop_assert_eq!(m.ireg(IntReg::T1), (end - start).max(0));
+    // Edge values the random draw might miss.
+    for (seed_a, seed_b) in [(i64::MIN, -1), (i64::MIN, 0), (i64::MAX, i64::MIN)] {
+        for op in ALL_OPS {
+            let mut a = Assembler::new();
+            a.li(IntReg::T1, seed_a);
+            a.li(IntReg::T2, seed_b);
+            a.alu(op.alu(), IntReg::T1, IntReg::T1, IntReg::T2);
+            a.halt();
+            let m = run(&a.assemble().unwrap());
+            assert_eq!(m.ireg(IntReg::T1), op.eval(seed_a, seed_b), "{op:?}");
+        }
     }
+}
 
-    /// Nested structured control flow: count the pairs (i, j) with
-    /// j < i, both through SRISC and directly.
-    #[test]
-    fn nested_loops_and_branches(n in 0i64..20) {
+/// Counted loops execute exactly their trip count, for any bounds.
+#[test]
+fn for_range_trip_counts() {
+    for start in (-50i64..50).step_by(7) {
+        for end in (-50i64..50).step_by(9) {
+            let mut a = Assembler::new();
+            a.li(IntReg::T1, 0);
+            a.for_range(IntReg::T0, start, end, |a| {
+                a.addi(IntReg::T1, IntReg::T1, 1);
+            });
+            a.halt();
+            let m = run(&a.assemble().unwrap());
+            assert_eq!(m.ireg(IntReg::T1), (end - start).max(0), "{start}..{end}");
+        }
+    }
+}
+
+/// Nested structured control flow: count the pairs (i, j) with j < i,
+/// both through SRISC and directly.
+#[test]
+fn nested_loops_and_branches() {
+    for n in 0i64..20 {
         let mut a = Assembler::new();
         a.li(IntReg::T3, 0);
         a.for_range(IntReg::T0, 0, n, |a| {
@@ -127,14 +151,19 @@ proptest! {
         });
         a.halt();
         let m = run(&a.assemble().unwrap());
-        prop_assert_eq!(m.ireg(IntReg::T3), n * (n - 1) / 2);
+        assert_eq!(m.ireg(IntReg::T3), n * (n - 1) / 2, "n = {n}");
     }
+}
 
-    /// `peek_addr` always predicts the address the subsequent step
-    /// actually touches.
-    #[test]
-    fn peek_addr_matches_effects(words in proptest::collection::vec(0u64..64, 1..40),
-                                 writes in any::<bool>()) {
+/// `peek_addr` always predicts the address the subsequent step
+/// actually touches.
+#[test]
+fn peek_addr_matches_effects() {
+    let mut rng = XorShift64::seed_from_u64(0xA2);
+    for case in 0..64 {
+        let len = rng.range_usize(39) + 1;
+        let words: Vec<u64> = (0..len).map(|_| rng.next_below(64)).collect();
+        let writes = rng.next_bool();
         let mut a = Assembler::new();
         a.li(IntReg::G0, 0);
         a.li(IntReg::T1, 7);
@@ -153,17 +182,22 @@ proptest! {
             let peeked = m.peek_addr(&p);
             match m.step(&p, &mut mem).unwrap() {
                 Effect::Load { addr } | Effect::Store { addr } => {
-                    prop_assert_eq!(peeked, Some(addr));
+                    assert_eq!(peeked, Some(addr), "case {case}");
                 }
                 Effect::Halt => break,
-                _ => prop_assert_eq!(peeked, None),
+                _ => assert_eq!(peeked, None, "case {case}"),
             }
         }
     }
+}
 
-    /// Stores land where they should and nowhere else.
-    #[test]
-    fn stores_are_word_precise(word in 0u64..64, value in any::<i64>()) {
+/// Stores land where they should and nowhere else.
+#[test]
+fn stores_are_word_precise() {
+    let mut rng = XorShift64::seed_from_u64(0xA3);
+    for _ in 0..64 {
+        let word = rng.next_below(64);
+        let value = rng.next_u64() as i64;
         let mut a = Assembler::new();
         a.li(IntReg::G0, 0);
         a.li(IntReg::T1, value);
@@ -176,46 +210,50 @@ proptest! {
         for w in 0..64u64 {
             let got = mem.read(w * 8);
             if w == word {
-                prop_assert_eq!(got, value as u64);
+                assert_eq!(got, value as u64);
             } else {
-                prop_assert_eq!(got, 0);
+                assert_eq!(got, 0);
             }
         }
     }
+}
 
-    /// Assembled structured programs never contain out-of-range branch
-    /// targets (every target is a valid instruction index).
-    #[test]
-    fn assembled_targets_in_range(n in 1i64..12, m in 1i64..12) {
-        let mut a = Assembler::new();
-        a.for_range(IntReg::T0, 0, n, |a| {
-            a.if_then_else(
-                BranchCond::Lt,
-                IntReg::T0,
-                IntReg::T1,
-                |a| a.addi(IntReg::T2, IntReg::T2, 1),
-                |a| {
-                    a.for_range(IntReg::T3, 0, m, |a| {
-                        a.addi(IntReg::T4, IntReg::T4, 1);
-                    })
-                },
-            );
-        });
-        a.halt();
-        let p = a.assemble().unwrap();
-        for ins in p.instructions() {
-            use lookahead_isa::Instruction;
-            let target = match ins {
-                Instruction::Branch { target, .. }
-                | Instruction::Jump { target }
-                | Instruction::JumpAndLink { target, .. } => Some(*target),
-                _ => None,
-            };
-            if let Some(t) = target {
-                prop_assert!(t <= p.len(), "target {t} beyond program {}", p.len());
+/// Assembled structured programs never contain out-of-range branch
+/// targets (every target is a valid instruction index).
+#[test]
+fn assembled_targets_in_range() {
+    for n in 1i64..12 {
+        for m in 1i64..12 {
+            let mut a = Assembler::new();
+            a.for_range(IntReg::T0, 0, n, |a| {
+                a.if_then_else(
+                    BranchCond::Lt,
+                    IntReg::T0,
+                    IntReg::T1,
+                    |a| a.addi(IntReg::T2, IntReg::T2, 1),
+                    |a| {
+                        a.for_range(IntReg::T3, 0, m, |a| {
+                            a.addi(IntReg::T4, IntReg::T4, 1);
+                        })
+                    },
+                );
+            });
+            a.halt();
+            let p = a.assemble().unwrap();
+            for ins in p.instructions() {
+                use lookahead_isa::Instruction;
+                let target = match ins {
+                    Instruction::Branch { target, .. }
+                    | Instruction::Jump { target }
+                    | Instruction::JumpAndLink { target, .. } => Some(*target),
+                    _ => None,
+                };
+                if let Some(t) = target {
+                    assert!(t <= p.len(), "target {t} beyond program {}", p.len());
+                }
             }
+            // And it runs to completion.
+            run(&p);
         }
-        // And it runs to completion.
-        run(&p);
     }
 }

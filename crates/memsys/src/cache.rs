@@ -90,7 +90,10 @@ impl CacheConfig {
         if !self.size_bytes.is_power_of_two() || self.size_bytes < self.line_bytes {
             return Err(CacheConfigError::SizeNotPowerOfTwo(self.size_bytes));
         }
-        if self.ways == 0 || self.num_lines() % self.ways != 0 || self.num_lines() < self.ways {
+        if self.ways == 0
+            || !self.num_lines().is_multiple_of(self.ways)
+            || self.num_lines() < self.ways
+        {
             return Err(CacheConfigError::BadAssociativity(self.ways));
         }
         Ok(())
@@ -124,7 +127,10 @@ impl fmt::Display for CacheConfigError {
                 write!(f, "cache size {n} is not a power of two at least one line")
             }
             CacheConfigError::BadAssociativity(w) => {
-                write!(f, "associativity {w} does not divide the cache's line count")
+                write!(
+                    f,
+                    "associativity {w} does not divide the cache's line count"
+                )
             }
         }
     }
@@ -331,19 +337,22 @@ mod tests {
         assert!(CacheConfig {
             size_bytes: 48,
             line_bytes: 16,
-            ways: 1        }
+            ways: 1
+        }
         .validate()
         .is_err());
         assert!(CacheConfig {
             size_bytes: 64,
             line_bytes: 12,
-            ways: 1        }
+            ways: 1
+        }
         .validate()
         .is_err());
         assert!(CacheConfig {
             size_bytes: 8,
             line_bytes: 16,
-            ways: 1        }
+            ways: 1
+        }
         .validate()
         .is_err());
         assert!(CacheConfig::PAPER.validate().is_ok());
@@ -364,7 +373,10 @@ mod tests {
         let mut c = small();
         c.fill(0x00, LineState::Shared);
         // 0x40 maps to the same set (4 lines * 16 bytes = 64-byte wrap).
-        assert_eq!(c.fill(0x40, LineState::Shared), Eviction::Clean { line_addr: 0x00 });
+        assert_eq!(
+            c.fill(0x40, LineState::Shared),
+            Eviction::Clean { line_addr: 0x00 }
+        );
         c.set_state(0x40, LineState::Modified);
         assert_eq!(
             c.fill(0x80, LineState::Shared),
@@ -420,7 +432,10 @@ mod tests {
         assert!(c.state_of(0x00).readable());
         assert!(c.state_of(0x40).readable());
         // Third line in the set evicts the LRU (0x00).
-        assert_eq!(c.fill(0x80, LineState::Shared), Eviction::Clean { line_addr: 0x00 });
+        assert_eq!(
+            c.fill(0x80, LineState::Shared),
+            Eviction::Clean { line_addr: 0x00 }
+        );
         assert!(c.state_of(0x40).readable());
         assert!(!c.state_of(0x00).readable());
     }
@@ -435,7 +450,10 @@ mod tests {
         c.fill(0x00, LineState::Shared);
         c.fill(0x40, LineState::Shared);
         c.touch(0x00); // 0x40 becomes LRU
-        assert_eq!(c.fill(0x80, LineState::Shared), Eviction::Clean { line_addr: 0x40 });
+        assert_eq!(
+            c.fill(0x80, LineState::Shared),
+            Eviction::Clean { line_addr: 0x40 }
+        );
         assert!(c.state_of(0x00).readable());
     }
 

@@ -76,6 +76,17 @@ pub struct CoherenceStats {
     pub writebacks: u64,
 }
 
+/// Counter path for a miss classification.
+#[cfg(feature = "obs")]
+fn miss_counter(kind: MissKind) -> &'static str {
+    match kind {
+        MissKind::Cold => "memsys.cache.miss.cold",
+        MissKind::Coherence => "memsys.cache.miss.coherence",
+        MissKind::Replacement => "memsys.cache.miss.replacement",
+        MissKind::Upgrade => "memsys.cache.miss.upgrade",
+    }
+}
+
 /// Reason a processor lost a line, used for miss classification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum LossReason {
@@ -161,6 +172,8 @@ impl CoherentSystem {
             Eviction::Writeback { line_addr } => {
                 self.lost_lines[proc].insert(line_addr, LossReason::Evicted);
                 self.stats[proc].writebacks += 1;
+                #[cfg(feature = "obs")]
+                lookahead_obs::with(|r| r.metrics.inc("memsys.cache.writebacks", 1));
             }
         }
     }
@@ -171,6 +184,8 @@ impl CoherentSystem {
         if self.caches[proc].state_of(addr).readable() {
             self.caches[proc].touch(addr);
             self.stats[proc].read_hits += 1;
+            #[cfg(feature = "obs")]
+            lookahead_obs::with(|r| r.metrics.inc("memsys.cache.read_hits", 1));
             return AccessOutcome::Hit;
         }
         let kind = self.classify_miss(proc, line);
@@ -180,6 +195,11 @@ impl CoherentSystem {
         } else if kind == MissKind::Replacement {
             self.stats[proc].replacement_misses += 1;
         }
+        #[cfg(feature = "obs")]
+        lookahead_obs::with(|r| {
+            r.metrics.inc("memsys.cache.read_misses", 1);
+            r.metrics.inc(miss_counter(kind), 1);
+        });
         // Downgrade a remote Modified copy (it supplies the data and
         // writes back).
         for other in 0..self.caches.len() {
@@ -201,6 +221,8 @@ impl CoherentSystem {
         if local.writable() {
             self.caches[proc].touch(addr);
             self.stats[proc].write_hits += 1;
+            #[cfg(feature = "obs")]
+            lookahead_obs::with(|r| r.metrics.inc("memsys.cache.write_hits", 1));
             return AccessOutcome::Hit;
         }
         // Invalidate all remote copies.
@@ -211,6 +233,8 @@ impl CoherentSystem {
             if let Some(old) = self.caches[other].invalidate(addr) {
                 self.stats[proc].invalidations_sent += 1;
                 self.stats[other].invalidations_received += 1;
+                #[cfg(feature = "obs")]
+                lookahead_obs::with(|r| r.metrics.inc("memsys.cache.invalidations", 1));
                 self.lost_lines[other].insert(line, LossReason::Invalidated);
                 if old == LineState::Modified {
                     self.stats[other].writebacks += 1;
@@ -229,6 +253,11 @@ impl CoherentSystem {
             MissKind::Replacement => self.stats[proc].replacement_misses += 1,
             MissKind::Cold => {}
         }
+        #[cfg(feature = "obs")]
+        lookahead_obs::with(|r| {
+            r.metrics.inc("memsys.cache.write_misses", 1);
+            r.metrics.inc(miss_counter(kind), 1);
+        });
         let eviction = self.caches[proc].fill(addr, LineState::Modified);
         self.note_eviction(proc, eviction);
         self.lost_lines[proc].remove(&line);
@@ -324,7 +353,7 @@ mod tests {
             CacheConfig {
                 size_bytes: 64,
                 line_bytes: 16,
-            ways: 1,
+                ways: 1,
             },
         );
         s.read(0, 0x00);
@@ -340,7 +369,7 @@ mod tests {
             CacheConfig {
                 size_bytes: 64,
                 line_bytes: 16,
-            ways: 1,
+                ways: 1,
             },
         );
         s.write(0, 0x00);
@@ -370,40 +399,45 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use lookahead_isa::rng::XorShift64;
 
-        proptest! {
-            /// Random access sequences never violate the single-writer
-            /// invariant, and hit/miss counts always sum to the number
-            /// of accesses issued.
-            #[test]
-            fn random_accesses_preserve_coherence(
-                ops in proptest::collection::vec(
-                    (0usize..4, any::<bool>(), 0u64..512), 1..300)
-            ) {
-                let mut s = CoherentSystem::new(4, CacheConfig {
-                    size_bytes: 256,
-                    line_bytes: 16,
-            ways: 1,
-                });
+        /// Random access sequences never violate the single-writer
+        /// invariant, and hit/miss counts always sum to the number of
+        /// accesses issued.
+        #[test]
+        fn random_accesses_preserve_coherence() {
+            let mut rng = XorShift64::seed_from_u64(0xF2);
+            for case in 0..128 {
+                let len = rng.range_usize(299) + 1;
+                let mut s = CoherentSystem::new(
+                    4,
+                    CacheConfig {
+                        size_bytes: 256,
+                        line_bytes: 16,
+                        ways: 1,
+                    },
+                );
                 let mut issued = [0u64; 4];
-                for (proc, is_write, word) in ops {
-                    let addr = word * 8;
+                for _ in 0..len {
+                    let proc = rng.range_usize(4);
+                    let is_write = rng.next_bool();
+                    let addr = rng.next_below(512) * 8;
                     if is_write {
                         s.write(proc, addr);
                     } else {
                         s.read(proc, addr);
                     }
                     issued[proc] += 1;
-                    s.check_coherence_invariant().map_err(|e| {
-                        TestCaseError::fail(format!("coherence violated: {e}"))
-                    })?;
+                    if let Err(e) = s.check_coherence_invariant() {
+                        panic!("case {case}: coherence violated: {e}");
+                    }
                 }
-                for p in 0..4 {
+                for (p, &n) in issued.iter().enumerate() {
                     let st = s.stats(p);
-                    prop_assert_eq!(
+                    assert_eq!(
                         st.read_hits + st.read_misses + st.write_hits + st.write_misses,
-                        issued[p]
+                        n,
+                        "case {case} proc {p}"
                     );
                 }
             }

@@ -62,16 +62,30 @@ impl MshrFile {
     /// merges and returns the existing completion time.
     pub fn request(&mut self, line_addr: u64, now: u64, latency: u32) -> Option<u64> {
         if let Some(&done) = self.outstanding.get(&line_addr) {
+            #[cfg(feature = "obs")]
+            lookahead_obs::with(|r| {
+                r.metrics.inc("memsys.mshr.merge_hits", 1);
+                r.event(now, lookahead_obs::EventKind::MshrMerge { line: line_addr });
+            });
             return Some(done);
         }
         if let Some(cap) = self.capacity {
             if self.outstanding.len() >= cap {
+                #[cfg(feature = "obs")]
+                lookahead_obs::with(|r| r.metrics.inc("memsys.mshr.full_stalls", 1));
                 return None;
             }
         }
         let done = now + latency as u64;
         self.outstanding.insert(line_addr, done);
         self.peak = self.peak.max(self.outstanding.len());
+        #[cfg(feature = "obs")]
+        lookahead_obs::with(|r| {
+            r.metrics.inc("memsys.mshr.allocations", 1);
+            r.metrics
+                .observe("memsys.mshr.outstanding", self.outstanding.len() as u64);
+            r.event(now, lookahead_obs::EventKind::MshrAlloc { line: line_addr });
+        });
         Some(done)
     }
 

@@ -147,6 +147,11 @@ impl WriteBuffer {
     ) -> Result<u64, BufferFull> {
         if self.is_full() {
             self.full_stalls += 1;
+            #[cfg(feature = "obs")]
+            lookahead_obs::with(|r| {
+                r.metrics.inc("memsys.writebuf.full_stalls", 1);
+                r.event(now, lookahead_obs::EventKind::WbFull);
+            });
             return Err(BufferFull);
         }
         let start = match self.policy {
@@ -166,6 +171,14 @@ impl WriteBuffer {
         // one ahead of it, so clamp last_completion monotonically.
         self.last_completion = self.last_completion.max(completes_at);
         self.pushes += 1;
+        #[cfg(feature = "obs")]
+        lookahead_obs::with(|r| {
+            r.metrics.inc("memsys.writebuf.pushes", 1);
+            r.metrics
+                .observe("memsys.writebuf.occupancy", self.entries.len() as u64);
+            r.event(now, lookahead_obs::EventKind::WbPush { addr });
+            r.event(completes_at, lookahead_obs::EventKind::WbDrain { addr });
+        });
         Ok(completes_at)
     }
 

@@ -1,17 +1,21 @@
-//! Property tests of the write buffer and MSHR file timing contracts.
+//! Randomized property tests of the write buffer and MSHR file timing
+//! contracts, driven by the in-tree deterministic PRNG.
 
+use lookahead_isa::rng::XorShift64;
 use lookahead_memsys::{DrainPolicy, MshrFile, WriteBuffer};
-use proptest::prelude::*;
 
-proptest! {
-    /// Completion times reported by a write buffer never decrease for
-    /// later pushes under serialized draining, and an overlapped
-    /// buffer's completions are never later than a serialized one's
-    /// for the same pushes.
-    #[test]
-    fn overlapped_never_slower_than_serialized(
-        pushes in proptest::collection::vec((0u64..8, 1u32..60), 1..40)
-    ) {
+/// Completion times reported by a write buffer never decrease for
+/// later pushes under serialized draining, and an overlapped buffer's
+/// completions are never later than a serialized one's for the same
+/// pushes.
+#[test]
+fn overlapped_never_slower_than_serialized() {
+    let mut rng = XorShift64::seed_from_u64(0xB1);
+    for case in 0..256 {
+        let len = rng.range_usize(39) + 1;
+        let pushes: Vec<(u64, u32)> = (0..len)
+            .map(|_| (rng.next_below(8), rng.range_i64(1, 60) as u32))
+            .collect();
         let mut ser = WriteBuffer::new(64, DrainPolicy::Serialized);
         let mut ovl = WriteBuffer::new(64, DrainPolicy::Overlapped);
         let mut now = 0u64;
@@ -22,21 +26,36 @@ proptest! {
             ovl.retire(now);
             let s = ser.push(0x100, lat, now).unwrap();
             let o = ovl.push(0x100, lat, now).unwrap();
-            prop_assert!(o <= s, "overlapped {o} later than serialized {s}");
-            prop_assert!(s >= last_ser, "serialized completions must be monotone");
+            assert!(
+                o <= s,
+                "case {case}: overlapped {o} later than serialized {s}"
+            );
+            assert!(
+                s >= last_ser,
+                "case {case}: serialized completions must be monotone"
+            );
             last_ser = s;
-            prop_assert!(o >= now + lat as u64, "cannot finish before its own latency");
+            assert!(
+                o >= now + lat as u64,
+                "case {case}: cannot finish before its own latency"
+            );
         }
     }
+}
 
-    /// A release never completes before any previously pushed write,
-    /// under either policy.
-    #[test]
-    fn release_is_ordered_after_all_writes(
-        lats in proptest::collection::vec(1u32..80, 1..20),
-        policy_ser in any::<bool>(),
-    ) {
-        let policy = if policy_ser { DrainPolicy::Serialized } else { DrainPolicy::Overlapped };
+/// A release never completes before any previously pushed write, under
+/// either policy.
+#[test]
+fn release_is_ordered_after_all_writes() {
+    let mut rng = XorShift64::seed_from_u64(0xB2);
+    for case in 0..256 {
+        let len = rng.range_usize(19) + 1;
+        let lats: Vec<u32> = (0..len).map(|_| rng.range_i64(1, 80) as u32).collect();
+        let policy = if rng.next_bool() {
+            DrainPolicy::Serialized
+        } else {
+            DrainPolicy::Overlapped
+        };
         let mut wb = WriteBuffer::new(64, policy);
         let mut latest = 0u64;
         for (i, lat) in lats.iter().enumerate() {
@@ -44,18 +63,25 @@ proptest! {
             latest = latest.max(t);
         }
         let rel = wb.push_release(0x1000, 1, lats.len() as u64).unwrap();
-        prop_assert!(rel > latest - 1, "release {rel} before a pending write {latest}");
+        assert!(
+            rel > latest - 1,
+            "case {case}: release {rel} before a pending write {latest}"
+        );
     }
+}
 
-    /// The buffer never holds more than its capacity, and FIFO
-    /// retirement frees pushes in order.
-    #[test]
-    fn capacity_is_respected(
-        ops in proptest::collection::vec((any::<bool>(), 1u32..60), 1..60)
-    ) {
+/// The buffer never holds more than its capacity, and FIFO retirement
+/// frees pushes in order.
+#[test]
+fn capacity_is_respected() {
+    let mut rng = XorShift64::seed_from_u64(0xB3);
+    for _case in 0..256 {
+        let len = rng.range_usize(59) + 1;
         let mut wb = WriteBuffer::new(4, DrainPolicy::Overlapped);
         let mut now = 0u64;
-        for (advance, lat) in ops {
+        for _ in 0..len {
+            let advance = rng.next_bool();
+            let lat = rng.range_i64(1, 60) as u32;
             if advance {
                 now += 40;
                 wb.retire(now);
@@ -63,23 +89,26 @@ proptest! {
             if !wb.is_full() {
                 wb.push(0x40, lat, now).unwrap();
             } else {
-                prop_assert!(wb.push(0x40, lat, now).is_err());
+                assert!(wb.push(0x40, lat, now).is_err());
             }
-            prop_assert!(wb.len() <= 4);
+            assert!(wb.len() <= 4);
         }
     }
+}
 
-    /// MSHR merging: requests to the same line always return the same
-    /// completion while outstanding; distinct lines respect capacity.
-    #[test]
-    fn mshr_merge_and_capacity(
-        lines in proptest::collection::vec(0u64..8, 1..50),
-        cap in 1usize..5,
-    ) {
+/// MSHR merging: requests to the same line always return the same
+/// completion while outstanding; distinct lines respect capacity.
+#[test]
+fn mshr_merge_and_capacity() {
+    let mut rng = XorShift64::seed_from_u64(0xB4);
+    for case in 0..256 {
+        let len = rng.range_usize(49) + 1;
+        let cap = rng.range_usize(4) + 1;
         let mut m = MshrFile::new(Some(cap));
         let mut outstanding: std::collections::HashMap<u64, u64> = Default::default();
         let mut now = 0u64;
-        for line_idx in lines {
+        for _ in 0..len {
+            let line_idx = rng.next_below(8);
             now += 1;
             m.retire_completed(now);
             outstanding.retain(|_, &mut t| t > now);
@@ -87,19 +116,22 @@ proptest! {
             match m.request(line, now, 50) {
                 Some(done) => {
                     if let Some(&prev) = outstanding.get(&line) {
-                        prop_assert_eq!(done, prev, "merge must reuse completion");
+                        assert_eq!(done, prev, "case {case}: merge must reuse completion");
                     } else {
-                        prop_assert_eq!(done, now + 50);
-                        prop_assert!(outstanding.len() < cap);
+                        assert_eq!(done, now + 50);
+                        assert!(outstanding.len() < cap);
                         outstanding.insert(line, done);
                     }
                 }
                 None => {
-                    prop_assert!(outstanding.len() >= cap, "refused below capacity");
-                    prop_assert!(!outstanding.contains_key(&line));
+                    assert!(
+                        outstanding.len() >= cap,
+                        "case {case}: refused below capacity"
+                    );
+                    assert!(!outstanding.contains_key(&line));
                 }
             }
-            prop_assert!(m.len() <= cap);
+            assert!(m.len() <= cap);
         }
     }
 }

@@ -76,6 +76,16 @@ impl MemoryContention {
                     .expect("len >= cap >= 1 implies non-empty");
                 self.queued_misses += 1;
                 self.queueing_cycles += free_at - now;
+                #[cfg(feature = "obs")]
+                lookahead_obs::with(|r| {
+                    r.metrics.inc("multiproc.net.queued_misses", 1);
+                    r.metrics
+                        .inc("multiproc.net.contention_cycles", free_at - now);
+                    r.event(
+                        now,
+                        lookahead_obs::EventKind::Contention { dur: free_at - now },
+                    );
+                });
                 free_at
             }
             _ => now,

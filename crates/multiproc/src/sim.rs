@@ -25,8 +25,44 @@ use lookahead_isa::interp::{Effect, FlatMemory, InterpError, Machine};
 use lookahead_isa::program::DataImage;
 use lookahead_isa::{Instruction, OpClass, Program, SyncKind};
 use lookahead_memsys::{CoherenceStats, CoherentSystem, DrainPolicy, WriteBuffer};
+#[cfg(feature = "obs")]
+use lookahead_obs::{self as obs, Event, EventKind};
 use lookahead_trace::{Breakdown, MemAccess, SyncAccess, Trace, TraceEntry, TraceOp};
 use std::fmt;
+
+/// Journals a cache hit/miss on processor `p`'s row at cycle `t`.
+#[cfg(feature = "obs")]
+fn cache_event(t: u64, p: usize, addr: u64, write: bool, miss: bool) {
+    obs::with(|r| {
+        let kind = if miss {
+            EventKind::CacheMiss { addr, write }
+        } else {
+            EventKind::CacheHit { addr, write }
+        };
+        r.journal.push(Event {
+            t,
+            proc: p as u32,
+            kind,
+        });
+    });
+}
+
+/// Journals an acquire that waited `wait` cycles then took `access`
+/// cycles to perform, on processor `p`'s row.
+#[cfg(feature = "obs")]
+fn acquire_event(now: u64, p: usize, addr: u64, wait: u32, access: u32, counter: &'static str) {
+    obs::with(|r| {
+        r.metrics.inc(counter, 1);
+        r.journal.push(Event {
+            t: now.saturating_sub(wait as u64),
+            proc: p as u32,
+            kind: EventKind::AcquireWait {
+                addr,
+                dur: wait as u64 + access as u64,
+            },
+        });
+    });
+}
 
 /// Errors from a multiprocessor simulation run.
 #[derive(Debug)]
@@ -49,7 +85,10 @@ impl fmt::Display for SimError {
                 write!(f, "processor {proc}: {error}")
             }
             SimError::Deadlock { cycle, blocked } => {
-                write!(f, "deadlock at cycle {cycle}: processors {blocked:?} blocked forever")
+                write!(
+                    f,
+                    "deadlock at cycle {cycle}: processors {blocked:?} blocked forever"
+                )
             }
             SimError::CycleLimit { limit } => write!(f, "exceeded cycle limit {limit}"),
         }
@@ -156,7 +195,11 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns [`SimError::Config`] if the configuration is invalid.
-    pub fn new(program: Program, image: DataImage, config: SimConfig) -> Result<Simulator, SimError> {
+    pub fn new(
+        program: Program,
+        image: DataImage,
+        config: SimConfig,
+    ) -> Result<Simulator, SimError> {
         config.validate().map_err(SimError::Config)?;
         let image_bytes = image.size_bytes();
         let mem_bytes = config.memory_bytes.unwrap_or(image_bytes).max(image_bytes);
@@ -316,7 +359,6 @@ impl Simulator {
         saturate(done - self.now)
     }
 
-
     /// Executes one instruction on a Ready processor `p` at `self.now`.
     fn execute_one(&mut self, p: usize) -> Result<(), SimError> {
         let now = self.now;
@@ -358,13 +400,14 @@ impl Simulator {
                 self.procs[p].breakdown.busy += 1;
             }
             OpClass::Load => {
-                let addr = self
-                    .procs[p]
+                let addr = self.procs[p]
                     .machine
                     .peek_addr(&self.program)
                     .expect("load has an address");
                 let miss = self.coherent.read(p, addr).is_miss();
                 let latency = self.access_latency(miss);
+                #[cfg(feature = "obs")]
+                cache_event(now, p, addr, false, miss);
                 self.procs[p]
                     .machine
                     .step(&self.program, &mut self.mem)
@@ -386,8 +429,7 @@ impl Simulator {
                 };
             }
             OpClass::Store => {
-                let addr = self
-                    .procs[p]
+                let addr = self.procs[p]
                     .machine
                     .peek_addr(&self.program)
                     .expect("store has an address");
@@ -404,6 +446,8 @@ impl Simulator {
                 }
                 let miss = self.coherent.write(p, addr).is_miss();
                 let latency = self.access_latency(miss);
+                #[cfg(feature = "obs")]
+                cache_event(now, p, addr, true, miss);
                 self.procs[p]
                     .machine
                     .step(&self.program, &mut self.mem)
@@ -429,8 +473,7 @@ impl Simulator {
 
     fn execute_sync(&mut self, p: usize, kind: SyncKind) -> Result<(), SimError> {
         let now = self.now;
-        let addr = self
-            .procs[p]
+        let addr = self.procs[p]
             .machine
             .peek_addr(&self.program)
             .expect("sync has an address");
@@ -454,6 +497,8 @@ impl Simulator {
                 }
                 let miss = self.coherent.write(p, addr).is_miss();
                 let latency = self.access_latency(miss);
+                #[cfg(feature = "obs")]
+                cache_event(now, p, addr, true, miss);
                 self.procs[p]
                     .machine
                     .step(&self.program, &mut self.mem)
@@ -492,9 +537,7 @@ impl Simulator {
                     .machine
                     .step(&self.program, &mut self.mem)
                     .map_err(Self::interp_err(p))?;
-                let generation = self
-                    .barriers
-                    .arrive(addr, arrive, self.config.num_procs);
+                let generation = self.barriers.arrive(addr, arrive, self.config.num_procs);
                 self.procs[p].status = Status::BlockedBarrier {
                     addr,
                     generation,
@@ -518,6 +561,11 @@ impl Simulator {
         let pc = self.procs[p].machine.pc();
         let miss = self.coherent.write(p, addr).is_miss();
         let access = self.access_latency(miss);
+        #[cfg(feature = "obs")]
+        {
+            cache_event(now, p, addr, true, miss);
+            acquire_event(now, p, addr, wait, access, "multiproc.sync.lock_acquires");
+        }
         self.procs[p]
             .machine
             .step(&self.program, &mut self.mem)
@@ -550,6 +598,11 @@ impl Simulator {
         let pc = self.procs[p].machine.pc();
         let miss = self.coherent.read(p, addr).is_miss();
         let access = self.access_latency(miss);
+        #[cfg(feature = "obs")]
+        {
+            cache_event(now, p, addr, false, miss);
+            acquire_event(now, p, addr, wait, access, "multiproc.sync.event_waits");
+        }
         self.procs[p]
             .machine
             .step(&self.program, &mut self.mem)
@@ -578,6 +631,11 @@ impl Simulator {
         let pc = self.procs[p].machine.pc().saturating_sub(1);
         let miss = self.coherent.read(p, addr).is_miss();
         let access = self.access_latency(miss);
+        #[cfg(feature = "obs")]
+        {
+            cache_event(now, p, addr, false, miss);
+            acquire_event(now, p, addr, wait, access, "multiproc.sync.barrier_waits");
+        }
         self.procs[p].trace.push(TraceEntry {
             pc: pc as u32,
             op: TraceOp::Sync(SyncAccess {
@@ -608,11 +666,7 @@ mod tests {
         }
     }
 
-    fn run_program(
-        build: impl FnOnce(&mut Assembler),
-        image: DataImage,
-        n: usize,
-    ) -> SimOutcome {
+    fn run_program(build: impl FnOnce(&mut Assembler), image: DataImage, n: usize) -> SimOutcome {
         let mut a = Assembler::new();
         build(&mut a);
         a.halt();
@@ -731,7 +785,10 @@ mod tests {
             max_cycles: 100_000,
             ..SimConfig::default()
         };
-        let out = Simulator::new(program, image, config).unwrap().run().unwrap();
+        let out = Simulator::new(program, image, config)
+            .unwrap()
+            .run()
+            .unwrap();
         let b = out.breakdowns[0];
         assert!(b.write > 0, "third store must stall on full buffer");
         assert_eq!(b.total(), out.finish_times[0]);

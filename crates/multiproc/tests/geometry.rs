@@ -44,7 +44,10 @@ fn run(cache_bytes: u64, miss_penalty: u32) -> SimOutcome {
         mem: MemoryParams::with_miss_penalty(miss_penalty),
         ..SimConfig::default()
     };
-    Simulator::new(program, image, config).unwrap().run().unwrap()
+    Simulator::new(program, image, config)
+        .unwrap()
+        .run()
+        .unwrap()
 }
 
 #[test]
@@ -76,7 +79,10 @@ fn smaller_caches_miss_more() {
         .map(|t| TraceStats::collect(t, None))
         .collect();
     let total_refs: u64 = stats.iter().map(|s| s.data.reads + s.data.writes).sum();
-    assert!(misses(&big) * 2 < total_refs, "warm cache should mostly hit");
+    assert!(
+        misses(&big) * 2 < total_refs,
+        "warm cache should mostly hit"
+    );
 }
 
 #[test]
@@ -110,7 +116,11 @@ fn more_processors_split_the_work() {
             num_procs: n,
             ..SimConfig::default()
         };
-        Simulator::new(p, i, config).unwrap().run().unwrap().total_cycles
+        Simulator::new(p, i, config)
+            .unwrap()
+            .run()
+            .unwrap()
+            .total_cycles
     };
     let one = cycles(1);
     let four = cycles(4);

@@ -1,0 +1,275 @@
+//! A tiny hand-rolled JSON layer: enough writer support to emit the
+//! journal/metrics formats and enough parser to read back our own
+//! JSONL (flat objects of string and unsigned-integer fields).
+//!
+//! This is intentionally not a general JSON library; it exists so the
+//! workspace has no external dependencies. The parser accepts exactly
+//! the subset the writer produces (plus insignificant whitespace).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Quotes a string as a JSON string literal, escaping the characters
+/// our identifiers can contain. Control characters are escaped as
+/// `\u00XX`; everything else passes through as UTF-8.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A value in a flat parsed object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlatValue {
+    Str(String),
+    UInt(u64),
+}
+
+impl FlatValue {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FlatValue::Str(s) => Some(s),
+            FlatValue::UInt(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            FlatValue::UInt(n) => Some(*n),
+            FlatValue::Str(_) => None,
+        }
+    }
+}
+
+/// Parse failure for [`parse_flat_object`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset the error was detected at.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            at: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!(
+                "expected '{}', found {:?}",
+                b as char,
+                self.bytes.get(self.pos).map(|&c| c as char)
+            ))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex =
+                                self.bytes.get(self.pos + 1..self.pos + 5).ok_or_else(|| {
+                                    ParseError {
+                                        at: self.pos,
+                                        message: "truncated \\u escape".into(),
+                                    }
+                                })?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| ParseError {
+                                    at: self.pos,
+                                    message: "bad \\u escape".into(),
+                                })?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return self.err(format!("bad escape {other:?}"));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| ParseError {
+                        at: self.pos,
+                        message: "invalid UTF-8".into(),
+                    })?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn uint(&mut self) -> Result<u64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return self.err("expected a number");
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|_| ParseError {
+                at: start,
+                message: "number out of range".into(),
+            })
+    }
+}
+
+/// Parses one flat JSON object — string keys, values that are strings
+/// or unsigned integers — as produced by the journal's JSONL writer.
+pub fn parse_flat_object(line: &str) -> Result<BTreeMap<String, FlatValue>, ParseError> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let mut map = BTreeMap::new();
+    p.expect(b'{')?;
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            let key = p.string()?;
+            p.expect(b':')?;
+            let value = match p.peek() {
+                Some(b'"') => FlatValue::Str(p.string()?),
+                Some(b'0'..=b'9') => FlatValue::UInt(p.uint()?),
+                other => {
+                    return p.err(format!(
+                        "expected string or unsigned number value, found {:?}",
+                        other.map(|b| b as char)
+                    ))
+                }
+            };
+            map.insert(key, value);
+            match p.peek() {
+                Some(b',') => {
+                    p.pos += 1;
+                }
+                Some(b'}') => {
+                    p.pos += 1;
+                    break;
+                }
+                other => {
+                    return p.err(format!(
+                        "expected ',' or '}}', found {:?}",
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing data after object");
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quote_escapes() {
+        assert_eq!(quote("ab"), "\"ab\"");
+        assert_eq!(quote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn roundtrip_flat_object() {
+        let m = parse_flat_object("{\"a\":1,\"b\":\"x\\ny\",\"c\":18446744073709551615}").unwrap();
+        assert_eq!(m["a"], FlatValue::UInt(1));
+        assert_eq!(m["b"], FlatValue::Str("x\ny".into()));
+        assert_eq!(m["c"], FlatValue::UInt(u64::MAX));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_flat_object("{").is_err());
+        assert!(parse_flat_object("{\"a\":}").is_err());
+        assert!(parse_flat_object("{\"a\":1} extra").is_err());
+        assert!(parse_flat_object("{\"a\":-1}").is_err());
+        assert!(parse_flat_object("").is_err());
+    }
+
+    #[test]
+    fn empty_object_ok() {
+        assert!(parse_flat_object("{}").unwrap().is_empty());
+    }
+}

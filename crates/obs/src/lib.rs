@@ -1,0 +1,264 @@
+//! Observability substrate for the Lookahead simulators.
+//!
+//! The paper's entire argument rests on attributing execution time to
+//! busy/read/write/sync components; this crate makes that attribution
+//! observable at every level instead of only as final tables:
+//!
+//! * [`metrics::MetricsRegistry`] — typed counters, gauges, and
+//!   log2-bucketed histograms under a hierarchical dotted-path
+//!   namespace (`core.ds.rob_occupancy`, `memsys.mshr.merge_hits`,
+//!   `multiproc.net.contention_cycles`).
+//! * [`journal::EventJournal`] — a ring-buffered stream of structured
+//!   cycle-level events (fetch/issue/complete/retire, cache hit/miss/
+//!   fill, MSHR allocate/merge, write-buffer drain, acquire waits,
+//!   stalls), serializable as JSONL and as Chrome `trace_event` JSON
+//!   so runs open directly in chrome://tracing or Perfetto.
+//! * [`attr::StallAttribution`] — exact per-cycle accounting that
+//!   classifies every stalled cycle into the paper-aligned taxonomy
+//!   (read-miss, write-miss, acquire, ROB-full, fetch-limit, true
+//!   dependence) and reconciles with the run's breakdown.
+//!
+//! # Wiring
+//!
+//! The instrumented crates (`lookahead-core`, `lookahead-memsys`,
+//! `lookahead-multiproc`) only reference this crate behind their `obs`
+//! cargo feature, so default builds compile none of the hooks and pay
+//! nothing. With the feature on, instrumentation sites call
+//! [`with`], which records into a **thread-local** [`Recorder`] — the
+//! timing models run one per thread in the bench harness, so each run
+//! gets its own isolated recorder without any API changes:
+//!
+//! ```
+//! use lookahead_obs as obs;
+//!
+//! obs::install(obs::Recorder::new(0));
+//! obs::with(|r| r.metrics.inc("core.ds.instructions", 1));
+//! let rec = obs::take().expect("installed above");
+//! assert_eq!(rec.metrics.counter("core.ds.instructions"), 1);
+//! ```
+//!
+//! When no recorder is installed, [`with`] is a cheap thread-local
+//! check that does nothing.
+
+pub mod attr;
+pub mod journal;
+pub mod json;
+pub mod metrics;
+
+pub use attr::{StallAttribution, StallCause, StallClass, StallSite};
+pub use journal::{Event, EventJournal, EventKind, JournalReadError, DEFAULT_JOURNAL_CAPACITY};
+pub use metrics::{Histogram, Metric, MetricsRegistry};
+
+use std::cell::RefCell;
+
+/// A stall span being coalesced: consecutive stalled cycles with the
+/// same blame collapse into one journal event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OpenStall {
+    start: u64,
+    last: u64,
+    pc: u32,
+    class: StallClass,
+    cause: StallCause,
+}
+
+/// Everything one instrumented run records: metrics, the event
+/// journal, and exact stall attribution.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    pub metrics: MetricsRegistry,
+    pub journal: EventJournal,
+    pub attribution: StallAttribution,
+    /// Processor / lane id stamped on emitted events.
+    pub proc: u32,
+    open_stall: Option<OpenStall>,
+}
+
+impl Recorder {
+    /// A recorder for processor/lane `proc` with the default journal
+    /// capacity.
+    pub fn new(proc: u32) -> Recorder {
+        Recorder::with_capacity(proc, DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    pub fn with_capacity(proc: u32, journal_capacity: usize) -> Recorder {
+        Recorder {
+            metrics: MetricsRegistry::new(),
+            journal: EventJournal::new(journal_capacity),
+            attribution: StallAttribution::new(),
+            proc,
+            open_stall: None,
+        }
+    }
+
+    /// Appends an event at cycle `t`, flushing any open stall span
+    /// first so journal order stays chronological.
+    pub fn event(&mut self, t: u64, kind: EventKind) {
+        self.flush_stall();
+        self.journal.push(Event {
+            t,
+            proc: self.proc,
+            kind,
+        });
+    }
+
+    /// Records a cycle in which work retired.
+    pub fn busy_cycle(&mut self) {
+        self.flush_stall();
+        self.attribution.record_busy();
+    }
+
+    /// Records one stalled cycle at time `t`, blamed on `pc`.
+    /// Consecutive cycles with identical blame coalesce into a single
+    /// journal span; attribution counts stay exact per cycle.
+    pub fn stall_cycle(&mut self, t: u64, pc: u32, class: StallClass, cause: StallCause) {
+        self.attribution.record_stall(class, cause, pc);
+        match &mut self.open_stall {
+            Some(open)
+                if open.pc == pc
+                    && open.class == class
+                    && open.cause == cause
+                    && t == open.last + 1 =>
+            {
+                open.last = t;
+            }
+            _ => {
+                self.flush_stall();
+                self.open_stall = Some(OpenStall {
+                    start: t,
+                    last: t,
+                    pc,
+                    class,
+                    cause,
+                });
+            }
+        }
+    }
+
+    /// Closes any open stall span. Call when a run finishes (also
+    /// called automatically by [`event`](Self::event) and
+    /// [`busy_cycle`](Self::busy_cycle)).
+    pub fn flush_stall(&mut self) {
+        if let Some(open) = self.open_stall.take() {
+            self.journal.push(Event {
+                t: open.start,
+                proc: self.proc,
+                kind: EventKind::Stall {
+                    pc: open.pc,
+                    class: open.class,
+                    cause: open.cause,
+                    dur: open.last - open.start + 1,
+                },
+            });
+        }
+    }
+}
+
+thread_local! {
+    static RECORDER: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+/// Installs `recorder` as this thread's active recorder, returning the
+/// previously installed one, if any.
+pub fn install(recorder: Recorder) -> Option<Recorder> {
+    RECORDER.with(|r| r.borrow_mut().replace(recorder))
+}
+
+/// Removes and returns this thread's active recorder (with any open
+/// stall span flushed).
+pub fn take() -> Option<Recorder> {
+    RECORDER.with(|r| {
+        let mut rec = r.borrow_mut().take();
+        if let Some(rec) = rec.as_mut() {
+            rec.flush_stall();
+        }
+        rec
+    })
+}
+
+/// Whether a recorder is installed on this thread.
+pub fn is_active() -> bool {
+    RECORDER.with(|r| r.borrow().is_some())
+}
+
+/// Runs `f` against this thread's recorder; does nothing (cheaply) if
+/// none is installed. All instrumentation sites funnel through here.
+pub fn with<F: FnOnce(&mut Recorder)>(f: F) {
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            f(rec);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_take_roundtrip() {
+        assert!(take().is_none());
+        assert!(!is_active());
+        install(Recorder::new(3));
+        assert!(is_active());
+        with(|r| r.metrics.inc("a.b", 2));
+        with(|r| r.metrics.inc("a.b", 1));
+        let rec = take().expect("installed");
+        assert_eq!(rec.metrics.counter("a.b"), 3);
+        assert_eq!(rec.proc, 3);
+        assert!(take().is_none());
+    }
+
+    #[test]
+    fn with_is_noop_without_recorder() {
+        let mut ran = false;
+        with(|_| ran = true);
+        assert!(!ran);
+    }
+
+    #[test]
+    fn stall_spans_coalesce() {
+        let mut r = Recorder::new(0);
+        for t in 10..15 {
+            r.stall_cycle(t, 7, StallClass::Read, StallCause::ReadMiss);
+        }
+        r.busy_cycle();
+        for t in 16..18 {
+            r.stall_cycle(t, 9, StallClass::Sync, StallCause::Acquire);
+        }
+        r.flush_stall();
+        let events: Vec<Event> = r.journal.iter().copied().collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].kind,
+            EventKind::Stall {
+                pc: 7,
+                class: StallClass::Read,
+                cause: StallCause::ReadMiss,
+                dur: 5,
+            }
+        );
+        assert_eq!(events[0].t, 10);
+        assert_eq!(
+            events[1].kind,
+            EventKind::Stall {
+                pc: 9,
+                class: StallClass::Sync,
+                cause: StallCause::Acquire,
+                dur: 2,
+            }
+        );
+        // Attribution remains per-cycle exact.
+        assert_eq!(r.attribution.stall_cycles(), 7);
+        assert_eq!(r.attribution.busy_cycles, 1);
+    }
+
+    #[test]
+    fn nonconsecutive_stalls_do_not_merge() {
+        let mut r = Recorder::new(0);
+        r.stall_cycle(5, 1, StallClass::Read, StallCause::ReadMiss);
+        r.stall_cycle(9, 1, StallClass::Read, StallCause::ReadMiss);
+        r.flush_stall();
+        assert_eq!(r.journal.len(), 2);
+    }
+}

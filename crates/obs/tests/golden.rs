@@ -1,0 +1,140 @@
+//! Golden-format tests: the JSONL wire format and the Chrome
+//! `trace_event` export are stable interfaces (external tools and the
+//! artifact readers depend on them), so changes must show up here.
+
+use lookahead_obs::{Event, EventJournal, EventKind, JournalReadError, StallCause, StallClass};
+
+/// One event of every kind, in a deterministic order.
+fn every_kind_journal() -> EventJournal {
+    let kinds = [
+        EventKind::Fetch { pc: 1 },
+        EventKind::Issue { pc: 2, addr: 64 },
+        EventKind::Complete { pc: 2, addr: 64 },
+        EventKind::Retire { pc: 2 },
+        EventKind::CacheHit {
+            addr: 128,
+            write: false,
+        },
+        EventKind::CacheMiss {
+            addr: 192,
+            write: true,
+        },
+        EventKind::CacheFill { addr: 192 },
+        EventKind::MshrAlloc { line: 3 },
+        EventKind::MshrMerge { line: 3 },
+        EventKind::WbPush { addr: 256 },
+        EventKind::WbDrain { addr: 256 },
+        EventKind::WbFull,
+        EventKind::AcquireWait { addr: 8, dur: 500 },
+        EventKind::Contention { dur: 12 },
+        EventKind::ContextSwitch { to: 3 },
+        EventKind::Stall {
+            pc: 9,
+            class: StallClass::Read,
+            cause: StallCause::ReadMiss,
+            dur: 49,
+        },
+    ];
+    let mut j = EventJournal::new(64);
+    for (i, kind) in kinds.into_iter().enumerate() {
+        j.push(Event {
+            t: 10 + i as u64,
+            proc: (i % 4) as u32,
+            kind,
+        });
+    }
+    j
+}
+
+/// The exact JSONL rendering of every event kind. A diff here means
+/// the wire format changed: saved journals in the wild stop loading.
+const GOLDEN_JSONL: &str = "\
+{\"t\":10,\"proc\":0,\"ev\":\"fetch\",\"pc\":1}
+{\"t\":11,\"proc\":1,\"ev\":\"issue\",\"pc\":2,\"addr\":64}
+{\"t\":12,\"proc\":2,\"ev\":\"complete\",\"pc\":2,\"addr\":64}
+{\"t\":13,\"proc\":3,\"ev\":\"retire\",\"pc\":2}
+{\"t\":14,\"proc\":0,\"ev\":\"cache_hit\",\"addr\":128,\"write\":0}
+{\"t\":15,\"proc\":1,\"ev\":\"cache_miss\",\"addr\":192,\"write\":1}
+{\"t\":16,\"proc\":2,\"ev\":\"cache_fill\",\"addr\":192}
+{\"t\":17,\"proc\":3,\"ev\":\"mshr_alloc\",\"line\":3}
+{\"t\":18,\"proc\":0,\"ev\":\"mshr_merge\",\"line\":3}
+{\"t\":19,\"proc\":1,\"ev\":\"wb_push\",\"addr\":256}
+{\"t\":20,\"proc\":2,\"ev\":\"wb_drain\",\"addr\":256}
+{\"t\":21,\"proc\":3,\"ev\":\"wb_full\"}
+{\"t\":22,\"proc\":0,\"ev\":\"acquire_wait\",\"addr\":8,\"dur\":500}
+{\"t\":23,\"proc\":1,\"ev\":\"contention\",\"dur\":12}
+{\"t\":24,\"proc\":2,\"ev\":\"context_switch\",\"to\":3}
+{\"t\":25,\"proc\":3,\"ev\":\"stall\",\"pc\":9,\"class\":\"read\",\"cause\":\"read_miss\",\"dur\":49}
+";
+
+#[test]
+fn jsonl_matches_golden() {
+    let mut out = Vec::new();
+    every_kind_journal().to_jsonl(&mut out).unwrap();
+    assert_eq!(String::from_utf8(out).unwrap(), GOLDEN_JSONL);
+}
+
+#[test]
+fn golden_jsonl_round_trips() {
+    let back = EventJournal::from_jsonl(GOLDEN_JSONL.as_bytes()).unwrap();
+    let original = every_kind_journal();
+    assert_eq!(back.len(), original.len());
+    for (a, b) in back.iter().zip(original.iter()) {
+        assert_eq!(a, b);
+    }
+    // And re-serializing reproduces the golden text exactly.
+    let mut out = Vec::new();
+    back.to_jsonl(&mut out).unwrap();
+    assert_eq!(String::from_utf8(out).unwrap(), GOLDEN_JSONL);
+}
+
+#[test]
+fn chrome_trace_shape() {
+    let mut out = Vec::new();
+    every_kind_journal().to_chrome_trace(&mut out).unwrap();
+    let trace = String::from_utf8(out).unwrap();
+    // Valid-enough JSON to load in Perfetto: balanced braces/brackets,
+    // a traceEvents array, one entry per journal event.
+    assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+    assert_eq!(trace.matches('[').count(), trace.matches(']').count());
+    assert!(trace.starts_with("{\"displayTimeUnit\""));
+    assert!(trace.contains("\"traceEvents\":["));
+    assert_eq!(trace.matches("\"name\":").count(), 16);
+    // Duration events become complete spans (ph X with a dur)...
+    assert!(trace.contains("\"name\":\"stall:read_miss\",\"ph\":\"X\""));
+    assert!(trace.contains("\"name\":\"acquire_wait\",\"ph\":\"X\""));
+    assert!(trace.contains("\"name\":\"contention\",\"ph\":\"X\""));
+    assert_eq!(trace.matches("\"ph\":\"X\"").count(), 3);
+    // ...point events become instants on the owning processor's row.
+    assert!(trace.contains("\"name\":\"cache_miss\",\"ph\":\"i\""));
+    assert!(trace.contains("\"tid\":3"));
+}
+
+#[test]
+fn malformed_lines_report_line_numbers() {
+    let cases: &[(&str, usize)] = &[
+        // Bad JSON on line 1.
+        ("{\"t\":oops}\n", 1),
+        // Valid first line, unknown event on line 2.
+        (
+            "{\"t\":1,\"proc\":0,\"ev\":\"fetch\",\"pc\":0}\n{\"t\":2,\"proc\":0,\"ev\":\"warp\"}\n",
+            2,
+        ),
+        // Missing payload field.
+        ("{\"t\":1,\"proc\":0,\"ev\":\"fetch\"}\n", 1),
+        // Missing the ev discriminator entirely.
+        ("{\"t\":1,\"proc\":0}\n", 1),
+    ];
+    for (text, want_line) in cases {
+        match EventJournal::from_jsonl(text.as_bytes()) {
+            Err(JournalReadError::Malformed(line, _)) => {
+                assert_eq!(line, *want_line, "input {text:?}");
+            }
+            other => panic!("input {text:?}: expected Malformed, got {other:?}"),
+        }
+    }
+    // Blank lines are tolerated (trailing newline artifacts).
+    let ok = EventJournal::from_jsonl("\n{\"t\":1,\"proc\":0,\"ev\":\"wb_full\"}\n\n".as_bytes())
+        .unwrap();
+    assert_eq!(ok.len(), 1);
+}

@@ -76,7 +76,7 @@ pub fn schedule_program(program: &Program) -> (Program, ScheduleStats) {
         ..ScheduleStats::default()
     };
     let mut out: Vec<Instruction> = Vec::with_capacity(instrs.len());
-    let mut starts: Vec<usize> = leaders.iter().copied().collect();
+    let mut starts: Vec<usize> = leaders.to_vec();
     starts.sort_unstable();
     starts.dedup();
     for (bi, &start) in starts.iter().enumerate() {
@@ -147,7 +147,13 @@ pub fn rename_program(program: &Program) -> (Program, ScheduleStats) {
     let mut out: Vec<Instruction> = Vec::with_capacity(instrs.len());
     for (bi, &start) in starts.iter().enumerate() {
         let end = starts.get(bi + 1).copied().unwrap_or(instrs.len());
-        rename_block(&instrs[start..end], &free_int, &free_fp, &mut out, &mut stats);
+        rename_block(
+            &instrs[start..end],
+            &free_int,
+            &free_fp,
+            &mut out,
+            &mut stats,
+        );
     }
     (Program::new(out), stats)
 }
@@ -182,12 +188,8 @@ fn rename_block(
     for (i, ins) in block.iter().enumerate() {
         // Phase 1: rewrite sources through the current locations
         // (reads see the value of the *previous* definition).
-        let src_mapped = ins.map_registers(
-            |r| cur_int[r.index()],
-            |r| r,
-            |r| cur_fp[r.index()],
-            |r| r,
-        );
+        let src_mapped =
+            ins.map_registers(|r| cur_int[r.index()], |r| r, |r| cur_fp[r.index()], |r| r);
         // Phase 2: pick the destination's new home.
         let new_int_dest = ins.int_dest().map(|r| {
             if int_defs_after[i + 1][r.index()] > 0 && next_free_int < free_int.len() {
@@ -435,9 +437,7 @@ fn schedule_block(block: &[Instruction], out: &mut Vec<Instruction>, stats: &mut
     // The trailing control instruction (branch/jump/halt) is pinned.
     let pinned_tail = block
         .last()
-        .map(|i| {
-            i.is_control() || matches!(i, Instruction::Halt)
-        })
+        .map(|i| i.is_control() || matches!(i, Instruction::Halt))
         .unwrap_or(false);
     let schedulable = if pinned_tail { n - 1 } else { n };
 

@@ -29,7 +29,6 @@
 
 use lookahead_isa::{AluOp, BranchCond, Instruction, IntReg, OpClass, Program};
 
-
 /// Statistics from an unrolling pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct UnrollStats {
@@ -114,8 +113,8 @@ pub fn unroll_program(program: &Program, factor: usize) -> (Program, UnrollStats
             let l = loops[li];
             // Only `head` is a legal external target; map the whole
             // region to the pack start so any target stays defined.
-            for k in l.head..l.exit {
-                map[k] = cursor;
+            for m in &mut map[l.head..l.exit] {
+                *m = cursor;
             }
             cursor += emitted_len(&l);
             i = l.exit;
@@ -164,11 +163,7 @@ pub fn unroll_program(program: &Program, factor: usize) -> (Program, UnrollStats
             for p in preamble {
                 out.push(remap(*p, &map));
             }
-            let rhead_pos = uhead
-                + (l.branch - l.head)
-                + 2
-                + (factor) * body.len()
-                + 1;
+            let rhead_pos = uhead + (l.branch - l.head) + 2 + (factor) * body.len() + 1;
             out.push(Instruction::AluImm {
                 op: AluOp::Add,
                 rd: guard_reg,
@@ -297,10 +292,8 @@ fn match_loop(
             return None;
         }
     }
-    for k in head + 1..tail_jump + 1 {
-        if target_count[k] > 0 {
-            return None;
-        }
+    if target_count[head + 1..=tail_jump].iter().any(|&c| c > 0) {
+        return None;
     }
     Some(LoopShape {
         head,

@@ -4,20 +4,20 @@
 //! initial state must produce identical registers and memory.
 
 use lookahead_isa::interp::{FlatMemory, Machine, Memory};
+use lookahead_isa::rng::XorShift64;
 use lookahead_isa::{AluOp, Assembler, FpReg, IntReg, Program};
 use lookahead_schedule::{optimize_program, rename_program, schedule_program};
-use proptest::prelude::*;
 
 const MEM_WORDS: u64 = 64;
 
 /// One step of a generated straight-line body.
 #[derive(Debug, Clone, Copy)]
 enum Step {
-    Alu(u8, u8, u8, u8),     // op, rd, rs1, rs2
-    AluImm(u8, u8, u8, i8),  // op, rd, rs1, imm
-    Load(u8, u8),            // rd, word
-    Store(u8, u8),           // rs, word
-    Fpu(u8, u8, u8, u8),     // op, fd, fs1, fs2
+    Alu(u8, u8, u8, u8),    // op, rd, rs1, rs2
+    AluImm(u8, u8, u8, i8), // op, rd, rs1, imm
+    Load(u8, u8),           // rd, word
+    Store(u8, u8),          // rs, word
+    Fpu(u8, u8, u8, u8),    // op, fd, fs1, fs2
 }
 
 fn regs() -> [IntReg; 6] {
@@ -89,17 +89,20 @@ fn emit_step(a: &mut Assembler, s: Step) {
     }
 }
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(a, b, c, d)| Step::Alu(a, b, c, d)),
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<i8>())
-            .prop_map(|(a, b, c, d)| Step::AluImm(a, b, c, d)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Load(a, b)),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::Store(a, b)),
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(a, b, c, d)| Step::Fpu(a, b, c, d)),
-    ]
+fn gen_step(rng: &mut XorShift64) -> Step {
+    let b = |rng: &mut XorShift64| rng.next_u64() as u8;
+    match rng.next_below(5) {
+        0 => Step::Alu(b(rng), b(rng), b(rng), b(rng)),
+        1 => Step::AluImm(b(rng), b(rng), b(rng), rng.next_u64() as i8),
+        2 => Step::Load(b(rng), b(rng)),
+        3 => Step::Store(b(rng), b(rng)),
+        _ => Step::Fpu(b(rng), b(rng), b(rng), b(rng)),
+    }
+}
+
+fn gen_steps(rng: &mut XorShift64, lo: usize, hi_exclusive: usize) -> Vec<Step> {
+    let n = lo + rng.range_usize(hi_exclusive - lo);
+    (0..n).map(|_| gen_step(rng)).collect()
 }
 
 /// A program: init registers, a straight-line prefix, a counted loop
@@ -169,35 +172,47 @@ fn run_state(p: &Program, reference: &Program) -> (Vec<i64>, Vec<u64>, Vec<u64>)
     (ints, fps, words)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn optimized_programs_are_equivalent(
-        prefix in proptest::collection::vec(arb_step(), 0..12),
-        body in proptest::collection::vec(arb_step(), 1..10),
-        suffix in proptest::collection::vec(arb_step(), 0..8),
-        trips in 0i64..9,
-        factor in 2usize..5,
-    ) {
+#[test]
+fn optimized_programs_are_equivalent() {
+    let mut rng = XorShift64::seed_from_u64(0xE1);
+    for case in 0..48 {
+        let prefix = gen_steps(&mut rng, 0, 12);
+        let body = gen_steps(&mut rng, 1, 10);
+        let suffix = gen_steps(&mut rng, 0, 8);
+        let trips = rng.range_i64(0, 9);
+        let factor = rng.range_usize(3) + 2;
         let p = build_program(&prefix, &body, &suffix, trips);
         let original = run_state(&p, &p);
 
         let (renamed, _) = rename_program(&p);
-        prop_assert_eq!(run_state(&renamed, &p), original.clone(), "rename changed semantics");
+        assert_eq!(
+            run_state(&renamed, &p),
+            original.clone(),
+            "case {case}: rename changed semantics"
+        );
 
         let (scheduled, _) = schedule_program(&p);
-        prop_assert_eq!(run_state(&scheduled, &p), original.clone(), "schedule changed semantics");
+        assert_eq!(
+            run_state(&scheduled, &p),
+            original.clone(),
+            "case {case}: schedule changed semantics"
+        );
 
         let (optimized, _, _) = optimize_program(&p, factor);
-        prop_assert_eq!(run_state(&optimized, &p), original, "unroll+schedule changed semantics");
+        assert_eq!(
+            run_state(&optimized, &p),
+            original,
+            "case {case}: unroll+schedule changed semantics"
+        );
     }
+}
 
-    #[test]
-    fn optimization_preserves_instruction_mix(
-        body in proptest::collection::vec(arb_step(), 1..10),
-        trips in 1i64..6,
-    ) {
+#[test]
+fn optimization_preserves_instruction_mix() {
+    let mut rng = XorShift64::seed_from_u64(0xE2);
+    for case in 0..48 {
+        let body = gen_steps(&mut rng, 1, 10);
+        let trips = rng.range_i64(1, 6);
         // Unrolling duplicates code but must not invent or drop
         // *dynamic* loads/stores: count executed memory ops via the
         // trace of a single-processor run of both programs.
@@ -217,6 +232,6 @@ proptest! {
             }
             (loads, stores)
         };
-        prop_assert_eq!(count(&p), count(&optimized));
+        assert_eq!(count(&p), count(&optimized), "case {case}");
     }
 }

@@ -186,13 +186,12 @@ impl Trace {
                     m.latency
                 ),
                 TraceOp::Branch { taken, .. } => {
-                    format!("{}", if taken { "taken" } else { "not-taken" })
+                    (if taken { "taken" } else { "not-taken" }).to_string()
                 }
                 TraceOp::Jump { target } => format!("-> {target}"),
-                TraceOp::Sync(s) => format!(
-                    "addr={:#x} wait={} access={}",
-                    s.addr, s.wait, s.access
-                ),
+                TraceOp::Sync(s) => {
+                    format!("addr={:#x} wait={} access={}", s.addr, s.wait, s.access)
+                }
             };
             out.push_str(&format!("{:8}  {:<28} {}\n", e.pc, text, note));
         }

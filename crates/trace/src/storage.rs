@@ -218,7 +218,7 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, DecodeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use lookahead_isa::rng::XorShift64;
 
     fn roundtrip(trace: &Trace) -> Trace {
         let mut buf = Vec::new();
@@ -315,53 +315,56 @@ mod tests {
         ));
     }
 
-    fn arb_sync_kind() -> impl Strategy<Value = SyncKind> {
-        prop_oneof![
-            Just(SyncKind::Lock),
-            Just(SyncKind::Unlock),
-            Just(SyncKind::Barrier),
-            Just(SyncKind::WaitEvent),
-            Just(SyncKind::SetEvent),
-        ]
+    const SYNC_KINDS: [SyncKind; 5] = [
+        SyncKind::Lock,
+        SyncKind::Unlock,
+        SyncKind::Barrier,
+        SyncKind::WaitEvent,
+        SyncKind::SetEvent,
+    ];
+
+    fn gen_entry(rng: &mut XorShift64) -> TraceEntry {
+        let nonzero_u32 = |rng: &mut XorShift64| (rng.next_u64() as u32).max(1);
+        let op = match rng.next_below(6) {
+            0 => TraceOp::Compute,
+            1 => TraceOp::Load(MemAccess {
+                addr: rng.next_u64(),
+                miss: rng.next_bool(),
+                latency: nonzero_u32(rng),
+            }),
+            2 => TraceOp::Store(MemAccess {
+                addr: rng.next_u64(),
+                miss: rng.next_bool(),
+                latency: nonzero_u32(rng),
+            }),
+            3 => TraceOp::Branch {
+                taken: rng.next_bool(),
+                target: rng.next_u64() as u32,
+            },
+            4 => TraceOp::Jump {
+                target: rng.next_u64() as u32,
+            },
+            _ => TraceOp::Sync(SyncAccess {
+                kind: *rng.choose(&SYNC_KINDS),
+                addr: rng.next_u64(),
+                wait: rng.next_u64() as u32,
+                access: nonzero_u32(rng),
+            }),
+        };
+        TraceEntry {
+            pc: rng.next_u64() as u32,
+            op,
+        }
     }
 
-    fn arb_entry() -> impl Strategy<Value = TraceEntry> {
-        let op = prop_oneof![
-            Just(TraceOp::Compute),
-            (any::<u64>(), any::<bool>(), 1u32..).prop_map(|(addr, miss, latency)| {
-                TraceOp::Load(MemAccess {
-                    addr,
-                    miss,
-                    latency,
-                })
-            }),
-            (any::<u64>(), any::<bool>(), 1u32..).prop_map(|(addr, miss, latency)| {
-                TraceOp::Store(MemAccess {
-                    addr,
-                    miss,
-                    latency,
-                })
-            }),
-            (any::<bool>(), any::<u32>())
-                .prop_map(|(taken, target)| TraceOp::Branch { taken, target }),
-            any::<u32>().prop_map(|target| TraceOp::Jump { target }),
-            (arb_sync_kind(), any::<u64>(), any::<u32>(), 1u32..).prop_map(
-                |(kind, addr, wait, access)| TraceOp::Sync(SyncAccess {
-                    kind,
-                    addr,
-                    wait,
-                    access,
-                })
-            ),
-        ];
-        (any::<u32>(), op).prop_map(|(pc, op)| TraceEntry { pc, op })
-    }
-
-    proptest! {
-        #[test]
-        fn arbitrary_traces_roundtrip(entries in proptest::collection::vec(arb_entry(), 0..200)) {
+    #[test]
+    fn arbitrary_traces_roundtrip() {
+        let mut rng = XorShift64::seed_from_u64(0xF1);
+        for case in 0..128 {
+            let len = rng.range_usize(200);
+            let entries: Vec<TraceEntry> = (0..len).map(|_| gen_entry(&mut rng)).collect();
             let t = Trace::from_entries(entries);
-            prop_assert_eq!(roundtrip(&t), t);
+            assert_eq!(roundtrip(&t), t, "case {case}");
         }
     }
 }

@@ -44,6 +44,10 @@ use lookahead_isa::interp::FlatMemory;
 use lookahead_isa::program::DataImage;
 use lookahead_isa::Program;
 
+/// A final-memory self-check: returns a description of the first
+/// mismatch against the reference computation on failure.
+pub type VerifyFn = Box<dyn Fn(&FlatMemory) -> Result<(), String> + Send + Sync>;
+
 /// A workload compiled to SRISC, ready to hand to the multiprocessor
 /// simulator, with a self-check against a Rust reference computation.
 pub struct BuiltWorkload {
@@ -52,8 +56,7 @@ pub struct BuiltWorkload {
     /// Initial shared memory contents.
     pub image: DataImage,
     /// Verifies the final shared memory against the reference result.
-    /// Returns a description of the first mismatch on failure.
-    pub verify: Box<dyn Fn(&FlatMemory) -> Result<(), String> + Send + Sync>,
+    pub verify: VerifyFn,
 }
 
 impl std::fmt::Debug for BuiltWorkload {

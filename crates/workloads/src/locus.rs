@@ -23,9 +23,8 @@
 
 use crate::{BuiltWorkload, Workload};
 use lookahead_isa::program::DataImage;
+use lookahead_isa::rng::XorShift64;
 use lookahead_isa::{AluOp, Assembler, BranchCond, IntReg};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Globals block layout (byte offsets).
 const G_LOCK: i64 = 0;
@@ -95,17 +94,16 @@ impl Locus {
     }
 
     fn wire_list(&self) -> Vec<Wire> {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = XorShift64::seed_from_u64(self.seed);
         (0..self.wires)
             .map(|_| {
                 // Standard-cell wires are mostly short and horizontal:
                 // pick a span of bounded width.
-                let x1 = rng.gen_range(0..self.cols as i64);
+                let x1 = rng.range_i64(0, self.cols as i64);
                 let span = (self.cols as i64 / 4).max(2);
-                let x2 = (x1 + rng.gen_range(-span..=span))
-                    .clamp(0, self.cols as i64 - 1);
-                let y1 = rng.gen_range(0..self.rows as i64);
-                let y2 = rng.gen_range(0..self.rows as i64);
+                let x2 = (x1 + rng.range_i64_inclusive(-span, span)).clamp(0, self.cols as i64 - 1);
+                let y1 = rng.range_i64(0, self.rows as i64);
+                let y2 = rng.range_i64(0, self.rows as i64);
                 Wire { x1, y1, x2, y2 }
             })
             .collect()
@@ -290,7 +288,7 @@ impl Workload for Locus {
             b.load(R::S5, R::S6, 24); // y2
             walk(b, true, false, R::T6); // sum horizontal-first
             walk(b, false, false, R::T7); // sum vertical-first
-            // Choose the cheaper path (ties go horizontal) and mark it.
+                                          // Choose the cheaper path (ties go horizontal) and mark it.
             b.if_then_else(
                 BranchCond::Le,
                 R::T6,
@@ -369,9 +367,7 @@ impl Workload for Locus {
                 }
                 let total = mem.read_i64(globals + G_TOTAL_COST as u64);
                 if total != *ref_total {
-                    return Err(format!(
-                        "total cost {total} != reference {ref_total}"
-                    ));
+                    return Err(format!("total cost {total} != reference {ref_total}"));
                 }
             }
             Ok(())
@@ -434,10 +430,7 @@ mod tests {
             .traces
             .iter()
             .flat_map(|t| t.iter())
-            .filter(|e| {
-                e.sync_access()
-                    .is_some_and(|s| s.kind == SyncKind::Lock)
-            })
+            .filter(|e| e.sync_access().is_some_and(|s| s.kind == SyncKind::Lock))
             .count() as u64;
         assert_eq!(locks, 40, "one lock acquisition per routed wire");
     }

@@ -190,9 +190,7 @@ impl Workload for Lu {
                     let got = mem.read_f64(matrix + ((j * n + i) as u64) * 8);
                     let want = expect[j * n + i];
                     if got.to_bits() != want.to_bits() {
-                        return Err(format!(
-                            "A[{i}][{j}]: simulated {got} != reference {want}"
-                        ));
+                        return Err(format!("A[{i}][{j}]: simulated {got} != reference {want}"));
                     }
                 }
             }

@@ -25,9 +25,8 @@
 
 use crate::{BuiltWorkload, Workload};
 use lookahead_isa::program::DataImage;
+use lookahead_isa::rng::XorShift64;
 use lookahead_isa::{Assembler, BranchCond, FpCmpOp, FpReg, FpuOp, IntReg};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Words per particle record (x, y, z, vx, vy, vz, 2 words pad).
 const PARTICLE_WORDS: usize = 8;
@@ -95,19 +94,23 @@ impl Mp3d {
     }
 
     fn initial_particles(&self) -> Vec<Particle> {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
-        let dims = [self.space.0 as f64, self.space.1 as f64, self.space.2 as f64];
+        let mut rng = XorShift64::seed_from_u64(self.seed);
+        let dims = [
+            self.space.0 as f64,
+            self.space.1 as f64,
+            self.space.2 as f64,
+        ];
         (0..self.particles)
             .map(|_| Particle {
                 pos: [
-                    rng.gen_range(0.0..dims[0]),
-                    rng.gen_range(0.0..dims[1]),
-                    rng.gen_range(0.0..dims[2]),
+                    rng.range_f64(0.0, dims[0]),
+                    rng.range_f64(0.0, dims[1]),
+                    rng.range_f64(0.0, dims[2]),
                 ],
                 vel: [
-                    rng.gen_range(-0.7..0.7),
-                    rng.gen_range(-0.7..0.7),
-                    rng.gen_range(-0.7..0.7),
+                    rng.range_f64(-0.7, 0.7),
+                    rng.range_f64(-0.7, 0.7),
+                    rng.range_f64(-0.7, 0.7),
                 ],
             })
             .collect()
@@ -138,8 +141,7 @@ impl Mp3d {
                     }
                     cell_coord[a] = c;
                 }
-                let idx = ((cell_coord[2] * dims[1] as i64 + cell_coord[1])
-                    * dims[0] as i64
+                let idx = ((cell_coord[2] * dims[1] as i64 + cell_coord[1]) * dims[0] as i64
                     + cell_coord[0]) as usize;
                 cells[idx][0] += 1;
                 for a in 0..3 {
@@ -271,7 +273,7 @@ impl Workload for Mp3d {
                 b.addi(R::T4, R::T4, 1);
                 b.store(R::T4, R::T3, 0);
                 b.mv(R::S5, R::T4); // keep the occupancy we observed
-                // momentum accumulators (quantized)
+                                    // momentum accumulators (quantized)
                 for (axis, vel) in [(0i64, F::F3), (1, F::F4), (2, F::F5)] {
                     b.fmul(F::F6, vel, F::F9);
                     b.fp_to_int(R::T4, F::F6);
@@ -292,14 +294,24 @@ impl Workload for Mp3d {
                 b.alu_imm(lookahead_isa::AluOp::Srl, R::T5, R::T5, 5);
                 b.muli(R::T4, R::S5, 7);
                 b.add(R::T4, R::T4, R::T5);
-                b.alu_imm(lookahead_isa::AluOp::Rem, R::T4, R::T4, self.num_cells() as i64);
+                b.alu_imm(
+                    lookahead_isa::AluOp::Rem,
+                    R::T4,
+                    R::T4,
+                    self.num_cells() as i64,
+                );
                 b.muli(R::T4, R::T4, (CELL_WORDS * 8) as i64);
                 b.add(R::T4, R::G1, R::T4);
                 b.load(R::T5, R::T4, 0);
                 b.add(R::S6, R::S6, R::T5);
                 // Second link of the chain: the next probe's address
                 // depends on the first probe's value.
-                b.alu_imm(lookahead_isa::AluOp::Rem, R::T4, R::S6, self.num_cells() as i64);
+                b.alu_imm(
+                    lookahead_isa::AluOp::Rem,
+                    R::T4,
+                    R::S6,
+                    self.num_cells() as i64,
+                );
                 b.muli(R::T4, R::T4, (CELL_WORDS * 8) as i64);
                 b.add(R::T4, R::G1, R::T4);
                 b.load(R::T5, R::T4, 8);
@@ -357,20 +369,16 @@ impl Workload for Mp3d {
                 let base = cells_base + (c * CELL_WORDS * 8) as u64;
                 let count = mem.read_i64(base);
                 if exact_cells {
-                    for w in 0..4 {
+                    for (w, &want) in want.iter().enumerate() {
                         let got = mem.read_i64(base + (w * 8) as u64);
-                        if got != want[w] {
+                        if got != want {
                             return Err(format!(
-                                "cell {c} word {w}: simulated {got} != reference {}",
-                                want[w]
+                                "cell {c} word {w}: simulated {got} != reference {want}"
                             ));
                         }
                     }
                 } else if count < 0 || count > want[0] {
-                    return Err(format!(
-                        "cell {c} count {count} outside [0, {}]",
-                        want[0]
-                    ));
+                    return Err(format!("cell {c} count {count} outside [0, {}]", want[0]));
                 }
                 total_count += count;
             }

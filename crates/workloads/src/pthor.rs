@@ -28,9 +28,8 @@
 
 use crate::{BuiltWorkload, Workload};
 use lookahead_isa::program::DataImage;
+use lookahead_isa::rng::XorShift64;
 use lookahead_isa::{AluOp, Assembler, BranchCond, IntReg};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Gate type codes stored in the netlist.
 const T_AND: i64 = 0;
@@ -126,7 +125,7 @@ impl Pthor {
     /// feedback).
     fn netlist(&self) -> Vec<Gate> {
         assert!(self.inputs >= 2 && self.gates > self.inputs + 2);
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = XorShift64::seed_from_u64(self.seed);
         let mut gates = Vec::with_capacity(self.gates);
         for _ in 0..self.inputs {
             gates.push(Gate {
@@ -136,10 +135,10 @@ impl Pthor {
             });
         }
         for g in self.inputs..self.gates {
-            let is_dff = rng.gen_range(0..100) < self.dff_percent;
+            let is_dff = rng.percent(self.dff_percent as u32);
             if is_dff {
                 // Any other gate may feed a flip-flop (feedback ok).
-                let mut in0 = rng.gen_range(0..self.gates as i64);
+                let mut in0 = rng.range_i64(0, self.gates as i64);
                 if in0 == g as i64 {
                     in0 = (in0 + 1) % self.gates as i64;
                 }
@@ -149,12 +148,12 @@ impl Pthor {
                     in1: -1,
                 });
             } else {
-                let ty = rng.gen_range(0..5);
-                let in0 = rng.gen_range(0..g as i64);
+                let ty = rng.range_i64(0, 5);
+                let in0 = rng.range_i64(0, g as i64);
                 let in1 = if ty == T_NOT {
                     -1
                 } else {
-                    rng.gen_range(0..g as i64)
+                    rng.range_i64(0, g as i64)
                 };
                 gates.push(Gate { ty, in0, in1 });
             }
@@ -203,8 +202,16 @@ impl Pthor {
         let mut out = vec![0i64; netlist.len()];
         for (g, gate) in netlist.iter().enumerate() {
             if gate.ty != T_INPUT && gate.ty != T_DFF {
-                let v0 = if gate.in0 >= 0 { out[gate.in0 as usize] } else { 0 };
-                let v1 = if gate.in1 >= 0 { out[gate.in1 as usize] } else { 0 };
+                let v0 = if gate.in0 >= 0 {
+                    out[gate.in0 as usize]
+                } else {
+                    0
+                };
+                let v1 = if gate.in1 >= 0 {
+                    out[gate.in1 as usize]
+                } else {
+                    0
+                };
                 out[g] = Self::eval(gate.ty, v0, v1);
             }
         }
@@ -229,8 +236,16 @@ impl Pthor {
             // strictly earlier gates.
             for (g, gate) in netlist.iter().enumerate() {
                 if gate.ty != T_INPUT && gate.ty != T_DFF {
-                    let v0 = if gate.in0 >= 0 { out[gate.in0 as usize] } else { 0 };
-                    let v1 = if gate.in1 >= 0 { out[gate.in1 as usize] } else { 0 };
+                    let v0 = if gate.in0 >= 0 {
+                        out[gate.in0 as usize]
+                    } else {
+                        0
+                    };
+                    let v1 = if gate.in1 >= 0 {
+                        out[gate.in1 as usize]
+                    } else {
+                        0
+                    };
                     out[g] = Self::eval(gate.ty, v0, v1);
                 }
             }
@@ -477,13 +492,7 @@ impl Workload for Pthor {
             });
             // T6 = eval(type, T4, T5) — chained type dispatch.
             let dispatch_done = b.label();
-            for (code, emit) in [
-                (T_AND, 0),
-                (T_OR, 1),
-                (T_XOR, 2),
-                (T_NAND, 3),
-                (T_NOT, 4),
-            ] {
+            for (code, emit) in [(T_AND, 0), (T_OR, 1), (T_XOR, 2), (T_NAND, 3), (T_NOT, 4)] {
                 let skip = b.label();
                 b.li(R::T7, code);
                 b.branch(BranchCond::Ne, R::T1, R::T7, skip);
@@ -593,8 +602,16 @@ mod tests {
         let before = out.clone();
         for (g, gate) in netlist.iter().enumerate() {
             if gate.ty != T_INPUT && gate.ty != T_DFF {
-                let v0 = if gate.in0 >= 0 { out[gate.in0 as usize] } else { 0 };
-                let v1 = if gate.in1 >= 0 { out[gate.in1 as usize] } else { 0 };
+                let v0 = if gate.in0 >= 0 {
+                    out[gate.in0 as usize]
+                } else {
+                    0
+                };
+                let v1 = if gate.in1 >= 0 {
+                    out[gate.in1 as usize]
+                } else {
+                    0
+                };
                 out[g] = Pthor::eval(gate.ty, v0, v1);
             }
         }

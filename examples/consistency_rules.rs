@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
 
     println!("micro-trace: W(miss) R(miss) ACQ R(miss) W(miss) REL\n");
-    println!("{:<6} {:>12} {:>12}", "model", "SSBR cycles", "DS-64 cycles");
+    println!(
+        "{:<6} {:>12} {:>12}",
+        "model", "SSBR cycles", "DS-64 cycles"
+    );
     for model in ConsistencyModel::ALL {
         let ssbr = InOrder::ssbr(model).run(&program, &trace);
         let ds = Ds::new(DsConfig::with_model(model).window(64)).run(&program, &trace);

@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         b.index_word(R::T0, R::G0, R::S0);
         b.load(R::T1, R::T0, 0); // value
         b.alu_imm(AluOp::Rem, R::T2, R::T1, BUCKETS); // bucket
-        // lock the bucket's region
+                                                      // lock the bucket's region
         b.alu_imm(AluOp::Div, R::T3, R::T2, BUCKETS / REGIONS);
         b.muli(R::T3, R::T3, 16);
         b.add(R::T3, R::G2, R::T3);

@@ -16,8 +16,8 @@ use lookahead_core::prefetch::{PrefetchConfig, WithPrefetch};
 use lookahead_core::ConsistencyModel;
 use lookahead_harness::pipeline::AppRun;
 use lookahead_multiproc::SimConfig;
-use lookahead_schedule::optimize_program;
 use lookahead_multiproc::Simulator;
+use lookahead_schedule::optimize_program;
 use lookahead_trace::Trace;
 use lookahead_workloads::App;
 
@@ -38,8 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         base.cycles()
     );
 
-    let pct =
-        |c: u64| -> String { format!("{:6.1}", c as f64 * 100.0 / base.cycles() as f64) };
+    let pct = |c: u64| -> String { format!("{:6.1}", c as f64 * 100.0 / base.cycles() as f64) };
     let report = |name: &str, cycles: u64, note: &str| {
         println!("{name:<26} {} {note}", pct(cycles));
     };
@@ -90,7 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     (built.verify)(&out.final_memory).expect("optimized program still correct");
     let t = out.trace(out.busiest_proc());
     let r = Ds::new(DsConfig::rc().window(16)).run(&optimized, t);
-    report("compiler sched + DS W=16", r.cycles(), "(unroll x4 + reschedule)");
+    report(
+        "compiler sched + DS W=16",
+        r.cycles(),
+        "(unroll x4 + reschedule)",
+    );
 
     println!("\nLower is better; every row tolerates the same 50-cycle misses.");
     Ok(())

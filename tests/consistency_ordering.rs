@@ -8,25 +8,28 @@ use lookahead_core::ds::{Ds, DsConfig};
 use lookahead_core::inorder::InOrder;
 use lookahead_core::model::ProcessorModel;
 use lookahead_core::ConsistencyModel;
+use lookahead_isa::rng::XorShift64;
 use lookahead_isa::{Assembler, IntReg, Program, SyncKind};
 use lookahead_trace::{MemAccess, SyncAccess, Trace, TraceEntry, TraceOp};
-use proptest::prelude::*;
 
 /// A random but well-formed (program, trace) pair: every trace entry
 /// has a matching instruction so register dependences resolve.
 /// Locks alternate acquire/release to stay balanced.
-fn arb_workload() -> impl Strategy<Value = (Program, Trace)> {
-    // Each step: (op selector, address word 0..64, latency miss?, reg selector)
-    proptest::collection::vec((0u8..8, 0u64..64, any::<bool>(), 0u8..4), 1..120).prop_map(
-        |steps| {
+fn gen_workload(rng: &mut XorShift64) -> (Program, Trace) {
+    let steps = rng.range_usize(119) + 1;
+    {
+        {
             let mut a = Assembler::new();
             let mut entries = Vec::new();
-            let mut pc = 0u32;
             let mut lock_held = false;
             let regs = [IntReg::T1, IntReg::T2, IntReg::T3, IntReg::T4];
-            for (op, word, miss, reg) in steps {
+            for pc in 0..steps as u32 {
+                // Each step: op selector, address word, miss?, register.
+                let op = rng.next_below(8);
+                let word = rng.next_below(64);
+                let miss = rng.next_bool();
                 let addr = word * 8;
-                let r = regs[reg as usize];
+                let r = *rng.choose(&regs);
                 let lat = |m: bool| if m { 50 } else { 1 };
                 match op {
                     0..=2 => {
@@ -78,12 +81,11 @@ fn arb_workload() -> impl Strategy<Value = (Program, Trace)> {
                         });
                     }
                 }
-                pc += 1;
             }
             if lock_held {
                 a.unlock(IntReg::G1, 0);
                 entries.push(TraceEntry {
-                    pc,
+                    pc: steps as u32,
                     op: TraceOp::Sync(SyncAccess {
                         kind: SyncKind::Unlock,
                         addr: 1024,
@@ -94,15 +96,15 @@ fn arb_workload() -> impl Strategy<Value = (Program, Trace)> {
             }
             a.halt();
             (a.assemble().unwrap(), Trace::from_entries(entries))
-        },
-    )
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn in_order_model_hierarchy((program, trace) in arb_workload()) {
+#[test]
+fn in_order_model_hierarchy() {
+    let mut rng = XorShift64::seed_from_u64(0xD1);
+    for case in 0..64 {
+        let (program, trace) = gen_workload(&mut rng);
         let run = |m: ConsistencyModel| InOrder::ssbr(m).run(&program, &trace).cycles();
         let (sc, pc, wo, rc) = (
             run(ConsistencyModel::Sc),
@@ -110,14 +112,18 @@ proptest! {
             run(ConsistencyModel::Wo),
             run(ConsistencyModel::Rc),
         );
-        prop_assert!(pc <= sc, "PC {pc} > SC {sc}");
-        prop_assert!(wo <= sc, "WO {wo} > SC {sc}");
-        prop_assert!(rc <= wo, "RC {rc} > WO {wo}");
-        prop_assert!(rc <= pc, "RC {rc} > PC {pc}");
+        assert!(pc <= sc, "case {case}: PC {pc} > SC {sc}");
+        assert!(wo <= sc, "case {case}: WO {wo} > SC {sc}");
+        assert!(rc <= wo, "case {case}: RC {rc} > WO {wo}");
+        assert!(rc <= pc, "case {case}: RC {rc} > PC {pc}");
     }
+}
 
-    #[test]
-    fn nothing_beats_ignoring_all_constraints((program, trace) in arb_workload()) {
+#[test]
+fn nothing_beats_ignoring_all_constraints() {
+    let mut rng = XorShift64::seed_from_u64(0xD2);
+    for case in 0..64 {
+        let (program, trace) = gen_workload(&mut rng);
         // The fully unconstrained DS run is a lower bound for every
         // real configuration.
         let floor = Ds::new(DsConfig {
@@ -139,43 +145,67 @@ proptest! {
                 // forces the full recorded miss latency) — a known
                 // trace-driven artifact; plus pipeline-boundary ties.
                 let slack = 4 + floor / 16;
-                prop_assert!(c + slack >= floor, "{model} w{w}: {c} < floor {floor}");
+                assert!(
+                    c + slack >= floor,
+                    "case {case}: {model} w{w}: {c} < floor {floor}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn base_is_an_upper_bound_for_in_order_models((program, trace) in arb_workload()) {
+#[test]
+fn base_is_an_upper_bound_for_in_order_models() {
+    let mut rng = XorShift64::seed_from_u64(0xD3);
+    for case in 0..64 {
+        let (program, trace) = gen_workload(&mut rng);
         let base = Base.run(&program, &trace).cycles();
         for model in ConsistencyModel::ALL {
             let c = InOrder::ssbr(model).run(&program, &trace).cycles();
-            prop_assert!(c <= base, "SSBR/{model} {c} > BASE {base}");
+            assert!(c <= base, "case {case}: SSBR/{model} {c} > BASE {base}");
         }
     }
+}
 
-    #[test]
-    fn breakdowns_account_all_models((program, trace) in arb_workload()) {
+#[test]
+fn breakdowns_account_all_models() {
+    let mut rng = XorShift64::seed_from_u64(0xD4);
+    for case in 0..64 {
+        let (program, trace) = gen_workload(&mut rng);
         let n = trace.len() as u64;
         for model in ConsistencyModel::ALL {
             for m in [InOrder::ssbr(model), InOrder::ss(model)] {
                 let r = m.run(&program, &trace);
-                prop_assert_eq!(r.breakdown.busy, n);
-                prop_assert_eq!(r.stats.instructions, n);
+                assert_eq!(r.breakdown.busy, n, "case {case}");
+                assert_eq!(r.stats.instructions, n, "case {case}");
             }
             let r = Ds::new(DsConfig::with_model(model).window(32)).run(&program, &trace);
-            prop_assert_eq!(r.stats.instructions, n);
-            prop_assert_eq!(r.breakdown.busy, n + r.stats.fetch_stall_cycles);
+            assert_eq!(r.stats.instructions, n, "case {case}");
+            assert_eq!(
+                r.breakdown.busy,
+                n + r.stats.fetch_stall_cycles,
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn ds_windows_weakly_monotone((program, trace) in arb_workload()) {
+#[test]
+fn ds_windows_weakly_monotone() {
+    let mut rng = XorShift64::seed_from_u64(0xD5);
+    for case in 0..64 {
+        let (program, trace) = gen_workload(&mut rng);
         let mut last = u64::MAX;
         for w in [16, 32, 64, 128, 256] {
-            let c = Ds::new(DsConfig::rc().window(w)).run(&program, &trace).cycles();
+            let c = Ds::new(DsConfig::rc().window(w))
+                .run(&program, &trace)
+                .cycles();
             // Tiny slack: stall-attribution ties can produce one-off
             // differences in either direction.
-            prop_assert!(c <= last.saturating_add(last / 64), "w{w}: {c} > {last}");
+            assert!(
+                c <= last.saturating_add(last / 64),
+                "case {case}: w{w}: {c} > {last}"
+            );
             last = c;
         }
     }

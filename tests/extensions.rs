@@ -95,10 +95,7 @@ fn contexts_overlap_real_workload_misses() {
         together.cycles()
     );
     assert!(together.stats.context_switches > 0);
-    assert_eq!(
-        together.stats.instructions,
-        (a.len() + b.len()) as u64
-    );
+    assert_eq!(together.stats.instructions, (a.len() + b.len()) as u64);
 }
 
 /// §7 conjecture end to end: the optimized OCEAN program still

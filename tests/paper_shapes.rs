@@ -185,13 +185,8 @@ fn higher_latency_needs_bigger_windows() {
         grids: 4,
         steps: 2,
     };
-    let (run100, _) = lookahead_harness::experiments::latency_sweep(
-        &w,
-        &config(),
-        100,
-        &[],
-    )
-    .unwrap();
+    let (run100, _) =
+        lookahead_harness::experiments::latency_sweep(&w, &config(), 100, &[]).unwrap();
     let c = |win: usize| {
         Ds::new(DsConfig::rc().window(win))
             .run(&run100.program, &run100.trace)
@@ -211,9 +206,8 @@ fn higher_latency_needs_bigger_windows() {
 #[test]
 fn summary_trend_matches_paper() {
     let runs: Vec<AppRun> = App::ALL.into_iter().map(generate).collect();
-    let avg = |w: usize| {
-        runs.iter().map(|r| read_latency_hidden(r, w)).sum::<f64>() / runs.len() as f64
-    };
+    let avg =
+        |w: usize| runs.iter().map(|r| read_latency_hidden(r, w)).sum::<f64>() / runs.len() as f64;
     let (h16, h32, h64) = (avg(16), avg(32), avg(64));
     assert!(h16 < h32, "not increasing: {h16} {h32} {h64}");
     assert!(h32 < h64, "not increasing: {h16} {h32} {h64}");

@@ -21,8 +21,7 @@ fn small_config() -> SimConfig {
 
 fn generate(app: App) -> AppRun {
     let w = app.small_workload();
-    AppRun::generate(w.as_ref(), &small_config())
-        .unwrap_or_else(|e| panic!("{app}: {e}"))
+    AppRun::generate(w.as_ref(), &small_config()).unwrap_or_else(|e| panic!("{app}: {e}"))
 }
 
 #[test]
@@ -93,7 +92,10 @@ fn relaxing_the_model_never_hurts() {
         assert!(rc_in <= pc_in, "{app}: RC {rc_in} > PC {pc_in} (in-order)");
         assert!(rc_in <= wo_in, "{app}: RC {rc_in} > WO {wo_in} (in-order)");
         assert!(pc_ds <= sc_ds, "{app}: PC {pc_ds} > SC {sc_ds} (DS)");
-        assert!(rc_ds <= pc_ds + pc_ds / 50, "{app}: RC {rc_ds} >> PC {pc_ds} (DS)");
+        assert!(
+            rc_ds <= pc_ds + pc_ds / 50,
+            "{app}: RC {rc_ds} >> PC {pc_ds} (DS)"
+        );
     }
 }
 
@@ -175,7 +177,9 @@ fn representative_trace_statistics_are_plausible() {
             stats.data.reads > 0 && stats.data.writes > 0,
             "{app}: no data references"
         );
-        let refs_per_k = stats.data.per_thousand(stats.data.reads + stats.data.writes);
+        let refs_per_k = stats
+            .data
+            .per_thousand(stats.data.reads + stats.data.writes);
         assert!(
             refs_per_k > 50.0 && refs_per_k < 600.0,
             "{app}: implausible reference rate {refs_per_k}"

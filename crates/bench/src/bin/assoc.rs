@@ -7,55 +7,10 @@
 //!
 //! Run with `cargo run --release -p lookahead-bench --bin assoc`.
 
-use lookahead_bench::config_from_env;
-use lookahead_harness::format::render_table;
-use lookahead_harness::pipeline::AppRun;
-use lookahead_memsys::CacheConfig;
-use lookahead_multiproc::SimConfig;
-use lookahead_trace::TraceStats;
-use lookahead_workloads::App;
+use lookahead_bench::{reports, Runner};
 
 fn main() {
-    let base = config_from_env();
-    let mut rows = vec![vec![
-        "Program".to_string(),
-        "cache".to_string(),
-        "ways".to_string(),
-        "read misses".to_string(),
-        "write misses".to_string(),
-    ]];
-    for app in [App::Lu, App::Mp3d] {
-        for (size, ways) in [(64 * 1024, 1), (64 * 1024, 4), (4 * 1024, 1), (4 * 1024, 4)] {
-            let workload = if std::env::var("LOOKAHEAD_SMALL").is_ok() {
-                app.small_workload()
-            } else {
-                app.default_workload()
-            };
-            let config = SimConfig {
-                cache: CacheConfig {
-                    size_bytes: size,
-                    line_bytes: 16,
-                    ways,
-                },
-                ..base
-            };
-            let run = AppRun::generate(workload.as_ref(), &config)
-                .unwrap_or_else(|e| panic!("{app}: {e}"));
-            let stats = TraceStats::collect(&run.trace, None);
-            rows.push(vec![
-                run.app.clone(),
-                format!("{}KB", size / 1024),
-                ways.to_string(),
-                stats.data.read_misses.to_string(),
-                stats.data.write_misses.to_string(),
-            ]);
-        }
-    }
-    println!(
-        "Associativity sweep (representative processor's misses). At the\n\
-         paper's 64KB, higher associativity changes little — misses are\n\
-         communication, as §3.3 claims; at 4KB, conflicts appear and 4-way\n\
-         removes a chunk of them."
-    );
-    println!("{}", render_table(&rows));
+    let runner = Runner::from_env();
+    print!("{}", reports::assoc_report(&runner));
+    runner.report_cache_stats();
 }

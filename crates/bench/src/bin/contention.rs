@@ -11,60 +11,10 @@
 //!
 //! Run with `cargo run --release -p lookahead-bench --bin contention`.
 
-use lookahead_bench::config_from_env;
-use lookahead_core::base::Base;
-use lookahead_core::ds::{Ds, DsConfig};
-use lookahead_core::model::ProcessorModel;
-use lookahead_harness::format::render_table;
-use lookahead_harness::pipeline::AppRun;
-use lookahead_multiproc::SimConfig;
-use lookahead_workloads::App;
+use lookahead_bench::{reports, Runner};
 
 fn main() {
-    let base_config = config_from_env();
-    let mut rows = vec![vec![
-        "Program".to_string(),
-        "bandwidth".to_string(),
-        "BASE cycles".to_string(),
-        "DS-64/RC".to_string(),
-        "read hidden".to_string(),
-    ]];
-    for app in [App::Ocean, App::Mp3d] {
-        for bandwidth in [None, Some(8), Some(4), Some(2)] {
-            let workload = if std::env::var("LOOKAHEAD_SMALL").is_ok() {
-                app.small_workload()
-            } else {
-                app.default_workload()
-            };
-            let config = SimConfig {
-                memory_bandwidth: bandwidth,
-                ..base_config
-            };
-            let run = AppRun::generate(workload.as_ref(), &config)
-                .unwrap_or_else(|e| panic!("{app}: {e}"));
-            let base = Base.run(&run.program, &run.trace);
-            let ds = Ds::new(DsConfig::rc().window(64)).run(&run.program, &run.trace);
-            let hidden = ds
-                .breakdown
-                .read_latency_hidden_vs(&base.breakdown)
-                .unwrap_or(1.0);
-            rows.push(vec![
-                run.app.clone(),
-                bandwidth.map_or("inf".to_string(), |b| b.to_string()),
-                base.cycles().to_string(),
-                format!("{:.1}", ds.breakdown.normalized_to(&base.breakdown)),
-                format!("{:.0}%", hidden * 100.0),
-            ]);
-        }
-    }
-    println!(
-        "Memory-bandwidth sensitivity (concurrent misses serviced across 16\n\
-         processors; 'inf' = the paper's contention-free assumption)"
-    );
-    println!("{}", render_table(&rows));
-    println!(
-        "As bandwidth drops, queueing inflates observed miss latencies:\n\
-         BASE slows down and the 64-entry window covers a smaller share of\n\
-         the (now longer) stalls — the direction of the paper's caveat."
-    );
+    let runner = Runner::from_env();
+    print!("{}", reports::contention_report(&runner));
+    runner.report_cache_stats();
 }

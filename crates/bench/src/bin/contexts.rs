@@ -12,51 +12,11 @@
 //!
 //! Run with `cargo run --release -p lookahead-bench --bin contexts`.
 
-use lookahead_bench::{config_from_env, generate_all_runs};
-use lookahead_core::base::Base;
-use lookahead_core::contexts::Contexts;
-use lookahead_core::ds::{Ds, DsConfig};
-use lookahead_core::model::ProcessorModel;
-use lookahead_harness::format::render_table;
-use lookahead_trace::Trace;
+use lookahead_bench::{reports, Runner};
 
 fn main() {
-    let config = config_from_env();
-    let runs = generate_all_runs(&config);
-    let mut rows = vec![vec![
-        "Program".to_string(),
-        "MC x1".to_string(),
-        "MC x2".to_string(),
-        "MC x4".to_string(),
-        "DS-16".to_string(),
-        "DS-64".to_string(),
-    ]];
-    for run in &runs {
-        let base = Base.run(&run.program, &run.trace);
-        // Multiple contexts: interleave k traces (starting from the
-        // representative) and report per-context cost relative to the
-        // representative's BASE time.
-        let mc = |k: usize| {
-            let picked: Vec<&Trace> = (0..k)
-                .map(|i| &run.all_traces[(run.proc + i) % run.all_traces.len()])
-                .collect();
-            let r = Contexts::default().run_traces(&picked);
-            // Per-context cycles normalized to one BASE run.
-            format!(
-                "{:.1}",
-                r.breakdown.total() as f64 / k as f64 * 100.0 / base.breakdown.total() as f64
-            )
-        };
-        let ds = |w: usize| {
-            let r = Ds::new(DsConfig::rc().window(w)).run(&run.program, &run.trace);
-            format!("{:.1}", r.breakdown.normalized_to(&base.breakdown))
-        };
-        rows.push(vec![run.app.clone(), mc(1), mc(2), mc(4), ds(16), ds(64)]);
-    }
-    println!(
-        "Multiple hardware contexts (blocked multithreading, 10-cycle switch)\n\
-         vs dynamic scheduling; per-context execution time normalized to\n\
-         BASE = 100 (lower is better)"
-    );
-    println!("{}", render_table(&rows));
+    let runner = Runner::from_env();
+    let runs = runner.run_all();
+    print!("{}", reports::contexts_report(&runs));
+    runner.report_cache_stats();
 }

@@ -6,44 +6,8 @@
 //!
 //! Run with `cargo run --release -p lookahead-bench --bin figure1`.
 
-use lookahead_core::consistency::{ConsistencyModel, MemOpKind};
+use lookahead_bench::reports;
 
 fn main() {
-    println!("Figure 1 — ordering restrictions on memory accesses\n");
-    for model in ConsistencyModel::ALL {
-        println!("{}", model.rule_table());
-    }
-
-    // The figure's example: which of the numbered accesses
-    //   1:W  2:R  3:acquire  4:R  5:W  6:release  7:R
-    // may be overlapped (no must-wait edge) under each model?
-    let seq = [
-        (1, MemOpKind::Write),
-        (2, MemOpKind::Read),
-        (3, MemOpKind::Acquire),
-        (4, MemOpKind::Read),
-        (5, MemOpKind::Write),
-        (6, MemOpKind::Release),
-        (7, MemOpKind::Read),
-    ];
-    println!("overlappable pairs in  1:W 2:R 3:acq 4:R 5:W 6:rel 7:R");
-    for model in ConsistencyModel::ALL {
-        let mut free = Vec::new();
-        for i in 0..seq.len() {
-            for j in i + 1..seq.len() {
-                if !model.must_wait_for(seq[i].1, seq[j].1) {
-                    free.push(format!("{}-{}", seq[i].0, seq[j].0));
-                }
-            }
-        }
-        println!(
-            "  {:<3} {}",
-            model.abbrev(),
-            if free.is_empty() {
-                "none (fully serial)".to_string()
-            } else {
-                free.join(" ")
-            }
-        );
-    }
+    print!("{}", reports::figure1_report());
 }

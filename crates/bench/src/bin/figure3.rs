@@ -4,30 +4,16 @@
 //!
 //! Run with `cargo run --release -p lookahead-bench --bin figure3`.
 
-use lookahead_bench::{config_from_env, generate_all_runs};
-use lookahead_harness::experiments::{figure3, PAPER_WINDOWS};
-use lookahead_harness::format::render_figure;
+use lookahead_bench::{reports, Runner};
 
 fn main() {
-    let config = config_from_env();
+    let runner = Runner::from_env();
     eprintln!(
         "Figure 3: {} processors, {}-cycle miss penalty",
-        config.num_procs, config.mem.miss_penalty
+        runner.config().num_procs,
+        runner.config().mem.miss_penalty
     );
-    let runs = generate_all_runs(&config);
-    for run in &runs {
-        let cols = figure3(run, &PAPER_WINDOWS);
-        println!(
-            "{}",
-            render_figure(
-                &format!(
-                    "Figure 3 — {} (trace: {} instructions, processor {})",
-                    run.app,
-                    run.trace.len(),
-                    run.proc
-                ),
-                &cols
-            )
-        );
-    }
+    let runs = runner.run_all();
+    print!("{}", reports::figure3_report(&runs, runner.workers()));
+    runner.report_cache_stats();
 }

@@ -4,29 +4,16 @@
 //!
 //! Run with `cargo run --release -p lookahead-bench --bin figure4`.
 
-use lookahead_bench::{config_from_env, generate_all_runs};
-use lookahead_harness::experiments::{figure4, PAPER_WINDOWS};
-use lookahead_harness::format::render_figure;
+use lookahead_bench::{reports, Runner};
 
 fn main() {
-    let config = config_from_env();
+    let runner = Runner::from_env();
     eprintln!(
         "Figure 4: RC, {} processors, {}-cycle miss penalty",
-        config.num_procs, config.mem.miss_penalty
+        runner.config().num_procs,
+        runner.config().mem.miss_penalty
     );
-    let runs = generate_all_runs(&config);
-    for run in &runs {
-        let cols = figure4(run, &PAPER_WINDOWS);
-        println!(
-            "{}",
-            render_figure(
-                &format!(
-                    "Figure 4 — {} (bp = perfect branch prediction; \
-                     bp+nd = also ignoring data dependences)",
-                    run.app
-                ),
-                &cols
-            )
-        );
-    }
+    let runs = runner.run_all();
+    print!("{}", reports::figure4_report(&runs, runner.workers()));
+    runner.report_cache_stats();
 }

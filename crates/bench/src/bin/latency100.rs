@@ -6,28 +6,10 @@
 //!
 //! Run with `cargo run --release -p lookahead-bench --bin latency100`.
 
-use lookahead_bench::config_from_env;
-use lookahead_harness::experiments::{latency_sweep, PAPER_WINDOWS};
-use lookahead_harness::format::render_figure;
-use lookahead_workloads::App;
+use lookahead_bench::{reports, Runner};
 
 fn main() {
-    let config = config_from_env();
-    for app in App::ALL {
-        let workload = app.default_workload();
-        for penalty in [50u32, 100] {
-            let (run, cols) = latency_sweep(workload.as_ref(), &config, penalty, &PAPER_WINDOWS)
-                .unwrap_or_else(|e| panic!("{app}: {e}"));
-            println!(
-                "{}",
-                render_figure(
-                    &format!(
-                        "{} — {}-cycle miss penalty (RC, DS sweep)",
-                        run.app, penalty
-                    ),
-                    &cols
-                )
-            );
-        }
-    }
+    let runner = Runner::from_env();
+    print!("{}", reports::latency100_report(&runner));
+    runner.report_cache_stats();
 }

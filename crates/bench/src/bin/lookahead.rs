@@ -1,0 +1,222 @@
+//! Unified experiment driver: regenerate any subset of the paper's
+//! tables and figures in one process, generating (or cache-loading)
+//! each application trace exactly once.
+//!
+//! ```text
+//! cargo run --release -p lookahead-bench --bin lookahead -- summary figure3
+//! cargo run --release -p lookahead-bench --bin lookahead -- all
+//! ```
+//!
+//! Each report's stdout is byte-identical to the standalone binary of
+//! the same name (`cargo run --bin summary`, ...); the driver adds
+//! shared trace generation, the content-addressed trace cache and the
+//! parallel re-timing pool on top. Progress, timings and cache
+//! accounting go to stderr; report text goes to stdout.
+//!
+//! Options:
+//!
+//! ```text
+//! --cache-dir DIR   cache traces under DIR (default: target/trace-cache,
+//!                   or the LOOKAHEAD_CACHE environment variable)
+//! --no-cache        disable the trace cache
+//! --jobs N          worker threads (default: LOOKAHEAD_JOBS or all cores)
+//! --obs-out DIR     write observability artifacts under DIR
+//! -h, --help        show this help
+//! ```
+//!
+//! Environment: `LOOKAHEAD_SMALL=1`, `LOOKAHEAD_PAPER=1`,
+//! `LOOKAHEAD_PROCS=n`, `LOOKAHEAD_APPS=LU,MP3D`,
+//! `LOOKAHEAD_CACHE=DIR|off`, `LOOKAHEAD_JOBS=n`.
+
+use lookahead_bench::{cache_from_env_or, config_from_env, reports, Runner, SizeTier};
+use lookahead_harness::cache::TraceCache;
+use lookahead_harness::parallel;
+use lookahead_harness::pipeline::AppRun;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Reports that re-time the shared application runs.
+const SHARED: &[&str] = &[
+    "figure3",
+    "figure4",
+    "summary",
+    "table1",
+    "table2",
+    "table3",
+    "miss_delay",
+    "multi_issue",
+    "sc_boost",
+    "prefetch",
+    "contexts",
+];
+
+/// Reports that generate their own memory-system variants (still
+/// through the runner's cache) or need no runs at all.
+const STANDALONE: &[&str] = &["figure1", "latency100", "assoc", "contention", "sched"];
+
+const DEFAULT_CACHE_DIR: &str = "target/trace-cache";
+
+const USAGE: &str = "usage: lookahead [OPTIONS] REPORT [REPORT ...]
+
+Regenerates the requested tables and figures, generating or
+cache-loading each application trace exactly once per process.
+
+reports:
+  figure1 figure3 figure4 summary table1 table2 table3 miss_delay
+  multi_issue sc_boost prefetch contexts latency100 assoc contention
+  sched, or `all` for every one of them
+
+options:
+  --cache-dir DIR  cache traces under DIR (default: target/trace-cache,
+                   or the LOOKAHEAD_CACHE environment variable)
+  --no-cache       disable the trace cache
+  --jobs N         worker threads (default: LOOKAHEAD_JOBS or all cores)
+  --obs-out DIR    write per-run observability artifacts under DIR
+  -h, --help       show this help
+
+environment: LOOKAHEAD_SMALL=1, LOOKAHEAD_PAPER=1, LOOKAHEAD_PROCS=n,
+LOOKAHEAD_APPS=LU,MP3D, LOOKAHEAD_CACHE=DIR|off, LOOKAHEAD_JOBS=n";
+
+struct Options {
+    reports: Vec<String>,
+    cache_dir: Option<String>,
+    no_cache: bool,
+    jobs: Option<usize>,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        reports: Vec::new(),
+        cache_dir: None,
+        no_cache: false,
+        jobs: None,
+    };
+    let known: Vec<&str> = SHARED.iter().chain(STANDALONE).copied().collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--no-cache" => opts.no_cache = true,
+            "--cache-dir" => opts.cache_dir = Some(value(&mut it, "--cache-dir")?),
+            "--jobs" => {
+                opts.jobs = Some(parallel::parse_jobs(&value(&mut it, "--jobs")?)?);
+            }
+            "--obs-out" => {
+                // Consumed here, parsed by obs_out_dir() from argv.
+                value(&mut it, "--obs-out")?;
+            }
+            _ => {
+                if let Some(v) = a.strip_prefix("--cache-dir=") {
+                    opts.cache_dir = Some(v.to_string());
+                } else if let Some(v) = a.strip_prefix("--jobs=") {
+                    opts.jobs = Some(parallel::parse_jobs(v)?);
+                } else if a.strip_prefix("--obs-out=").is_some() {
+                    // Parsed by obs_out_dir().
+                } else if a == "all" {
+                    for r in &known {
+                        if !opts.reports.iter().any(|x| x == r) {
+                            opts.reports.push((*r).to_string());
+                        }
+                    }
+                } else if known.contains(&a.as_str()) {
+                    if !opts.reports.contains(a) {
+                        opts.reports.push(a.clone());
+                    }
+                } else {
+                    return Err(format!("unknown report or option {a:?}"));
+                }
+            }
+        }
+    }
+    if opts.reports.is_empty() {
+        return Err("no reports requested".to_string());
+    }
+    Ok(Some(opts))
+}
+
+fn cache_for(opts: &Options) -> Option<TraceCache> {
+    if opts.no_cache {
+        return None;
+    }
+    match &opts.cache_dir {
+        Some(dir) => Some(TraceCache::new(dir.clone())),
+        None => cache_from_env_or(Some(DEFAULT_CACHE_DIR)),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(o)) => o,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let workers = opts.jobs.unwrap_or_else(parallel::default_workers);
+    let runner = Runner::new(
+        config_from_env(),
+        SizeTier::from_env(),
+        cache_for(&opts),
+        workers,
+    );
+    eprintln!(
+        "lookahead: {} processors, {}-cycle miss penalty, tier {}, {} workers, cache {}",
+        runner.config().num_procs,
+        runner.config().mem.miss_penalty,
+        runner.tier().name(),
+        runner.workers(),
+        if runner.cache_enabled() { "on" } else { "off" },
+    );
+
+    let total = Instant::now();
+    // The shared application runs, generated (or cache-loaded) at most
+    // once per process, lazily on the first report that needs them.
+    let mut shared_runs: Option<Vec<AppRun>> = None;
+    macro_rules! shared {
+        () => {
+            shared_runs
+                .get_or_insert_with(|| runner.run_all())
+                .as_slice()
+        };
+    }
+
+    for name in &opts.reports {
+        let started = Instant::now();
+        let text = match name.as_str() {
+            "figure1" => reports::figure1_report(),
+            "figure3" => reports::figure3_report(shared!(), workers),
+            "figure4" => reports::figure4_report(shared!(), workers),
+            "summary" => reports::summary_report(shared!(), workers),
+            "table1" => reports::table1_report(shared!(), runner.config().num_procs),
+            "table2" => reports::table2_report(shared!(), runner.config().num_procs),
+            "table3" => reports::table3_report(shared!()),
+            "miss_delay" => reports::miss_delay_report(shared!()),
+            "multi_issue" => reports::multi_issue_report(shared!(), workers),
+            "sc_boost" => reports::sc_boost_report(shared!(), workers),
+            "prefetch" => reports::prefetch_report(shared!()),
+            "contexts" => reports::contexts_report(shared!()),
+            "latency100" => reports::latency100_report(&runner),
+            "assoc" => reports::assoc_report(&runner),
+            "contention" => reports::contention_report(&runner),
+            "sched" => reports::sched_report(&runner),
+            other => unreachable!("unvalidated report {other}"),
+        };
+        print!("{text}");
+        eprintln!("{name}: {:.2}s", started.elapsed().as_secs_f64());
+    }
+
+    runner.report_cache_stats();
+    eprintln!("total: {:.2}s", total.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

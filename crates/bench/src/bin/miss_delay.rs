@@ -9,35 +9,11 @@
 //!
 //! Run with `cargo run --release -p lookahead-bench --bin miss_delay`.
 
-use lookahead_bench::{config_from_env, generate_all_runs};
-use lookahead_harness::experiments::miss_delay;
-use lookahead_harness::format::render_table;
+use lookahead_bench::{reports, Runner};
 
 fn main() {
-    let config = config_from_env();
-    let runs = generate_all_runs(&config);
-    let mut rows = vec![vec![
-        "Program".to_string(),
-        "read misses".to_string(),
-        "mean delay".to_string(),
-        "> 10 cycles".to_string(),
-        "> 40 cycles".to_string(),
-        "> 50 cycles".to_string(),
-    ]];
-    for run in &runs {
-        let d = miss_delay(run, 64);
-        rows.push(vec![
-            run.app.clone(),
-            d.misses.to_string(),
-            format!("{:.1}", d.mean),
-            format!("{:.1}%", d.over_10 * 100.0),
-            format!("{:.1}%", d.over_40 * 100.0),
-            format!("{:.1}%", d.over_50 * 100.0),
-        ]);
-    }
-    println!(
-        "Read-miss issue delay, decode to memory issue (DS-64, RC, perfect\n\
-         branch prediction) — the paper's §4.1.3 dependence-chain diagnostic"
-    );
-    println!("{}", render_table(&rows));
+    let runner = Runner::from_env();
+    let runs = runner.run_all();
+    print!("{}", reports::miss_delay_report(&runs));
+    runner.report_cache_stats();
 }

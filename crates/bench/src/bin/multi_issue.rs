@@ -7,39 +7,11 @@
 //!
 //! Run with `cargo run --release -p lookahead-bench --bin multi_issue`.
 
-use lookahead_bench::{config_from_env, generate_all_runs};
-use lookahead_core::ds::{Ds, DsConfig};
-use lookahead_core::model::ProcessorModel;
-use lookahead_core::ConsistencyModel;
-use lookahead_harness::experiments::{multi_issue, PAPER_WINDOWS};
-use lookahead_harness::format::render_figure;
+use lookahead_bench::{reports, Runner};
 
 fn main() {
-    let config = config_from_env();
-    let runs = generate_all_runs(&config);
-    for run in &runs {
-        let cols = multi_issue(run, &PAPER_WINDOWS);
-        println!(
-            "{}",
-            render_figure(&format!("{} — 4-wide issue under RC", run.app), &cols)
-        );
-        // The paper also observes the RC:SC gain is larger 4-wide.
-        let gain = |width: usize, model: ConsistencyModel| {
-            let r = Ds::new(DsConfig {
-                issue_width: width,
-                ..DsConfig::with_model(model).window(128)
-            })
-            .run(&run.program, &run.trace);
-            r.breakdown.total()
-        };
-        let sc1 = gain(1, ConsistencyModel::Sc) as f64;
-        let rc1 = gain(1, ConsistencyModel::Rc) as f64;
-        let sc4 = gain(4, ConsistencyModel::Sc) as f64;
-        let rc4 = gain(4, ConsistencyModel::Rc) as f64;
-        println!(
-            "  RC speedup over SC at window 128: {:.2}x single-issue, {:.2}x 4-wide\n",
-            sc1 / rc1,
-            sc4 / rc4
-        );
-    }
+    let runner = Runner::from_env();
+    let runs = runner.run_all();
+    print!("{}", reports::multi_issue_report(&runs, runner.workers()));
+    runner.report_cache_stats();
 }

@@ -11,48 +11,11 @@
 //!
 //! Run with `cargo run --release -p lookahead-bench --bin prefetch`.
 
-use lookahead_bench::{config_from_env, generate_all_runs};
-use lookahead_core::base::Base;
-use lookahead_core::ds::{Ds, DsConfig};
-use lookahead_core::inorder::InOrder;
-use lookahead_core::model::ProcessorModel;
-use lookahead_core::prefetch::{PrefetchConfig, StridePrefetcher};
-use lookahead_core::ConsistencyModel;
-use lookahead_harness::format::render_table;
+use lookahead_bench::{reports, Runner};
 
 fn main() {
-    let config = config_from_env();
-    let runs = generate_all_runs(&config);
-    let mut rows = vec![vec![
-        "Program".to_string(),
-        "misses covered".to_string(),
-        "SSBR".to_string(),
-        "SSBR+rpt".to_string(),
-        "DS-64".to_string(),
-    ]];
-    for run in &runs {
-        let (covered_trace, stats) =
-            StridePrefetcher::new(PrefetchConfig::default()).cover(&run.trace);
-        let base = Base.run(&run.program, &run.trace);
-        let norm = |r: &lookahead_core::ExecutionResult| {
-            format!("{:.1}", r.breakdown.normalized_to(&base.breakdown))
-        };
-        let ssbr = InOrder::ssbr(ConsistencyModel::Rc);
-        let plain = ssbr.run(&run.program, &run.trace);
-        let with_pf = ssbr.run(&run.program, &covered_trace);
-        let ds = Ds::new(DsConfig::rc().window(64)).run(&run.program, &run.trace);
-        rows.push(vec![
-            run.app.clone(),
-            format!("{:.0}%", stats.coverage() * 100.0),
-            norm(&plain),
-            norm(&with_pf),
-            norm(&ds),
-        ]);
-    }
-    println!(
-        "Baer–Chen stride prefetching (512-entry RPT) vs dynamic scheduling\n\
-         (execution time normalized to BASE = 100; the paper's §6 predicts\n\
-         prefetching helps LU/OCEAN but not MP3D/PTHOR/LOCUS)"
-    );
-    println!("{}", render_table(&rows));
+    let runner = Runner::from_env();
+    let runs = runner.run_all();
+    print!("{}", reports::prefetch_report(&runs));
+    runner.report_cache_stats();
 }

@@ -11,57 +11,11 @@
 //!
 //! Run with `cargo run --release -p lookahead-bench --bin sc_boost`.
 
-use lookahead_bench::{config_from_env, generate_all_runs};
-use lookahead_core::base::Base;
-use lookahead_core::ds::{Ds, DsConfig};
-use lookahead_core::model::ProcessorModel;
-use lookahead_core::ConsistencyModel;
-use lookahead_harness::format::render_table;
+use lookahead_bench::{reports, Runner};
 
 fn main() {
-    let config = config_from_env();
-    let runs = generate_all_runs(&config);
-    let mut rows = vec![vec![
-        "Program".to_string(),
-        "SC".to_string(),
-        "SC+pf".to_string(),
-        "SC+spec".to_string(),
-        "SC+both".to_string(),
-        "PC".to_string(),
-        "PC+both".to_string(),
-        "RC".to_string(),
-    ]];
-    for run in &runs {
-        let base = Base.run(&run.program, &run.trace);
-        let norm = |model: ConsistencyModel, pf: bool, spec: bool| {
-            let r = Ds::new(DsConfig {
-                nonbinding_prefetch: pf,
-                speculative_loads: spec,
-                ..DsConfig::with_model(model).window(64)
-            })
-            .run(&run.program, &run.trace);
-            format!("{:.1}", r.breakdown.normalized_to(&base.breakdown))
-        };
-        use ConsistencyModel::{Pc, Rc, Sc};
-        rows.push(vec![
-            run.app.clone(),
-            norm(Sc, false, false),
-            norm(Sc, true, false),
-            norm(Sc, false, true),
-            norm(Sc, true, true),
-            norm(Pc, false, false),
-            norm(Pc, true, true),
-            norm(Rc, false, false),
-        ]);
-    }
-    println!(
-        "SC/PC boosting techniques of [Gharachorloo et al., ICPP'91] on the\n\
-         DS-64 processor (execution time normalized to BASE = 100)"
-    );
-    println!("{}", render_table(&rows));
-    println!(
-        "pf = non-binding prefetch for consistency-delayed loads;\n\
-         spec = speculative load execution (best case: no rollbacks in\n\
-         trace-driven re-timing). RC is the relaxed-model reference."
-    );
+    let runner = Runner::from_env();
+    let runs = runner.run_all();
+    print!("{}", reports::sc_boost_report(&runs, runner.workers()));
+    runner.report_cache_stats();
 }

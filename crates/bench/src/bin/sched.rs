@@ -11,90 +11,9 @@
 //!
 //! Run with `cargo run --release -p lookahead-bench --bin sched`.
 
-use lookahead_bench::config_from_env;
-use lookahead_core::base::Base;
-use lookahead_core::ds::{Ds, DsConfig};
-use lookahead_core::inorder::InOrder;
-use lookahead_core::model::ProcessorModel;
-use lookahead_core::ConsistencyModel;
-use lookahead_harness::format::render_table;
-use lookahead_isa::Program;
-use lookahead_multiproc::{SimConfig, Simulator};
-use lookahead_schedule::optimize_program;
-use lookahead_trace::Trace;
-use lookahead_workloads::App;
-
-fn trace_of(program: Program, app: App, config: &SimConfig) -> (Program, Trace) {
-    let built = if std::env::var("LOOKAHEAD_SMALL").is_ok() {
-        app.small_workload().build(config.num_procs)
-    } else {
-        app.default_workload().build(config.num_procs)
-    };
-    let out = Simulator::new(program.clone(), built.image, *config)
-        .unwrap()
-        .run()
-        .unwrap_or_else(|e| panic!("{app}: {e}"));
-    (built.verify)(&out.final_memory).unwrap_or_else(|e| panic!("{app}: {e}"));
-    let p = out.busiest_proc();
-    (program, out.traces[p].clone())
-}
+use lookahead_bench::{reports, Runner};
 
 fn main() {
-    let config = config_from_env();
-    let mut rows = vec![vec![
-        "Program".to_string(),
-        "hoist/unroll".to_string(),
-        "SS".to_string(),
-        "SS+sched".to_string(),
-        "DS-16".to_string(),
-        "DS-16+sched".to_string(),
-        "DS-64".to_string(),
-    ]];
-    for app in App::ALL {
-        let workload = if std::env::var("LOOKAHEAD_SMALL").is_ok() {
-            app.small_workload()
-        } else {
-            app.default_workload()
-        };
-        let original = workload.build(config.num_procs).program;
-        let (scheduled, stats, ustats) = optimize_program(&original, 4);
-        let (orig_p, orig_t) = trace_of(original, app, &config);
-        let (sched_p, sched_t) = trace_of(scheduled, app, &config);
-        let base = Base.run(&orig_p, &orig_t);
-        let norm = |p: &Program, t: &Trace, m: &dyn ProcessorModel| {
-            format!(
-                "{:.1}",
-                m.run(p, t).breakdown.normalized_to(&base.breakdown)
-            )
-        };
-        let ss = InOrder::ss(ConsistencyModel::Rc);
-        let ds16 = Ds::new(DsConfig::rc().window(16));
-        let ds64 = Ds::new(DsConfig::rc().window(64));
-        rows.push(vec![
-            app.name().to_string(),
-            format!("{}/{}", stats.loads_hoisted, ustats.loops_unrolled),
-            norm(&orig_p, &orig_t, &ss),
-            norm(&sched_p, &sched_t, &ss),
-            norm(&orig_p, &orig_t, &ds16),
-            norm(&sched_p, &sched_t, &ds16),
-            norm(&orig_p, &orig_t, &ds64),
-        ]);
-        eprintln!(
-            "  {} done ({} loads hoisted, {} loops unrolled, {} defs renamed)",
-            app.name(),
-            stats.loads_hoisted,
-            ustats.loops_unrolled,
-            stats.defs_renamed
-        );
-    }
-    println!(
-        "Compiler load scheduling (RC-legal, basic-block) — the paper's §7\n\
-         conjecture (execution time normalized to the unscheduled BASE = 100)"
-    );
-    println!("{}", render_table(&rows));
-    println!(
-        "Pipeline: unroll x4 -> local register renaming -> per-block list\n\
-         scheduling (loads first). All transformed programs re-verify\n\
-         against the workload references before being timed."
-    );
+    let runner = Runner::from_env();
+    print!("{}", reports::sched_report(&runner));
 }

@@ -5,33 +5,11 @@
 //!
 //! Run with `cargo run --release -p lookahead-bench --bin summary`.
 
-use lookahead_bench::{config_from_env, generate_all_runs};
-use lookahead_harness::experiments::{read_latency_hidden, read_latency_hidden_summary};
-use lookahead_harness::format::render_table;
+use lookahead_bench::{reports, Runner};
 
 fn main() {
-    let config = config_from_env();
-    let runs = generate_all_runs(&config);
-    let windows = [16, 32, 64, 128, 256];
-
-    let mut rows = vec![{
-        let mut h = vec!["Program".to_string()];
-        h.extend(windows.iter().map(|w| format!("W={w}")));
-        h
-    }];
-    for run in &runs {
-        let mut row = vec![run.app.clone()];
-        for &w in &windows {
-            row.push(format!("{:.0}%", read_latency_hidden(run, w) * 100.0));
-        }
-        rows.push(row);
-    }
-    let summary = read_latency_hidden_summary(&runs, &windows);
-    let mut avg = vec!["AVERAGE".to_string()];
-    avg.extend(summary.iter().map(|(_, pct)| format!("{pct:.0}%")));
-    rows.push(avg);
-
-    println!("Percentage of read latency hidden (DS under RC vs BASE)");
-    println!("{}", render_table(&rows));
-    println!("Paper (§7, 50-cycle latency): 33% at W=16, 63% at W=32, 81% at W=64.");
+    let runner = Runner::from_env();
+    let runs = runner.run_all();
+    print!("{}", reports::summary_report(&runs, runner.workers()));
+    runner.report_cache_stats();
 }

@@ -3,33 +3,14 @@
 //!
 //! Run with `cargo run --release -p lookahead-bench --bin table1`.
 
-use lookahead_bench::{config_from_env, generate_all_runs};
-use lookahead_harness::experiments::table1;
-use lookahead_harness::format::{count_with_rate, render_table};
+use lookahead_bench::{reports, Runner};
 
 fn main() {
-    let config = config_from_env();
-    let runs = generate_all_runs(&config);
-    let mut rows = vec![vec![
-        "Program".to_string(),
-        "Busy Cycles".to_string(),
-        "reads (/k)".to_string(),
-        "writes (/k)".to_string(),
-        "read misses (/k)".to_string(),
-        "write misses (/k)".to_string(),
-    ]];
-    for run in &runs {
-        let t = table1(run);
-        rows.push(vec![
-            run.app.clone(),
-            t.busy_cycles.to_string(),
-            count_with_rate(t.reads, t.busy_cycles),
-            count_with_rate(t.writes, t.busy_cycles),
-            count_with_rate(t.read_misses, t.busy_cycles),
-            count_with_rate(t.write_misses, t.busy_cycles),
-        ]);
-    }
-    println!("Table 1 — Statistics on data references");
-    println!("(single representative processor of {})", config.num_procs);
-    println!("{}", render_table(&rows));
+    let runner = Runner::from_env();
+    let runs = runner.run_all();
+    print!(
+        "{}",
+        reports::table1_report(&runs, runner.config().num_procs)
+    );
+    runner.report_cache_stats();
 }

@@ -5,40 +5,14 @@
 //!
 //! Run with `cargo run --release -p lookahead-bench --bin table2`.
 
-use lookahead_bench::{config_from_env, generate_all_runs};
-use lookahead_harness::experiments::table2;
-use lookahead_harness::format::render_table;
+use lookahead_bench::{reports, Runner};
 
 fn main() {
-    let config = config_from_env();
-    let runs = generate_all_runs(&config);
-    let mut rows = vec![vec![
-        "Program".to_string(),
-        "locks".to_string(),
-        "unlocks".to_string(),
-        "wait event".to_string(),
-        "set event".to_string(),
-        "barriers".to_string(),
-        "hidable acquire %".to_string(),
-    ]];
-    for run in &runs {
-        let t = table2(run);
-        rows.push(vec![
-            run.app.clone(),
-            t.locks.to_string(),
-            t.unlocks.to_string(),
-            t.wait_events.to_string(),
-            t.set_events.to_string(),
-            t.barriers.to_string(),
-            format!("{:.1}", t.hidable_acquire_fraction() * 100.0),
-        ]);
-    }
-    println!("Table 2 — Statistics on synchronization");
-    println!("(single representative processor of {})", config.num_procs);
-    println!("{}", render_table(&rows));
-    println!(
-        "The last column is the fraction of acquire overhead that is memory\n\
-         access latency (hidable); the paper reports ~30% for PTHOR and\n\
-         ~0% elsewhere (§4.1.2)."
+    let runner = Runner::from_env();
+    let runs = runner.run_all();
+    print!(
+        "{}",
+        reports::table2_report(&runs, runner.config().num_procs)
     );
+    runner.report_cache_stats();
 }

@@ -3,33 +3,11 @@
 //!
 //! Run with `cargo run --release -p lookahead-bench --bin table3`.
 
-use lookahead_bench::{config_from_env, generate_all_runs};
-use lookahead_harness::experiments::table3;
-use lookahead_harness::format::render_table;
+use lookahead_bench::{reports, Runner};
 
 fn main() {
-    let config = config_from_env();
-    let runs = generate_all_runs(&config);
-    let mut rows = vec![vec![
-        "Program".to_string(),
-        "% of instructions".to_string(),
-        "avg distance".to_string(),
-        "% predicted".to_string(),
-        "mispredict distance".to_string(),
-    ]];
-    for run in &runs {
-        let t = table3(run);
-        rows.push(vec![
-            run.app.clone(),
-            format!("{:.1}%", t.branch_percent()),
-            format!("{:.1}", t.avg_branch_distance()),
-            format!("{:.1}%", t.predicted_percent().unwrap_or(100.0)),
-            format!(
-                "{:.1}",
-                t.avg_mispredict_distance().unwrap_or(f64::INFINITY)
-            ),
-        ]);
-    }
-    println!("Table 3 — Statistics on branch behaviour (2048-entry 4-way BTB)");
-    println!("{}", render_table(&rows));
+    let runner = Runner::from_env();
+    let runs = runner.run_all();
+    print!("{}", reports::table3_report(&runs));
+    runner.report_cache_stats();
 }

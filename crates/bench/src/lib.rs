@@ -1,69 +1,184 @@
 //! Shared plumbing for the table/figure regeneration binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
-//! paper (see `DESIGN.md` for the index). They share the trace
-//! generation here: all five applications at their default sizes on
-//! 16 processors with the paper's memory system.
+//! paper (see `DESIGN.md` for the index); the unified `lookahead`
+//! driver regenerates any subset of them in one process. They all
+//! share the same library path: a [`Runner`] owns the simulation
+//! configuration, the workload size tier, the optional
+//! content-addressed trace cache and the worker count, and the
+//! [`reports`] module renders each table or figure to a string — so
+//! the driver and the per-report binaries produce byte-identical
+//! output by construction.
 //!
 //! Environment knobs (useful when iterating):
 //!
 //! * `LOOKAHEAD_SMALL=1` — use the unit-test workload sizes;
+//! * `LOOKAHEAD_PAPER=1` — use the paper's published sizes;
 //! * `LOOKAHEAD_PROCS=n` — simulate `n` processors instead of 16;
 //! * `LOOKAHEAD_APPS=LU,MP3D` — restrict to a subset of applications;
+//! * `LOOKAHEAD_CACHE=DIR` — cache generated traces under `DIR`
+//!   (`off`/`0`/`none` disables; the driver defaults to
+//!   `target/trace-cache`, the per-report binaries to no cache);
+//! * `LOOKAHEAD_JOBS=n` — worker threads for generation and re-timing
+//!   (`1` forces the serial path; output is identical either way);
 //! * `--obs-out DIR` (or `LOOKAHEAD_OBS_OUT=DIR`) — write per-run
 //!   observability artifacts (manifest, event journal, Chrome trace)
 //!   under `DIR`. Event/counter capture needs the `obs` cargo feature;
 //!   without it the artifacts are written but mostly empty.
+//!
+//! A malformed knob is a hard error (exit code 2), never a silent
+//! fallback: a typo in `LOOKAHEAD_PROCS` must not quietly run the
+//! wrong experiment.
 
+pub mod reports;
+
+use lookahead_harness::cache::{load_or_generate, CacheOutcome, TraceCache};
+use lookahead_harness::parallel;
 use lookahead_harness::pipeline::AppRun;
 use lookahead_multiproc::SimConfig;
-use lookahead_workloads::App;
+use lookahead_workloads::{App, Workload};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+/// Parses a `LOOKAHEAD_PROCS` value.
+///
+/// # Errors
+///
+/// Returns a descriptive message when the value is not a positive
+/// integer.
+pub fn parse_procs(v: &str) -> Result<usize, String> {
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "LOOKAHEAD_PROCS must be a positive integer (processor count), got {v:?}"
+        )),
+    }
+}
+
+/// Parses a `LOOKAHEAD_APPS` value into applications, preserving the
+/// paper's order and dropping duplicates.
+///
+/// # Errors
+///
+/// Returns a descriptive message naming the first unknown application,
+/// or complaining that the list selects nothing.
+pub fn parse_apps(list: &str) -> Result<Vec<App>, String> {
+    let valid = App::ALL.map(|a| a.name());
+    let mut wanted = Vec::new();
+    for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match App::ALL
+            .into_iter()
+            .find(|a| a.name().eq_ignore_ascii_case(name))
+        {
+            Some(app) => {
+                if !wanted.contains(&app) {
+                    wanted.push(app);
+                }
+            }
+            None => {
+                return Err(format!(
+                    "LOOKAHEAD_APPS: unknown application {name:?}; valid names: {valid:?}"
+                ))
+            }
+        }
+    }
+    if wanted.is_empty() {
+        return Err(format!(
+            "LOOKAHEAD_APPS={list:?} selects no applications; valid names: {valid:?}"
+        ));
+    }
+    Ok(wanted)
+}
+
+fn fail_fast<T>(result: Result<T, String>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
 /// Parses the environment knobs into a simulation configuration.
+/// Exits with code 2 on a malformed `LOOKAHEAD_PROCS`.
 pub fn config_from_env() -> SimConfig {
     let mut config = SimConfig::default();
     if let Ok(p) = std::env::var("LOOKAHEAD_PROCS") {
-        if let Ok(n) = p.parse::<usize>() {
-            config.num_procs = n.max(1);
-        }
+        config.num_procs = fail_fast(parse_procs(&p));
     }
     config
 }
 
-fn selected_apps() -> Vec<App> {
+/// The applications selected by `LOOKAHEAD_APPS` (all five by
+/// default). Exits with code 2 on an unknown name.
+pub fn selected_apps() -> Vec<App> {
     match std::env::var("LOOKAHEAD_APPS") {
-        Ok(list) => {
-            let wanted: Vec<String> = list
-                .split(',')
-                .map(|s| s.trim().to_uppercase())
-                .filter(|s| !s.is_empty())
-                .collect();
-            App::ALL
-                .into_iter()
-                .filter(|a| wanted.iter().any(|w| w == a.name()))
-                .collect()
-        }
+        Ok(list) => fail_fast(parse_apps(&list)),
         Err(_) => App::ALL.to_vec(),
     }
 }
 
-fn small() -> bool {
-    std::env::var("LOOKAHEAD_SMALL").is_ok_and(|v| v != "0")
+/// Which workload size every application runs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeTier {
+    /// Unit-test sizes (`LOOKAHEAD_SMALL=1`).
+    Small,
+    /// The experiment-harness defaults.
+    Default,
+    /// The paper's published sizes (`LOOKAHEAD_PAPER=1`).
+    Paper,
 }
 
-fn paper() -> bool {
-    std::env::var("LOOKAHEAD_PAPER").is_ok_and(|v| v != "0")
+impl SizeTier {
+    /// Reads the tier from the environment; `LOOKAHEAD_SMALL` wins
+    /// over `LOOKAHEAD_PAPER`.
+    pub fn from_env() -> SizeTier {
+        let on = |k: &str| std::env::var(k).is_ok_and(|v| v != "0");
+        if on("LOOKAHEAD_SMALL") {
+            SizeTier::Small
+        } else if on("LOOKAHEAD_PAPER") {
+            SizeTier::Paper
+        } else {
+            SizeTier::Default
+        }
+    }
+
+    /// The tier's name as spelled into cache keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            SizeTier::Small => "small",
+            SizeTier::Default => "default",
+            SizeTier::Paper => "paper",
+        }
+    }
+
+    /// The application's workload at this tier.
+    pub fn workload(self, app: App) -> Box<dyn Workload + Send + Sync> {
+        match self {
+            SizeTier::Small => app.small_workload(),
+            SizeTier::Default => app.default_workload(),
+            SizeTier::Paper => app.paper_workload(),
+        }
+    }
 }
 
-fn sized_workload(app: App) -> Box<dyn lookahead_workloads::Workload + Send + Sync> {
-    if small() {
-        app.small_workload()
-    } else if paper() {
-        app.paper_workload()
-    } else {
-        app.default_workload()
+/// Trace-cache selection from `LOOKAHEAD_CACHE`: unset uses `default`
+/// (the caller's policy), `off`/`0`/`none`/empty disables caching, and
+/// anything else is a cache directory.
+pub fn cache_from_env_or(default: Option<&str>) -> Option<TraceCache> {
+    match std::env::var("LOOKAHEAD_CACHE") {
+        Ok(v) => {
+            let t = v.trim();
+            let off = t.is_empty()
+                || t == "0"
+                || t.eq_ignore_ascii_case("off")
+                || t.eq_ignore_ascii_case("none");
+            if off {
+                None
+            } else {
+                Some(TraceCache::new(t))
+            }
+        }
+        Err(_) => default.map(TraceCache::new),
     }
 }
 
@@ -85,13 +200,14 @@ pub fn obs_out_dir() -> Option<PathBuf> {
 
 /// Flat key/value description of `config` for run manifests.
 pub fn config_kv(config: &SimConfig) -> Vec<(&'static str, String)> {
+    let tier = SizeTier::from_env();
     vec![
         ("num_procs", config.num_procs.to_string()),
         ("hit_latency", config.mem.hit_latency.to_string()),
         ("miss_penalty", config.mem.miss_penalty.to_string()),
         ("write_buffer_depth", config.write_buffer_depth.to_string()),
-        ("small", small().to_string()),
-        ("paper", paper().to_string()),
+        ("small", (tier == SizeTier::Small).to_string()),
+        ("paper", (tier == SizeTier::Paper).to_string()),
         ("obs_feature", cfg!(feature = "obs").to_string()),
     ]
 }
@@ -112,89 +228,200 @@ pub fn write_obs_artifacts(
     }
 }
 
-/// Generates the verified representative trace for every selected
-/// application, in parallel, printing progress to stderr.
+/// Executes trace generation for the experiment suite: one
+/// configuration, one size tier, an optional content-addressed trace
+/// cache and a worker pool, with cache hit/miss accounting.
 ///
-/// # Panics
-///
-/// Panics if any workload fails to simulate or verify — that is a bug
-/// in the simulator stack worth failing loudly on.
-pub fn generate_all_runs(config: &SimConfig) -> Vec<AppRun> {
-    let apps = selected_apps();
-    assert!(
-        !apps.is_empty(),
-        "LOOKAHEAD_APPS={:?} matched no applications; valid names: {:?}",
-        std::env::var("LOOKAHEAD_APPS").unwrap_or_default(),
-        App::ALL.map(|a| a.name())
-    );
-    let obs_dir = obs_out_dir();
-    let handles: Vec<_> = apps
-        .into_iter()
-        .map(|app| {
-            let config = *config;
-            let obs_dir = obs_dir.clone();
-            std::thread::spawn(move || {
-                // The recorder is thread-local, so each app's
-                // generation records in isolation.
-                if obs_dir.is_some() {
-                    lookahead_obs::install(lookahead_obs::Recorder::new(0));
-                }
-                let started = Instant::now();
-                let workload = sized_workload(app);
-                let run = AppRun::generate(workload.as_ref(), &config)
-                    .unwrap_or_else(|e| panic!("{app}: {e}"));
+/// Both the unified `lookahead` driver and the per-report binaries run
+/// everything through a `Runner`, so their output is identical by
+/// construction.
+pub struct Runner {
+    config: SimConfig,
+    tier: SizeTier,
+    cache: Option<TraceCache>,
+    workers: usize,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl Runner {
+    /// A runner with explicit policy (the driver's constructor).
+    pub fn new(
+        config: SimConfig,
+        tier: SizeTier,
+        cache: Option<TraceCache>,
+        workers: usize,
+    ) -> Runner {
+        Runner {
+            config,
+            tier,
+            cache,
+            workers,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// A runner configured entirely from the environment, with **no
+    /// cache unless `LOOKAHEAD_CACHE` is set** — the per-report
+    /// binaries behave exactly as before unless the knob is used.
+    pub fn from_env() -> Runner {
+        Runner::new(
+            config_from_env(),
+            SizeTier::from_env(),
+            cache_from_env_or(None),
+            parallel::default_workers(),
+        )
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The workload size tier.
+    pub fn tier(&self) -> SizeTier {
+        self.tier
+    }
+
+    /// The worker count for generation and re-timing.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether a trace cache is in use.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The applications this runner covers (`LOOKAHEAD_APPS`).
+    pub fn apps(&self) -> Vec<App> {
+        selected_apps()
+    }
+
+    /// Cache accounting so far: (hits, misses).
+    pub fn cache_stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Prints the cache accounting to stderr (silent when no cache is
+    /// configured).
+    pub fn report_cache_stats(&self) {
+        if let Some(c) = &self.cache {
+            let (h, m) = self.cache_stats();
+            eprintln!("trace cache: {h} hits, {m} misses ({})", c.dir().display());
+        }
+    }
+
+    /// One application's run at this runner's tier and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails to simulate or verify — that is a
+    /// bug in the simulator stack worth failing loudly on.
+    pub fn run_app(&self, app: App) -> AppRun {
+        let workload = self.tier.workload(app);
+        self.run_workload(workload.as_ref(), &self.config)
+    }
+
+    /// One workload's run under an explicit configuration (for the
+    /// sweeps that vary the memory system). The configuration is part
+    /// of the cache key, so variants never collide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails to simulate or verify.
+    pub fn run_workload(&self, workload: &dyn Workload, config: &SimConfig) -> AppRun {
+        let obs_dir = obs_out_dir();
+        if obs_dir.is_some() {
+            lookahead_obs::install(lookahead_obs::Recorder::new(0));
+        }
+        let started = Instant::now();
+        let (run, outcome) =
+            load_or_generate(self.cache.as_ref(), workload, self.tier.name(), config)
+                .unwrap_or_else(|e| panic!("{}: {e}", workload.name()));
+        match &outcome {
+            CacheOutcome::Hit => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "  loaded {} trace from cache: {} instructions in {:.2}s",
+                    run.app,
+                    run.trace.len(),
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            CacheOutcome::Generated(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 eprintln!(
                     "  generated {} trace: {} instructions ({} mp cycles) in {:.1}s",
-                    app,
+                    run.app,
                     run.trace.len(),
                     run.mp_cycles,
                     started.elapsed().as_secs_f64()
                 );
-                if let Some(dir) = obs_dir {
-                    if let Some(rec) = lookahead_obs::take() {
-                        write_obs_artifacts(
-                            &dir,
-                            &format!("generate-{app}"),
-                            &config,
-                            &[("mp_cycles", run.mp_cycles.to_string())],
-                            &rec,
-                        );
-                    }
-                }
-                run
-            })
-        })
-        .collect();
-    handles
-        .into_iter()
-        .map(|h| h.join().expect("workload thread"))
-        .collect()
+            }
+        }
+        if let Some(dir) = obs_dir {
+            // Artifacts describe a simulation; a cache hit ran none.
+            if let (Some(rec), CacheOutcome::Generated(_)) = (lookahead_obs::take(), &outcome) {
+                write_obs_artifacts(
+                    &dir,
+                    &format!("generate-{}", run.app),
+                    config,
+                    &[("mp_cycles", run.mp_cycles.to_string())],
+                    &rec,
+                );
+            }
+        }
+        run
+    }
+
+    /// All selected applications' runs, generated on the worker pool
+    /// (each trace exactly once per process).
+    pub fn run_all(&self) -> Vec<AppRun> {
+        let jobs: Vec<_> = self
+            .apps()
+            .into_iter()
+            .map(|app| move || self.run_app(app))
+            .collect();
+        parallel::run_ordered(jobs, self.workers)
+    }
 }
 
-/// Generates one application's run (for single-app binaries).
+/// Generates the verified representative trace for every selected
+/// application, in parallel, printing progress to stderr. Honors
+/// `LOOKAHEAD_CACHE` when set.
+///
+/// # Panics
+///
+/// Panics if any workload fails to simulate or verify.
+pub fn generate_all_runs(config: &SimConfig) -> Vec<AppRun> {
+    Runner::new(
+        *config,
+        SizeTier::from_env(),
+        cache_from_env_or(None),
+        parallel::default_workers(),
+    )
+    .run_all()
+}
+
+/// Generates one application's run (for single-app binaries). Honors
+/// `LOOKAHEAD_CACHE` when set.
 ///
 /// # Panics
 ///
 /// Panics if the workload fails to simulate or verify.
 pub fn generate_run(app: App, config: &SimConfig) -> AppRun {
-    let obs_dir = obs_out_dir();
-    if obs_dir.is_some() {
-        lookahead_obs::install(lookahead_obs::Recorder::new(0));
-    }
-    let workload = sized_workload(app);
-    let run = AppRun::generate(workload.as_ref(), config).unwrap_or_else(|e| panic!("{app}: {e}"));
-    if let Some(dir) = obs_dir {
-        if let Some(rec) = lookahead_obs::take() {
-            write_obs_artifacts(
-                &dir,
-                &format!("generate-{app}"),
-                config,
-                &[("mp_cycles", run.mp_cycles.to_string())],
-                &rec,
-            );
-        }
-    }
-    run
+    Runner::new(
+        *config,
+        SizeTier::from_env(),
+        cache_from_env_or(None),
+        parallel::default_workers(),
+    )
+    .run_app(app)
 }
 
 #[cfg(test)]
@@ -215,5 +442,44 @@ mod tests {
         if std::env::var("LOOKAHEAD_APPS").is_err() {
             assert_eq!(selected_apps().len(), 5);
         }
+    }
+
+    #[test]
+    fn parse_procs_accepts_positive_integers_only() {
+        assert_eq!(parse_procs("16"), Ok(16));
+        assert_eq!(parse_procs(" 4 "), Ok(4));
+        assert!(parse_procs("0").is_err());
+        assert!(parse_procs("").is_err());
+        assert!(parse_procs("sixteen").is_err());
+        assert!(parse_procs("-4").is_err());
+        assert!(parse_procs("4.0").is_err());
+        // The message names the knob so the fix is obvious.
+        assert!(parse_procs("x").unwrap_err().contains("LOOKAHEAD_PROCS"));
+    }
+
+    #[test]
+    fn parse_apps_matches_names_case_insensitively() {
+        let apps = parse_apps("lu, MP3D").unwrap();
+        assert_eq!(apps, vec![App::Lu, App::Mp3d]);
+        // Duplicates collapse; order of first mention is kept.
+        assert_eq!(parse_apps("LU,lu,LU").unwrap(), vec![App::Lu]);
+    }
+
+    #[test]
+    fn parse_apps_rejects_unknown_and_empty() {
+        let err = parse_apps("LU,FFT").unwrap_err();
+        assert!(err.contains("FFT"), "{err}");
+        assert!(err.contains("MP3D"), "should list valid names: {err}");
+        assert!(parse_apps("").is_err());
+        assert!(parse_apps(" , ,").is_err());
+    }
+
+    #[test]
+    fn tier_names_are_cache_key_stable() {
+        // Cache keys embed these strings; renaming one silently
+        // invalidates every existing cache, so pin them.
+        assert_eq!(SizeTier::Small.name(), "small");
+        assert_eq!(SizeTier::Default.name(), "default");
+        assert_eq!(SizeTier::Paper.name(), "paper");
     }
 }

@@ -1,0 +1,690 @@
+//! Every table and figure of the paper, rendered to a `String`.
+//!
+//! The per-report binaries in `src/bin/` and the unified `lookahead`
+//! driver both print these strings verbatim, so their stdout is
+//! byte-identical by construction — the golden equivalence tests pin
+//! that. Reports that re-time the shared application runs take
+//! `&[AppRun]` (the traces are generated once per process); reports
+//! that need their own memory-system variants take a [`Runner`] and go
+//! through its cache.
+
+use crate::Runner;
+use lookahead_core::base::Base;
+use lookahead_core::consistency::MemOpKind;
+use lookahead_core::contexts::Contexts;
+use lookahead_core::ds::{Ds, DsConfig};
+use lookahead_core::inorder::InOrder;
+use lookahead_core::model::{ExecutionResult, ProcessorModel};
+use lookahead_core::prefetch::{PrefetchConfig, StridePrefetcher};
+use lookahead_core::ConsistencyModel;
+use lookahead_harness::experiments::{
+    figure3_with, figure4_with, miss_delay, multi_issue_with, rc_sweep_columns,
+    read_latency_hidden_matrix, table1, table2, table3, PAPER_WINDOWS,
+};
+use lookahead_harness::format::{count_with_rate, render_figure, render_table};
+use lookahead_harness::parallel::run_ordered;
+use lookahead_harness::pipeline::AppRun;
+use lookahead_isa::Program;
+use lookahead_memsys::{CacheConfig, MemoryParams};
+use lookahead_multiproc::{SimConfig, Simulator};
+use lookahead_schedule::optimize_program;
+use lookahead_trace::{Trace, TraceStats};
+use lookahead_workloads::App;
+use std::fmt::Write;
+
+/// **Figure 1**: the ordering restrictions each consistency model
+/// places on accesses from the same processor.
+pub fn figure1_report() -> String {
+    let mut out = String::new();
+    writeln!(out, "Figure 1 — ordering restrictions on memory accesses\n").unwrap();
+    for model in ConsistencyModel::ALL {
+        writeln!(out, "{}", model.rule_table()).unwrap();
+    }
+
+    // The figure's example: which of the numbered accesses
+    //   1:W  2:R  3:acquire  4:R  5:W  6:release  7:R
+    // may be overlapped (no must-wait edge) under each model?
+    let seq = [
+        (1, MemOpKind::Write),
+        (2, MemOpKind::Read),
+        (3, MemOpKind::Acquire),
+        (4, MemOpKind::Read),
+        (5, MemOpKind::Write),
+        (6, MemOpKind::Release),
+        (7, MemOpKind::Read),
+    ];
+    writeln!(
+        out,
+        "overlappable pairs in  1:W 2:R 3:acq 4:R 5:W 6:rel 7:R"
+    )
+    .unwrap();
+    for model in ConsistencyModel::ALL {
+        let mut free = Vec::new();
+        for i in 0..seq.len() {
+            for j in i + 1..seq.len() {
+                if !model.must_wait_for(seq[i].1, seq[j].1) {
+                    free.push(format!("{}-{}", seq[i].0, seq[j].0));
+                }
+            }
+        }
+        writeln!(
+            out,
+            "  {:<3} {}",
+            model.abbrev(),
+            if free.is_empty() {
+                "none (fully serial)".to_string()
+            } else {
+                free.join(" ")
+            }
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// **Figure 3**: BASE and {SSBR, SS, DS} under SC/PC/RC with the
+/// window sweep, one stacked figure per application.
+pub fn figure3_report(runs: &[AppRun], workers: usize) -> String {
+    let mut out = String::new();
+    for run in runs {
+        let cols = figure3_with(run, &PAPER_WINDOWS, workers);
+        writeln!(
+            out,
+            "{}",
+            render_figure(
+                &format!(
+                    "Figure 3 — {} (trace: {} instructions, processor {})",
+                    run.app,
+                    run.trace.len(),
+                    run.proc
+                ),
+                &cols
+            )
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// **Figure 4**: the branch-prediction / data-dependence ablations on
+/// the RC window sweep.
+pub fn figure4_report(runs: &[AppRun], workers: usize) -> String {
+    let mut out = String::new();
+    for run in runs {
+        let cols = figure4_with(run, &PAPER_WINDOWS, workers);
+        writeln!(
+            out,
+            "{}",
+            render_figure(
+                &format!(
+                    "Figure 4 — {} (bp = perfect branch prediction; \
+                     bp+nd = also ignoring data dependences)",
+                    run.app
+                ),
+                &cols
+            )
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// The §7 headline numbers: percentage of read latency hidden per
+/// application and window, plus the cross-application average.
+pub fn summary_report(runs: &[AppRun], workers: usize) -> String {
+    let windows = [16, 32, 64, 128, 256];
+    let matrix = read_latency_hidden_matrix(runs, &windows, workers);
+
+    let mut rows = vec![{
+        let mut h = vec!["Program".to_string()];
+        h.extend(windows.iter().map(|w| format!("W={w}")));
+        h
+    }];
+    for (run, row) in runs.iter().zip(&matrix) {
+        let mut r = vec![run.app.clone()];
+        r.extend(row.iter().map(|h| format!("{:.0}%", h * 100.0)));
+        rows.push(r);
+    }
+    let mut avg = vec!["AVERAGE".to_string()];
+    avg.extend((0..windows.len()).map(|j| {
+        let mean = matrix.iter().map(|row| row[j]).sum::<f64>() / runs.len().max(1) as f64;
+        format!("{:.0}%", mean * 100.0)
+    }));
+    rows.push(avg);
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Percentage of read latency hidden (DS under RC vs BASE)"
+    )
+    .unwrap();
+    writeln!(out, "{}", render_table(&rows)).unwrap();
+    writeln!(
+        out,
+        "Paper (§7, 50-cycle latency): 33% at W=16, 63% at W=32, 81% at W=64."
+    )
+    .unwrap();
+    out
+}
+
+/// **Table 1**: statistics on data references.
+pub fn table1_report(runs: &[AppRun], num_procs: usize) -> String {
+    let mut rows = vec![vec![
+        "Program".to_string(),
+        "Busy Cycles".to_string(),
+        "reads (/k)".to_string(),
+        "writes (/k)".to_string(),
+        "read misses (/k)".to_string(),
+        "write misses (/k)".to_string(),
+    ]];
+    for run in runs {
+        let t = table1(run);
+        rows.push(vec![
+            run.app.clone(),
+            t.busy_cycles.to_string(),
+            count_with_rate(t.reads, t.busy_cycles),
+            count_with_rate(t.writes, t.busy_cycles),
+            count_with_rate(t.read_misses, t.busy_cycles),
+            count_with_rate(t.write_misses, t.busy_cycles),
+        ]);
+    }
+    let mut out = String::new();
+    writeln!(out, "Table 1 — Statistics on data references").unwrap();
+    writeln!(out, "(single representative processor of {num_procs})").unwrap();
+    writeln!(out, "{}", render_table(&rows)).unwrap();
+    out
+}
+
+/// **Table 2**: statistics on synchronization, with the acquire
+/// wait/access split of §4.1.2.
+pub fn table2_report(runs: &[AppRun], num_procs: usize) -> String {
+    let mut rows = vec![vec![
+        "Program".to_string(),
+        "locks".to_string(),
+        "unlocks".to_string(),
+        "wait event".to_string(),
+        "set event".to_string(),
+        "barriers".to_string(),
+        "hidable acquire %".to_string(),
+    ]];
+    for run in runs {
+        let t = table2(run);
+        rows.push(vec![
+            run.app.clone(),
+            t.locks.to_string(),
+            t.unlocks.to_string(),
+            t.wait_events.to_string(),
+            t.set_events.to_string(),
+            t.barriers.to_string(),
+            format!("{:.1}", t.hidable_acquire_fraction() * 100.0),
+        ]);
+    }
+    let mut out = String::new();
+    writeln!(out, "Table 2 — Statistics on synchronization").unwrap();
+    writeln!(out, "(single representative processor of {num_procs})").unwrap();
+    writeln!(out, "{}", render_table(&rows)).unwrap();
+    writeln!(
+        out,
+        "The last column is the fraction of acquire overhead that is memory\n\
+         access latency (hidable); the paper reports ~30% for PTHOR and\n\
+         ~0% elsewhere (§4.1.2)."
+    )
+    .unwrap();
+    out
+}
+
+/// **Table 3**: statistics on branch behaviour with the paper's BTB.
+pub fn table3_report(runs: &[AppRun]) -> String {
+    let mut rows = vec![vec![
+        "Program".to_string(),
+        "% of instructions".to_string(),
+        "avg distance".to_string(),
+        "% predicted".to_string(),
+        "mispredict distance".to_string(),
+    ]];
+    for run in runs {
+        let t = table3(run);
+        rows.push(vec![
+            run.app.clone(),
+            format!("{:.1}%", t.branch_percent()),
+            format!("{:.1}", t.avg_branch_distance()),
+            format!("{:.1}%", t.predicted_percent().unwrap_or(100.0)),
+            format!(
+                "{:.1}",
+                t.avg_mispredict_distance().unwrap_or(f64::INFINITY)
+            ),
+        ]);
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Table 3 — Statistics on branch behaviour (2048-entry 4-way BTB)"
+    )
+    .unwrap();
+    writeln!(out, "{}", render_table(&rows)).unwrap();
+    out
+}
+
+/// The §4.1.3 read-miss issue-delay diagnostic at DS-64/RC.
+pub fn miss_delay_report(runs: &[AppRun]) -> String {
+    let mut rows = vec![vec![
+        "Program".to_string(),
+        "read misses".to_string(),
+        "mean delay".to_string(),
+        "> 10 cycles".to_string(),
+        "> 40 cycles".to_string(),
+        "> 50 cycles".to_string(),
+    ]];
+    for run in runs {
+        let d = miss_delay(run, 64);
+        rows.push(vec![
+            run.app.clone(),
+            d.misses.to_string(),
+            format!("{:.1}", d.mean),
+            format!("{:.1}%", d.over_10 * 100.0),
+            format!("{:.1}%", d.over_40 * 100.0),
+            format!("{:.1}%", d.over_50 * 100.0),
+        ]);
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Read-miss issue delay, decode to memory issue (DS-64, RC, perfect\n\
+         branch prediction) — the paper's §4.1.3 dependence-chain diagnostic"
+    )
+    .unwrap();
+    writeln!(out, "{}", render_table(&rows)).unwrap();
+    out
+}
+
+/// The §4.2 multiple-issue study: 4-wide RC window sweep plus the
+/// RC-over-SC speedup at window 128, single- and 4-wide.
+pub fn multi_issue_report(runs: &[AppRun], workers: usize) -> String {
+    let mut out = String::new();
+    for run in runs {
+        let cols = multi_issue_with(run, &PAPER_WINDOWS, workers);
+        writeln!(
+            out,
+            "{}",
+            render_figure(&format!("{} — 4-wide issue under RC", run.app), &cols)
+        )
+        .unwrap();
+        // The paper also observes the RC:SC gain is larger 4-wide.
+        let gain = |width: usize, model: ConsistencyModel| {
+            move || {
+                Ds::new(DsConfig {
+                    issue_width: width,
+                    ..DsConfig::with_model(model).window(128)
+                })
+                .run(&run.program, &run.trace)
+                .breakdown
+                .total() as f64
+            }
+        };
+        use ConsistencyModel::{Rc, Sc};
+        let jobs: Vec<Box<dyn FnOnce() -> f64 + Send + '_>> = vec![
+            Box::new(gain(1, Sc)),
+            Box::new(gain(1, Rc)),
+            Box::new(gain(4, Sc)),
+            Box::new(gain(4, Rc)),
+        ];
+        let t = run_ordered(jobs, workers);
+        writeln!(
+            out,
+            "  RC speedup over SC at window 128: {:.2}x single-issue, {:.2}x 4-wide\n",
+            t[0] / t[1],
+            t[2] / t[3]
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// The §6 SC/PC boosting study: non-binding prefetch and speculative
+/// loads on the strict models, with RC as the ceiling.
+pub fn sc_boost_report(runs: &[AppRun], workers: usize) -> String {
+    let mut rows = vec![vec![
+        "Program".to_string(),
+        "SC".to_string(),
+        "SC+pf".to_string(),
+        "SC+spec".to_string(),
+        "SC+both".to_string(),
+        "PC".to_string(),
+        "PC+both".to_string(),
+        "RC".to_string(),
+    ]];
+    use ConsistencyModel::{Pc, Rc, Sc};
+    let variants = [
+        (Sc, false, false),
+        (Sc, true, false),
+        (Sc, false, true),
+        (Sc, true, true),
+        (Pc, false, false),
+        (Pc, true, true),
+        (Rc, false, false),
+    ];
+    for run in runs {
+        let mut jobs: Vec<Box<dyn FnOnce() -> ExecutionResult + Send + '_>> =
+            vec![Box::new(|| Base.run(&run.program, &run.trace))];
+        for (model, pf, spec) in variants {
+            jobs.push(Box::new(move || {
+                Ds::new(DsConfig {
+                    nonbinding_prefetch: pf,
+                    speculative_loads: spec,
+                    ..DsConfig::with_model(model).window(64)
+                })
+                .run(&run.program, &run.trace)
+            }));
+        }
+        let results = run_ordered(jobs, workers);
+        let base = results[0].breakdown;
+        let mut row = vec![run.app.clone()];
+        row.extend(
+            results[1..]
+                .iter()
+                .map(|r| format!("{:.1}", r.breakdown.normalized_to(&base))),
+        );
+        rows.push(row);
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "SC/PC boosting techniques of [Gharachorloo et al., ICPP'91] on the\n\
+         DS-64 processor (execution time normalized to BASE = 100)"
+    )
+    .unwrap();
+    writeln!(out, "{}", render_table(&rows)).unwrap();
+    writeln!(
+        out,
+        "pf = non-binding prefetch for consistency-delayed loads;\n\
+         spec = speculative load execution (best case: no rollbacks in\n\
+         trace-driven re-timing). RC is the relaxed-model reference."
+    )
+    .unwrap();
+    out
+}
+
+/// The §6 stride-prefetching conjecture: RPT coverage and its effect
+/// on the blocking in-order processor.
+pub fn prefetch_report(runs: &[AppRun]) -> String {
+    let mut rows = vec![vec![
+        "Program".to_string(),
+        "misses covered".to_string(),
+        "SSBR".to_string(),
+        "SSBR+rpt".to_string(),
+        "DS-64".to_string(),
+    ]];
+    for run in runs {
+        let (covered_trace, stats) =
+            StridePrefetcher::new(PrefetchConfig::default()).cover(&run.trace);
+        let base = Base.run(&run.program, &run.trace);
+        let norm =
+            |r: &ExecutionResult| format!("{:.1}", r.breakdown.normalized_to(&base.breakdown));
+        let ssbr = InOrder::ssbr(ConsistencyModel::Rc);
+        let plain = ssbr.run(&run.program, &run.trace);
+        let with_pf = ssbr.run(&run.program, &covered_trace);
+        let ds = Ds::new(DsConfig::rc().window(64)).run(&run.program, &run.trace);
+        rows.push(vec![
+            run.app.clone(),
+            format!("{:.0}%", stats.coverage() * 100.0),
+            norm(&plain),
+            norm(&with_pf),
+            norm(&ds),
+        ]);
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Baer–Chen stride prefetching (512-entry RPT) vs dynamic scheduling\n\
+         (execution time normalized to BASE = 100; the paper's §6 predicts\n\
+         prefetching helps LU/OCEAN but not MP3D/PTHOR/LOCUS)"
+    )
+    .unwrap();
+    writeln!(out, "{}", render_table(&rows)).unwrap();
+    out
+}
+
+/// The §5 multiple-hardware-contexts comparison.
+pub fn contexts_report(runs: &[AppRun]) -> String {
+    let mut rows = vec![vec![
+        "Program".to_string(),
+        "MC x1".to_string(),
+        "MC x2".to_string(),
+        "MC x4".to_string(),
+        "DS-16".to_string(),
+        "DS-64".to_string(),
+    ]];
+    for run in runs {
+        let base = Base.run(&run.program, &run.trace);
+        // Multiple contexts: interleave k traces (starting from the
+        // representative) and report per-context cost relative to the
+        // representative's BASE time.
+        let mc = |k: usize| {
+            let picked: Vec<&Trace> = (0..k)
+                .map(|i| &run.all_traces[(run.proc + i) % run.all_traces.len()])
+                .collect();
+            let r = Contexts::default().run_traces(&picked);
+            // Per-context cycles normalized to one BASE run.
+            format!(
+                "{:.1}",
+                r.breakdown.total() as f64 / k as f64 * 100.0 / base.breakdown.total() as f64
+            )
+        };
+        let ds = |w: usize| {
+            let r = Ds::new(DsConfig::rc().window(w)).run(&run.program, &run.trace);
+            format!("{:.1}", r.breakdown.normalized_to(&base.breakdown))
+        };
+        rows.push(vec![run.app.clone(), mc(1), mc(2), mc(4), ds(16), ds(64)]);
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Multiple hardware contexts (blocked multithreading, 10-cycle switch)\n\
+         vs dynamic scheduling; per-context execution time normalized to\n\
+         BASE = 100 (lower is better)"
+    )
+    .unwrap();
+    writeln!(out, "{}", render_table(&rows)).unwrap();
+    out
+}
+
+/// The §4.2 100-cycle-latency study: the trace carries latencies, so
+/// each penalty is a separate (cached) generation.
+pub fn latency100_report(runner: &Runner) -> String {
+    let mut out = String::new();
+    for app in runner.apps() {
+        let workload = runner.tier().workload(app);
+        for penalty in [50u32, 100] {
+            let config = SimConfig {
+                mem: MemoryParams::with_miss_penalty(penalty),
+                ..*runner.config()
+            };
+            let run = runner.run_workload(workload.as_ref(), &config);
+            let cols = rc_sweep_columns(&run, &PAPER_WINDOWS, runner.workers());
+            writeln!(
+                out,
+                "{}",
+                render_figure(
+                    &format!(
+                        "{} — {}-cycle miss penalty (RC, DS sweep)",
+                        run.app, penalty
+                    ),
+                    &cols
+                )
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// The cache-associativity sensitivity check of §3.3's
+/// communication-miss claim.
+pub fn assoc_report(runner: &Runner) -> String {
+    let mut rows = vec![vec![
+        "Program".to_string(),
+        "cache".to_string(),
+        "ways".to_string(),
+        "read misses".to_string(),
+        "write misses".to_string(),
+    ]];
+    for app in [App::Lu, App::Mp3d] {
+        let workload = runner.tier().workload(app);
+        for (size, ways) in [(64 * 1024, 1), (64 * 1024, 4), (4 * 1024, 1), (4 * 1024, 4)] {
+            let config = SimConfig {
+                cache: CacheConfig {
+                    size_bytes: size,
+                    line_bytes: 16,
+                    ways,
+                },
+                ..*runner.config()
+            };
+            let run = runner.run_workload(workload.as_ref(), &config);
+            let stats = TraceStats::collect(&run.trace, None);
+            rows.push(vec![
+                run.app.clone(),
+                format!("{}KB", size / 1024),
+                ways.to_string(),
+                stats.data.read_misses.to_string(),
+                stats.data.write_misses.to_string(),
+            ]);
+        }
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Associativity sweep (representative processor's misses). At the\n\
+         paper's 64KB, higher associativity changes little — misses are\n\
+         communication, as §3.3 claims; at 4KB, conflicts appear and 4-way\n\
+         removes a chunk of them."
+    )
+    .unwrap();
+    writeln!(out, "{}", render_table(&rows)).unwrap();
+    out
+}
+
+/// The §5 memory-bandwidth / contention caveat.
+pub fn contention_report(runner: &Runner) -> String {
+    let mut rows = vec![vec![
+        "Program".to_string(),
+        "bandwidth".to_string(),
+        "BASE cycles".to_string(),
+        "DS-64/RC".to_string(),
+        "read hidden".to_string(),
+    ]];
+    for app in [App::Ocean, App::Mp3d] {
+        let workload = runner.tier().workload(app);
+        for bandwidth in [None, Some(8), Some(4), Some(2)] {
+            let config = SimConfig {
+                memory_bandwidth: bandwidth,
+                ..*runner.config()
+            };
+            let run = runner.run_workload(workload.as_ref(), &config);
+            let base = Base.run(&run.program, &run.trace);
+            let ds = Ds::new(DsConfig::rc().window(64)).run(&run.program, &run.trace);
+            let hidden = ds
+                .breakdown
+                .read_latency_hidden_vs(&base.breakdown)
+                .unwrap_or(1.0);
+            rows.push(vec![
+                run.app.clone(),
+                bandwidth.map_or("inf".to_string(), |b| b.to_string()),
+                base.cycles().to_string(),
+                format!("{:.1}", ds.breakdown.normalized_to(&base.breakdown)),
+                format!("{:.0}%", hidden * 100.0),
+            ]);
+        }
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Memory-bandwidth sensitivity (concurrent misses serviced across 16\n\
+         processors; 'inf' = the paper's contention-free assumption)"
+    )
+    .unwrap();
+    writeln!(out, "{}", render_table(&rows)).unwrap();
+    writeln!(
+        out,
+        "As bandwidth drops, queueing inflates observed miss latencies:\n\
+         BASE slows down and the 64-entry window covers a smaller share of\n\
+         the (now longer) stalls — the direction of the paper's caveat."
+    )
+    .unwrap();
+    out
+}
+
+/// The §7 compiler-rescheduling conjecture. Scheduled programs differ
+/// from their workload's canonical program, so these runs bypass the
+/// trace cache.
+pub fn sched_report(runner: &Runner) -> String {
+    fn trace_of(program: Program, app: App, runner: &Runner) -> (Program, Trace) {
+        let config = runner.config();
+        let built = runner.tier().workload(app).build(config.num_procs);
+        let out = Simulator::new(program.clone(), built.image, *config)
+            .unwrap()
+            .run()
+            .unwrap_or_else(|e| panic!("{app}: {e}"));
+        (built.verify)(&out.final_memory).unwrap_or_else(|e| panic!("{app}: {e}"));
+        let p = out.busiest_proc();
+        (program, out.traces[p].clone())
+    }
+
+    let mut rows = vec![vec![
+        "Program".to_string(),
+        "hoist/unroll".to_string(),
+        "SS".to_string(),
+        "SS+sched".to_string(),
+        "DS-16".to_string(),
+        "DS-16+sched".to_string(),
+        "DS-64".to_string(),
+    ]];
+    for app in runner.apps() {
+        let workload = runner.tier().workload(app);
+        let original = workload.build(runner.config().num_procs).program;
+        let (scheduled, stats, ustats) = optimize_program(&original, 4);
+        let (orig_p, orig_t) = trace_of(original, app, runner);
+        let (sched_p, sched_t) = trace_of(scheduled, app, runner);
+        let base = Base.run(&orig_p, &orig_t);
+        let norm = |p: &Program, t: &Trace, m: &dyn ProcessorModel| {
+            format!(
+                "{:.1}",
+                m.run(p, t).breakdown.normalized_to(&base.breakdown)
+            )
+        };
+        let ss = InOrder::ss(ConsistencyModel::Rc);
+        let ds16 = Ds::new(DsConfig::rc().window(16));
+        let ds64 = Ds::new(DsConfig::rc().window(64));
+        rows.push(vec![
+            app.name().to_string(),
+            format!("{}/{}", stats.loads_hoisted, ustats.loops_unrolled),
+            norm(&orig_p, &orig_t, &ss),
+            norm(&sched_p, &sched_t, &ss),
+            norm(&orig_p, &orig_t, &ds16),
+            norm(&sched_p, &sched_t, &ds16),
+            norm(&orig_p, &orig_t, &ds64),
+        ]);
+        eprintln!(
+            "  {} done ({} loads hoisted, {} loops unrolled, {} defs renamed)",
+            app.name(),
+            stats.loads_hoisted,
+            ustats.loops_unrolled,
+            stats.defs_renamed
+        );
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Compiler load scheduling (RC-legal, basic-block) — the paper's §7\n\
+         conjecture (execution time normalized to the unscheduled BASE = 100)"
+    )
+    .unwrap();
+    writeln!(out, "{}", render_table(&rows)).unwrap();
+    writeln!(
+        out,
+        "Pipeline: unroll x4 -> local register renaming -> per-block list\n\
+         scheduling (loads first). All transformed programs re-verify\n\
+         against the workload references before being timed."
+    )
+    .unwrap();
+    out
+}

@@ -1,0 +1,178 @@
+//! Golden equivalence tests for the unified `lookahead` driver.
+//!
+//! The driver, the per-report wrapper binaries, the trace cache and
+//! the parallel re-timing pool must all be *presentation-invariant*:
+//! cold vs. warm cache, serial vs. parallel, driver vs. standalone
+//! binary — the bytes on stdout are identical in every combination.
+//! These tests run the real binaries (via `CARGO_BIN_EXE_*`) at the
+//! small size tier on a reduced app set so they stay fast.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Environment a test run starts from: every harness knob cleared, so
+/// the ambient shell can't leak configuration into the goldens.
+const KNOBS: [&str; 7] = [
+    "LOOKAHEAD_SMALL",
+    "LOOKAHEAD_PAPER",
+    "LOOKAHEAD_PROCS",
+    "LOOKAHEAD_APPS",
+    "LOOKAHEAD_CACHE",
+    "LOOKAHEAD_JOBS",
+    "LOOKAHEAD_OBS_OUT",
+];
+
+/// The fast configuration shared by every test: small tier, four
+/// processors, two applications.
+const FAST: [(&str, &str); 3] = [
+    ("LOOKAHEAD_SMALL", "1"),
+    ("LOOKAHEAD_PROCS", "4"),
+    ("LOOKAHEAD_APPS", "LU,MP3D"),
+];
+
+fn run(bin: &str, args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(bin);
+    cmd.args(args);
+    for knob in KNOBS {
+        cmd.env_remove(knob);
+    }
+    cmd.envs(FAST.iter().copied());
+    cmd.envs(envs.iter().copied());
+    cmd.output().expect("binary runs")
+}
+
+fn stdout_of(out: &Output) -> &str {
+    assert!(
+        out.status.success(),
+        "exit {:?}, stderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::str::from_utf8(&out.stdout).expect("stdout is utf-8")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lktr-golden-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_cache_reproduces_cold_output_and_reports_hits() {
+    let driver = env!("CARGO_BIN_EXE_lookahead");
+    let cache = temp_dir("warm");
+    let cache_arg = format!("--cache-dir={}", cache.display());
+
+    let cold = run(driver, &["summary", &cache_arg], &[]);
+    let warm = run(driver, &["summary", &cache_arg], &[]);
+
+    assert_eq!(
+        stdout_of(&cold),
+        stdout_of(&warm),
+        "a cache hit must not change a single output byte"
+    );
+
+    let cold_err = String::from_utf8_lossy(&cold.stderr);
+    let warm_err = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        cold_err.contains("trace cache: 0 hits, 2 misses"),
+        "cold run should miss twice (one per app): {cold_err}"
+    );
+    assert!(
+        warm_err.contains("trace cache: 2 hits, 0 misses"),
+        "warm run must serve both apps from cache: {warm_err}"
+    );
+}
+
+#[test]
+fn parallel_retiming_is_byte_identical_to_serial() {
+    let driver = env!("CARGO_BIN_EXE_lookahead");
+    let cache = temp_dir("jobs");
+    let cache_arg = format!("--cache-dir={}", cache.display());
+
+    let serial = run(driver, &["figure3", "summary", &cache_arg, "--jobs=1"], &[]);
+    let parallel = run(driver, &["figure3", "summary", &cache_arg, "--jobs=8"], &[]);
+
+    assert_eq!(
+        stdout_of(&serial),
+        stdout_of(&parallel),
+        "the worker pool must preserve submission order exactly"
+    );
+}
+
+#[test]
+fn driver_matches_the_standalone_binaries() {
+    let driver = env!("CARGO_BIN_EXE_lookahead");
+    let summary_bin = env!("CARGO_BIN_EXE_summary");
+    let figure3_bin = env!("CARGO_BIN_EXE_figure3");
+    let cache = temp_dir("equiv");
+    let cache_env = cache.display().to_string();
+    let cache_arg = format!("--cache-dir={}", cache.display());
+
+    // The wrappers take their cache from the environment knob; the
+    // driver from its flag. Sharing one directory also proves the
+    // cache file written by one binary is readable by another.
+    let combined = run(driver, &["summary", "figure3", &cache_arg], &[]);
+    let summary = run(summary_bin, &[], &[("LOOKAHEAD_CACHE", cache_env.as_str())]);
+    let figure3 = run(figure3_bin, &[], &[("LOOKAHEAD_CACHE", cache_env.as_str())]);
+
+    let expected = format!("{}{}", stdout_of(&summary), stdout_of(&figure3));
+    assert_eq!(
+        stdout_of(&combined),
+        expected,
+        "driver output must be the exact concatenation of the wrappers'"
+    );
+}
+
+#[test]
+fn cache_can_be_disabled() {
+    let driver = env!("CARGO_BIN_EXE_lookahead");
+    let cache = temp_dir("disabled");
+    let cache_env = cache.display().to_string();
+
+    let out = run(
+        driver,
+        &["summary", "--no-cache"],
+        &[("LOOKAHEAD_CACHE", cache_env.as_str())],
+    );
+    let _ = stdout_of(&out);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("trace cache:"),
+        "--no-cache must win over LOOKAHEAD_CACHE: {stderr}"
+    );
+    assert!(!cache.exists(), "no cache directory may be created");
+}
+
+#[test]
+fn unparsable_procs_knob_fails_fast() {
+    let driver = env!("CARGO_BIN_EXE_lookahead");
+    let out = run(driver, &["summary"], &[("LOOKAHEAD_PROCS", "abc")]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("LOOKAHEAD_PROCS"),
+        "the error must name the knob: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_app_in_apps_knob_fails_fast() {
+    let driver = env!("CARGO_BIN_EXE_lookahead");
+    let out = run(driver, &["summary"], &[("LOOKAHEAD_APPS", "LU,FFT")]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("LOOKAHEAD_APPS") && stderr.contains("FFT"),
+        "the error must name the knob and the bad app: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_report_name_fails_with_usage() {
+    let driver = env!("CARGO_BIN_EXE_lookahead");
+    let out = run(driver, &["figure99"], &[]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("figure99") && stderr.contains("usage"));
+}

@@ -1,0 +1,321 @@
+//! Content-addressed on-disk cache of generated application runs.
+//!
+//! Trace generation is the expensive half of the pipeline: a full
+//! 16-processor execution-driven simulation per application. The
+//! re-timing half consumes the same trace dozens of times. This cache
+//! makes generation pay-once: an [`AppRun`] is stored as a version-2
+//! `LKTR` archive ([`lookahead_trace::storage`]) under a file name
+//! derived from a **fingerprint of everything that influences the
+//! trace** — workload name, size tier, the full [`SimConfig`], and the
+//! archive format version.
+//!
+//! Safety properties, in order of importance:
+//!
+//! * a key mismatch, checksum failure or decode error **falls back to
+//!   regeneration, never to a wrong answer** — the canonical key
+//!   string is stored inside the archive and compared on load, so even
+//!   a hash collision or a renamed file cannot smuggle a stale trace in;
+//! * corrupt files are evicted on sight so the next run is a clean miss;
+//! * stores write to a temporary file and rename into place, so a
+//!   crashed or concurrent writer never leaves a torn archive behind.
+
+use crate::pipeline::{AppRun, PipelineError};
+use lookahead_multiproc::SimConfig;
+use lookahead_trace::storage::{read_archive, write_archive, TraceArchive, ARCHIVE_VERSION};
+use lookahead_trace::{fnv1a, DecodeError};
+use lookahead_workloads::Workload;
+use std::fmt;
+use std::fs;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+
+/// Builds the canonical cache-key string for one generated run.
+///
+/// Every field of [`SimConfig`] is spelled into the key (the
+/// destructuring below fails to compile when a field is added, forcing
+/// this function to be updated), together with the workload name, the
+/// size tier and [`ARCHIVE_VERSION`]. Two runs re-time identically if
+/// and only if their keys match.
+pub fn cache_key(app: &str, tier: &str, config: &SimConfig) -> String {
+    let SimConfig {
+        num_procs,
+        cache,
+        mem,
+        write_buffer_depth,
+        memory_bytes,
+        max_cycles,
+        memory_bandwidth,
+    } = *config;
+    let opt = |v: Option<u64>| v.map_or("none".to_string(), |x| x.to_string());
+    format!(
+        "lktr-v{ARCHIVE_VERSION};app={app};tier={tier};procs={num_procs};\
+         cache={}/{}/{};hit={};miss={};wb={write_buffer_depth};\
+         membytes={};maxcycles={max_cycles};bw={}",
+        cache.size_bytes,
+        cache.line_bytes,
+        cache.ways,
+        mem.hit_latency,
+        mem.miss_penalty,
+        opt(memory_bytes),
+        opt(memory_bandwidth.map(|b| b as u64)),
+    )
+}
+
+/// Why a cache lookup did not produce a run.
+#[derive(Debug)]
+pub enum MissReason {
+    /// No file exists for the key.
+    Absent,
+    /// The file decoded but was generated under a different key
+    /// (configuration drift or a fingerprint collision).
+    KeyMismatch {
+        /// The key stored in the archive.
+        found: String,
+    },
+    /// The file failed to decode or failed its checksum; it has been
+    /// evicted.
+    Corrupt(DecodeError),
+    /// The archive decoded but its sections are mutually inconsistent
+    /// (e.g. representative processor out of range); evicted.
+    Invalid(String),
+    /// The file could not be read at the I/O level.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MissReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MissReason::Absent => write!(f, "not cached"),
+            MissReason::KeyMismatch { found } => {
+                write!(f, "cached under a different key ({found})")
+            }
+            MissReason::Corrupt(e) => write!(f, "corrupt cache file ({e}); evicted"),
+            MissReason::Invalid(m) => write!(f, "inconsistent cache file ({m}); evicted"),
+            MissReason::Io(e) => write!(f, "cache i/o error ({e})"),
+        }
+    }
+}
+
+/// Outcome of [`load_or_generate`].
+#[derive(Debug)]
+pub enum CacheOutcome {
+    /// Served from disk; no multiprocessor simulation ran.
+    Hit,
+    /// Generated (and stored when a cache is present), with the reason
+    /// the lookup missed.
+    Generated(MissReason),
+}
+
+impl CacheOutcome {
+    /// Whether this run was served from the cache.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, CacheOutcome::Hit)
+    }
+}
+
+/// A directory of content-addressed `.lktr` archives.
+#[derive(Debug, Clone)]
+pub struct TraceCache {
+    dir: PathBuf,
+}
+
+impl TraceCache {
+    /// Creates a handle on `dir`. The directory is created lazily on
+    /// first store.
+    pub fn new(dir: impl Into<PathBuf>) -> TraceCache {
+        TraceCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file an archive with this key lives at. The app name is kept
+    /// in the file name for human inspection; the fingerprint is what
+    /// addresses the content.
+    pub fn path_for(&self, app: &str, key: &str) -> PathBuf {
+        let safe: String = app
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        self.dir
+            .join(format!("{safe}-{:016x}.lktr", fnv1a(key.as_bytes())))
+    }
+
+    /// Looks up `key`, returning the cached run or the reason there is
+    /// none. Corrupt or mismatching files are evicted.
+    pub fn load(&self, app: &str, key: &str) -> Result<AppRun, MissReason> {
+        let path = self.path_for(app, key);
+        let file = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(MissReason::Absent),
+            Err(e) => return Err(MissReason::Io(e)),
+        };
+        let archive = match read_archive(BufReader::new(file)) {
+            Ok(a) => a,
+            Err(e) => {
+                let _ = fs::remove_file(&path);
+                return Err(MissReason::Corrupt(e));
+            }
+        };
+        if archive.key != key {
+            let _ = fs::remove_file(&path);
+            return Err(MissReason::KeyMismatch { found: archive.key });
+        }
+        app_run_from_archive(archive).map_err(|m| {
+            let _ = fs::remove_file(&path);
+            MissReason::Invalid(m)
+        })
+    }
+
+    /// Stores `run` under `key`, atomically (write to a temporary file
+    /// in the same directory, then rename into place).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the cache directory is created if
+    /// missing.
+    pub fn store(&self, key: &str, run: &AppRun) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(&run.app, key);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let mut w = BufWriter::new(fs::File::create(&tmp)?);
+        let result = write_archive(&mut w, &archive_from_app_run(key, run))
+            .and_then(|()| w.into_inner().map_err(|e| e.into_error())?.sync_all());
+        if let Err(e) = result {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+}
+
+fn archive_from_app_run(key: &str, run: &AppRun) -> TraceArchive {
+    TraceArchive {
+        key: key.to_string(),
+        app: run.app.clone(),
+        proc: run.proc as u32,
+        mp_cycles: run.mp_cycles,
+        breakdowns: run.mp_breakdowns.clone(),
+        program: run.program.clone(),
+        traces: run.all_traces.clone(),
+    }
+}
+
+fn app_run_from_archive(a: TraceArchive) -> Result<AppRun, String> {
+    let proc = a.proc as usize;
+    if proc >= a.traces.len() {
+        return Err(format!(
+            "representative processor {proc} out of range ({} traces)",
+            a.traces.len()
+        ));
+    }
+    if a.breakdowns.len() != a.traces.len() {
+        return Err(format!(
+            "{} breakdowns for {} traces",
+            a.breakdowns.len(),
+            a.traces.len()
+        ));
+    }
+    Ok(AppRun {
+        app: a.app,
+        program: a.program,
+        trace: a.traces[proc].clone(),
+        proc,
+        all_traces: a.traces,
+        mp_breakdowns: a.breakdowns,
+        mp_cycles: a.mp_cycles,
+    })
+}
+
+/// Serves `workload` under `config` from the cache when possible,
+/// generating (and storing) on any miss. With `cache` = `None` this is
+/// plain generation.
+///
+/// A failed *store* is reported to stderr but does not fail the run —
+/// caching is an optimization, never a correctness dependency.
+///
+/// # Errors
+///
+/// Propagates generation failures ([`PipelineError`]); cache problems
+/// never surface as errors.
+pub fn load_or_generate(
+    cache: Option<&TraceCache>,
+    workload: &dyn Workload,
+    tier: &str,
+    config: &SimConfig,
+) -> Result<(AppRun, CacheOutcome), PipelineError> {
+    let key = cache_key(workload.name(), tier, config);
+    let miss = match cache {
+        Some(c) => match c.load(workload.name(), &key) {
+            Ok(run) => return Ok((run, CacheOutcome::Hit)),
+            Err(reason) => reason,
+        },
+        None => MissReason::Absent,
+    };
+    let run = AppRun::generate(workload, config)?;
+    if let Some(c) = cache {
+        if let Err(e) = c.store(&key, &run) {
+            eprintln!(
+                "  warning: failed to cache {} trace in {}: {e}",
+                run.app,
+                c.dir().display()
+            );
+        }
+    }
+    Ok((run, CacheOutcome::Generated(miss)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lookahead_memsys::MemoryParams;
+
+    #[test]
+    fn key_spells_out_configuration() {
+        let key = cache_key("LU", "small", &SimConfig::default());
+        assert!(key.contains("app=LU"));
+        assert!(key.contains("tier=small"));
+        assert!(key.contains("procs=16"));
+        assert!(key.contains("miss=50"));
+        assert!(key.starts_with(&format!("lktr-v{ARCHIVE_VERSION}")));
+    }
+
+    #[test]
+    fn distinct_configurations_get_distinct_keys() {
+        let base = SimConfig::default();
+        let keys = [
+            cache_key("LU", "default", &base),
+            cache_key("LU", "small", &base),
+            cache_key("MP3D", "default", &base),
+            cache_key(
+                "LU",
+                "default",
+                &SimConfig {
+                    num_procs: 8,
+                    ..base
+                },
+            ),
+            cache_key(
+                "LU",
+                "default",
+                &SimConfig {
+                    mem: MemoryParams::with_miss_penalty(100),
+                    ..base
+                },
+            ),
+            cache_key(
+                "LU",
+                "default",
+                &SimConfig {
+                    memory_bandwidth: Some(4),
+                    ..base
+                },
+            ),
+        ];
+        let unique: std::collections::BTreeSet<_> = keys.iter().collect();
+        assert_eq!(unique.len(), keys.len(), "{keys:#?}");
+    }
+}

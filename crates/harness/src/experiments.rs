@@ -1,6 +1,13 @@
 //! Steps 4–5: re-time a generated trace under every configuration a
 //! table or figure of the paper needs.
+//!
+//! Every sweep here is assembled from independent *cells* — one
+//! deterministic processor-model simulation each — and executed on the
+//! [`parallel`](crate::parallel) worker pool. Results are collected in
+//! submission order, so the output is byte-for-byte identical whether
+//! the pool has one worker (`LOOKAHEAD_JOBS=1`) or one per core.
 
+use crate::parallel;
 use crate::pipeline::{AppRun, PipelineError};
 use lookahead_core::base::Base;
 use lookahead_core::ds::{Ds, DsConfig};
@@ -40,50 +47,106 @@ fn column(label: &str, model: &str, result: &ExecutionResult, base: &Breakdown) 
     }
 }
 
+/// One re-timing cell of a sweep: a labelled model run over the run's
+/// trace. Cells are executed on the worker pool and assembled in
+/// submission order.
+type Cell<'a> = (
+    String,
+    String,
+    Box<dyn FnOnce() -> ExecutionResult + Send + 'a>,
+);
+
+/// Runs labelled cells (the first must be the BASE reference) on
+/// `workers` threads and normalizes every column to the first one.
+fn run_cells(cells: Vec<Cell<'_>>, workers: usize) -> Vec<Figure3Column> {
+    let (labels, jobs): (Vec<_>, Vec<_>) = cells
+        .into_iter()
+        .map(|(label, group, job)| ((label, group), job))
+        .unzip();
+    let results = parallel::run_ordered(jobs, workers);
+    let base = results[0].breakdown;
+    labels
+        .iter()
+        .zip(&results)
+        .map(|((label, group), r)| column(label, group, r, &base))
+        .collect()
+}
+
 /// Figure 3: BASE, then {SSBR, SS, DS} under SC, PC and RC, with the
 /// full window sweep under RC (the gains under SC/PC are small, so the
 /// paper shows only the most aggressive 256-entry window there).
 pub fn figure3(run: &AppRun, windows: &[usize]) -> Vec<Figure3Column> {
-    let base = Base.run(&run.program, &run.trace);
-    let mut cols = vec![column("BASE", "", &base, &base.breakdown)];
+    figure3_with(run, windows, parallel::default_workers())
+}
+
+/// [`figure3`] with an explicit worker count (1 = serial).
+pub fn figure3_with(run: &AppRun, windows: &[usize], workers: usize) -> Vec<Figure3Column> {
+    let mut cells: Vec<Cell<'_>> = vec![(
+        "BASE".into(),
+        String::new(),
+        Box::new(|| Base.run(&run.program, &run.trace)),
+    )];
     for model in ConsistencyModel::EVALUATED {
         let group = model.abbrev();
-        let ssbr = InOrder::ssbr(model).run(&run.program, &run.trace);
-        cols.push(column("SSBR", group, &ssbr, &base.breakdown));
-        let ss = InOrder::ss(model).run(&run.program, &run.trace);
-        cols.push(column("SS", group, &ss, &base.breakdown));
+        cells.push((
+            "SSBR".into(),
+            group.into(),
+            Box::new(move || InOrder::ssbr(model).run(&run.program, &run.trace)),
+        ));
+        cells.push((
+            "SS".into(),
+            group.into(),
+            Box::new(move || InOrder::ss(model).run(&run.program, &run.trace)),
+        ));
         let ds_windows: &[usize] = if model == ConsistencyModel::Rc {
             windows
         } else {
             &[256]
         };
         for &w in ds_windows {
-            let ds = Ds::new(DsConfig::with_model(model).window(w));
-            let r = ds.run(&run.program, &run.trace);
-            cols.push(column(&format!("DS.{w}"), group, &r, &base.breakdown));
+            cells.push((
+                format!("DS.{w}"),
+                group.into(),
+                Box::new(move || {
+                    Ds::new(DsConfig::with_model(model).window(w)).run(&run.program, &run.trace)
+                }),
+            ));
         }
     }
-    cols
+    run_cells(cells, workers)
 }
 
 /// Figure 4: the RC dynamic-scheduling ablations — perfect branch
 /// prediction alone, then perfect prediction plus ignored data
 /// dependences, across the window sweep.
 pub fn figure4(run: &AppRun, windows: &[usize]) -> Vec<Figure4Column> {
-    let base = Base.run(&run.program, &run.trace);
-    let mut cols = vec![column("BASE", "", &base, &base.breakdown)];
+    figure4_with(run, windows, parallel::default_workers())
+}
+
+/// [`figure4`] with an explicit worker count (1 = serial).
+pub fn figure4_with(run: &AppRun, windows: &[usize], workers: usize) -> Vec<Figure4Column> {
+    let mut cells: Vec<Cell<'_>> = vec![(
+        "BASE".into(),
+        String::new(),
+        Box::new(|| Base.run(&run.program, &run.trace)),
+    )];
     for (suffix, nodep) in [("bp", false), ("bp+nd", true)] {
         for &w in windows {
-            let ds = Ds::new(DsConfig {
-                perfect_branch_prediction: true,
-                ignore_data_dependences: nodep,
-                ..DsConfig::rc().window(w)
-            });
-            let r = ds.run(&run.program, &run.trace);
-            cols.push(column(&format!("DS.{w}"), suffix, &r, &base.breakdown));
+            cells.push((
+                format!("DS.{w}"),
+                suffix.into(),
+                Box::new(move || {
+                    Ds::new(DsConfig {
+                        perfect_branch_prediction: true,
+                        ignore_data_dependences: nodep,
+                        ..DsConfig::rc().window(w)
+                    })
+                    .run(&run.program, &run.trace)
+                }),
+            ));
         }
     }
-    cols
+    run_cells(cells, workers)
 }
 
 /// Table 1: data-reference statistics of the representative trace.
@@ -114,14 +177,62 @@ pub fn read_latency_hidden(run: &AppRun, window: usize) -> f64 {
         .unwrap_or(1.0)
 }
 
+/// Hidden-read-latency fractions for every (run × window) cell, rows
+/// in `runs` order, columns in `windows` order. All cells (one BASE
+/// plus one DS per window, per run) execute on the worker pool.
+pub fn read_latency_hidden_matrix(
+    runs: &[AppRun],
+    windows: &[usize],
+    workers: usize,
+) -> Vec<Vec<f64>> {
+    // Per run: the BASE breakdown followed by one DS breakdown per
+    // window, flattened into a single job list.
+    let mut jobs: Vec<Box<dyn FnOnce() -> Breakdown + Send + '_>> = Vec::new();
+    for run in runs {
+        jobs.push(Box::new(|| Base.run(&run.program, &run.trace).breakdown));
+        for &w in windows {
+            jobs.push(Box::new(move || {
+                Ds::new(DsConfig::rc().window(w))
+                    .run(&run.program, &run.trace)
+                    .breakdown
+            }));
+        }
+    }
+    let results = parallel::run_ordered(jobs, workers);
+    let stride = 1 + windows.len();
+    runs.iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let base = &results[i * stride];
+            (0..windows.len())
+                .map(|j| {
+                    results[i * stride + 1 + j]
+                        .read_latency_hidden_vs(base)
+                        .unwrap_or(1.0)
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// The summary of §7: average percentage of read latency hidden across
 /// runs, per window size.
 pub fn read_latency_hidden_summary(runs: &[AppRun], windows: &[usize]) -> Vec<(usize, f64)> {
+    read_latency_hidden_summary_with(runs, windows, parallel::default_workers())
+}
+
+/// [`read_latency_hidden_summary`] with an explicit worker count.
+pub fn read_latency_hidden_summary_with(
+    runs: &[AppRun],
+    windows: &[usize],
+    workers: usize,
+) -> Vec<(usize, f64)> {
+    let matrix = read_latency_hidden_matrix(runs, windows, workers);
     windows
         .iter()
-        .map(|&w| {
-            let avg = runs.iter().map(|r| read_latency_hidden(r, w)).sum::<f64>()
-                / runs.len().max(1) as f64;
+        .enumerate()
+        .map(|(j, &w)| {
+            let avg = matrix.iter().map(|row| row[j]).sum::<f64>() / runs.len().max(1) as f64;
             (w, avg * 100.0)
         })
         .collect()
@@ -173,20 +284,50 @@ pub fn miss_delay(run: &AppRun, window: usize) -> MissDelayReport {
     }
 }
 
+/// BASE plus the RC DS window sweep at a given issue width, as cells.
+fn rc_window_sweep(
+    run: &AppRun,
+    windows: &[usize],
+    issue_width: usize,
+    group: &str,
+    workers: usize,
+) -> Vec<Figure3Column> {
+    let mut cells: Vec<Cell<'_>> = vec![(
+        "BASE".into(),
+        String::new(),
+        Box::new(|| Base.run(&run.program, &run.trace)),
+    )];
+    for &w in windows {
+        cells.push((
+            format!("DS.{w}"),
+            group.into(),
+            Box::new(move || {
+                Ds::new(DsConfig {
+                    issue_width,
+                    ..DsConfig::rc().window(w)
+                })
+                .run(&run.program, &run.trace)
+            }),
+        ));
+    }
+    run_cells(cells, workers)
+}
+
 /// §4.2 multiple-issue study: the RC window sweep at 4-wide decode,
 /// issue and retirement, normalized to the same BASE.
 pub fn multi_issue(run: &AppRun, windows: &[usize]) -> Vec<Figure3Column> {
-    let base = Base.run(&run.program, &run.trace);
-    let mut cols = vec![column("BASE", "", &base, &base.breakdown)];
-    for &w in windows {
-        let ds = Ds::new(DsConfig {
-            issue_width: 4,
-            ..DsConfig::rc().window(w)
-        });
-        let r = ds.run(&run.program, &run.trace);
-        cols.push(column(&format!("DS.{w}"), "RCx4", &r, &base.breakdown));
-    }
-    cols
+    multi_issue_with(run, windows, parallel::default_workers())
+}
+
+/// [`multi_issue`] with an explicit worker count (1 = serial).
+pub fn multi_issue_with(run: &AppRun, windows: &[usize], workers: usize) -> Vec<Figure3Column> {
+    rc_window_sweep(run, windows, 4, "RCx4", workers)
+}
+
+/// BASE plus the single-issue RC DS window sweep — the shape the
+/// latency studies re-time an existing run under.
+pub fn rc_sweep_columns(run: &AppRun, windows: &[usize], workers: usize) -> Vec<Figure3Column> {
+    rc_window_sweep(run, windows, 1, "RC", workers)
 }
 
 /// §4.2 latency study: regenerates the trace with a different miss
@@ -207,13 +348,7 @@ pub fn latency_sweep(
         ..*config
     };
     let run = AppRun::generate(workload, &config)?;
-    let base = Base.run(&run.program, &run.trace);
-    let mut cols = vec![column("BASE", "", &base, &base.breakdown)];
-    for &w in windows {
-        let ds = Ds::new(DsConfig::rc().window(w));
-        let r = ds.run(&run.program, &run.trace);
-        cols.push(column(&format!("DS.{w}"), "RC", &r, &base.breakdown));
-    }
+    let cols = rc_sweep_columns(&run, windows, parallel::default_workers());
     Ok((run, cols))
 }
 

@@ -14,14 +14,25 @@
 //! [`pipeline`] implements steps 1–3 (with verification),
 //! [`experiments`] steps 4–5 for each table and figure of the paper,
 //! and [`format`](mod@format) renders text tables and stacked bars.
+//!
+//! Two execution-layer modules make the experiment suite cheap to
+//! rerun: [`cache`] stores generated runs in a content-addressed
+//! on-disk cache so the multiprocessor simulation is pay-once, and
+//! [`parallel`] fans independent re-timing cells across cores with
+//! deterministic, submission-ordered results.
 
+pub mod cache;
 pub mod experiments;
 pub mod format;
 pub mod obsout;
+pub mod parallel;
 pub mod pipeline;
 
+pub use cache::{cache_key, load_or_generate, CacheOutcome, MissReason, TraceCache};
 pub use experiments::{
-    figure3, figure4, latency_sweep, miss_delay, multi_issue, read_latency_hidden_summary, table1,
-    table2, table3, Figure3Column, Figure4Column, MissDelayReport,
+    figure3, figure3_with, figure4, figure4_with, latency_sweep, miss_delay, multi_issue,
+    multi_issue_with, rc_sweep_columns, read_latency_hidden_summary,
+    read_latency_hidden_summary_with, table1, table2, table3, Figure3Column, Figure4Column,
+    MissDelayReport,
 };
 pub use pipeline::{AppRun, PipelineError};

@@ -1,0 +1,203 @@
+//! Integration tests for the content-addressed trace cache.
+//!
+//! The contract under test: a cache hit returns *exactly* the
+//! `AppRun` that was stored; any configuration change produces a
+//! different key and forces regeneration; and a damaged or mislabeled
+//! cache file is evicted and regenerated — the cache may cost time,
+//! never correctness.
+
+use lookahead_harness::{
+    cache_key, load_or_generate, AppRun, CacheOutcome, MissReason, TraceCache,
+};
+use lookahead_memsys::MemoryParams;
+use lookahead_multiproc::SimConfig;
+use lookahead_workloads::lu::Lu;
+
+fn small_config() -> SimConfig {
+    SimConfig {
+        num_procs: 4,
+        ..SimConfig::default()
+    }
+}
+
+fn workload() -> Lu {
+    Lu { n: 12 }
+}
+
+/// A fresh, empty cache directory under the system temp dir.
+fn temp_cache(tag: &str) -> TraceCache {
+    let dir = std::env::temp_dir().join(format!("lktr-cache-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    TraceCache::new(dir)
+}
+
+fn assert_runs_equal(a: &AppRun, b: &AppRun) {
+    assert_eq!(a.app, b.app);
+    assert_eq!(a.program, b.program);
+    assert_eq!(a.proc, b.proc);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.all_traces, b.all_traces);
+    assert_eq!(a.mp_breakdowns, b.mp_breakdowns);
+    assert_eq!(a.mp_cycles, b.mp_cycles);
+}
+
+#[test]
+fn cold_miss_then_warm_hit_returns_the_identical_run() {
+    let cache = temp_cache("roundtrip");
+    let wl = workload();
+    let config = small_config();
+
+    let (first, cold) = load_or_generate(Some(&cache), &wl, "small", &config).unwrap();
+    assert!(
+        matches!(cold, CacheOutcome::Generated(MissReason::Absent)),
+        "empty cache must report an absent-file miss, got {cold:?}"
+    );
+
+    let (second, warm) = load_or_generate(Some(&cache), &wl, "small", &config).unwrap();
+    assert!(warm.is_hit(), "second lookup must hit, got {warm:?}");
+    assert_runs_equal(&first, &second);
+}
+
+#[test]
+fn changed_configuration_misses_while_the_original_still_hits() {
+    let cache = temp_cache("knobs");
+    let wl = workload();
+    let base = small_config();
+
+    let (_, cold) = load_or_generate(Some(&cache), &wl, "small", &base).unwrap();
+    assert!(!cold.is_hit());
+
+    // A different miss penalty re-times every memory access: must
+    // regenerate, not reuse.
+    let slower = SimConfig {
+        mem: MemoryParams::with_miss_penalty(100),
+        ..small_config()
+    };
+    let (_, out) = load_or_generate(Some(&cache), &wl, "small", &slower).unwrap();
+    assert!(
+        matches!(out, CacheOutcome::Generated(MissReason::Absent)),
+        "changed miss penalty must look elsewhere, got {out:?}"
+    );
+
+    // A different processor count changes the whole parallel execution.
+    let wider = SimConfig {
+        num_procs: 8,
+        ..small_config()
+    };
+    let (_, out) = load_or_generate(Some(&cache), &wl, "small", &wider).unwrap();
+    assert!(
+        matches!(out, CacheOutcome::Generated(MissReason::Absent)),
+        "changed processor count must look elsewhere, got {out:?}"
+    );
+
+    // A different size tier is a different problem size even when the
+    // SimConfig is identical.
+    let (_, out) = load_or_generate(Some(&cache), &wl, "paper", &base).unwrap();
+    assert!(
+        matches!(out, CacheOutcome::Generated(MissReason::Absent)),
+        "changed size tier must look elsewhere, got {out:?}"
+    );
+
+    // The original entry is untouched by all of the above.
+    let (_, warm) = load_or_generate(Some(&cache), &wl, "small", &base).unwrap();
+    assert!(warm.is_hit());
+}
+
+#[test]
+fn format_version_is_part_of_the_key() {
+    let config = small_config();
+    let key = cache_key("LU", "small", &config);
+    let version_prefix = format!("lktr-v{}", lookahead_trace::ARCHIVE_VERSION);
+    assert!(
+        key.starts_with(&version_prefix),
+        "key must embed the archive format version: {key}"
+    );
+
+    // A (hypothetical) format bump changes the key string, which
+    // changes the content address — old files simply become unreachable.
+    let bumped = key.replacen(&version_prefix, "lktr-v999", 1);
+    let cache = temp_cache("version");
+    assert_ne!(cache.path_for("LU", &key), cache.path_for("LU", &bumped));
+}
+
+#[test]
+fn key_mismatch_is_evicted_and_regenerated() {
+    let cache = temp_cache("mismatch");
+    let wl = workload();
+    let config = small_config();
+
+    let (_, _) = load_or_generate(Some(&cache), &wl, "small", &config).unwrap();
+    let key_small = cache_key("LU", "small", &config);
+    let key_paper = cache_key("LU", "paper", &config);
+
+    // Plant the small-tier archive at the paper-tier address: the file
+    // decodes fine but its embedded key names a different configuration.
+    let path_paper = cache.path_for("LU", &key_paper);
+    std::fs::copy(cache.path_for("LU", &key_small), &path_paper).unwrap();
+
+    match cache.load("LU", &key_paper) {
+        Err(MissReason::KeyMismatch { found }) => assert_eq!(found, key_small),
+        other => panic!("expected a key mismatch, got {other:?}"),
+    }
+    assert!(
+        !path_paper.exists(),
+        "a mislabeled cache file must be evicted, not left to mislead again"
+    );
+
+    // Through the full path: plant it again, then let load_or_generate
+    // observe the mismatch, regenerate, and store a trustworthy entry.
+    std::fs::copy(cache.path_for("LU", &key_small), &path_paper).unwrap();
+    let (_, out) = load_or_generate(Some(&cache), &wl, "paper", &config).unwrap();
+    assert!(
+        matches!(out, CacheOutcome::Generated(MissReason::KeyMismatch { .. })),
+        "got {out:?}"
+    );
+    let (_, warm) = load_or_generate(Some(&cache), &wl, "paper", &config).unwrap();
+    assert!(warm.is_hit(), "regenerated entry must now hit");
+}
+
+#[test]
+fn corrupt_cache_file_is_evicted_and_regenerated() {
+    let cache = temp_cache("corrupt");
+    let wl = workload();
+    let config = small_config();
+
+    let (original, _) = load_or_generate(Some(&cache), &wl, "small", &config).unwrap();
+    let key = cache_key("LU", "small", &config);
+    let path = cache.path_for("LU", &key);
+
+    // Flip one bit in the middle of the file.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let (regenerated, out) = load_or_generate(Some(&cache), &wl, "small", &config).unwrap();
+    assert!(
+        matches!(out, CacheOutcome::Generated(MissReason::Corrupt(_))),
+        "a bit-flipped file must be treated as corrupt, got {out:?}"
+    );
+    assert_runs_equal(&original, &regenerated);
+
+    // The rewritten entry is whole again.
+    let (_, warm) = load_or_generate(Some(&cache), &wl, "small", &config).unwrap();
+    assert!(warm.is_hit());
+
+    // Truncation is caught the same way.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+    let (_, out) = load_or_generate(Some(&cache), &wl, "small", &config).unwrap();
+    assert!(
+        matches!(out, CacheOutcome::Generated(MissReason::Corrupt(_))),
+        "a truncated file must be treated as corrupt, got {out:?}"
+    );
+}
+
+#[test]
+fn disabled_cache_always_generates() {
+    let wl = workload();
+    let config = small_config();
+    let (run, out) = load_or_generate(None, &wl, "small", &config).unwrap();
+    assert!(matches!(out, CacheOutcome::Generated(MissReason::Absent)));
+    assert!(!run.trace.is_empty());
+}

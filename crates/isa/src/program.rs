@@ -62,6 +62,12 @@ impl Program {
         self.labels.get(&pc).map(String::as_str)
     }
 
+    /// All defined labels as `(instruction index, name)` pairs, in
+    /// index order (used by the disassembler and the trace archiver).
+    pub fn labels(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.labels.iter().map(|(&pc, name)| (pc, name.as_str()))
+    }
+
     /// Renders the whole program as assembly text (the disassembler).
     pub fn disassemble(&self) -> String {
         let mut out = String::new();

@@ -30,3 +30,7 @@ pub mod storage;
 pub use breakdown::Breakdown;
 pub use record::{MemAccess, SyncAccess, Trace, TraceEntry, TraceOp};
 pub use stats::{BranchPredictor, BranchStats, DataRefStats, SyncStats, TraceStats};
+pub use storage::{
+    fnv1a, read_archive, read_trace, write_archive, write_trace, DecodeError, TraceArchive,
+    ARCHIVE_VERSION,
+};

@@ -5,16 +5,33 @@
 //! provides a simple, versioned binary format so the harness can cache
 //! traces on disk between experiments.
 //!
-//! The format is deliberately plain: a magic/version header, an entry
-//! count, then one tagged record per entry with little-endian fields.
+//! Two containers share the `LKTR` magic and the per-entry encoding:
+//!
+//! * **version 1** ([`write_trace`]/[`read_trace`]) — a bare trace:
+//!   magic/version header, an entry count, then one tagged record per
+//!   entry with little-endian fields;
+//! * **version 2** ([`write_archive`]/[`read_archive`]) — a complete
+//!   generated run ([`TraceArchive`]): the cache key it was produced
+//!   under, the program, the multiprocessor statistics and *all*
+//!   per-processor traces, followed by an FNV-1a checksum footer so a
+//!   damaged cache file is detected rather than trusted.
 
+use crate::breakdown::Breakdown;
 use crate::record::{MemAccess, SyncAccess, Trace, TraceEntry, TraceOp};
-use lookahead_isa::SyncKind;
+use lookahead_isa::{
+    AluOp, BranchCond, FpCmpOp, FpReg, FpuOp, Instruction, IntReg, Program, SyncKind,
+};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"LKTR";
 const VERSION: u8 = 1;
+
+/// Version byte of the [`TraceArchive`] container. Part of the cache
+/// fingerprint: bump it whenever the encoding changes and every stale
+/// cache entry is regenerated instead of misread.
+pub const ARCHIVE_VERSION: u8 = 2;
 
 const TAG_COMPUTE: u8 = 0;
 const TAG_LOAD: u8 = 1;
@@ -38,6 +55,24 @@ pub enum DecodeError {
     BadSyncKind(u8),
     /// A memory access with latency zero (the models require >= 1).
     BadLatency,
+    /// An out-of-range code for the named field (archive sections:
+    /// instruction tags, opcode codes, register indices).
+    BadCode {
+        /// What was being decoded ("instruction tag", "register", ...).
+        what: &'static str,
+        /// The offending value.
+        code: u64,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8,
+    /// The archive checksum footer does not match the decoded payload
+    /// — the file was truncated, bit-flipped or otherwise damaged.
+    BadChecksum {
+        /// Checksum stored in the footer.
+        stored: u64,
+        /// Checksum computed over the payload actually read.
+        computed: u64,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -51,6 +86,15 @@ impl fmt::Display for DecodeError {
             DecodeError::BadLatency => {
                 write!(f, "memory access with zero latency (minimum is 1 cycle)")
             }
+            DecodeError::BadCode { what, code } => {
+                write!(f, "invalid {what} code {code}")
+            }
+            DecodeError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            DecodeError::BadChecksum { stored, computed } => write!(
+                f,
+                "archive checksum mismatch (stored {stored:#018x}, computed {computed:#018x}) — \
+                 the file is damaged"
+            ),
         }
     }
 }
@@ -102,35 +146,46 @@ fn sync_kind_from_code(code: u8) -> Result<SyncKind, DecodeError> {
 pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
     w.write_all(MAGIC)?;
     w.write_all(&[VERSION])?;
+    write_entries(&mut w, trace)
+}
+
+/// Writes the body shared by both container versions: an entry count
+/// followed by the tagged records.
+fn write_entries<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
     w.write_all(&(trace.len() as u64).to_le_bytes())?;
     for e in trace.iter() {
-        w.write_all(&e.pc.to_le_bytes())?;
-        match e.op {
-            TraceOp::Compute => w.write_all(&[TAG_COMPUTE])?,
-            TraceOp::Load(m) | TraceOp::Store(m) => {
-                let tag = if matches!(e.op, TraceOp::Load(_)) {
-                    TAG_LOAD
-                } else {
-                    TAG_STORE
-                };
-                w.write_all(&[tag, m.miss as u8])?;
-                w.write_all(&m.addr.to_le_bytes())?;
-                w.write_all(&m.latency.to_le_bytes())?;
-            }
-            TraceOp::Branch { taken, target } => {
-                w.write_all(&[TAG_BRANCH, taken as u8])?;
-                w.write_all(&target.to_le_bytes())?;
-            }
-            TraceOp::Jump { target } => {
-                w.write_all(&[TAG_JUMP])?;
-                w.write_all(&target.to_le_bytes())?;
-            }
-            TraceOp::Sync(s) => {
-                w.write_all(&[TAG_SYNC, sync_kind_code(s.kind)])?;
-                w.write_all(&s.addr.to_le_bytes())?;
-                w.write_all(&s.wait.to_le_bytes())?;
-                w.write_all(&s.access.to_le_bytes())?;
-            }
+        write_entry(w, e)?;
+    }
+    Ok(())
+}
+
+fn write_entry<W: Write>(w: &mut W, e: &TraceEntry) -> io::Result<()> {
+    w.write_all(&e.pc.to_le_bytes())?;
+    match e.op {
+        TraceOp::Compute => w.write_all(&[TAG_COMPUTE])?,
+        TraceOp::Load(m) | TraceOp::Store(m) => {
+            let tag = if matches!(e.op, TraceOp::Load(_)) {
+                TAG_LOAD
+            } else {
+                TAG_STORE
+            };
+            w.write_all(&[tag, m.miss as u8])?;
+            w.write_all(&m.addr.to_le_bytes())?;
+            w.write_all(&m.latency.to_le_bytes())?;
+        }
+        TraceOp::Branch { taken, target } => {
+            w.write_all(&[TAG_BRANCH, taken as u8])?;
+            w.write_all(&target.to_le_bytes())?;
+        }
+        TraceOp::Jump { target } => {
+            w.write_all(&[TAG_JUMP])?;
+            w.write_all(&target.to_le_bytes())?;
+        }
+        TraceOp::Sync(s) => {
+            w.write_all(&[TAG_SYNC, sync_kind_code(s.kind)])?;
+            w.write_all(&s.addr.to_le_bytes())?;
+            w.write_all(&s.wait.to_le_bytes())?;
+            w.write_all(&s.access.to_le_bytes())?;
         }
     }
     Ok(())
@@ -156,63 +211,699 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, DecodeError> {
     if version != VERSION {
         return Err(DecodeError::BadVersion(version));
     }
-    let count = u64::from_le_bytes(read_exact(&mut r)?);
+    read_entries(&mut r)
+}
+
+fn read_entries<R: Read>(r: &mut R) -> Result<Trace, DecodeError> {
+    let count = u64::from_le_bytes(read_exact(r)?);
     let mut entries = Vec::with_capacity(count.min(1 << 24) as usize);
     for _ in 0..count {
-        let pc = u32::from_le_bytes(read_exact(&mut r)?);
-        let [tag] = read_exact::<_, 1>(&mut r)?;
-        let op = match tag {
-            TAG_COMPUTE => TraceOp::Compute,
-            TAG_LOAD | TAG_STORE => {
-                let [miss] = read_exact::<_, 1>(&mut r)?;
-                let addr = u64::from_le_bytes(read_exact(&mut r)?);
-                let latency = u32::from_le_bytes(read_exact(&mut r)?);
-                if latency == 0 {
-                    return Err(DecodeError::BadLatency);
-                }
-                let m = MemAccess {
-                    addr,
-                    miss: miss != 0,
-                    latency,
-                };
-                if tag == TAG_LOAD {
-                    TraceOp::Load(m)
-                } else {
-                    TraceOp::Store(m)
-                }
-            }
-            TAG_BRANCH => {
-                let [taken] = read_exact::<_, 1>(&mut r)?;
-                let target = u32::from_le_bytes(read_exact(&mut r)?);
-                TraceOp::Branch {
-                    taken: taken != 0,
-                    target,
-                }
-            }
-            TAG_JUMP => {
-                let target = u32::from_le_bytes(read_exact(&mut r)?);
-                TraceOp::Jump { target }
-            }
-            TAG_SYNC => {
-                let [kind] = read_exact::<_, 1>(&mut r)?;
-                let addr = u64::from_le_bytes(read_exact(&mut r)?);
-                let wait = u32::from_le_bytes(read_exact(&mut r)?);
-                let access = u32::from_le_bytes(read_exact(&mut r)?);
-                if access == 0 {
-                    return Err(DecodeError::BadLatency);
-                }
-                TraceOp::Sync(SyncAccess {
-                    kind: sync_kind_from_code(kind)?,
-                    addr,
-                    wait,
-                    access,
-                })
-            }
-            other => return Err(DecodeError::BadTag(other)),
-        };
-        entries.push(TraceEntry { pc, op });
+        entries.push(read_entry(r)?);
     }
     Ok(Trace::from_entries(entries))
+}
+
+fn read_entry<R: Read>(r: &mut R) -> Result<TraceEntry, DecodeError> {
+    let pc = u32::from_le_bytes(read_exact(r)?);
+    let [tag] = read_exact::<_, 1>(r)?;
+    let op = match tag {
+        TAG_COMPUTE => TraceOp::Compute,
+        TAG_LOAD | TAG_STORE => {
+            let [miss] = read_exact::<_, 1>(r)?;
+            let addr = u64::from_le_bytes(read_exact(r)?);
+            let latency = u32::from_le_bytes(read_exact(r)?);
+            if latency == 0 {
+                return Err(DecodeError::BadLatency);
+            }
+            let m = MemAccess {
+                addr,
+                miss: miss != 0,
+                latency,
+            };
+            if tag == TAG_LOAD {
+                TraceOp::Load(m)
+            } else {
+                TraceOp::Store(m)
+            }
+        }
+        TAG_BRANCH => {
+            let [taken] = read_exact::<_, 1>(r)?;
+            let target = u32::from_le_bytes(read_exact(r)?);
+            TraceOp::Branch {
+                taken: taken != 0,
+                target,
+            }
+        }
+        TAG_JUMP => {
+            let target = u32::from_le_bytes(read_exact(r)?);
+            TraceOp::Jump { target }
+        }
+        TAG_SYNC => {
+            let [kind] = read_exact::<_, 1>(r)?;
+            let addr = u64::from_le_bytes(read_exact(r)?);
+            let wait = u32::from_le_bytes(read_exact(r)?);
+            let access = u32::from_le_bytes(read_exact(r)?);
+            if access == 0 {
+                return Err(DecodeError::BadLatency);
+            }
+            TraceOp::Sync(SyncAccess {
+                kind: sync_kind_from_code(kind)?,
+                addr,
+                wait,
+                access,
+            })
+        }
+        other => return Err(DecodeError::BadTag(other)),
+    };
+    Ok(TraceEntry { pc, op })
+}
+
+// ---------------------------------------------------------------------
+// Version-2 archives: a complete generated run with a checksum footer.
+// ---------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over `bytes` — the workspace's content fingerprint
+/// (used for both the archive footer and the cache-file names; no
+/// external hashing crate required).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Writer adapter that folds everything written into an FNV-1a hash.
+struct HashingWriter<W: Write> {
+    inner: W,
+    hash: u64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> HashingWriter<W> {
+        HashingWriter {
+            inner,
+            hash: FNV_OFFSET,
+        }
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        for &b in &buf[..n] {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Reader adapter that folds everything read into an FNV-1a hash.
+struct HashingReader<R: Read> {
+    inner: R,
+    hash: u64,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> HashingReader<R> {
+        HashingReader {
+            inner,
+            hash: FNV_OFFSET,
+        }
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        for &b in &buf[..n] {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        Ok(n)
+    }
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    w.write_all(&(s.len() as u32).to_le_bytes())?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_str<R: Read>(r: &mut R) -> Result<String, DecodeError> {
+    let len = u32::from_le_bytes(read_exact(r)?) as usize;
+    let mut buf = vec![0u8; len.min(1 << 24)];
+    if len > buf.len() {
+        // A length this large can only come from corruption; don't
+        // try to allocate it.
+        return Err(DecodeError::BadCode {
+            what: "string length",
+            code: len as u64,
+        });
+    }
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| DecodeError::BadUtf8)
+}
+
+// Instruction tags of the archive program section.
+const ITAG_ALU: u8 = 0;
+const ITAG_ALU_IMM: u8 = 1;
+const ITAG_LOAD_IMM: u8 = 2;
+const ITAG_LOAD_IMM_F: u8 = 3;
+const ITAG_FPU: u8 = 4;
+const ITAG_FP_CMP: u8 = 5;
+const ITAG_INT_TO_FP: u8 = 6;
+const ITAG_FP_TO_INT: u8 = 7;
+const ITAG_LOAD: u8 = 8;
+const ITAG_STORE: u8 = 9;
+const ITAG_LOAD_F: u8 = 10;
+const ITAG_STORE_F: u8 = 11;
+const ITAG_BRANCH: u8 = 12;
+const ITAG_JUMP: u8 = 13;
+const ITAG_JUMP_AND_LINK: u8 = 14;
+const ITAG_JUMP_REG: u8 = 15;
+const ITAG_SYNC: u8 = 16;
+const ITAG_NOP: u8 = 17;
+const ITAG_HALT: u8 = 18;
+
+fn alu_op_code(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::Mul => 2,
+        AluOp::Div => 3,
+        AluOp::Rem => 4,
+        AluOp::And => 5,
+        AluOp::Or => 6,
+        AluOp::Xor => 7,
+        AluOp::Sll => 8,
+        AluOp::Srl => 9,
+        AluOp::Sra => 10,
+        AluOp::Slt => 11,
+        AluOp::Sltu => 12,
+    }
+}
+
+fn alu_op_from_code(code: u8) -> Result<AluOp, DecodeError> {
+    Ok(match code {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::Mul,
+        3 => AluOp::Div,
+        4 => AluOp::Rem,
+        5 => AluOp::And,
+        6 => AluOp::Or,
+        7 => AluOp::Xor,
+        8 => AluOp::Sll,
+        9 => AluOp::Srl,
+        10 => AluOp::Sra,
+        11 => AluOp::Slt,
+        12 => AluOp::Sltu,
+        other => {
+            return Err(DecodeError::BadCode {
+                what: "ALU op",
+                code: other as u64,
+            })
+        }
+    })
+}
+
+fn fpu_op_code(op: FpuOp) -> u8 {
+    match op {
+        FpuOp::Add => 0,
+        FpuOp::Sub => 1,
+        FpuOp::Mul => 2,
+        FpuOp::Div => 3,
+        FpuOp::Neg => 4,
+        FpuOp::Abs => 5,
+        FpuOp::Max => 6,
+        FpuOp::Min => 7,
+        FpuOp::Sqrt => 8,
+    }
+}
+
+fn fpu_op_from_code(code: u8) -> Result<FpuOp, DecodeError> {
+    Ok(match code {
+        0 => FpuOp::Add,
+        1 => FpuOp::Sub,
+        2 => FpuOp::Mul,
+        3 => FpuOp::Div,
+        4 => FpuOp::Neg,
+        5 => FpuOp::Abs,
+        6 => FpuOp::Max,
+        7 => FpuOp::Min,
+        8 => FpuOp::Sqrt,
+        other => {
+            return Err(DecodeError::BadCode {
+                what: "FPU op",
+                code: other as u64,
+            })
+        }
+    })
+}
+
+fn fp_cmp_code(op: FpCmpOp) -> u8 {
+    match op {
+        FpCmpOp::Eq => 0,
+        FpCmpOp::Lt => 1,
+        FpCmpOp::Le => 2,
+    }
+}
+
+fn fp_cmp_from_code(code: u8) -> Result<FpCmpOp, DecodeError> {
+    Ok(match code {
+        0 => FpCmpOp::Eq,
+        1 => FpCmpOp::Lt,
+        2 => FpCmpOp::Le,
+        other => {
+            return Err(DecodeError::BadCode {
+                what: "FP compare op",
+                code: other as u64,
+            })
+        }
+    })
+}
+
+fn branch_cond_code(c: BranchCond) -> u8 {
+    match c {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+        BranchCond::Le => 4,
+        BranchCond::Gt => 5,
+    }
+}
+
+fn branch_cond_from_code(code: u8) -> Result<BranchCond, DecodeError> {
+    Ok(match code {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::Lt,
+        3 => BranchCond::Ge,
+        4 => BranchCond::Le,
+        5 => BranchCond::Gt,
+        other => {
+            return Err(DecodeError::BadCode {
+                what: "branch condition",
+                code: other as u64,
+            })
+        }
+    })
+}
+
+fn int_reg_from_code(code: u8) -> Result<IntReg, DecodeError> {
+    IntReg::new(code as usize).map_err(|_| DecodeError::BadCode {
+        what: "integer register",
+        code: code as u64,
+    })
+}
+
+fn fp_reg_from_code(code: u8) -> Result<FpReg, DecodeError> {
+    FpReg::new(code as usize).map_err(|_| DecodeError::BadCode {
+        what: "fp register",
+        code: code as u64,
+    })
+}
+
+fn write_instruction<W: Write>(w: &mut W, i: &Instruction) -> io::Result<()> {
+    let ireg = |r: IntReg| r.index() as u8;
+    let freg = |r: FpReg| r.index() as u8;
+    match *i {
+        Instruction::Alu { op, rd, rs1, rs2 } => {
+            w.write_all(&[ITAG_ALU, alu_op_code(op), ireg(rd), ireg(rs1), ireg(rs2)])
+        }
+        Instruction::AluImm { op, rd, rs1, imm } => {
+            w.write_all(&[ITAG_ALU_IMM, alu_op_code(op), ireg(rd), ireg(rs1)])?;
+            w.write_all(&imm.to_le_bytes())
+        }
+        Instruction::LoadImm { rd, imm } => {
+            w.write_all(&[ITAG_LOAD_IMM, ireg(rd)])?;
+            w.write_all(&imm.to_le_bytes())
+        }
+        Instruction::LoadImmF { fd, value } => {
+            w.write_all(&[ITAG_LOAD_IMM_F, freg(fd)])?;
+            w.write_all(&value.to_bits().to_le_bytes())
+        }
+        Instruction::Fpu { op, fd, fs1, fs2 } => {
+            w.write_all(&[ITAG_FPU, fpu_op_code(op), freg(fd), freg(fs1), freg(fs2)])
+        }
+        Instruction::FpCmp { op, rd, fs1, fs2 } => {
+            w.write_all(&[ITAG_FP_CMP, fp_cmp_code(op), ireg(rd), freg(fs1), freg(fs2)])
+        }
+        Instruction::IntToFp { fd, rs } => w.write_all(&[ITAG_INT_TO_FP, freg(fd), ireg(rs)]),
+        Instruction::FpToInt { rd, fs } => w.write_all(&[ITAG_FP_TO_INT, ireg(rd), freg(fs)]),
+        Instruction::Load { rd, base, offset } => {
+            w.write_all(&[ITAG_LOAD, ireg(rd), ireg(base)])?;
+            w.write_all(&offset.to_le_bytes())
+        }
+        Instruction::Store { rs, base, offset } => {
+            w.write_all(&[ITAG_STORE, ireg(rs), ireg(base)])?;
+            w.write_all(&offset.to_le_bytes())
+        }
+        Instruction::LoadF { fd, base, offset } => {
+            w.write_all(&[ITAG_LOAD_F, freg(fd), ireg(base)])?;
+            w.write_all(&offset.to_le_bytes())
+        }
+        Instruction::StoreF { fs, base, offset } => {
+            w.write_all(&[ITAG_STORE_F, freg(fs), ireg(base)])?;
+            w.write_all(&offset.to_le_bytes())
+        }
+        Instruction::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
+            w.write_all(&[ITAG_BRANCH, branch_cond_code(cond), ireg(rs1), ireg(rs2)])?;
+            w.write_all(&(target as u32).to_le_bytes())
+        }
+        Instruction::Jump { target } => {
+            w.write_all(&[ITAG_JUMP])?;
+            w.write_all(&(target as u32).to_le_bytes())
+        }
+        Instruction::JumpAndLink { rd, target } => {
+            w.write_all(&[ITAG_JUMP_AND_LINK, ireg(rd)])?;
+            w.write_all(&(target as u32).to_le_bytes())
+        }
+        Instruction::JumpReg { rs } => w.write_all(&[ITAG_JUMP_REG, ireg(rs)]),
+        Instruction::Sync { kind, base, offset } => {
+            w.write_all(&[ITAG_SYNC, sync_kind_code(kind), ireg(base)])?;
+            w.write_all(&offset.to_le_bytes())
+        }
+        Instruction::Nop => w.write_all(&[ITAG_NOP]),
+        Instruction::Halt => w.write_all(&[ITAG_HALT]),
+    }
+}
+
+fn read_instruction<R: Read>(r: &mut R) -> Result<Instruction, DecodeError> {
+    let [tag] = read_exact::<_, 1>(r)?;
+    let i64_field =
+        |r: &mut R| -> Result<i64, DecodeError> { Ok(i64::from_le_bytes(read_exact(r)?)) };
+    let target = |r: &mut R| -> Result<usize, DecodeError> {
+        Ok(u32::from_le_bytes(read_exact(r)?) as usize)
+    };
+    Ok(match tag {
+        ITAG_ALU => {
+            let [op, rd, rs1, rs2] = read_exact(r)?;
+            Instruction::Alu {
+                op: alu_op_from_code(op)?,
+                rd: int_reg_from_code(rd)?,
+                rs1: int_reg_from_code(rs1)?,
+                rs2: int_reg_from_code(rs2)?,
+            }
+        }
+        ITAG_ALU_IMM => {
+            let [op, rd, rs1] = read_exact(r)?;
+            Instruction::AluImm {
+                op: alu_op_from_code(op)?,
+                rd: int_reg_from_code(rd)?,
+                rs1: int_reg_from_code(rs1)?,
+                imm: i64_field(r)?,
+            }
+        }
+        ITAG_LOAD_IMM => {
+            let [rd] = read_exact(r)?;
+            Instruction::LoadImm {
+                rd: int_reg_from_code(rd)?,
+                imm: i64_field(r)?,
+            }
+        }
+        ITAG_LOAD_IMM_F => {
+            let [fd] = read_exact(r)?;
+            Instruction::LoadImmF {
+                fd: fp_reg_from_code(fd)?,
+                value: f64::from_bits(u64::from_le_bytes(read_exact(r)?)),
+            }
+        }
+        ITAG_FPU => {
+            let [op, fd, fs1, fs2] = read_exact(r)?;
+            Instruction::Fpu {
+                op: fpu_op_from_code(op)?,
+                fd: fp_reg_from_code(fd)?,
+                fs1: fp_reg_from_code(fs1)?,
+                fs2: fp_reg_from_code(fs2)?,
+            }
+        }
+        ITAG_FP_CMP => {
+            let [op, rd, fs1, fs2] = read_exact(r)?;
+            Instruction::FpCmp {
+                op: fp_cmp_from_code(op)?,
+                rd: int_reg_from_code(rd)?,
+                fs1: fp_reg_from_code(fs1)?,
+                fs2: fp_reg_from_code(fs2)?,
+            }
+        }
+        ITAG_INT_TO_FP => {
+            let [fd, rs] = read_exact(r)?;
+            Instruction::IntToFp {
+                fd: fp_reg_from_code(fd)?,
+                rs: int_reg_from_code(rs)?,
+            }
+        }
+        ITAG_FP_TO_INT => {
+            let [rd, fs] = read_exact(r)?;
+            Instruction::FpToInt {
+                rd: int_reg_from_code(rd)?,
+                fs: fp_reg_from_code(fs)?,
+            }
+        }
+        ITAG_LOAD => {
+            let [rd, base] = read_exact(r)?;
+            Instruction::Load {
+                rd: int_reg_from_code(rd)?,
+                base: int_reg_from_code(base)?,
+                offset: i64_field(r)?,
+            }
+        }
+        ITAG_STORE => {
+            let [rs, base] = read_exact(r)?;
+            Instruction::Store {
+                rs: int_reg_from_code(rs)?,
+                base: int_reg_from_code(base)?,
+                offset: i64_field(r)?,
+            }
+        }
+        ITAG_LOAD_F => {
+            let [fd, base] = read_exact(r)?;
+            Instruction::LoadF {
+                fd: fp_reg_from_code(fd)?,
+                base: int_reg_from_code(base)?,
+                offset: i64_field(r)?,
+            }
+        }
+        ITAG_STORE_F => {
+            let [fs, base] = read_exact(r)?;
+            Instruction::StoreF {
+                fs: fp_reg_from_code(fs)?,
+                base: int_reg_from_code(base)?,
+                offset: i64_field(r)?,
+            }
+        }
+        ITAG_BRANCH => {
+            let [cond, rs1, rs2] = read_exact(r)?;
+            Instruction::Branch {
+                cond: branch_cond_from_code(cond)?,
+                rs1: int_reg_from_code(rs1)?,
+                rs2: int_reg_from_code(rs2)?,
+                target: target(r)?,
+            }
+        }
+        ITAG_JUMP => Instruction::Jump { target: target(r)? },
+        ITAG_JUMP_AND_LINK => {
+            let [rd] = read_exact(r)?;
+            Instruction::JumpAndLink {
+                rd: int_reg_from_code(rd)?,
+                target: target(r)?,
+            }
+        }
+        ITAG_JUMP_REG => {
+            let [rs] = read_exact(r)?;
+            Instruction::JumpReg {
+                rs: int_reg_from_code(rs)?,
+            }
+        }
+        ITAG_SYNC => {
+            let [kind, base] = read_exact(r)?;
+            Instruction::Sync {
+                kind: sync_kind_from_code(kind)?,
+                base: int_reg_from_code(base)?,
+                offset: i64_field(r)?,
+            }
+        }
+        ITAG_NOP => Instruction::Nop,
+        ITAG_HALT => Instruction::Halt,
+        other => {
+            return Err(DecodeError::BadCode {
+                what: "instruction tag",
+                code: other as u64,
+            })
+        }
+    })
+}
+
+fn write_program<W: Write>(w: &mut W, p: &Program) -> io::Result<()> {
+    w.write_all(&(p.len() as u32).to_le_bytes())?;
+    for i in p.instructions() {
+        write_instruction(w, i)?;
+    }
+    let labels: Vec<(usize, &str)> = p.labels().collect();
+    w.write_all(&(labels.len() as u32).to_le_bytes())?;
+    for (pc, name) in labels {
+        w.write_all(&(pc as u32).to_le_bytes())?;
+        write_str(w, name)?;
+    }
+    Ok(())
+}
+
+fn read_program<R: Read>(r: &mut R) -> Result<Program, DecodeError> {
+    let count = u32::from_le_bytes(read_exact(r)?);
+    let mut instructions = Vec::with_capacity(count.min(1 << 22) as usize);
+    for _ in 0..count {
+        instructions.push(read_instruction(r)?);
+    }
+    let label_count = u32::from_le_bytes(read_exact(r)?);
+    let mut labels = BTreeMap::new();
+    for _ in 0..label_count {
+        let pc = u32::from_le_bytes(read_exact(r)?) as usize;
+        labels.insert(pc, read_str(r)?);
+    }
+    Ok(Program::with_labels(instructions, labels))
+}
+
+fn write_breakdown<W: Write>(w: &mut W, b: &Breakdown) -> io::Result<()> {
+    for field in [b.busy, b.sync, b.read, b.write] {
+        w.write_all(&field.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_breakdown<R: Read>(r: &mut R) -> Result<Breakdown, DecodeError> {
+    Ok(Breakdown {
+        busy: u64::from_le_bytes(read_exact(r)?),
+        sync: u64::from_le_bytes(read_exact(r)?),
+        read: u64::from_le_bytes(read_exact(r)?),
+        write: u64::from_le_bytes(read_exact(r)?),
+    })
+}
+
+/// A complete generated run in on-disk form: everything the harness
+/// needs to re-time an application without re-running the
+/// multiprocessor simulation.
+///
+/// The `key` is the content-addressed cache fingerprint the archive
+/// was generated under (workload, size tier, simulation configuration,
+/// format version). Consumers must compare it against the key they
+/// expect — a mismatch means a different configuration produced this
+/// file and it must be regenerated, never trusted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceArchive {
+    /// Canonical cache-key string (see `lookahead-harness`'s cache).
+    pub key: String,
+    /// Application name ("MP3D", "LU", ...).
+    pub app: String,
+    /// Index of the representative processor within `traces`.
+    pub proc: u32,
+    /// Total multiprocessor cycles of the generating run.
+    pub mp_cycles: u64,
+    /// Per-processor execution-time breakdowns of the generating run.
+    pub breakdowns: Vec<Breakdown>,
+    /// The SPMD program all processors executed.
+    pub program: Program,
+    /// Every processor's annotated trace.
+    pub traces: Vec<Trace>,
+}
+
+/// Writes a [`TraceArchive`] in the version-2 `LKTR` container:
+/// magic/version header, checksummed payload (key, app, statistics,
+/// program and all traces), then an FNV-1a footer.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_archive<W: Write>(mut w: W, archive: &TraceArchive) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[ARCHIVE_VERSION])?;
+    let mut hw = HashingWriter::new(&mut w);
+    write_str(&mut hw, &archive.key)?;
+    write_str(&mut hw, &archive.app)?;
+    hw.write_all(&archive.proc.to_le_bytes())?;
+    hw.write_all(&archive.mp_cycles.to_le_bytes())?;
+    hw.write_all(&(archive.breakdowns.len() as u32).to_le_bytes())?;
+    for b in &archive.breakdowns {
+        write_breakdown(&mut hw, b)?;
+    }
+    write_program(&mut hw, &archive.program)?;
+    hw.write_all(&(archive.traces.len() as u32).to_le_bytes())?;
+    for t in &archive.traces {
+        write_entries(&mut hw, t)?;
+    }
+    let checksum = hw.hash;
+    w.write_all(&checksum.to_le_bytes())
+}
+
+/// Reads a [`TraceArchive`] previously written by [`write_archive`],
+/// verifying the checksum footer.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed or damaged input; a payload
+/// that decodes structurally but fails the checksum yields
+/// [`DecodeError::BadChecksum`].
+pub fn read_archive<R: Read>(mut r: R) -> Result<TraceArchive, DecodeError> {
+    let magic: [u8; 4] = read_exact(&mut r)?;
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let [version] = read_exact::<_, 1>(&mut r)?;
+    if version != ARCHIVE_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let mut hr = HashingReader::new(&mut r);
+    let key = read_str(&mut hr)?;
+    let app = read_str(&mut hr)?;
+    let proc = u32::from_le_bytes(read_exact(&mut hr)?);
+    let mp_cycles = u64::from_le_bytes(read_exact(&mut hr)?);
+    let breakdown_count = u32::from_le_bytes(read_exact(&mut hr)?);
+    let mut breakdowns = Vec::with_capacity(breakdown_count.min(1 << 16) as usize);
+    for _ in 0..breakdown_count {
+        breakdowns.push(read_breakdown(&mut hr)?);
+    }
+    let program = read_program(&mut hr)?;
+    let trace_count = u32::from_le_bytes(read_exact(&mut hr)?);
+    let mut traces = Vec::with_capacity(trace_count.min(1 << 16) as usize);
+    for _ in 0..trace_count {
+        traces.push(read_entries(&mut hr)?);
+    }
+    let computed = hr.hash;
+    let stored = u64::from_le_bytes(read_exact(&mut r)?);
+    if stored != computed {
+        return Err(DecodeError::BadChecksum { stored, computed });
+    }
+    let archive = TraceArchive {
+        key,
+        app,
+        proc,
+        mp_cycles,
+        breakdowns,
+        program,
+        traces,
+    };
+    if (archive.proc as usize) >= archive.traces.len().max(1) {
+        return Err(DecodeError::BadCode {
+            what: "representative processor index",
+            code: archive.proc as u64,
+        });
+    }
+    Ok(archive)
 }
 
 #[cfg(test)]

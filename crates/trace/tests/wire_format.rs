@@ -1,0 +1,412 @@
+//! Property tests that pin the LKTR wire format.
+//!
+//! The on-disk trace cache trusts `read_archive` to either reproduce
+//! the exact `TraceArchive` that was stored or fail with a typed
+//! [`DecodeError`] so the caller regenerates. These tests enforce that
+//! contract from outside the crate: randomized archives round-trip
+//! exactly, and *every* single-bit flip and *every* truncation of an
+//! encoded stream yields an error — never a panic, never a silently
+//! wrong answer.
+
+use std::collections::BTreeMap;
+
+use lookahead_isa::rng::XorShift64;
+use lookahead_isa::{
+    AluOp, BranchCond, FpCmpOp, FpReg, FpuOp, Instruction, IntReg, Program, SyncKind,
+};
+use lookahead_trace::{
+    fnv1a, read_archive, read_trace, write_archive, write_trace, Breakdown, DecodeError, MemAccess,
+    SyncAccess, Trace, TraceArchive, TraceEntry, TraceOp,
+};
+
+const SYNC_KINDS: [SyncKind; 5] = [
+    SyncKind::Lock,
+    SyncKind::Unlock,
+    SyncKind::Barrier,
+    SyncKind::WaitEvent,
+    SyncKind::SetEvent,
+];
+
+fn nonzero_u32(rng: &mut XorShift64) -> u32 {
+    (rng.next_below(u32::MAX as u64) + 1) as u32
+}
+
+/// One random entry; the tag distribution covers all six record kinds.
+fn gen_entry(rng: &mut XorShift64) -> TraceEntry {
+    let pc = rng.next_u64() as u32;
+    let op = match rng.next_below(6) {
+        0 => TraceOp::Compute,
+        1 => TraceOp::Load(MemAccess {
+            addr: rng.next_u64(),
+            miss: rng.next_bool(),
+            latency: nonzero_u32(rng),
+        }),
+        2 => TraceOp::Store(MemAccess {
+            addr: rng.next_u64(),
+            miss: rng.next_bool(),
+            latency: nonzero_u32(rng),
+        }),
+        3 => TraceOp::Branch {
+            taken: rng.next_bool(),
+            target: rng.next_u64() as u32,
+        },
+        4 => TraceOp::Jump {
+            target: rng.next_u64() as u32,
+        },
+        _ => TraceOp::Sync(SyncAccess {
+            kind: *rng.choose(&SYNC_KINDS),
+            addr: rng.next_u64(),
+            wait: rng.next_u64() as u32,
+            access: nonzero_u32(rng),
+        }),
+    };
+    TraceEntry { pc, op }
+}
+
+fn gen_trace(rng: &mut XorShift64, max_len: usize) -> Trace {
+    let len = rng.range_usize(max_len + 1);
+    Trace::from_entries((0..len).map(|_| gen_entry(rng)).collect())
+}
+
+/// A program exercising every instruction variant and every label
+/// path of the codec, with extreme immediates.
+fn every_instruction_program() -> Program {
+    let r = |i: usize| IntReg::new(i).unwrap();
+    let f = |i: usize| FpReg::new(i).unwrap();
+    let instrs = vec![
+        Instruction::Alu {
+            op: AluOp::Add,
+            rd: r(1),
+            rs1: r(2),
+            rs2: r(3),
+        },
+        Instruction::AluImm {
+            op: AluOp::Xor,
+            rd: r(4),
+            rs1: r(5),
+            imm: i64::MIN,
+        },
+        Instruction::LoadImm {
+            rd: r(6),
+            imm: i64::MAX,
+        },
+        Instruction::LoadImmF {
+            fd: f(0),
+            value: f64::MIN_POSITIVE,
+        },
+        Instruction::Fpu {
+            op: FpuOp::Sqrt,
+            fd: f(1),
+            fs1: f(2),
+            fs2: f(3),
+        },
+        Instruction::FpCmp {
+            op: FpCmpOp::Le,
+            rd: r(7),
+            fs1: f(4),
+            fs2: f(5),
+        },
+        Instruction::IntToFp { fd: f(6), rs: r(8) },
+        Instruction::FpToInt { rd: r(9), fs: f(7) },
+        Instruction::Load {
+            rd: r(10),
+            base: r(11),
+            offset: -8,
+        },
+        Instruction::Store {
+            rs: r(12),
+            base: r(13),
+            offset: 16,
+        },
+        Instruction::LoadF {
+            fd: f(8),
+            base: r(14),
+            offset: i64::MIN,
+        },
+        Instruction::StoreF {
+            fs: f(9),
+            base: r(15),
+            offset: i64::MAX,
+        },
+        Instruction::Branch {
+            cond: BranchCond::Ge,
+            rs1: r(16),
+            rs2: r(17),
+            target: 0,
+        },
+        Instruction::Jump { target: 5 },
+        Instruction::JumpAndLink {
+            rd: r(18),
+            target: 2,
+        },
+        Instruction::JumpReg { rs: r(19) },
+        Instruction::Sync {
+            kind: SyncKind::Barrier,
+            base: r(20),
+            offset: 32,
+        },
+        Instruction::Nop,
+        Instruction::Halt,
+    ];
+    let mut labels = BTreeMap::new();
+    labels.insert(0, "entry".to_string());
+    labels.insert(12, "loop_head".to_string());
+    Program::with_labels(instrs, labels)
+}
+
+fn sample_archive(rng: &mut XorShift64, max_trace_len: usize) -> TraceArchive {
+    let num_procs = 1 + rng.range_usize(4);
+    let traces: Vec<Trace> = (0..num_procs)
+        .map(|_| gen_trace(rng, max_trace_len))
+        .collect();
+    let breakdowns = (0..num_procs)
+        .map(|_| Breakdown {
+            busy: rng.next_u64(),
+            sync: rng.next_u64(),
+            read: rng.next_u64(),
+            write: rng.next_u64(),
+        })
+        .collect();
+    TraceArchive {
+        key: "lktr-v2;app=LU;tier=small;procs=4;cache=16384/16/1;hit=1;miss=50;wb=16;\
+              membytes=1048576;maxcycles=0;bw=none"
+            .to_string(),
+        app: "LU".to_string(),
+        proc: rng.range_usize(num_procs) as u32,
+        mp_cycles: rng.next_u64(),
+        breakdowns,
+        program: every_instruction_program(),
+        traces,
+    }
+}
+
+fn encode_archive(archive: &TraceArchive) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_archive(&mut buf, archive).unwrap();
+    buf
+}
+
+#[test]
+fn randomized_archives_roundtrip_exactly() {
+    for seed in 0..48u64 {
+        let mut rng = XorShift64::seed_from_u64(0x5eed_0000 + seed);
+        let archive = sample_archive(&mut rng, 60);
+        let buf = encode_archive(&archive);
+        let back = read_archive(&buf[..]).expect("decode of own encoding must succeed");
+        assert_eq!(archive, back, "seed {seed} did not round-trip");
+    }
+}
+
+#[test]
+fn extreme_latencies_and_addresses_roundtrip() {
+    let entries = vec![
+        TraceEntry {
+            pc: u32::MAX,
+            op: TraceOp::Load(MemAccess {
+                addr: u64::MAX,
+                miss: true,
+                latency: u32::MAX,
+            }),
+        },
+        TraceEntry {
+            pc: 0,
+            op: TraceOp::Store(MemAccess {
+                addr: 0,
+                miss: false,
+                latency: 1,
+            }),
+        },
+        TraceEntry {
+            pc: 1,
+            op: TraceOp::Branch {
+                taken: true,
+                target: u32::MAX,
+            },
+        },
+    ];
+    let trace = Trace::from_entries(entries);
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &trace).unwrap();
+    let back = read_trace(&buf[..]).unwrap();
+    assert_eq!(trace.entries(), back.entries());
+}
+
+#[test]
+fn acquire_wait_access_split_is_preserved_exactly() {
+    // The wait component may legitimately be zero (uncontended lock)
+    // or enormous (barrier imbalance); the access component is a
+    // memory latency and must stay nonzero. Both extremes round-trip.
+    for (wait, access) in [(0u32, u32::MAX), (u32::MAX, 1u32)] {
+        let trace = Trace::from_entries(vec![TraceEntry {
+            pc: 7,
+            op: TraceOp::Sync(SyncAccess {
+                kind: SyncKind::Lock,
+                addr: 0xdead_beef,
+                wait,
+                access,
+            }),
+        }]);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(trace.entries(), back.entries());
+    }
+}
+
+#[test]
+fn zero_sync_access_latency_is_rejected() {
+    // The writer does not validate; the reader must. A zero access
+    // latency would let a timing model hide a sync for free.
+    let trace = Trace::from_entries(vec![TraceEntry {
+        pc: 0,
+        op: TraceOp::Sync(SyncAccess {
+            kind: SyncKind::Unlock,
+            addr: 8,
+            wait: 3,
+            access: 0,
+        }),
+    }]);
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &trace).unwrap();
+    assert!(matches!(read_trace(&buf[..]), Err(DecodeError::BadLatency)));
+}
+
+#[test]
+fn every_truncation_of_a_trace_is_a_typed_error() {
+    let mut rng = XorShift64::seed_from_u64(0xabcd);
+    let trace = gen_trace(&mut rng, 24);
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &trace).unwrap();
+    for cut in 0..buf.len() {
+        match read_trace(&buf[..cut]) {
+            Err(_) => {}
+            Ok(_) => panic!(
+                "prefix of {cut}/{} bytes decoded as a full trace",
+                buf.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn every_truncation_of_an_archive_is_a_typed_error() {
+    let mut rng = XorShift64::seed_from_u64(0xfeed);
+    let archive = sample_archive(&mut rng, 16);
+    let buf = encode_archive(&archive);
+    for cut in 0..buf.len() {
+        match read_archive(&buf[..cut]) {
+            Err(_) => {}
+            Ok(_) => panic!(
+                "prefix of {cut}/{} bytes decoded as a full archive",
+                buf.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_of_an_archive_is_detected() {
+    // FNV-1a's per-byte XOR-then-multiply chain means a single flipped
+    // input bit always changes the final hash, so a flip anywhere in
+    // the payload is caught by the checksum even when it still parses
+    // structurally; flips in the magic, version or footer are caught
+    // by their own checks. Every flip must surface as Err, not as a
+    // panic and never as an Ok with altered contents.
+    let mut rng = XorShift64::seed_from_u64(0xb17f);
+    let archive = sample_archive(&mut rng, 8);
+    let buf = encode_archive(&archive);
+    assert!(buf.len() < 8192, "keep the fixture small: {}", buf.len());
+    for byte in 0..buf.len() {
+        for bit in 0..8 {
+            let mut corrupt = buf.clone();
+            corrupt[byte] ^= 1 << bit;
+            match read_archive(&corrupt[..]) {
+                Err(_) => {}
+                Ok(_) => panic!("flip of bit {bit} in byte {byte} went undetected"),
+            }
+        }
+    }
+}
+
+#[test]
+fn bit_flips_that_parse_structurally_fail_the_checksum() {
+    // Flip one bit inside a trace entry's effective address: the
+    // stream still parses, so only the checksum can catch it.
+    let archive = TraceArchive {
+        key: "k".to_string(),
+        app: "LU".to_string(),
+        proc: 0,
+        mp_cycles: 1,
+        breakdowns: vec![Breakdown::default()],
+        program: Program::new(vec![Instruction::Halt]),
+        traces: vec![Trace::from_entries(vec![TraceEntry {
+            pc: 0,
+            op: TraceOp::Load(MemAccess {
+                addr: 0,
+                miss: false,
+                latency: 9,
+            }),
+        }])],
+    };
+    let mut buf = encode_archive(&archive);
+    // The addr field is eight zero bytes followed by the latency; the
+    // last byte before the 8-byte footer belongs to the final entry's
+    // payload region. Flip a middle bit of the addr by searching for
+    // the latency value 9 and flipping a bit well before it.
+    let len = buf.len();
+    let target = len - 8 - 6; // inside the final entry, before the footer
+    buf[target] ^= 0x10;
+    match read_archive(&buf[..]) {
+        Err(DecodeError::BadChecksum { stored, computed }) => {
+            assert_ne!(stored, computed);
+        }
+        other => panic!("expected BadChecksum, got {other:?}"),
+    }
+}
+
+#[test]
+fn version_confusion_is_rejected() {
+    let mut rng = XorShift64::seed_from_u64(0x77);
+    let archive = sample_archive(&mut rng, 4);
+    let archive_bytes = encode_archive(&archive);
+    assert!(
+        matches!(
+            read_trace(&archive_bytes[..]),
+            Err(DecodeError::BadVersion(2))
+        ),
+        "a v2 archive must not decode as a bare v1 trace"
+    );
+
+    let mut trace_bytes = Vec::new();
+    write_trace(&mut trace_bytes, &gen_trace(&mut rng, 4)).unwrap();
+    assert!(
+        matches!(
+            read_archive(&trace_bytes[..]),
+            Err(DecodeError::BadVersion(1))
+        ),
+        "a bare v1 trace must not decode as an archive"
+    );
+}
+
+#[test]
+fn out_of_range_representative_proc_is_rejected() {
+    let mut rng = XorShift64::seed_from_u64(0x99);
+    let mut archive = sample_archive(&mut rng, 4);
+    archive.proc = archive.traces.len() as u32 + 3;
+    let buf = encode_archive(&archive);
+    match read_archive(&buf[..]) {
+        Err(DecodeError::BadCode { what, .. }) => {
+            assert_eq!(what, "representative processor index");
+        }
+        other => panic!("expected BadCode, got {other:?}"),
+    }
+}
+
+#[test]
+fn fnv1a_matches_published_test_vectors() {
+    // Draft-eastlake FNV-1a 64-bit vectors; the cache's file naming
+    // and the archive checksum both depend on these exact values.
+    assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+}

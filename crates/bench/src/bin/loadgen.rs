@@ -1,0 +1,360 @@
+//! Load generator for the experiment service: mixed hot/cold traffic,
+//! exact latency percentiles, and cache-hit / coalescing rates read
+//! back from `/metrics`.
+//!
+//! ```text
+//! # Against an in-process server (cold cache, small tier):
+//! LOOKAHEAD_SMALL=1 cargo run --release --bin loadgen -- --spawn --clients 32
+//!
+//! # Against an already-running server:
+//! cargo run --release --bin loadgen -- --addr 127.0.0.1:7417
+//! ```
+//!
+//! Traffic model: every client thread issues `--requests` GETs; odd
+//! request indices hit the *hot* target (the first of the pool), even
+//! ones walk the pool round-robin, so the mix exercises both the body
+//! memo (hot) and cold-key coalescing (the pool, hit by many clients
+//! at once). The assignment is deterministic — a run is reproducible.
+//!
+//! With `--expect-single-flight` (meaningful against a cold, spawned
+//! server) the run fails unless the service ran **exactly one
+//! simulation per distinct application** and every request is
+//! accounted to one body flight — the acceptance check for the
+//! single-flight contract under real concurrency.
+
+use lookahead_bench::{config_from_env, fail_fast};
+use lookahead_harness::parallel;
+use lookahead_harness::SizeTier;
+use lookahead_serve::{
+    parse_serve_addr, serve_addr_from_env, ExperimentService, Server, ServerConfig, ServiceConfig,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+const USAGE: &str = "usage: loadgen [OPTIONS]
+
+Drives mixed hot/cold traffic at an experiment service and reports
+latency percentiles plus cache-hit and coalescing rates.
+
+options:
+  --addr IP:PORT          target server (default: LOOKAHEAD_SERVE_ADDR
+                          or 127.0.0.1:7417)
+  --spawn                 boot an in-process server (cold cache) on a
+                          free port and drive that instead
+  --clients N             concurrent client threads (default 32)
+  --requests N            requests per client (default 4)
+  --expect-single-flight  fail unless exactly one simulation ran per
+                          distinct app and all requests coalesced
+  -h, --help              show this help
+
+environment: LOOKAHEAD_SMALL=1, LOOKAHEAD_PROCS=n, LOOKAHEAD_JOBS=n,
+LOOKAHEAD_SERVE_ADDR";
+
+/// The target pool: two applications (two distinct generation keys)
+/// across window sizes. `pool()[0]` is the hot target.
+fn pool() -> Vec<String> {
+    let mut targets = Vec::new();
+    for app in ["lu", "mp3d"] {
+        for window in [16usize, 64, 256] {
+            targets.push(format!("/v1/experiments?app={app}&window={window}"));
+        }
+    }
+    targets
+}
+
+const DISTINCT_APPS: u64 = 2;
+
+struct Options {
+    addr: Option<String>,
+    spawn: bool,
+    clients: usize,
+    requests: usize,
+    expect_single_flight: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        addr: None,
+        spawn: false,
+        clients: 32,
+        requests: 4,
+        expect_single_flight: false,
+    };
+    let mut it = args.iter();
+    let positive = |v: &str, flag: &str| -> Result<usize, String> {
+        v.parse::<usize>()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| format!("{flag} must be a positive integer, got {v:?}"))
+    };
+    while let Some(a) = it.next() {
+        let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--spawn" => opts.spawn = true,
+            "--expect-single-flight" => opts.expect_single_flight = true,
+            "--addr" => opts.addr = Some(value(&mut it, "--addr")?),
+            "--clients" => opts.clients = positive(&value(&mut it, "--clients")?, "--clients")?,
+            "--requests" => opts.requests = positive(&value(&mut it, "--requests")?, "--requests")?,
+            _ => {
+                if let Some(v) = a.strip_prefix("--addr=") {
+                    opts.addr = Some(v.to_string());
+                } else if let Some(v) = a.strip_prefix("--clients=") {
+                    opts.clients = positive(v, "--clients")?;
+                } else if let Some(v) = a.strip_prefix("--requests=") {
+                    opts.requests = positive(v, "--requests")?;
+                } else {
+                    return Err(format!("unknown option {a:?}"));
+                }
+            }
+        }
+    }
+    if opts.spawn && opts.addr.is_some() {
+        return Err("--spawn and --addr are mutually exclusive".to_string());
+    }
+    Ok(Some(opts))
+}
+
+fn get(addr: SocketAddr, target: &str) -> std::io::Result<(u16, String)> {
+    let mut conn = TcpStream::connect(addr)?;
+    write!(conn, "GET {target} HTTP/1.1\r\nHost: loadgen\r\n\r\n")?;
+    let mut text = String::new();
+    conn.read_to_string(&mut text)?;
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Exact percentile of a sorted sample (nearest-rank on n-1).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// A counter out of the `/metrics` JSON (flat `"path":value`), 0 when
+/// absent.
+fn metric(body: &str, path: &str) -> u64 {
+    let needle = format!("\"{path}\":");
+    match body.find(&needle) {
+        None => 0,
+        Some(at) => body[at + needle.len()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap_or(0),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(o)) => o,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Either an in-process server (cold cache, free port) or a remote.
+    let mut spawned: Option<(lookahead_serve::ShutdownHandle, std::thread::JoinHandle<_>)> = None;
+    let addr = if opts.spawn {
+        let jobs = parallel::default_workers();
+        let service = Arc::new(ExperimentService::new(
+            ServiceConfig {
+                default_tier: SizeTier::from_env(),
+                sim: config_from_env(),
+                retime_workers: jobs,
+            },
+            None,
+        ));
+        let server = match Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".parse().expect("loopback"),
+            threads: opts.clients.min(16),
+            queue_depth: opts.clients.max(64),
+            ..ServerConfig::default()
+        }) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot bind: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let addr = server.local_addr();
+        let handle = server.handle();
+        spawned = Some((handle, std::thread::spawn(move || server.run(service))));
+        addr
+    } else {
+        match &opts.addr {
+            Some(a) => fail_fast(parse_serve_addr(a)),
+            None => fail_fast(serve_addr_from_env()),
+        }
+    };
+
+    let targets = pool();
+    let total_requests = opts.clients * opts.requests;
+    eprintln!(
+        "loadgen: {} clients x {} requests against http://{addr} \
+         ({} distinct targets, hot target {})",
+        opts.clients,
+        opts.requests,
+        targets.len(),
+        targets[0],
+    );
+
+    // Fire all clients through a barrier so cold keys really do see
+    // concurrent identical requests.
+    let errors = AtomicU64::new(0);
+    let barrier = Barrier::new(opts.clients);
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..opts.clients)
+            .map(|client| {
+                let targets = &targets;
+                let errors = &errors;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut mine = Vec::with_capacity(opts.requests);
+                    barrier.wait();
+                    for r in 0..opts.requests {
+                        let global = client * opts.requests + r;
+                        let target = if global % 2 == 1 {
+                            &targets[0]
+                        } else {
+                            &targets[global / 2 % targets.len()]
+                        };
+                        let t0 = Instant::now();
+                        match get(addr, target) {
+                            Ok((200, _)) => mine.push(t0.elapsed().as_micros() as u64),
+                            Ok((status, body)) => {
+                                eprintln!("loadgen: {status} for {target}: {body}");
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                eprintln!("loadgen: {target} failed: {e}");
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+
+    let metrics = match get(addr, "/metrics") {
+        Ok((200, body)) => body,
+        other => {
+            eprintln!("error: /metrics failed: {other:?}");
+            String::new()
+        }
+    };
+    if let Some((handle, join)) = spawned {
+        handle.shutdown();
+        let _ = join.join();
+    }
+
+    let errors = errors.load(Ordering::Relaxed);
+    let generations = metric(&metrics, "serve.runs.generations");
+    let disk_hits = metric(&metrics, "serve.runs.disk_hits");
+    let memo_hits = metric(&metrics, "serve.runs.memo_hits");
+    let run_coalesced = metric(&metrics, "serve.runs.coalesced");
+    let led = metric(&metrics, "serve.flights.led");
+    let coalesced = metric(&metrics, "serve.flights.coalesced");
+    let memoized = metric(&metrics, "serve.flights.memoized");
+    let flights = led + coalesced + memoized;
+    let pct = |part: u64, whole: u64| {
+        if whole == 0 {
+            0.0
+        } else {
+            100.0 * part as f64 / whole as f64
+        }
+    };
+
+    println!(
+        "requests   {} ok, {errors} failed in {elapsed:.2}s ({:.0} req/s)",
+        latencies.len(),
+        latencies.len() as f64 / elapsed.max(1e-9),
+    );
+    println!(
+        "latency    p50={}us p95={}us p99={}us max={}us",
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 95.0),
+        percentile(&latencies, 99.0),
+        latencies.last().copied().unwrap_or(0),
+    );
+    println!(
+        "runs       generations={generations} disk_hits={disk_hits} \
+         memo_hits={memo_hits} coalesced={run_coalesced}"
+    );
+    println!(
+        "flights    led={led} coalesced={coalesced} memoized={memoized} \
+         (body-cache rate {:.1}%, coalescing rate {:.1}%)",
+        pct(coalesced + memoized, flights),
+        pct(coalesced, flights),
+    );
+
+    if errors > 0 {
+        eprintln!("loadgen: {errors} request(s) failed");
+        return ExitCode::FAILURE;
+    }
+    if opts.expect_single_flight {
+        if generations != DISTINCT_APPS {
+            eprintln!(
+                "loadgen: expected exactly {DISTINCT_APPS} simulations \
+                 (one per distinct app), measured {generations}"
+            );
+            return ExitCode::FAILURE;
+        }
+        if flights != total_requests as u64 {
+            eprintln!(
+                "loadgen: expected every request accounted to one body flight \
+                 ({total_requests}), measured {flights}"
+            );
+            return ExitCode::FAILURE;
+        }
+        if led != targets.len() as u64 {
+            eprintln!(
+                "loadgen: expected one flight leader per distinct target \
+                 ({}), measured {led}",
+                targets.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "loadgen: single-flight contract holds ({DISTINCT_APPS} simulations, \
+             {} leaders, {} requests)",
+            targets.len(),
+            total_requests
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -5,7 +5,13 @@
 //! ```text
 //! cargo run --release -p lookahead-bench --bin lookahead -- summary figure3
 //! cargo run --release -p lookahead-bench --bin lookahead -- all
+//! cargo run --release -p lookahead-bench --bin lookahead -- serve
+//! cargo run --release -p lookahead-bench --bin lookahead -- query /v1/summary
 //! ```
+//!
+//! `serve` and `query` expose the same suite as a service (see
+//! `lookahead_bench::serve_cli`); everything below concerns the report
+//! driver.
 //!
 //! Each report's stdout is byte-identical to the standalone binary of
 //! the same name (`cargo run --bin summary`, ...); the driver adds
@@ -57,9 +63,12 @@ const STANDALONE: &[&str] = &["figure1", "latency100", "assoc", "contention", "s
 const DEFAULT_CACHE_DIR: &str = "target/trace-cache";
 
 const USAGE: &str = "usage: lookahead [OPTIONS] REPORT [REPORT ...]
+       lookahead serve [OPTIONS]    serve the suite over HTTP
+       lookahead query TARGET       answer one service query, print body
 
 Regenerates the requested tables and figures, generating or
 cache-loading each application trace exactly once per process.
+(`lookahead serve --help` / `lookahead query --help` for the service.)
 
 reports:
   figure1 figure3 figure4 summary table1 table2 table3 miss_delay
@@ -151,6 +160,11 @@ fn cache_for(opts: &Options) -> Option<TraceCache> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => return lookahead_bench::serve_cli::serve_main(&args[1..]),
+        Some("query") => return lookahead_bench::serve_cli::query_main(&args[1..]),
+        _ => {}
+    }
     let opts = match parse_args(&args) {
         Ok(Some(o)) => o,
         Ok(None) => {

@@ -31,6 +31,7 @@
 //! wrong experiment.
 
 pub mod reports;
+pub mod serve_cli;
 
 use lookahead_harness::cache::{load_or_generate, CacheOutcome, TraceCache};
 use lookahead_harness::parallel;
@@ -91,7 +92,10 @@ pub fn parse_apps(list: &str) -> Result<Vec<App>, String> {
     Ok(wanted)
 }
 
-fn fail_fast<T>(result: Result<T, String>) -> T {
+/// Unwraps a knob-parse result, or prints the error and exits with
+/// code 2 — the workspace's fail-fast convention for malformed
+/// configuration (a typo must never silently run the wrong thing).
+pub fn fail_fast<T>(result: Result<T, String>) -> T {
     result.unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
@@ -117,49 +121,9 @@ pub fn selected_apps() -> Vec<App> {
     }
 }
 
-/// Which workload size every application runs at.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SizeTier {
-    /// Unit-test sizes (`LOOKAHEAD_SMALL=1`).
-    Small,
-    /// The experiment-harness defaults.
-    Default,
-    /// The paper's published sizes (`LOOKAHEAD_PAPER=1`).
-    Paper,
-}
-
-impl SizeTier {
-    /// Reads the tier from the environment; `LOOKAHEAD_SMALL` wins
-    /// over `LOOKAHEAD_PAPER`.
-    pub fn from_env() -> SizeTier {
-        let on = |k: &str| std::env::var(k).is_ok_and(|v| v != "0");
-        if on("LOOKAHEAD_SMALL") {
-            SizeTier::Small
-        } else if on("LOOKAHEAD_PAPER") {
-            SizeTier::Paper
-        } else {
-            SizeTier::Default
-        }
-    }
-
-    /// The tier's name as spelled into cache keys.
-    pub fn name(self) -> &'static str {
-        match self {
-            SizeTier::Small => "small",
-            SizeTier::Default => "default",
-            SizeTier::Paper => "paper",
-        }
-    }
-
-    /// The application's workload at this tier.
-    pub fn workload(self, app: App) -> Box<dyn Workload + Send + Sync> {
-        match self {
-            SizeTier::Small => app.small_workload(),
-            SizeTier::Default => app.default_workload(),
-            SizeTier::Paper => app.paper_workload(),
-        }
-    }
-}
+// The size tier moved to the harness so the experiment service can
+// share it; re-exported here so the bench API is unchanged.
+pub use lookahead_harness::tier::SizeTier;
 
 /// Trace-cache selection from `LOOKAHEAD_CACHE`: unset uses `default`
 /// (the caller's policy), `off`/`0`/`none`/empty disables caching, and
@@ -477,7 +441,8 @@ mod tests {
     #[test]
     fn tier_names_are_cache_key_stable() {
         // Cache keys embed these strings; renaming one silently
-        // invalidates every existing cache, so pin them.
+        // invalidates every existing cache, so pin them (the enum now
+        // lives in the harness; the re-export must keep these names).
         assert_eq!(SizeTier::Small.name(), "small");
         assert_eq!(SizeTier::Default.name(), "default");
         assert_eq!(SizeTier::Paper.name(), "paper");

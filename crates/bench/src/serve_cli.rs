@@ -1,0 +1,255 @@
+//! The `lookahead serve` and `lookahead query` subcommands.
+//!
+//! `serve` boots the experiment service on an address; `query` answers
+//! one request in-process and prints the body to stdout, **byte
+//! identical** to what the HTTP server would send for the same target
+//! (the golden tests pin this). Both build the service the same way —
+//! same tier, simulation config, cache and worker knobs as the report
+//! driver — so a served figure and a printed figure agree.
+
+use crate::{cache_from_env_or, config_from_env, fail_fast};
+use lookahead_harness::cache::TraceCache;
+use lookahead_harness::parallel;
+use lookahead_harness::SizeTier;
+use lookahead_serve::{
+    handle_target, install_sigint, parse_serve_addr, parse_serve_threads, serve_addr_from_env,
+    serve_threads_from_env, ExperimentService, Server, ServerConfig, ServiceConfig,
+};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const DEFAULT_CACHE_DIR: &str = "target/trace-cache";
+const DEFAULT_THREADS: usize = 4;
+
+pub const SERVE_USAGE: &str = "usage: lookahead serve [OPTIONS]
+
+Serves the experiment suite over HTTP until SIGINT (graceful drain).
+
+routes:
+  /healthz  /metrics  /v1/apps
+  /v1/experiments?app=A[&model=M&consistency=C&window=W&width=I&tier=T]
+  /v1/figure3?app=A  /v1/figure4?app=A  /v1/summary
+
+options:
+  --addr IP:PORT   bind address (default: LOOKAHEAD_SERVE_ADDR or
+                   127.0.0.1:7417; port 0 picks a free port)
+  --addr-file F    write the bound address to F (for port-0 scripts)
+  --threads N      connection worker threads (default:
+                   LOOKAHEAD_SERVE_THREADS or 4)
+  --jobs N         re-timing worker threads (default: LOOKAHEAD_JOBS
+                   or all cores)
+  --cache-dir DIR  cache traces under DIR (default: target/trace-cache,
+                   or the LOOKAHEAD_CACHE environment variable)
+  --no-cache       disable the trace cache
+  -h, --help       show this help
+
+environment: LOOKAHEAD_SMALL=1, LOOKAHEAD_PAPER=1, LOOKAHEAD_PROCS=n,
+LOOKAHEAD_SERVE_ADDR, LOOKAHEAD_SERVE_THREADS, LOOKAHEAD_CACHE=DIR|off,
+LOOKAHEAD_JOBS=n";
+
+pub const QUERY_USAGE: &str = "usage: lookahead query TARGET [OPTIONS]
+
+Answers one service query in-process and prints the body to stdout —
+byte-identical to the HTTP response body for the same target.
+
+  lookahead query '/v1/experiments?app=mp3d&model=ds&window=64'
+  lookahead query /v1/summary
+
+options:
+  --jobs N         re-timing worker threads
+  --cache-dir DIR  cache traces under DIR (default: target/trace-cache)
+  --no-cache       disable the trace cache
+  -h, --help       show this help";
+
+#[derive(Default)]
+struct Options {
+    addr: Option<String>,
+    addr_file: Option<String>,
+    threads: Option<String>,
+    jobs: Option<usize>,
+    cache_dir: Option<String>,
+    no_cache: bool,
+    target: Option<String>,
+}
+
+/// Parses the flags shared by `serve` and `query`; positional
+/// arguments land in `target` (only `query` accepts one).
+fn parse(args: &[String], usage: &'static str) -> Result<Option<Options>, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--no-cache" => opts.no_cache = true,
+            "--addr" => opts.addr = Some(value(&mut it, "--addr")?),
+            "--addr-file" => opts.addr_file = Some(value(&mut it, "--addr-file")?),
+            "--threads" => opts.threads = Some(value(&mut it, "--threads")?),
+            "--cache-dir" => opts.cache_dir = Some(value(&mut it, "--cache-dir")?),
+            "--jobs" => opts.jobs = Some(parallel::parse_jobs(&value(&mut it, "--jobs")?)?),
+            _ => {
+                if let Some(v) = a.strip_prefix("--addr=") {
+                    opts.addr = Some(v.to_string());
+                } else if let Some(v) = a.strip_prefix("--addr-file=") {
+                    opts.addr_file = Some(v.to_string());
+                } else if let Some(v) = a.strip_prefix("--threads=") {
+                    opts.threads = Some(v.to_string());
+                } else if let Some(v) = a.strip_prefix("--cache-dir=") {
+                    opts.cache_dir = Some(v.to_string());
+                } else if let Some(v) = a.strip_prefix("--jobs=") {
+                    opts.jobs = Some(parallel::parse_jobs(v)?);
+                } else if a.starts_with('-') {
+                    return Err(format!("unknown option {a:?}\n\n{usage}"));
+                } else if opts.target.is_none() {
+                    opts.target = Some(a.clone());
+                } else {
+                    return Err(format!("unexpected argument {a:?}\n\n{usage}"));
+                }
+            }
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn cache_for(opts: &Options) -> Option<TraceCache> {
+    if opts.no_cache {
+        return None;
+    }
+    match &opts.cache_dir {
+        Some(dir) => Some(TraceCache::new(dir.clone())),
+        None => cache_from_env_or(Some(DEFAULT_CACHE_DIR)),
+    }
+}
+
+/// The service, built exactly as the report driver builds its runner:
+/// tier and simulation config from the environment, plus the cache and
+/// worker knobs.
+fn build_service(opts: &Options) -> (Arc<ExperimentService>, usize) {
+    let jobs = opts.jobs.unwrap_or_else(parallel::default_workers);
+    let service = ExperimentService::new(
+        ServiceConfig {
+            default_tier: SizeTier::from_env(),
+            sim: config_from_env(),
+            retime_workers: jobs,
+        },
+        cache_for(opts),
+    );
+    (Arc::new(service), jobs)
+}
+
+/// `lookahead serve`: bind, announce, serve until SIGINT, drain.
+pub fn serve_main(args: &[String]) -> ExitCode {
+    let opts = match parse(args, SERVE_USAGE) {
+        Ok(Some(o)) => o,
+        Ok(None) => {
+            println!("{SERVE_USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(t) = &opts.target {
+        eprintln!("error: serve takes no positional argument, got {t:?}\n\n{SERVE_USAGE}");
+        return ExitCode::from(2);
+    }
+
+    // Fail-fast knob resolution: flags win, then environment, then
+    // defaults; any malformed value is exit code 2.
+    let addr = match &opts.addr {
+        Some(a) => fail_fast(parse_serve_addr(a)),
+        None => fail_fast(serve_addr_from_env()),
+    };
+    let threads = match &opts.threads {
+        Some(t) => fail_fast(parse_serve_threads(t)),
+        None => fail_fast(serve_threads_from_env()).unwrap_or(DEFAULT_THREADS),
+    };
+    let (service, jobs) = build_service(&opts);
+
+    install_sigint();
+    let server = match Server::bind(ServerConfig {
+        addr,
+        threads,
+        watch_sigint: true,
+        ..ServerConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = server.local_addr();
+    if let Some(path) = &opts.addr_file {
+        if let Err(e) = std::fs::write(path, bound.to_string()) {
+            eprintln!("error: cannot write --addr-file {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "lookahead serve: http://{bound} ({} connection workers, {jobs} re-timing workers, \
+         tier {}, cache {}); Ctrl-C drains and exits",
+        threads,
+        service.config().default_tier.name(),
+        if service.disk_cache_enabled() {
+            "on"
+        } else {
+            "off"
+        },
+    );
+
+    let stats = server.run(Arc::clone(&service));
+    let runs = service.run_stats();
+    eprintln!(
+        "lookahead serve: drained; {} served, {} rejected (503), {} aborted; \
+         {} generations, {} disk hits, {} memo hits, {} coalesced",
+        stats.served,
+        stats.rejected,
+        stats.aborted,
+        runs.generations,
+        runs.disk_hits,
+        runs.memo_hits,
+        runs.coalesced,
+    );
+    ExitCode::SUCCESS
+}
+
+/// `lookahead query`: answer one target in-process, print the body.
+pub fn query_main(args: &[String]) -> ExitCode {
+    let opts = match parse(args, QUERY_USAGE) {
+        Ok(Some(o)) => o,
+        Ok(None) => {
+            println!("{QUERY_USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(target) = &opts.target else {
+        eprintln!("error: query needs a TARGET\n\n{QUERY_USAGE}");
+        return ExitCode::from(2);
+    };
+    if opts.addr.is_some() || opts.addr_file.is_some() || opts.threads.is_some() {
+        eprintln!("error: --addr/--addr-file/--threads are serve options\n\n{QUERY_USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let (service, _) = build_service(&opts);
+    let response = handle_target(&service, target);
+    // The body goes to stdout verbatim (no trailing newline): the
+    // bytes must equal the HTTP response body for the same target.
+    print!("{}", response.body);
+    if response.status == 200 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: {} for {target:?}", response.status);
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,221 @@
+//! Golden end-to-end tests for `lookahead serve` / `lookahead query`:
+//! the real binary, a real socket, and the byte-identity contract
+//! between the HTTP response body and the CLI query body.
+//!
+//! Runs at the small tier on a reduced app set (like the driver
+//! goldens) so a cold query costs well under a second.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const KNOBS: [&str; 9] = [
+    "LOOKAHEAD_SMALL",
+    "LOOKAHEAD_PAPER",
+    "LOOKAHEAD_PROCS",
+    "LOOKAHEAD_APPS",
+    "LOOKAHEAD_CACHE",
+    "LOOKAHEAD_JOBS",
+    "LOOKAHEAD_OBS_OUT",
+    "LOOKAHEAD_SERVE_ADDR",
+    "LOOKAHEAD_SERVE_THREADS",
+];
+
+const FAST: [(&str, &str); 3] = [
+    ("LOOKAHEAD_SMALL", "1"),
+    ("LOOKAHEAD_PROCS", "4"),
+    ("LOOKAHEAD_APPS", "LU,MP3D"),
+];
+
+fn lookahead_cmd(args: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_lookahead"));
+    cmd.args(args);
+    for knob in KNOBS {
+        cmd.env_remove(knob);
+    }
+    cmd.envs(FAST.iter().copied());
+    cmd
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lktr-serve-golden-{}-{tag}", std::process::id()))
+}
+
+/// A `lookahead serve` child on an OS-picked port, killed on drop.
+struct ServeProc {
+    child: Option<Child>,
+    addr: String,
+}
+
+impl ServeProc {
+    fn start(tag: &str) -> ServeProc {
+        let addr_file = temp_path(tag);
+        let _ = std::fs::remove_file(&addr_file);
+        let child = lookahead_cmd(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--no-cache",
+            "--threads",
+            "2",
+            "--jobs",
+            "2",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+
+        // The server writes the bound address once the listener is up.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                if !s.is_empty() {
+                    break s;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "server never wrote {addr_file:?}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        let _ = std::fs::remove_file(&addr_file);
+        ServeProc {
+            child: Some(child),
+            addr,
+        }
+    }
+
+    fn get(&self, target: &str) -> (u16, String) {
+        let mut conn = TcpStream::connect(&self.addr).expect("connect");
+        write!(conn, "GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut text = String::new();
+        conn.read_to_string(&mut text).unwrap();
+        let status = text
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = text
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    /// SIGINT, then assert the graceful drain exits 0.
+    fn interrupt_and_wait(mut self) {
+        let child = self.child.take().expect("child present");
+        let pid = child.id().to_string();
+        let status = Command::new("kill")
+            .args(["-INT", &pid])
+            .status()
+            .expect("kill runs");
+        assert!(status.success(), "kill -INT failed");
+        let out = child.wait_with_output().expect("serve exits");
+        assert!(
+            out.status.success(),
+            "serve must exit 0 after SIGINT, got {:?}; stderr:\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("drained"), "no drain line in: {stderr}");
+    }
+}
+
+impl Drop for ServeProc {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+const QUERY: &str = "/v1/experiments?app=lu&model=ds&window=64&consistency=rc";
+
+#[test]
+fn http_body_equals_cli_query_body_and_sigint_drains() {
+    let server = ServeProc::start("golden");
+
+    let (status, _) = server.get("/healthz");
+    assert_eq!(status, 200);
+
+    // Cold then warm: identical bytes.
+    let (s1, cold) = server.get(QUERY);
+    let (s2, warm) = server.get(QUERY);
+    assert_eq!((s1, s2), (200, 200));
+    assert_eq!(cold, warm, "cold and warm bodies must be identical");
+
+    // The CLI query path prints the same bytes (no trailing newline).
+    let out = lookahead_cmd(&["query", QUERY, "--no-cache"])
+        .output()
+        .expect("query runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8(out.stdout).unwrap(),
+        cold,
+        "HTTP body and `lookahead query` stdout must be identical bytes"
+    );
+
+    // The coalescing/caching accounting is visible in /metrics.
+    let (status, metrics) = server.get("/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("\"serve.runs.generations\":1"),
+        "one simulation for cold+warm: {metrics}"
+    );
+
+    server.interrupt_and_wait();
+}
+
+#[test]
+fn malformed_serve_knobs_exit_2() {
+    for args in [
+        ["serve", "--addr", "not-an-addr"].as_slice(),
+        ["serve", "--threads", "0"].as_slice(),
+        ["serve", "--jobs", "zero"].as_slice(),
+    ] {
+        let out = lookahead_cmd(args).output().expect("runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("error"), "{args:?}: {stderr}");
+    }
+
+    // The same fail-fast convention for the environment knobs.
+    for (knob, value) in [
+        ("LOOKAHEAD_SERVE_ADDR", "localhost:banana"),
+        ("LOOKAHEAD_SERVE_THREADS", "-3"),
+    ] {
+        let out = lookahead_cmd(&["serve"])
+            .env(knob, value)
+            .output()
+            .expect("runs");
+        assert_eq!(out.status.code(), Some(2), "{knob}={value}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(knob), "error must name {knob}: {stderr}");
+    }
+}
+
+#[test]
+fn query_rejects_bad_targets_but_still_prints_the_error_body() {
+    let out = lookahead_cmd(&["query", "/v1/experiments?app=doom", "--no-cache"])
+        .output()
+        .expect("query runs");
+    assert!(!out.status.success());
+    let body = String::from_utf8(out.stdout).unwrap();
+    assert!(body.contains("unknown app"), "{body}");
+
+    let out = lookahead_cmd(&["query"]).output().expect("query runs");
+    assert_eq!(out.status.code(), Some(2), "missing target is usage error");
+}

@@ -15,11 +15,14 @@
 //! [`experiments`] steps 4–5 for each table and figure of the paper,
 //! and [`format`](mod@format) renders text tables and stacked bars.
 //!
-//! Two execution-layer modules make the experiment suite cheap to
-//! rerun: [`cache`] stores generated runs in a content-addressed
-//! on-disk cache so the multiprocessor simulation is pay-once, and
-//! [`parallel`] fans independent re-timing cells across cores with
-//! deterministic, submission-ordered results.
+//! Three execution-layer modules make the experiment suite cheap to
+//! rerun and safe to share: [`cache`] stores generated runs in a
+//! content-addressed on-disk cache so the multiprocessor simulation is
+//! pay-once, [`parallel`] fans independent re-timing cells across
+//! cores with deterministic, submission-ordered results, and
+//! [`singleflight`] deduplicates concurrent requests for the same run
+//! onto a single computation (the substrate of the experiment
+//! service's coalescing).
 
 pub mod cache;
 pub mod experiments;
@@ -27,6 +30,8 @@ pub mod format;
 pub mod obsout;
 pub mod parallel;
 pub mod pipeline;
+pub mod singleflight;
+pub mod tier;
 
 pub use cache::{cache_key, load_or_generate, CacheOutcome, MissReason, TraceCache};
 pub use experiments::{
@@ -36,3 +41,5 @@ pub use experiments::{
     MissDelayReport,
 };
 pub use pipeline::{AppRun, PipelineError};
+pub use singleflight::{FlightOutcome, SharedRunStats, SharedRuns, SingleFlight};
+pub use tier::SizeTier;

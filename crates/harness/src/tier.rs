@@ -1,0 +1,90 @@
+//! Workload size tiers: which problem size every application runs at.
+//!
+//! The tier is part of every trace-cache key (see
+//! [`cache_key`](crate::cache::cache_key)), so the bench binaries, the
+//! unified driver and the experiment service all agree on what a
+//! cached trace means. The canonical tier names (`small`, `default`,
+//! `paper`) are pinned by tests — renaming one silently invalidates
+//! every existing cache.
+
+use lookahead_workloads::{App, Workload};
+
+/// Which workload size every application runs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeTier {
+    /// Unit-test sizes (`LOOKAHEAD_SMALL=1`).
+    Small,
+    /// The experiment-harness defaults.
+    Default,
+    /// The paper's published sizes (`LOOKAHEAD_PAPER=1`).
+    Paper,
+}
+
+impl SizeTier {
+    /// Every tier, in increasing size order.
+    pub const ALL: [SizeTier; 3] = [SizeTier::Small, SizeTier::Default, SizeTier::Paper];
+
+    /// Reads the tier from the environment; `LOOKAHEAD_SMALL` wins
+    /// over `LOOKAHEAD_PAPER`.
+    pub fn from_env() -> SizeTier {
+        let on = |k: &str| std::env::var(k).is_ok_and(|v| v != "0");
+        if on("LOOKAHEAD_SMALL") {
+            SizeTier::Small
+        } else if on("LOOKAHEAD_PAPER") {
+            SizeTier::Paper
+        } else {
+            SizeTier::Default
+        }
+    }
+
+    /// The tier's name as spelled into cache keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            SizeTier::Small => "small",
+            SizeTier::Default => "default",
+            SizeTier::Paper => "paper",
+        }
+    }
+
+    /// The tier named `name` (the inverse of [`name`](Self::name)),
+    /// case-insensitively; `None` for anything else.
+    pub fn from_name(name: &str) -> Option<SizeTier> {
+        SizeTier::ALL
+            .into_iter()
+            .find(|t| t.name().eq_ignore_ascii_case(name.trim()))
+    }
+
+    /// The application's workload at this tier.
+    pub fn workload(self, app: App) -> Box<dyn Workload + Send + Sync> {
+        match self {
+            SizeTier::Small => app.small_workload(),
+            SizeTier::Default => app.default_workload(),
+            SizeTier::Paper => app.paper_workload(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_names_are_cache_key_stable() {
+        // Cache keys embed these strings; renaming one silently
+        // invalidates every existing cache, so pin them.
+        assert_eq!(SizeTier::Small.name(), "small");
+        assert_eq!(SizeTier::Default.name(), "default");
+        assert_eq!(SizeTier::Paper.name(), "paper");
+    }
+
+    #[test]
+    fn from_name_roundtrips_and_rejects_unknown() {
+        for t in SizeTier::ALL {
+            assert_eq!(SizeTier::from_name(t.name()), Some(t));
+        }
+        assert_eq!(SizeTier::from_name("SMALL"), Some(SizeTier::Small));
+        assert_eq!(SizeTier::from_name(" paper "), Some(SizeTier::Paper));
+        assert_eq!(SizeTier::from_name("huge"), None);
+        assert_eq!(SizeTier::from_name(""), None);
+    }
+}

@@ -47,7 +47,27 @@ pub struct MemoryContention {
 
 impl MemoryContention {
     /// Creates a memory service queue with the given concurrency.
+    ///
+    /// `Some(0)` is rejected: a memory system that can service zero
+    /// concurrent misses can never make progress, so the zero edge is
+    /// a configuration bug, not a degenerate queue. It used to die
+    /// deep inside [`service`](Self::service) with an opaque
+    /// heap-invariant panic; now it fails here, at construction, with
+    /// a message naming the fix ([`SimConfig::validate`] rejects the
+    /// same value at the configuration layer).
+    ///
+    /// [`SimConfig::validate`]: crate::SimConfig::validate
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Some(0)`; use `Some(1)` for a fully serialized
+    /// memory system or `None` for the paper's unbounded one.
     pub fn new(capacity: Option<usize>) -> MemoryContention {
+        assert!(
+            capacity != Some(0),
+            "MemoryContention capacity must be at least 1 \
+             (Some(1) = fully serial, None = unbounded)"
+        );
         MemoryContention {
             capacity,
             ..MemoryContention::default()
@@ -160,5 +180,100 @@ mod tests {
         let done: Vec<u64> = (0..6).map(|_| m.service(0, 50)).collect();
         assert_eq!(done, vec![50, 50, 100, 100, 150, 150]);
         assert!((m.mean_queueing_delay() - (50.0 * 2.0 + 100.0 * 2.0) / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_is_rejected_at_construction() {
+        let _ = MemoryContention::new(Some(0));
+    }
+
+    /// A tiny deterministic generator for the property tests (xorshift;
+    /// no external dependencies, stable across platforms).
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        /// Uniform-ish in `[0, bound)`.
+        fn below(&mut self, bound: u64) -> u64 {
+            self.next() % bound
+        }
+    }
+
+    /// A random but sorted arrival schedule: (arrival cycle, latency).
+    fn random_schedule(seed: u64, misses: usize, max_gap: u64) -> Vec<(u64, u32)> {
+        let mut rng = Rng(seed | 1);
+        let mut now = 0;
+        (0..misses)
+            .map(|_| {
+                now += rng.below(max_gap);
+                (now, 20 + rng.below(60) as u32)
+            })
+            .collect()
+    }
+
+    fn total_queueing(schedule: &[(u64, u32)], capacity: Option<usize>) -> u64 {
+        let mut m = MemoryContention::new(capacity);
+        for &(at, latency) in schedule {
+            m.service(at, latency);
+        }
+        m.queueing_cycles()
+    }
+
+    #[test]
+    fn queueing_delay_is_monotone_in_offered_load() {
+        // Property: with capacity fixed, densifying the offered load
+        // (same misses arriving earlier) never reduces total queueing
+        // delay, and adding misses on top of a schedule never reduces
+        // it either.
+        for seed in [1u64, 7, 42, 1234, 99999] {
+            let schedule = random_schedule(seed, 200, 40);
+            for cap in [1usize, 2, 4, 8] {
+                let baseline = total_queueing(&schedule, Some(cap));
+
+                // (a) Compress every gap by half: strictly denser load.
+                let denser: Vec<(u64, u32)> = schedule.iter().map(|&(at, l)| (at / 2, l)).collect();
+                assert!(
+                    total_queueing(&denser, Some(cap)) >= baseline,
+                    "seed {seed} cap {cap}: denser load reduced queueing"
+                );
+
+                // (b) Extend the schedule: a prefix never queues more
+                // than the whole (queueing_cycles is cumulative and
+                // every service() only adds delay).
+                let prefix = &schedule[..schedule.len() / 2];
+                assert!(
+                    total_queueing(prefix, Some(cap)) <= baseline,
+                    "seed {seed} cap {cap}: prefix queued more than the full schedule"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn queueing_delay_is_monotone_in_capacity() {
+        // Property: more service slots never increase total queueing
+        // delay, and unbounded capacity queues nothing.
+        for seed in [3u64, 17, 256, 7777] {
+            let schedule = random_schedule(seed, 300, 25);
+            let mut previous = u64::MAX;
+            for cap in [1usize, 2, 3, 4, 8, 16, 64] {
+                let q = total_queueing(&schedule, Some(cap));
+                assert!(
+                    q <= previous,
+                    "seed {seed}: capacity {cap} queued more than a smaller capacity"
+                );
+                previous = q;
+            }
+            assert_eq!(total_queueing(&schedule, None), 0);
+        }
     }
 }

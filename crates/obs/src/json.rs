@@ -1,13 +1,32 @@
-//! A tiny hand-rolled JSON layer: enough writer support to emit the
-//! journal/metrics formats and enough parser to read back our own
-//! JSONL (flat objects of string and unsigned-integer fields).
+//! A tiny hand-rolled JSON layer: an escape-correct compact writer
+//! ([`JsonObject`] / [`JsonArray`]), enough parser to read back our
+//! own JSONL (flat objects of string and unsigned-integer fields), and
+//! the [`quote`] primitive both sides share.
 //!
 //! This is intentionally not a general JSON library; it exists so the
-//! workspace has no external dependencies. The parser accepts exactly
-//! the subset the writer produces (plus insignificant whitespace).
+//! workspace has no external dependencies. The writer is the one JSON
+//! encoder of the workspace — the journal/metrics exporters, the
+//! experiment service's response bodies and the bench load generator
+//! all build their output through it instead of hand-rolling strings.
+//! Output is compact (no insignificant whitespace) and deterministic:
+//! fields appear exactly in the order they are written.
+//!
+//! ```
+//! use lookahead_obs::json::JsonObject;
+//!
+//! let body = JsonObject::render(|o| {
+//!     o.str("app", "MP3D").u64("window", 64);
+//!     o.array("models", |a| {
+//!         a.str("base");
+//!         a.str("ds");
+//!     });
+//! });
+//! assert_eq!(body, r#"{"app":"MP3D","window":64,"models":["base","ds"]}"#);
+//! ```
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// Quotes a string as a JSON string literal, escaping the characters
 /// our identifiers can contain. Control characters are escaped as
@@ -30,6 +49,217 @@ pub fn quote(s: &str) -> String {
     }
     out.push('"');
     out
+}
+
+/// Renders an `f64` as a JSON number: finite values use Rust's
+/// shortest-roundtrip `Display` (deterministic across platforms);
+/// NaN and infinities, which JSON cannot represent, become `null`.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = v.to_string();
+        // `Display` omits the fraction for integral values ("3"); keep
+        // that — both are valid JSON numbers and it is deterministic.
+        if s == "-0" {
+            s = "0".to_string();
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An object being written: `{"key":value,...}` in insertion order.
+///
+/// Construct one with [`JsonObject::render`] (returns the finished
+/// string) or nest one inside another writer via
+/// [`object`](Self::object) / [`JsonArray::object`].
+#[derive(Debug)]
+pub struct JsonObject<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> JsonObject<'a> {
+    /// Renders a complete object into a fresh string.
+    pub fn render(f: impl FnOnce(&mut JsonObject<'_>)) -> String {
+        let mut out = String::new();
+        {
+            let mut obj = JsonObject::open(&mut out);
+            f(&mut obj);
+            obj.close();
+        }
+        out
+    }
+
+    fn open(out: &'a mut String) -> JsonObject<'a> {
+        out.push('{');
+        JsonObject { out, first: true }
+    }
+
+    fn close(self) {
+        self.out.push('}');
+    }
+
+    fn key(&mut self, key: &str) -> &mut String {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push_str(&quote(key));
+        self.out.push(':');
+        self.out
+    }
+
+    /// Writes a string field (escaped).
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        let out = self.key(key);
+        out.push_str(&quote(value));
+        self
+    }
+
+    /// Writes an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        let out = self.key(key);
+        let _ = write!(out, "{value}");
+        self
+    }
+
+    /// Writes a signed integer field.
+    pub fn i64(&mut self, key: &str, value: i64) -> &mut Self {
+        let out = self.key(key);
+        let _ = write!(out, "{value}");
+        self
+    }
+
+    /// Writes a floating-point field (`null` for NaN/infinity).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        let out = self.key(key);
+        out.push_str(&number(value));
+        self
+    }
+
+    /// Writes a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        let out = self.key(key);
+        out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Writes a `null` field.
+    pub fn null(&mut self, key: &str) -> &mut Self {
+        let out = self.key(key);
+        out.push_str("null");
+        self
+    }
+
+    /// Writes a field whose value is already-rendered JSON. The caller
+    /// vouches for `raw`'s validity (e.g. another writer's output).
+    pub fn raw(&mut self, key: &str, raw: &str) -> &mut Self {
+        let out = self.key(key);
+        out.push_str(raw);
+        self
+    }
+
+    /// Writes a nested object field.
+    pub fn object(&mut self, key: &str, f: impl FnOnce(&mut JsonObject<'_>)) -> &mut Self {
+        let out = self.key(key);
+        let mut obj = JsonObject::open(out);
+        f(&mut obj);
+        obj.close();
+        self
+    }
+
+    /// Writes a nested array field.
+    pub fn array(&mut self, key: &str, f: impl FnOnce(&mut JsonArray<'_>)) -> &mut Self {
+        let out = self.key(key);
+        let mut arr = JsonArray::open(out);
+        f(&mut arr);
+        arr.close();
+        self
+    }
+}
+
+/// An array being written: `[value,...]` in push order.
+#[derive(Debug)]
+pub struct JsonArray<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> JsonArray<'a> {
+    /// Renders a complete array into a fresh string.
+    pub fn render(f: impl FnOnce(&mut JsonArray<'_>)) -> String {
+        let mut out = String::new();
+        {
+            let mut arr = JsonArray::open(&mut out);
+            f(&mut arr);
+            arr.close();
+        }
+        out
+    }
+
+    fn open(out: &'a mut String) -> JsonArray<'a> {
+        out.push('[');
+        JsonArray { out, first: true }
+    }
+
+    fn close(self) {
+        self.out.push(']');
+    }
+
+    fn slot(&mut self) -> &mut String {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out
+    }
+
+    /// Pushes a string element (escaped).
+    pub fn str(&mut self, value: &str) -> &mut Self {
+        let out = self.slot();
+        out.push_str(&quote(value));
+        self
+    }
+
+    /// Pushes an unsigned integer element.
+    pub fn u64(&mut self, value: u64) -> &mut Self {
+        let out = self.slot();
+        let _ = write!(out, "{value}");
+        self
+    }
+
+    /// Pushes a floating-point element (`null` for NaN/infinity).
+    pub fn f64(&mut self, value: f64) -> &mut Self {
+        let out = self.slot();
+        out.push_str(&number(value));
+        self
+    }
+
+    /// Pushes already-rendered JSON.
+    pub fn raw(&mut self, raw: &str) -> &mut Self {
+        let out = self.slot();
+        out.push_str(raw);
+        self
+    }
+
+    /// Pushes a nested object element.
+    pub fn object(&mut self, f: impl FnOnce(&mut JsonObject<'_>)) -> &mut Self {
+        let out = self.slot();
+        let mut obj = JsonObject::open(out);
+        f(&mut obj);
+        obj.close();
+        self
+    }
+
+    /// Pushes a nested array element.
+    pub fn array(&mut self, f: impl FnOnce(&mut JsonArray<'_>)) -> &mut Self {
+        let out = self.slot();
+        let mut arr = JsonArray::open(out);
+        f(&mut arr);
+        arr.close();
+        self
+    }
 }
 
 /// A value in a flat parsed object.
@@ -271,5 +501,78 @@ mod tests {
     #[test]
     fn empty_object_ok() {
         assert!(parse_flat_object("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn builder_renders_every_value_kind() {
+        let s = JsonObject::render(|o| {
+            o.str("s", "a\"b")
+                .u64("u", u64::MAX)
+                .i64("i", -3)
+                .f64("f", 1.5)
+                .bool("t", true)
+                .bool("ff", false)
+                .null("n")
+                .raw("r", "[1,2]");
+        });
+        assert_eq!(
+            s,
+            "{\"s\":\"a\\\"b\",\"u\":18446744073709551615,\"i\":-3,\
+             \"f\":1.5,\"t\":true,\"ff\":false,\"n\":null,\"r\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn builder_nests_objects_and_arrays() {
+        let s = JsonObject::render(|o| {
+            o.object("inner", |i| {
+                i.u64("x", 1);
+            });
+            o.array("list", |a| {
+                a.u64(1).str("two").object(|i| {
+                    i.bool("three", true);
+                });
+                a.array(|inner| {
+                    inner.f64(0.25);
+                });
+            });
+        });
+        assert_eq!(
+            s,
+            "{\"inner\":{\"x\":1},\"list\":[1,\"two\",{\"three\":true},[0.25]]}"
+        );
+    }
+
+    #[test]
+    fn builder_empty_containers() {
+        assert_eq!(JsonObject::render(|_| {}), "{}");
+        assert_eq!(JsonArray::render(|_| {}), "[]");
+        assert_eq!(
+            JsonObject::render(|o| {
+                o.array("a", |_| {});
+            }),
+            "{\"a\":[]}"
+        );
+    }
+
+    #[test]
+    fn number_rendering_is_json_safe() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(-0.0), "0");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(f64::NEG_INFINITY), "null");
+    }
+
+    #[test]
+    fn builder_strings_roundtrip_through_the_parser() {
+        let nasty = "quote\" backslash\\ newline\n tab\t ctrl\u{1} unicode\u{00e9}";
+        let s = JsonObject::render(|o| {
+            o.str("k", nasty).u64("n", 7);
+        });
+        let m = parse_flat_object(&s).unwrap();
+        assert_eq!(m["k"], FlatValue::Str(nasty.into()));
+        assert_eq!(m["n"], FlatValue::UInt(7));
     }
 }

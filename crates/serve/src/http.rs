@@ -1,0 +1,490 @@
+//! A deliberately small, hardened HTTP/1.1 layer over raw streams.
+//!
+//! This is not a general HTTP implementation: the service only needs
+//! `GET` with a query string, one request per connection, and
+//! `Connection: close` semantics. What it *does* need — and what this
+//! module is careful about — is surviving arbitrary bytes from the
+//! network: every limit is explicit (request-line length, header count
+//! and size), every malformed input is a typed error mapped to a 4xx
+//! status, and nothing in here panics on any byte stream.
+
+use std::io::{self, Read, Write};
+
+/// Longest accepted request line (method + target + version), bytes.
+pub const MAX_REQUEST_LINE: usize = 8192;
+/// Most header lines accepted before answering 431.
+pub const MAX_HEADER_COUNT: usize = 100;
+/// Longest accepted single header line, bytes.
+pub const MAX_HEADER_LINE: usize = 8192;
+/// Hard cap on the bytes read for one request head.
+const MAX_HEAD_BYTES: usize = MAX_REQUEST_LINE + MAX_HEADER_COUNT * MAX_HEADER_LINE;
+
+/// A parsed request: method, decoded path, decoded query parameters in
+/// wire order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    /// Percent-decoded path, e.g. `/v1/experiments`.
+    pub path: String,
+    /// Percent-decoded `key=value` pairs in the order sent.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of query parameter `key`, if present.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be served; each variant maps to a status
+/// (or to silently dropping the connection for pure I/O failures).
+#[derive(Debug)]
+pub enum RequestError {
+    /// Unparseable request head → 400.
+    BadRequest(String),
+    /// Parsed, but a method other than GET → 405.
+    MethodNotAllowed(String),
+    /// Request line over [`MAX_REQUEST_LINE`] → 414.
+    UriTooLong,
+    /// Too many or too large headers → 431.
+    HeadersTooLarge,
+    /// A request body was announced; this service accepts none → 413.
+    BodyUnsupported,
+    /// The socket read timed out mid-request → 408.
+    Timeout,
+    /// The peer vanished or the socket failed; nothing to send.
+    Io(io::Error),
+}
+
+impl RequestError {
+    /// The status line to answer with, or `None` when the connection
+    /// is not worth (or capable of) a response.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            RequestError::BadRequest(_) => Some(400),
+            RequestError::MethodNotAllowed(_) => Some(405),
+            RequestError::UriTooLong => Some(414),
+            RequestError::HeadersTooLarge => Some(431),
+            RequestError::BodyUnsupported => Some(413),
+            RequestError::Timeout => Some(408),
+            RequestError::Io(_) => None,
+        }
+    }
+}
+
+/// The canonical reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Reads one request head (everything through the blank line) from
+/// `stream` and parses it.
+///
+/// # Errors
+///
+/// Every malformed, oversized, or timed-out input is a typed
+/// [`RequestError`]; this function does not panic on any byte stream.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
+    let head = read_head(stream)?;
+    parse_head(&head)
+}
+
+/// Reads bytes until the `\r\n\r\n` (or lenient `\n\n`) terminator,
+/// with hard caps on total size.
+fn read_head(stream: &mut impl Read) -> Result<Vec<u8>, RequestError> {
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(if head.is_empty() {
+                    RequestError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed before a request",
+                    ))
+                } else {
+                    RequestError::BadRequest("truncated request head".into())
+                })
+            }
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(RequestError::Timeout)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(RequestError::Io(e)),
+        };
+        head.extend_from_slice(&buf[..n]);
+        if find_head_end(&head).is_some() {
+            return Ok(head);
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::HeadersTooLarge);
+        }
+        // An endless first line is a 414, not a 431.
+        if !head.contains(&b'\n') && head.len() > MAX_REQUEST_LINE {
+            return Err(RequestError::UriTooLong);
+        }
+    }
+}
+
+/// Offset one past the head terminator, if present.
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .or_else(|| bytes.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+}
+
+fn parse_head(head: &[u8]) -> Result<Request, RequestError> {
+    let end = find_head_end(head).unwrap_or(head.len());
+    let text = std::str::from_utf8(&head[..end])
+        .map_err(|_| RequestError::BadRequest("request head is not UTF-8".into()))?;
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+
+    let request_line = lines
+        .next()
+        .ok_or_else(|| RequestError::BadRequest("empty request".into()))?;
+    if request_line.len() > MAX_REQUEST_LINE {
+        return Err(RequestError::UriTooLong);
+    }
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::BadRequest("missing method".into()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| RequestError::BadRequest("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| RequestError::BadRequest("missing HTTP version".into()))?;
+    if parts.next().is_some() {
+        return Err(RequestError::BadRequest("malformed request line".into()));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::BadRequest(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    if !method.chars().all(|c| c.is_ascii_uppercase()) {
+        return Err(RequestError::BadRequest(format!("bad method {method:?}")));
+    }
+    if method != "GET" {
+        return Err(RequestError::MethodNotAllowed(method.to_string()));
+    }
+
+    // Headers: bounded, and a body announcement is rejected outright.
+    let mut count = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        count += 1;
+        if count > MAX_HEADER_COUNT || line.len() > MAX_HEADER_LINE {
+            return Err(RequestError::HeadersTooLarge);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::BadRequest(format!(
+                "malformed header line {line:?}"
+            )));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" && value != "0" {
+            return Err(RequestError::BodyUnsupported);
+        }
+        if name == "transfer-encoding" {
+            return Err(RequestError::BodyUnsupported);
+        }
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    if !path.starts_with('/') {
+        return Err(RequestError::BadRequest(format!(
+            "request target must be absolute, got {target:?}"
+        )));
+    }
+    Ok(Request {
+        method: method.to_string(),
+        path: percent_decode(path),
+        query: parse_query(query),
+    })
+}
+
+/// Splits a raw query string into decoded pairs, preserving order.
+/// Empty segments are skipped; a segment without `=` gets an empty
+/// value.
+pub fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Lenient percent-decoding: `%XX` becomes the byte, `+` becomes a
+/// space, invalid escapes pass through literally, and invalid UTF-8 is
+/// replaced rather than rejected (the router will 404/400 anyway).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A response about to be written: status, content type, body, and an
+/// optional `Retry-After` (the backpressure signal on 503).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: String,
+    pub retry_after: Option<u32>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+            retry_after: None,
+        }
+    }
+}
+
+/// Writes `response` with `Connection: close` framing.
+///
+/// # Errors
+///
+/// Propagates socket write failures (the caller logs and drops).
+pub fn write_response(stream: &mut impl Write, response: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    if let Some(secs) = response.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, RequestError> {
+        let mut cursor = io::Cursor::new(bytes.to_vec());
+        read_request(&mut cursor)
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let r = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.query.is_empty());
+    }
+
+    #[test]
+    fn parses_query_parameters_in_order() {
+        let r = parse(b"GET /v1/experiments?app=mp3d&model=ds&window=64 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(
+            r.query,
+            vec![
+                ("app".into(), "mp3d".into()),
+                ("model".into(), "ds".into()),
+                ("window".into(), "64".into()),
+            ]
+        );
+        assert_eq!(r.param("model"), Some("ds"));
+        assert_eq!(r.param("missing"), None);
+    }
+
+    #[test]
+    fn percent_decoding_is_lenient() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%"), "%");
+        assert_eq!(percent_decode("%4"), "%4");
+        assert_eq!(percent_decode("caf%C3%A9"), "café");
+        // Invalid UTF-8 after decoding is replaced, not a panic.
+        assert_eq!(percent_decode("%ff"), "\u{fffd}");
+    }
+
+    #[test]
+    fn rejects_non_get_with_405() {
+        for m in ["POST", "PUT", "DELETE", "HEAD", "OPTIONS"] {
+            let e = parse(format!("{m} / HTTP/1.1\r\n\r\n").as_bytes()).unwrap_err();
+            assert_eq!(e.status(), Some(405), "{m}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_without_panicking() {
+        for bytes in [
+            &b"\x00\x01\x02\x03\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET / \r\n\r\n",
+            b"GET / SPDY/3\r\n\r\n",
+            b"get / http/1.1\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"\xff\xfe\xfd\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+        ] {
+            let e = parse(bytes).unwrap_err();
+            assert_eq!(e.status(), Some(400), "{bytes:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_head_is_a_bad_request() {
+        let e = parse(b"GET / HTTP/1.1\r\nHost: x").unwrap_err();
+        assert_eq!(e.status(), Some(400));
+    }
+
+    #[test]
+    fn empty_connection_is_io_not_a_status() {
+        let e = parse(b"").unwrap_err();
+        assert!(e.status().is_none());
+    }
+
+    #[test]
+    fn oversized_request_line_is_414() {
+        let mut req = b"GET /".to_vec();
+        req.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE + 10));
+        let e = parse(&req).unwrap_err();
+        assert_eq!(e.status(), Some(414));
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let mut req = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..MAX_HEADER_COUNT + 5 {
+            req.extend_from_slice(format!("X-H{i}: v\r\n").as_bytes());
+        }
+        req.extend_from_slice(b"\r\n");
+        let e = parse(&req).unwrap_err();
+        assert_eq!(e.status(), Some(431));
+    }
+
+    #[test]
+    fn announced_bodies_are_rejected() {
+        let e = parse(b"GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789").unwrap_err();
+        assert_eq!(e.status(), Some(413));
+        let e = parse(b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(e.status(), Some(413));
+        // An explicit zero-length body is fine.
+        assert!(parse(b"GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n").is_ok());
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let r = parse(b"GET /healthz HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(r.path, "/healthz");
+    }
+
+    #[test]
+    fn response_framing_includes_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{\"a\":1}".into())).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"a\":1}"));
+    }
+
+    #[test]
+    fn retry_after_header_on_backpressure() {
+        let mut out = Vec::new();
+        let resp = Response {
+            retry_after: Some(1),
+            ..Response::json(503, "{}".into())
+        };
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Retry-After: 1\r\n"));
+    }
+
+    #[test]
+    fn random_byte_streams_never_panic() {
+        // A tiny deterministic fuzz loop: whatever the bytes, the
+        // parser must return, not panic.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for len in [0usize, 1, 7, 64, 512, 4096] {
+            let mut bytes = Vec::with_capacity(len);
+            for _ in 0..len {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                bytes.push((state >> 32) as u8);
+            }
+            bytes.extend_from_slice(b"\r\n\r\n");
+            let _ = parse(&bytes);
+        }
+    }
+}

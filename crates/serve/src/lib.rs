@@ -1,0 +1,47 @@
+//! `lookahead-serve`: the experiment suite as a concurrent service.
+//!
+//! The simulation stack underneath is expensive to run and perfectly
+//! cacheable — the same query always produces the same bytes. This
+//! crate puts a small, dependency-free HTTP/1.1 server in front of it
+//! so the suite can be queried interactively:
+//!
+//! ```text
+//! GET /v1/experiments?app=mp3d&model=ds&window=64&consistency=rc
+//! GET /v1/figure3?app=lu      GET /v1/figure4?app=ocean
+//! GET /v1/summary             GET /v1/apps
+//! GET /healthz                GET /metrics
+//! ```
+//!
+//! The concurrency story mirrors the paper's own theme — overlap
+//! independent work, never duplicate it:
+//!
+//! * **single-flight dedup** ([`lookahead_harness::singleflight`]):
+//!   N concurrent requests for the same cold key run exactly one
+//!   simulation and share the bytes;
+//! * **backpressure** ([`server`]): a bounded connection queue answers
+//!   `503` + `Retry-After` when full, instead of unbounded latency;
+//! * **graceful shutdown**: SIGINT (or a [`ShutdownHandle`]) drains
+//!   queued connections, joins the workers, then returns;
+//! * **determinism**: response bodies are byte-identical regardless of
+//!   concurrency, cache state, or worker count — pinned by golden
+//!   tests against the `lookahead` CLI output.
+//!
+//! Module map: [`http`] (hardened parsing/framing), [`service`]
+//! (routing, queries, JSON bodies, metrics), [`server`] (listener,
+//! worker pool, queue), [`knobs`] (fail-fast env configuration),
+//! [`signal`] (SIGINT → flag).
+
+pub mod http;
+pub mod knobs;
+pub mod server;
+pub mod service;
+pub mod signal;
+
+pub use http::{Request, RequestError, Response};
+pub use knobs::{
+    parse_serve_addr, parse_serve_threads, serve_addr_from_env, serve_threads_from_env,
+    DEFAULT_ADDR,
+};
+pub use server::{Server, ServerConfig, ServerStats, ShutdownHandle};
+pub use service::{handle_target, ApiError, ExperimentService, ServiceConfig};
+pub use signal::{install_sigint, sigint_received};

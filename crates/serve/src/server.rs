@@ -1,0 +1,429 @@
+//! The HTTP transport: a fixed worker pool over a bounded connection
+//! queue, with explicit backpressure and a graceful drain.
+//!
+//! Design, in the order a connection sees it:
+//!
+//! 1. the acceptor thread polls a nonblocking listener (no reliance on
+//!    EINTR semantics — SIGINT is observed as a flag between polls);
+//! 2. an accepted connection enters a **bounded** queue. A full queue
+//!    answers `503` with `Retry-After` immediately on the acceptor
+//!    thread — the one fast, explicit backpressure signal — instead of
+//!    letting latency grow without bound;
+//! 3. a worker pops the connection, applies read/write timeouts, reads
+//!    and parses one request (every malformed input is a typed 4xx,
+//!    never a panic), asks the [`ExperimentService`] for the response,
+//!    and writes it with `Connection: close` framing.
+//!
+//! Shutdown (a [`ShutdownHandle`] or, opt-in, SIGINT) is graceful: the
+//! acceptor stops accepting, already-queued connections are *served*,
+//! workers drain and join, and `run` returns with the final stats.
+
+use crate::http::{read_request, write_response, RequestError, Response};
+use crate::service::ExperimentService;
+use crate::signal::sigint_received;
+use lookahead_obs::json::JsonObject;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Transport configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; port 0 lets the OS pick (see
+    /// [`Server::local_addr`]).
+    pub addr: SocketAddr,
+    /// Worker threads serving connections.
+    pub threads: usize,
+    /// Most connections waiting for a worker before new ones are
+    /// answered 503.
+    pub queue_depth: usize,
+    /// Per-connection socket read timeout (slow or silent clients get
+    /// a 408 rather than a worker held hostage).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Whether the accept loop also treats SIGINT (via
+    /// [`crate::signal`]) as a shutdown request. Off by default so
+    /// in-process servers in tests are not shut down by the signal
+    /// test's flag; the `lookahead serve` binary turns it on.
+    pub watch_sigint: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: crate::knobs::DEFAULT_ADDR.parse().expect("default addr"),
+            threads: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            watch_sigint: false,
+        }
+    }
+}
+
+/// Counters the transport reports when `run` returns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted (including ones later rejected 503).
+    pub accepted: u64,
+    /// Requests answered by the service.
+    pub served: u64,
+    /// Connections answered 503 because the queue was full.
+    pub rejected: u64,
+    /// Connections that failed before a response could be written
+    /// (peer vanished, I/O error).
+    pub aborted: u64,
+}
+
+/// Asks a running [`Server`] to shut down gracefully; cloneable and
+/// usable from any thread.
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Requests a graceful drain: stop accepting, serve what is
+    /// queued, join the workers.
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// The bounded hand-off between the acceptor and the workers.
+struct ConnQueue {
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+    depth: usize,
+}
+
+struct QueueState {
+    conns: std::collections::VecDeque<TcpStream>,
+    closed: bool,
+}
+
+enum Push {
+    Queued,
+    Full(TcpStream),
+}
+
+impl ConnQueue {
+    fn new(depth: usize) -> ConnQueue {
+        ConnQueue {
+            queue: Mutex::new(QueueState {
+                conns: std::collections::VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Queues a connection, or hands it back when the queue is full
+    /// (the caller sends the 503 — the backpressure decision is made
+    /// here, the response written by the acceptor).
+    fn push(&self, conn: TcpStream) -> Push {
+        let mut state = self.queue.lock().expect("conn queue poisoned");
+        if state.conns.len() >= self.depth {
+            return Push::Full(conn);
+        }
+        state.conns.push_back(conn);
+        drop(state);
+        self.ready.notify_one();
+        Push::Queued
+    }
+
+    /// Pops the next connection, blocking; `None` once the queue is
+    /// closed *and* empty (drain semantics: queued work is finished).
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.queue.lock().expect("conn queue poisoned");
+        loop {
+            if let Some(conn) = state.conns.pop_front() {
+                return Some(conn);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("conn queue poisoned");
+        }
+    }
+
+    /// Closes the queue; workers finish what is queued and exit.
+    fn close(&self) {
+        self.queue.lock().expect("conn queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// The HTTP server: owns the listener and, in [`run`](Server::run),
+/// the worker pool.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the configured address (nonblocking) without serving yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            local_addr,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that can request a graceful shutdown from any thread.
+    pub fn handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shutdown))
+    }
+
+    /// Serves until shutdown is requested, then drains and returns the
+    /// transport stats. Consumes the server (the listener closes on
+    /// return).
+    pub fn run(self, service: Arc<ExperimentService>) -> ServerStats {
+        let queue = Arc::new(ConnQueue::new(self.config.queue_depth));
+        let served = Arc::new(AtomicU64::new(0));
+        let aborted = Arc::new(AtomicU64::new(0));
+        let mut stats = ServerStats::default();
+
+        std::thread::scope(|scope| {
+            for i in 0..self.config.threads.max(1) {
+                let queue = Arc::clone(&queue);
+                let service = Arc::clone(&service);
+                let served = Arc::clone(&served);
+                let aborted = Arc::clone(&aborted);
+                let config = self.config.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn_scoped(scope, move || {
+                        while let Some(conn) = queue.pop() {
+                            match serve_connection(conn, &service, &config) {
+                                Ok(()) => served.fetch_add(1, Ordering::Relaxed),
+                                Err(_) => aborted.fetch_add(1, Ordering::Relaxed),
+                            };
+                        }
+                    })
+                    .expect("spawn worker");
+            }
+
+            // Acceptor: poll the nonblocking listener so the shutdown
+            // flag (handle or SIGINT) is observed within ~5ms.
+            loop {
+                if self.shutdown.load(Ordering::SeqCst)
+                    || (self.config.watch_sigint && sigint_received())
+                {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((conn, _)) => {
+                        stats.accepted += 1;
+                        match queue.push(conn) {
+                            Push::Queued => {}
+                            Push::Full(mut conn) => {
+                                stats.rejected += 1;
+                                service.record_rejected();
+                                let _ = conn.set_write_timeout(Some(self.config.write_timeout));
+                                let _ = write_response(&mut conn, &overloaded());
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        // A failed accept (e.g. fd exhaustion) is not
+                        // fatal; back off and keep serving.
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            }
+
+            // Graceful drain: serve everything queued, then join.
+            queue.close();
+        });
+
+        stats.served = served.load(Ordering::Relaxed);
+        stats.aborted = aborted.load(Ordering::Relaxed);
+        stats
+    }
+}
+
+/// The canned backpressure response.
+fn overloaded() -> Response {
+    Response {
+        retry_after: Some(1),
+        ..Response::json(
+            503,
+            JsonObject::render(|o| {
+                o.str("error", "server overloaded, retry shortly");
+            }),
+        )
+    }
+}
+
+/// Serves one connection: one request, one response, close.
+fn serve_connection(
+    mut conn: TcpStream,
+    service: &ExperimentService,
+    config: &ServerConfig,
+) -> io::Result<()> {
+    conn.set_read_timeout(Some(config.read_timeout))?;
+    conn.set_write_timeout(Some(config.write_timeout))?;
+    let started = Instant::now();
+    let response = match read_request(&mut conn) {
+        Ok(request) => service.handle(&request),
+        Err(e) => match e.status() {
+            Some(status) => error_response(status, &e),
+            // Nothing sensible to write (peer gone); count as aborted.
+            None => return Err(io_error(e)),
+        },
+    };
+    write_response(&mut conn, &response)?;
+    service.record_http(started.elapsed().as_micros() as u64);
+    Ok(())
+}
+
+fn error_response(status: u16, e: &RequestError) -> Response {
+    let message = match e {
+        RequestError::BadRequest(m) => m.clone(),
+        RequestError::MethodNotAllowed(m) => format!("method {m} not allowed; use GET"),
+        RequestError::UriTooLong => "request line too long".into(),
+        RequestError::HeadersTooLarge => "too many or too large headers".into(),
+        RequestError::BodyUnsupported => "request bodies are not accepted".into(),
+        RequestError::Timeout => "timed out reading the request".into(),
+        RequestError::Io(e) => e.to_string(),
+    };
+    Response::json(
+        status,
+        JsonObject::render(|o| {
+            o.str("error", &message);
+        }),
+    )
+}
+
+fn io_error(e: RequestError) -> io::Error {
+    match e {
+        RequestError::Io(e) => e,
+        other => io::Error::other(format!("{other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use std::io::{Read as _, Write as _};
+
+    fn spawn_server(
+        config: ServerConfig,
+    ) -> (
+        SocketAddr,
+        ShutdownHandle,
+        std::thread::JoinHandle<ServerStats>,
+    ) {
+        let service = Arc::new(ExperimentService::new(ServiceConfig::default(), None));
+        let server = Server::bind(config).unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run(service));
+        (addr, handle, join)
+    }
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        write!(conn, "GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut text = String::new();
+        conn.read_to_string(&mut text).unwrap();
+        let status = text
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = text
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn local_config() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".parse().unwrap(),
+            threads: 2,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_health_and_drains_on_shutdown() {
+        let (addr, handle, join) = spawn_server(local_config());
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"status\":\"ok\"}");
+        handle.shutdown();
+        let stats = join.join().unwrap();
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn unknown_route_is_404_and_bad_bytes_400() {
+        let (addr, handle, join) = spawn_server(local_config());
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"\x01\x02garbage\r\n\r\n").unwrap();
+        let mut text = String::new();
+        conn.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 400 "), "{text}");
+
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn slow_client_gets_408_not_a_stuck_worker() {
+        let (addr, handle, join) = spawn_server(ServerConfig {
+            read_timeout: Duration::from_millis(50),
+            ..local_config()
+        });
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET /healthz HTT").unwrap(); // ...and stall.
+        let mut text = String::new();
+        conn.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 408 "), "{text}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_with_no_traffic_exits_promptly() {
+        let (_addr, handle, join) = spawn_server(local_config());
+        handle.shutdown();
+        let stats = join.join().unwrap();
+        assert_eq!(stats, ServerStats::default());
+    }
+}

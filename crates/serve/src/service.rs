@@ -1,0 +1,634 @@
+//! The experiment service: queries in, deterministic JSON report
+//! bodies out.
+//!
+//! This module is deliberately transport-free — it maps a parsed
+//! [`Request`] to a [`Response`] — so the HTTP server, the `lookahead
+//! query` CLI path and the tests all call the exact same code and get
+//! **byte-identical bodies** by construction (the golden tests pin
+//! this).
+//!
+//! Request flow for an experiment query:
+//!
+//! 1. the query is validated fail-fast (unknown parameters are a 400,
+//!    matching the workspace's env-knob philosophy);
+//! 2. the canonical body key enters a [`SingleFlight`]: concurrent
+//!    identical queries coalesce onto one computation, and completed
+//!    bodies are memoized;
+//! 3. the leader resolves the application run through
+//!    [`SharedRuns`] — in-memory memo over single-flight over the PR-2
+//!    content-addressed on-disk trace cache — so each distinct trace
+//!    generation runs **exactly once per process** no matter how many
+//!    clients ask;
+//! 4. re-timing runs on the harness worker pool
+//!    ([`run_ordered`]), deterministic and submission-ordered, so the
+//!    body is byte-identical under any concurrency.
+//!
+//! Everything the paper's philosophy says about overlap applies here:
+//! distinct cold queries overlap their simulations on separate
+//! connection workers; identical ones never duplicate work.
+
+use crate::http::{Request, Response};
+use lookahead_core::base::Base;
+use lookahead_core::ds::{Ds, DsConfig};
+use lookahead_core::inorder::InOrder;
+use lookahead_core::model::{ExecutionResult, ProcessorModel};
+use lookahead_core::ConsistencyModel;
+use lookahead_harness::experiments::{figure3_with, figure4_with, PAPER_WINDOWS};
+use lookahead_harness::parallel::run_ordered;
+use lookahead_harness::pipeline::AppRun;
+use lookahead_harness::singleflight::{FlightOutcome, SharedRuns, SingleFlight};
+use lookahead_harness::tier::SizeTier;
+use lookahead_harness::TraceCache;
+use lookahead_multiproc::SimConfig;
+use lookahead_obs::json::JsonObject;
+use lookahead_obs::metrics::MetricsRegistry;
+use lookahead_trace::Breakdown;
+use lookahead_workloads::App;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Service-level configuration (transport knobs live in
+/// [`ServerConfig`](crate::server::ServerConfig)).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The tier used when a query does not say `tier=`.
+    pub default_tier: SizeTier,
+    /// The simulation configuration queries run under.
+    pub sim: SimConfig,
+    /// Worker threads for the re-timing pool of sweep queries.
+    pub retime_workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            default_tier: SizeTier::Default,
+            sim: SimConfig::default(),
+            retime_workers: 1,
+        }
+    }
+}
+
+/// A query failure, mapped to a status and a JSON error body. Cloned
+/// to every coalesced waiter of a failed flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// Unknown route or application → 404.
+    NotFound(String),
+    /// Malformed or unknown query parameter → 400.
+    BadQuery(String),
+    /// The simulation stack failed → 500.
+    Internal(String),
+}
+
+impl ApiError {
+    fn status(&self) -> u16 {
+        match self {
+            ApiError::NotFound(_) => 404,
+            ApiError::BadQuery(_) => 400,
+            ApiError::Internal(_) => 500,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            ApiError::NotFound(m) | ApiError::BadQuery(m) | ApiError::Internal(m) => m,
+        }
+    }
+
+    /// The error as a response (deterministic JSON body).
+    pub fn into_response(self) -> Response {
+        Response::json(
+            self.status(),
+            JsonObject::render(|o| {
+                o.str("error", self.message());
+            }),
+        )
+    }
+}
+
+/// The processor models a query may name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModelKind {
+    Base,
+    Ssbr,
+    Ss,
+    Ds,
+}
+
+impl ModelKind {
+    fn from_name(name: &str) -> Option<ModelKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "base" => Some(ModelKind::Base),
+            "ssbr" => Some(ModelKind::Ssbr),
+            "ss" => Some(ModelKind::Ss),
+            "ds" => Some(ModelKind::Ds),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            ModelKind::Base => "base",
+            ModelKind::Ssbr => "ssbr",
+            ModelKind::Ss => "ss",
+            ModelKind::Ds => "ds",
+        }
+    }
+}
+
+/// A validated `/v1/experiments` query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ExperimentQuery {
+    app: App,
+    tier: SizeTier,
+    model: ModelKind,
+    consistency: ConsistencyModel,
+    window: usize,
+    width: usize,
+}
+
+/// The experiment service: shared run resolution, single-flight body
+/// deduplication, and metrics.
+pub struct ExperimentService {
+    config: ServiceConfig,
+    runs: SharedRuns,
+    bodies: SingleFlight<Result<Arc<String>, ApiError>>,
+    metrics: Mutex<MetricsRegistry>,
+    flights_led: AtomicU64,
+    flights_coalesced: AtomicU64,
+    flights_memoized: AtomicU64,
+}
+
+impl ExperimentService {
+    /// A service over an optional on-disk trace cache.
+    pub fn new(config: ServiceConfig, cache: Option<TraceCache>) -> ExperimentService {
+        ExperimentService {
+            config,
+            runs: SharedRuns::new(cache),
+            bodies: SingleFlight::new(),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            flights_led: AtomicU64::new(0),
+            flights_coalesced: AtomicU64::new(0),
+            flights_memoized: AtomicU64::new(0),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The run resolver's accounting (generations, hits, coalescing).
+    pub fn run_stats(&self) -> lookahead_harness::singleflight::SharedRunStats {
+        self.runs.stats()
+    }
+
+    /// Whether an on-disk trace cache backs the run resolver.
+    pub fn disk_cache_enabled(&self) -> bool {
+        self.runs.disk_cache_enabled()
+    }
+
+    /// Routes one parsed request to a response. Bodies are
+    /// deterministic for every route except `/metrics`.
+    pub fn handle(&self, request: &Request) -> Response {
+        self.count("serve.http.requests", 1);
+        let result = match request.path.as_str() {
+            "/healthz" => Ok(Response::json(
+                200,
+                JsonObject::render(|o| {
+                    o.str("status", "ok");
+                }),
+            )),
+            "/metrics" => Ok(Response::json(200, self.metrics_body())),
+            "/v1/apps" => Ok(Response::json(200, self.apps_body())),
+            "/v1/experiments" => {
+                self.report(request, Self::experiments_key, Self::experiments_body)
+            }
+            "/v1/figure3" => self.report(request, Self::figure_key::<3>, Self::figure3_body),
+            "/v1/figure4" => self.report(request, Self::figure_key::<4>, Self::figure4_body),
+            "/v1/summary" => self.report(request, Self::summary_key, Self::summary_body),
+            other => Err(ApiError::NotFound(format!("no route {other:?}"))),
+        };
+        let response = match result {
+            Ok(r) => r,
+            Err(e) => e.into_response(),
+        };
+        self.count(&format!("serve.http.status.{}", response.status), 1);
+        response
+    }
+
+    /// Generic single-flight report path: canonicalize the query to a
+    /// body key, then either lead the computation or share the result.
+    fn report(
+        &self,
+        request: &Request,
+        key: impl Fn(&Self, &Request) -> Result<String, ApiError>,
+        body: impl Fn(&Self, &Request) -> Result<String, ApiError>,
+    ) -> Result<Response, ApiError> {
+        let key = key(self, request)?;
+        let (result, outcome) = self.bodies.run(&key, || body(self, request).map(Arc::new));
+        match outcome {
+            FlightOutcome::Led => self.flights_led.fetch_add(1, Ordering::Relaxed),
+            FlightOutcome::Coalesced => self.flights_coalesced.fetch_add(1, Ordering::Relaxed),
+            FlightOutcome::Memoized => self.flights_memoized.fetch_add(1, Ordering::Relaxed),
+        };
+        result.map(|b| Response::json(200, (*b).clone()))
+    }
+
+    fn count(&self, path: &str, by: u64) {
+        self.metrics.lock().expect("metrics poisoned").inc(path, by);
+    }
+
+    /// Records one served HTTP response (called by the transport).
+    pub fn record_http(&self, micros: u64) {
+        self.metrics
+            .lock()
+            .expect("metrics poisoned")
+            .observe("serve.http.latency_micros", micros);
+    }
+
+    /// Records a backpressure rejection (called by the transport).
+    pub fn record_rejected(&self) {
+        self.count("serve.http.rejected_503", 1);
+    }
+
+    // ---- query validation ----------------------------------------
+
+    fn parse_app(&self, name: &str) -> Result<App, ApiError> {
+        App::ALL
+            .into_iter()
+            .find(|a| a.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| {
+                let valid: Vec<&str> = App::ALL.iter().map(|a| a.name()).collect();
+                ApiError::NotFound(format!("unknown app {name:?}; valid apps: {valid:?}"))
+            })
+    }
+
+    fn parse_tier(&self, request: &Request) -> Result<SizeTier, ApiError> {
+        match request.param("tier") {
+            None => Ok(self.config.default_tier),
+            Some(t) => SizeTier::from_name(t).ok_or_else(|| {
+                ApiError::BadQuery(format!(
+                    "unknown tier {t:?}; valid tiers: [\"small\", \"default\", \"paper\"]"
+                ))
+            }),
+        }
+    }
+
+    fn reject_unknown_params(request: &Request, allowed: &[&str]) -> Result<(), ApiError> {
+        for (k, _) in &request.query {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ApiError::BadQuery(format!(
+                    "unknown query parameter {k:?}; allowed: {allowed:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_experiment_query(&self, request: &Request) -> Result<ExperimentQuery, ApiError> {
+        Self::reject_unknown_params(
+            request,
+            &["app", "tier", "model", "consistency", "window", "width"],
+        )?;
+        let app = self.parse_app(
+            request
+                .param("app")
+                .ok_or_else(|| ApiError::BadQuery("missing required parameter \"app\"".into()))?,
+        )?;
+        let tier = self.parse_tier(request)?;
+        let model = match request.param("model") {
+            None => ModelKind::Ds,
+            Some(m) => ModelKind::from_name(m).ok_or_else(|| {
+                ApiError::BadQuery(format!(
+                    "unknown model {m:?}; valid models: [\"base\", \"ssbr\", \"ss\", \"ds\"]"
+                ))
+            })?,
+        };
+        let consistency = match request.param("consistency") {
+            None => ConsistencyModel::Rc,
+            Some(c) => ConsistencyModel::ALL
+                .into_iter()
+                .find(|m| m.abbrev().eq_ignore_ascii_case(c))
+                .ok_or_else(|| {
+                    ApiError::BadQuery(format!(
+                        "unknown consistency model {c:?}; valid: [\"SC\", \"PC\", \"WO\", \"RC\"]"
+                    ))
+                })?,
+        };
+        let window = match request.param("window") {
+            None => 64,
+            Some(w) => match w.parse::<usize>() {
+                Ok(n) if (1..=4096).contains(&n) => n,
+                _ => {
+                    return Err(ApiError::BadQuery(format!(
+                        "window must be an integer in 1..=4096, got {w:?}"
+                    )))
+                }
+            },
+        };
+        let width = match request.param("width") {
+            None => 1,
+            Some(w) => match w.parse::<usize>() {
+                Ok(n) if (1..=16).contains(&n) => n,
+                _ => {
+                    return Err(ApiError::BadQuery(format!(
+                        "width must be an integer in 1..=16, got {w:?}"
+                    )))
+                }
+            },
+        };
+        Ok(ExperimentQuery {
+            app,
+            tier,
+            model,
+            consistency,
+            window,
+            width,
+        })
+    }
+
+    // ---- body keys (canonical: equal queries coalesce) -----------
+
+    fn experiments_key(&self, request: &Request) -> Result<String, ApiError> {
+        let q = self.parse_experiment_query(request)?;
+        Ok(format!(
+            "experiments;app={};tier={};model={};cons={};window={};width={}",
+            q.app.name(),
+            q.tier.name(),
+            q.model.name(),
+            q.consistency.abbrev(),
+            q.window,
+            q.width
+        ))
+    }
+
+    fn figure_key<const N: u8>(&self, request: &Request) -> Result<String, ApiError> {
+        Self::reject_unknown_params(request, &["app", "tier"])?;
+        let app = self.parse_app(
+            request
+                .param("app")
+                .ok_or_else(|| ApiError::BadQuery("missing required parameter \"app\"".into()))?,
+        )?;
+        let tier = self.parse_tier(request)?;
+        Ok(format!("figure{N};app={};tier={}", app.name(), tier.name()))
+    }
+
+    fn summary_key(&self, request: &Request) -> Result<String, ApiError> {
+        Self::reject_unknown_params(request, &["tier"])?;
+        Ok(format!("summary;tier={}", self.parse_tier(request)?.name()))
+    }
+
+    // ---- run resolution ------------------------------------------
+
+    fn resolve(&self, app: App, tier: SizeTier) -> Result<Arc<AppRun>, ApiError> {
+        let workload = tier.workload(app);
+        self.runs
+            .get(workload.as_ref(), tier.name(), &self.config.sim)
+            .map_err(ApiError::Internal)
+    }
+
+    // ---- bodies ---------------------------------------------------
+
+    fn apps_body(&self) -> String {
+        JsonObject::render(|o| {
+            o.array("apps", |a| {
+                for app in App::ALL {
+                    a.str(app.name());
+                }
+            });
+            o.array("tiers", |a| {
+                for tier in SizeTier::ALL {
+                    a.str(tier.name());
+                }
+            });
+            o.str("default_tier", self.config.default_tier.name());
+            o.array("models", |a| {
+                a.str("base").str("ssbr").str("ss").str("ds");
+            });
+            o.array("consistency", |a| {
+                for m in ConsistencyModel::ALL {
+                    a.str(m.abbrev());
+                }
+            });
+            o.array("paper_windows", |a| {
+                for w in PAPER_WINDOWS {
+                    a.u64(w as u64);
+                }
+            });
+        })
+    }
+
+    /// `/metrics`: the service registry plus run-resolver and
+    /// single-flight accounting. The only non-deterministic body.
+    fn metrics_body(&self) -> String {
+        let mut snapshot = self.metrics.lock().expect("metrics poisoned").clone();
+        let runs = self.runs.stats();
+        snapshot.inc("serve.runs.generations", runs.generations);
+        snapshot.inc("serve.runs.disk_hits", runs.disk_hits);
+        snapshot.inc("serve.runs.memo_hits", runs.memo_hits);
+        snapshot.inc("serve.runs.coalesced", runs.coalesced);
+        snapshot.inc(
+            "serve.flights.led",
+            self.flights_led.load(Ordering::Relaxed),
+        );
+        snapshot.inc(
+            "serve.flights.coalesced",
+            self.flights_coalesced.load(Ordering::Relaxed),
+        );
+        snapshot.inc(
+            "serve.flights.memoized",
+            self.flights_memoized.load(Ordering::Relaxed),
+        );
+        snapshot.to_json()
+    }
+
+    fn experiments_body(&self, request: &Request) -> Result<String, ApiError> {
+        let q = self.parse_experiment_query(request)?;
+        let run = self.resolve(q.app, q.tier)?;
+
+        let base = Base.run(&run.program, &run.trace);
+        let result: ExecutionResult = match q.model {
+            ModelKind::Base => base.clone(),
+            ModelKind::Ssbr => InOrder::ssbr(q.consistency).run(&run.program, &run.trace),
+            ModelKind::Ss => InOrder::ss(q.consistency).run(&run.program, &run.trace),
+            ModelKind::Ds => Ds::new(DsConfig {
+                issue_width: q.width,
+                ..DsConfig::with_model(q.consistency).window(q.window)
+            })
+            .run(&run.program, &run.trace),
+        };
+
+        Ok(JsonObject::render(|o| {
+            o.object("query", |qo| {
+                qo.str("app", q.app.name())
+                    .str("tier", q.tier.name())
+                    .str("model", q.model.name())
+                    .str("consistency", q.consistency.abbrev())
+                    .u64("window", q.window as u64)
+                    .u64("width", q.width as u64);
+            });
+            o.object("trace", |t| {
+                t.u64("instructions", run.trace.len() as u64)
+                    .u64("proc", run.proc as u64)
+                    .u64("mp_cycles", run.mp_cycles);
+            });
+            o.raw("base", &breakdown_json(&base.breakdown));
+            o.object("result", |r| {
+                write_breakdown_fields(r, &result.breakdown);
+                r.f64(
+                    "normalized",
+                    result.breakdown.normalized_to(&base.breakdown),
+                );
+                match result.breakdown.read_latency_hidden_vs(&base.breakdown) {
+                    Some(h) => r.f64("read_latency_hidden", h),
+                    None => r.null("read_latency_hidden"),
+                };
+            });
+        }))
+    }
+
+    fn figure3_body(&self, request: &Request) -> Result<String, ApiError> {
+        let app = self.parse_app(request.param("app").expect("validated by key"))?;
+        let tier = self.parse_tier(request)?;
+        let run = self.resolve(app, tier)?;
+        let columns = figure3_with(&run, &PAPER_WINDOWS, self.config.retime_workers);
+        Ok(figure_body("figure3", app, tier, &columns))
+    }
+
+    fn figure4_body(&self, request: &Request) -> Result<String, ApiError> {
+        let app = self.parse_app(request.param("app").expect("validated by key"))?;
+        let tier = self.parse_tier(request)?;
+        let run = self.resolve(app, tier)?;
+        let columns = figure4_with(&run, &PAPER_WINDOWS, self.config.retime_workers);
+        Ok(figure_body("figure4", app, tier, &columns))
+    }
+
+    /// The §7 headline matrix: per-app hidden-read-latency fractions
+    /// across the window sweep, plus the cross-application average.
+    fn summary_body(&self, request: &Request) -> Result<String, ApiError> {
+        let tier = self.parse_tier(request)?;
+        let windows = [16usize, 32, 64, 128, 256];
+
+        // Resolve every app first (each at most one generation,
+        // process-wide), then re-time all cells on the worker pool.
+        let mut runs = Vec::new();
+        for app in App::ALL {
+            runs.push((app, self.resolve(app, tier)?));
+        }
+        let mut jobs: Vec<Box<dyn FnOnce() -> Breakdown + Send + '_>> = Vec::new();
+        for (_, run) in &runs {
+            let base_run = Arc::clone(run);
+            jobs.push(Box::new(move || {
+                Base.run(&base_run.program, &base_run.trace).breakdown
+            }));
+            for &w in &windows {
+                let run = Arc::clone(run);
+                jobs.push(Box::new(move || {
+                    Ds::new(DsConfig::rc().window(w))
+                        .run(&run.program, &run.trace)
+                        .breakdown
+                }));
+            }
+        }
+        let results = run_ordered(jobs, self.config.retime_workers);
+
+        let per_app: Vec<(App, Vec<f64>)> = runs
+            .iter()
+            .enumerate()
+            .map(|(i, (app, _))| {
+                let chunk = &results[i * (windows.len() + 1)..(i + 1) * (windows.len() + 1)];
+                let base = &chunk[0];
+                let hidden = chunk[1..]
+                    .iter()
+                    .map(|ds| ds.read_latency_hidden_vs(base).unwrap_or(1.0))
+                    .collect();
+                (*app, hidden)
+            })
+            .collect();
+
+        Ok(JsonObject::render(|o| {
+            o.object("query", |qo| {
+                qo.str("tier", tier.name());
+            });
+            o.array("windows", |a| {
+                for w in windows {
+                    a.u64(w as u64);
+                }
+            });
+            o.array("apps", |a| {
+                for (app, hidden) in &per_app {
+                    a.object(|row| {
+                        row.str("app", app.name());
+                        row.array("read_latency_hidden", |h| {
+                            for &v in hidden {
+                                h.f64(v);
+                            }
+                        });
+                    });
+                }
+            });
+            o.array("average", |a| {
+                for j in 0..windows.len() {
+                    let mean = per_app.iter().map(|(_, h)| h[j]).sum::<f64>()
+                        / per_app.len().max(1) as f64;
+                    a.f64(mean);
+                }
+            });
+        }))
+    }
+}
+
+/// One breakdown as a JSON object string.
+fn breakdown_json(b: &Breakdown) -> String {
+    JsonObject::render(|o| write_breakdown_fields(o, b))
+}
+
+fn write_breakdown_fields(o: &mut JsonObject<'_>, b: &Breakdown) {
+    o.u64("busy", b.busy)
+        .u64("sync", b.sync)
+        .u64("read", b.read)
+        .u64("write", b.write)
+        .u64("total", b.total());
+}
+
+/// Shared rendering for the figure3/figure4 column sweeps.
+fn figure_body(
+    route: &str,
+    app: App,
+    tier: SizeTier,
+    columns: &[lookahead_harness::Figure3Column],
+) -> String {
+    JsonObject::render(|o| {
+        o.object("query", |qo| {
+            qo.str("route", route)
+                .str("app", app.name())
+                .str("tier", tier.name());
+        });
+        o.array("columns", |a| {
+            for col in columns {
+                a.object(|c| {
+                    c.str("label", &col.label).str("model", &col.model);
+                    c.raw("breakdown", &breakdown_json(&col.breakdown));
+                    c.f64("normalized", col.normalized);
+                });
+            }
+        });
+    })
+}
+
+/// Convenience for the CLI and tests: handles a `GET` described by a
+/// path-with-query string (`/v1/experiments?app=MP3D&...`), exactly as
+/// the HTTP transport would.
+pub fn handle_target(service: &ExperimentService, target: &str) -> Response {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    service.handle(&Request {
+        method: "GET".to_string(),
+        path: crate::http::percent_decode(path),
+        query: crate::http::parse_query(query),
+    })
+}

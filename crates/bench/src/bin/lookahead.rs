@@ -65,6 +65,7 @@ const DEFAULT_CACHE_DIR: &str = "target/trace-cache";
 const USAGE: &str = "usage: lookahead [OPTIONS] REPORT [REPORT ...]
        lookahead serve [OPTIONS]    serve the suite over HTTP
        lookahead query TARGET       answer one service query, print body
+       lookahead bench [OPTIONS]    benchmark the re-timing engines
 
 Regenerates the requested tables and figures, generating or
 cache-loading each application trace exactly once per process.
@@ -163,6 +164,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => return lookahead_bench::serve_cli::serve_main(&args[1..]),
         Some("query") => return lookahead_bench::serve_cli::query_main(&args[1..]),
+        Some("bench") => return lookahead_bench::retiming::bench_main(&args[1..]),
         _ => {}
     }
     let opts = match parse_args(&args) {

@@ -31,6 +31,7 @@
 //! wrong experiment.
 
 pub mod reports;
+pub mod retiming;
 pub mod serve_cli;
 
 use lookahead_harness::cache::{load_or_generate, CacheOutcome, TraceCache};

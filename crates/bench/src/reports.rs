@@ -461,7 +461,7 @@ pub fn contexts_report(runs: &[AppRun]) -> String {
         // representative's BASE time.
         let mc = |k: usize| {
             let picked: Vec<&Trace> = (0..k)
-                .map(|i| &run.all_traces[(run.proc + i) % run.all_traces.len()])
+                .map(|i| &*run.all_traces[(run.proc + i) % run.all_traces.len()])
                 .collect();
             let r = Contexts::default().run_traces(&picked);
             // Per-context cycles normalized to one BASE run.

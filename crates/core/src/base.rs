@@ -21,11 +21,7 @@ use lookahead_trace::{Trace, TraceOp};
 /// Records `n` stalled cycles starting at `from`, blamed on `pc`.
 #[cfg(feature = "obs")]
 fn stall(from: u64, pc: u32, n: u64, class: obs::StallClass, cause: obs::StallCause) {
-    obs::with(|r| {
-        for i in 0..n {
-            r.stall_cycle(from + i, pc, class, cause);
-        }
-    });
+    obs::with(|r| r.stall_span(from, n, pc, class, cause));
 }
 
 /// The no-overlap in-order processor.

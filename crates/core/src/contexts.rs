@@ -122,9 +122,7 @@ impl Contexts {
                                 rec.metrics.inc("core.contexts.switches", 1);
                                 // Switch overhead is charged to busy
                                 // time, matching the breakdown.
-                                for _ in 0..overhead {
-                                    rec.busy_cycle();
-                                }
+                                rec.busy_span(overhead);
                             });
                         }
                         now += self.switch_overhead as u64;
@@ -171,11 +169,7 @@ impl Contexts {
                             } else {
                                 (obs::StallClass::Sync, obs::StallCause::Acquire)
                             };
-                            obs::with(|rec| {
-                                for i in 0..stall {
-                                    rec.stall_cycle(now + i, pc, class, cause);
-                                }
-                            });
+                            obs::with(|rec| rec.stall_span(now, stall, pc, class, cause));
                         }
                         now = until;
                         continue;

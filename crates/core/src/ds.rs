@@ -48,7 +48,7 @@ use lookahead_memsys::MshrFile;
 #[cfg(feature = "obs")]
 use lookahead_obs::{self as obs, EventKind};
 use lookahead_trace::{Trace, TraceOp};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Cache line size used for MSHR merging (the paper's 16 bytes).
 const LINE_BYTES: u64 = 16;
@@ -239,9 +239,14 @@ struct Engine<'a> {
     trace: &'a Trace,
     now: u64,
     next_decode: usize,
+    /// Ids are dense and monotonic: the live window is exactly the id
+    /// range `[head_id, next_id)`, stored in a preallocated slab ring
+    /// indexed by `id & slab_mask` (capacity = window size rounded up
+    /// to a power of two, so live ids can never collide).
+    head_id: u64,
     next_id: u64,
-    window: VecDeque<u64>,
-    entries: HashMap<u64, Entry>,
+    slab: Vec<Option<Entry>>,
+    slab_mask: u64,
     /// All memory operations in program order; `mem_head` is the first
     /// index that may still be unperformed.
     memops: Vec<MemOp>,
@@ -258,79 +263,133 @@ struct Engine<'a> {
     mshrs: MshrFile,
     fetch_resume: u64,
     fetch_blocked: bool,
+    /// Event-driven mode: skip straight over dead cycles. `false`
+    /// retains the original cycle-by-cycle reference stepper that the
+    /// equivalence suite and `lookahead bench` compare against.
+    skip: bool,
     result: ExecutionResult,
 }
 
 impl<'a> Engine<'a> {
-    fn new(cfg: DsConfig, program: &'a Program, trace: &'a Trace) -> Engine<'a> {
+    fn new(cfg: DsConfig, program: &'a Program, trace: &'a Trace, skip: bool) -> Engine<'a> {
+        let slab_cap = cfg.window_size.next_power_of_two();
         Engine {
             cfg,
             program,
             trace,
             now: 0,
             next_decode: 0,
+            head_id: 0,
             next_id: 0,
-            window: VecDeque::with_capacity(cfg.window_size),
-            entries: HashMap::new(),
-            memops: Vec::new(),
+            slab: std::iter::repeat_with(|| None).take(slab_cap).collect(),
+            slab_mask: (slab_cap - 1) as u64,
+            memops: Vec::with_capacity(trace.mem_entries()),
             mem_head: 0,
-            pending_loads: VecDeque::new(),
-            store_buffer: VecDeque::new(),
+            pending_loads: VecDeque::with_capacity(cfg.window_size.min(trace.len())),
+            store_buffer: VecDeque::with_capacity(cfg.store_buffer_depth),
             reg_time: [0; 64],
             reg_producer: [None; 64],
             btb: Btb::new(cfg.btb),
             mshrs: MshrFile::new(cfg.mshr_limit),
             fetch_resume: 0,
             fetch_blocked: false,
+            skip,
             result: ExecutionResult::default(),
         }
     }
 
+    fn window_len(&self) -> usize {
+        (self.next_id - self.head_id) as usize
+    }
+
+    /// The live entry with id `id`. Ids outside `[head_id, next_id)`
+    /// are a logic error (the slot may hold a different live entry).
+    fn entry(&self, id: u64) -> &Entry {
+        debug_assert!(self.head_id <= id && id < self.next_id, "dead id {id}");
+        self.slab[(id & self.slab_mask) as usize]
+            .as_ref()
+            .expect("live entry")
+    }
+
+    fn entry_mut(&mut self, id: u64) -> &mut Entry {
+        debug_assert!(self.head_id <= id && id < self.next_id, "dead id {id}");
+        self.slab[(id & self.slab_mask) as usize]
+            .as_mut()
+            .expect("live entry")
+    }
+
     fn run(mut self) -> ExecutionResult {
+        // A hard progress bound (hoisted: it depends only on the trace
+        // length): no trace entry can legitimately take longer than its
+        // worst-case serial latency, so a run exceeding this is a model
+        // deadlock (usually a mismatched program/trace pair) and must
+        // fail loudly.
+        let bound = 100_000 + (self.trace.len() as u64) * (1 << 14);
         loop {
             let done = self.next_decode >= self.trace.len()
-                && self.window.is_empty()
+                && self.head_id == self.next_id
                 && self.store_buffer_occupancy() == 0;
             if done {
                 break;
             }
             self.mshrs.retire_completed(self.now);
             let retired = self.retire_phase();
-            self.issue_phase();
-            self.fetch_phase();
-            #[cfg(feature = "obs")]
-            {
-                let occupancy = self.window.len() as u64;
-                obs::with(|r| r.metrics.observe("core.ds.rob_occupancy", occupancy));
-            }
+            let issued = self.issue_phase();
+            let decoded = self.fetch_phase();
             if retired > 0 {
                 self.result.breakdown.busy += 1;
                 #[cfg(feature = "obs")]
-                obs::with(|r| r.busy_cycle());
+                {
+                    let occupancy = self.window_len() as u64;
+                    obs::with(|r| {
+                        r.metrics.observe("core.ds.rob_occupancy", occupancy);
+                        r.busy_cycle();
+                    });
+                }
+                self.now += 1;
             } else {
+                // Nothing retired at `now`. If nothing issued or
+                // decoded either, the architectural state is frozen:
+                // every eligibility predicate in the model is a
+                // monotone threshold on time, so nothing can happen
+                // strictly before the earliest pending threshold.
+                // Jump there in one step and charge the whole span to
+                // the stall class at `now` (constant across the span,
+                // since no threshold fires inside it). The span is
+                // clamped to the progress bound so a skip can never
+                // jump past it silently: a deadlocked machine lands
+                // exactly on the bound and the assert below fires.
+                let span = if self.skip && !issued && decoded == 0 {
+                    self.next_event_time()
+                        .unwrap_or(bound)
+                        .clamp(self.now + 1, bound)
+                        - self.now
+                } else {
+                    1
+                };
                 let class = self.stall_class();
                 match class {
-                    StallClass::Read => self.result.breakdown.read += 1,
-                    StallClass::Write => self.result.breakdown.write += 1,
-                    StallClass::Sync => self.result.breakdown.sync += 1,
+                    StallClass::Read => self.result.breakdown.read += span,
+                    StallClass::Write => self.result.breakdown.write += span,
+                    StallClass::Sync => self.result.breakdown.sync += span,
                     StallClass::Fetch => {
-                        self.result.breakdown.busy += 1;
-                        self.result.stats.fetch_stall_cycles += 1;
+                        self.result.breakdown.busy += span;
+                        self.result.stats.fetch_stall_cycles += span;
                     }
                 }
                 #[cfg(feature = "obs")]
                 {
+                    let occupancy = self.window_len() as u64;
                     let (pc, cause) = self.stall_blame(class);
                     let now = self.now;
-                    obs::with(|r| r.stall_cycle(now, pc, obs_class(class), cause));
+                    obs::with(|r| {
+                        r.metrics
+                            .observe_n("core.ds.rob_occupancy", occupancy, span);
+                        r.stall_span(now, span, pc, obs_class(class), cause);
+                    });
                 }
+                self.now += span;
             }
-            self.now += 1;
-            // A hard progress bound: no trace entry can legitimately
-            // take longer than its worst-case serial latency, so a run
-            // exceeding this is a model deadlock (usually a mismatched
-            // program/trace pair) and must fail loudly.
-            let bound = 100_000 + (self.trace.len() as u64) * (1 << 14);
             assert!(
                 self.now < bound,
                 "no forward progress after {} cycles (trace of {} entries): \
@@ -343,16 +402,71 @@ impl<'a> Engine<'a> {
         self.result
     }
 
+    /// The earliest future cycle at which the frozen machine state can
+    /// change: a window-head completion or acquire-wait expiry, a
+    /// pending operand-ready or memory-completion threshold, an MSHR
+    /// retiring (freeing a slot for a structurally stalled request),
+    /// or the fetch stage resuming after a resolved misprediction.
+    /// `None` with work still outstanding is a model deadlock; the
+    /// caller jumps to the progress bound so it fails loudly.
+    fn next_event_time(&self) -> Option<u64> {
+        let now = self.now;
+        let mut next: Option<u64> = None;
+        let mut consider = |t: u64| {
+            if t > now {
+                next = Some(next.map_or(t, |n: u64| n.min(t)));
+            }
+        };
+        if self.head_id < self.next_id {
+            let e = self.entry(self.head_id);
+            if let Some(c) = e.completion {
+                consider(c);
+            }
+            if let Some(mi) = e.mem {
+                let m = &self.memops[mi];
+                if m.kind.acquires() {
+                    // head_since was set by this cycle's retire phase.
+                    if let Some(since) = m.head_since {
+                        consider(since + m.wait as u64);
+                    }
+                }
+            }
+        }
+        // Every unperformed memop sits at an index >= mem_head; its
+        // pending thresholds are when its operands become ready and
+        // when memory responds. (These cover store-buffer drains and
+        // consistency-constraint expiry: both are "an earlier op
+        // performs", which is that op's own Issued threshold.)
+        for m in &self.memops[self.mem_head..] {
+            match m.state {
+                MState::Ready(t) => consider(t),
+                MState::Issued(done) => consider(done),
+                MState::Waiting | MState::InBuffer => {}
+            }
+        }
+        if let Some(t) = self.mshrs.next_completion() {
+            consider(t);
+        }
+        if !self.fetch_blocked
+            && self.window_len() < self.cfg.window_size
+            && self.next_decode < self.trace.len()
+        {
+            consider(self.fetch_resume);
+        }
+        next
+    }
+
     // ---- retirement ----------------------------------------------------
 
     fn retire_phase(&mut self) -> usize {
         let mut retired = 0;
         while retired < self.cfg.issue_width {
-            let Some(&head) = self.window.front() else {
+            if self.head_id == self.next_id {
                 break;
-            };
+            }
+            let head = self.head_id;
             let (kind, mem_idx, completion) = {
-                let e = &self.entries[&head];
+                let e = self.entry(head);
                 (e.kind, e.mem, e.completion)
             };
             let can_retire = match kind {
@@ -395,15 +509,17 @@ impl<'a> Engine<'a> {
             }
             #[cfg(feature = "obs")]
             {
-                let pc = self.trace.entries()[self.entries[&head].trace_idx].pc;
+                let pc = self.trace.entries()[self.entry(head).trace_idx].pc;
                 let now = self.now;
                 obs::with(|r| {
                     r.event(now, EventKind::Retire { pc });
                     r.metrics.inc("core.ds.retired", 1);
                 });
             }
-            self.entries.remove(&head).expect("head exists");
-            self.window.pop_front();
+            self.slab[(head & self.slab_mask) as usize]
+                .take()
+                .expect("head exists");
+            self.head_id += 1;
             self.result.stats.instructions += 1;
             retired += 1;
         }
@@ -457,7 +573,10 @@ impl<'a> Engine<'a> {
         })
     }
 
-    fn issue_phase(&mut self) {
+    /// Issues at most one memory operation to the single cache port.
+    /// Returns whether anything issued (if so, the cycle made progress
+    /// and cannot be skipped past).
+    fn issue_phase(&mut self) -> bool {
         self.advance_mem_head();
         // Window ops (loads/acquires/barriers) have priority over the
         // store buffer on the single cache port.
@@ -541,7 +660,7 @@ impl<'a> Engine<'a> {
                 // everything else completes when memory responds.
                 self.set_completion(entry_id, done);
             }
-            return;
+            return true;
         }
         // Otherwise the store buffer may use the port (FIFO). Store
         // misses occupy MSHRs like loads: same-line misses merge and a
@@ -556,7 +675,7 @@ impl<'a> Engine<'a> {
                 let line = m.word_addr & !(LINE_BYTES - 1);
                 match self.mshrs.request(line, self.now, m.latency) {
                     Some(done) => done,
-                    None => return, // MSHRs full: retry next cycle
+                    None => return false, // MSHRs full: retry next cycle
                 }
             } else {
                 self.now + m.latency as u64
@@ -570,7 +689,9 @@ impl<'a> Engine<'a> {
                 });
             }
             self.memops[mi].state = MState::Issued(done);
+            return true;
         }
+        false
     }
 
     fn advance_mem_head(&mut self) {
@@ -589,19 +710,25 @@ impl<'a> Engine<'a> {
 
     // ---- decode / dataflow ----------------------------------------------
 
-    fn fetch_phase(&mut self) {
+    /// Decodes up to `issue_width` trace entries into the window.
+    /// Returns the number decoded (a cycle that decoded anything made
+    /// progress and cannot be skipped past).
+    fn fetch_phase(&mut self) -> usize {
         if self.fetch_blocked || self.now < self.fetch_resume {
-            return;
+            return 0;
         }
+        let mut decoded = 0;
         for _ in 0..self.cfg.issue_width {
-            if self.window.len() >= self.cfg.window_size || self.next_decode >= self.trace.len() {
-                return;
+            if self.window_len() >= self.cfg.window_size || self.next_decode >= self.trace.len() {
+                break;
             }
             let stop_after = self.decode_one();
+            decoded += 1;
             if stop_after {
-                return;
+                break;
             }
         }
+        decoded
     }
 
     /// Decodes one trace entry into the window. Returns `true` if
@@ -718,21 +845,20 @@ impl<'a> Engine<'a> {
             if let Some(instr) = self.program.fetch(te.pc as usize) {
                 let wait_on = |engine: &mut Engine<'a>, entry: &mut Entry, slot: usize| {
                     match engine.reg_producer[slot] {
-                        Some(pid) => {
-                            if let Some(p) = engine.entries.get_mut(&pid) {
-                                if let Some(c) = p.completion {
-                                    entry.base_ready = entry.base_ready.max(c);
-                                } else {
-                                    p.waiters.push(id);
-                                    entry.unresolved += 1;
-                                }
+                        // A producer id below head_id has retired: its
+                        // time was folded into reg_time when it
+                        // completed (its slab slot may already hold a
+                        // different live entry).
+                        Some(pid) if pid >= engine.head_id => {
+                            let p = engine.entry_mut(pid);
+                            if let Some(c) = p.completion {
+                                entry.base_ready = entry.base_ready.max(c);
                             } else {
-                                // Producer retired: its time was folded
-                                // into reg_time when it completed.
-                                entry.base_ready = entry.base_ready.max(engine.reg_time[slot]);
+                                p.waiters.push(id);
+                                entry.unresolved += 1;
                             }
                         }
-                        None => {
+                        _ => {
                             entry.base_ready = entry.base_ready.max(engine.reg_time[slot]);
                         }
                     }
@@ -774,8 +900,9 @@ impl<'a> Engine<'a> {
             entry.fetch_blocker = true;
             self.fetch_blocked = true;
         }
-        self.entries.insert(id, entry);
-        self.window.push_back(id);
+        let slot = (id & self.slab_mask) as usize;
+        debug_assert!(self.slab[slot].is_none(), "slab slot still live");
+        self.slab[slot] = Some(entry);
         if resolved {
             self.set_ready(id, base);
         }
@@ -785,7 +912,7 @@ impl<'a> Engine<'a> {
     /// All producers of `id` are known: fix its ready time and, for
     /// single-cycle units, its completion.
     fn set_ready(&mut self, id: u64, ready: u64) {
-        let e = self.entries.get_mut(&id).expect("live entry");
+        let e = self.entry_mut(id);
         e.ready = Some(ready);
         match e.kind {
             EKind::Alu | EKind::Branch => {
@@ -808,17 +935,17 @@ impl<'a> Engine<'a> {
     fn set_completion(&mut self, id: u64, time: u64) {
         let mut work = vec![(id, time)];
         while let Some((id, time)) = work.pop() {
-            let e = self.entries.get_mut(&id).expect("live entry");
+            let e = self.entry_mut(id);
             e.completion = Some(time);
             if e.fetch_blocker {
                 e.fetch_blocker = false;
                 self.fetch_blocked = false;
                 self.fetch_resume = self.fetch_resume.max(time + 1);
             }
-            let waiters = std::mem::take(&mut self.entries.get_mut(&id).unwrap().waiters);
+            let waiters = std::mem::take(&mut self.entry_mut(id).waiters);
             // Fold into the register file view for consumers that
             // decode after this entry retires.
-            let te = &self.trace.entries()[self.entries[&id].trace_idx];
+            let te = &self.trace.entries()[self.entry(id).trace_idx];
             if let Some(instr) = self.program.fetch(te.pc as usize) {
                 if let Some(r) = instr.int_dest() {
                     if self.reg_producer[r.index()] == Some(id) {
@@ -834,7 +961,7 @@ impl<'a> Engine<'a> {
                 }
             }
             for w in waiters {
-                let we = self.entries.get_mut(&w).expect("waiter live");
+                let we = self.entry_mut(w);
                 we.base_ready = we.base_ready.max(time);
                 we.unresolved -= 1;
                 if we.unresolved == 0 {
@@ -852,8 +979,8 @@ impl<'a> Engine<'a> {
     // ---- stall attribution ------------------------------------------------
 
     fn stall_class(&self) -> StallClass {
-        let head_class = self.window.front().map(|id| {
-            let e = &self.entries[id];
+        let head_class = (self.head_id < self.next_id).then(|| {
+            let e = self.entry(self.head_id);
             match e.kind {
                 EKind::Mem => {
                     let m = &self.memops[e.mem.expect("mem entry")];
@@ -886,8 +1013,8 @@ impl<'a> Engine<'a> {
     #[cfg(feature = "obs")]
     fn stall_blame(&self, class: StallClass) -> (u32, obs::StallCause) {
         use obs::StallCause as C;
-        if let Some(id) = self.window.front() {
-            let e = &self.entries[id];
+        if self.head_id < self.next_id {
+            let e = self.entry(self.head_id);
             let pc = self.trace.entries()[e.trace_idx].pc;
             let cause = match e.kind {
                 // ALU/branch at head: retirement waits on its operands.
@@ -898,7 +1025,7 @@ impl<'a> Engine<'a> {
                         MemOpKind::Read => match m.state {
                             MState::Waiting => C::TrueDependence,
                             MState::Ready(t) if t > self.now => C::TrueDependence,
-                            MState::Issued(_) if self.window.len() >= self.cfg.window_size => {
+                            MState::Issued(_) if self.window_len() >= self.cfg.window_size => {
                                 C::RobFull
                             }
                             _ => C::ReadMiss,
@@ -973,7 +1100,18 @@ impl ProcessorModel for Ds {
     }
 
     fn run(&self, program: &Program, trace: &Trace) -> ExecutionResult {
-        Engine::new(self.config, program, trace).run()
+        Engine::new(self.config, program, trace, true).run()
+    }
+}
+
+impl Ds {
+    /// Re-times `trace` with the retained cycle-by-cycle reference
+    /// stepper: identical state machine, but every cycle is walked
+    /// explicitly instead of skipping dead spans. Exists as the ground
+    /// truth for the skip-ahead equivalence suite and as the baseline
+    /// engine for `lookahead bench`.
+    pub fn run_reference(&self, program: &Program, trace: &Trace) -> ExecutionResult {
+        Engine::new(self.config, program, trace, false).run()
     }
 }
 

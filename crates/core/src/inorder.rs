@@ -111,11 +111,7 @@ impl<'a> Engine<'a> {
     #[cfg(feature = "obs")]
     fn obs_stall(&self, from: u64, cycles: u64, class: obs::StallClass, cause: obs::StallCause) {
         let pc = self.cur_pc;
-        obs::with(|r| {
-            for i in 0..cycles {
-                r.stall_cycle(from + i, pc, class, cause);
-            }
-        });
+        obs::with(|r| r.stall_span(from, cycles, pc, class, cause));
     }
 
     fn stall_to(&mut self, t: u64, class: StallClass) {

@@ -200,7 +200,10 @@ fn archive_from_app_run(key: &str, run: &AppRun) -> TraceArchive {
         mp_cycles: run.mp_cycles,
         breakdowns: run.mp_breakdowns.clone(),
         program: run.program.clone(),
-        traces: run.all_traces.clone(),
+        // The archive owns its traces; deep-copy out of the shared
+        // `Arc`s. Stores happen once per generation (cold path), so
+        // this is the only place a trace is still cloned wholesale.
+        traces: run.all_traces.iter().map(|t| (**t).clone()).collect(),
     }
 }
 
@@ -219,12 +222,14 @@ fn app_run_from_archive(a: TraceArchive) -> Result<AppRun, String> {
             a.traces.len()
         ));
     }
+    let all_traces: Vec<std::sync::Arc<_>> =
+        a.traces.into_iter().map(std::sync::Arc::new).collect();
     Ok(AppRun {
         app: a.app,
         program: a.program,
-        trace: a.traces[proc].clone(),
+        trace: std::sync::Arc::clone(&all_traces[proc]),
         proc,
-        all_traces: a.traces,
+        all_traces,
         mp_breakdowns: a.breakdowns,
         mp_cycles: a.mp_cycles,
     })

@@ -6,6 +6,7 @@ use lookahead_multiproc::{SimConfig, SimError, SimOutcome, Simulator};
 use lookahead_trace::{Breakdown, Trace};
 use lookahead_workloads::Workload;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from trace generation.
 #[derive(Debug)]
@@ -54,14 +55,18 @@ pub struct AppRun {
     /// The SPMD program (needed by the processor models for register
     /// dependences).
     pub program: Program,
-    /// The representative processor's annotated trace.
-    pub trace: Trace,
+    /// The representative processor's annotated trace. Shared via
+    /// `Arc` so cache hits and `SharedRuns` clones never deep-copy the
+    /// (often multi-megabyte) entry vector; `&run.trace` still derefs
+    /// to `&Trace` everywhere.
+    pub trace: Arc<Trace>,
     /// Which processor the trace belongs to.
     pub proc: usize,
     /// Every processor's trace from the same run (used by the
     /// multiple-contexts comparison, which interleaves several streams
-    /// on one pipeline).
-    pub all_traces: Vec<Trace>,
+    /// on one pipeline). `all_traces[proc]` shares its allocation with
+    /// `trace`.
+    pub all_traces: Vec<Arc<Trace>>,
     /// The generating run's per-processor breakdowns (diagnostic).
     pub mp_breakdowns: Vec<Breakdown>,
     /// Total multiprocessor cycles of the generating run.
@@ -89,12 +94,13 @@ impl AppRun {
             reason,
         })?;
         let proc = outcome.busiest_proc();
+        let all_traces: Vec<Arc<Trace>> = outcome.traces.into_iter().map(Arc::new).collect();
         Ok(AppRun {
             app: workload.name().to_string(),
             program,
-            trace: outcome.traces[proc].clone(),
+            trace: Arc::clone(&all_traces[proc]),
             proc,
-            all_traces: outcome.traces,
+            all_traces,
             mp_breakdowns: outcome.breakdowns,
             mp_cycles: outcome.total_cycles,
         })

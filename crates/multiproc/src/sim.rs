@@ -204,6 +204,11 @@ impl Simulator {
         let image_bytes = image.size_bytes();
         let mem_bytes = config.memory_bytes.unwrap_or(image_bytes).max(image_bytes);
         let mem = FlatMemory::from_image(image.into_words(), mem_bytes);
+        // Traces typically run tens of dynamic instructions per static
+        // one (loop bodies re-execute); seeding capacity at a multiple
+        // of program size avoids most mid-run regrowth without
+        // over-committing for tiny kernels.
+        let trace_capacity = (program.len() * 16).clamp(256, 1 << 20);
         let procs = (0..config.num_procs)
             .map(|p| {
                 let mut machine = Machine::new();
@@ -213,7 +218,7 @@ impl Simulator {
                     machine,
                     wb: WriteBuffer::new(config.write_buffer_depth, DrainPolicy::Overlapped),
                     status: Status::Ready,
-                    trace: Trace::new(),
+                    trace: Trace::with_capacity(trace_capacity),
                     breakdown: Breakdown::new(),
                     finish_time: 0,
                 }

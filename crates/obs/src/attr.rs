@@ -137,13 +137,25 @@ impl StallAttribution {
 
     /// Records one cycle in which useful work retired.
     pub fn record_busy(&mut self) {
-        self.busy_cycles += 1;
+        self.record_busy_n(1);
+    }
+
+    /// Records `n` cycles in which useful work retired.
+    pub fn record_busy_n(&mut self, n: u64) {
+        self.busy_cycles += n;
     }
 
     /// Records one stalled cycle blamed on `pc`.
     pub fn record_stall(&mut self, class: StallClass, cause: StallCause, pc: u32) {
-        *self.matrix.entry((class, cause)).or_insert(0) += 1;
-        *self.sites.entry((pc, cause)).or_insert(0) += 1;
+        self.record_stall_n(class, cause, pc, 1);
+    }
+
+    /// Records `n` stalled cycles with identical blame in one update,
+    /// so event-driven engines can account a skipped span without a
+    /// per-cycle loop. Exactly equivalent to `n` single-cycle calls.
+    pub fn record_stall_n(&mut self, class: StallClass, cause: StallCause, pc: u32, n: u64) {
+        *self.matrix.entry((class, cause)).or_insert(0) += n;
+        *self.sites.entry((pc, cause)).or_insert(0) += n;
     }
 
     /// Stalled cycles recorded for `(class, cause)`.

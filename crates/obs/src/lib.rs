@@ -104,15 +104,39 @@ impl Recorder {
 
     /// Records a cycle in which work retired.
     pub fn busy_cycle(&mut self) {
+        self.busy_span(1);
+    }
+
+    /// Records `n` consecutive cycles in which work retired (or that
+    /// are charged to busy time, e.g. context-switch overhead), in one
+    /// call. Equivalent to `n` [`busy_cycle`](Self::busy_cycle)s.
+    pub fn busy_span(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
         self.flush_stall();
-        self.attribution.record_busy();
+        self.attribution.record_busy_n(n);
     }
 
     /// Records one stalled cycle at time `t`, blamed on `pc`.
     /// Consecutive cycles with identical blame coalesce into a single
     /// journal span; attribution counts stay exact per cycle.
     pub fn stall_cycle(&mut self, t: u64, pc: u32, class: StallClass, cause: StallCause) {
-        self.attribution.record_stall(class, cause, pc);
+        self.stall_span(t, 1, pc, class, cause);
+    }
+
+    /// Records `dur` consecutive stalled cycles starting at `t`, all
+    /// with the same blame, in one call. Byte-for-byte equivalent to
+    /// `dur` consecutive [`stall_cycle`](Self::stall_cycle) calls —
+    /// the span extends (or opens) the same coalesced journal event
+    /// and bumps the attribution matrix by `dur` — but O(1), so
+    /// event-driven engines can skip dead cycles without a per-cycle
+    /// recording loop.
+    pub fn stall_span(&mut self, t: u64, dur: u64, pc: u32, class: StallClass, cause: StallCause) {
+        if dur == 0 {
+            return;
+        }
+        self.attribution.record_stall_n(class, cause, pc, dur);
         match &mut self.open_stall {
             Some(open)
                 if open.pc == pc
@@ -120,13 +144,13 @@ impl Recorder {
                     && open.cause == cause
                     && t == open.last + 1 =>
             {
-                open.last = t;
+                open.last = t + dur - 1;
             }
             _ => {
                 self.flush_stall();
                 self.open_stall = Some(OpenStall {
                     start: t,
-                    last: t,
+                    last: t + dur - 1,
                     pc,
                     class,
                     cause,
@@ -260,5 +284,48 @@ mod tests {
         r.stall_cycle(9, 1, StallClass::Read, StallCause::ReadMiss);
         r.flush_stall();
         assert_eq!(r.journal.len(), 2);
+    }
+
+    /// A span call must be indistinguishable from the equivalent run
+    /// of per-cycle calls: same journal events, same attribution.
+    #[test]
+    fn spans_equal_per_cycle_recording() {
+        let mut per_cycle = Recorder::new(0);
+        for t in 10..15 {
+            per_cycle.stall_cycle(t, 7, StallClass::Read, StallCause::ReadMiss);
+        }
+        for t in 15..18 {
+            per_cycle.stall_cycle(t, 7, StallClass::Read, StallCause::ReadMiss);
+        }
+        per_cycle.busy_cycle();
+        per_cycle.busy_cycle();
+        for t in 20..24 {
+            per_cycle.stall_cycle(t, 9, StallClass::Sync, StallCause::Acquire);
+        }
+        per_cycle.flush_stall();
+
+        let mut spans = Recorder::new(0);
+        spans.stall_span(10, 5, 7, StallClass::Read, StallCause::ReadMiss);
+        spans.stall_span(15, 3, 7, StallClass::Read, StallCause::ReadMiss);
+        spans.busy_span(2);
+        spans.stall_span(20, 4, 9, StallClass::Sync, StallCause::Acquire);
+        spans.flush_stall();
+
+        let a: Vec<Event> = per_cycle.journal.iter().copied().collect();
+        let b: Vec<Event> = spans.journal.iter().copied().collect();
+        assert_eq!(a, b);
+        assert_eq!(per_cycle.attribution, spans.attribution);
+        // Adjacent same-blame spans coalesced into one journal event.
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn zero_length_spans_are_noops() {
+        let mut r = Recorder::new(0);
+        r.stall_span(5, 0, 1, StallClass::Read, StallCause::ReadMiss);
+        r.busy_span(0);
+        r.flush_stall();
+        assert_eq!(r.journal.len(), 0);
+        assert_eq!(r.attribution.total_cycles(), 0);
     }
 }

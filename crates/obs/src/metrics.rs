@@ -57,11 +57,22 @@ pub fn bucket_range(i: usize) -> (u64, Option<u64>) {
 impl Histogram {
     /// Records one sample.
     pub fn observe(&mut self, value: u64) {
-        self.count += 1;
-        self.sum = self.sum.saturating_add(value);
+        self.observe_n(value, 1);
+    }
+
+    /// Records the same sample `n` times in one update — equivalent to
+    /// `n` [`observe`](Self::observe) calls, so per-cycle gauges stay
+    /// exact when an event-driven engine skips a span of identical
+    /// cycles.
+    pub fn observe_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
         self.min = self.min.min(value);
         self.max = self.max.max(value);
-        self.buckets[bucket_index(value)] += 1;
+        self.buckets[bucket_index(value)] += n;
     }
 
     /// Number of samples recorded.
@@ -163,12 +174,18 @@ impl MetricsRegistry {
 
     /// Records a sample into the histogram at `path`.
     pub fn observe(&mut self, path: &str, value: u64) {
+        self.observe_n(path, value, 1);
+    }
+
+    /// Records the same sample `n` times into the histogram at `path`
+    /// (see [`Histogram::observe_n`]).
+    pub fn observe_n(&mut self, path: &str, value: u64, n: u64) {
         match self
             .metrics
             .entry(path.to_owned())
             .or_insert_with(|| Metric::Histogram(Box::default()))
         {
-            Metric::Histogram(h) => h.observe(value),
+            Metric::Histogram(h) => h.observe_n(value, n),
             other => debug_assert!(false, "{path} is not a histogram: {other:?}"),
         }
     }

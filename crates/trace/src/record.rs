@@ -142,6 +142,34 @@ impl Trace {
         Trace { entries }
     }
 
+    /// Creates an empty trace with room for `capacity` entries, so
+    /// generators that know (or can bound) the final length never
+    /// regrow mid-simulation.
+    pub fn with_capacity(capacity: usize) -> Trace {
+        Trace {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Reserves room for at least `additional` more entries.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
+    /// Number of memory-system entries (loads, stores, syncs) — the
+    /// size of the memory-operation registry a timing model needs.
+    pub fn mem_entries(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.op,
+                    TraceOp::Load(_) | TraceOp::Store(_) | TraceOp::Sync(_)
+                )
+            })
+            .count()
+    }
+
     /// Appends an entry.
     #[inline]
     pub fn push(&mut self, entry: TraceEntry) {

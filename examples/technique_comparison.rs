@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Multiple hardware contexts on an in-order pipe.
     for k in [2usize, 4] {
         let picked: Vec<&Trace> = (0..k)
-            .map(|i| &run.all_traces[(run.proc + i) % run.all_traces.len()])
+            .map(|i| &*run.all_traces[(run.proc + i) % run.all_traces.len()])
             .collect();
         let r = Contexts::default().run_traces(&picked);
         report(

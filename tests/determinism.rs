@@ -44,7 +44,7 @@ fn traces_round_trip_through_storage() {
     let mut bytes = Vec::new();
     write_trace(&mut bytes, &run.trace).unwrap();
     let back = read_trace(bytes.as_slice()).unwrap();
-    assert_eq!(back, run.trace);
+    assert_eq!(back, *run.trace);
     // And the round-tripped trace re-times identically.
     let ds = Ds::new(DsConfig::rc().window(32));
     assert_eq!(

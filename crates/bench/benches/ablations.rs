@@ -40,7 +40,7 @@ fn ablate_mshrs() {
             mshr_limit: limit,
             ..DsConfig::rc().window(64)
         })
-        .run(&run.program, &run.trace)
+        .run(&run.program, run.trace())
         .cycles()
     };
     assert!(
@@ -60,7 +60,7 @@ fn ablate_store_buffer() {
             store_buffer_depth: depth,
             ..DsConfig::rc().window(64)
         })
-        .run(&run.program, &run.trace)
+        .run(&run.program, run.trace())
         .cycles()
     };
     assert!(
@@ -83,7 +83,7 @@ fn ablate_btb() {
             btb,
             ..DsConfig::rc().window(64)
         })
-        .run(&run.program, &run.trace)
+        .run(&run.program, run.trace())
     };
     let paper = with_btb(BtbConfig::PAPER);
     let tiny = with_btb(BtbConfig {
@@ -94,7 +94,7 @@ fn ablate_btb() {
         perfect_branch_prediction: true,
         ..DsConfig::rc().window(64)
     })
-    .run(&run.program, &run.trace);
+    .run(&run.program, run.trace());
     assert!(tiny.stats.mispredictions >= paper.stats.mispredictions);
     assert!(perfect.cycles() <= paper.cycles());
     bench("ablation_btb/paper_2048x4", || with_btb(BtbConfig::PAPER));

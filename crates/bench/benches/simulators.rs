@@ -79,23 +79,23 @@ fn bench_models() {
         &config(),
     )
     .unwrap();
-    let n = run.trace.len() as u64;
+    let n = run.trace_len() as u64;
 
-    bench("models/base", n, || Base.run(&run.program, &run.trace));
+    bench("models/base", n, || Base.run(&run.program, run.trace()));
     bench("models/ssbr_rc", n, || {
-        InOrder::ssbr(ConsistencyModel::Rc).run(&run.program, &run.trace)
+        InOrder::ssbr(ConsistencyModel::Rc).run(&run.program, run.trace())
     });
     bench("models/ss_rc", n, || {
-        InOrder::ss(ConsistencyModel::Rc).run(&run.program, &run.trace)
+        InOrder::ss(ConsistencyModel::Rc).run(&run.program, run.trace())
     });
     for w in [16, 64, 256] {
         let ds = Ds::new(DsConfig::rc().window(w));
         bench(&format!("models/ds_rc/{w}"), n, || {
-            ds.run(&run.program, &run.trace)
+            ds.run(&run.program, run.trace())
         });
     }
     let ds = Ds::new(DsConfig::with_model(ConsistencyModel::Sc).window(64));
-    bench("models/ds_sc_64", n, || ds.run(&run.program, &run.trace));
+    bench("models/ds_sc_64", n, || ds.run(&run.program, run.trace()));
 }
 
 fn main() {

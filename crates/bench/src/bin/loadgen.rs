@@ -22,14 +22,13 @@
 //! accounted to one body flight — the acceptance check for the
 //! single-flight contract under real concurrency.
 
+use lookahead_bench::client::{get, ClientError};
 use lookahead_bench::{config_from_env, fail_fast};
 use lookahead_harness::parallel;
 use lookahead_harness::SizeTier;
 use lookahead_serve::{
     parse_serve_addr, serve_addr_from_env, ExperimentService, Server, ServerConfig, ServiceConfig,
 };
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
@@ -121,23 +120,6 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         return Err("--spawn and --addr are mutually exclusive".to_string());
     }
     Ok(Some(opts))
-}
-
-fn get(addr: SocketAddr, target: &str) -> std::io::Result<(u16, String)> {
-    let mut conn = TcpStream::connect(addr)?;
-    write!(conn, "GET {target} HTTP/1.1\r\nHost: loadgen\r\n\r\n")?;
-    let mut text = String::new();
-    conn.read_to_string(&mut text)?;
-    let status = text
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
-    let body = text
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    Ok((status, body))
 }
 
 /// Exact percentile of a sorted sample (nearest-rank on n-1).
@@ -250,6 +232,12 @@ fn main() -> ExitCode {
                             Ok((200, _)) => mine.push(t0.elapsed().as_micros() as u64),
                             Ok((status, body)) => {
                                 eprintln!("loadgen: {status} for {target}: {body}");
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e @ ClientError::Disconnected) => {
+                                // A draining server closes in-flight
+                                // sockets; report it as what it is.
+                                eprintln!("loadgen: {target}: {e}");
                                 errors.fetch_add(1, Ordering::Relaxed);
                             }
                             Err(e) => {

@@ -66,6 +66,7 @@ const USAGE: &str = "usage: lookahead [OPTIONS] REPORT [REPORT ...]
        lookahead serve [OPTIONS]    serve the suite over HTTP
        lookahead query TARGET       answer one service query, print body
        lookahead bench [OPTIONS]    benchmark the re-timing engines
+       lookahead bench memory       compare streamed vs materialized peak RSS
 
 Regenerates the requested tables and figures, generating or
 cache-loading each application trace exactly once per process.
@@ -81,17 +82,21 @@ options:
                    or the LOOKAHEAD_CACHE environment variable)
   --no-cache       disable the trace cache
   --jobs N         worker threads (default: LOOKAHEAD_JOBS or all cores)
+  --tier NAME      workload size tier: small, default, paper or large
+                   (default: from the environment, see below)
   --obs-out DIR    write per-run observability artifacts under DIR
   -h, --help       show this help
 
-environment: LOOKAHEAD_SMALL=1, LOOKAHEAD_PAPER=1, LOOKAHEAD_PROCS=n,
-LOOKAHEAD_APPS=LU,MP3D, LOOKAHEAD_CACHE=DIR|off, LOOKAHEAD_JOBS=n";
+environment: LOOKAHEAD_SMALL=1, LOOKAHEAD_PAPER=1, LOOKAHEAD_LARGE=1,
+LOOKAHEAD_PROCS=n, LOOKAHEAD_APPS=LU,MP3D, LOOKAHEAD_CACHE=DIR|off,
+LOOKAHEAD_JOBS=n";
 
 struct Options {
     reports: Vec<String>,
     cache_dir: Option<String>,
     no_cache: bool,
     jobs: Option<usize>,
+    tier: Option<SizeTier>,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
@@ -100,6 +105,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         cache_dir: None,
         no_cache: false,
         jobs: None,
+        tier: None,
     };
     let known: Vec<&str> = SHARED.iter().chain(STANDALONE).copied().collect();
     let mut it = args.iter();
@@ -116,6 +122,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--jobs" => {
                 opts.jobs = Some(parallel::parse_jobs(&value(&mut it, "--jobs")?)?);
             }
+            "--tier" => {
+                opts.tier = Some(parse_tier(&value(&mut it, "--tier")?)?);
+            }
             "--obs-out" => {
                 // Consumed here, parsed by obs_out_dir() from argv.
                 value(&mut it, "--obs-out")?;
@@ -125,6 +134,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     opts.cache_dir = Some(v.to_string());
                 } else if let Some(v) = a.strip_prefix("--jobs=") {
                     opts.jobs = Some(parallel::parse_jobs(v)?);
+                } else if let Some(v) = a.strip_prefix("--tier=") {
+                    opts.tier = Some(parse_tier(v)?);
                 } else if a.strip_prefix("--obs-out=").is_some() {
                     // Parsed by obs_out_dir().
                 } else if a == "all" {
@@ -149,6 +160,11 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     Ok(Some(opts))
 }
 
+fn parse_tier(name: &str) -> Result<SizeTier, String> {
+    SizeTier::from_name(name)
+        .ok_or_else(|| format!("unknown tier {name:?}; valid tiers: small, default, paper, large"))
+}
+
 fn cache_for(opts: &Options) -> Option<TraceCache> {
     if opts.no_cache {
         return None;
@@ -164,7 +180,12 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => return lookahead_bench::serve_cli::serve_main(&args[1..]),
         Some("query") => return lookahead_bench::serve_cli::query_main(&args[1..]),
-        Some("bench") => return lookahead_bench::retiming::bench_main(&args[1..]),
+        Some("bench") => {
+            return match args.get(1).map(String::as_str) {
+                Some("memory") => lookahead_bench::memprobe::memory_main(&args[2..]),
+                _ => lookahead_bench::retiming::bench_main(&args[1..]),
+            }
+        }
         _ => {}
     }
     let opts = match parse_args(&args) {
@@ -182,7 +203,7 @@ fn main() -> ExitCode {
     let workers = opts.jobs.unwrap_or_else(parallel::default_workers);
     let runner = Runner::new(
         config_from_env(),
-        SizeTier::from_env(),
+        opts.tier.unwrap_or_else(SizeTier::from_env),
         cache_for(&opts),
         workers,
     );

@@ -112,11 +112,11 @@ fn run(args: &[String]) -> Result<(), UsageError> {
         [cmd, app] if cmd == "stats" => {
             let run = generate_run(parse_app(app).map_err(bad)?, &config);
             let mut btb = Btb::new(BtbConfig::PAPER);
-            let stats = TraceStats::collect(&run.trace, Some(&mut btb));
+            let stats = TraceStats::collect(run.trace(), Some(&mut btb));
             println!(
                 "{}: {} instructions (processor {})",
                 run.app,
-                run.trace.len(),
+                run.trace_len(),
                 run.proc
             );
             println!("  data:   {}", stats.data);
@@ -129,7 +129,7 @@ fn run(args: &[String]) -> Result<(), UsageError> {
                 .parse()
                 .map_err(|_| bad(format!("dump: N must be a non-negative integer, got {n:?}")))?;
             let run = generate_run(parse_app(app).map_err(bad)?, &config);
-            print!("{}", run.trace.listing(&run.program, n));
+            print!("{}", run.trace().listing(&run.program, n));
             Ok(())
         }
         [cmd, app, file] if cmd == "save" => {
@@ -137,11 +137,11 @@ fn run(args: &[String]) -> Result<(), UsageError> {
             let mut w = BufWriter::new(
                 File::create(file).map_err(|e| failed(format!("cannot create {file}: {e}")))?,
             );
-            write_trace(&mut w, &run.trace).map_err(|e| failed(format!("writing {file}: {e}")))?;
+            write_trace(&mut w, run.trace()).map_err(|e| failed(format!("writing {file}: {e}")))?;
             drop(w);
             println!(
                 "wrote {} entries to {file} ({} bytes)",
-                run.trace.len(),
+                run.trace_len(),
                 std::fs::metadata(file).map(|m| m.len()).unwrap_or(0)
             );
             Ok(())
@@ -201,7 +201,7 @@ fn profile(app: App, config: &lookahead_multiproc::SimConfig, top_n: usize) -> R
     let run = generate_run(app, config);
     lookahead_obs::install(lookahead_obs::Recorder::new(run.proc as u32));
     let model = Ds::new(DsConfig::rc().window(64));
-    let result = model.run(&run.program, &run.trace);
+    let result = model.run(&run.program, run.trace());
     let rec = lookahead_obs::take().expect("installed above");
     let attr = &rec.attribution;
     let b = &result.breakdown;

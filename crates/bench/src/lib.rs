@@ -30,6 +30,8 @@
 //! fallback: a typo in `LOOKAHEAD_PROCS` must not quietly run the
 //! wrong experiment.
 
+pub mod client;
+pub mod memprobe;
 pub mod reports;
 pub mod retiming;
 pub mod serve_cli;
@@ -173,6 +175,7 @@ pub fn config_kv(config: &SimConfig) -> Vec<(&'static str, String)> {
         ("write_buffer_depth", config.write_buffer_depth.to_string()),
         ("small", (tier == SizeTier::Small).to_string()),
         ("paper", (tier == SizeTier::Paper).to_string()),
+        ("large", (tier == SizeTier::Large).to_string()),
         ("obs_feature", cfg!(feature = "obs").to_string()),
     ]
 }
@@ -314,7 +317,7 @@ impl Runner {
                 eprintln!(
                     "  loaded {} trace from cache: {} instructions in {:.2}s",
                     run.app,
-                    run.trace.len(),
+                    run.trace_len(),
                     started.elapsed().as_secs_f64()
                 );
             }
@@ -323,7 +326,7 @@ impl Runner {
                 eprintln!(
                     "  generated {} trace: {} instructions ({} mp cycles) in {:.1}s",
                     run.app,
-                    run.trace.len(),
+                    run.trace_len(),
                     run.mp_cycles,
                     started.elapsed().as_secs_f64()
                 );
@@ -447,5 +450,6 @@ mod tests {
         assert_eq!(SizeTier::Small.name(), "small");
         assert_eq!(SizeTier::Default.name(), "default");
         assert_eq!(SizeTier::Paper.name(), "paper");
+        assert_eq!(SizeTier::Large.name(), "large");
     }
 }

@@ -95,7 +95,7 @@ pub fn figure3_report(runs: &[AppRun], workers: usize) -> String {
                 &format!(
                     "Figure 3 — {} (trace: {} instructions, processor {})",
                     run.app,
-                    run.trace.len(),
+                    run.trace_len(),
                     run.proc
                 ),
                 &cols
@@ -312,11 +312,10 @@ pub fn multi_issue_report(runs: &[AppRun], workers: usize) -> String {
         // The paper also observes the RC:SC gain is larger 4-wide.
         let gain = |width: usize, model: ConsistencyModel| {
             move || {
-                Ds::new(DsConfig {
+                run.retime(&Ds::new(DsConfig {
                     issue_width: width,
                     ..DsConfig::with_model(model).window(128)
-                })
-                .run(&run.program, &run.trace)
+                }))
                 .breakdown
                 .total() as f64
             }
@@ -365,15 +364,14 @@ pub fn sc_boost_report(runs: &[AppRun], workers: usize) -> String {
     ];
     for run in runs {
         let mut jobs: Vec<Box<dyn FnOnce() -> ExecutionResult + Send + '_>> =
-            vec![Box::new(|| Base.run(&run.program, &run.trace))];
+            vec![Box::new(|| run.retime(&Base))];
         for (model, pf, spec) in variants {
             jobs.push(Box::new(move || {
-                Ds::new(DsConfig {
+                run.retime(&Ds::new(DsConfig {
                     nonbinding_prefetch: pf,
                     speculative_loads: spec,
                     ..DsConfig::with_model(model).window(64)
-                })
-                .run(&run.program, &run.trace)
+                }))
             }));
         }
         let results = run_ordered(jobs, workers);
@@ -416,14 +414,14 @@ pub fn prefetch_report(runs: &[AppRun]) -> String {
     ]];
     for run in runs {
         let (covered_trace, stats) =
-            StridePrefetcher::new(PrefetchConfig::default()).cover(&run.trace);
-        let base = Base.run(&run.program, &run.trace);
+            StridePrefetcher::new(PrefetchConfig::default()).cover(run.trace());
+        let base = run.retime(&Base);
         let norm =
             |r: &ExecutionResult| format!("{:.1}", r.breakdown.normalized_to(&base.breakdown));
         let ssbr = InOrder::ssbr(ConsistencyModel::Rc);
-        let plain = ssbr.run(&run.program, &run.trace);
+        let plain = run.retime(&ssbr);
         let with_pf = ssbr.run(&run.program, &covered_trace);
-        let ds = Ds::new(DsConfig::rc().window(64)).run(&run.program, &run.trace);
+        let ds = run.retime(&Ds::new(DsConfig::rc().window(64)));
         rows.push(vec![
             run.app.clone(),
             format!("{:.0}%", stats.coverage() * 100.0),
@@ -455,15 +453,16 @@ pub fn contexts_report(runs: &[AppRun]) -> String {
         "DS-64".to_string(),
     ]];
     for run in runs {
-        let base = Base.run(&run.program, &run.trace);
+        let base = run.retime(&Base);
         // Multiple contexts: interleave k traces (starting from the
         // representative) and report per-context cost relative to the
         // representative's BASE time.
         let mc = |k: usize| {
-            let picked: Vec<&Trace> = (0..k)
-                .map(|i| &*run.all_traces[(run.proc + i) % run.all_traces.len()])
+            let picked: Vec<_> = (0..k)
+                .map(|i| run.trace_for((run.proc + i) % run.num_procs()))
                 .collect();
-            let r = Contexts::default().run_traces(&picked);
+            let refs: Vec<&Trace> = picked.iter().map(|t| &**t).collect();
+            let r = Contexts::default().run_traces(&refs);
             // Per-context cycles normalized to one BASE run.
             format!(
                 "{:.1}",
@@ -471,7 +470,7 @@ pub fn contexts_report(runs: &[AppRun]) -> String {
             )
         };
         let ds = |w: usize| {
-            let r = Ds::new(DsConfig::rc().window(w)).run(&run.program, &run.trace);
+            let r = run.retime(&Ds::new(DsConfig::rc().window(w)));
             format!("{:.1}", r.breakdown.normalized_to(&base.breakdown))
         };
         rows.push(vec![run.app.clone(), mc(1), mc(2), mc(4), ds(16), ds(64)]);
@@ -540,7 +539,7 @@ pub fn assoc_report(runner: &Runner) -> String {
                 ..*runner.config()
             };
             let run = runner.run_workload(workload.as_ref(), &config);
-            let stats = TraceStats::collect(&run.trace, None);
+            let stats = TraceStats::collect(run.trace(), None);
             rows.push(vec![
                 run.app.clone(),
                 format!("{}KB", size / 1024),
@@ -580,8 +579,8 @@ pub fn contention_report(runner: &Runner) -> String {
                 ..*runner.config()
             };
             let run = runner.run_workload(workload.as_ref(), &config);
-            let base = Base.run(&run.program, &run.trace);
-            let ds = Ds::new(DsConfig::rc().window(64)).run(&run.program, &run.trace);
+            let base = run.retime(&Base);
+            let ds = run.retime(&Ds::new(DsConfig::rc().window(64)));
             let hidden = ds
                 .breakdown
                 .read_latency_hidden_vs(&base.breakdown)

@@ -103,7 +103,7 @@ fn bench_cells(runner: &Runner, iters: u32) -> Vec<Cell> {
         };
 
         push("BASE", "analytic", "-", &|r: &AppRun| {
-            Base.run(&r.program, &r.trace).stats.instructions
+            Base.run(&r.program, r.trace()).stats.instructions
         });
         for m in [ConsistencyModel::Sc, ConsistencyModel::Rc] {
             push(
@@ -112,13 +112,13 @@ fn bench_cells(runner: &Runner, iters: u32) -> Vec<Cell> {
                 consistency_name(m),
                 &move |r: &AppRun| {
                     InOrder::ssbr(m)
-                        .run(&r.program, &r.trace)
+                        .run(&r.program, r.trace())
                         .stats
                         .instructions
                 },
             );
             push("SS", "analytic", consistency_name(m), &move |r: &AppRun| {
-                InOrder::ss(m).run(&r.program, &r.trace).stats.instructions
+                InOrder::ss(m).run(&r.program, r.trace()).stats.instructions
             });
         }
         for m in [
@@ -129,13 +129,13 @@ fn bench_cells(runner: &Runner, iters: u32) -> Vec<Cell> {
         ] {
             let ds = Ds::new(DsConfig::with_model(m));
             push("DS", "skip", consistency_name(m), &move |r: &AppRun| {
-                ds.run(&r.program, &r.trace).stats.instructions
+                ds.run(&r.program, r.trace()).stats.instructions
             });
             push(
                 "DS",
                 "reference",
                 consistency_name(m),
-                &move |r: &AppRun| ds.run_reference(&r.program, &r.trace).stats.instructions,
+                &move |r: &AppRun| ds.run_reference(&r.program, r.trace()).stats.instructions,
             );
         }
     }

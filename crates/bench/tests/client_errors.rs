@@ -1,0 +1,121 @@
+//! Regression tests for the typed HTTP client against sockets that
+//! behave like a server draining for shutdown.
+//!
+//! Before the typed client, a drained connection surfaced as either a
+//! raw `Broken pipe (os error 32)` or a nonsense `status 0` report;
+//! both are pinned here to the single [`ClientError::Disconnected`]
+//! case with its "draining?" message.
+
+use lookahead_bench::client::{get, ClientError};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+
+/// Reads until the request's terminating blank line (so closing the
+/// socket later cannot RST unread request bytes away along with our
+/// response).
+fn read_request(conn: &mut TcpStream) {
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 1024];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        match conn.read(&mut tmp) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+        }
+    }
+}
+
+/// Sends `response`, half-closes, and waits for the client to hang up
+/// — a graceful FIN, never a RST, so the client reliably sees the
+/// bytes.
+fn respond_and_close(mut conn: TcpStream, response: &[u8]) {
+    conn.write_all(response).unwrap();
+    conn.shutdown(Shutdown::Write).unwrap();
+    let mut drain = [0u8; 64];
+    while matches!(conn.read(&mut drain), Ok(n) if n > 0) {}
+}
+
+/// A server that accepts and immediately drops every connection — the
+/// observable behaviour of a listener whose worker pool has drained.
+#[test]
+fn accept_and_drop_reports_disconnected_not_a_panic() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        for _ in 0..2 {
+            let conn = listener.accept().expect("accept").0;
+            drop(conn);
+        }
+    });
+
+    for attempt in 0..2 {
+        match get(addr, "/v1/summary") {
+            Err(ClientError::Disconnected) => {}
+            other => panic!("attempt {attempt}: expected Disconnected, got {other:?}"),
+        }
+    }
+    server.join().expect("server thread");
+
+    let msg = ClientError::Disconnected.to_string();
+    assert!(
+        msg.contains("draining"),
+        "the error should hint at the likely cause: {msg}"
+    );
+}
+
+/// A server that reads the request and closes mid-response (after the
+/// status line would have gone out, but without one) is the same
+/// typed error, not a malformed-parse or a zero status.
+#[test]
+fn close_after_read_reports_disconnected() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let mut conn = listener.accept().expect("accept").0;
+        // Consume the request, answer nothing.
+        let mut buf = [0u8; 1024];
+        let _ = conn.read(&mut buf);
+        drop(conn);
+    });
+
+    match get(addr, "/healthz") {
+        Err(ClientError::Disconnected) => {}
+        other => panic!("expected Disconnected, got {other:?}"),
+    }
+    server.join().expect("server thread");
+}
+
+/// Garbage bytes that are not HTTP parse to `Malformed`, carrying the
+/// offending line for the error report.
+#[test]
+fn non_http_bytes_report_malformed() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let mut conn = listener.accept().expect("accept").0;
+        read_request(&mut conn);
+        respond_and_close(conn, b"not http at all\n");
+    });
+
+    match get(addr, "/healthz") {
+        Err(ClientError::Malformed(line)) => assert!(line.contains("not http"), "{line}"),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    server.join().expect("server thread");
+}
+
+/// A healthy response still round-trips: status and body parse out.
+#[test]
+fn well_formed_response_parses() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let mut conn = listener.accept().expect("accept").0;
+        read_request(&mut conn);
+        respond_and_close(conn, b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok");
+    });
+
+    let (status, body) = get(addr, "/healthz").expect("healthy response");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok");
+    server.join().expect("server thread");
+}

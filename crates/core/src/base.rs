@@ -28,17 +28,22 @@ fn stall(from: u64, pc: u32, n: u64, class: obs::StallClass, cause: obs::StallCa
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Base;
 
-impl ProcessorModel for Base {
-    fn name(&self) -> String {
-        "BASE".to_string()
-    }
+/// Incremental BASE accounting: one `step` per trace entry, shared by
+/// the materialized and streamed paths so they agree by construction.
+#[derive(Debug, Default)]
+struct Accounting {
+    result: ExecutionResult,
+    #[cfg(feature = "obs")]
+    now: u64,
+}
 
-    fn run(&self, _program: &Program, trace: &Trace) -> ExecutionResult {
-        let mut result = ExecutionResult::default();
-        let b = &mut result.breakdown;
+impl Accounting {
+    fn step(&mut self, entry: &lookahead_trace::TraceEntry) {
+        let result = &mut self.result;
         #[cfg(feature = "obs")]
-        let mut now: u64 = 0;
-        for entry in trace.iter() {
+        let now = self.now;
+        let b = &mut result.breakdown;
+        {
             b.busy += 1;
             result.stats.instructions += 1;
             #[cfg(feature = "obs")]
@@ -97,14 +102,43 @@ impl ProcessorModel for Base {
             }
             #[cfg(feature = "obs")]
             {
-                now += 1 + match entry.op {
-                    TraceOp::Load(m) | TraceOp::Store(m) => (m.latency - 1) as u64,
-                    TraceOp::Sync(s) => s.wait as u64 + (s.access - 1) as u64,
-                    _ => 0,
-                };
+                self.now = now
+                    + 1
+                    + match entry.op {
+                        TraceOp::Load(m) | TraceOp::Store(m) => (m.latency - 1) as u64,
+                        TraceOp::Sync(s) => s.wait as u64 + (s.access - 1) as u64,
+                        _ => 0,
+                    };
             }
         }
-        result
+    }
+}
+
+impl ProcessorModel for Base {
+    fn name(&self) -> String {
+        "BASE".to_string()
+    }
+
+    fn run(&self, _program: &Program, trace: &Trace) -> ExecutionResult {
+        let mut acc = Accounting::default();
+        for entry in trace.iter() {
+            acc.step(entry);
+        }
+        acc.result
+    }
+
+    fn run_source(
+        &self,
+        _program: &Program,
+        source: &mut dyn lookahead_trace::TraceSource,
+    ) -> Result<ExecutionResult, lookahead_trace::StreamError> {
+        let mut acc = Accounting::default();
+        while let Some(chunk) = source.next_chunk()? {
+            for entry in &chunk.entries {
+                acc.step(entry);
+            }
+        }
+        Ok(acc.result)
     }
 }
 

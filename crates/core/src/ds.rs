@@ -47,7 +47,7 @@ use lookahead_isa::{Program, SyncKind, WORD_BYTES};
 use lookahead_memsys::MshrFile;
 #[cfg(feature = "obs")]
 use lookahead_obs::{self as obs, EventKind};
-use lookahead_trace::{Trace, TraceOp};
+use lookahead_trace::{StreamError, Trace, TraceCursor, TraceOp, TraceSource};
 use std::collections::VecDeque;
 
 /// Cache line size used for MSHR merging (the paper's 16 bytes).
@@ -236,9 +236,13 @@ enum StallClass {
 struct Engine<'a> {
     cfg: DsConfig,
     program: &'a Program,
-    trace: &'a Trace,
+    cursor: TraceCursor<'a>,
     now: u64,
     next_decode: usize,
+    /// Whether `next_decode` is past the end of the trace, refreshed
+    /// whenever `next_decode` moves (the check pulls chunks on the
+    /// streamed path, so it cannot live in `&self` accessors).
+    decode_exhausted: bool,
     /// Ids are dense and monotonic: the live window is exactly the id
     /// range `[head_id, next_id)`, stored in a preallocated slab ring
     /// indexed by `id & slab_mask` (capacity = window size rounded up
@@ -272,20 +276,33 @@ struct Engine<'a> {
 
 impl<'a> Engine<'a> {
     fn new(cfg: DsConfig, program: &'a Program, trace: &'a Trace, skip: bool) -> Engine<'a> {
+        Engine::with_cursor(cfg, program, TraceCursor::slice(trace), skip)
+    }
+
+    fn with_cursor(
+        cfg: DsConfig,
+        program: &'a Program,
+        mut cursor: TraceCursor<'a>,
+        skip: bool,
+    ) -> Engine<'a> {
         let slab_cap = cfg.window_size.next_power_of_two();
+        let decode_exhausted = cursor.past_end(0);
+        let mem_hint = cursor.mem_entries_hint();
+        let pending_cap = cfg.window_size.min(cursor.loaded_len());
         Engine {
             cfg,
             program,
-            trace,
+            cursor,
             now: 0,
             next_decode: 0,
+            decode_exhausted,
             head_id: 0,
             next_id: 0,
             slab: std::iter::repeat_with(|| None).take(slab_cap).collect(),
             slab_mask: (slab_cap - 1) as u64,
-            memops: Vec::with_capacity(trace.mem_entries()),
+            memops: Vec::with_capacity(mem_hint),
             mem_head: 0,
-            pending_loads: VecDeque::with_capacity(cfg.window_size.min(trace.len())),
+            pending_loads: VecDeque::with_capacity(pending_cap),
             store_buffer: VecDeque::with_capacity(cfg.store_buffer_depth),
             reg_time: [0; 64],
             reg_producer: [None; 64],
@@ -318,15 +335,20 @@ impl<'a> Engine<'a> {
             .expect("live entry")
     }
 
-    fn run(mut self) -> ExecutionResult {
-        // A hard progress bound (hoisted: it depends only on the trace
-        // length): no trace entry can legitimately take longer than its
-        // worst-case serial latency, so a run exceeding this is a model
-        // deadlock (usually a mismatched program/trace pair) and must
-        // fail loudly.
-        let bound = 100_000 + (self.trace.len() as u64) * (1 << 14);
+    /// A hard progress bound: no trace entry can legitimately take
+    /// longer than its worst-case serial latency, so a run exceeding
+    /// this is a model deadlock (usually a mismatched program/trace
+    /// pair) and must fail loudly. On the streamed path the bound
+    /// grows with the entries pulled so far, which always covers
+    /// everything decoded.
+    fn progress_bound(&self) -> u64 {
+        100_000 + (self.cursor.loaded_len() as u64) * (1 << 14)
+    }
+
+    fn run(mut self) -> Result<ExecutionResult, StreamError> {
         loop {
-            let done = self.next_decode >= self.trace.len()
+            let bound = self.progress_bound();
+            let done = self.decode_exhausted
                 && self.head_id == self.next_id
                 && self.store_buffer_occupancy() == 0;
             if done {
@@ -391,15 +413,20 @@ impl<'a> Engine<'a> {
                 self.now += span;
             }
             assert!(
-                self.now < bound,
-                "no forward progress after {} cycles (trace of {} entries): \
+                self.now < self.progress_bound(),
+                "no forward progress after {} cycles ({} trace entries decoded): \
                  the program and trace likely do not match",
                 self.now,
-                self.trace.len()
+                self.next_decode
             );
         }
+        if let Some(e) = self.cursor.take_error() {
+            // The source failed mid-run: the engine saw a truncated
+            // trace, so the partial accounting is meaningless.
+            return Err(e);
+        }
         self.result.stats.peak_outstanding_misses = self.mshrs.peak();
-        self.result
+        Ok(self.result)
     }
 
     /// The earliest future cycle at which the frozen machine state can
@@ -447,9 +474,7 @@ impl<'a> Engine<'a> {
         if let Some(t) = self.mshrs.next_completion() {
             consider(t);
         }
-        if !self.fetch_blocked
-            && self.window_len() < self.cfg.window_size
-            && self.next_decode < self.trace.len()
+        if !self.fetch_blocked && self.window_len() < self.cfg.window_size && !self.decode_exhausted
         {
             consider(self.fetch_resume);
         }
@@ -509,7 +534,7 @@ impl<'a> Engine<'a> {
             }
             #[cfg(feature = "obs")]
             {
-                let pc = self.trace.entries()[self.entry(head).trace_idx].pc;
+                let pc = self.cursor.entry(self.entry(head).trace_idx).pc;
                 let now = self.now;
                 obs::with(|r| {
                     r.event(now, EventKind::Retire { pc });
@@ -522,6 +547,17 @@ impl<'a> Engine<'a> {
             self.head_id += 1;
             self.result.stats.instructions += 1;
             retired += 1;
+        }
+        if retired > 0 {
+            // Entries older than the new window head can never be read
+            // again (dataflow walks only live ids, whose trace indices
+            // are monotone in id); let the cursor drop their chunks.
+            let keep_from = if self.head_id < self.next_id {
+                self.entry(self.head_id).trace_idx
+            } else {
+                self.next_decode
+            };
+            self.cursor.release_before(keep_from);
         }
         retired
     }
@@ -719,7 +755,7 @@ impl<'a> Engine<'a> {
         }
         let mut decoded = 0;
         for _ in 0..self.cfg.issue_width {
-            if self.window_len() >= self.cfg.window_size || self.next_decode >= self.trace.len() {
+            if self.window_len() >= self.cfg.window_size || self.decode_exhausted {
                 break;
             }
             let stop_after = self.decode_one();
@@ -735,8 +771,9 @@ impl<'a> Engine<'a> {
     /// fetch must stop (mispredicted branch).
     fn decode_one(&mut self) -> bool {
         let idx = self.next_decode;
+        let te = &self.cursor.entry(idx);
         self.next_decode += 1;
-        let te = &self.trace.entries()[idx];
+        self.decode_exhausted = self.cursor.past_end(self.next_decode);
         let id = self.next_id;
         self.next_id += 1;
         #[cfg(feature = "obs")]
@@ -945,7 +982,7 @@ impl<'a> Engine<'a> {
             let waiters = std::mem::take(&mut self.entry_mut(id).waiters);
             // Fold into the register file view for consumers that
             // decode after this entry retires.
-            let te = &self.trace.entries()[self.entry(id).trace_idx];
+            let te = self.cursor.entry(self.entry(id).trace_idx);
             if let Some(instr) = self.program.fetch(te.pc as usize) {
                 if let Some(r) = instr.int_dest() {
                     if self.reg_producer[r.index()] == Some(id) {
@@ -1015,7 +1052,7 @@ impl<'a> Engine<'a> {
         use obs::StallCause as C;
         if self.head_id < self.next_id {
             let e = self.entry(self.head_id);
-            let pc = self.trace.entries()[e.trace_idx].pc;
+            let pc = self.cursor.entry(e.trace_idx).pc;
             let cause = match e.kind {
                 // ALU/branch at head: retirement waits on its operands.
                 EKind::Alu | EKind::Branch => C::TrueDependence,
@@ -1043,11 +1080,11 @@ impl<'a> Engine<'a> {
         } else {
             // Window empty: nothing to retire; blame the next
             // instruction the fetch stage would decode.
-            let pc = self
-                .trace
-                .entries()
-                .get(self.next_decode)
-                .map_or(0, |e| e.pc);
+            let pc = if self.next_decode < self.cursor.loaded_len() {
+                self.cursor.entry(self.next_decode).pc
+            } else {
+                0
+            };
             let cause = match class {
                 StallClass::Read => C::ReadMiss,
                 StallClass::Write => C::WriteMiss,
@@ -1100,7 +1137,18 @@ impl ProcessorModel for Ds {
     }
 
     fn run(&self, program: &Program, trace: &Trace) -> ExecutionResult {
-        Engine::new(self.config, program, trace, true).run()
+        Engine::new(self.config, program, trace, true)
+            .run()
+            .expect("slice-backed run cannot fail")
+    }
+
+    fn run_source(
+        &self,
+        program: &Program,
+        source: &mut dyn TraceSource,
+    ) -> Result<ExecutionResult, StreamError> {
+        let cursor = TraceCursor::stream(Box::new(source));
+        Engine::with_cursor(self.config, program, cursor, true).run()
     }
 }
 
@@ -1111,7 +1159,9 @@ impl Ds {
     /// truth for the skip-ahead equivalence suite and as the baseline
     /// engine for `lookahead bench`.
     pub fn run_reference(&self, program: &Program, trace: &Trace) -> ExecutionResult {
-        Engine::new(self.config, program, trace, false).run()
+        Engine::new(self.config, program, trace, false)
+            .run()
+            .expect("slice-backed run cannot fail")
     }
 }
 

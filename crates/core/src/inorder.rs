@@ -230,6 +230,28 @@ impl<'a> Engine<'a> {
 
     fn run(mut self, trace: &Trace) -> ExecutionResult {
         for entry in trace.iter() {
+            self.step(entry);
+        }
+        self.finish()
+    }
+
+    fn run_source(
+        mut self,
+        source: &mut dyn lookahead_trace::TraceSource,
+    ) -> Result<ExecutionResult, lookahead_trace::StreamError> {
+        while let Some(chunk) = source.next_chunk()? {
+            for entry in &chunk.entries {
+                self.step(entry);
+            }
+        }
+        Ok(self.finish())
+    }
+
+    /// Advances the engine over one trace entry — the single body both
+    /// the materialized and streamed passes run, so they agree by
+    /// construction.
+    fn step(&mut self, entry: &lookahead_trace::TraceEntry) {
+        {
             #[cfg(feature = "obs")]
             {
                 self.cur_pc = entry.pc;
@@ -321,6 +343,10 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+    }
+
+    /// Settles end-of-trace state and returns the result.
+    fn finish(mut self) -> ExecutionResult {
         // Drain: execution ends when the last buffered operation
         // performs. Completion times are not monotonic in issue order
         // (a hit issued after a miss finishes first), so take the max.
@@ -358,6 +384,14 @@ impl ProcessorModel for InOrder {
 
     fn run(&self, program: &Program, trace: &Trace) -> ExecutionResult {
         Engine::new(*self, program).run(trace)
+    }
+
+    fn run_source(
+        &self,
+        program: &Program,
+        source: &mut dyn lookahead_trace::TraceSource,
+    ) -> Result<ExecutionResult, lookahead_trace::StreamError> {
+        Engine::new(*self, program).run_source(source)
     }
 }
 

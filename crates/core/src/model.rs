@@ -94,6 +94,29 @@ pub trait ProcessorModel {
         program: &lookahead_isa::Program,
         trace: &lookahead_trace::Trace,
     ) -> ExecutionResult;
+
+    /// Re-times a *streamed* trace pulled chunk-by-chunk from
+    /// `source`, producing a result identical to materializing the
+    /// source and calling [`run`](ProcessorModel::run) — but with
+    /// memory bounded by the model's live window instead of the trace
+    /// length.
+    ///
+    /// The default implementation materializes; the BASE, SSBR/SS and
+    /// DS engines override it with genuinely streaming passes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's first I/O or decode error. The run's
+    /// partial result is discarded — a truncated trace must never be
+    /// mistaken for a short one.
+    fn run_source(
+        &self,
+        program: &lookahead_isa::Program,
+        source: &mut dyn lookahead_trace::TraceSource,
+    ) -> Result<ExecutionResult, lookahead_trace::StreamError> {
+        let trace = lookahead_trace::collect_source(source)?;
+        Ok(self.run(program, &trace))
+    }
 }
 
 #[cfg(test)]

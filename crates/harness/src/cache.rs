@@ -3,11 +3,23 @@
 //! Trace generation is the expensive half of the pipeline: a full
 //! 16-processor execution-driven simulation per application. The
 //! re-timing half consumes the same trace dozens of times. This cache
-//! makes generation pay-once: an [`AppRun`] is stored as a version-2
-//! `LKTR` archive ([`lookahead_trace::storage`]) under a file name
-//! derived from a **fingerprint of everything that influences the
+//! makes generation pay-once: an [`AppRun`] is stored as a version-3
+//! chunked `LKTR` archive ([`lookahead_trace::storage`]) under a file
+//! name derived from a **fingerprint of everything that influences the
 //! trace** — workload name, size tier, the full [`SimConfig`], and the
 //! archive format version.
+//!
+//! The chunked layout makes the cache *streaming* in both directions:
+//!
+//! * on a **miss**, the simulator's per-processor chunks are written
+//!   to the archive as they are produced ([`Simulator::run_with_sink`]
+//!   into an [`ArchiveWriter`]), so generation never materializes the
+//!   trace set in memory;
+//! * on a **hit**, every chunk record is checksum-verified in one
+//!   bounded pass ([`validate_archive_chunks`]) and the run is handed
+//!   back *archive-backed*: re-timing streams chunks from disk
+//!   ([`AppRun::retime`]), and traces materialize lazily only for
+//!   consumers that need random access.
 //!
 //! Safety properties, in order of importance:
 //!
@@ -15,19 +27,26 @@
 //!   regeneration, never to a wrong answer** — the canonical key
 //!   string is stored inside the archive and compared on load, so even
 //!   a hash collision or a renamed file cannot smuggle a stale trace in;
-//! * corrupt files are evicted on sight so the next run is a clean miss;
+//! * corrupt files (including leftover v1/v2 archives) are evicted on
+//!   sight so the next run is a clean miss;
 //! * stores write to a temporary file and rename into place, so a
-//!   crashed or concurrent writer never leaves a torn archive behind.
+//!   crashed or concurrent writer never leaves a torn archive behind —
+//!   including the streamed-generation path, whose partial archive
+//!   only becomes visible after verification succeeds.
 
-use crate::pipeline::{AppRun, PipelineError};
-use lookahead_multiproc::SimConfig;
-use lookahead_trace::storage::{read_archive, write_archive, TraceArchive, ARCHIVE_VERSION};
-use lookahead_trace::{fnv1a, DecodeError};
+use crate::pipeline::{force_materialize, AppRun, PipelineError};
+use lookahead_multiproc::{SimConfig, SimError, Simulator};
+use lookahead_trace::storage::{
+    read_archive_info, read_archive_v3, validate_archive_chunks, ArchiveWriter, TraceArchive,
+    ARCHIVE_VERSION,
+};
+use lookahead_trace::{fnv1a, DecodeError, SliceSource, TraceSink, TraceSource, DEFAULT_CHUNK_LEN};
 use lookahead_workloads::Workload;
 use std::fmt;
 use std::fs;
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Builds the canonical cache-key string for one generated run.
 ///
@@ -72,8 +91,8 @@ pub enum MissReason {
         /// The key stored in the archive.
         found: String,
     },
-    /// The file failed to decode or failed its checksum; it has been
-    /// evicted.
+    /// The file failed to decode or failed its checksum (this includes
+    /// archives in the retired v1/v2 layouts); it has been evicted.
     Corrupt(DecodeError),
     /// The archive decoded but its sections are mutually inconsistent
     /// (e.g. representative processor out of range); evicted.
@@ -145,6 +164,11 @@ impl TraceCache {
 
     /// Looks up `key`, returning the cached run or the reason there is
     /// none. Corrupt or mismatching files are evicted.
+    ///
+    /// Every chunk record is checksum-verified before the run is
+    /// returned, so subsequent streaming from the archive cannot trip
+    /// over damaged data. The run is archive-backed (traces stream
+    /// from disk on demand) unless [`force_materialize`] is set.
     pub fn load(&self, app: &str, key: &str) -> Result<AppRun, MissReason> {
         let path = self.path_for(app, key);
         let file = match fs::File::open(&path) {
@@ -152,25 +176,31 @@ impl TraceCache {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(MissReason::Absent),
             Err(e) => return Err(MissReason::Io(e)),
         };
-        let archive = match read_archive(BufReader::new(file)) {
-            Ok(a) => a,
-            Err(e) => {
-                let _ = fs::remove_file(&path);
-                return Err(MissReason::Corrupt(e));
-            }
+        let evict = |e: DecodeError| {
+            let _ = fs::remove_file(&path);
+            MissReason::Corrupt(e)
         };
-        if archive.key != key {
+        let mut r = BufReader::new(file);
+        let info = read_archive_info(&mut r).map_err(evict)?;
+        if info.key != key {
             let _ = fs::remove_file(&path);
-            return Err(MissReason::KeyMismatch { found: archive.key });
+            return Err(MissReason::KeyMismatch { found: info.key });
         }
-        app_run_from_archive(archive).map_err(|m| {
-            let _ = fs::remove_file(&path);
-            MissReason::Invalid(m)
-        })
+        validate_archive_chunks(&mut r, &info).map_err(evict)?;
+        if force_materialize() {
+            let archive = read_archive_v3(&mut r).map_err(evict)?;
+            return app_run_from_archive(archive).map_err(|m| {
+                let _ = fs::remove_file(&path);
+                MissReason::Invalid(m)
+            });
+        }
+        Ok(AppRun::from_archive(path, info))
     }
 
     /// Stores `run` under `key`, atomically (write to a temporary file
-    /// in the same directory, then rename into place).
+    /// in the same directory, then rename into place). Entries are
+    /// encoded chunk-by-chunk straight out of the run's shared traces;
+    /// nothing is deep-copied.
     ///
     /// # Errors
     ///
@@ -180,30 +210,25 @@ impl TraceCache {
         fs::create_dir_all(&self.dir)?;
         let path = self.path_for(&run.app, key);
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        let mut w = BufWriter::new(fs::File::create(&tmp)?);
-        let result = write_archive(&mut w, &archive_from_app_run(key, run))
-            .and_then(|()| w.into_inner().map_err(|e| e.into_error())?.sync_all());
+        let result = (|| {
+            let w = BufWriter::new(fs::File::create(&tmp)?);
+            let mut aw = ArchiveWriter::new(w, key, &run.app, run.num_procs(), &run.program)?;
+            for p in 0..run.num_procs() {
+                let trace = run.trace_for(p);
+                let mut src = SliceSource::with_chunk_len(&trace, DEFAULT_CHUNK_LEN);
+                while let Some(chunk) = src.next_chunk().expect("slice sources cannot fail") {
+                    aw.accept(p, chunk)?;
+                }
+            }
+            let w = aw.finish(run.proc, run.mp_cycles, &run.mp_breakdowns)?;
+            w.into_inner().map_err(|e| e.into_error())?.sync_all()
+        })();
         if let Err(e) = result {
             let _ = fs::remove_file(&tmp);
             return Err(e);
         }
         fs::rename(&tmp, &path)?;
         Ok(path)
-    }
-}
-
-fn archive_from_app_run(key: &str, run: &AppRun) -> TraceArchive {
-    TraceArchive {
-        key: key.to_string(),
-        app: run.app.clone(),
-        proc: run.proc as u32,
-        mp_cycles: run.mp_cycles,
-        breakdowns: run.mp_breakdowns.clone(),
-        program: run.program.clone(),
-        // The archive owns its traces; deep-copy out of the shared
-        // `Arc`s. Stores happen once per generation (cold path), so
-        // this is the only place a trace is still cloned wholesale.
-        traces: run.all_traces.iter().map(|t| (**t).clone()).collect(),
     }
 }
 
@@ -222,24 +247,99 @@ fn app_run_from_archive(a: TraceArchive) -> Result<AppRun, String> {
             a.traces.len()
         ));
     }
-    let all_traces: Vec<std::sync::Arc<_>> =
-        a.traces.into_iter().map(std::sync::Arc::new).collect();
-    Ok(AppRun {
-        app: a.app,
-        program: a.program,
-        trace: std::sync::Arc::clone(&all_traces[proc]),
+    Ok(AppRun::from_traces(
+        a.app,
+        a.program,
         proc,
-        all_traces,
-        mp_breakdowns: a.breakdowns,
-        mp_cycles: a.mp_cycles,
-    })
+        a.traces.into_iter().map(Arc::new).collect(),
+        a.breakdowns,
+        a.mp_cycles,
+    ))
+}
+
+/// How streamed generation failed, deciding the recovery strategy.
+enum StreamedGenError {
+    /// The simulation or verification itself failed — regeneration
+    /// would fail identically, so this surfaces to the caller.
+    Pipeline(PipelineError),
+    /// Writing the archive failed (disk full, permissions): the caller
+    /// falls back to in-memory generation, because the simulation
+    /// could still succeed.
+    Io(std::io::Error),
+}
+
+/// Generates `workload` with the simulator's chunks streamed straight
+/// into the cache archive, so the full trace set never materializes in
+/// memory. The archive only becomes visible (rename) after the
+/// workload's self-check passes; the returned run is archive-backed.
+fn generate_streamed(
+    cache: &TraceCache,
+    key: &str,
+    workload: &dyn Workload,
+    config: &SimConfig,
+) -> Result<AppRun, StreamedGenError> {
+    use StreamedGenError::{Io, Pipeline};
+    fs::create_dir_all(cache.dir()).map_err(Io)?;
+    let path = cache.path_for(workload.name(), key);
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let built = workload.build(config.num_procs);
+    let program = built.program.clone();
+    let sim = Simulator::new(built.program, built.image, *config)
+        .map_err(|e| Pipeline(PipelineError::Sim(e)))?;
+    let cleanup = |e: StreamedGenError| {
+        let _ = fs::remove_file(&tmp);
+        e
+    };
+    let w = BufWriter::new(fs::File::create(&tmp).map_err(Io)?);
+    let mut writer = ArchiveWriter::new(w, key, workload.name(), config.num_procs, &program)
+        .map_err(|e| cleanup(Io(e)))?;
+    let outcome = sim.run_with_sink(&mut writer).map_err(|e| {
+        cleanup(match e {
+            SimError::Sink(io) => Io(io),
+            other => Pipeline(PipelineError::Sim(other)),
+        })
+    })?;
+    (built.verify)(&outcome.final_memory).map_err(|reason| {
+        cleanup(Pipeline(PipelineError::Verification {
+            app: workload.name().to_string(),
+            reason,
+        }))
+    })?;
+    let proc = outcome.busiest_proc();
+    let io_step = (|| {
+        let w = writer.finish(proc, outcome.total_cycles, &outcome.breakdowns)?;
+        w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        fs::rename(&tmp, &path)
+    })();
+    io_step.map_err(|e| cleanup(Io(e)))?;
+    // Re-read the header/trailer (cheap: no chunk scan) so the run is
+    // backed by exactly what landed on disk.
+    let reopen = (|| {
+        let file = fs::File::open(&path)?;
+        read_archive_info(BufReader::new(file))
+            .map_err(|e| std::io::Error::other(format!("re-reading just-written archive: {e}")))
+    })();
+    let info = reopen.map_err(Io)?;
+    if force_materialize() {
+        return match cache.load(workload.name(), key) {
+            Ok(run) => Ok(run),
+            Err(m) => Err(Io(std::io::Error::other(format!(
+                "re-loading just-written archive: {m}"
+            )))),
+        };
+    }
+    Ok(AppRun::from_archive(path, info))
 }
 
 /// Serves `workload` under `config` from the cache when possible,
-/// generating (and storing) on any miss. With `cache` = `None` this is
-/// plain generation.
+/// generating on any miss. With `cache` = `None` this is plain
+/// in-memory generation.
 ///
-/// A failed *store* is reported to stderr but does not fail the run —
+/// With a cache present, generation *streams*: simulator chunks are
+/// written to the archive as they are produced and the returned run is
+/// archive-backed, so peak memory is bounded by the simulator state
+/// rather than the trace set. If the archive cannot be written (disk
+/// full), generation falls back to the in-memory path with a warning —
 /// caching is an optimization, never a correctness dependency.
 ///
 /// # Errors
@@ -260,6 +360,18 @@ pub fn load_or_generate(
         },
         None => MissReason::Absent,
     };
+    if let Some(c) = cache {
+        match generate_streamed(c, &key, workload, config) {
+            Ok(run) => return Ok((run, CacheOutcome::Generated(miss))),
+            Err(StreamedGenError::Pipeline(e)) => return Err(e),
+            Err(StreamedGenError::Io(e)) => eprintln!(
+                "  warning: failed to stream {} trace into {}: {e}; \
+                 falling back to in-memory generation",
+                workload.name(),
+                c.dir().display()
+            ),
+        }
+    }
     let run = AppRun::generate(workload, config)?;
     if let Some(c) = cache {
         if let Err(e) = c.store(&key, &run) {

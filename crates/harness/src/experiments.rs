@@ -12,7 +12,7 @@ use crate::pipeline::{AppRun, PipelineError};
 use lookahead_core::base::Base;
 use lookahead_core::ds::{Ds, DsConfig};
 use lookahead_core::inorder::InOrder;
-use lookahead_core::model::{ExecutionResult, ProcessorModel};
+use lookahead_core::model::ExecutionResult;
 use lookahead_core::{Btb, BtbConfig, ConsistencyModel};
 use lookahead_memsys::MemoryParams;
 use lookahead_multiproc::SimConfig;
@@ -81,22 +81,19 @@ pub fn figure3(run: &AppRun, windows: &[usize]) -> Vec<Figure3Column> {
 
 /// [`figure3`] with an explicit worker count (1 = serial).
 pub fn figure3_with(run: &AppRun, windows: &[usize], workers: usize) -> Vec<Figure3Column> {
-    let mut cells: Vec<Cell<'_>> = vec![(
-        "BASE".into(),
-        String::new(),
-        Box::new(|| Base.run(&run.program, &run.trace)),
-    )];
+    let mut cells: Vec<Cell<'_>> =
+        vec![("BASE".into(), String::new(), Box::new(|| run.retime(&Base)))];
     for model in ConsistencyModel::EVALUATED {
         let group = model.abbrev();
         cells.push((
             "SSBR".into(),
             group.into(),
-            Box::new(move || InOrder::ssbr(model).run(&run.program, &run.trace)),
+            Box::new(move || run.retime(&InOrder::ssbr(model))),
         ));
         cells.push((
             "SS".into(),
             group.into(),
-            Box::new(move || InOrder::ss(model).run(&run.program, &run.trace)),
+            Box::new(move || run.retime(&InOrder::ss(model))),
         ));
         let ds_windows: &[usize] = if model == ConsistencyModel::Rc {
             windows
@@ -107,9 +104,7 @@ pub fn figure3_with(run: &AppRun, windows: &[usize], workers: usize) -> Vec<Figu
             cells.push((
                 format!("DS.{w}"),
                 group.into(),
-                Box::new(move || {
-                    Ds::new(DsConfig::with_model(model).window(w)).run(&run.program, &run.trace)
-                }),
+                Box::new(move || run.retime(&Ds::new(DsConfig::with_model(model).window(w)))),
             ));
         }
     }
@@ -125,23 +120,19 @@ pub fn figure4(run: &AppRun, windows: &[usize]) -> Vec<Figure4Column> {
 
 /// [`figure4`] with an explicit worker count (1 = serial).
 pub fn figure4_with(run: &AppRun, windows: &[usize], workers: usize) -> Vec<Figure4Column> {
-    let mut cells: Vec<Cell<'_>> = vec![(
-        "BASE".into(),
-        String::new(),
-        Box::new(|| Base.run(&run.program, &run.trace)),
-    )];
+    let mut cells: Vec<Cell<'_>> =
+        vec![("BASE".into(), String::new(), Box::new(|| run.retime(&Base)))];
     for (suffix, nodep) in [("bp", false), ("bp+nd", true)] {
         for &w in windows {
             cells.push((
                 format!("DS.{w}"),
                 suffix.into(),
                 Box::new(move || {
-                    Ds::new(DsConfig {
+                    run.retime(&Ds::new(DsConfig {
                         perfect_branch_prediction: true,
                         ignore_data_dependences: nodep,
                         ..DsConfig::rc().window(w)
-                    })
-                    .run(&run.program, &run.trace)
+                    }))
                 }),
             ));
         }
@@ -151,27 +142,27 @@ pub fn figure4_with(run: &AppRun, windows: &[usize], workers: usize) -> Vec<Figu
 
 /// Table 1: data-reference statistics of the representative trace.
 pub fn table1(run: &AppRun) -> DataRefStats {
-    TraceStats::collect(&run.trace, None).data
+    TraceStats::collect(run.trace(), None).data
 }
 
 /// Table 2: synchronization statistics of the representative trace.
 pub fn table2(run: &AppRun) -> SyncStats {
-    TraceStats::collect(&run.trace, None).sync
+    TraceStats::collect(run.trace(), None).sync
 }
 
 /// Table 3: branch statistics, scored with the paper's 2048-entry
 /// 4-way BTB.
 pub fn table3(run: &AppRun) -> BranchStats {
     let mut btb = Btb::new(BtbConfig::PAPER);
-    TraceStats::collect(&run.trace, Some(&mut btb)).branch
+    TraceStats::collect(run.trace(), Some(&mut btb)).branch
 }
 
 /// The fraction of BASE's read-stall time hidden by `DS-window` under
 /// RC — the paper's headline metric (§7: on average 33% at window 16,
 /// 63% at 32, 81% at 64 with 50-cycle latency).
 pub fn read_latency_hidden(run: &AppRun, window: usize) -> f64 {
-    let base = Base.run(&run.program, &run.trace);
-    let ds = Ds::new(DsConfig::rc().window(window)).run(&run.program, &run.trace);
+    let base = run.retime(&Base);
+    let ds = run.retime(&Ds::new(DsConfig::rc().window(window)));
     ds.breakdown
         .read_latency_hidden_vs(&base.breakdown)
         .unwrap_or(1.0)
@@ -189,12 +180,10 @@ pub fn read_latency_hidden_matrix(
     // window, flattened into a single job list.
     let mut jobs: Vec<Box<dyn FnOnce() -> Breakdown + Send + '_>> = Vec::new();
     for run in runs {
-        jobs.push(Box::new(|| Base.run(&run.program, &run.trace).breakdown));
+        jobs.push(Box::new(|| run.retime(&Base).breakdown));
         for &w in windows {
             jobs.push(Box::new(move || {
-                Ds::new(DsConfig::rc().window(w))
-                    .run(&run.program, &run.trace)
-                    .breakdown
+                run.retime(&Ds::new(DsConfig::rc().window(w))).breakdown
             }));
         }
     }
@@ -261,7 +250,7 @@ pub fn miss_delay(run: &AppRun, window: usize) -> MissDelayReport {
         perfect_branch_prediction: true,
         ..DsConfig::rc().window(window)
     });
-    let r = ds.run(&run.program, &run.trace);
+    let r = run.retime(&ds);
     let delays = &r.stats.read_miss_issue_delays;
     let n = delays.len();
     let frac = |t: u32| {
@@ -292,21 +281,17 @@ fn rc_window_sweep(
     group: &str,
     workers: usize,
 ) -> Vec<Figure3Column> {
-    let mut cells: Vec<Cell<'_>> = vec![(
-        "BASE".into(),
-        String::new(),
-        Box::new(|| Base.run(&run.program, &run.trace)),
-    )];
+    let mut cells: Vec<Cell<'_>> =
+        vec![("BASE".into(), String::new(), Box::new(|| run.retime(&Base)))];
     for &w in windows {
         cells.push((
             format!("DS.{w}"),
             group.into(),
             Box::new(move || {
-                Ds::new(DsConfig {
+                run.retime(&Ds::new(DsConfig {
                     issue_width,
                     ..DsConfig::rc().window(w)
-                })
-                .run(&run.program, &run.trace)
+                }))
             }),
         ));
     }
@@ -481,7 +466,7 @@ mod tests {
         let (run, cols) = latency_sweep(&Lu { n: 12 }, &config, 100, &[64]).unwrap();
         // Misses now cost 100 cycles; the trace must reflect it.
         let has_100 = run
-            .trace
+            .trace()
             .iter()
             .filter_map(|e| e.mem_access())
             .any(|m| m.latency == 100);

@@ -1,12 +1,29 @@
 //! Steps 1–3 of the paper's methodology: workload → multiprocessor
 //! simulation → representative annotated trace.
 
+use lookahead_core::{ExecutionResult, ProcessorModel};
 use lookahead_isa::Program;
 use lookahead_multiproc::{SimConfig, SimError, SimOutcome, Simulator};
-use lookahead_trace::{Breakdown, Trace};
+use lookahead_trace::storage::{ArchiveInfo, ChunkReader};
+use lookahead_trace::{collect_source, Breakdown, StreamError, Trace, TraceSource};
 use lookahead_workloads::Workload;
+use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::fs;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Environment variable forcing every archive-backed run to
+/// materialize its traces instead of streaming them from disk (the
+/// `lookahead bench memory` baseline mode; also an escape hatch if the
+/// streamed path ever misbehaves in the field).
+pub const FORCE_MATERIALIZE_ENV: &str = "LOOKAHEAD_FORCE_MATERIALIZE";
+
+/// Whether [`FORCE_MATERIALIZE_ENV`] is set to `1`.
+pub fn force_materialize() -> bool {
+    std::env::var_os(FORCE_MATERIALIZE_ENV).is_some_and(|v| v == "1")
+}
 
 /// Errors from trace generation.
 #[derive(Debug)]
@@ -45,6 +62,31 @@ impl From<SimError> for PipelineError {
     }
 }
 
+/// Where an [`AppRun`]'s traces live.
+///
+/// `Memory` is the classic fully-materialized form (direct generation,
+/// or a cache hit under [`FORCE_MATERIALIZE_ENV`]). `Archive` backs the
+/// run with a validated on-disk v3 archive: re-timing streams chunks
+/// from the file, and a trace is only materialized when a consumer
+/// genuinely needs random access (trace statistics, listings, the
+/// multiple-contexts model) — lazily, at most once per processor.
+#[derive(Debug)]
+enum TraceStore {
+    Memory { traces: Vec<Arc<Trace>> },
+    // Boxed: the archive bookkeeping dwarfs the Memory variant.
+    Archive(Box<ArchiveStore>),
+}
+
+#[derive(Debug)]
+struct ArchiveStore {
+    path: PathBuf,
+    info: ArchiveInfo,
+    /// Lazily materialized representative trace.
+    rep: OnceLock<Arc<Trace>>,
+    /// Lazily materialized non-representative traces.
+    others: Mutex<BTreeMap<usize, Arc<Trace>>>,
+}
+
 /// A generated run of one application: the program, the representative
 /// processor's trace, and the multiprocessor-level statistics the
 /// paper's Tables 1–2 report.
@@ -55,26 +97,18 @@ pub struct AppRun {
     /// The SPMD program (needed by the processor models for register
     /// dependences).
     pub program: Program,
-    /// The representative processor's annotated trace. Shared via
-    /// `Arc` so cache hits and `SharedRuns` clones never deep-copy the
-    /// (often multi-megabyte) entry vector; `&run.trace` still derefs
-    /// to `&Trace` everywhere.
-    pub trace: Arc<Trace>,
-    /// Which processor the trace belongs to.
+    /// Which processor the representative trace belongs to.
     pub proc: usize,
-    /// Every processor's trace from the same run (used by the
-    /// multiple-contexts comparison, which interleaves several streams
-    /// on one pipeline). `all_traces[proc]` shares its allocation with
-    /// `trace`.
-    pub all_traces: Vec<Arc<Trace>>,
     /// The generating run's per-processor breakdowns (diagnostic).
     pub mp_breakdowns: Vec<Breakdown>,
     /// Total multiprocessor cycles of the generating run.
     pub mp_cycles: u64,
+    store: TraceStore,
 }
 
 impl AppRun {
-    /// Generates a verified trace for `workload` under `config`.
+    /// Generates a verified trace for `workload` under `config`,
+    /// materialized in memory.
     ///
     /// The representative processor is the one that executed the most
     /// instructions (the paper picks "one of the processes"; the
@@ -94,22 +128,200 @@ impl AppRun {
             reason,
         })?;
         let proc = outcome.busiest_proc();
-        let all_traces: Vec<Arc<Trace>> = outcome.traces.into_iter().map(Arc::new).collect();
+        let traces: Vec<Arc<Trace>> = outcome.traces.into_iter().map(Arc::new).collect();
         Ok(AppRun {
             app: workload.name().to_string(),
             program,
-            trace: Arc::clone(&all_traces[proc]),
             proc,
-            all_traces,
             mp_breakdowns: outcome.breakdowns,
             mp_cycles: outcome.total_cycles,
+            store: TraceStore::Memory { traces },
         })
     }
+
+    /// A run materialized in memory (cache hits under
+    /// [`FORCE_MATERIALIZE_ENV`], and tests).
+    pub fn from_traces(
+        app: String,
+        program: Program,
+        proc: usize,
+        traces: Vec<Arc<Trace>>,
+        mp_breakdowns: Vec<Breakdown>,
+        mp_cycles: u64,
+    ) -> AppRun {
+        AppRun {
+            app,
+            program,
+            proc,
+            mp_breakdowns,
+            mp_cycles,
+            store: TraceStore::Memory { traces },
+        }
+    }
+
+    /// A run backed by a validated v3 archive at `path`. Traces stream
+    /// from the file on demand; nothing is materialized up front.
+    pub fn from_archive(path: PathBuf, info: ArchiveInfo) -> AppRun {
+        AppRun {
+            app: info.app.clone(),
+            program: info.program.clone(),
+            proc: info.proc as usize,
+            mp_breakdowns: info.breakdowns.clone(),
+            mp_cycles: info.mp_cycles,
+            store: TraceStore::Archive(Box::new(ArchiveStore {
+                path,
+                info,
+                rep: OnceLock::new(),
+                others: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// Number of processors whose traces this run carries.
+    pub fn num_procs(&self) -> usize {
+        match &self.store {
+            TraceStore::Memory { traces } => traces.len(),
+            TraceStore::Archive(a) => a.info.num_procs(),
+        }
+    }
+
+    /// Length of the representative trace, without materializing it
+    /// (archives know it from their trailer).
+    pub fn trace_len(&self) -> usize {
+        match &self.store {
+            TraceStore::Memory { traces } => traces[self.proc].len(),
+            TraceStore::Archive(a) => a.info.totals[self.proc].entries as usize,
+        }
+    }
+
+    /// The representative processor's annotated trace, materializing
+    /// it from the backing archive on first access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backing archive (validated at load time) can no
+    /// longer be read — the file was deleted or damaged mid-process.
+    pub fn trace(&self) -> &Trace {
+        match &self.store {
+            TraceStore::Memory { traces } => &traces[self.proc],
+            TraceStore::Archive(a) => a.rep.get_or_init(|| {
+                Arc::new(
+                    read_proc_trace(&a.path, &a.info, self.proc)
+                        .unwrap_or_else(|e| panic!("{}", archive_vanished(&self.app, &a.path, &e))),
+                )
+            }),
+        }
+    }
+
+    /// Processor `p`'s trace (used by the multiple-contexts model,
+    /// which interleaves several streams on one pipeline),
+    /// materializing it on first access.
+    ///
+    /// # Panics
+    ///
+    /// As [`trace`](Self::trace); also panics if `p` is out of range.
+    pub fn trace_for(&self, p: usize) -> Arc<Trace> {
+        match &self.store {
+            TraceStore::Memory { traces } => Arc::clone(&traces[p]),
+            TraceStore::Archive(a) => {
+                assert!(p < a.info.num_procs(), "processor {p} out of range");
+                if p == self.proc {
+                    self.trace();
+                    return Arc::clone(a.rep.get().expect("just materialized"));
+                }
+                Arc::clone(
+                    a.others
+                        .lock()
+                        .expect("trace cache lock")
+                        .entry(p)
+                        .or_insert_with(|| {
+                            Arc::new(read_proc_trace(&a.path, &a.info, p).unwrap_or_else(|e| {
+                                panic!("{}", archive_vanished(&self.app, &a.path, &e))
+                            }))
+                        }),
+                )
+            }
+        }
+    }
+
+    /// Every processor's trace, materializing as needed.
+    pub fn all_traces(&self) -> Vec<Arc<Trace>> {
+        (0..self.num_procs()).map(|p| self.trace_for(p)).collect()
+    }
+
+    /// A streaming source over the representative trace, when the run
+    /// is archive-backed and streaming is not disabled.
+    fn open_source(&self) -> Option<Result<impl TraceSource, StreamError>> {
+        match &self.store {
+            TraceStore::Memory { .. } => None,
+            TraceStore::Archive(a) => {
+                // Once the trace is materialized anyway, slicing it is
+                // strictly cheaper than re-reading the file.
+                if a.rep.get().is_some() || force_materialize() {
+                    return None;
+                }
+                Some(open_reader(&a.path, &a.info, self.proc))
+            }
+        }
+    }
+
+    /// Re-times the representative trace under `model`, streaming
+    /// chunks straight from the backing archive when possible (memory
+    /// bounded by the model's live window, not the trace length) and
+    /// falling back to the materialized trace otherwise.
+    ///
+    /// Streamed and materialized runs are equivalent by construction
+    /// (every engine's `run_source` contract, enforced by the
+    /// `streamed_equivalence` suite), so callers never observe which
+    /// path served them.
+    pub fn retime(&self, model: &dyn ProcessorModel) -> ExecutionResult {
+        if let Some(source) = self.open_source() {
+            match source {
+                Ok(mut source) => match model.run_source(&self.program, &mut source) {
+                    Ok(result) => return result,
+                    Err(e) => eprintln!(
+                        "  warning: streamed re-timing of {} failed ({e}); \
+                         falling back to the materialized trace",
+                        self.app
+                    ),
+                },
+                Err(e) => eprintln!(
+                    "  warning: cannot stream {} trace ({e}); \
+                     falling back to the materialized trace",
+                    self.app
+                ),
+            }
+        }
+        model.run(&self.program, self.trace())
+    }
+}
+
+fn archive_vanished(app: &str, path: &Path, e: &StreamError) -> String {
+    format!(
+        "the {app} trace archive at {} was validated at load time but can \
+         no longer be read ({e}); it was deleted or damaged mid-process",
+        path.display()
+    )
+}
+
+fn open_reader(
+    path: &Path,
+    info: &ArchiveInfo,
+    proc: usize,
+) -> Result<ChunkReader<BufReader<fs::File>>, StreamError> {
+    let file = fs::File::open(path).map_err(StreamError::Io)?;
+    ChunkReader::new(BufReader::new(file), info, proc).map_err(StreamError::Decode)
+}
+
+fn read_proc_trace(path: &Path, info: &ArchiveInfo, proc: usize) -> Result<Trace, StreamError> {
+    let mut reader = open_reader(path, info, proc)?;
+    collect_source(&mut reader)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lookahead_core::base::Base;
     use lookahead_workloads::lu::Lu;
 
     #[test]
@@ -120,9 +332,14 @@ mod tests {
         };
         let run = AppRun::generate(&Lu { n: 12 }, &config).expect("pipeline succeeds");
         assert_eq!(run.app, "LU");
-        assert!(!run.trace.is_empty());
+        assert!(!run.trace().is_empty());
+        assert_eq!(run.trace_len(), run.trace().len());
+        assert_eq!(run.num_procs(), 4);
         assert!(run.mp_cycles > 0);
         assert_eq!(run.mp_breakdowns.len(), 4);
         assert!(run.proc < 4);
+        // Memory-backed runs retime on the materialized path.
+        let direct = Base.run(&run.program, run.trace());
+        assert_eq!(run.retime(&Base), direct);
     }
 }

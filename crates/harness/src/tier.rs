@@ -4,8 +4,8 @@
 //! [`cache_key`](crate::cache::cache_key)), so the bench binaries, the
 //! unified driver and the experiment service all agree on what a
 //! cached trace means. The canonical tier names (`small`, `default`,
-//! `paper`) are pinned by tests — renaming one silently invalidates
-//! every existing cache.
+//! `paper`, `large`) are pinned by tests — renaming one silently
+//! invalidates every existing cache.
 
 use lookahead_workloads::{App, Workload};
 
@@ -18,20 +18,31 @@ pub enum SizeTier {
     Default,
     /// The paper's published sizes (`LOOKAHEAD_PAPER=1`).
     Paper,
+    /// Beyond the paper's sizes (`LOOKAHEAD_LARGE=1`): traces big
+    /// enough that only the streamed bounded-memory pipeline keeps the
+    /// working set flat.
+    Large,
 }
 
 impl SizeTier {
     /// Every tier, in increasing size order.
-    pub const ALL: [SizeTier; 3] = [SizeTier::Small, SizeTier::Default, SizeTier::Paper];
+    pub const ALL: [SizeTier; 4] = [
+        SizeTier::Small,
+        SizeTier::Default,
+        SizeTier::Paper,
+        SizeTier::Large,
+    ];
 
     /// Reads the tier from the environment; `LOOKAHEAD_SMALL` wins
-    /// over `LOOKAHEAD_PAPER`.
+    /// over `LOOKAHEAD_PAPER`, which wins over `LOOKAHEAD_LARGE`.
     pub fn from_env() -> SizeTier {
         let on = |k: &str| std::env::var(k).is_ok_and(|v| v != "0");
         if on("LOOKAHEAD_SMALL") {
             SizeTier::Small
         } else if on("LOOKAHEAD_PAPER") {
             SizeTier::Paper
+        } else if on("LOOKAHEAD_LARGE") {
+            SizeTier::Large
         } else {
             SizeTier::Default
         }
@@ -43,6 +54,7 @@ impl SizeTier {
             SizeTier::Small => "small",
             SizeTier::Default => "default",
             SizeTier::Paper => "paper",
+            SizeTier::Large => "large",
         }
     }
 
@@ -60,6 +72,7 @@ impl SizeTier {
             SizeTier::Small => app.small_workload(),
             SizeTier::Default => app.default_workload(),
             SizeTier::Paper => app.paper_workload(),
+            SizeTier::Large => app.large_workload(),
         }
     }
 }
@@ -75,6 +88,7 @@ mod tests {
         assert_eq!(SizeTier::Small.name(), "small");
         assert_eq!(SizeTier::Default.name(), "default");
         assert_eq!(SizeTier::Paper.name(), "paper");
+        assert_eq!(SizeTier::Large.name(), "large");
     }
 
     #[test]
@@ -84,6 +98,7 @@ mod tests {
         }
         assert_eq!(SizeTier::from_name("SMALL"), Some(SizeTier::Small));
         assert_eq!(SizeTier::from_name(" paper "), Some(SizeTier::Paper));
+        assert_eq!(SizeTier::from_name("Large"), Some(SizeTier::Large));
         assert_eq!(SizeTier::from_name("huge"), None);
         assert_eq!(SizeTier::from_name(""), None);
     }

@@ -27,7 +27,10 @@ use lookahead_isa::{Instruction, OpClass, Program, SyncKind};
 use lookahead_memsys::{CoherenceStats, CoherentSystem, DrainPolicy, WriteBuffer};
 #[cfg(feature = "obs")]
 use lookahead_obs::{self as obs, Event, EventKind};
-use lookahead_trace::{Breakdown, MemAccess, SyncAccess, Trace, TraceEntry, TraceOp};
+use lookahead_trace::{
+    Breakdown, ChunkBuilder, CollectSink, MemAccess, SyncAccess, Trace, TraceEntry, TraceOp,
+    TraceSink, DEFAULT_CHUNK_LEN,
+};
 use std::fmt;
 
 /// Journals a cache hit/miss on processor `p`'s row at cycle `t`.
@@ -75,6 +78,9 @@ pub enum SimError {
     Deadlock { cycle: u64, blocked: Vec<usize> },
     /// The run exceeded [`SimConfig::max_cycles`].
     CycleLimit { limit: u64 },
+    /// The trace sink failed to accept a chunk (an I/O error when
+    /// streaming trace generation straight to disk).
+    Sink(std::io::Error),
 }
 
 impl fmt::Display for SimError {
@@ -91,6 +97,7 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::CycleLimit { limit } => write!(f, "exceeded cycle limit {limit}"),
+            SimError::Sink(e) => write!(f, "trace sink failed: {e}"),
         }
     }
 }
@@ -130,16 +137,30 @@ struct Proc {
     machine: Machine,
     wb: WriteBuffer,
     status: Status,
-    trace: Trace,
+    /// Bounded per-processor chunk buffer; completed chunks drain to
+    /// the run's [`TraceSink`] instead of growing an owned trace.
+    chunks: ChunkBuilder,
     breakdown: Breakdown,
     finish_time: u64,
+}
+
+impl Proc {
+    #[inline]
+    fn record(&mut self, entry: TraceEntry) {
+        self.chunks.push(entry);
+    }
 }
 
 /// Result of a completed multiprocessor run.
 #[derive(Debug)]
 pub struct SimOutcome {
-    /// One annotated trace per processor.
+    /// One annotated trace per processor when the run collected them
+    /// ([`Simulator::run`]); empty when the chunks went to an external
+    /// sink ([`Simulator::run_with_sink`]).
     pub traces: Vec<Trace>,
+    /// Per-processor dynamic instruction counts — available on both
+    /// the collected and the streamed path.
+    pub entry_counts: Vec<u64>,
     /// Per-processor execution-time breakdown of the generating run
     /// (in-order blocking-read processors under RC).
     pub breakdowns: Vec<Breakdown>,
@@ -164,8 +185,8 @@ impl SimOutcome {
     /// a reasonable "representative" processor to re-time, mirroring
     /// the paper's choice of one process's trace.
     pub fn busiest_proc(&self) -> usize {
-        (0..self.traces.len())
-            .max_by_key(|&p| self.traces[p].len())
+        (0..self.entry_counts.len())
+            .max_by_key(|&p| self.entry_counts[p])
             .unwrap_or(0)
     }
 }
@@ -204,11 +225,13 @@ impl Simulator {
         let image_bytes = image.size_bytes();
         let mem_bytes = config.memory_bytes.unwrap_or(image_bytes).max(image_bytes);
         let mem = FlatMemory::from_image(image.into_words(), mem_bytes);
-        // Traces typically run tens of dynamic instructions per static
-        // one (loop bodies re-execute); seeding capacity at a multiple
-        // of program size avoids most mid-run regrowth without
-        // over-committing for tiny kernels.
-        let trace_capacity = (program.len() * 16).clamp(256, 1 << 20);
+        // Each processor buffers its trace in a fixed-capacity chunk
+        // derived from its program size (small kernels get small
+        // buffers, loopy programs get full chunks) rather than one
+        // whole-trace guess: memory per processor is bounded by the
+        // chunk, and the builder debug-asserts the buffer never
+        // reallocates mid-run.
+        let chunk_capacity = (program.len() * 16).clamp(256, DEFAULT_CHUNK_LEN);
         let procs = (0..config.num_procs)
             .map(|p| {
                 let mut machine = Machine::new();
@@ -218,7 +241,7 @@ impl Simulator {
                     machine,
                     wb: WriteBuffer::new(config.write_buffer_depth, DrainPolicy::Overlapped),
                     status: Status::Ready,
-                    trace: Trace::with_capacity(trace_capacity),
+                    chunks: ChunkBuilder::new(chunk_capacity),
                     breakdown: Breakdown::new(),
                     finish_time: 0,
                 }
@@ -238,7 +261,8 @@ impl Simulator {
         })
     }
 
-    /// Runs the simulation to completion.
+    /// Runs the simulation to completion, collecting every
+    /// processor's trace into [`SimOutcome::traces`].
     ///
     /// # Errors
     ///
@@ -246,7 +270,26 @@ impl Simulator {
     /// * [`SimError::CycleLimit`] if the configured bound is exceeded;
     /// * [`SimError::Interp`] on an interpreter-level fault (a workload
     ///   bug, e.g. falling off the end of the program).
-    pub fn run(mut self) -> Result<SimOutcome, SimError> {
+    pub fn run(self) -> Result<SimOutcome, SimError> {
+        let mut sink = CollectSink::new(self.config.num_procs);
+        let mut out = self.run_with_sink(&mut sink)?;
+        out.traces = sink.into_traces();
+        Ok(out)
+    }
+
+    /// Runs the simulation to completion, streaming every processor's
+    /// trace through `sink` as fixed-size chunks. Memory for traces is
+    /// bounded by one chunk per processor; [`SimOutcome::traces`] is
+    /// left empty (use [`SimOutcome::entry_counts`] for lengths).
+    ///
+    /// Chunks of one processor arrive at the sink in trace order;
+    /// chunks of different processors interleave as execution does.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Simulator::run`] returns, plus [`SimError::Sink`]
+    /// when the sink rejects a chunk.
+    pub fn run_with_sink(mut self, sink: &mut dyn TraceSink) -> Result<SimOutcome, SimError> {
         loop {
             if self.procs.iter().all(|p| p.status == Status::Halted) {
                 break;
@@ -314,6 +357,12 @@ impl Simulator {
                         }
                     }
                 }
+                // A turn records at most one entry, so at most one
+                // chunk completes per turn; drain it before the buffer
+                // can fill again.
+                if let Some(chunk) = self.procs[p].chunks.take_ready() {
+                    sink.accept(p, chunk).map_err(SimError::Sink)?;
+                }
             }
             if progressed {
                 self.now += 1;
@@ -330,8 +379,18 @@ impl Simulator {
                 });
             }
         }
+        for (p, proc) in self.procs.iter_mut().enumerate() {
+            if let Some(chunk) = proc.chunks.finish() {
+                sink.accept(p, chunk).map_err(SimError::Sink)?;
+            }
+        }
         Ok(SimOutcome {
-            traces: self.procs.iter().map(|p| p.trace.clone()).collect(),
+            traces: Vec::new(),
+            entry_counts: self
+                .procs
+                .iter()
+                .map(|p| p.chunks.entries_pushed())
+                .collect(),
             breakdowns: self.procs.iter().map(|p| p.breakdown).collect(),
             finish_times: self.procs.iter().map(|p| p.finish_time).collect(),
             total_cycles: self
@@ -387,20 +446,20 @@ impl Simulator {
                         self.procs[p].finish_time = now;
                         return Ok(());
                     }
-                    Effect::Branch { taken, target } => self.procs[p].trace.push(TraceEntry {
+                    Effect::Branch { taken, target } => self.procs[p].record(TraceEntry {
                         pc: pc as u32,
                         op: TraceOp::Branch {
                             taken,
                             target: target as u32,
                         },
                     }),
-                    Effect::Jump { target } => self.procs[p].trace.push(TraceEntry {
+                    Effect::Jump { target } => self.procs[p].record(TraceEntry {
                         pc: pc as u32,
                         op: TraceOp::Jump {
                             target: target as u32,
                         },
                     }),
-                    _ => self.procs[p].trace.push(TraceEntry::compute(pc as u32)),
+                    _ => self.procs[p].record(TraceEntry::compute(pc as u32)),
                 }
                 self.procs[p].breakdown.busy += 1;
             }
@@ -417,7 +476,7 @@ impl Simulator {
                     .machine
                     .step(&self.program, &mut self.mem)
                     .map_err(Self::interp_err(p))?;
-                self.procs[p].trace.push(TraceEntry {
+                self.procs[p].record(TraceEntry {
                     pc: pc as u32,
                     op: TraceOp::Load(MemAccess {
                         addr,
@@ -461,7 +520,7 @@ impl Simulator {
                     .wb
                     .push(addr, latency, now)
                     .expect("checked not full");
-                self.procs[p].trace.push(TraceEntry {
+                self.procs[p].record(TraceEntry {
                     pc: pc as u32,
                     op: TraceOp::Store(MemAccess {
                         addr,
@@ -518,7 +577,7 @@ impl Simulator {
                     _ => unreachable!(),
                 }
                 let done_pc = self.procs[p].machine.pc() as u32 - 1;
-                self.procs[p].trace.push(TraceEntry {
+                self.procs[p].record(TraceEntry {
                     pc: done_pc,
                     op: TraceOp::Sync(SyncAccess {
                         kind,
@@ -575,7 +634,7 @@ impl Simulator {
             .machine
             .step(&self.program, &mut self.mem)
             .map_err(Self::interp_err(p))?;
-        self.procs[p].trace.push(TraceEntry {
+        self.procs[p].record(TraceEntry {
             pc: pc as u32,
             op: TraceOp::Sync(SyncAccess {
                 kind: SyncKind::Lock,
@@ -612,7 +671,7 @@ impl Simulator {
             .machine
             .step(&self.program, &mut self.mem)
             .map_err(Self::interp_err(p))?;
-        self.procs[p].trace.push(TraceEntry {
+        self.procs[p].record(TraceEntry {
             pc: pc as u32,
             op: TraceOp::Sync(SyncAccess {
                 kind: SyncKind::WaitEvent,
@@ -641,7 +700,7 @@ impl Simulator {
             cache_event(now, p, addr, false, miss);
             acquire_event(now, p, addr, wait, access, "multiproc.sync.barrier_waits");
         }
-        self.procs[p].trace.push(TraceEntry {
+        self.procs[p].record(TraceEntry {
             pc: pc as u32,
             op: TraceOp::Sync(SyncAccess {
                 kind: SyncKind::Barrier,

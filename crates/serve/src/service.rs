@@ -31,7 +31,7 @@ use crate::http::{Request, Response};
 use lookahead_core::base::Base;
 use lookahead_core::ds::{Ds, DsConfig};
 use lookahead_core::inorder::InOrder;
-use lookahead_core::model::{ExecutionResult, ProcessorModel};
+use lookahead_core::model::ExecutionResult;
 use lookahead_core::ConsistencyModel;
 use lookahead_harness::experiments::{figure3_with, figure4_with, PAPER_WINDOWS};
 use lookahead_harness::parallel::run_ordered;
@@ -270,7 +270,7 @@ impl ExperimentService {
             None => Ok(self.config.default_tier),
             Some(t) => SizeTier::from_name(t).ok_or_else(|| {
                 ApiError::BadQuery(format!(
-                    "unknown tier {t:?}; valid tiers: [\"small\", \"default\", \"paper\"]"
+                    "unknown tier {t:?}; valid tiers: [\"small\", \"default\", \"paper\", \"large\"]"
                 ))
             }),
         }
@@ -448,16 +448,15 @@ impl ExperimentService {
         let q = self.parse_experiment_query(request)?;
         let run = self.resolve(q.app, q.tier)?;
 
-        let base = Base.run(&run.program, &run.trace);
+        let base = run.retime(&Base);
         let result: ExecutionResult = match q.model {
             ModelKind::Base => base.clone(),
-            ModelKind::Ssbr => InOrder::ssbr(q.consistency).run(&run.program, &run.trace),
-            ModelKind::Ss => InOrder::ss(q.consistency).run(&run.program, &run.trace),
-            ModelKind::Ds => Ds::new(DsConfig {
+            ModelKind::Ssbr => run.retime(&InOrder::ssbr(q.consistency)),
+            ModelKind::Ss => run.retime(&InOrder::ss(q.consistency)),
+            ModelKind::Ds => run.retime(&Ds::new(DsConfig {
                 issue_width: q.width,
                 ..DsConfig::with_model(q.consistency).window(q.window)
-            })
-            .run(&run.program, &run.trace),
+            })),
         };
 
         Ok(JsonObject::render(|o| {
@@ -470,7 +469,7 @@ impl ExperimentService {
                     .u64("width", q.width as u64);
             });
             o.object("trace", |t| {
-                t.u64("instructions", run.trace.len() as u64)
+                t.u64("instructions", run.trace_len() as u64)
                     .u64("proc", run.proc as u64)
                     .u64("mp_cycles", run.mp_cycles);
             });
@@ -520,15 +519,11 @@ impl ExperimentService {
         let mut jobs: Vec<Box<dyn FnOnce() -> Breakdown + Send + '_>> = Vec::new();
         for (_, run) in &runs {
             let base_run = Arc::clone(run);
-            jobs.push(Box::new(move || {
-                Base.run(&base_run.program, &base_run.trace).breakdown
-            }));
+            jobs.push(Box::new(move || base_run.retime(&Base).breakdown));
             for &w in &windows {
                 let run = Arc::clone(run);
                 jobs.push(Box::new(move || {
-                    Ds::new(DsConfig::rc().window(w))
-                        .run(&run.program, &run.trace)
-                        .breakdown
+                    run.retime(&Ds::new(DsConfig::rc().window(w))).breakdown
                 }));
             }
         }

@@ -234,8 +234,8 @@ fn apps_listing_names_every_application_and_knob() {
     let r = handle_target(&service, "/v1/apps");
     assert_eq!(r.status, 200);
     for expected in [
-        "MP3D", "LU", "PTHOR", "LOCUS", "OCEAN", "small", "default", "paper", "base", "ssbr", "ss",
-        "ds", "SC", "PC", "WO", "RC",
+        "MP3D", "LU", "PTHOR", "LOCUS", "OCEAN", "small", "default", "paper", "large", "base",
+        "ssbr", "ss", "ds", "SC", "PC", "WO", "RC",
     ] {
         assert!(
             r.body.contains(expected),

@@ -26,6 +26,7 @@ pub mod breakdown;
 pub mod record;
 pub mod stats;
 pub mod storage;
+pub mod stream;
 
 pub use breakdown::Breakdown;
 pub use record::{MemAccess, SyncAccess, Trace, TraceEntry, TraceOp};
@@ -33,4 +34,8 @@ pub use stats::{BranchPredictor, BranchStats, DataRefStats, SyncStats, TraceStat
 pub use storage::{
     fnv1a, read_archive, read_trace, write_archive, write_trace, DecodeError, TraceArchive,
     ARCHIVE_VERSION,
+};
+pub use stream::{
+    collect_source, ChunkBuilder, ChunkMeta, CollectSink, NullSink, SliceSource, StreamError,
+    TraceChunk, TraceCursor, TraceSink, TraceSource, DEFAULT_CHUNK_LEN,
 };

@@ -14,24 +14,37 @@
 //!   generated run ([`TraceArchive`]): the cache key it was produced
 //!   under, the program, the multiprocessor statistics and *all*
 //!   per-processor traces, followed by an FNV-1a checksum footer so a
-//!   damaged cache file is detected rather than trusted.
+//!   damaged cache file is detected rather than trusted;
+//! * **version 3** ([`ArchiveWriter`]/[`ArchiveInfo`]/[`ChunkReader`])
+//!   — the same run in *chunked* form: a checksummed header, a stream
+//!   of per-chunk-checksummed [`TraceChunk`](crate::stream::TraceChunk)
+//!   records (interleavable across processors, so the writer can run
+//!   concurrently with trace generation), and a checksummed trailer
+//!   found via a trailing length word. Readers stream one processor's
+//!   chunks straight off disk without decoding the whole archive.
 
 use crate::breakdown::Breakdown;
 use crate::record::{MemAccess, SyncAccess, Trace, TraceEntry, TraceOp};
+use crate::stream::{ChunkMeta, SliceSource, StreamError, TraceChunk, TraceSink, TraceSource};
 use lookahead_isa::{
     AluOp, BranchCond, FpCmpOp, FpReg, FpuOp, Instruction, IntReg, Program, SyncKind,
 };
 use std::collections::BTreeMap;
 use std::fmt;
-use std::io::{self, Read, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 
 const MAGIC: &[u8; 4] = b"LKTR";
 const VERSION: u8 = 1;
 
-/// Version byte of the [`TraceArchive`] container. Part of the cache
-/// fingerprint: bump it whenever the encoding changes and every stale
-/// cache entry is regenerated instead of misread.
-pub const ARCHIVE_VERSION: u8 = 2;
+/// Version byte of the whole-archive (v2) container, still readable
+/// and writable for compatibility tests.
+pub const ARCHIVE_V2: u8 = 2;
+
+/// Version byte of the current [`TraceArchive`] container (the chunked
+/// v3 layout). Part of the cache fingerprint: bump it whenever the
+/// encoding changes and every stale cache entry is regenerated instead
+/// of misread.
+pub const ARCHIVE_VERSION: u8 = 3;
 
 const TAG_COMPUTE: u8 = 0;
 const TAG_LOAD: u8 = 1;
@@ -831,7 +844,7 @@ pub struct TraceArchive {
 /// Propagates any I/O error from the writer.
 pub fn write_archive<W: Write>(mut w: W, archive: &TraceArchive) -> io::Result<()> {
     w.write_all(MAGIC)?;
-    w.write_all(&[ARCHIVE_VERSION])?;
+    w.write_all(&[ARCHIVE_V2])?;
     let mut hw = HashingWriter::new(&mut w);
     write_str(&mut hw, &archive.key)?;
     write_str(&mut hw, &archive.app)?;
@@ -864,7 +877,7 @@ pub fn read_archive<R: Read>(mut r: R) -> Result<TraceArchive, DecodeError> {
         return Err(DecodeError::BadMagic);
     }
     let [version] = read_exact::<_, 1>(&mut r)?;
-    if version != ARCHIVE_VERSION {
+    if version != ARCHIVE_V2 {
         return Err(DecodeError::BadVersion(version));
     }
     let mut hr = HashingReader::new(&mut r);
@@ -904,6 +917,592 @@ pub fn read_archive<R: Read>(mut r: R) -> Result<TraceArchive, DecodeError> {
         });
     }
     Ok(archive)
+}
+
+// ---------------------------------------------------------------------
+// Version-3 archives: chunked, streamable, per-chunk checksums.
+// ---------------------------------------------------------------------
+//
+// Layout (all integers little-endian):
+//
+// ```text
+// "LKTR" | version=3
+// header payload (FNV-hashed): key str | app str | num_procs u32 | program
+// header checksum u64
+// chunk record*                 -- any interleaving across processors
+// end sentinel u32 = 0xFFFF_FFFF
+// trailer payload (FNV-hashed): proc u32 | mp_cycles u64
+//                             | breakdown count u32 | breakdowns
+//                             | per-proc totals (entries u64,
+//                               mem_entries u64, max_latency u32)
+// trailer checksum u64
+// trailer length u32            -- last 4 bytes; locates the trailer
+//
+// chunk record = proc u32 | entry_count u32 | byte_len u32
+//              | first_index u64 | mem_entries u32 | max_latency u32
+//              | entry payload (byte_len bytes)
+//              | record checksum u64 (FNV over header + payload)
+// ```
+//
+// The format is append-only — nothing is backpatched — so a writer can
+// emit chunks while the multiprocessor simulation is still running and
+// only needs the run statistics at `finish` time. The trailing length
+// word lets readers find the trailer with two seeks from the end, and
+// `byte_len` lets a per-processor reader skip foreign chunks without
+// decoding them.
+
+/// End-of-chunks sentinel in the processor field.
+const END_PROC: u32 = u32::MAX;
+
+/// Sanity caps rejecting lengths only corruption can produce.
+const MAX_CHUNK_ENTRIES: u32 = 1 << 24;
+const MAX_CHUNK_BYTES: u32 = 1 << 29;
+const MAX_TRAILER_BYTES: u32 = 1 << 24;
+
+fn fnv1a_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Per-processor aggregate totals stored in the v3 trailer, used both
+/// to validate chunk streams and to pre-size re-timing structures
+/// without scanning the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProcTotals {
+    /// Total trace entries of the processor.
+    pub entries: u64,
+    /// Total memory-system entries (loads, stores, syncs).
+    pub mem_entries: u64,
+    /// Maximum access latency observed anywhere in the trace.
+    pub max_latency: u32,
+}
+
+/// Everything in a v3 archive except the chunk payloads: the hashed
+/// header and trailer sections, plus the file offset where the chunk
+/// records begin.
+#[derive(Debug, Clone)]
+pub struct ArchiveInfo {
+    /// Canonical cache-key string the archive was generated under.
+    pub key: String,
+    /// Application name.
+    pub app: String,
+    /// The SPMD program all processors executed.
+    pub program: Program,
+    /// Index of the representative (busiest) processor.
+    pub proc: u32,
+    /// Total multiprocessor cycles of the generating run.
+    pub mp_cycles: u64,
+    /// Per-processor execution-time breakdowns of the generating run.
+    pub breakdowns: Vec<Breakdown>,
+    /// Per-processor trace totals.
+    pub totals: Vec<ProcTotals>,
+    /// Byte offset of the first chunk record.
+    pub chunks_start: u64,
+}
+
+impl ArchiveInfo {
+    /// Number of per-processor traces in the archive.
+    pub fn num_procs(&self) -> usize {
+        self.totals.len()
+    }
+}
+
+/// Incremental v3 archive writer: a [`TraceSink`] that streams chunk
+/// records to `w` as they arrive, then seals the trailer once the run
+/// statistics are known.
+#[derive(Debug)]
+pub struct ArchiveWriter<W: Write> {
+    w: W,
+    totals: Vec<ProcTotals>,
+    scratch: Vec<u8>,
+}
+
+impl<W: Write> ArchiveWriter<W> {
+    /// Starts a v3 archive on `w`, writing the checksummed header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer.
+    pub fn new(
+        mut w: W,
+        key: &str,
+        app: &str,
+        num_procs: usize,
+        program: &Program,
+    ) -> io::Result<ArchiveWriter<W>> {
+        w.write_all(MAGIC)?;
+        w.write_all(&[ARCHIVE_VERSION])?;
+        let mut hw = HashingWriter::new(&mut w);
+        write_str(&mut hw, key)?;
+        write_str(&mut hw, app)?;
+        hw.write_all(&(num_procs as u32).to_le_bytes())?;
+        write_program(&mut hw, program)?;
+        let checksum = hw.hash;
+        w.write_all(&checksum.to_le_bytes())?;
+        Ok(ArchiveWriter {
+            w,
+            totals: vec![ProcTotals::default(); num_procs],
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Writes the end sentinel and the checksummed trailer, returning
+    /// the inner writer so the caller can flush or sync it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer.
+    pub fn finish(
+        mut self,
+        proc: usize,
+        mp_cycles: u64,
+        breakdowns: &[Breakdown],
+    ) -> io::Result<W> {
+        self.w.write_all(&END_PROC.to_le_bytes())?;
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(proc as u32).to_le_bytes());
+        payload.extend_from_slice(&mp_cycles.to_le_bytes());
+        payload.extend_from_slice(&(breakdowns.len() as u32).to_le_bytes());
+        for b in breakdowns {
+            write_breakdown(&mut payload, b)?;
+        }
+        for t in &self.totals {
+            payload.extend_from_slice(&t.entries.to_le_bytes());
+            payload.extend_from_slice(&t.mem_entries.to_le_bytes());
+            payload.extend_from_slice(&t.max_latency.to_le_bytes());
+        }
+        self.w.write_all(&payload)?;
+        self.w.write_all(&fnv1a(&payload).to_le_bytes())?;
+        self.w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        Ok(self.w)
+    }
+
+    /// Per-processor totals accumulated so far.
+    pub fn totals(&self) -> &[ProcTotals] {
+        &self.totals
+    }
+}
+
+impl<W: Write> TraceSink for ArchiveWriter<W> {
+    fn accept(&mut self, proc: usize, chunk: TraceChunk) -> io::Result<()> {
+        let totals = self.totals.get_mut(proc).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("chunk for processor {proc} outside archive"),
+            )
+        })?;
+        if chunk.first_index != totals.entries {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "chunk of processor {proc} starts at entry {} but {} were written",
+                    chunk.first_index, totals.entries
+                ),
+            ));
+        }
+        self.scratch.clear();
+        for e in &chunk.entries {
+            write_entry(&mut self.scratch, e)?;
+        }
+        let mut header = [0u8; 28];
+        header[0..4].copy_from_slice(&(proc as u32).to_le_bytes());
+        header[4..8].copy_from_slice(&(chunk.entries.len() as u32).to_le_bytes());
+        header[8..12].copy_from_slice(&(self.scratch.len() as u32).to_le_bytes());
+        header[12..20].copy_from_slice(&chunk.first_index.to_le_bytes());
+        header[20..24].copy_from_slice(&chunk.meta.mem_entries.to_le_bytes());
+        header[24..28].copy_from_slice(&chunk.meta.max_latency.to_le_bytes());
+        let checksum = fnv1a_fold(fnv1a_fold(FNV_OFFSET, &header), &self.scratch);
+        self.w.write_all(&header)?;
+        self.w.write_all(&self.scratch)?;
+        self.w.write_all(&checksum.to_le_bytes())?;
+        totals.entries = chunk.end_index();
+        totals.mem_entries += chunk.meta.mem_entries as u64;
+        totals.max_latency = totals.max_latency.max(chunk.meta.max_latency);
+        Ok(())
+    }
+}
+
+/// One decoded chunk-record header.
+struct ChunkHeader {
+    proc: u32,
+    entry_count: u32,
+    byte_len: u32,
+    first_index: u64,
+    meta: ChunkMeta,
+    raw: [u8; 28],
+}
+
+/// Reads the next chunk-record header, or `None` at the end sentinel.
+fn read_chunk_header<R: Read>(r: &mut R) -> Result<Option<ChunkHeader>, DecodeError> {
+    let proc_bytes: [u8; 4] = read_exact(r)?;
+    let proc = u32::from_le_bytes(proc_bytes);
+    if proc == END_PROC {
+        return Ok(None);
+    }
+    let rest: [u8; 24] = read_exact(r)?;
+    let mut raw = [0u8; 28];
+    raw[0..4].copy_from_slice(&proc_bytes);
+    raw[4..28].copy_from_slice(&rest);
+    let entry_count = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+    let byte_len = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    if entry_count > MAX_CHUNK_ENTRIES {
+        return Err(DecodeError::BadCode {
+            what: "chunk entry count",
+            code: entry_count as u64,
+        });
+    }
+    if byte_len > MAX_CHUNK_BYTES {
+        return Err(DecodeError::BadCode {
+            what: "chunk byte length",
+            code: byte_len as u64,
+        });
+    }
+    Ok(Some(ChunkHeader {
+        proc,
+        entry_count,
+        byte_len,
+        first_index: u64::from_le_bytes(rest[8..16].try_into().unwrap()),
+        meta: ChunkMeta {
+            mem_entries: u32::from_le_bytes(rest[16..20].try_into().unwrap()),
+            max_latency: u32::from_le_bytes(rest[20..24].try_into().unwrap()),
+        },
+        raw,
+    }))
+}
+
+/// Reads and checksum-verifies one record's payload into `buf`.
+fn read_chunk_payload<R: Read>(
+    r: &mut R,
+    h: &ChunkHeader,
+    buf: &mut Vec<u8>,
+) -> Result<(), DecodeError> {
+    buf.clear();
+    buf.resize(h.byte_len as usize, 0);
+    r.read_exact(buf)?;
+    let stored = u64::from_le_bytes(read_exact(r)?);
+    let computed = fnv1a_fold(fnv1a_fold(FNV_OFFSET, &h.raw), buf);
+    if stored != computed {
+        return Err(DecodeError::BadChecksum { stored, computed });
+    }
+    Ok(())
+}
+
+/// Reads a v3 archive's header and trailer (both checksum-verified)
+/// without touching the chunk payloads — two seeks plus the header
+/// read, regardless of archive size.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed or damaged input, including
+/// [`DecodeError::BadVersion`] for v1/v2 files.
+pub fn read_archive_info<R: Read + Seek>(mut r: R) -> Result<ArchiveInfo, DecodeError> {
+    r.seek(SeekFrom::Start(0))?;
+    let magic: [u8; 4] = read_exact(&mut r)?;
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let [version] = read_exact::<_, 1>(&mut r)?;
+    if version != ARCHIVE_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let mut hr = HashingReader::new(&mut r);
+    let key = read_str(&mut hr)?;
+    let app = read_str(&mut hr)?;
+    let num_procs = u32::from_le_bytes(read_exact(&mut hr)?);
+    if num_procs == 0 || num_procs > 1 << 16 {
+        return Err(DecodeError::BadCode {
+            what: "processor count",
+            code: num_procs as u64,
+        });
+    }
+    let program = read_program(&mut hr)?;
+    let computed = hr.hash;
+    let stored = u64::from_le_bytes(read_exact(&mut r)?);
+    if stored != computed {
+        return Err(DecodeError::BadChecksum { stored, computed });
+    }
+    let chunks_start = r.stream_position()?;
+
+    let file_len = r.seek(SeekFrom::End(0))?;
+    r.seek(SeekFrom::End(-4))?;
+    let trailer_len = u32::from_le_bytes(read_exact(&mut r)?);
+    if trailer_len > MAX_TRAILER_BYTES || (trailer_len as u64) + 12 > file_len - chunks_start {
+        return Err(DecodeError::BadCode {
+            what: "trailer length",
+            code: trailer_len as u64,
+        });
+    }
+    r.seek(SeekFrom::End(-(trailer_len as i64 + 12)))?;
+    let mut payload = vec![0u8; trailer_len as usize];
+    r.read_exact(&mut payload)?;
+    let stored = u64::from_le_bytes(read_exact(&mut r)?);
+    let computed = fnv1a(&payload);
+    if stored != computed {
+        return Err(DecodeError::BadChecksum { stored, computed });
+    }
+
+    let p = &mut payload.as_slice();
+    let proc = u32::from_le_bytes(read_exact(p)?);
+    let mp_cycles = u64::from_le_bytes(read_exact(p)?);
+    let breakdown_count = u32::from_le_bytes(read_exact(p)?);
+    if breakdown_count != num_procs {
+        return Err(DecodeError::BadCode {
+            what: "breakdown count",
+            code: breakdown_count as u64,
+        });
+    }
+    let mut breakdowns = Vec::with_capacity(num_procs as usize);
+    for _ in 0..breakdown_count {
+        breakdowns.push(read_breakdown(p)?);
+    }
+    let mut totals = Vec::with_capacity(num_procs as usize);
+    for _ in 0..num_procs {
+        totals.push(ProcTotals {
+            entries: u64::from_le_bytes(read_exact(p)?),
+            mem_entries: u64::from_le_bytes(read_exact(p)?),
+            max_latency: u32::from_le_bytes(read_exact(p)?),
+        });
+    }
+    if !p.is_empty() {
+        return Err(DecodeError::BadCode {
+            what: "trailer length",
+            code: trailer_len as u64,
+        });
+    }
+    if proc >= num_procs {
+        return Err(DecodeError::BadCode {
+            what: "representative processor index",
+            code: proc as u64,
+        });
+    }
+    Ok(ArchiveInfo {
+        key,
+        app,
+        program,
+        proc,
+        mp_cycles,
+        breakdowns,
+        totals,
+        chunks_start,
+    })
+}
+
+/// Sequentially verifies every chunk record of a v3 archive against
+/// its per-record checksum and the trailer totals, without decoding a
+/// single entry. Memory use is one chunk payload, regardless of
+/// archive size.
+///
+/// A cache can therefore establish, in one bounded pass at load time,
+/// that streaming any processor's chunks later cannot fail on damaged
+/// data — corruption is handled by eviction up front, not by surprise
+/// mid-re-timing.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] naming the first inconsistency.
+pub fn validate_archive_chunks<R: Read + Seek>(
+    mut r: R,
+    info: &ArchiveInfo,
+) -> Result<(), DecodeError> {
+    r.seek(SeekFrom::Start(info.chunks_start))?;
+    let mut seen = vec![ProcTotals::default(); info.totals.len()];
+    let mut buf = Vec::new();
+    while let Some(h) = read_chunk_header(&mut r)? {
+        let proc = h.proc as usize;
+        let Some(acc) = seen.get_mut(proc) else {
+            return Err(DecodeError::BadCode {
+                what: "chunk processor index",
+                code: h.proc as u64,
+            });
+        };
+        if h.first_index != acc.entries {
+            return Err(DecodeError::BadCode {
+                what: "chunk first index",
+                code: h.first_index,
+            });
+        }
+        read_chunk_payload(&mut r, &h, &mut buf)?;
+        acc.entries += h.entry_count as u64;
+        acc.mem_entries += h.meta.mem_entries as u64;
+        acc.max_latency = acc.max_latency.max(h.meta.max_latency);
+    }
+    if seen != info.totals {
+        return Err(DecodeError::BadCode {
+            what: "per-processor totals",
+            code: 0,
+        });
+    }
+    Ok(())
+}
+
+/// A [`TraceSource`] streaming one processor's chunks out of a v3
+/// archive, skipping other processors' records via their length
+/// fields. Each record is checksum-verified as it is read.
+#[derive(Debug)]
+pub struct ChunkReader<R: Read + Seek> {
+    r: R,
+    proc: u32,
+    totals: ProcTotals,
+    next_index: u64,
+    done: bool,
+    buf: Vec<u8>,
+}
+
+impl<R: Read + Seek> ChunkReader<R> {
+    /// A source for processor `proc` of the archive described by
+    /// `info`, reading from `r` (typically a buffered clone of the
+    /// archive's file handle).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `proc` is out of range or the initial seek fails.
+    pub fn new(mut r: R, info: &ArchiveInfo, proc: usize) -> Result<ChunkReader<R>, DecodeError> {
+        let totals = *info.totals.get(proc).ok_or(DecodeError::BadCode {
+            what: "processor index",
+            code: proc as u64,
+        })?;
+        r.seek(SeekFrom::Start(info.chunks_start))?;
+        Ok(ChunkReader {
+            r,
+            proc: proc as u32,
+            totals,
+            next_index: 0,
+            done: false,
+            buf: Vec::new(),
+        })
+    }
+}
+
+impl<R: Read + Seek> TraceSource for ChunkReader<R> {
+    fn next_chunk(&mut self) -> Result<Option<TraceChunk>, StreamError> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            let Some(h) = read_chunk_header(&mut self.r)? else {
+                self.done = true;
+                if self.next_index != self.totals.entries {
+                    return Err(StreamError::Corrupt(format!(
+                        "processor {} stream ended at entry {} of {}",
+                        self.proc, self.next_index, self.totals.entries
+                    )));
+                }
+                return Ok(None);
+            };
+            if h.proc != self.proc {
+                self.r
+                    .seek(SeekFrom::Current(h.byte_len as i64 + 8))
+                    .map_err(DecodeError::Io)?;
+                continue;
+            }
+            read_chunk_payload(&mut self.r, &h, &mut self.buf)?;
+            let mut entries = Vec::with_capacity(h.entry_count as usize);
+            let payload = &mut self.buf.as_slice();
+            for _ in 0..h.entry_count {
+                entries.push(read_entry(payload)?);
+            }
+            if !payload.is_empty() {
+                return Err(StreamError::Corrupt(format!(
+                    "chunk of processor {} has {} trailing bytes",
+                    self.proc,
+                    payload.len()
+                )));
+            }
+            self.next_index = h.first_index + entries.len() as u64;
+            return Ok(Some(TraceChunk {
+                first_index: h.first_index,
+                entries,
+                meta: h.meta,
+            }));
+        }
+    }
+
+    fn entries_hint(&self) -> Option<u64> {
+        Some(self.totals.entries)
+    }
+
+    fn mem_entries_hint(&self) -> Option<u64> {
+        Some(self.totals.mem_entries)
+    }
+
+    fn max_latency_hint(&self) -> Option<u32> {
+        Some(self.totals.max_latency)
+    }
+}
+
+/// Writes a complete [`TraceArchive`] in the v3 chunked container,
+/// slicing each trace into chunks of `chunk_len` entries. Entries are
+/// encoded straight from the trace slices — nothing is deep-copied.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_archive_v3<W: Write>(
+    w: W,
+    archive: &TraceArchive,
+    chunk_len: usize,
+) -> io::Result<()> {
+    let mut aw = ArchiveWriter::new(
+        w,
+        &archive.key,
+        &archive.app,
+        archive.traces.len(),
+        &archive.program,
+    )?;
+    for (proc, trace) in archive.traces.iter().enumerate() {
+        let mut src = SliceSource::with_chunk_len(trace, chunk_len.max(1));
+        while let Some(chunk) = src.next_chunk().expect("slice sources cannot fail") {
+            aw.accept(proc, chunk)?;
+        }
+    }
+    aw.finish(
+        archive.proc as usize,
+        archive.mp_cycles,
+        &archive.breakdowns,
+    )?;
+    Ok(())
+}
+
+/// Reads a whole v3 archive back into a materialized [`TraceArchive`]
+/// — the round-trip counterpart of [`write_archive_v3`], used by tests
+/// and anything that genuinely needs every trace in memory.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed or damaged input.
+pub fn read_archive_v3<R: Read + Seek>(mut r: R) -> Result<TraceArchive, DecodeError> {
+    let info = read_archive_info(&mut r)?;
+    let mut traces = Vec::with_capacity(info.num_procs());
+    for proc in 0..info.num_procs() {
+        let mut src = ChunkReader::new(&mut r, &info, proc)?;
+        let trace = crate::stream::collect_source(&mut src).map_err(|e| match e {
+            StreamError::Io(e) => DecodeError::Io(e),
+            StreamError::Decode(e) => e,
+            StreamError::Corrupt(m) => DecodeError::BadCode {
+                what: "chunk stream",
+                code: fnv1a(m.as_bytes()),
+            },
+        })?;
+        if trace.len() as u64 != info.totals[proc].entries {
+            return Err(DecodeError::BadCode {
+                what: "per-processor totals",
+                code: trace.len() as u64,
+            });
+        }
+        traces.push(trace);
+    }
+    Ok(TraceArchive {
+        key: info.key,
+        app: info.app,
+        proc: info.proc,
+        mp_cycles: info.mp_cycles,
+        breakdowns: info.breakdowns,
+        program: info.program,
+        traces,
+    })
 }
 
 #[cfg(test)]
@@ -1057,5 +1656,148 @@ mod tests {
             let t = Trace::from_entries(entries);
             assert_eq!(roundtrip(&t), t, "case {case}");
         }
+    }
+
+    fn sample_archive(rng: &mut XorShift64, num_procs: usize) -> TraceArchive {
+        use lookahead_isa::{Assembler, IntReg};
+        let mut a = Assembler::new();
+        a.li(IntReg::T0, 1);
+        a.halt();
+        TraceArchive {
+            key: "lktr-v3;app=TEST".to_string(),
+            app: "TEST".to_string(),
+            proc: (num_procs - 1) as u32,
+            mp_cycles: 123_456,
+            breakdowns: (0..num_procs)
+                .map(|i| Breakdown {
+                    busy: i as u64,
+                    sync: 1,
+                    read: 2,
+                    write: 3,
+                })
+                .collect(),
+            program: a.assemble().unwrap(),
+            traces: (0..num_procs)
+                .map(|_| {
+                    let len = rng.range_usize(300);
+                    Trace::from_entries((0..len).map(|_| gen_entry(rng)).collect())
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn v3_roundtrips_at_awkward_chunk_sizes() {
+        let mut rng = XorShift64::seed_from_u64(0xA3);
+        for chunk_len in [1usize, 7, crate::stream::DEFAULT_CHUNK_LEN, 100_000] {
+            let archive = sample_archive(&mut rng, 4);
+            let mut buf = Vec::new();
+            write_archive_v3(&mut buf, &archive, chunk_len).unwrap();
+            let got = read_archive_v3(io::Cursor::new(&buf)).unwrap();
+            assert_eq!(got, archive, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn v3_info_and_validation_agree_with_content() {
+        let mut rng = XorShift64::seed_from_u64(0xB4);
+        let archive = sample_archive(&mut rng, 3);
+        let mut buf = Vec::new();
+        write_archive_v3(&mut buf, &archive, 16).unwrap();
+        let info = read_archive_info(io::Cursor::new(&buf)).unwrap();
+        assert_eq!(info.key, archive.key);
+        assert_eq!(info.proc, archive.proc);
+        assert_eq!(info.mp_cycles, archive.mp_cycles);
+        assert_eq!(info.breakdowns, archive.breakdowns);
+        for (p, t) in archive.traces.iter().enumerate() {
+            assert_eq!(info.totals[p].entries, t.len() as u64);
+            assert_eq!(info.totals[p].mem_entries, t.mem_entries() as u64);
+        }
+        validate_archive_chunks(io::Cursor::new(&buf), &info).unwrap();
+    }
+
+    #[test]
+    fn v3_chunk_reader_hints_and_skip_foreign_procs() {
+        let mut rng = XorShift64::seed_from_u64(0xC5);
+        let archive = sample_archive(&mut rng, 4);
+        let mut buf = Vec::new();
+        write_archive_v3(&mut buf, &archive, 9).unwrap();
+        let info = read_archive_info(io::Cursor::new(&buf)).unwrap();
+        for (p, want) in archive.traces.iter().enumerate() {
+            let mut src = ChunkReader::new(io::Cursor::new(&buf), &info, p).unwrap();
+            assert_eq!(src.entries_hint(), Some(want.len() as u64));
+            assert_eq!(src.mem_entries_hint(), Some(want.mem_entries() as u64));
+            let got = crate::stream::collect_source(&mut src).unwrap();
+            assert_eq!(&got, want, "proc {p}");
+        }
+    }
+
+    #[test]
+    fn v3_flipped_bit_is_detected_wherever_it_lands() {
+        let mut rng = XorShift64::seed_from_u64(0xD6);
+        let archive = sample_archive(&mut rng, 2);
+        let mut clean = Vec::new();
+        write_archive_v3(&mut clean, &archive, 8).unwrap();
+        for case in 0..64 {
+            let mut buf = clean.clone();
+            let pos = rng.range_usize(buf.len() - 5) + 5; // keep magic/version intact
+            let bit = 1u8 << rng.next_below(8);
+            buf[pos] ^= bit;
+            let damaged = match read_archive_info(io::Cursor::new(&buf)) {
+                Err(_) => true,
+                Ok(info) => validate_archive_chunks(io::Cursor::new(&buf), &info).is_err(),
+            };
+            assert!(damaged, "case {case}: flip at byte {pos} went undetected");
+        }
+    }
+
+    #[test]
+    fn v3_reader_rejects_v2_files_as_bad_version() {
+        let mut rng = XorShift64::seed_from_u64(0xE7);
+        let archive = sample_archive(&mut rng, 2);
+        let mut buf = Vec::new();
+        write_archive(&mut buf, &archive).unwrap();
+        assert!(matches!(
+            read_archive_info(io::Cursor::new(&buf)).unwrap_err(),
+            DecodeError::BadVersion(2)
+        ));
+    }
+
+    #[test]
+    fn v3_writer_streams_interleaved_procs() {
+        let t0 = Trace::from_entries((0..10).map(TraceEntry::compute).collect());
+        let t1 = Trace::from_entries((10..14).map(TraceEntry::compute).collect());
+        let mut a = lookahead_isa::Assembler::new();
+        a.halt();
+        let program = a.assemble().unwrap();
+        let mut buf = Vec::new();
+        let mut w = ArchiveWriter::new(&mut buf, "k", "APP", 2, &program).unwrap();
+        // Interleave: proc 1, proc 0, proc 0, proc 1 — per-proc order holds.
+        w.accept(1, TraceChunk::from_slice(0, &t1.entries()[0..2]))
+            .unwrap();
+        w.accept(0, TraceChunk::from_slice(0, &t0.entries()[0..6]))
+            .unwrap();
+        w.accept(0, TraceChunk::from_slice(6, &t0.entries()[6..10]))
+            .unwrap();
+        w.accept(1, TraceChunk::from_slice(2, &t1.entries()[2..4]))
+            .unwrap();
+        let breakdowns = vec![Breakdown::default(); 2];
+        w.finish(0, 7, &breakdowns).unwrap();
+        let got = read_archive_v3(io::Cursor::new(&buf)).unwrap();
+        assert_eq!(got.traces, vec![t0, t1]);
+        assert_eq!(got.mp_cycles, 7);
+    }
+
+    #[test]
+    fn v3_writer_rejects_out_of_order_chunks() {
+        let mut a = lookahead_isa::Assembler::new();
+        a.halt();
+        let program = a.assemble().unwrap();
+        let mut buf = Vec::new();
+        let mut w = ArchiveWriter::new(&mut buf, "k", "APP", 1, &program).unwrap();
+        let err = w
+            .accept(0, TraceChunk::from_slice(5, &[TraceEntry::compute(0)]))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 }

@@ -1,0 +1,730 @@
+//! Chunked trace streaming: bounded-memory producers and consumers.
+//!
+//! The materialized [`Trace`] representation costs O(full trace) memory
+//! per processor at every pipeline stage — generation, caching and
+//! re-timing each held complete entry vectors. This module introduces
+//! the streaming counterparts the whole pipeline is built on:
+//!
+//! * a [`TraceChunk`] is a fixed-size block of consecutive entries plus
+//!   the per-chunk metadata consumers pre-size from (memory-entry
+//!   count, maximum observed latency);
+//! * a [`TraceSink`] accepts chunks as a producer emits them (the
+//!   multiprocessor simulator pushes per-processor chunks through a
+//!   sink instead of growing owned `Vec`s);
+//! * a [`TraceSource`] yields chunks on demand (a sliced in-memory
+//!   trace, or an archive file read incrementally from disk);
+//! * a [`TraceCursor`] adapts a source to the random-access-within-a-
+//!   window pattern the re-timing engines use, retaining only the
+//!   chunks that cover the engine's live instruction window.
+//!
+//! Memory is therefore O(chunk × processors) during generation and
+//! O(window) during re-timing, instead of O(full trace × processors).
+
+use crate::record::{Trace, TraceEntry, TraceOp};
+use crate::storage::DecodeError;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io;
+
+/// Default chunk granularity, in entries. At ~17 bytes per entry a
+/// chunk is ~140 KiB: large enough to amortize per-chunk overhead,
+/// small enough that a 16-processor generation holds only a few MiB of
+/// in-flight trace.
+pub const DEFAULT_CHUNK_LEN: usize = 8192;
+
+/// Per-chunk metadata, aggregated as entries are appended. Consumers
+/// use it to pre-size their structures (e.g. the DS engine's memop
+/// list) without scanning entries twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChunkMeta {
+    /// Number of entries that perform a memory access (loads, stores,
+    /// synchronization accesses).
+    pub mem_entries: u32,
+    /// Maximum access latency observed in the chunk (0 if none).
+    pub max_latency: u32,
+}
+
+impl ChunkMeta {
+    /// Folds one entry into the running metadata.
+    pub fn observe(&mut self, e: &TraceEntry) {
+        match e.op {
+            TraceOp::Load(m) | TraceOp::Store(m) => {
+                self.mem_entries += 1;
+                self.max_latency = self.max_latency.max(m.latency);
+            }
+            TraceOp::Sync(s) => {
+                self.mem_entries += 1;
+                self.max_latency = self.max_latency.max(s.access);
+            }
+            TraceOp::Compute | TraceOp::Branch { .. } | TraceOp::Jump { .. } => {}
+        }
+    }
+
+    /// The metadata of a whole slice (what `observe` over every entry
+    /// accumulates).
+    pub fn of_entries(entries: &[TraceEntry]) -> ChunkMeta {
+        let mut m = ChunkMeta::default();
+        for e in entries {
+            m.observe(e);
+        }
+        m
+    }
+}
+
+/// A block of consecutive trace entries from one processor's stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceChunk {
+    /// Global index (within the processor's trace) of `entries[0]`.
+    pub first_index: u64,
+    /// The entries, in trace order.
+    pub entries: Vec<TraceEntry>,
+    /// Aggregate metadata over `entries`.
+    pub meta: ChunkMeta,
+}
+
+impl TraceChunk {
+    /// Builds a chunk from a slice starting at `first_index`.
+    pub fn from_slice(first_index: u64, entries: &[TraceEntry]) -> TraceChunk {
+        TraceChunk {
+            first_index,
+            entries: entries.to_vec(),
+            meta: ChunkMeta::of_entries(entries),
+        }
+    }
+
+    /// Index one past the last entry of this chunk.
+    pub fn end_index(&self) -> u64 {
+        self.first_index + self.entries.len() as u64
+    }
+}
+
+/// Consumes per-processor chunks as a producer emits them.
+///
+/// The error type is [`io::Error`] because the interesting sinks write
+/// archives to disk; in-memory sinks simply never fail.
+pub trait TraceSink {
+    /// Accepts the next chunk of processor `proc`'s trace. Chunks of
+    /// one processor arrive in trace order; chunks of different
+    /// processors may interleave arbitrarily.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from disk-backed sinks.
+    fn accept(&mut self, proc: usize, chunk: TraceChunk) -> io::Result<()>;
+}
+
+/// A sink that reassembles the chunk stream into whole [`Trace`]s —
+/// the adapter that keeps the materialized `SimOutcome::traces` API
+/// working on top of the streamed producer.
+#[derive(Debug)]
+pub struct CollectSink {
+    traces: Vec<Trace>,
+}
+
+impl CollectSink {
+    /// A collector for `num_procs` processors.
+    pub fn new(num_procs: usize) -> CollectSink {
+        CollectSink {
+            traces: (0..num_procs).map(|_| Trace::new()).collect(),
+        }
+    }
+
+    /// The reassembled traces, one per processor.
+    pub fn into_traces(self) -> Vec<Trace> {
+        self.traces
+    }
+}
+
+impl TraceSink for CollectSink {
+    fn accept(&mut self, proc: usize, chunk: TraceChunk) -> io::Result<()> {
+        debug_assert_eq!(
+            chunk.first_index,
+            self.traces[proc].len() as u64,
+            "chunks of one processor must arrive in trace order"
+        );
+        self.traces[proc].extend(chunk.entries);
+        Ok(())
+    }
+}
+
+/// A sink that discards every chunk (for producers whose side effects
+/// — statistics, final memory — are all the caller wants).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn accept(&mut self, _proc: usize, _chunk: TraceChunk) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Accumulates one processor's entries into fixed-capacity chunks.
+///
+/// The buffer never grows past its construction capacity (asserted in
+/// debug builds): a full buffer is handed out as a chunk and the
+/// allocation is reused. This replaces the old whole-trace
+/// `Trace::with_capacity` guess with a bounded, per-processor buffer.
+#[derive(Debug)]
+pub struct ChunkBuilder {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+    next_index: u64,
+    meta: ChunkMeta,
+    ready: Option<TraceChunk>,
+}
+
+impl ChunkBuilder {
+    /// A builder emitting chunks of at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> ChunkBuilder {
+        assert!(capacity > 0, "chunk capacity must be positive");
+        ChunkBuilder {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            next_index: 0,
+            meta: ChunkMeta::default(),
+            ready: None,
+        }
+    }
+
+    /// Appends one entry. When the buffer fills, the completed chunk
+    /// becomes available from [`take_ready`](Self::take_ready); the
+    /// caller must drain it before another `capacity` entries arrive.
+    pub fn push(&mut self, e: TraceEntry) {
+        debug_assert!(
+            self.entries.len() < self.capacity,
+            "ready chunk not drained before the buffer refilled"
+        );
+        self.meta.observe(&e);
+        self.entries.push(e);
+        if self.entries.len() == self.capacity {
+            self.seal();
+        }
+    }
+
+    /// Total entries pushed so far (across all chunks).
+    pub fn entries_pushed(&self) -> u64 {
+        self.next_index + self.entries.len() as u64
+    }
+
+    /// The completed chunk, if the buffer filled since the last call.
+    pub fn take_ready(&mut self) -> Option<TraceChunk> {
+        self.ready.take()
+    }
+
+    /// Seals any buffered entries into a final (possibly short) chunk.
+    /// Returns `None` if nothing is buffered.
+    pub fn finish(&mut self) -> Option<TraceChunk> {
+        if self.entries.is_empty() {
+            return self.ready.take();
+        }
+        debug_assert!(self.ready.is_none(), "ready chunk not drained at finish");
+        self.seal();
+        self.ready.take()
+    }
+
+    fn seal(&mut self) {
+        debug_assert_eq!(
+            self.entries.capacity(),
+            self.capacity,
+            "chunk buffer must never reallocate mid-run"
+        );
+        let entries = std::mem::replace(&mut self.entries, Vec::with_capacity(self.capacity));
+        let chunk = TraceChunk {
+            first_index: self.next_index,
+            meta: self.meta,
+            entries,
+        };
+        self.next_index = chunk.end_index();
+        self.meta = ChunkMeta::default();
+        debug_assert!(self.ready.is_none(), "ready chunk not drained before seal");
+        self.ready = Some(chunk);
+    }
+}
+
+/// Errors produced while pulling chunks from a [`TraceSource`].
+#[derive(Debug)]
+pub enum StreamError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A chunk failed its checksum or could not be decoded.
+    Decode(DecodeError),
+    /// The stream's structure is inconsistent (e.g. a gap between
+    /// consecutive chunks of one processor).
+    Corrupt(String),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "i/o error reading trace stream: {e}"),
+            StreamError::Decode(e) => write!(f, "bad chunk in trace stream: {e}"),
+            StreamError::Corrupt(m) => write!(f, "inconsistent trace stream: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Io(e) => Some(e),
+            StreamError::Decode(e) => Some(e),
+            StreamError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for StreamError {
+    fn from(e: io::Error) -> StreamError {
+        StreamError::Io(e)
+    }
+}
+
+impl From<DecodeError> for StreamError {
+    fn from(e: DecodeError) -> StreamError {
+        StreamError::Decode(e)
+    }
+}
+
+/// Produces one processor's trace as a sequence of chunks.
+pub trait TraceSource {
+    /// The next chunk in trace order, or `None` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StreamError`] on I/O failure or a damaged chunk.
+    fn next_chunk(&mut self) -> Result<Option<TraceChunk>, StreamError>;
+
+    /// Total entry count, when known up front (archives know it from
+    /// their trailer; live generators do not).
+    fn entries_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Total memory-entry count, when known up front.
+    fn mem_entries_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Maximum access latency in the stream, when known up front.
+    fn max_latency_hint(&self) -> Option<u32> {
+        None
+    }
+}
+
+/// A mutable reference to a source is itself a source, so engines
+/// taking `&mut dyn TraceSource` can hand it to a [`TraceCursor`]
+/// without taking ownership.
+impl<T: TraceSource + ?Sized> TraceSource for &mut T {
+    fn next_chunk(&mut self) -> Result<Option<TraceChunk>, StreamError> {
+        (**self).next_chunk()
+    }
+
+    fn entries_hint(&self) -> Option<u64> {
+        (**self).entries_hint()
+    }
+
+    fn mem_entries_hint(&self) -> Option<u64> {
+        (**self).mem_entries_hint()
+    }
+
+    fn max_latency_hint(&self) -> Option<u32> {
+        (**self).max_latency_hint()
+    }
+}
+
+/// A source over an in-memory entry slice, split into fixed-size
+/// chunks — the bridge from materialized traces to streamed consumers
+/// (and the reference producer for chunk-boundary tests).
+#[derive(Debug)]
+pub struct SliceSource<'a> {
+    entries: &'a [TraceEntry],
+    pos: usize,
+    chunk_len: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// A source over `trace` with the default chunk size.
+    pub fn new(trace: &'a Trace) -> SliceSource<'a> {
+        SliceSource::with_chunk_len(trace, DEFAULT_CHUNK_LEN)
+    }
+
+    /// A source over `trace` emitting chunks of `chunk_len` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    pub fn with_chunk_len(trace: &'a Trace, chunk_len: usize) -> SliceSource<'a> {
+        assert!(chunk_len > 0, "chunk length must be positive");
+        SliceSource {
+            entries: trace.entries(),
+            pos: 0,
+            chunk_len,
+        }
+    }
+}
+
+impl TraceSource for SliceSource<'_> {
+    fn next_chunk(&mut self) -> Result<Option<TraceChunk>, StreamError> {
+        if self.pos >= self.entries.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + self.chunk_len).min(self.entries.len());
+        let chunk = TraceChunk::from_slice(self.pos as u64, &self.entries[self.pos..end]);
+        self.pos = end;
+        Ok(Some(chunk))
+    }
+
+    fn entries_hint(&self) -> Option<u64> {
+        Some(self.entries.len() as u64)
+    }
+}
+
+/// Drains a source into a materialized [`Trace`] — the fallback
+/// adapter for consumers without a streaming implementation.
+///
+/// # Errors
+///
+/// Propagates the source's first error.
+pub fn collect_source(source: &mut dyn TraceSource) -> Result<Trace, StreamError> {
+    let mut trace = Trace::with_capacity(source.entries_hint().unwrap_or(0) as usize);
+    while let Some(chunk) = source.next_chunk()? {
+        if chunk.first_index != trace.len() as u64 {
+            return Err(StreamError::Corrupt(format!(
+                "chunk starts at entry {} but {} entries were read",
+                chunk.first_index,
+                trace.len()
+            )));
+        }
+        trace.extend(chunk.entries);
+    }
+    Ok(trace)
+}
+
+/// Random access within a sliding window over a trace, backed either
+/// by a materialized slice (zero overhead) or by a [`TraceSource`]
+/// pulled on demand.
+///
+/// The re-timing engines access entries at indices that never precede
+/// the oldest instruction of their live window and never exceed the
+/// decode frontier; the cursor keeps exactly the chunks covering that
+/// range, releasing older ones as the window retires past them.
+///
+/// Source errors do not surface in the per-entry accessors (which
+/// would poison the engines' hot loops): a failing source behaves as
+/// if the trace ended at the last good entry, and the deferred error
+/// is retrieved with [`take_error`](Self::take_error) after the run.
+#[derive(Debug)]
+pub struct TraceCursor<'a> {
+    inner: Inner<'a>,
+}
+
+enum Inner<'a> {
+    Slice {
+        entries: &'a [TraceEntry],
+        mem_entries: usize,
+    },
+    Stream {
+        source: Box<dyn TraceSource + 'a>,
+        chunks: VecDeque<TraceChunk>,
+        /// Global index of the first retained entry.
+        base: u64,
+        /// Global index one past the last pulled entry.
+        loaded: u64,
+        done: bool,
+        error: Option<StreamError>,
+    },
+}
+
+impl fmt::Debug for Inner<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inner::Slice { entries, .. } => f
+                .debug_struct("Slice")
+                .field("len", &entries.len())
+                .finish(),
+            Inner::Stream {
+                base,
+                loaded,
+                done,
+                chunks,
+                ..
+            } => f
+                .debug_struct("Stream")
+                .field("base", base)
+                .field("loaded", loaded)
+                .field("done", done)
+                .field("chunks", &chunks.len())
+                .finish(),
+        }
+    }
+}
+
+impl<'a> TraceCursor<'a> {
+    /// A cursor over a materialized trace (the zero-overhead fast
+    /// path; entry access compiles to a bounds-checked index).
+    pub fn slice(trace: &'a Trace) -> TraceCursor<'a> {
+        TraceCursor {
+            inner: Inner::Slice {
+                entries: trace.entries(),
+                mem_entries: trace.mem_entries(),
+            },
+        }
+    }
+
+    /// A cursor pulling chunks from `source` on demand.
+    pub fn stream(source: Box<dyn TraceSource + 'a>) -> TraceCursor<'a> {
+        TraceCursor {
+            inner: Inner::Stream {
+                source,
+                chunks: VecDeque::new(),
+                base: 0,
+                loaded: 0,
+                done: false,
+                error: None,
+            },
+        }
+    }
+
+    /// Whether `idx` lies beyond the end of the trace, pulling chunks
+    /// as needed to decide. After a source error this reports the
+    /// truncated end; check [`take_error`](Self::take_error).
+    #[inline]
+    pub fn past_end(&mut self, idx: usize) -> bool {
+        match &mut self.inner {
+            Inner::Slice { entries, .. } => idx >= entries.len(),
+            Inner::Stream {
+                source,
+                chunks,
+                loaded,
+                done,
+                error,
+                ..
+            } => {
+                while (idx as u64) >= *loaded && !*done && error.is_none() {
+                    match source.next_chunk() {
+                        Ok(Some(chunk)) => {
+                            if chunk.first_index != *loaded {
+                                *error = Some(StreamError::Corrupt(format!(
+                                    "chunk starts at entry {} but {} entries were pulled",
+                                    chunk.first_index, *loaded
+                                )));
+                                break;
+                            }
+                            *loaded = chunk.end_index();
+                            chunks.push_back(chunk);
+                        }
+                        Ok(None) => *done = true,
+                        Err(e) => *error = Some(e),
+                    }
+                }
+                (idx as u64) >= *loaded
+            }
+        }
+    }
+
+    /// The entry at `idx`. The caller must have established
+    /// `!past_end(idx)`; the entry must not have been released.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` was released or never loaded.
+    #[inline]
+    pub fn entry(&self, idx: usize) -> TraceEntry {
+        match &self.inner {
+            Inner::Slice { entries, .. } => entries[idx],
+            Inner::Stream {
+                chunks,
+                base,
+                loaded,
+                ..
+            } => {
+                let idx = idx as u64;
+                assert!(
+                    idx >= *base && idx < *loaded,
+                    "entry {idx} outside retained range [{base}, {loaded})"
+                );
+                // The window spans very few chunks; scan from the back
+                // since accesses cluster at the decode frontier.
+                for c in chunks.iter().rev() {
+                    if idx >= c.first_index {
+                        return c.entries[(idx - c.first_index) as usize];
+                    }
+                }
+                unreachable!("retained range covers idx")
+            }
+        }
+    }
+
+    /// Entries loaded so far — for a slice, the full length; for a
+    /// stream, a monotonically growing lower bound on the length.
+    pub fn loaded_len(&self) -> usize {
+        match &self.inner {
+            Inner::Slice { entries, .. } => entries.len(),
+            Inner::Stream { loaded, .. } => *loaded as usize,
+        }
+    }
+
+    /// Declares that entries before `idx` will never be accessed
+    /// again, allowing whole chunks to be dropped.
+    #[inline]
+    pub fn release_before(&mut self, idx: usize) {
+        if let Inner::Stream { chunks, base, .. } = &mut self.inner {
+            while let Some(front) = chunks.front() {
+                if front.end_index() <= idx as u64 {
+                    *base = front.end_index();
+                    chunks.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Memory-entry count for pre-sizing: exact for slices, the
+    /// source's hint (or 0) for streams.
+    pub fn mem_entries_hint(&self) -> usize {
+        match &self.inner {
+            Inner::Slice { mem_entries, .. } => *mem_entries,
+            Inner::Stream { source, .. } => source.mem_entries_hint().unwrap_or(0) as usize,
+        }
+    }
+
+    /// The deferred source error, if the stream failed mid-run. A run
+    /// whose cursor carries an error is truncated and must be
+    /// discarded.
+    pub fn take_error(&mut self) -> Option<StreamError> {
+        match &mut self.inner {
+            Inner::Slice { .. } => None,
+            Inner::Stream { error, .. } => error.take(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::MemAccess;
+
+    fn trace_of(n: usize) -> Trace {
+        let entries: Vec<TraceEntry> = (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    TraceEntry {
+                        pc: i as u32,
+                        op: TraceOp::Load(MemAccess::miss(i as u64 * 8, 10 + (i % 7) as u32)),
+                    }
+                } else {
+                    TraceEntry::compute(i as u32)
+                }
+            })
+            .collect();
+        Trace::from_entries(entries)
+    }
+
+    #[test]
+    fn slice_source_roundtrips_at_awkward_chunk_sizes() {
+        let t = trace_of(23);
+        for chunk_len in [1, 7, DEFAULT_CHUNK_LEN, 100] {
+            let mut src = SliceSource::with_chunk_len(&t, chunk_len);
+            let got = collect_source(&mut src).unwrap();
+            assert_eq!(got, t, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn chunk_meta_counts_mem_entries_and_max_latency() {
+        let t = trace_of(9);
+        let meta = ChunkMeta::of_entries(t.entries());
+        assert_eq!(meta.mem_entries as usize, t.mem_entries());
+        assert_eq!(meta.max_latency, 16, "max of 10 + (i%7) over i=0,3,6");
+    }
+
+    #[test]
+    fn builder_emits_fixed_chunks_then_remainder() {
+        let mut b = ChunkBuilder::new(4);
+        let mut got = Vec::new();
+        for i in 0..10 {
+            b.push(TraceEntry::compute(i));
+            if let Some(c) = b.take_ready() {
+                got.push(c);
+            }
+        }
+        if let Some(c) = b.finish() {
+            got.push(c);
+        }
+        assert_eq!(
+            got.iter().map(|c| c.entries.len()).collect::<Vec<_>>(),
+            [4, 4, 2]
+        );
+        assert_eq!(
+            got.iter().map(|c| c.first_index).collect::<Vec<_>>(),
+            [0, 4, 8]
+        );
+        assert_eq!(b.entries_pushed(), 10);
+    }
+
+    #[test]
+    fn collect_sink_reassembles_interleaved_procs() {
+        let mut sink = CollectSink::new(2);
+        sink.accept(0, TraceChunk::from_slice(0, &[TraceEntry::compute(0)]))
+            .unwrap();
+        sink.accept(1, TraceChunk::from_slice(0, &[TraceEntry::compute(10)]))
+            .unwrap();
+        sink.accept(0, TraceChunk::from_slice(1, &[TraceEntry::compute(1)]))
+            .unwrap();
+        let traces = sink.into_traces();
+        assert_eq!(traces[0].len(), 2);
+        assert_eq!(traces[1].len(), 1);
+        assert_eq!(traces[0].entries()[1].pc, 1);
+    }
+
+    #[test]
+    fn cursor_slice_and_stream_agree() {
+        let t = trace_of(50);
+        let mut slice = TraceCursor::slice(&t);
+        let mut stream = TraceCursor::stream(Box::new(SliceSource::with_chunk_len(&t, 7)));
+        for i in 0..50 {
+            assert!(!slice.past_end(i));
+            assert!(!stream.past_end(i));
+            assert_eq!(slice.entry(i), stream.entry(i), "entry {i}");
+        }
+        assert!(slice.past_end(50));
+        assert!(stream.past_end(50));
+        assert!(stream.take_error().is_none());
+    }
+
+    #[test]
+    fn cursor_release_drops_chunks_and_forbids_rereads() {
+        let t = trace_of(30);
+        let mut c = TraceCursor::stream(Box::new(SliceSource::with_chunk_len(&t, 5)));
+        assert!(!c.past_end(17));
+        c.release_before(12);
+        // 12 falls inside the chunk [10, 15): only [0,10) dropped.
+        assert_eq!(c.entry(10), t.entries()[10]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.entry(3)));
+        assert!(result.is_err(), "released entries must not be readable");
+    }
+
+    #[test]
+    fn cursor_reports_gap_as_error() {
+        struct Gappy(u32);
+        impl TraceSource for Gappy {
+            fn next_chunk(&mut self) -> Result<Option<TraceChunk>, StreamError> {
+                self.0 += 1;
+                match self.0 {
+                    1 => Ok(Some(TraceChunk::from_slice(0, &[TraceEntry::compute(0)]))),
+                    2 => Ok(Some(TraceChunk::from_slice(5, &[TraceEntry::compute(5)]))),
+                    _ => Ok(None),
+                }
+            }
+        }
+        let mut c = TraceCursor::stream(Box::new(Gappy(0)));
+        assert!(!c.past_end(0));
+        assert!(c.past_end(1), "gap truncates the stream");
+        assert!(matches!(c.take_error(), Some(StreamError::Corrupt(_))));
+    }
+}

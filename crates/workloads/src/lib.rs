@@ -128,6 +128,18 @@ impl App {
         }
     }
 
+    /// The workload at a size beyond the paper's, for stressing the
+    /// streamed bounded-memory trace pipeline.
+    pub fn large_workload(self) -> Box<dyn Workload + Send + Sync> {
+        match self {
+            App::Mp3d => Box::new(mp3d::Mp3d::large()),
+            App::Lu => Box::new(lu::Lu::large()),
+            App::Pthor => Box::new(pthor::Pthor::large()),
+            App::Locus => Box::new(locus::Locus::large()),
+            App::Ocean => Box::new(ocean::Ocean::large()),
+        }
+    }
+
     /// The workload at a small size suitable for unit tests.
     pub fn small_workload(self) -> Box<dyn Workload + Send + Sync> {
         match self {

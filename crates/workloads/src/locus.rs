@@ -93,6 +93,17 @@ impl Locus {
         }
     }
 
+    /// Beyond the paper: 1,900 wires over a 640×18 cost array, sized
+    /// for the streamed bounded-memory pipeline.
+    pub fn large() -> Locus {
+        Locus {
+            wires: 1_900,
+            cols: 640,
+            rows: 18,
+            seed: 11,
+        }
+    }
+
     fn wire_list(&self) -> Vec<Wire> {
         let mut rng = XorShift64::seed_from_u64(self.seed);
         (0..self.wires)

@@ -47,6 +47,13 @@ impl Lu {
         Lu { n: 200 }
     }
 
+    /// Beyond the paper: a 256×256 matrix, for stressing the streamed
+    /// bounded-memory pipeline (traces too large to comfortably hold
+    /// per-model copies in memory).
+    pub fn large() -> Lu {
+        Lu { n: 256 }
+    }
+
     /// The initial matrix: diagonally dominant (so elimination without
     /// pivoting is stable) with smoothly varying off-diagonal entries.
     fn initial_matrix(&self) -> Vec<f64> {

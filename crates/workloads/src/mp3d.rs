@@ -89,6 +89,17 @@ impl Mp3d {
         }
     }
 
+    /// Beyond the paper: 15,000 particles in a 96×8×8 space array,
+    /// sized for the streamed bounded-memory pipeline.
+    pub fn large() -> Mp3d {
+        Mp3d {
+            particles: 15_000,
+            space: (96, 8, 8),
+            steps: 5,
+            seed: 42,
+        }
+    }
+
     fn num_cells(&self) -> usize {
         self.space.0 * self.space.1 * self.space.2
     }

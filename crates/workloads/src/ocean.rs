@@ -68,6 +68,16 @@ impl Ocean {
         }
     }
 
+    /// Beyond the paper: a 146×146 grid for 10 steps, sized for the
+    /// streamed bounded-memory pipeline.
+    pub fn large() -> Ocean {
+        Ocean {
+            n: 146,
+            grids: 25,
+            steps: 10,
+        }
+    }
+
     fn initial_grids(&self) -> Vec<f64> {
         let (n, k) = (self.n, self.grids);
         let mut v = vec![0.0f64; k * n * n];

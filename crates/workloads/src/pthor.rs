@@ -118,6 +118,18 @@ impl Pthor {
         }
     }
 
+    /// Beyond the paper: a ~16,000-gate circuit over 6 clock cycles,
+    /// sized for the streamed bounded-memory pipeline.
+    pub fn large() -> Pthor {
+        Pthor {
+            gates: 16_000,
+            inputs: 40,
+            dff_percent: 10,
+            cycles: 6,
+            seed: 1992,
+        }
+    }
+
     /// Generates the netlist: primary inputs first, then a topological
     /// mix of combinational gates (inputs strictly earlier in id
     /// order, so the combinational network is a DAG) and flip-flops

@@ -27,13 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "generated {} trace: {} instructions from processor {}",
         run.app,
-        run.trace.len(),
+        run.trace_len(),
         run.proc
     );
 
     // 3. Re-time the trace under two processor models.
-    let base = Base.run(&run.program, &run.trace);
-    let ds = Ds::new(DsConfig::rc().window(64)).run(&run.program, &run.trace);
+    let base = Base.run(&run.program, run.trace());
+    let ds = Ds::new(DsConfig::rc().window(64)).run(&run.program, run.trace());
 
     println!("BASE     : {}", base.breakdown);
     println!("DS-64/RC : {}", ds.breakdown);

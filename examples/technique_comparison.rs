@@ -30,11 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SimConfig::default();
     let workload = app.small_workload();
     let run = AppRun::generate(workload.as_ref(), &config)?;
-    let base = Base.run(&run.program, &run.trace);
+    let base = Base.run(&run.program, run.trace());
     println!(
         "{}: {} instructions; BASE = {} cycles (= 100.0)\n",
         run.app,
-        run.trace.len(),
+        run.trace_len(),
         base.cycles()
     );
 
@@ -45,26 +45,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The paper's technique: out-of-order lookahead under RC.
     for w in [16, 64] {
-        let r = Ds::new(DsConfig::rc().window(w)).run(&run.program, &run.trace);
+        let r = Ds::new(DsConfig::rc().window(w)).run(&run.program, run.trace());
         report(&format!("dynamic scheduling W={w}"), r.cycles(), "");
     }
 
     // Strict model + the boosting techniques of reference [8].
     let sc = Ds::new(DsConfig::with_model(ConsistencyModel::Sc).window(64))
-        .run(&run.program, &run.trace);
+        .run(&run.program, run.trace());
     report("SC (no boost), W=64", sc.cycles(), "");
     let boosted = Ds::new(DsConfig {
         nonbinding_prefetch: true,
         speculative_loads: true,
         ..DsConfig::with_model(ConsistencyModel::Sc).window(64)
     })
-    .run(&run.program, &run.trace);
+    .run(&run.program, run.trace());
     report("SC + prefetch/speculation", boosted.cycles(), "");
 
     // Multiple hardware contexts on an in-order pipe.
+    let all_traces = run.all_traces();
     for k in [2usize, 4] {
         let picked: Vec<&Trace> = (0..k)
-            .map(|i| &*run.all_traces[(run.proc + i) % run.all_traces.len()])
+            .map(|i| &*all_traces[(run.proc + i) % all_traces.len()])
             .collect();
         let r = Contexts::default().run_traces(&picked);
         report(
@@ -79,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         inner: InOrder::ssbr(ConsistencyModel::Rc),
         config: PrefetchConfig::default(),
     }
-    .run(&run.program, &run.trace);
+    .run(&run.program, run.trace());
     report("SSBR + stride prefetcher", pf.cycles(), "");
 
     // Compiler load scheduling feeding the small-window machine.

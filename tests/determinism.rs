@@ -24,7 +24,7 @@ fn identical_runs_produce_identical_traces() {
         let r1 = AppRun::generate(w1.as_ref(), &config()).unwrap();
         let r2 = AppRun::generate(w2.as_ref(), &config()).unwrap();
         assert_eq!(r1.proc, r2.proc, "{app}");
-        assert_eq!(r1.trace, r2.trace, "{app}: traces differ between runs");
+        assert_eq!(r1.trace(), r2.trace(), "{app}: traces differ between runs");
         assert_eq!(r1.mp_cycles, r2.mp_cycles, "{app}");
     }
 }
@@ -33,8 +33,8 @@ fn identical_runs_produce_identical_traces() {
 fn retiming_is_deterministic() {
     let run = AppRun::generate(App::Lu.small_workload().as_ref(), &config()).unwrap();
     let ds = Ds::new(DsConfig::rc().window(64));
-    let a = ds.run(&run.program, &run.trace);
-    let b = ds.run(&run.program, &run.trace);
+    let a = ds.run(&run.program, run.trace());
+    let b = ds.run(&run.program, run.trace());
     assert_eq!(a, b);
 }
 
@@ -42,13 +42,13 @@ fn retiming_is_deterministic() {
 fn traces_round_trip_through_storage() {
     let run = AppRun::generate(App::Ocean.small_workload().as_ref(), &config()).unwrap();
     let mut bytes = Vec::new();
-    write_trace(&mut bytes, &run.trace).unwrap();
+    write_trace(&mut bytes, run.trace()).unwrap();
     let back = read_trace(bytes.as_slice()).unwrap();
-    assert_eq!(back, *run.trace);
+    assert_eq!(back, *run.trace());
     // And the round-tripped trace re-times identically.
     let ds = Ds::new(DsConfig::rc().window(32));
     assert_eq!(
-        ds.run(&run.program, &run.trace),
+        ds.run(&run.program, run.trace()),
         ds.run(&run.program, &back)
     );
 }

@@ -38,7 +38,7 @@ fn sc_boosting_recovers_gap() {
             speculative_loads: spec,
             ..DsConfig::with_model(model).window(64)
         })
-        .run(&run.program, &run.trace)
+        .run(&run.program, run.trace())
         .cycles()
     };
     let sc = cycles(false, false, ConsistencyModel::Sc);
@@ -69,7 +69,7 @@ fn prefetcher_separates_regular_from_irregular() {
     .unwrap();
     let pthor = generate(App::Pthor);
     let coverage = |run: &AppRun| {
-        let (_, stats) = StridePrefetcher::new(PrefetchConfig::default()).cover(&run.trace);
+        let (_, stats) = StridePrefetcher::new(PrefetchConfig::default()).cover(run.trace());
         stats.coverage()
     };
     let (co, cp) = (coverage(&ocean), coverage(&pthor));
@@ -84,8 +84,9 @@ fn prefetcher_separates_regular_from_irregular() {
 #[test]
 fn contexts_overlap_real_workload_misses() {
     let run = generate(App::Mp3d);
-    let a = &run.all_traces[0];
-    let b = &run.all_traces[1];
+    let traces = run.all_traces();
+    let a = &*traces[0];
+    let b = &*traces[1];
     let mc = Contexts::default();
     let serial = mc.run_traces(&[a]).cycles() + mc.run_traces(&[b]).cycles();
     let together = mc.run_traces(&[a, b]);
@@ -114,9 +115,9 @@ fn compiler_scheduling_helps_regular_code() {
     let sched_trace: &Trace = out.trace(out.busiest_proc());
 
     let orig = generate(app);
-    let base = Base.run(&orig.program, &orig.trace);
+    let base = Base.run(&orig.program, orig.trace());
     let ss = InOrder::ss(ConsistencyModel::Rc);
-    let before = ss.run(&orig.program, &orig.trace).cycles() as f64 / base.cycles() as f64;
+    let before = ss.run(&orig.program, orig.trace()).cycles() as f64 / base.cycles() as f64;
     let after = ss.run(&orig.program, sched_trace).cycles() as f64 / base.cycles() as f64;
     assert!(
         after < before,
@@ -129,9 +130,9 @@ fn compiler_scheduling_helps_regular_code() {
 #[test]
 fn prefetch_transformer_is_monotone() {
     let run = generate(App::Lu);
-    let (covered, _) = StridePrefetcher::new(PrefetchConfig::default()).cover(&run.trace);
-    assert_eq!(covered.len(), run.trace.len());
-    for (a, b) in run.trace.iter().zip(covered.iter()) {
+    let (covered, _) = StridePrefetcher::new(PrefetchConfig::default()).cover(run.trace());
+    assert_eq!(covered.len(), run.trace_len());
+    for (a, b) in run.trace().iter().zip(covered.iter()) {
         assert_eq!(a.pc, b.pc);
         match (&a.op, &b.op) {
             (lookahead_trace::TraceOp::Load(x), lookahead_trace::TraceOp::Load(y)) => {

@@ -30,12 +30,12 @@ fn generate(app: App) -> AppRun {
 #[test]
 fn sc_hides_nothing() {
     let run = generate(App::Ocean);
-    let base = Base.run(&run.program, &run.trace);
+    let base = Base.run(&run.program, run.trace());
     for result in [
-        InOrder::ssbr(ConsistencyModel::Sc).run(&run.program, &run.trace),
-        InOrder::ss(ConsistencyModel::Sc).run(&run.program, &run.trace),
+        InOrder::ssbr(ConsistencyModel::Sc).run(&run.program, run.trace()),
+        InOrder::ss(ConsistencyModel::Sc).run(&run.program, run.trace()),
         Ds::new(DsConfig::with_model(ConsistencyModel::Sc).window(256))
-            .run(&run.program, &run.trace),
+            .run(&run.program, run.trace()),
     ] {
         assert!(
             result.cycles() as f64 > 0.90 * base.cycles() as f64,
@@ -58,8 +58,8 @@ fn pc_hides_writes_in_order() {
         ..lookahead_workloads::mp3d::Mp3d::small()
     };
     let run = AppRun::generate(&w, &config()).unwrap();
-    let base = Base.run(&run.program, &run.trace);
-    let pc = InOrder::ssbr(ConsistencyModel::Pc).run(&run.program, &run.trace);
+    let base = Base.run(&run.program, run.trace());
+    let pc = InOrder::ssbr(ConsistencyModel::Pc).run(&run.program, run.trace());
     assert!(
         pc.breakdown.write * 5 < base.breakdown.write,
         "PC write stall {} vs BASE {}",
@@ -76,8 +76,8 @@ fn pc_hides_writes_in_order() {
 fn ss_gains_little_over_ssbr() {
     for app in [App::Lu, App::Pthor] {
         let run = generate(app);
-        let ssbr = InOrder::ssbr(ConsistencyModel::Rc).run(&run.program, &run.trace);
-        let ss = InOrder::ss(ConsistencyModel::Rc).run(&run.program, &run.trace);
+        let ssbr = InOrder::ssbr(ConsistencyModel::Rc).run(&run.program, run.trace());
+        let ss = InOrder::ss(ConsistencyModel::Rc).run(&run.program, run.trace());
         assert!(ss.cycles() <= ssbr.cycles(), "{app}: SS slower than SSBR");
         let gain = 1.0 - ss.cycles() as f64 / ssbr.cycles() as f64;
         assert!(
@@ -101,10 +101,10 @@ fn regular_apps_saturate_by_window_64() {
             h64 * 100.0
         );
         let c64 = Ds::new(DsConfig::rc().window(64))
-            .run(&run.program, &run.trace)
+            .run(&run.program, run.trace())
             .cycles();
         let c256 = Ds::new(DsConfig::rc().window(256))
-            .run(&run.program, &run.trace)
+            .run(&run.program, run.trace())
             .cycles();
         let gain_past_64 = (c64 as f64 - c256 as f64) / c64 as f64;
         assert!(
@@ -189,7 +189,7 @@ fn higher_latency_needs_bigger_windows() {
         lookahead_harness::experiments::latency_sweep(&w, &config(), 100, &[]).unwrap();
     let c = |win: usize| {
         Ds::new(DsConfig::rc().window(win))
-            .run(&run100.program, &run100.trace)
+            .run(&run100.program, run100.trace())
             .cycles() as f64
     };
     let (c64, c128) = (c(64), c(128));

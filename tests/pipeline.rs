@@ -28,7 +28,7 @@ fn generate(app: App) -> AppRun {
 fn all_five_applications_run_and_verify() {
     for app in App::ALL {
         let run = generate(app);
-        assert!(!run.trace.is_empty(), "{app}: empty trace");
+        assert!(!run.trace().is_empty(), "{app}: empty trace");
         // The generating run's breakdowns account every cycle.
         for (p, b) in run.mp_breakdowns.iter().enumerate() {
             assert!(b.total() > 0, "{app}: processor {p} never ran");
@@ -39,12 +39,12 @@ fn all_five_applications_run_and_verify() {
 #[test]
 fn base_model_equals_sum_of_trace_latencies() {
     let run = generate(App::Lu);
-    let base = Base.run(&run.program, &run.trace);
-    let stats = TraceStats::collect(&run.trace, None);
+    let base = Base.run(&run.program, run.trace());
+    let stats = TraceStats::collect(run.trace(), None);
     assert_eq!(base.breakdown.busy, stats.data.busy_cycles);
     // Every read-stall cycle comes from a read-miss latency.
     let expected_read: u64 = run
-        .trace
+        .trace()
         .iter()
         .filter_map(|e| match e.op {
             lookahead_trace::TraceOp::Load(m) => Some((m.latency - 1) as u64),
@@ -57,13 +57,13 @@ fn base_model_equals_sum_of_trace_latencies() {
 #[test]
 fn busy_time_is_invariant_across_models() {
     let run = generate(App::Ocean);
-    let n = run.trace.len() as u64;
+    let n = run.trace_len() as u64;
     for model in ConsistencyModel::EVALUATED {
-        let ssbr = InOrder::ssbr(model).run(&run.program, &run.trace);
+        let ssbr = InOrder::ssbr(model).run(&run.program, run.trace());
         assert_eq!(ssbr.breakdown.busy, n, "SSBR/{model}");
-        let ss = InOrder::ss(model).run(&run.program, &run.trace);
+        let ss = InOrder::ss(model).run(&run.program, run.trace());
         assert_eq!(ss.breakdown.busy, n, "SS/{model}");
-        let ds = Ds::new(DsConfig::with_model(model).window(64)).run(&run.program, &run.trace);
+        let ds = Ds::new(DsConfig::with_model(model).window(64)).run(&run.program, run.trace());
         assert_eq!(
             ds.breakdown.busy,
             n + ds.stats.fetch_stall_cycles,
@@ -78,9 +78,9 @@ fn relaxing_the_model_never_hurts() {
         let run = generate(app);
         let cycles = |m: ConsistencyModel| {
             (
-                InOrder::ssbr(m).run(&run.program, &run.trace).cycles(),
+                InOrder::ssbr(m).run(&run.program, run.trace()).cycles(),
                 Ds::new(DsConfig::with_model(m).window(64))
-                    .run(&run.program, &run.trace)
+                    .run(&run.program, run.trace())
                     .cycles(),
             )
         };
@@ -106,7 +106,7 @@ fn ds_window_growth_is_monotone_under_rc() {
         let mut last = u64::MAX;
         for w in [16, 32, 64, 128, 256] {
             let c = Ds::new(DsConfig::rc().window(w))
-                .run(&run.program, &run.trace)
+                .run(&run.program, run.trace())
                 .cycles();
             // Allow a sliver of slack: attribution ties can wiggle.
             assert!(
@@ -124,8 +124,8 @@ fn write_latency_fully_hidden_in_order_under_rc() {
     // the latency of writes on a statically scheduled processor.
     for app in App::ALL {
         let run = generate(app);
-        let base = Base.run(&run.program, &run.trace);
-        let rc = InOrder::ssbr(ConsistencyModel::Rc).run(&run.program, &run.trace);
+        let base = Base.run(&run.program, run.trace());
+        let rc = InOrder::ssbr(ConsistencyModel::Rc).run(&run.program, run.trace());
         if base.breakdown.write > 2000 {
             assert!(
                 rc.breakdown.write * 5 < base.breakdown.write,
@@ -141,13 +141,13 @@ fn write_latency_fully_hidden_in_order_under_rc() {
 fn ds_hides_read_latency_under_rc_but_not_sc() {
     for app in App::ALL {
         let run = generate(app);
-        let base = Base.run(&run.program, &run.trace);
+        let base = Base.run(&run.program, run.trace());
         if base.breakdown.read < 500 {
             continue;
         }
-        let rc = Ds::new(DsConfig::rc().window(64)).run(&run.program, &run.trace);
+        let rc = Ds::new(DsConfig::rc().window(64)).run(&run.program, run.trace());
         let sc = Ds::new(DsConfig::with_model(ConsistencyModel::Sc).window(64))
-            .run(&run.program, &run.trace);
+            .run(&run.program, run.trace());
         let hidden_rc = rc
             .breakdown
             .read_latency_hidden_vs(&base.breakdown)
@@ -172,7 +172,7 @@ fn ds_hides_read_latency_under_rc_but_not_sc() {
 fn representative_trace_statistics_are_plausible() {
     for app in App::ALL {
         let run = generate(app);
-        let stats = TraceStats::collect(&run.trace, None);
+        let stats = TraceStats::collect(run.trace(), None);
         assert!(
             stats.data.reads > 0 && stats.data.writes > 0,
             "{app}: no data references"
@@ -197,6 +197,6 @@ fn paper_sizes_verify() {
         let w = app.paper_workload();
         let run = AppRun::generate(w.as_ref(), &SimConfig::default())
             .unwrap_or_else(|e| panic!("{app}: {e}"));
-        assert!(run.trace.len() > 100_000, "{app}: paper size too small");
+        assert!(run.trace_len() > 100_000, "{app}: paper size too small");
     }
 }

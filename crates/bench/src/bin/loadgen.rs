@@ -1,6 +1,8 @@
 //! Load generator for the experiment service: mixed hot/cold traffic,
-//! exact latency percentiles, and cache-hit / coalescing rates read
-//! back from `/metrics`.
+//! exact latency percentiles split into queue wait vs service time
+//! (from the server's `Server-Timing` header), an optional p99 SLO
+//! gate, and cache-hit / coalescing rates read back from
+//! `/metrics.json`.
 //!
 //! ```text
 //! # Against an in-process server (cold cache, small tier):
@@ -22,7 +24,7 @@
 //! accounted to one body flight — the acceptance check for the
 //! single-flight contract under real concurrency.
 
-use lookahead_bench::client::{get, ClientError};
+use lookahead_bench::client::{get, get_with_headers, ClientError};
 use lookahead_bench::{config_from_env, fail_fast};
 use lookahead_harness::parallel;
 use lookahead_harness::SizeTier;
@@ -48,6 +50,8 @@ options:
   --requests N            requests per client (default 4)
   --expect-single-flight  fail unless exactly one simulation ran per
                           distinct app and all requests coalesced
+  --slo-p99-ms MS         fail the run when the measured p99 latency
+                          exceeds MS milliseconds
   -h, --help              show this help
 
 environment: LOOKAHEAD_SMALL=1, LOOKAHEAD_PROCS=n, LOOKAHEAD_JOBS=n,
@@ -73,6 +77,7 @@ struct Options {
     clients: usize,
     requests: usize,
     expect_single_flight: bool,
+    slo_p99_ms: Option<f64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
@@ -82,6 +87,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         clients: 32,
         requests: 4,
         expect_single_flight: false,
+        slo_p99_ms: None,
     };
     let mut it = args.iter();
     let positive = |v: &str, flag: &str| -> Result<usize, String> {
@@ -89,6 +95,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             .ok()
             .filter(|n| *n >= 1)
             .ok_or_else(|| format!("{flag} must be a positive integer, got {v:?}"))
+    };
+    let positive_ms = |v: &str, flag: &str| -> Result<f64, String> {
+        v.parse::<f64>()
+            .ok()
+            .filter(|n| *n > 0.0 && n.is_finite())
+            .ok_or_else(|| format!("{flag} must be a positive number of milliseconds, got {v:?}"))
     };
     while let Some(a) = it.next() {
         let value = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
@@ -103,6 +115,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--addr" => opts.addr = Some(value(&mut it, "--addr")?),
             "--clients" => opts.clients = positive(&value(&mut it, "--clients")?, "--clients")?,
             "--requests" => opts.requests = positive(&value(&mut it, "--requests")?, "--requests")?,
+            "--slo-p99-ms" => {
+                opts.slo_p99_ms = Some(positive_ms(
+                    &value(&mut it, "--slo-p99-ms")?,
+                    "--slo-p99-ms",
+                )?)
+            }
             _ => {
                 if let Some(v) = a.strip_prefix("--addr=") {
                     opts.addr = Some(v.to_string());
@@ -110,6 +128,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     opts.clients = positive(v, "--clients")?;
                 } else if let Some(v) = a.strip_prefix("--requests=") {
                     opts.requests = positive(v, "--requests")?;
+                } else if let Some(v) = a.strip_prefix("--slo-p99-ms=") {
+                    opts.slo_p99_ms = Some(positive_ms(v, "--slo-p99-ms")?);
                 } else {
                     return Err(format!("unknown option {a:?}"));
                 }
@@ -131,8 +151,8 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
-/// A counter out of the `/metrics` JSON (flat `"path":value`), 0 when
-/// absent.
+/// A counter out of the `/metrics.json` JSON (flat `"path":value`), 0
+/// when absent.
 fn metric(body: &str, path: &str) -> u64 {
     let needle = format!("\"{path}\":");
     match body.find(&needle) {
@@ -144,6 +164,21 @@ fn metric(body: &str, path: &str) -> u64 {
             .parse()
             .unwrap_or(0),
     }
+}
+
+/// One stage's duration out of a `Server-Timing` header value
+/// (`queue;dur=0.042, parse;dur=0.003, handler;dur=12.8`), in
+/// microseconds.
+fn server_timing_us(value: &str, stage: &str) -> Option<u64> {
+    value.split(',').find_map(|part| {
+        let ms: f64 = part
+            .trim()
+            .strip_prefix(stage)?
+            .strip_prefix(";dur=")?
+            .parse()
+            .ok()?;
+        Some((ms * 1000.0) as u64)
+    })
 }
 
 fn main() -> ExitCode {
@@ -169,6 +204,7 @@ fn main() -> ExitCode {
                 default_tier: SizeTier::from_env(),
                 sim: config_from_env(),
                 retime_workers: jobs,
+                span_log: None,
             },
             None,
         ));
@@ -211,7 +247,9 @@ fn main() -> ExitCode {
     let errors = AtomicU64::new(0);
     let barrier = Barrier::new(opts.clients);
     let started = Instant::now();
-    let mut latencies: Vec<u64> = std::thread::scope(|s| {
+    // (total, queue wait, handler service time) per successful request,
+    // the latter two from the server's Server-Timing header.
+    let samples: Vec<(u64, Option<u64>, Option<u64>)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..opts.clients)
             .map(|client| {
                 let targets = &targets;
@@ -228,10 +266,24 @@ fn main() -> ExitCode {
                             &targets[global / 2 % targets.len()]
                         };
                         let t0 = Instant::now();
-                        match get(addr, target) {
-                            Ok((200, _)) => mine.push(t0.elapsed().as_micros() as u64),
-                            Ok((status, body)) => {
-                                eprintln!("loadgen: {status} for {target}: {body}");
+                        match get_with_headers(addr, target) {
+                            Ok(reply) if reply.status == 200 => {
+                                let timing = reply.header("Server-Timing");
+                                mine.push((
+                                    t0.elapsed().as_micros() as u64,
+                                    timing.and_then(|t| server_timing_us(t, "queue")),
+                                    timing.and_then(|t| server_timing_us(t, "handler")),
+                                ));
+                            }
+                            Ok(reply) => {
+                                // The request id joins this line to the
+                                // server's own log of the failure.
+                                eprintln!(
+                                    "loadgen: {} for {target} (request_id={}): {}",
+                                    reply.status,
+                                    reply.header("X-Request-Id").unwrap_or("?"),
+                                    reply.body
+                                );
                                 errors.fetch_add(1, Ordering::Relaxed);
                             }
                             Err(e @ ClientError::Disconnected) => {
@@ -256,12 +308,17 @@ fn main() -> ExitCode {
             .collect()
     });
     let elapsed = started.elapsed().as_secs_f64();
+    let mut latencies: Vec<u64> = samples.iter().map(|(t, _, _)| *t).collect();
+    let mut queue_waits: Vec<u64> = samples.iter().filter_map(|(_, q, _)| *q).collect();
+    let mut services: Vec<u64> = samples.iter().filter_map(|(_, _, h)| *h).collect();
     latencies.sort_unstable();
+    queue_waits.sort_unstable();
+    services.sort_unstable();
 
-    let metrics = match get(addr, "/metrics") {
+    let metrics = match get(addr, "/metrics.json") {
         Ok((200, body)) => body,
         other => {
-            eprintln!("error: /metrics failed: {other:?}");
+            eprintln!("error: /metrics.json failed: {other:?}");
             String::new()
         }
     };
@@ -299,6 +356,22 @@ fn main() -> ExitCode {
         percentile(&latencies, 99.0),
         latencies.last().copied().unwrap_or(0),
     );
+    if !queue_waits.is_empty() {
+        println!(
+            "queue wait p50={}us p95={}us p99={}us (server-side, {} samples)",
+            percentile(&queue_waits, 50.0),
+            percentile(&queue_waits, 95.0),
+            percentile(&queue_waits, 99.0),
+            queue_waits.len(),
+        );
+        println!(
+            "service    p50={}us p95={}us p99={}us (handler time, {} samples)",
+            percentile(&services, 50.0),
+            percentile(&services, 95.0),
+            percentile(&services, 99.0),
+            services.len(),
+        );
+    }
     println!(
         "runs       generations={generations} disk_hits={disk_hits} \
          memo_hits={memo_hits} coalesced={run_coalesced}"
@@ -313,6 +386,14 @@ fn main() -> ExitCode {
     if errors > 0 {
         eprintln!("loadgen: {errors} request(s) failed");
         return ExitCode::FAILURE;
+    }
+    if let Some(slo_ms) = opts.slo_p99_ms {
+        let p99_ms = percentile(&latencies, 99.0) as f64 / 1000.0;
+        if p99_ms > slo_ms {
+            eprintln!("loadgen: p99 {p99_ms:.3}ms exceeds the --slo-p99-ms {slo_ms}ms budget");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("loadgen: p99 {p99_ms:.3}ms within the {slo_ms}ms SLO");
     }
     if opts.expect_single_flight {
         if generations != DISTINCT_APPS {

@@ -67,6 +67,7 @@ const USAGE: &str = "usage: lookahead [OPTIONS] REPORT [REPORT ...]
        lookahead query TARGET       answer one service query, print body
        lookahead bench [OPTIONS]    benchmark the re-timing engines
        lookahead bench memory       compare streamed vs materialized peak RSS
+       lookahead bench obs          measure request-tracing overhead
 
 Regenerates the requested tables and figures, generating or
 cache-loading each application trace exactly once per process.
@@ -183,6 +184,7 @@ fn main() -> ExitCode {
         Some("bench") => {
             return match args.get(1).map(String::as_str) {
                 Some("memory") => lookahead_bench::memprobe::memory_main(&args[2..]),
+                Some("obs") => lookahead_bench::obsbench::obs_main(&args[2..]),
                 _ => lookahead_bench::retiming::bench_main(&args[1..]),
             }
         }

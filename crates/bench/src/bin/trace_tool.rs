@@ -43,6 +43,14 @@ commands:
                         matrix, its reconciliation against the
                         execution-time breakdown, and the top-N stall
                         sites (default 10)
+  spans <FILE> [--chrome OUT]
+                        analyze a span JSONL file written by
+                        `lookahead serve --span-log`: per-stage latency
+                        table (count, total, mean, p95, max); with
+                        --chrome, also write a Chrome/Perfetto
+                        trace_event JSON to OUT
+  promcheck <FILE>      validate FILE as Prometheus text exposition
+                        (the format `/metrics` serves)
 
 APP is one of MP3D, LU, PTHOR, LOCUS, OCEAN (case-insensitive).
 
@@ -181,9 +189,136 @@ fn run(args: &[String]) -> Result<(), UsageError> {
             };
             profile(parse_app(app).map_err(bad)?, &config, top_n).map_err(failed)
         }
+        [cmd, rest @ ..] if cmd == "spans" => {
+            let (file, chrome) = match rest {
+                [file] => (file, None),
+                [file, flag, out] if flag == "--chrome" => (file, Some(out.as_str())),
+                _ => return Err(bad("spans takes <FILE> [--chrome OUT]".into())),
+            };
+            spans_report(file, chrome).map_err(failed)
+        }
+        [cmd, file] if cmd == "promcheck" => {
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| failed(format!("cannot read {file}: {e}")))?;
+            let summary = lookahead_obs::prom::check_exposition(&text)
+                .map_err(|e| failed(format!("{file}: invalid Prometheus exposition: {e}")))?;
+            println!(
+                "{file}: valid Prometheus text exposition ({} families, {} samples)",
+                summary.families, summary.samples
+            );
+            Ok(())
+        }
         [] => Err(bad("no command given".into())),
         [cmd, ..] => Err(bad(format!("unknown or malformed command {cmd:?}"))),
     }
+}
+
+/// One span parsed back out of a `--span-log` JSONL line.
+struct LoggedSpan {
+    request_id: String,
+    name: String,
+    start_us: u64,
+    dur_us: u64,
+}
+
+fn read_spans(file: &str) -> Result<Vec<LoggedSpan>, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let mut spans = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = lookahead_obs::json::parse_flat_object(line)
+            .map_err(|e| format!("{file}:{}: not a span line: {e}", i + 1))?;
+        let str_field = |k: &str| -> Result<String, String> {
+            obj.get(k)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("{file}:{}: missing string field {k:?}", i + 1))
+        };
+        let u64_field = |k: &str| -> Result<u64, String> {
+            obj.get(k)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("{file}:{}: missing numeric field {k:?}", i + 1))
+        };
+        spans.push(LoggedSpan {
+            request_id: str_field("request_id")?,
+            name: str_field("name")?,
+            start_us: u64_field("start_us")?,
+            dur_us: u64_field("dur_us")?,
+        });
+    }
+    Ok(spans)
+}
+
+/// `trace_tool spans`: per-stage latency table over a span JSONL file,
+/// plus an optional Chrome `trace_event` export (load it in
+/// `chrome://tracing` or Perfetto; each request renders as one track).
+fn spans_report(file: &str, chrome: Option<&str>) -> Result<(), String> {
+    let spans = read_spans(file)?;
+    if spans.is_empty() {
+        return Err(format!("{file}: no spans"));
+    }
+    let mut requests: Vec<&str> = spans.iter().map(|s| s.request_id.as_str()).collect();
+    requests.sort_unstable();
+    requests.dedup();
+    println!(
+        "{file}: {} spans across {} requests",
+        spans.len(),
+        requests.len()
+    );
+
+    // Stage table: durations grouped by span name, worst-total first.
+    let mut stages: std::collections::BTreeMap<&str, Vec<u64>> = std::collections::BTreeMap::new();
+    for s in &spans {
+        stages.entry(&s.name).or_default().push(s.dur_us);
+    }
+    let mut rows: Vec<(&str, Vec<u64>)> = stages.into_iter().collect();
+    for (_, durs) in &mut rows {
+        durs.sort_unstable();
+    }
+    rows.sort_by_key(|(_, durs)| std::cmp::Reverse(durs.iter().sum::<u64>()));
+    println!(
+        "{:<14} {:>7} {:>14} {:>12} {:>12} {:>12}",
+        "stage", "count", "total_us", "mean_us", "p95_us", "max_us"
+    );
+    for (name, durs) in &rows {
+        let total: u64 = durs.iter().sum();
+        let p95 = durs[((durs.len() - 1) as f64 * 0.95).round() as usize];
+        println!(
+            "{name:<14} {:>7} {total:>14} {:>12} {p95:>12} {:>12}",
+            durs.len(),
+            total / durs.len() as u64,
+            durs.last().unwrap(),
+        );
+    }
+
+    if let Some(out) = chrome {
+        let body = lookahead_obs::json::JsonObject::render(|o| {
+            o.array("traceEvents", |a| {
+                for s in &spans {
+                    let tid = requests
+                        .binary_search(&s.request_id.as_str())
+                        .expect("deduped from spans") as u64;
+                    a.object(|e| {
+                        e.str("name", &s.name)
+                            .str("cat", "span")
+                            .str("ph", "X")
+                            .u64("ts", s.start_us)
+                            .u64("dur", s.dur_us)
+                            .u64("pid", 1)
+                            .u64("tid", tid);
+                        e.object("args", |args| {
+                            args.str("request_id", &s.request_id);
+                        });
+                    });
+                }
+            });
+        });
+        std::fs::write(out, body).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote Chrome trace_event JSON to {out}");
+    }
+    Ok(())
 }
 
 /// Re-times `app` under DS-64/RC with a recorder installed, checks the

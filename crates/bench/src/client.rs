@@ -79,6 +79,35 @@ fn map_io(e: io::Error) -> ClientError {
 /// [`ClientError::Connect`]/[`Io`](ClientError::Io) for transport
 /// failures; [`ClientError::Malformed`] for non-HTTP bytes.
 pub fn get(addr: SocketAddr, target: &str) -> Result<(u16, String), ClientError> {
+    let r = get_with_headers(addr, target)?;
+    Ok((r.status, r.body))
+}
+
+/// A parsed response with its headers retained (loadgen reads the
+/// server's `X-Request-Id` and `Server-Timing` back out).
+#[derive(Debug)]
+pub struct HttpReply {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl HttpReply {
+    /// The first header with this name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// As [`get`], but keeps the response headers.
+///
+/// # Errors
+///
+/// As [`get`].
+pub fn get_with_headers(addr: SocketAddr, target: &str) -> Result<HttpReply, ClientError> {
     let mut conn = TcpStream::connect(addr).map_err(ClientError::Connect)?;
     write!(conn, "GET {target} HTTP/1.1\r\nHost: lookahead\r\n\r\n").map_err(map_io)?;
     let mut text = String::new();
@@ -93,11 +122,21 @@ pub fn get(addr: SocketAddr, target: &str) -> Result<(u16, String), ClientError>
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| ClientError::Malformed(status_line.to_string()))?;
-    let body = text
+    let (head, body) = text
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    Ok((status, body))
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or((text.clone(), String::new()));
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_once(": "))
+        .map(|(n, v)| (n.to_string(), v.to_string()))
+        .collect();
+    Ok(HttpReply {
+        status,
+        headers,
+        body,
+    })
 }
 
 #[cfg(test)]

@@ -32,6 +32,7 @@
 
 pub mod client;
 pub mod memprobe;
+pub mod obsbench;
 pub mod reports;
 pub mod retiming;
 pub mod serve_cli;

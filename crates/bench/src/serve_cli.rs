@@ -26,9 +26,10 @@ pub const SERVE_USAGE: &str = "usage: lookahead serve [OPTIONS]
 Serves the experiment suite over HTTP until SIGINT (graceful drain).
 
 routes:
-  /healthz  /metrics  /v1/apps
+  /healthz  /metrics (Prometheus)  /metrics.json  /v1/apps
   /v1/experiments?app=A[&model=M&consistency=C&window=W&width=I&tier=T]
   /v1/figure3?app=A  /v1/figure4?app=A  /v1/summary
+  /v1/debug/trace/<request-id>
 
 options:
   --addr IP:PORT   bind address (default: LOOKAHEAD_SERVE_ADDR or
@@ -41,11 +42,13 @@ options:
   --cache-dir DIR  cache traces under DIR (default: target/trace-cache,
                    or the LOOKAHEAD_CACHE environment variable)
   --no-cache       disable the trace cache
+  --span-log FILE  append every request's spans to FILE as JSONL
+                   (analyze with `trace_tool spans FILE`)
   -h, --help       show this help
 
 environment: LOOKAHEAD_SMALL=1, LOOKAHEAD_PAPER=1, LOOKAHEAD_PROCS=n,
 LOOKAHEAD_SERVE_ADDR, LOOKAHEAD_SERVE_THREADS, LOOKAHEAD_CACHE=DIR|off,
-LOOKAHEAD_JOBS=n";
+LOOKAHEAD_JOBS=n, LOOKAHEAD_LOG=level|target=level,... (stderr logs)";
 
 pub const QUERY_USAGE: &str = "usage: lookahead query TARGET [OPTIONS]
 
@@ -69,6 +72,7 @@ struct Options {
     jobs: Option<usize>,
     cache_dir: Option<String>,
     no_cache: bool,
+    span_log: Option<String>,
     target: Option<String>,
 }
 
@@ -90,6 +94,7 @@ fn parse(args: &[String], usage: &'static str) -> Result<Option<Options>, String
             "--addr-file" => opts.addr_file = Some(value(&mut it, "--addr-file")?),
             "--threads" => opts.threads = Some(value(&mut it, "--threads")?),
             "--cache-dir" => opts.cache_dir = Some(value(&mut it, "--cache-dir")?),
+            "--span-log" => opts.span_log = Some(value(&mut it, "--span-log")?),
             "--jobs" => opts.jobs = Some(parallel::parse_jobs(&value(&mut it, "--jobs")?)?),
             _ => {
                 if let Some(v) = a.strip_prefix("--addr=") {
@@ -100,6 +105,8 @@ fn parse(args: &[String], usage: &'static str) -> Result<Option<Options>, String
                     opts.threads = Some(v.to_string());
                 } else if let Some(v) = a.strip_prefix("--cache-dir=") {
                     opts.cache_dir = Some(v.to_string());
+                } else if let Some(v) = a.strip_prefix("--span-log=") {
+                    opts.span_log = Some(v.to_string());
                 } else if let Some(v) = a.strip_prefix("--jobs=") {
                     opts.jobs = Some(parallel::parse_jobs(v)?);
                 } else if a.starts_with('-') {
@@ -135,6 +142,7 @@ fn build_service(opts: &Options) -> (Arc<ExperimentService>, usize) {
             default_tier: SizeTier::from_env(),
             sim: config_from_env(),
             retime_workers: jobs,
+            span_log: opts.span_log.as_ref().map(std::path::PathBuf::from),
         },
         cache_for(opts),
     );
@@ -160,7 +168,12 @@ pub fn serve_main(args: &[String]) -> ExitCode {
     }
 
     // Fail-fast knob resolution: flags win, then environment, then
-    // defaults; any malformed value is exit code 2.
+    // defaults; any malformed value is exit code 2. A malformed log
+    // filter would otherwise be discovered only at the first log line.
+    if let Err(e) = lookahead_obs::log::check_env_filter() {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
     let addr = match &opts.addr {
         Some(a) => fail_fast(parse_serve_addr(a)),
         None => fail_fast(serve_addr_from_env()),
@@ -238,6 +251,10 @@ pub fn query_main(args: &[String]) -> ExitCode {
     };
     if opts.addr.is_some() || opts.addr_file.is_some() || opts.threads.is_some() {
         eprintln!("error: --addr/--addr-file/--threads are serve options\n\n{QUERY_USAGE}");
+        return ExitCode::from(2);
+    }
+    if opts.span_log.is_some() {
+        eprintln!("error: --span-log is a serve option\n\n{QUERY_USAGE}");
         return ExitCode::from(2);
     }
 

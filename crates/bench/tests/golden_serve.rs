@@ -168,12 +168,20 @@ fn http_body_equals_cli_query_body_and_sigint_drains() {
         "HTTP body and `lookahead query` stdout must be identical bytes"
     );
 
-    // The coalescing/caching accounting is visible in /metrics.
-    let (status, metrics) = server.get("/metrics");
+    // The coalescing/caching accounting is visible in /metrics.json,
+    // and /metrics serves the same snapshot as valid Prometheus text.
+    let (status, metrics) = server.get("/metrics.json");
     assert_eq!(status, 200);
     assert!(
         metrics.contains("\"serve.runs.generations\":1"),
         "one simulation for cold+warm: {metrics}"
+    );
+    let (status, prom) = server.get("/metrics");
+    assert_eq!(status, 200);
+    lookahead_obs::prom::check_exposition(&prom).expect("valid Prometheus exposition");
+    assert!(
+        prom.contains("serve_runs_generations_total 1"),
+        "the same counter in Prometheus form: {prom}"
     );
 
     server.interrupt_and_wait();

@@ -36,6 +36,7 @@
 
 use crate::pipeline::{force_materialize, AppRun, PipelineError};
 use lookahead_multiproc::{SimConfig, SimError, Simulator};
+use lookahead_obs::span;
 use lookahead_trace::storage::{
     read_archive_info, read_archive_v3, validate_archive_chunks, ArchiveWriter, TraceArchive,
     ARCHIVE_VERSION,
@@ -306,11 +307,11 @@ fn generate_streamed(
         }))
     })?;
     let proc = outcome.busiest_proc();
-    let io_step = (|| {
+    let io_step = span::record_current("archive.finish", || {
         let w = writer.finish(proc, outcome.total_cycles, &outcome.breakdowns)?;
         w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
         fs::rename(&tmp, &path)
-    })();
+    });
     io_step.map_err(|e| cleanup(Io(e)))?;
     // Re-read the header/trailer (cheap: no chunk scan) so the run is
     // backed by exactly what landed on disk.
@@ -354,14 +355,14 @@ pub fn load_or_generate(
 ) -> Result<(AppRun, CacheOutcome), PipelineError> {
     let key = cache_key(workload.name(), tier, config);
     let miss = match cache {
-        Some(c) => match c.load(workload.name(), &key) {
+        Some(c) => match span::record_current("cache.lookup", || c.load(workload.name(), &key)) {
             Ok(run) => return Ok((run, CacheOutcome::Hit)),
             Err(reason) => reason,
         },
         None => MissReason::Absent,
     };
     if let Some(c) = cache {
-        match generate_streamed(c, &key, workload, config) {
+        match span::record_current("generate", || generate_streamed(c, &key, workload, config)) {
             Ok(run) => return Ok((run, CacheOutcome::Generated(miss))),
             Err(StreamedGenError::Pipeline(e)) => return Err(e),
             Err(StreamedGenError::Io(e)) => eprintln!(
@@ -372,9 +373,9 @@ pub fn load_or_generate(
             ),
         }
     }
-    let run = AppRun::generate(workload, config)?;
+    let run = span::record_current("generate", || AppRun::generate(workload, config))?;
     if let Some(c) = cache {
-        if let Err(e) = c.store(&key, &run) {
+        if let Err(e) = span::record_current("archive.store", || c.store(&key, &run)) {
             eprintln!(
                 "  warning: failed to cache {} trace in {}: {e}",
                 run.app,

@@ -10,7 +10,13 @@
 //!
 //! No external dependencies: plain `std::thread::scope` plus an atomic
 //! work index.
+//!
+//! When the submitting thread is inside a traced request
+//! ([`lookahead_obs::span`]), its trace scope is captured and installed
+//! in every worker, so per-cell spans recorded on the pool land in the
+//! submitter's request tree with the right parent.
 
+use lookahead_obs::span;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -69,20 +75,29 @@ where
     let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let scope_in = span::current_scope();
     std::thread::scope(|s| {
         for _ in 0..workers.min(n) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            let (slots, results, next) = (&slots, &results, &next);
+            let scope_in = scope_in.clone();
+            s.spawn(move || {
+                // Workers are fresh threads; adopt the submitter's
+                // trace scope so cell spans join the request's tree.
+                span::set_scope(scope_in);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = slots[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("job claimed twice");
+                    let out = job();
+                    *results[i].lock().expect("result slot poisoned") = Some(out);
                 }
-                let job = slots[i]
-                    .lock()
-                    .expect("job slot poisoned")
-                    .take()
-                    .expect("job claimed twice");
-                let out = job();
-                *results[i].lock().expect("result slot poisoned") = Some(out);
+                span::set_scope(None);
             });
         }
     });
@@ -128,6 +143,24 @@ mod tests {
         let none: Vec<fn() -> u32> = Vec::new();
         assert!(run_ordered(none, 4).is_empty());
         assert_eq!(run_ordered(vec![|| 7u32], 4), vec![7]);
+    }
+
+    #[test]
+    fn trace_scope_propagates_to_pool_workers() {
+        let ctx = lookahead_obs::TraceContext::new("req-pool");
+        let root = ctx.alloc_id();
+        let prev = span::set_scope(Some(span::TraceScope::new(ctx.clone(), root)));
+        let jobs: Vec<_> = (0..12)
+            .map(|i| move || span::record_current("cell", || i * 2))
+            .collect();
+        let out = run_ordered(jobs, 4);
+        span::set_scope(prev);
+        assert_eq!(out, (0..12).map(|i| i * 2).collect::<Vec<_>>());
+        let spans = ctx.spans();
+        assert_eq!(spans.len(), 12, "one span per cell");
+        assert!(spans.iter().all(|s| s.name == "cell" && s.parent == root));
+        // The caller's own thread is back to untraced.
+        assert!(span::current_scope().is_none());
     }
 
     #[test]

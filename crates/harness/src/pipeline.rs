@@ -4,6 +4,7 @@
 use lookahead_core::{ExecutionResult, ProcessorModel};
 use lookahead_isa::Program;
 use lookahead_multiproc::{SimConfig, SimError, SimOutcome, Simulator};
+use lookahead_obs::span;
 use lookahead_trace::storage::{ArchiveInfo, ChunkReader};
 use lookahead_trace::{collect_source, Breakdown, StreamError, Trace, TraceSource};
 use lookahead_workloads::Workload;
@@ -275,24 +276,26 @@ impl AppRun {
     /// `streamed_equivalence` suite), so callers never observe which
     /// path served them.
     pub fn retime(&self, model: &dyn ProcessorModel) -> ExecutionResult {
-        if let Some(source) = self.open_source() {
-            match source {
-                Ok(mut source) => match model.run_source(&self.program, &mut source) {
-                    Ok(result) => return result,
+        span::record_current("retime.cell", || {
+            if let Some(source) = self.open_source() {
+                match source {
+                    Ok(mut source) => match model.run_source(&self.program, &mut source) {
+                        Ok(result) => return result,
+                        Err(e) => eprintln!(
+                            "  warning: streamed re-timing of {} failed ({e}); \
+                             falling back to the materialized trace",
+                            self.app
+                        ),
+                    },
                     Err(e) => eprintln!(
-                        "  warning: streamed re-timing of {} failed ({e}); \
+                        "  warning: cannot stream {} trace ({e}); \
                          falling back to the materialized trace",
                         self.app
                     ),
-                },
-                Err(e) => eprintln!(
-                    "  warning: cannot stream {} trace ({e}); \
-                     falling back to the materialized trace",
-                    self.app
-                ),
+                }
             }
-        }
-        model.run(&self.program, self.trace())
+            model.run(&self.program, self.trace())
+        })
     }
 }
 

@@ -18,6 +18,7 @@
 use crate::cache::{cache_key, load_or_generate, CacheOutcome, TraceCache};
 use crate::pipeline::AppRun;
 use lookahead_multiproc::SimConfig;
+use lookahead_obs::span;
 use lookahead_workloads::Workload;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -218,6 +219,7 @@ impl SharedRuns {
         config: &SimConfig,
     ) -> Result<Arc<AppRun>, String> {
         let key = cache_key(workload.name(), tier, config);
+        let asked = span::now_current();
         let (result, outcome) = self.flights.run(&key, || {
             match load_or_generate(self.cache.as_ref(), workload, tier, config) {
                 Ok((run, CacheOutcome::Hit)) => {
@@ -231,13 +233,23 @@ impl SharedRuns {
                 Err(e) => Err(e.to_string()),
             }
         });
+        // The leader's time is covered by the cache.lookup/generate
+        // spans its compute recorded; followers record how this
+        // request was satisfied instead (a wait on the leader, or an
+        // instant memo hit).
         match outcome {
             FlightOutcome::Led => {}
             FlightOutcome::Coalesced => {
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
+                if let Some(start) = asked {
+                    span::record_since("run.wait", start);
+                }
             }
             FlightOutcome::Memoized => {
                 self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(start) = asked {
+                    span::record_since("run.memo", start);
+                }
             }
         }
         result

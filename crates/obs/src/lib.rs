@@ -17,6 +17,13 @@
 //!   classifies every stalled cycle into the paper-aligned taxonomy
 //!   (read-miss, write-miss, acquire, ROB-full, fetch-limit, true
 //!   dependence) and reconciles with the run's breakdown.
+//! * [`span::TraceContext`] — request-scoped monotonic spans with
+//!   parent/child links and deterministic request ids, threaded from
+//!   the serve tier through the harness pipeline.
+//! * [`log`] — leveled, structured JSONL logging to stderr, filtered
+//!   by the `LOOKAHEAD_LOG` environment variable.
+//! * [`prom`] — Prometheus text-exposition rendering of a registry
+//!   (plus [`metrics::ShardedMetrics`] for contention-free serving).
 //!
 //! # Wiring
 //!
@@ -43,11 +50,15 @@
 pub mod attr;
 pub mod journal;
 pub mod json;
+pub mod log;
 pub mod metrics;
+pub mod prom;
+pub mod span;
 
 pub use attr::{StallAttribution, StallCause, StallClass, StallSite};
 pub use journal::{Event, EventJournal, EventKind, JournalReadError, DEFAULT_JOURNAL_CAPACITY};
-pub use metrics::{Histogram, Metric, MetricsRegistry};
+pub use metrics::{Histogram, Metric, MetricsRegistry, ShardedMetrics};
+pub use span::{SpanRecord, TraceContext, TraceScope};
 
 use std::cell::RefCell;
 

@@ -9,6 +9,8 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::hash::{Hash as _, Hasher as _};
+use std::sync::Mutex;
 
 /// A power-of-two-bucketed histogram of `u64` samples.
 ///
@@ -299,6 +301,68 @@ impl MetricsRegistry {
     }
 }
 
+/// A sharded registry for hot concurrent writers: each calling thread
+/// hashes onto one of a fixed set of `Mutex<MetricsRegistry>` shards,
+/// so request workers updating metrics contend only with threads that
+/// happen to share a shard — never with a scrape, which locks shards
+/// *one at a time* and merges them into a snapshot.
+///
+/// Merging is deterministic: counters and histogram buckets add (so
+/// any distribution of the same updates across shards merges to the
+/// same registry), and the merged map is sorted by path as always.
+/// Gauges remain last-write-wins per shard; use them for values where
+/// any recent write is acceptable.
+#[derive(Debug)]
+pub struct ShardedMetrics {
+    shards: Vec<Mutex<MetricsRegistry>>,
+}
+
+impl ShardedMetrics {
+    /// A sharded registry with `shards` shards (at least 1).
+    pub fn new(shards: usize) -> ShardedMetrics {
+        ShardedMetrics {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(MetricsRegistry::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for_thread(&self) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Runs `f` against the calling thread's shard.
+    pub fn with<T>(&self, f: impl FnOnce(&mut MetricsRegistry) -> T) -> T {
+        self.with_shard(self.shard_for_thread(), f)
+    }
+
+    /// Runs `f` against a specific shard (tests and deterministic
+    /// setups; `i` wraps modulo the shard count).
+    pub fn with_shard<T>(&self, i: usize, f: impl FnOnce(&mut MetricsRegistry) -> T) -> T {
+        let mut shard = self.shards[i % self.shards.len()]
+            .lock()
+            .expect("metrics shard poisoned");
+        f(&mut shard)
+    }
+
+    /// A merged snapshot of all shards (shard order, which is fixed,
+    /// so the merge is deterministic for a given set of shard states).
+    pub fn merged(&self) -> MetricsRegistry {
+        let mut out = MetricsRegistry::new();
+        for shard in &self.shards {
+            out.merge(&shard.lock().expect("metrics shard poisoned"));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,6 +377,41 @@ mod tests {
         assert_eq!(bucket_index(7), 3);
         assert_eq!(bucket_index(8), 4);
         assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn sharded_writes_merge_to_exact_totals() {
+        let shards = ShardedMetrics::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for v in 0..100u64 {
+                        shards.with(|r| {
+                            r.inc("t.count", 1);
+                            r.observe("t.lat", v);
+                        });
+                    }
+                });
+            }
+        });
+        let merged = shards.merged();
+        assert_eq!(merged.counter("t.count"), 800);
+        match merged.get("t.lat") {
+            Some(Metric::Histogram(h)) => {
+                assert_eq!(h.count(), 800);
+                assert_eq!(h.sum(), 8 * (0..100).sum::<u64>());
+                assert_eq!(h.max(), 99);
+            }
+            other => panic!("t.lat missing: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_one() {
+        let shards = ShardedMetrics::new(0);
+        assert_eq!(shards.shards(), 1);
+        shards.with(|r| r.inc("a", 1));
+        assert_eq!(shards.merged().counter("a"), 1);
     }
 
     #[test]

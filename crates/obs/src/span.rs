@@ -1,0 +1,413 @@
+//! Request-scoped tracing: monotonic-clock spans with parent/child
+//! links under a per-request [`TraceContext`].
+//!
+//! The serve tier answers "where did this request's time go?" with a
+//! span tree: the transport opens a context at accept time (so queue
+//! wait is measurable), gives it a deterministic request id, and every
+//! pipeline stage underneath — cache lookup, trace generation, archive
+//! write, per-cell re-timing, report render — records a span against
+//! whatever context the current thread carries. The model mirrors the
+//! crate's [`Recorder`](crate::Recorder) pattern: a **thread-local
+//! scope** that instrumentation sites consult through
+//! [`record_current`], which is a cheap no-op when no request is being
+//! traced (CLI paths, benches, untraced tests pay nothing).
+//!
+//! Design points:
+//!
+//! * **Monotonic time only.** Every timestamp is microseconds since
+//!   the context's epoch (`Instant`-based); wall-clock never enters a
+//!   span, so traces are immune to clock steps.
+//! * **Deterministic request ids.** Ids come from a process-wide
+//!   counter (`req-000000000001`, ...), not randomness, so tests and
+//!   log correlation are reproducible.
+//! * **Cross-thread by construction.** A context is `Clone + Send`;
+//!   the harness worker pool captures the caller's scope and installs
+//!   it in each worker, so per-cell re-timing spans land in the same
+//!   request tree with the right parent.
+//! * **Flat JSONL.** [`render_spans_jsonl`] emits one flat JSON object
+//!   per span per line — exactly the shape
+//!   [`parse_flat_object`](crate::json::parse_flat_object) reads back,
+//!   which is what the `trace_tool spans` analyzer consumes.
+
+use crate::json::JsonObject;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One finished span: `[start_us, start_us + dur_us)` relative to the
+/// owning context's epoch. `parent == 0` means top-level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span id, unique within the context, allocated from 1.
+    pub id: u32,
+    /// Parent span id, or 0 for a top-level span.
+    pub parent: u32,
+    /// Stage name (`"queue"`, `"generate"`, `"retime.cell"`, ...).
+    pub name: String,
+    /// Microseconds from the context epoch to the span start.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+struct TraceInner {
+    request_id: String,
+    epoch: Instant,
+    next_id: AtomicU32,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// A per-request trace: a request id, a monotonic epoch, and the spans
+/// recorded so far. Cheap to clone (an `Arc`); clones share the same
+/// trace.
+#[derive(Clone)]
+pub struct TraceContext {
+    inner: Arc<TraceInner>,
+}
+
+/// Process-wide request-id counter (deterministic, monotonic).
+static NEXT_REQUEST: AtomicU64 = AtomicU64::new(0);
+
+/// The next deterministic request id (`req-000000000001`, ...).
+pub fn next_request_id() -> String {
+    let n = NEXT_REQUEST.fetch_add(1, Ordering::Relaxed) + 1;
+    format!("req-{n:012}")
+}
+
+/// Whether `id` is acceptable as a client-supplied request id: 1..=64
+/// bytes of `[A-Za-z0-9._-]` (safe to echo into headers and logs).
+pub fn valid_request_id(id: &str) -> bool {
+    (1..=64).contains(&id.len())
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+impl TraceContext {
+    /// A context whose epoch is now.
+    pub fn new(request_id: impl Into<String>) -> TraceContext {
+        TraceContext::with_epoch(request_id, Instant::now())
+    }
+
+    /// A context with an explicit epoch (e.g. the accept time, so the
+    /// queue wait that happened *before* the context existed can still
+    /// be recorded as `[0, queue_us)`).
+    pub fn with_epoch(request_id: impl Into<String>, epoch: Instant) -> TraceContext {
+        TraceContext {
+            inner: Arc::new(TraceInner {
+                request_id: request_id.into(),
+                epoch,
+                next_id: AtomicU32::new(1),
+                spans: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The request id this trace belongs to.
+    pub fn request_id(&self) -> &str {
+        &self.inner.request_id
+    }
+
+    /// Microseconds elapsed since the context epoch.
+    pub fn now_us(&self) -> u64 {
+        self.inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Allocates a span id without recording anything yet (for spans
+    /// whose children must reference them before they finish).
+    pub fn alloc_id(&self) -> u32 {
+        self.inner.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Appends an already-built record (id from [`alloc_id`]).
+    ///
+    /// [`alloc_id`]: TraceContext::alloc_id
+    pub fn push(&self, record: SpanRecord) {
+        self.inner
+            .spans
+            .lock()
+            .expect("span list poisoned")
+            .push(record);
+    }
+
+    /// Records a finished span and returns its id.
+    pub fn record(&self, name: &str, parent: u32, start_us: u64, dur_us: u64) -> u32 {
+        let id = self.alloc_id();
+        self.push(SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            start_us,
+            dur_us,
+        });
+        id
+    }
+
+    /// The spans recorded so far, ordered by start time (ties by id,
+    /// so the order is deterministic however threads interleaved).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let mut spans = self.inner.spans.lock().expect("span list poisoned").clone();
+        spans.sort_by_key(|s| (s.start_us, s.id));
+        spans
+    }
+}
+
+impl std::fmt::Debug for TraceContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceContext")
+            .field("request_id", &self.inner.request_id)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The thread's active trace position: which context, and which span
+/// the next recorded span is a child of.
+#[derive(Clone)]
+pub struct TraceScope {
+    /// The request's trace.
+    pub ctx: TraceContext,
+    /// Parent id for spans recorded under this scope (0 = top level).
+    pub parent: u32,
+}
+
+impl TraceScope {
+    pub fn new(ctx: TraceContext, parent: u32) -> TraceScope {
+        TraceScope { ctx, parent }
+    }
+}
+
+thread_local! {
+    static SCOPE: RefCell<Option<TraceScope>> = const { RefCell::new(None) };
+}
+
+/// Installs `scope` as this thread's trace scope, returning the
+/// previous one (restore it when done — the worker pool does).
+pub fn set_scope(scope: Option<TraceScope>) -> Option<TraceScope> {
+    SCOPE.with(|s| std::mem::replace(&mut *s.borrow_mut(), scope))
+}
+
+/// This thread's trace scope, if a request is being traced.
+pub fn current_scope() -> Option<TraceScope> {
+    SCOPE.with(|s| s.borrow().clone())
+}
+
+/// The request id the current thread is working for, if any (log lines
+/// use this to stay correlatable without plumbing ids through APIs).
+pub fn current_request_id() -> Option<String> {
+    SCOPE.with(|s| {
+        s.borrow()
+            .as_ref()
+            .map(|scope| scope.ctx.request_id().to_string())
+    })
+}
+
+/// Runs `f` as a span named `name` under the current scope; while `f`
+/// runs, the scope's parent is the new span, so nested calls become
+/// children. With no scope installed this is a cheap passthrough.
+pub fn record_current<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let Some(scope) = current_scope() else {
+        return f();
+    };
+    let id = scope.ctx.alloc_id();
+    let start = scope.ctx.now_us();
+    SCOPE.with(|s| {
+        if let Some(cur) = s.borrow_mut().as_mut() {
+            cur.parent = id;
+        }
+    });
+    let out = f();
+    SCOPE.with(|s| {
+        if let Some(cur) = s.borrow_mut().as_mut() {
+            cur.parent = scope.parent;
+        }
+    });
+    scope.ctx.push(SpanRecord {
+        id,
+        parent: scope.parent,
+        name: name.to_string(),
+        start_us: start,
+        dur_us: scope.ctx.now_us().saturating_sub(start),
+    });
+    out
+}
+
+/// Records a span named `name` covering `[start_us, now)` under the
+/// current scope (for stages timed around a call that could not be
+/// wrapped, e.g. a coalesced single-flight wait).
+pub fn record_since(name: &str, start_us: u64) {
+    if let Some(scope) = current_scope() {
+        let now = scope.ctx.now_us();
+        scope
+            .ctx
+            .record(name, scope.parent, start_us, now.saturating_sub(start_us));
+    }
+}
+
+/// `now_us` of the current scope's context, or `None` untraced.
+/// Pairs with [`record_since`].
+pub fn now_current() -> Option<u64> {
+    current_scope().map(|s| s.ctx.now_us())
+}
+
+/// Renders the context's spans as flat JSONL: one object per span per
+/// line, each carrying the request id, readable back with
+/// [`parse_flat_object`](crate::json::parse_flat_object).
+pub fn render_spans_jsonl(ctx: &TraceContext) -> String {
+    let mut out = String::new();
+    for s in ctx.spans() {
+        let _ = writeln!(
+            out,
+            "{}",
+            JsonObject::render(|o| {
+                o.str("request_id", ctx.request_id())
+                    .u64("span", s.id as u64)
+                    .u64("parent", s.parent as u64)
+                    .str("name", &s.name)
+                    .u64("start_us", s.start_us)
+                    .u64("dur_us", s.dur_us);
+            })
+        );
+    }
+    out
+}
+
+/// Renders the context's span tree as one nested JSON object (the
+/// `/v1/debug/trace/<id>` body): request id, total duration, and the
+/// spans in start order with their parent links.
+pub fn render_trace_json(ctx: &TraceContext, target: &str, status: u16) -> String {
+    let spans = ctx.spans();
+    let total = spans
+        .iter()
+        .map(|s| s.start_us + s.dur_us)
+        .max()
+        .unwrap_or(0);
+    JsonObject::render(|o| {
+        o.str("request_id", ctx.request_id())
+            .str("target", target)
+            .u64("status", status as u64)
+            .u64("total_us", total);
+        o.array("spans", |a| {
+            for s in &spans {
+                a.object(|so| {
+                    so.u64("span", s.id as u64)
+                        .u64("parent", s.parent as u64)
+                        .str("name", &s.name)
+                        .u64("start_us", s.start_us)
+                        .u64("dur_us", s.dur_us);
+                });
+            }
+        });
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ids_are_deterministic_in_format_and_monotonic() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert!(a.starts_with("req-") && a.len() == 16, "{a}");
+        assert!(valid_request_id(&a));
+        let na: u64 = a[4..].parse().unwrap();
+        let nb: u64 = b[4..].parse().unwrap();
+        assert_eq!(nb, na + 1);
+    }
+
+    #[test]
+    fn client_request_id_validation() {
+        assert!(valid_request_id("req-000000000001"));
+        assert!(valid_request_id("a.b_C-9"));
+        assert!(!valid_request_id(""));
+        assert!(!valid_request_id(&"x".repeat(65)));
+        assert!(!valid_request_id("has space"));
+        assert!(!valid_request_id("inject\r\nheader"));
+    }
+
+    #[test]
+    fn nesting_reconciles_with_wall_time() {
+        let ctx = TraceContext::new("req-test");
+        let prev = set_scope(Some(TraceScope::new(ctx.clone(), 0)));
+        record_current("outer", || {
+            std::thread::sleep(std::time::Duration::from_millis(4));
+            record_current("inner", || {
+                std::thread::sleep(std::time::Duration::from_millis(4));
+            });
+        });
+        set_scope(prev);
+
+        let spans = ctx.spans();
+        assert_eq!(spans.len(), 2);
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        // Parent/child link, and the child's interval nested inside
+        // the parent's.
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer.id);
+        assert!(inner.start_us >= outer.start_us);
+        assert!(inner.start_us + inner.dur_us <= outer.start_us + outer.dur_us);
+        // Both slept ≥ 4ms; the outer covers the inner.
+        assert!(inner.dur_us >= 4_000, "{inner:?}");
+        assert!(outer.dur_us >= inner.dur_us + 4_000, "{spans:?}");
+    }
+
+    #[test]
+    fn scope_crosses_threads_and_keeps_parents() {
+        let ctx = TraceContext::new("req-x");
+        let root = ctx.alloc_id();
+        let scope = TraceScope::new(ctx.clone(), root);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let scope = scope.clone();
+                s.spawn(move || {
+                    set_scope(Some(scope));
+                    record_current("cell", || {});
+                    set_scope(None);
+                });
+            }
+        });
+        let spans = ctx.spans();
+        assert_eq!(spans.len(), 3);
+        assert!(spans.iter().all(|s| s.name == "cell" && s.parent == root));
+    }
+
+    #[test]
+    fn untraced_threads_pay_only_a_passthrough() {
+        assert!(current_scope().is_none());
+        assert_eq!(record_current("ignored", || 7), 7);
+        assert!(now_current().is_none());
+        record_since("ignored", 0); // no-op, must not panic
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back_as_flat_objects() {
+        let ctx = TraceContext::new("req-000000000042");
+        ctx.record("queue", 0, 0, 120);
+        ctx.record("handler", 0, 120, 900);
+        let text = render_spans_jsonl(&ctx);
+        let mut lines = 0;
+        for line in text.lines() {
+            let obj = crate::json::parse_flat_object(line).expect("flat span line");
+            assert_eq!(
+                obj.get("request_id").and_then(|v| v.as_str()),
+                Some("req-000000000042")
+            );
+            assert!(obj.get("dur_us").and_then(|v| v.as_u64()).is_some());
+            lines += 1;
+        }
+        assert_eq!(lines, 2);
+    }
+
+    #[test]
+    fn trace_json_totals_the_latest_span_end() {
+        let ctx = TraceContext::new("r");
+        ctx.record("a", 0, 0, 10);
+        ctx.record("b", 0, 5, 20);
+        let body = render_trace_json(&ctx, "/v1/x", 200);
+        assert!(body.contains("\"total_us\":25"), "{body}");
+        assert!(body.contains("\"status\":200"), "{body}");
+    }
+}

@@ -28,6 +28,10 @@ pub struct Request {
     pub path: String,
     /// Percent-decoded `key=value` pairs in the order sent.
     pub query: Vec<(String, String)>,
+    /// A client-supplied `X-Request-Id` header, kept only when it is
+    /// safe to echo (see [`lookahead_obs::span::valid_request_id`]);
+    /// the transport mints a deterministic id otherwise.
+    pub request_id: Option<String>,
 }
 
 impl Request {
@@ -197,6 +201,7 @@ fn parse_head(head: &[u8]) -> Result<Request, RequestError> {
 
     // Headers: bounded, and a body announcement is rejected outright.
     let mut count = 0usize;
+    let mut request_id = None;
     for line in lines {
         if line.is_empty() {
             break;
@@ -218,6 +223,11 @@ fn parse_head(head: &[u8]) -> Result<Request, RequestError> {
         if name == "transfer-encoding" {
             return Err(RequestError::BodyUnsupported);
         }
+        // Honor a client correlation id only when it is safe to echo
+        // into a response header and logs; junk is ignored, not a 4xx.
+        if name == "x-request-id" && lookahead_obs::span::valid_request_id(value) {
+            request_id = Some(value.to_string());
+        }
     }
 
     let (path, query) = match target.split_once('?') {
@@ -233,6 +243,7 @@ fn parse_head(head: &[u8]) -> Result<Request, RequestError> {
         method: method.to_string(),
         path: percent_decode(path),
         query: parse_query(query),
+        request_id,
     })
 }
 
@@ -296,16 +307,30 @@ pub struct Response {
     pub content_type: &'static str,
     pub body: String,
     pub retry_after: Option<u32>,
+    /// Echoed as `X-Request-Id` on every transport-written response
+    /// (success, 4xx/5xx, and 503 backpressure alike).
+    pub request_id: Option<String>,
+    /// `Server-Timing` header value (per-stage durations for clients
+    /// like `loadgen`); the transport fills this from the span tree.
+    pub server_timing: Option<String>,
 }
 
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, body: String) -> Response {
+        Response::with_type(status, "application/json", body)
+    }
+
+    /// A response with an explicit content type (e.g. the Prometheus
+    /// text exposition).
+    pub fn with_type(status: u16, content_type: &'static str, body: String) -> Response {
         Response {
             status,
-            content_type: "application/json",
+            content_type,
             body,
             retry_after: None,
+            request_id: None,
+            server_timing: None,
         }
     }
 }
@@ -325,6 +350,12 @@ pub fn write_response(stream: &mut impl Write, response: &Response) -> io::Resul
     );
     if let Some(secs) = response.retry_after {
         head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    if let Some(id) = &response.request_id {
+        head.push_str(&format!("X-Request-Id: {id}\r\n"));
+    }
+    if let Some(timing) = &response.server_timing {
+        head.push_str(&format!("Server-Timing: {timing}\r\n"));
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
@@ -456,6 +487,37 @@ mod tests {
         assert!(text.contains("Content-Length: 7\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"a\":1}"));
+    }
+
+    #[test]
+    fn client_request_ids_are_kept_only_when_safe() {
+        let r = parse(b"GET / HTTP/1.1\r\nX-Request-Id: client-42\r\n\r\n").unwrap();
+        assert_eq!(r.request_id.as_deref(), Some("client-42"));
+        // Unsafe ids (header injection, junk) are dropped, not a 4xx.
+        let r = parse(b"GET / HTTP/1.1\r\nX-Request-Id: has space\r\n\r\n").unwrap();
+        assert_eq!(r.request_id, None);
+        let r = parse(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.request_id, None);
+    }
+
+    #[test]
+    fn request_id_and_server_timing_headers_are_written() {
+        let mut out = Vec::new();
+        let resp = Response {
+            request_id: Some("req-000000000009".into()),
+            server_timing: Some("queue;dur=0.120, handler;dur=3.400".into()),
+            ..Response::json(200, "{}".into())
+        };
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("X-Request-Id: req-000000000009\r\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("Server-Timing: queue;dur=0.120, handler;dur=3.400\r\n"),
+            "{text}"
+        );
     }
 
     #[test]

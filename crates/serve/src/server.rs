@@ -22,6 +22,8 @@ use crate::http::{read_request, write_response, RequestError, Response};
 use crate::service::ExperimentService;
 use crate::signal::sigint_received;
 use lookahead_obs::json::JsonObject;
+use lookahead_obs::log;
+use lookahead_obs::span::{self, TraceContext, TraceScope};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -104,7 +106,10 @@ struct ConnQueue {
 }
 
 struct QueueState {
-    conns: std::collections::VecDeque<TcpStream>,
+    /// Each connection carries the instant it was accepted, so the
+    /// worker that pops it can attribute queue wait to the request's
+    /// trace.
+    conns: std::collections::VecDeque<(TcpStream, Instant)>,
     closed: bool,
 }
 
@@ -128,12 +133,12 @@ impl ConnQueue {
     /// Queues a connection, or hands it back when the queue is full
     /// (the caller sends the 503 — the backpressure decision is made
     /// here, the response written by the acceptor).
-    fn push(&self, conn: TcpStream) -> Push {
+    fn push(&self, conn: TcpStream, accepted: Instant) -> Push {
         let mut state = self.queue.lock().expect("conn queue poisoned");
         if state.conns.len() >= self.depth {
             return Push::Full(conn);
         }
-        state.conns.push_back(conn);
+        state.conns.push_back((conn, accepted));
         drop(state);
         self.ready.notify_one();
         Push::Queued
@@ -141,7 +146,7 @@ impl ConnQueue {
 
     /// Pops the next connection, blocking; `None` once the queue is
     /// closed *and* empty (drain semantics: queued work is finished).
-    fn pop(&self) -> Option<TcpStream> {
+    fn pop(&self) -> Option<(TcpStream, Instant)> {
         let mut state = self.queue.lock().expect("conn queue poisoned");
         loop {
             if let Some(conn) = state.conns.pop_front() {
@@ -217,8 +222,8 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn_scoped(scope, move || {
-                        while let Some(conn) = queue.pop() {
-                            match serve_connection(conn, &service, &config) {
+                        while let Some((conn, accepted)) = queue.pop() {
+                            match serve_connection(conn, accepted, &service, &config) {
                                 Ok(()) => served.fetch_add(1, Ordering::Relaxed),
                                 Err(_) => aborted.fetch_add(1, Ordering::Relaxed),
                             };
@@ -238,13 +243,27 @@ impl Server {
                 match self.listener.accept() {
                     Ok((conn, _)) => {
                         stats.accepted += 1;
-                        match queue.push(conn) {
+                        match queue.push(conn, Instant::now()) {
                             Push::Queued => {}
                             Push::Full(mut conn) => {
                                 stats.rejected += 1;
                                 service.record_rejected();
+                                // Even a rejected connection gets a
+                                // request id, so the client's retry
+                                // logs and ours can be joined.
+                                let rid = span::next_request_id();
+                                log::warn(
+                                    "serve.http",
+                                    "connection queue full; rejecting with 503",
+                                    &[
+                                        ("request_id", &rid),
+                                        ("queue_depth", &self.config.queue_depth.to_string()),
+                                    ],
+                                );
+                                let mut response = overloaded();
+                                response.request_id = Some(rid);
                                 let _ = conn.set_write_timeout(Some(self.config.write_timeout));
-                                let _ = write_response(&mut conn, &overloaded());
+                                let _ = write_response(&mut conn, &response);
                             }
                         }
                     }
@@ -284,25 +303,94 @@ fn overloaded() -> Response {
 }
 
 /// Serves one connection: one request, one response, close.
+///
+/// Every parsed request gets a [`TraceContext`] whose epoch is the
+/// accept instant, so the span tree covers the request's whole life:
+/// `queue` (accept → worker pop), `parse`, `handler` (with the
+/// service's and harness's nested spans underneath), and `write`, all
+/// children of a root `request` span. The id rides back on
+/// `X-Request-Id`, the root-level stage durations on `Server-Timing`,
+/// and the finished tree lands in the service's debug ring / span log.
 fn serve_connection(
     mut conn: TcpStream,
+    accepted: Instant,
     service: &ExperimentService,
     config: &ServerConfig,
 ) -> io::Result<()> {
     conn.set_read_timeout(Some(config.read_timeout))?;
     conn.set_write_timeout(Some(config.write_timeout))?;
-    let started = Instant::now();
-    let response = match read_request(&mut conn) {
-        Ok(request) => service.handle(&request),
+    let popped = Instant::now();
+    let queue_us = popped.duration_since(accepted).as_micros() as u64;
+    service.record_queue_wait(queue_us);
+    match read_request(&mut conn) {
+        Ok(request) => {
+            let parsed = Instant::now();
+            let rid = request
+                .request_id
+                .clone()
+                .unwrap_or_else(span::next_request_id);
+            let ctx = TraceContext::with_epoch(rid.clone(), accepted);
+            let root = ctx.alloc_id();
+            ctx.record("queue", root, 0, queue_us);
+            ctx.record(
+                "parse",
+                root,
+                queue_us,
+                parsed.duration_since(popped).as_micros() as u64,
+            );
+            let prev = span::set_scope(Some(TraceScope::new(ctx.clone(), root)));
+            let mut response = span::record_current("handler", || service.handle(&request));
+            span::set_scope(prev);
+            response.request_id = Some(rid);
+            response.server_timing = Some(server_timing(&ctx, root));
+            let write_start = ctx.now_us();
+            let written = write_response(&mut conn, &response);
+            ctx.record("write", root, write_start, ctx.now_us() - write_start);
+            ctx.record("request", 0, 0, ctx.now_us());
+            // Keep the finished trace (ring + span log) even when the
+            // peer vanished mid-write: the failure is exactly when the
+            // trace is wanted.
+            service.finish_request(&ctx, &request.path, response.status);
+            service.record_http(popped.elapsed().as_micros() as u64);
+            written
+        }
         Err(e) => match e.status() {
-            Some(status) => error_response(status, &e),
+            Some(status) => {
+                let rid = span::next_request_id();
+                log::warn(
+                    "serve.http",
+                    "request parse failed",
+                    &[
+                        ("request_id", &rid),
+                        ("status", &status.to_string()),
+                        ("error", &format!("{e:?}")),
+                    ],
+                );
+                let mut response = error_response(status, &e);
+                response.request_id = Some(rid);
+                let written = write_response(&mut conn, &response);
+                service.record_http(popped.elapsed().as_micros() as u64);
+                written
+            }
             // Nothing sensible to write (peer gone); count as aborted.
-            None => return Err(io_error(e)),
+            None => Err(io_error(e)),
         },
-    };
-    write_response(&mut conn, &response)?;
-    service.record_http(started.elapsed().as_micros() as u64);
-    Ok(())
+    }
+}
+
+/// Renders a `Server-Timing` header value from the root-level
+/// transport spans (`queue`, `parse`, `handler`), in span order, as
+/// `name;dur=<ms>` entries. Nested handler work stays out of the
+/// header (it is in the trace); clients get the coarse where-did-the-
+/// time-go split without asking for the full tree.
+fn server_timing(ctx: &TraceContext, root: u32) -> String {
+    let mut parts = Vec::new();
+    for s in ctx.spans() {
+        if s.parent == root && matches!(s.name.as_str(), "queue" | "parse" | "handler") {
+            parts.push(format!("{};dur={:.3}", s.name, s.dur_us as f64 / 1000.0));
+        }
+    }
+    parts.join(", ")
 }
 
 fn error_response(status: u16, e: &RequestError) -> Response {

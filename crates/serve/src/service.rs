@@ -41,11 +41,23 @@ use lookahead_harness::tier::SizeTier;
 use lookahead_harness::TraceCache;
 use lookahead_multiproc::SimConfig;
 use lookahead_obs::json::JsonObject;
-use lookahead_obs::metrics::MetricsRegistry;
+use lookahead_obs::metrics::{MetricsRegistry, ShardedMetrics};
+use lookahead_obs::span::{self, TraceContext};
+use lookahead_obs::{log, prom};
 use lookahead_trace::Breakdown;
 use lookahead_workloads::App;
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Metric shards for hot-path counters (a small power of two: enough
+/// that a handful of workers rarely collide, cheap to merge).
+const METRIC_SHARDS: usize = 16;
+
+/// Finished request traces kept for `/v1/debug/trace/<id>`.
+const TRACE_RING_CAPACITY: usize = 64;
 
 /// Service-level configuration (transport knobs live in
 /// [`ServerConfig`](crate::server::ServerConfig)).
@@ -57,6 +69,10 @@ pub struct ServiceConfig {
     pub sim: SimConfig,
     /// Worker threads for the re-timing pool of sweep queries.
     pub retime_workers: usize,
+    /// Append every finished request's spans (flat JSONL, one span per
+    /// line) to this file; `None` disables the sink. The in-memory
+    /// `/v1/debug/trace/<id>` ring works either way.
+    pub span_log: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +81,7 @@ impl Default for ServiceConfig {
             default_tier: SizeTier::Default,
             sim: SimConfig::default(),
             retime_workers: 1,
+            span_log: None,
         }
     }
 }
@@ -154,23 +171,52 @@ pub struct ExperimentService {
     config: ServiceConfig,
     runs: SharedRuns,
     bodies: SingleFlight<Result<Arc<String>, ApiError>>,
-    metrics: Mutex<MetricsRegistry>,
+    /// Sharded so request workers bumping counters never serialize on
+    /// one lock (and never contend with a `/metrics` scrape, which
+    /// merges shard snapshots one at a time).
+    metrics: ShardedMetrics,
     flights_led: AtomicU64,
     flights_coalesced: AtomicU64,
     flights_memoized: AtomicU64,
+    /// Most recent finished request traces, newest at the back.
+    traces: Mutex<VecDeque<(String, String)>>,
+    span_sink: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
 }
 
 impl ExperimentService {
     /// A service over an optional on-disk trace cache.
     pub fn new(config: ServiceConfig, cache: Option<TraceCache>) -> ExperimentService {
+        let span_sink =
+            config.span_log.as_ref().and_then(|path| {
+                match std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                {
+                    Ok(f) => Some(Mutex::new(std::io::BufWriter::new(f))),
+                    Err(e) => {
+                        log::warn(
+                            "serve.spans",
+                            "cannot open span log; spans will not be persisted",
+                            &[
+                                ("path", &path.display().to_string()),
+                                ("error", &e.to_string()),
+                            ],
+                        );
+                        None
+                    }
+                }
+            });
         ExperimentService {
             config,
             runs: SharedRuns::new(cache),
             bodies: SingleFlight::new(),
-            metrics: Mutex::new(MetricsRegistry::new()),
+            metrics: ShardedMetrics::new(METRIC_SHARDS),
             flights_led: AtomicU64::new(0),
             flights_coalesced: AtomicU64::new(0),
             flights_memoized: AtomicU64::new(0),
+            traces: Mutex::new(VecDeque::new()),
+            span_sink,
         }
     }
 
@@ -190,7 +236,8 @@ impl ExperimentService {
     }
 
     /// Routes one parsed request to a response. Bodies are
-    /// deterministic for every route except `/metrics`.
+    /// deterministic for every route except `/metrics`,
+    /// `/metrics.json` and `/v1/debug/trace/<id>`.
     pub fn handle(&self, request: &Request) -> Response {
         self.count("serve.http.requests", 1);
         let result = match request.path.as_str() {
@@ -200,7 +247,12 @@ impl ExperimentService {
                     o.str("status", "ok");
                 }),
             )),
-            "/metrics" => Ok(Response::json(200, self.metrics_body())),
+            "/metrics" => Ok(Response::with_type(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                prom::render(&self.metrics_snapshot()),
+            )),
+            "/metrics.json" => Ok(Response::json(200, self.metrics_body())),
             "/v1/apps" => Ok(Response::json(200, self.apps_body())),
             "/v1/experiments" => {
                 self.report(request, Self::experiments_key, Self::experiments_body)
@@ -208,13 +260,34 @@ impl ExperimentService {
             "/v1/figure3" => self.report(request, Self::figure_key::<3>, Self::figure3_body),
             "/v1/figure4" => self.report(request, Self::figure_key::<4>, Self::figure4_body),
             "/v1/summary" => self.report(request, Self::summary_key, Self::summary_body),
-            other => Err(ApiError::NotFound(format!("no route {other:?}"))),
+            other => match other.strip_prefix("/v1/debug/trace/") {
+                Some(id) => self.debug_trace(id),
+                None => Err(ApiError::NotFound(format!("no route {other:?}"))),
+            },
         };
         let response = match result {
             Ok(r) => r,
             Err(e) => e.into_response(),
         };
         self.count(&format!("serve.http.status.{}", response.status), 1);
+        if response.status >= 400 {
+            // Structured error lines carry the request id automatically
+            // when the transport installed a trace scope.
+            let level = if response.status >= 500 {
+                log::Level::Error
+            } else {
+                log::Level::Warn
+            };
+            log::log(
+                level,
+                "serve.http",
+                "request failed",
+                &[
+                    ("target", request.path.as_str()),
+                    ("status", &response.status.to_string()),
+                ],
+            );
+        }
         response
     }
 
@@ -227,30 +300,91 @@ impl ExperimentService {
         body: impl Fn(&Self, &Request) -> Result<String, ApiError>,
     ) -> Result<Response, ApiError> {
         let key = key(self, request)?;
+        let asked = span::now_current();
         let (result, outcome) = self.bodies.run(&key, || body(self, request).map(Arc::new));
+        // A leading request's time shows up as its handler-stage spans;
+        // followers record how they were satisfied instead.
         match outcome {
-            FlightOutcome::Led => self.flights_led.fetch_add(1, Ordering::Relaxed),
-            FlightOutcome::Coalesced => self.flights_coalesced.fetch_add(1, Ordering::Relaxed),
-            FlightOutcome::Memoized => self.flights_memoized.fetch_add(1, Ordering::Relaxed),
+            FlightOutcome::Led => {
+                self.flights_led.fetch_add(1, Ordering::Relaxed);
+            }
+            FlightOutcome::Coalesced => {
+                self.flights_coalesced.fetch_add(1, Ordering::Relaxed);
+                if let Some(start) = asked {
+                    span::record_since("flight.wait", start);
+                }
+            }
+            FlightOutcome::Memoized => {
+                self.flights_memoized.fetch_add(1, Ordering::Relaxed);
+                if let Some(start) = asked {
+                    span::record_since("flight.memo", start);
+                }
+            }
         };
         result.map(|b| Response::json(200, (*b).clone()))
     }
 
     fn count(&self, path: &str, by: u64) {
-        self.metrics.lock().expect("metrics poisoned").inc(path, by);
+        self.metrics.with(|r| r.inc(path, by));
     }
 
     /// Records one served HTTP response (called by the transport).
     pub fn record_http(&self, micros: u64) {
         self.metrics
-            .lock()
-            .expect("metrics poisoned")
-            .observe("serve.http.latency_micros", micros);
+            .with(|r| r.observe("serve.http.latency_micros", micros));
+    }
+
+    /// Records how long a connection waited in the accept queue before
+    /// a worker picked it up (called by the transport).
+    pub fn record_queue_wait(&self, micros: u64) {
+        self.metrics
+            .with(|r| r.observe("serve.http.queue_wait_micros", micros));
     }
 
     /// Records a backpressure rejection (called by the transport).
     pub fn record_rejected(&self) {
         self.count("serve.http.rejected_503", 1);
+    }
+
+    /// Files a finished request's trace: into the debug ring (served
+    /// by `/v1/debug/trace/<id>`) and, when configured, the span JSONL
+    /// sink. Called by the transport after the response is written.
+    pub fn finish_request(&self, ctx: &TraceContext, target: &str, status: u16) {
+        let rendered = span::render_trace_json(ctx, target, status);
+        {
+            let mut ring = self.traces.lock().expect("trace ring poisoned");
+            ring.push_back((ctx.request_id().to_string(), rendered));
+            while ring.len() > TRACE_RING_CAPACITY {
+                ring.pop_front();
+            }
+        }
+        if let Some(sink) = &self.span_sink {
+            let lines = span::render_spans_jsonl(ctx);
+            let mut w = sink.lock().expect("span sink poisoned");
+            // Flush per request so the file is complete even if the
+            // process is killed rather than drained.
+            if w.write_all(lines.as_bytes())
+                .and_then(|()| w.flush())
+                .is_err()
+            {
+                log::warn("serve.spans", "failed to append to the span log", &[]);
+            }
+        }
+    }
+
+    /// `/v1/debug/trace/<id>`: the retained trace for a recent request.
+    fn debug_trace(&self, id: &str) -> Result<Response, ApiError> {
+        let ring = self.traces.lock().expect("trace ring poisoned");
+        ring.iter()
+            .rev()
+            .find(|(rid, _)| rid == id)
+            .map(|(_, body)| Response::json(200, body.clone()))
+            .ok_or_else(|| {
+                ApiError::NotFound(format!(
+                    "no retained trace for request id {id:?} \
+                     (the ring keeps the last {TRACE_RING_CAPACITY} requests)"
+                ))
+            })
     }
 
     // ---- query validation ----------------------------------------
@@ -420,10 +554,11 @@ impl ExperimentService {
         })
     }
 
-    /// `/metrics`: the service registry plus run-resolver and
-    /// single-flight accounting. The only non-deterministic body.
-    fn metrics_body(&self) -> String {
-        let mut snapshot = self.metrics.lock().expect("metrics poisoned").clone();
+    /// The merged registry every metrics endpoint renders: the shards
+    /// merged (deterministically — counters and buckets add), plus the
+    /// run-resolver and single-flight accounting spliced in.
+    fn metrics_snapshot(&self) -> MetricsRegistry {
+        let mut snapshot = self.metrics.merged();
         let runs = self.runs.stats();
         snapshot.inc("serve.runs.generations", runs.generations);
         snapshot.inc("serve.runs.disk_hits", runs.disk_hits);
@@ -441,50 +576,62 @@ impl ExperimentService {
             "serve.flights.memoized",
             self.flights_memoized.load(Ordering::Relaxed),
         );
-        snapshot.to_json()
+        snapshot
+    }
+
+    /// `/metrics.json`: the merged registry as flat JSON (`/metrics`
+    /// serves the same snapshot in Prometheus text exposition).
+    fn metrics_body(&self) -> String {
+        self.metrics_snapshot().to_json()
     }
 
     fn experiments_body(&self, request: &Request) -> Result<String, ApiError> {
         let q = self.parse_experiment_query(request)?;
         let run = self.resolve(q.app, q.tier)?;
 
-        let base = run.retime(&Base);
-        let result: ExecutionResult = match q.model {
-            ModelKind::Base => base.clone(),
-            ModelKind::Ssbr => run.retime(&InOrder::ssbr(q.consistency)),
-            ModelKind::Ss => run.retime(&InOrder::ss(q.consistency)),
-            ModelKind::Ds => run.retime(&Ds::new(DsConfig {
-                issue_width: q.width,
-                ..DsConfig::with_model(q.consistency).window(q.window)
-            })),
-        };
-
-        Ok(JsonObject::render(|o| {
-            o.object("query", |qo| {
-                qo.str("app", q.app.name())
-                    .str("tier", q.tier.name())
-                    .str("model", q.model.name())
-                    .str("consistency", q.consistency.abbrev())
-                    .u64("window", q.window as u64)
-                    .u64("width", q.width as u64);
-            });
-            o.object("trace", |t| {
-                t.u64("instructions", run.trace_len() as u64)
-                    .u64("proc", run.proc as u64)
-                    .u64("mp_cycles", run.mp_cycles);
-            });
-            o.raw("base", &breakdown_json(&base.breakdown));
-            o.object("result", |r| {
-                write_breakdown_fields(r, &result.breakdown);
-                r.f64(
-                    "normalized",
-                    result.breakdown.normalized_to(&base.breakdown),
-                );
-                match result.breakdown.read_latency_hidden_vs(&base.breakdown) {
-                    Some(h) => r.f64("read_latency_hidden", h),
-                    None => r.null("read_latency_hidden"),
+        let (base, result): (ExecutionResult, ExecutionResult) =
+            span::record_current("retime", || {
+                let base = run.retime(&Base);
+                let result = match q.model {
+                    ModelKind::Base => base.clone(),
+                    ModelKind::Ssbr => run.retime(&InOrder::ssbr(q.consistency)),
+                    ModelKind::Ss => run.retime(&InOrder::ss(q.consistency)),
+                    ModelKind::Ds => run.retime(&Ds::new(DsConfig {
+                        issue_width: q.width,
+                        ..DsConfig::with_model(q.consistency).window(q.window)
+                    })),
                 };
+                (base, result)
             });
+
+        Ok(span::record_current("render", || {
+            JsonObject::render(|o| {
+                o.object("query", |qo| {
+                    qo.str("app", q.app.name())
+                        .str("tier", q.tier.name())
+                        .str("model", q.model.name())
+                        .str("consistency", q.consistency.abbrev())
+                        .u64("window", q.window as u64)
+                        .u64("width", q.width as u64);
+                });
+                o.object("trace", |t| {
+                    t.u64("instructions", run.trace_len() as u64)
+                        .u64("proc", run.proc as u64)
+                        .u64("mp_cycles", run.mp_cycles);
+                });
+                o.raw("base", &breakdown_json(&base.breakdown));
+                o.object("result", |r| {
+                    write_breakdown_fields(r, &result.breakdown);
+                    r.f64(
+                        "normalized",
+                        result.breakdown.normalized_to(&base.breakdown),
+                    );
+                    match result.breakdown.read_latency_hidden_vs(&base.breakdown) {
+                        Some(h) => r.f64("read_latency_hidden", h),
+                        None => r.null("read_latency_hidden"),
+                    };
+                });
+            })
         }))
     }
 
@@ -492,16 +639,24 @@ impl ExperimentService {
         let app = self.parse_app(request.param("app").expect("validated by key"))?;
         let tier = self.parse_tier(request)?;
         let run = self.resolve(app, tier)?;
-        let columns = figure3_with(&run, &PAPER_WINDOWS, self.config.retime_workers);
-        Ok(figure_body("figure3", app, tier, &columns))
+        let columns = span::record_current("retime", || {
+            figure3_with(&run, &PAPER_WINDOWS, self.config.retime_workers)
+        });
+        Ok(span::record_current("render", || {
+            figure_body("figure3", app, tier, &columns)
+        }))
     }
 
     fn figure4_body(&self, request: &Request) -> Result<String, ApiError> {
         let app = self.parse_app(request.param("app").expect("validated by key"))?;
         let tier = self.parse_tier(request)?;
         let run = self.resolve(app, tier)?;
-        let columns = figure4_with(&run, &PAPER_WINDOWS, self.config.retime_workers);
-        Ok(figure_body("figure4", app, tier, &columns))
+        let columns = span::record_current("retime", || {
+            figure4_with(&run, &PAPER_WINDOWS, self.config.retime_workers)
+        });
+        Ok(span::record_current("render", || {
+            figure_body("figure4", app, tier, &columns)
+        }))
     }
 
     /// The §7 headline matrix: per-app hidden-read-latency fractions
@@ -527,7 +682,8 @@ impl ExperimentService {
                 }));
             }
         }
-        let results = run_ordered(jobs, self.config.retime_workers);
+        let results =
+            span::record_current("retime", || run_ordered(jobs, self.config.retime_workers));
 
         let per_app: Vec<(App, Vec<f64>)> = runs
             .iter()
@@ -543,34 +699,36 @@ impl ExperimentService {
             })
             .collect();
 
-        Ok(JsonObject::render(|o| {
-            o.object("query", |qo| {
-                qo.str("tier", tier.name());
-            });
-            o.array("windows", |a| {
-                for w in windows {
-                    a.u64(w as u64);
-                }
-            });
-            o.array("apps", |a| {
-                for (app, hidden) in &per_app {
-                    a.object(|row| {
-                        row.str("app", app.name());
-                        row.array("read_latency_hidden", |h| {
-                            for &v in hidden {
-                                h.f64(v);
-                            }
+        Ok(span::record_current("render", || {
+            JsonObject::render(|o| {
+                o.object("query", |qo| {
+                    qo.str("tier", tier.name());
+                });
+                o.array("windows", |a| {
+                    for w in windows {
+                        a.u64(w as u64);
+                    }
+                });
+                o.array("apps", |a| {
+                    for (app, hidden) in &per_app {
+                        a.object(|row| {
+                            row.str("app", app.name());
+                            row.array("read_latency_hidden", |h| {
+                                for &v in hidden {
+                                    h.f64(v);
+                                }
+                            });
                         });
-                    });
-                }
-            });
-            o.array("average", |a| {
-                for j in 0..windows.len() {
-                    let mean = per_app.iter().map(|(_, h)| h[j]).sum::<f64>()
-                        / per_app.len().max(1) as f64;
-                    a.f64(mean);
-                }
-            });
+                    }
+                });
+                o.array("average", |a| {
+                    for j in 0..windows.len() {
+                        let mean = per_app.iter().map(|(_, h)| h[j]).sum::<f64>()
+                            / per_app.len().max(1) as f64;
+                        a.f64(mean);
+                    }
+                });
+            })
         }))
     }
 }
@@ -625,5 +783,6 @@ pub fn handle_target(service: &ExperimentService, target: &str) -> Response {
         method: "GET".to_string(),
         path: crate::http::percent_decode(path),
         query: crate::http::parse_query(query),
+        request_id: None,
     })
 }

@@ -27,6 +27,7 @@ fn small_service() -> Arc<ExperimentService> {
                 ..SimConfig::default()
             },
             retime_workers: 2,
+            span_log: None,
         },
         None,
     ))
@@ -83,7 +84,7 @@ fn http_get(addr: SocketAddr, target: &str) -> (u16, String) {
     (status, body)
 }
 
-/// Reads one counter out of the /metrics JSON (flat "path":value).
+/// Reads one counter out of the /metrics.json JSON (flat "path":value).
 fn metric(body: &str, path: &str) -> u64 {
     let needle = format!("\"{path}\":");
     let at = body
@@ -162,8 +163,8 @@ fn concurrent_identical_cold_queries_run_one_simulation() {
         "8 concurrent cold clients must trigger exactly one simulation: {stats:?}"
     );
 
-    // The coalescing is observable via /metrics.
-    let (status, metrics) = http_get(server.addr, "/metrics");
+    // The coalescing is observable via /metrics.json.
+    let (status, metrics) = http_get(server.addr, "/metrics.json");
     assert_eq!(status, 200);
     assert_eq!(metric(&metrics, "serve.runs.generations"), 1);
     let led = metric(&metrics, "serve.flights.led");
@@ -250,9 +251,9 @@ fn healthz_is_static_and_metrics_counts_requests() {
     let service = small_service();
     let h = handle_target(&service, "/healthz");
     assert_eq!((h.status, h.body.as_str()), (200, "{\"status\":\"ok\"}"));
-    let m = handle_target(&service, "/metrics");
+    let m = handle_target(&service, "/metrics.json");
     assert_eq!(m.status, 200);
-    // /healthz + /metrics itself.
+    // /healthz + /metrics.json itself.
     assert_eq!(metric(&m.body, "serve.http.requests"), 2);
     assert_eq!(metric(&m.body, "serve.http.status.200"), 1);
 }

@@ -66,6 +66,7 @@ const USAGE: &str = "usage: lookahead [OPTIONS] REPORT [REPORT ...]
        lookahead serve [OPTIONS]    serve the suite over HTTP
        lookahead query TARGET       answer one service query, print body
        lookahead bench [OPTIONS]    benchmark the re-timing engines
+       lookahead bench generation   time cold trace generation, both engines
        lookahead bench memory       compare streamed vs materialized peak RSS
        lookahead bench obs          measure request-tracing overhead
 
@@ -183,6 +184,7 @@ fn main() -> ExitCode {
         Some("query") => return lookahead_bench::serve_cli::query_main(&args[1..]),
         Some("bench") => {
             return match args.get(1).map(String::as_str) {
+                Some("generation") => lookahead_bench::generation::generation_main(&args[2..]),
                 Some("memory") => lookahead_bench::memprobe::memory_main(&args[2..]),
                 Some("obs") => lookahead_bench::obsbench::obs_main(&args[2..]),
                 _ => lookahead_bench::retiming::bench_main(&args[1..]),

@@ -31,6 +31,7 @@
 //! wrong experiment.
 
 pub mod client;
+pub mod generation;
 pub mod memprobe;
 pub mod obsbench;
 pub mod reports;

@@ -94,6 +94,31 @@ enum LossReason {
     Evicted,
 }
 
+/// The caches holding a line, yielded in ascending id order; either
+/// decoded from a directory bitmask or pre-collected by a probe walk.
+enum Holders {
+    Mask(u128),
+    List(std::vec::IntoIter<usize>),
+}
+
+impl Iterator for Holders {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            Holders::Mask(m) => {
+                if *m == 0 {
+                    return None;
+                }
+                let p = m.trailing_zeros() as usize;
+                *m &= *m - 1;
+                Some(p)
+            }
+            Holders::List(it) => it.next(),
+        }
+    }
+}
+
 /// An MSI-coherent collection of per-processor caches.
 ///
 /// # Example
@@ -117,6 +142,13 @@ pub struct CoherentSystem {
     /// Per processor: lines we used to hold and why we lost them.
     lost_lines: Vec<HashMap<u64, LossReason>>,
     config: CacheConfig,
+    /// Directory: line address → bitmask of the caches holding a copy.
+    /// Kept exactly in sync with residency (set on fill, cleared on
+    /// invalidation and eviction) so a miss consults only the actual
+    /// sharers instead of probing every cache — the probe walk
+    /// dominates miss cost on larger machines. `None` beyond 128
+    /// processors, where every miss falls back to the full walk.
+    sharers: Option<HashMap<u64, u128>>,
 }
 
 impl CoherentSystem {
@@ -132,6 +164,45 @@ impl CoherentSystem {
             stats: vec![CoherenceStats::default(); num_procs],
             lost_lines: vec![HashMap::new(); num_procs],
             config,
+            sharers: (num_procs <= 128).then(HashMap::new),
+        }
+    }
+
+    /// Records that `proc` now holds a copy of `line`.
+    fn sharers_add(&mut self, line: u64, proc: usize) {
+        if let Some(s) = &mut self.sharers {
+            *s.entry(line).or_insert(0) |= 1u128 << proc;
+        }
+    }
+
+    /// Records that `proc` no longer holds a copy of `line`.
+    fn sharers_remove(&mut self, line: u64, proc: usize) {
+        if let Some(s) = &mut self.sharers {
+            if let Some(m) = s.get_mut(&line) {
+                *m &= !(1u128 << proc);
+                if *m == 0 {
+                    s.remove(&line);
+                }
+            }
+        }
+    }
+
+    /// The caches other than `proc` holding a copy of `line`, in
+    /// ascending id order — straight off the directory bitmask when
+    /// present (no probing, no allocation), by full probe walk on
+    /// machines too wide for the mask. The iterator borrows nothing,
+    /// so callers can mutate caches and stats while draining it.
+    fn remote_holders(&self, line: u64, proc: usize) -> Holders {
+        match &self.sharers {
+            Some(s) => Holders::Mask(s.get(&line).copied().unwrap_or(0) & !(1u128 << proc)),
+            None => Holders::List(
+                (0..self.caches.len())
+                    .filter(|&other| {
+                        other != proc && self.caches[other].state_of(line) != LineState::Invalid
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter(),
+            ),
         }
     }
 
@@ -167,9 +238,11 @@ impl CoherentSystem {
         match eviction {
             Eviction::None => {}
             Eviction::Clean { line_addr } => {
+                self.sharers_remove(line_addr, proc);
                 self.lost_lines[proc].insert(line_addr, LossReason::Evicted);
             }
             Eviction::Writeback { line_addr } => {
+                self.sharers_remove(line_addr, proc);
                 self.lost_lines[proc].insert(line_addr, LossReason::Evicted);
                 self.stats[proc].writebacks += 1;
                 #[cfg(feature = "obs")]
@@ -202,14 +275,15 @@ impl CoherentSystem {
         });
         // Downgrade a remote Modified copy (it supplies the data and
         // writes back).
-        for other in 0..self.caches.len() {
-            if other != proc && self.caches[other].state_of(addr) == LineState::Modified {
+        for other in self.remote_holders(line, proc) {
+            if self.caches[other].state_of(addr) == LineState::Modified {
                 self.caches[other].set_state(addr, LineState::Shared);
                 self.stats[other].writebacks += 1;
             }
         }
         let eviction = self.caches[proc].fill(addr, LineState::Shared);
         self.note_eviction(proc, eviction);
+        self.sharers_add(line, proc);
         self.lost_lines[proc].remove(&line);
         AccessOutcome::Miss(kind)
     }
@@ -226,15 +300,13 @@ impl CoherentSystem {
             return AccessOutcome::Hit;
         }
         // Invalidate all remote copies.
-        for other in 0..self.caches.len() {
-            if other == proc {
-                continue;
-            }
+        for other in self.remote_holders(line, proc) {
             if let Some(old) = self.caches[other].invalidate(addr) {
                 self.stats[proc].invalidations_sent += 1;
                 self.stats[other].invalidations_received += 1;
                 #[cfg(feature = "obs")]
                 lookahead_obs::with(|r| r.metrics.inc("memsys.cache.invalidations", 1));
+                self.sharers_remove(line, other);
                 self.lost_lines[other].insert(line, LossReason::Invalidated);
                 if old == LineState::Modified {
                     self.stats[other].writebacks += 1;
@@ -260,6 +332,7 @@ impl CoherentSystem {
         });
         let eviction = self.caches[proc].fill(addr, LineState::Modified);
         self.note_eviction(proc, eviction);
+        self.sharers_add(line, proc);
         self.lost_lines[proc].remove(&line);
         AccessOutcome::Miss(kind)
     }
@@ -273,6 +346,7 @@ impl CoherentSystem {
     /// Returns a description of the first violated line.
     pub fn check_coherence_invariant(&self) -> Result<(), String> {
         let mut seen: HashMap<u64, (usize, LineState)> = HashMap::new();
+        let mut resident_mask: HashMap<u64, u128> = HashMap::new();
         for (p, cache) in self.caches.iter().enumerate() {
             for (line, state) in cache.resident() {
                 if let Some(&(q, prev)) = seen.get(&line) {
@@ -283,6 +357,29 @@ impl CoherentSystem {
                     }
                 } else {
                     seen.insert(line, (p, state));
+                }
+                if p < 128 {
+                    *resident_mask.entry(line).or_insert(0) |= 1u128 << p;
+                }
+            }
+        }
+        // The directory must mirror residency exactly: a stale bit
+        // would spuriously invalidate, a missing bit would skip a
+        // required invalidation or downgrade.
+        if let Some(sharers) = &self.sharers {
+            for (&line, &mask) in sharers {
+                let actual = resident_mask.get(&line).copied().unwrap_or(0);
+                if mask != actual {
+                    return Err(format!(
+                        "directory for line {line:#x}: mask {mask:#x} but residency {actual:#x}"
+                    ));
+                }
+            }
+            for (&line, &actual) in &resident_mask {
+                if !sharers.contains_key(&line) {
+                    return Err(format!(
+                        "directory missing line {line:#x} held by mask {actual:#x}"
+                    ));
                 }
             }
         }

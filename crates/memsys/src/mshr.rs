@@ -120,6 +120,20 @@ impl MshrFile {
         self.outstanding.values().min().copied()
     }
 
+    /// The next cycle strictly after `now` at which an outstanding miss
+    /// retires. `None` when nothing is outstanding or only entries
+    /// already retirable at `now` remain (a `retire_completed(now)`
+    /// would free them immediately). Discrete-event schedulers use
+    /// this to decide when an MSHR-limited unit is next worth
+    /// visiting.
+    pub fn next_progress_time(&self, now: u64) -> Option<u64> {
+        self.outstanding
+            .values()
+            .filter(|&&t| t > now)
+            .min()
+            .copied()
+    }
+
     /// Peak number of simultaneously outstanding misses observed.
     pub fn peak(&self) -> usize {
         self.peak
@@ -179,6 +193,16 @@ mod tests {
         m.request(0x40, 0, 50);
         m.request(0x80, 10, 50);
         assert_eq!(m.next_completion(), Some(50));
+    }
+
+    #[test]
+    fn next_progress_skips_already_retirable_entries() {
+        let mut m = MshrFile::new(None);
+        m.request(0x40, 0, 50); // completes at 50
+        m.request(0x80, 10, 50); // completes at 60
+        assert_eq!(m.next_progress_time(0), Some(50));
+        assert_eq!(m.next_progress_time(50), Some(60), "50 is retirable now");
+        assert_eq!(m.next_progress_time(60), None);
     }
 
     #[test]

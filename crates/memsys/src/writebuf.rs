@@ -228,6 +228,16 @@ impl WriteBuffer {
         self.entries.front().map(|e| e.completes_at)
     }
 
+    /// The next cycle strictly after `now` at which the buffer's state
+    /// changes on its own — the head entry's retirement, since
+    /// retirement is FIFO. `None` when nothing is pending or the head
+    /// is already retirable (a `retire(now)` would make progress
+    /// immediately). Discrete-event schedulers use this to decide when
+    /// a processor stalled on this buffer is next worth visiting.
+    pub fn next_progress_time(&self, now: u64) -> Option<u64> {
+        self.head_completion().filter(|&t| t > now)
+    }
+
     /// Total writes pushed.
     pub fn pushes(&self) -> u64 {
         self.pushes
@@ -328,6 +338,22 @@ mod tests {
         wb.push(0x8, 10, 1).unwrap();
         assert_eq!(wb.pending_drain_time(), 50);
         assert_eq!(wb.head_completion(), Some(50));
+    }
+
+    #[test]
+    fn next_progress_is_head_retirement_or_nothing() {
+        let mut wb = WriteBuffer::new(4, DrainPolicy::Overlapped);
+        assert_eq!(wb.next_progress_time(0), None, "empty buffer");
+        wb.push(0x0, 50, 0).unwrap(); // head completes at 50
+        wb.push(0x8, 10, 1).unwrap(); // behind head (FIFO)
+        assert_eq!(wb.next_progress_time(0), Some(50));
+        assert_eq!(
+            wb.next_progress_time(50),
+            None,
+            "head retirable at 50: progress is immediate, not future"
+        );
+        wb.retire(50);
+        assert!(wb.is_empty());
     }
 
     #[test]

@@ -45,9 +45,11 @@
 
 pub mod config;
 pub mod contention;
+pub mod event;
 pub mod sim;
 pub mod sync;
 
 pub use config::SimConfig;
 pub use contention::MemoryContention;
+pub use event::EventQueue;
 pub use sim::{SimError, SimOutcome, Simulator};

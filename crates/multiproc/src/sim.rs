@@ -1,15 +1,32 @@
-//! The cycle-interleaved multiprocessor simulator.
+//! The multiprocessor trace-generation simulator, in two engines.
 //!
 //! Each processor is the paper's trace-generation processor: in-order,
 //! blocking reads, writes placed in a 16-entry write buffer draining
-//! under release consistency. The simulator advances a global cycle
-//! counter; at each cycle every runnable processor executes at most one
-//! instruction against the shared architectural memory, with the
-//! coherent cache model classifying each access and the fixed-latency
-//! memory assigning its cost. When no processor can run, the simulator
-//! fast-forwards to the next known event (stall end, write-buffer
-//! drain, lock release, barrier completion) — or reports deadlock if
-//! there is none.
+//! under release consistency, with the coherent cache model classifying
+//! each access and the fixed-latency memory assigning its cost.
+//!
+//! **The discrete-event engine** ([`Simulator::run`] /
+//! [`Simulator::run_with_sink`]) keeps one pending event per processor
+//! — the next cycle it can make progress: instruction issue, load
+//! return, full-write-buffer drain, lock grant, event-set visibility,
+//! barrier release — in an [`EventQueue`](crate::event::EventQueue)
+//! ordered by `(cycle, processor id)`. The simulator pops the earliest
+//! event, jumps `now` there in one step, and executes; cross-processor
+//! wakeups (an unlock making a queued acquirer grantable, a set-event
+//! reaching its waiters, the last barrier arrival) are scheduled at
+//! their exact visibility cycle. Because every cross-processor
+//! visibility time is strictly in the future and dispatch order equals
+//! the reference engine's `(cycle, proc)` visit order, the two engines
+//! mutate the shared cache, contention, and sync state in the same
+//! order and produce byte-identical traces (pinned by the
+//! `generation_equivalence` suite).
+//!
+//! **The reference engine** ([`Simulator::run_reference`] /
+//! [`Simulator::run_reference_with_sink`]) is the original cycle
+//! stepper: at each cycle every runnable processor executes at most
+//! one instruction, in ascending processor order; when no processor
+//! can run it fast-forwards to the next known event. It is the
+//! specification the event engine is tested against.
 //!
 //! Stall cycles are attributed analytically at the point an
 //! instruction's cost is known: a missing load adds `latency - 1` read
@@ -20,6 +37,7 @@
 
 use crate::config::SimConfig;
 use crate::contention::MemoryContention;
+use crate::event::EventQueue;
 use crate::sync::{BarrierTable, EventTable, LockTable};
 use lookahead_isa::interp::{Effect, FlatMemory, InterpError, Machine};
 use lookahead_isa::program::DataImage;
@@ -31,6 +49,7 @@ use lookahead_trace::{
     Breakdown, ChunkBuilder, CollectSink, MemAccess, SyncAccess, Trace, TraceEntry, TraceOp,
     TraceSink, DEFAULT_CHUNK_LEN,
 };
+use std::collections::HashMap;
 use std::fmt;
 
 /// Journals a cache hit/miss on processor `p`'s row at cycle `t`.
@@ -205,6 +224,26 @@ pub struct Simulator {
     barriers: BarrierTable,
     contention: MemoryContention,
     now: u64,
+    /// True on the discrete-event path; enables the wakeup bookkeeping
+    /// below, which the per-cycle reference engine does not need (it
+    /// re-polls every blocked processor each cycle).
+    event_mode: bool,
+    /// Cross-processor wakeups produced by the current dispatch:
+    /// `(cycle, proc)` pairs flushed into the event queue after each
+    /// dispatch, clamped to `now + 1` (a woken processor is re-visited
+    /// no earlier than the next cycle, exactly as in the reference
+    /// engine).
+    pending_wakeups: Vec<(u64, usize)>,
+    /// Processors blocked in `WaitEvent` per event address. Registered
+    /// on block, deregistered on completion; a `SetEvent` wakes every
+    /// registered waiter at the set's visibility cycle (which a later
+    /// set may still pull earlier — waiters therefore stay registered
+    /// until they actually complete).
+    event_waiters: HashMap<u64, Vec<usize>>,
+    /// Processors waiting per `(barrier address, generation)`. The
+    /// arrival that completes a generation wakes and removes the whole
+    /// group at the release cycle.
+    barrier_waiters: HashMap<(u64, u64), Vec<usize>>,
 }
 
 impl Simulator {
@@ -258,11 +297,15 @@ impl Simulator {
             barriers: BarrierTable::new(),
             contention: MemoryContention::new(config.memory_bandwidth),
             now: 0,
+            event_mode: false,
+            pending_wakeups: Vec::new(),
+            event_waiters: HashMap::new(),
+            barrier_waiters: HashMap::new(),
         })
     }
 
-    /// Runs the simulation to completion, collecting every
-    /// processor's trace into [`SimOutcome::traces`].
+    /// Runs the simulation to completion on the discrete-event engine,
+    /// collecting every processor's trace into [`SimOutcome::traces`].
     ///
     /// # Errors
     ///
@@ -277,19 +320,173 @@ impl Simulator {
         Ok(out)
     }
 
-    /// Runs the simulation to completion, streaming every processor's
-    /// trace through `sink` as fixed-size chunks. Memory for traces is
-    /// bounded by one chunk per processor; [`SimOutcome::traces`] is
-    /// left empty (use [`SimOutcome::entry_counts`] for lengths).
+    /// Runs the simulation on the cycle-stepped reference engine,
+    /// collecting traces. Produces byte-identical results to
+    /// [`Simulator::run`] (the `generation_equivalence` suite pins
+    /// this); it exists as the specification oracle and for
+    /// benchmarking the event engine against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    pub fn run_reference(self) -> Result<SimOutcome, SimError> {
+        let mut sink = CollectSink::new(self.config.num_procs);
+        let mut out = self.run_reference_with_sink(&mut sink)?;
+        out.traces = sink.into_traces();
+        Ok(out)
+    }
+
+    /// Runs the simulation to completion on the discrete-event engine,
+    /// streaming every processor's trace through `sink` as fixed-size
+    /// chunks. Memory for traces is bounded by one chunk per
+    /// processor; [`SimOutcome::traces`] is left empty (use
+    /// [`SimOutcome::entry_counts`] for lengths).
     ///
     /// Chunks of one processor arrive at the sink in trace order;
-    /// chunks of different processors interleave as execution does.
+    /// chunks of different processors interleave as execution does —
+    /// in exactly the same order as under the reference engine.
     ///
     /// # Errors
     ///
     /// Everything [`Simulator::run`] returns, plus [`SimError::Sink`]
     /// when the sink rejects a chunk.
     pub fn run_with_sink(mut self, sink: &mut dyn TraceSink) -> Result<SimOutcome, SimError> {
+        self.event_mode = true;
+        let num_procs = self.procs.len();
+        let mut queue = EventQueue::new(num_procs);
+        for p in 0..num_procs {
+            queue.schedule(p, 0);
+        }
+        while let Some((t, first)) = queue.pop() {
+            debug_assert!(t >= self.now, "events dispatch in time order");
+            self.now = t;
+            if t > self.config.max_cycles {
+                return Err(SimError::CycleLimit {
+                    limit: self.config.max_cycles,
+                });
+            }
+            // Dispatch every processor scheduled at this cycle, in
+            // ascending id order — the reference stepper's visit order.
+            // `pop` found the earliest of them; the rest are probed
+            // directly by slot, so a cycle costs one minimum scan
+            // however many processors run in it. No new event can
+            // appear *at* this cycle mid-sweep: a dispatched processor
+            // reschedules strictly later, and wakeups are clamped to
+            // `now + 1`.
+            for p in first..num_procs {
+                if p != first && queue.take_if_at(p, t).is_none() {
+                    continue;
+                }
+                let next = self.dispatch(p)?;
+                if let Some(chunk) = self.procs[p].chunks.take_ready() {
+                    sink.accept(p, chunk).map_err(SimError::Sink)?;
+                }
+                while let Some((wt, wp)) = self.pending_wakeups.pop() {
+                    queue.schedule(wp, wt.max(self.now + 1));
+                }
+                if let Some(next) = next {
+                    debug_assert!(next > self.now, "a processor re-runs strictly later");
+                    queue.schedule(p, next);
+                }
+                // A blocked or halted processor stays unscheduled: a
+                // future wakeup (if any) re-queues it.
+            }
+        }
+        // Queue empty: everyone halted, or the rest can never wake.
+        let blocked: Vec<usize> = (0..num_procs)
+            .filter(|&p| self.procs[p].status != Status::Halted)
+            .collect();
+        if !blocked.is_empty() {
+            // The reference engine detects deadlock one cycle after the
+            // last processor made progress.
+            return Err(SimError::Deadlock {
+                cycle: self.now + 1,
+                blocked,
+            });
+        }
+        self.finish(sink)
+    }
+
+    /// Dispatches processor `p` at `self.now`: retires its write
+    /// buffer, then executes / completes / re-polls according to its
+    /// status. Returns the next cycle at which `p` itself can make
+    /// progress, or `None` when it halted or must wait for a
+    /// cross-processor wakeup.
+    fn dispatch(&mut self, p: usize) -> Result<Option<u64>, SimError> {
+        self.procs[p].wb.retire(self.now);
+        match self.procs[p].status {
+            Status::Halted => {}
+            Status::Ready => self.execute_one(p)?,
+            Status::StallUntil { at } => {
+                if self.now >= at {
+                    self.procs[p].status = Status::Ready;
+                    self.execute_one(p)?;
+                }
+            }
+            Status::BlockedLock { addr, since } => {
+                if self.locks.try_grant(addr, p, self.now) {
+                    let wait = saturate(self.now - since);
+                    self.complete_lock_acquire(p, addr, wait)?;
+                }
+            }
+            Status::BlockedEvent { addr, since } => {
+                if self.events.is_set(addr, self.now) {
+                    let wait = saturate(self.now - since);
+                    self.complete_event_wait(p, addr, wait)?;
+                }
+            }
+            Status::BlockedBarrier {
+                addr,
+                generation,
+                since,
+            } => {
+                if self
+                    .barriers
+                    .release_time(addr, generation)
+                    .is_some_and(|t| self.now >= t)
+                {
+                    let wait = saturate(self.now - since);
+                    self.complete_barrier(p, addr, wait);
+                }
+            }
+        }
+        Ok(self.next_time(p))
+    }
+
+    /// The next cycle processor `p` can make progress on its own, from
+    /// its (possibly just-updated) status. Blocked processors report a
+    /// time only when the sync tables already know it; otherwise they
+    /// wait for a wakeup. Wake times are clamped to `now + 1` — the
+    /// reference engine re-visits a blocked processor no earlier than
+    /// the next cycle.
+    fn next_time(&self, p: usize) -> Option<u64> {
+        let floor = self.now + 1;
+        match self.procs[p].status {
+            Status::Halted => None,
+            Status::Ready => Some(floor),
+            Status::StallUntil { at } => Some(at.max(floor)),
+            Status::BlockedLock { addr, .. } => self.locks.wake_time(addr, p).map(|t| t.max(floor)),
+            Status::BlockedEvent { addr, .. } => self.events.set_time(addr).map(|t| t.max(floor)),
+            Status::BlockedBarrier {
+                addr, generation, ..
+            } => self
+                .barriers
+                .release_time(addr, generation)
+                .map(|t| t.max(floor)),
+        }
+    }
+
+    /// Runs the simulation on the cycle-stepped reference engine,
+    /// streaming chunks through `sink` — the original implementation
+    /// of [`Simulator::run_with_sink`], retained as the oracle.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run_with_sink`].
+    pub fn run_reference_with_sink(
+        mut self,
+        sink: &mut dyn TraceSink,
+    ) -> Result<SimOutcome, SimError> {
         loop {
             if self.procs.iter().all(|p| p.status == Status::Halted) {
                 break;
@@ -379,6 +576,13 @@ impl Simulator {
                 });
             }
         }
+        self.finish(sink)
+    }
+
+    /// Shared run epilogue: drains each processor's final partial
+    /// chunk into `sink` (in ascending processor order) and assembles
+    /// the outcome.
+    fn finish(mut self, sink: &mut dyn TraceSink) -> Result<SimOutcome, SimError> {
         for (p, proc) in self.procs.iter_mut().enumerate() {
             if let Some(chunk) = proc.chunks.finish() {
                 sink.accept(p, chunk).map_err(SimError::Sink)?;
@@ -572,8 +776,34 @@ impl Simulator {
                     .push_release(addr, latency, now)
                     .expect("checked not full");
                 match kind {
-                    SyncKind::Unlock => self.locks.release(addr, p, visible),
-                    SyncKind::SetEvent => self.events.set(addr, visible),
+                    SyncKind::Unlock => {
+                        self.locks.release(addr, p, visible);
+                        if self.event_mode {
+                            // The queue head (if any) becomes grantable
+                            // when the release is visible.
+                            if let Some(head) = self.locks.head_waiter(addr) {
+                                if let Some(t) = self.locks.wake_time(addr, head) {
+                                    self.pending_wakeups.push((t, head));
+                                }
+                            }
+                        }
+                    }
+                    SyncKind::SetEvent => {
+                        self.events.set(addr, visible);
+                        if self.event_mode {
+                            // Wake every registered waiter at the set's
+                            // visibility cycle (`set` keeps the earliest
+                            // of repeated sets). Waiters deregister on
+                            // completion, not here — a later set may
+                            // still pull the visibility time earlier.
+                            let t = self.events.set_time(addr).expect("just set");
+                            if let Some(waiters) = self.event_waiters.get(&addr) {
+                                for &w in waiters {
+                                    self.pending_wakeups.push((t, w));
+                                }
+                            }
+                        }
+                    }
                     _ => unreachable!(),
                 }
                 let done_pc = self.procs[p].machine.pc() as u32 - 1;
@@ -593,6 +823,9 @@ impl Simulator {
                     self.complete_event_wait(p, addr, 0)?;
                 } else {
                     self.procs[p].status = Status::BlockedEvent { addr, since: now };
+                    if self.event_mode {
+                        self.event_waiters.entry(addr).or_default().push(p);
+                    }
                 }
             }
             SyncKind::Barrier => {
@@ -607,6 +840,21 @@ impl Simulator {
                     generation,
                     since: now,
                 };
+                if self.event_mode {
+                    let group = self.barrier_waiters.entry((addr, generation)).or_default();
+                    group.push(p);
+                    // The arrival that completes the generation frees
+                    // the whole group at the release cycle.
+                    if let Some(t) = self.barriers.release_time(addr, generation) {
+                        let group = self
+                            .barrier_waiters
+                            .remove(&(addr, generation))
+                            .expect("just inserted");
+                        for w in group {
+                            self.pending_wakeups.push((t, w));
+                        }
+                    }
+                }
             }
         }
         Ok(())
@@ -658,6 +906,11 @@ impl Simulator {
     /// Fails if the event word was cleared by an ordinary store after
     /// the event table saw it set (a workload bug).
     fn complete_event_wait(&mut self, p: usize, addr: u64, wait: u32) -> Result<(), SimError> {
+        if self.event_mode {
+            if let Some(waiters) = self.event_waiters.get_mut(&addr) {
+                waiters.retain(|&w| w != p);
+            }
+        }
         let now = self.now;
         let pc = self.procs[p].machine.pc();
         let miss = self.coherent.read(p, addr).is_miss();
@@ -1060,6 +1313,71 @@ mod tests {
                 "proc {p}: breakdown must account every cycle"
             );
         }
+    }
+
+    #[test]
+    fn event_engine_matches_reference_on_mixed_workload() {
+        // Loads, stores, branches, a contended lock, an event pair and
+        // barriers across 4 processors — both engines must agree on
+        // every trace byte, breakdown, and finish time. (The heavy
+        // randomized version lives in tests/generation_equivalence.rs.)
+        let mut image = DataImage::new();
+        let lock = image.alloc_words(1);
+        let ev = image.alloc_words(1);
+        let bar = image.alloc_words(1);
+        image.align_to(16);
+        let data = image.alloc_words(64);
+        let build = move |a: &mut Assembler| {
+            a.li(IntReg::G0, lock as i64);
+            a.li(IntReg::G1, data as i64);
+            a.li(IntReg::G2, ev as i64);
+            a.li(IntReg::G3, bar as i64);
+            a.for_range(IntReg::S0, 0, 6, |a| {
+                a.index_word(IntReg::T0, IntReg::G1, IntReg::S0);
+                a.load(IntReg::T1, IntReg::T0, 0);
+                a.addi(IntReg::T1, IntReg::T1, 1);
+                a.store(IntReg::T1, IntReg::T0, 0);
+            });
+            a.lock(IntReg::G0, 0);
+            a.load(IntReg::T2, IntReg::G1, 0);
+            a.addi(IntReg::T2, IntReg::T2, 1);
+            a.store(IntReg::T2, IntReg::G1, 0);
+            a.unlock(IntReg::G0, 0);
+            a.if_then_else(
+                BranchCond::Eq,
+                IntReg::A0,
+                IntReg::ZERO,
+                |a| {
+                    a.set_event(IntReg::G2, 0);
+                },
+                |a| {
+                    a.wait_event(IntReg::G2, 0);
+                },
+            );
+            a.barrier(IntReg::G3, 0);
+            a.barrier(IntReg::G3, 0);
+        };
+        let assemble = |build: &dyn Fn(&mut Assembler)| {
+            let mut a = Assembler::new();
+            build(&mut a);
+            a.halt();
+            a.assemble().unwrap()
+        };
+        let program = assemble(&build);
+        let config = small_config(4);
+        let event = Simulator::new(program.clone(), image.clone(), config)
+            .unwrap()
+            .run()
+            .unwrap();
+        let reference = Simulator::new(program, image, config)
+            .unwrap()
+            .run_reference()
+            .unwrap();
+        assert_eq!(event.traces, reference.traces);
+        assert_eq!(event.breakdowns, reference.breakdowns);
+        assert_eq!(event.finish_times, reference.finish_times);
+        assert_eq!(event.entry_counts, reference.entry_counts);
+        assert_eq!(event.total_cycles, reference.total_cycles);
     }
 
     #[test]

@@ -104,6 +104,12 @@ impl LockTable {
         self.locks.get(&addr).and_then(|l| l.holder)
     }
 
+    /// The processor at the head of the wait queue, if any — the one
+    /// that will be granted next once the lock is free and visible.
+    pub fn head_waiter(&self, addr: u64) -> Option<usize> {
+        self.locks.get(&addr).and_then(|l| l.queue.front().copied())
+    }
+
     /// Number of processors queued on the lock at `addr`.
     pub fn queue_len(&self, addr: u64) -> usize {
         self.locks.get(&addr).map_or(0, |l| l.queue.len())

@@ -1,9 +1,13 @@
-//! Sensitivity of the multiprocessor simulation to memory-system
-//! geometry: smaller caches can only miss more, and the miss penalty
-//! changes timing but not the executed instruction stream.
+//! Sensitivity of the multiprocessor simulation to memory-system and
+//! machine geometry: smaller caches can only miss more, the miss
+//! penalty changes timing but not the executed instruction stream,
+//! more processors split the work — now including 64-CPU
+//! configurations, cheap to generate on the discrete-event engine —
+//! and barriers align every participant regardless of processor
+//! count.
 
 use lookahead_isa::program::DataImage;
-use lookahead_isa::{Assembler, IntReg};
+use lookahead_isa::{Assembler, IntReg, SyncKind};
 use lookahead_memsys::{CacheConfig, MemoryParams};
 use lookahead_multiproc::{SimConfig, SimOutcome, Simulator};
 use lookahead_trace::{TraceOp, TraceStats};
@@ -128,4 +132,102 @@ fn more_processors_split_the_work() {
         four * 2 < one,
         "4 processors should be at least 2x faster: {four} vs {one}"
     );
+}
+
+#[test]
+fn sixty_four_processors_keep_scaling() {
+    // A larger array so each of the 64 processors still owns a few
+    // full lines (4096 words / 64 procs = 64 words = 32 lines each).
+    let cycles = |n: usize| {
+        let (p, i) = streaming_program(4096, n as i64);
+        let config = SimConfig {
+            num_procs: n,
+            ..SimConfig::default()
+        };
+        let out = Simulator::new(p, i, config).unwrap().run().unwrap();
+        assert_eq!(out.traces.len(), n);
+        assert!(
+            out.traces.iter().all(|t| !t.is_empty()),
+            "every processor does its share"
+        );
+        out.total_cycles
+    };
+    let sixteen = cycles(16);
+    let sixty_four = cycles(64);
+    assert!(
+        sixty_four * 2 < sixteen,
+        "64 processors should be at least 2x faster than 16: {sixty_four} vs {sixteen}"
+    );
+}
+
+/// Unequal work before a barrier: processor 0 runs a long loop, the
+/// others arrive early and wait. Parameterized over the processor
+/// count — the assertions derive everything from `n`, so the test
+/// cannot silently bake in one machine size.
+fn barrier_aligns(n: usize) {
+    let mut image = DataImage::new();
+    let bar = image.alloc_words(1);
+    let mut a = Assembler::new();
+    a.li(IntReg::G0, bar as i64);
+    a.if_then(
+        lookahead_isa::BranchCond::Eq,
+        IntReg::A0,
+        IntReg::ZERO,
+        |a| {
+            a.li(IntReg::T0, 0);
+            a.for_range(IntReg::T1, 0, 300, |a| {
+                a.addi(IntReg::T0, IntReg::T0, 1);
+            });
+        },
+    );
+    a.barrier(IntReg::G0, 0);
+    a.halt();
+    let program = a.assemble().unwrap();
+    let config = SimConfig {
+        num_procs: n,
+        max_cycles: 50_000_000,
+        ..SimConfig::default()
+    };
+    let out = Simulator::new(program, image, config)
+        .unwrap()
+        .run()
+        .unwrap();
+
+    let barrier_wait = |p: usize| -> u32 {
+        out.traces[p]
+            .iter()
+            .filter_map(|e| e.sync_access())
+            .find(|s| s.kind == SyncKind::Barrier)
+            .unwrap_or_else(|| panic!("proc {p} of {n} passed the barrier"))
+            .wait
+    };
+    // Every processor but 0 waited for proc 0's loop; proc 0 is the
+    // last to arrive and barely waits.
+    for p in 1..n {
+        assert!(
+            barrier_wait(p) > 300,
+            "{n} procs: proc {p} should wait out proc 0's loop, waited {}",
+            barrier_wait(p)
+        );
+    }
+    assert!(
+        barrier_wait(0) < 100,
+        "{n} procs: proc 0 arrives last, waited {}",
+        barrier_wait(0)
+    );
+    // The barrier aligns everyone: finish times span less than the
+    // skew the loop would otherwise cause.
+    let min = out.finish_times.iter().min().unwrap();
+    let max = out.finish_times.iter().max().unwrap();
+    assert!(
+        max - min < 300,
+        "{n} procs: finish times {min}..{max} should be aligned"
+    );
+}
+
+#[test]
+fn barrier_aligns_any_processor_count() {
+    for n in [4, 16, 64] {
+        barrier_aligns(n);
+    }
 }

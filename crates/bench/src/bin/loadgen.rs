@@ -204,7 +204,7 @@ fn main() -> ExitCode {
                 default_tier: SizeTier::from_env(),
                 sim: config_from_env(),
                 retime_workers: jobs,
-                span_log: None,
+                ..ServiceConfig::default()
             },
             None,
         ));

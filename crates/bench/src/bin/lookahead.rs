@@ -36,8 +36,10 @@
 
 use lookahead_bench::{cache_from_env_or, config_from_env, reports, Runner, SizeTier};
 use lookahead_harness::cache::TraceCache;
+use lookahead_harness::dag::Scheduler;
 use lookahead_harness::parallel;
 use lookahead_harness::pipeline::AppRun;
+use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -69,6 +71,7 @@ const USAGE: &str = "usage: lookahead [OPTIONS] REPORT [REPORT ...]
        lookahead bench generation   time cold trace generation, both engines
        lookahead bench memory       compare streamed vs materialized peak RSS
        lookahead bench obs          measure request-tracing overhead
+       lookahead bench dag          compare DAG vs flat sweep scheduling
 
 Regenerates the requested tables and figures, generating or
 cache-loading each application trace exactly once per process.
@@ -83,7 +86,12 @@ options:
   --cache-dir DIR  cache traces under DIR (default: target/trace-cache,
                    or the LOOKAHEAD_CACHE environment variable)
   --no-cache       disable the trace cache
-  --jobs N         worker threads (default: LOOKAHEAD_JOBS or all cores)
+  --jobs N         worker threads (default: LOOKAHEAD_JOBS or all cores;
+                   the flag wins over the environment variable)
+  --scheduler S    sweep scheduler: dag (critical-path rank, generation
+                   overlapped with re-timing; the default) or flat (the
+                   plain worker pool). Output is byte-identical either
+                   way; the flag wins over LOOKAHEAD_SCHEDULER.
   --tier NAME      workload size tier: small, default, paper or large
                    (default: from the environment, see below)
   --obs-out DIR    write per-run observability artifacts under DIR
@@ -91,7 +99,7 @@ options:
 
 environment: LOOKAHEAD_SMALL=1, LOOKAHEAD_PAPER=1, LOOKAHEAD_LARGE=1,
 LOOKAHEAD_PROCS=n, LOOKAHEAD_APPS=LU,MP3D, LOOKAHEAD_CACHE=DIR|off,
-LOOKAHEAD_JOBS=n";
+LOOKAHEAD_JOBS=n, LOOKAHEAD_SCHEDULER=dag|flat";
 
 struct Options {
     reports: Vec<String>,
@@ -99,6 +107,7 @@ struct Options {
     no_cache: bool,
     jobs: Option<usize>,
     tier: Option<SizeTier>,
+    scheduler: Option<Scheduler>,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
@@ -108,6 +117,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         no_cache: false,
         jobs: None,
         tier: None,
+        scheduler: None,
     };
     let known: Vec<&str> = SHARED.iter().chain(STANDALONE).copied().collect();
     let mut it = args.iter();
@@ -127,6 +137,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--tier" => {
                 opts.tier = Some(parse_tier(&value(&mut it, "--tier")?)?);
             }
+            "--scheduler" => {
+                opts.scheduler = Some(parse_scheduler(&value(&mut it, "--scheduler")?)?);
+            }
             "--obs-out" => {
                 // Consumed here, parsed by obs_out_dir() from argv.
                 value(&mut it, "--obs-out")?;
@@ -138,6 +151,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     opts.jobs = Some(parallel::parse_jobs(v)?);
                 } else if let Some(v) = a.strip_prefix("--tier=") {
                     opts.tier = Some(parse_tier(v)?);
+                } else if let Some(v) = a.strip_prefix("--scheduler=") {
+                    opts.scheduler = Some(parse_scheduler(v)?);
                 } else if a.strip_prefix("--obs-out=").is_some() {
                     // Parsed by obs_out_dir().
                 } else if a == "all" {
@@ -167,6 +182,11 @@ fn parse_tier(name: &str) -> Result<SizeTier, String> {
         .ok_or_else(|| format!("unknown tier {name:?}; valid tiers: small, default, paper, large"))
 }
 
+fn parse_scheduler(name: &str) -> Result<Scheduler, String> {
+    Scheduler::from_name(name)
+        .ok_or_else(|| format!("unknown scheduler {name:?}; valid schedulers: flat, dag"))
+}
+
 fn cache_for(opts: &Options) -> Option<TraceCache> {
     if opts.no_cache {
         return None;
@@ -187,6 +207,7 @@ fn main() -> ExitCode {
                 Some("generation") => lookahead_bench::generation::generation_main(&args[2..]),
                 Some("memory") => lookahead_bench::memprobe::memory_main(&args[2..]),
                 Some("obs") => lookahead_bench::obsbench::obs_main(&args[2..]),
+                Some("dag") => lookahead_bench::dagbench::dag_main(&args[2..]),
                 _ => lookahead_bench::retiming::bench_main(&args[1..]),
             }
         }
@@ -204,6 +225,18 @@ fn main() -> ExitCode {
         }
     };
 
+    // Fail-fast knob resolution: the flag wins, then the environment,
+    // then the DAG default (output is byte-identical either way).
+    let scheduler = match opts.scheduler {
+        Some(s) => s,
+        None => match Scheduler::from_env() {
+            Ok(s) => s.unwrap_or(Scheduler::Dag),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
     let workers = opts.jobs.unwrap_or_else(parallel::default_workers);
     let runner = Runner::new(
         config_from_env(),
@@ -212,18 +245,53 @@ fn main() -> ExitCode {
         workers,
     );
     eprintln!(
-        "lookahead: {} processors, {}-cycle miss penalty, tier {}, {} workers, cache {}",
+        "lookahead: {} processors, {}-cycle miss penalty, tier {}, {} workers, cache {}, \
+         scheduler {}",
         runner.config().num_procs,
         runner.config().mem.miss_penalty,
         runner.tier().name(),
         runner.workers(),
         if runner.cache_enabled() { "on" } else { "off" },
+        scheduler.name(),
     );
 
     let total = Instant::now();
     // The shared application runs, generated (or cache-loaded) at most
     // once per process, lazily on the first report that needs them.
     let mut shared_runs: Option<Vec<AppRun>> = None;
+
+    // Under the DAG scheduler, the figure3/figure4/summary sweeps and
+    // trace generation merge into one task graph: generation nodes
+    // overlap re-timing cells across applications and the per-report
+    // barriers disappear. Texts come out byte-identical to the flat
+    // path and the generated runs seed every other report.
+    let mut dag_texts: HashMap<String, String> = HashMap::new();
+    if scheduler == Scheduler::Dag {
+        let wanted: Vec<&str> = opts
+            .reports
+            .iter()
+            .map(String::as_str)
+            .filter(|r| reports::DAG_REPORTS.contains(r))
+            .collect();
+        if !wanted.is_empty() {
+            let started = Instant::now();
+            let sweep = reports::dag_sweep(&runner, &wanted, workers);
+            eprintln!(
+                "dag sweep ({}): {} cells + {} generation nodes ({} collapsed), \
+                 critical path {} / total cost {}, peak ready {}, {:.2}s",
+                wanted.join(" "),
+                sweep.cells,
+                sweep.runs.len(),
+                sweep.stats.collapsed,
+                sweep.stats.critical_path,
+                sweep.stats.total_cost,
+                sweep.stats.peak_ready,
+                started.elapsed().as_secs_f64(),
+            );
+            dag_texts = sweep.texts.into_iter().collect();
+            shared_runs = Some(sweep.runs);
+        }
+    }
     macro_rules! shared {
         () => {
             shared_runs
@@ -235,6 +303,7 @@ fn main() -> ExitCode {
     for name in &opts.reports {
         let started = Instant::now();
         let text = match name.as_str() {
+            _ if dag_texts.contains_key(name) => dag_texts[name].clone(),
             "figure1" => reports::figure1_report(),
             "figure3" => reports::figure3_report(shared!(), workers),
             "figure4" => reports::figure4_report(shared!(), workers),
@@ -243,7 +312,7 @@ fn main() -> ExitCode {
             "table2" => reports::table2_report(shared!(), runner.config().num_procs),
             "table3" => reports::table3_report(shared!()),
             "miss_delay" => reports::miss_delay_report(shared!()),
-            "multi_issue" => reports::multi_issue_report(shared!(), workers),
+            "multi_issue" => reports::multi_issue_report_sched(shared!(), workers, scheduler),
             "sc_boost" => reports::sc_boost_report(shared!(), workers),
             "prefetch" => reports::prefetch_report(shared!()),
             "contexts" => reports::contexts_report(shared!()),

@@ -31,6 +31,7 @@
 //! wrong experiment.
 
 pub mod client;
+pub mod dagbench;
 pub mod generation;
 pub mod memprobe;
 pub mod obsbench;
@@ -267,6 +268,20 @@ impl Runner {
     /// The applications this runner covers (`LOOKAHEAD_APPS`).
     pub fn apps(&self) -> Vec<App> {
         selected_apps()
+    }
+
+    /// Whether `app`'s trace at this tier and configuration is already
+    /// in the disk cache — a cheap existence probe the DAG scheduler
+    /// uses to collapse generation nodes to near-zero cost. A corrupt
+    /// or stale file still takes the real load path (and regenerates);
+    /// this only informs the cost estimate.
+    pub fn trace_cached(&self, app: App) -> bool {
+        let Some(cache) = &self.cache else {
+            return false;
+        };
+        let workload = self.tier.workload(app);
+        let key = lookahead_harness::cache_key(workload.name(), self.tier.name(), &self.config);
+        cache.path_for(workload.name(), &key).exists()
     }
 
     /// Cache accounting so far: (hits, misses).

@@ -17,9 +17,11 @@ use lookahead_core::inorder::InOrder;
 use lookahead_core::model::{ExecutionResult, ProcessorModel};
 use lookahead_core::prefetch::{PrefetchConfig, StridePrefetcher};
 use lookahead_core::ConsistencyModel;
+use lookahead_harness::dag::{self, DagStats, Scheduler, TaskDag};
 use lookahead_harness::experiments::{
-    figure3_with, figure4_with, miss_delay, multi_issue_with, rc_sweep_columns,
-    read_latency_hidden_matrix, table1, table2, table3, PAPER_WINDOWS,
+    columns_from_results, figure3_cells, figure3_with, figure4_cells, figure4_with, hidden_row,
+    miss_delay, multi_issue_sched, rc_sweep_columns, read_latency_hidden_matrix, summary_cells,
+    table1, table2, table3, CellSpec, ModelSpec, PAPER_WINDOWS,
 };
 use lookahead_harness::format::{count_with_rate, render_figure, render_table};
 use lookahead_harness::parallel::run_ordered;
@@ -31,6 +33,7 @@ use lookahead_schedule::optimize_program;
 use lookahead_trace::{Trace, TraceStats};
 use lookahead_workloads::App;
 use std::fmt::Write;
+use std::sync::OnceLock;
 
 /// **Figure 1**: the ordering restrictions each consistency model
 /// places on accesses from the same processor.
@@ -82,72 +85,63 @@ pub fn figure1_report() -> String {
     out
 }
 
-/// **Figure 3**: BASE and {SSBR, SS, DS} under SC/PC/RC with the
-/// window sweep, one stacked figure per application.
-pub fn figure3_report(runs: &[AppRun], workers: usize) -> String {
+/// One application's Figure 3 block — the single render path shared
+/// by the flat report and the DAG sweep, so both are byte-identical
+/// by construction.
+fn figure3_app_text(run: &AppRun, cols: &[lookahead_harness::Figure3Column]) -> String {
     let mut out = String::new();
-    for run in runs {
-        let cols = figure3_with(run, &PAPER_WINDOWS, workers);
-        writeln!(
-            out,
-            "{}",
-            render_figure(
-                &format!(
-                    "Figure 3 — {} (trace: {} instructions, processor {})",
-                    run.app,
-                    run.trace_len(),
-                    run.proc
-                ),
-                &cols
-            )
+    writeln!(
+        out,
+        "{}",
+        render_figure(
+            &format!(
+                "Figure 3 — {} (trace: {} instructions, processor {})",
+                run.app,
+                run.trace_len(),
+                run.proc
+            ),
+            cols
         )
-        .unwrap();
-    }
+    )
+    .unwrap();
     out
 }
 
-/// **Figure 4**: the branch-prediction / data-dependence ablations on
-/// the RC window sweep.
-pub fn figure4_report(runs: &[AppRun], workers: usize) -> String {
+/// One application's Figure 4 block (see [`figure3_app_text`]).
+fn figure4_app_text(run: &AppRun, cols: &[lookahead_harness::Figure3Column]) -> String {
     let mut out = String::new();
-    for run in runs {
-        let cols = figure4_with(run, &PAPER_WINDOWS, workers);
-        writeln!(
-            out,
-            "{}",
-            render_figure(
-                &format!(
-                    "Figure 4 — {} (bp = perfect branch prediction; \
-                     bp+nd = also ignoring data dependences)",
-                    run.app
-                ),
-                &cols
-            )
+    writeln!(
+        out,
+        "{}",
+        render_figure(
+            &format!(
+                "Figure 4 — {} (bp = perfect branch prediction; \
+                 bp+nd = also ignoring data dependences)",
+                run.app
+            ),
+            cols
         )
-        .unwrap();
-    }
+    )
+    .unwrap();
     out
 }
 
-/// The §7 headline numbers: percentage of read latency hidden per
-/// application and window, plus the cross-application average.
-pub fn summary_report(runs: &[AppRun], workers: usize) -> String {
-    let windows = [16, 32, 64, 128, 256];
-    let matrix = read_latency_hidden_matrix(runs, &windows, workers);
-
+/// The rendered §7 summary for an already-computed hidden-latency
+/// matrix (rows in `app_names` order, columns in `windows` order).
+fn summary_text(app_names: &[&str], windows: &[usize], matrix: &[Vec<f64>]) -> String {
     let mut rows = vec![{
         let mut h = vec!["Program".to_string()];
         h.extend(windows.iter().map(|w| format!("W={w}")));
         h
     }];
-    for (run, row) in runs.iter().zip(&matrix) {
-        let mut r = vec![run.app.clone()];
+    for (app, row) in app_names.iter().zip(matrix) {
+        let mut r = vec![(*app).to_string()];
         r.extend(row.iter().map(|h| format!("{:.0}%", h * 100.0)));
         rows.push(r);
     }
     let mut avg = vec!["AVERAGE".to_string()];
     avg.extend((0..windows.len()).map(|j| {
-        let mean = matrix.iter().map(|row| row[j]).sum::<f64>() / runs.len().max(1) as f64;
+        let mean = matrix.iter().map(|row| row[j]).sum::<f64>() / app_names.len().max(1) as f64;
         format!("{:.0}%", mean * 100.0)
     }));
     rows.push(avg);
@@ -165,6 +159,31 @@ pub fn summary_report(runs: &[AppRun], workers: usize) -> String {
     )
     .unwrap();
     out
+}
+
+/// **Figure 3**: BASE and {SSBR, SS, DS} under SC/PC/RC with the
+/// window sweep, one stacked figure per application.
+pub fn figure3_report(runs: &[AppRun], workers: usize) -> String {
+    runs.iter()
+        .map(|run| figure3_app_text(run, &figure3_with(run, &PAPER_WINDOWS, workers)))
+        .collect()
+}
+
+/// **Figure 4**: the branch-prediction / data-dependence ablations on
+/// the RC window sweep.
+pub fn figure4_report(runs: &[AppRun], workers: usize) -> String {
+    runs.iter()
+        .map(|run| figure4_app_text(run, &figure4_with(run, &PAPER_WINDOWS, workers)))
+        .collect()
+}
+
+/// The §7 headline numbers: percentage of read latency hidden per
+/// application and window, plus the cross-application average.
+pub fn summary_report(runs: &[AppRun], workers: usize) -> String {
+    let windows = [16, 32, 64, 128, 256];
+    let matrix = read_latency_hidden_matrix(runs, &windows, workers);
+    let names: Vec<&str> = runs.iter().map(|r| r.app.as_str()).collect();
+    summary_text(&names, &windows, &matrix)
 }
 
 /// **Table 1**: statistics on data references.
@@ -300,9 +319,16 @@ pub fn miss_delay_report(runs: &[AppRun]) -> String {
 /// The §4.2 multiple-issue study: 4-wide RC window sweep plus the
 /// RC-over-SC speedup at window 128, single- and 4-wide.
 pub fn multi_issue_report(runs: &[AppRun], workers: usize) -> String {
+    multi_issue_report_sched(runs, workers, Scheduler::Flat)
+}
+
+/// [`multi_issue_report`] with an explicit cell scheduler (the gain
+/// probes at the end of each block are four tiny cells and stay on
+/// the flat pool either way).
+pub fn multi_issue_report_sched(runs: &[AppRun], workers: usize, scheduler: Scheduler) -> String {
     let mut out = String::new();
     for run in runs {
-        let cols = multi_issue_with(run, &PAPER_WINDOWS, workers);
+        let cols = multi_issue_sched(run, &PAPER_WINDOWS, workers, scheduler);
         writeln!(
             out,
             "{}",
@@ -686,4 +712,187 @@ pub fn sched_report(runner: &Runner) -> String {
     )
     .unwrap();
     out
+}
+
+/// The reports [`dag_sweep`] merges into one scheduled task graph.
+pub const DAG_REPORTS: &[&str] = &["figure3", "figure4", "summary"];
+
+/// Result of a merged DAG sweep: the generated runs (reusable by any
+/// further report in the same process), the rendered report texts in
+/// request order, and the scheduler's execution stats.
+pub struct DagSweep {
+    /// One generated (or cache-loaded) run per selected application.
+    pub runs: Vec<AppRun>,
+    /// `(report name, rendered text)` in the requested order,
+    /// byte-identical to the flat report functions.
+    pub texts: Vec<(String, String)>,
+    /// What the DAG executor observed.
+    pub stats: DagStats,
+    /// Re-timing cells executed (generation nodes excluded).
+    pub cells: usize,
+}
+
+/// Cost estimate for a cold generation node, calibrated from the
+/// `BENCH_generation` artifact: generating a trace costs one to two
+/// orders of magnitude more than the most expensive re-timing cell,
+/// so generation nodes carry the critical path and are started first.
+const COST_GENERATE: u64 = 600;
+
+enum NodeKind {
+    Gen(usize),
+    Cell {
+        app: usize,
+        slot: usize,
+        model: ModelSpec,
+    },
+}
+
+/// Runs the requested subset of [`DAG_REPORTS`] as **one** task graph:
+/// per application a generation node (collapsed to near-zero cost when
+/// the trace cache already holds it) feeding one shared BASE cell and
+/// every report cell of that application. Ready nodes execute in
+/// upward-rank order, so app A's expensive DS cells overlap app B's
+/// still-running generation instead of waiting behind the old
+/// generate-everything barrier — and there is no per-report barrier at
+/// all.
+///
+/// The BASE reference cell is identical across the merged reports
+/// (the same deterministic simulation), so it runs once per app and
+/// its result is shared — the cache/memo collapse of the DAG model.
+///
+/// # Panics
+///
+/// Panics if `wanted` contains a report outside [`DAG_REPORTS`], or if
+/// a workload fails to simulate or verify.
+pub fn dag_sweep(runner: &Runner, wanted: &[&str], workers: usize) -> DagSweep {
+    let apps = runner.apps();
+    let windows = &PAPER_WINDOWS;
+    let report_specs: Vec<(&str, Vec<CellSpec>)> = wanted
+        .iter()
+        .map(|&name| {
+            let specs = match name {
+                "figure3" => figure3_cells(windows),
+                "figure4" => figure4_cells(windows),
+                "summary" => summary_cells(windows),
+                other => panic!("{other} is not a DAG-merged report"),
+            };
+            (name, specs)
+        })
+        .collect();
+
+    let mut task_dag = TaskDag::new();
+    let mut kinds: Vec<NodeKind> = Vec::new();
+    let mut slots = 0usize;
+    // [app][report] -> result slot per spec index (0 = shared BASE).
+    let mut report_slots: Vec<Vec<Vec<usize>>> = Vec::new();
+    for (ai, &app) in apps.iter().enumerate() {
+        let gen = if runner.trace_cached(app) {
+            task_dag.add_collapsed(&[])
+        } else {
+            task_dag.add_task(COST_GENERATE, &[])
+        };
+        kinds.push(NodeKind::Gen(ai));
+        let base_slot = slots;
+        task_dag.add_task(ModelSpec::Base.cost(), &[gen]);
+        kinds.push(NodeKind::Cell {
+            app: ai,
+            slot: base_slot,
+            model: ModelSpec::Base,
+        });
+        slots += 1;
+        let mut per_report = Vec::new();
+        for (_, specs) in &report_specs {
+            let mut cell_slots = vec![base_slot];
+            for spec in &specs[1..] {
+                task_dag.add_task(spec.model.cost(), &[gen]);
+                kinds.push(NodeKind::Cell {
+                    app: ai,
+                    slot: slots,
+                    model: spec.model,
+                });
+                cell_slots.push(slots);
+                slots += 1;
+            }
+            per_report.push(cell_slots);
+        }
+        report_slots.push(per_report);
+    }
+
+    let gen_slots: Vec<OnceLock<AppRun>> = apps.iter().map(|_| OnceLock::new()).collect();
+    let cell_results: Vec<OnceLock<ExecutionResult>> =
+        (0..slots).map(|_| OnceLock::new()).collect();
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = kinds
+        .iter()
+        .map(|kind| -> Box<dyn FnOnce() + Send + '_> {
+            match *kind {
+                NodeKind::Gen(ai) => {
+                    let app = apps[ai];
+                    let gen_slots = &gen_slots;
+                    Box::new(move || {
+                        assert!(
+                            gen_slots[ai].set(runner.run_app(app)).is_ok(),
+                            "generation node ran twice"
+                        );
+                    })
+                }
+                NodeKind::Cell { app, slot, model } => {
+                    let (gen_slots, cell_results) = (&gen_slots, &cell_results);
+                    Box::new(move || {
+                        let run = gen_slots[app]
+                            .get()
+                            .expect("scheduler ran a cell before its generation node");
+                        assert!(cell_results[slot].set(model.retime(run)).is_ok());
+                    })
+                }
+            }
+        })
+        .collect();
+    let (_, stats) = dag::run_dag_with_stats(&task_dag, jobs, workers);
+
+    let runs: Vec<AppRun> = gen_slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every generation node completed"))
+        .collect();
+    let results = |ai: usize, ri: usize| -> Vec<ExecutionResult> {
+        report_slots[ai][ri]
+            .iter()
+            .map(|&s| cell_results[s].get().expect("every cell completed").clone())
+            .collect()
+    };
+    let texts = report_specs
+        .iter()
+        .enumerate()
+        .map(|(ri, (name, specs))| {
+            let text: String = match *name {
+                "summary" => {
+                    let matrix: Vec<Vec<f64>> = (0..runs.len())
+                        .map(|ai| hidden_row(&results(ai, ri)))
+                        .collect();
+                    let names: Vec<&str> = runs.iter().map(|r| r.app.as_str()).collect();
+                    summary_text(&names, windows, &matrix)
+                }
+                "figure3" => runs
+                    .iter()
+                    .enumerate()
+                    .map(|(ai, run)| {
+                        figure3_app_text(run, &columns_from_results(specs, &results(ai, ri)))
+                    })
+                    .collect(),
+                _ => runs
+                    .iter()
+                    .enumerate()
+                    .map(|(ai, run)| {
+                        figure4_app_text(run, &columns_from_results(specs, &results(ai, ri)))
+                    })
+                    .collect(),
+            };
+            ((*name).to_string(), text)
+        })
+        .collect();
+    DagSweep {
+        runs,
+        texts,
+        stats,
+        cells: slots,
+    }
 }

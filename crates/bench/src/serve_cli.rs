@@ -9,6 +9,7 @@
 
 use crate::{cache_from_env_or, config_from_env, fail_fast};
 use lookahead_harness::cache::TraceCache;
+use lookahead_harness::dag::Scheduler;
 use lookahead_harness::parallel;
 use lookahead_harness::SizeTier;
 use lookahead_serve::{
@@ -38,7 +39,13 @@ options:
   --threads N      connection worker threads (default:
                    LOOKAHEAD_SERVE_THREADS or 4)
   --jobs N         re-timing worker threads (default: LOOKAHEAD_JOBS
-                   or all cores)
+                   or all cores; the flag wins over the environment
+                   variable)
+  --scheduler S    sweep cell scheduler: dag (critical-path rank,
+                   the default) or flat; bodies are byte-identical
+                   either way (the flag wins over LOOKAHEAD_SCHEDULER)
+  --prewarm        speculatively pre-compute likely-next report bodies
+                   (remaining apps, adjacent windows) while idle
   --cache-dir DIR  cache traces under DIR (default: target/trace-cache,
                    or the LOOKAHEAD_CACHE environment variable)
   --no-cache       disable the trace cache
@@ -46,9 +53,14 @@ options:
                    (analyze with `trace_tool spans FILE`)
   -h, --help       show this help
 
+Figure sweeps accept stream=1 (e.g. /v1/figure3?app=A&stream=1): the
+body is sent with chunked framing, one column per chunk as cells
+finish, byte-identical to the buffered body.
+
 environment: LOOKAHEAD_SMALL=1, LOOKAHEAD_PAPER=1, LOOKAHEAD_PROCS=n,
 LOOKAHEAD_SERVE_ADDR, LOOKAHEAD_SERVE_THREADS, LOOKAHEAD_CACHE=DIR|off,
-LOOKAHEAD_JOBS=n, LOOKAHEAD_LOG=level|target=level,... (stderr logs)";
+LOOKAHEAD_JOBS=n, LOOKAHEAD_SCHEDULER=dag|flat,
+LOOKAHEAD_SERVE_PREWARM=1, LOOKAHEAD_LOG=level|target=level,...";
 
 pub const QUERY_USAGE: &str = "usage: lookahead query TARGET [OPTIONS]
 
@@ -59,10 +71,15 @@ byte-identical to the HTTP response body for the same target.
   lookahead query /v1/summary
 
 options:
-  --jobs N         re-timing worker threads
+  --jobs N         re-timing worker threads (the flag wins over
+                   LOOKAHEAD_JOBS)
+  --scheduler S    sweep cell scheduler: dag (default) or flat
   --cache-dir DIR  cache traces under DIR (default: target/trace-cache)
   --no-cache       disable the trace cache
-  -h, --help       show this help";
+  -h, --help       show this help
+
+Streamed targets (stream=1) are drained in-process: the printed body
+is byte-identical to the buffered one.";
 
 #[derive(Default)]
 struct Options {
@@ -70,10 +87,17 @@ struct Options {
     addr_file: Option<String>,
     threads: Option<String>,
     jobs: Option<usize>,
+    scheduler: Option<Scheduler>,
+    prewarm: bool,
     cache_dir: Option<String>,
     no_cache: bool,
     span_log: Option<String>,
     target: Option<String>,
+}
+
+fn parse_scheduler(value: &str) -> Result<Scheduler, String> {
+    Scheduler::from_name(value)
+        .ok_or_else(|| format!("--scheduler must be \"flat\" or \"dag\", got {value:?}"))
 }
 
 /// Parses the flags shared by `serve` and `query`; positional
@@ -90,6 +114,10 @@ fn parse(args: &[String], usage: &'static str) -> Result<Option<Options>, String
         match a.as_str() {
             "-h" | "--help" => return Ok(None),
             "--no-cache" => opts.no_cache = true,
+            "--prewarm" => opts.prewarm = true,
+            "--scheduler" => {
+                opts.scheduler = Some(parse_scheduler(&value(&mut it, "--scheduler")?)?);
+            }
             "--addr" => opts.addr = Some(value(&mut it, "--addr")?),
             "--addr-file" => opts.addr_file = Some(value(&mut it, "--addr-file")?),
             "--threads" => opts.threads = Some(value(&mut it, "--threads")?),
@@ -109,6 +137,8 @@ fn parse(args: &[String], usage: &'static str) -> Result<Option<Options>, String
                     opts.span_log = Some(v.to_string());
                 } else if let Some(v) = a.strip_prefix("--jobs=") {
                     opts.jobs = Some(parallel::parse_jobs(v)?);
+                } else if let Some(v) = a.strip_prefix("--scheduler=") {
+                    opts.scheduler = Some(parse_scheduler(v)?);
                 } else if a.starts_with('-') {
                     return Err(format!("unknown option {a:?}\n\n{usage}"));
                 } else if opts.target.is_none() {
@@ -132,17 +162,37 @@ fn cache_for(opts: &Options) -> Option<TraceCache> {
     }
 }
 
+/// `LOOKAHEAD_SERVE_PREWARM=1` enables the speculative pre-warm loop
+/// when the `--prewarm` flag is absent (the flag wins).
+fn prewarm_from_env() -> Result<bool, String> {
+    match std::env::var("LOOKAHEAD_SERVE_PREWARM") {
+        Ok(v) => match v.trim() {
+            "1" => Ok(true),
+            "0" | "" => Ok(false),
+            _ => Err(format!("LOOKAHEAD_SERVE_PREWARM must be 0 or 1, got {v:?}")),
+        },
+        Err(_) => Ok(false),
+    }
+}
+
 /// The service, built exactly as the report driver builds its runner:
-/// tier and simulation config from the environment, plus the cache and
-/// worker knobs.
+/// tier and simulation config from the environment, plus the cache,
+/// scheduler and worker knobs (flags win over environment variables).
 fn build_service(opts: &Options) -> (Arc<ExperimentService>, usize) {
     let jobs = opts.jobs.unwrap_or_else(parallel::default_workers);
+    let scheduler = opts
+        .scheduler
+        .or_else(|| fail_fast(Scheduler::from_env()))
+        .unwrap_or(Scheduler::Dag);
+    let prewarm = opts.prewarm || fail_fast(prewarm_from_env());
     let service = ExperimentService::new(
         ServiceConfig {
             default_tier: SizeTier::from_env(),
             sim: config_from_env(),
             retime_workers: jobs,
             span_log: opts.span_log.as_ref().map(std::path::PathBuf::from),
+            scheduler,
+            prewarm,
         },
         cache_for(opts),
     );
@@ -206,10 +256,16 @@ pub fn serve_main(args: &[String]) -> ExitCode {
     }
     eprintln!(
         "lookahead serve: http://{bound} ({} connection workers, {jobs} re-timing workers, \
-         tier {}, cache {}); Ctrl-C drains and exits",
+         tier {}, scheduler {}, cache {}, prewarm {}); Ctrl-C drains and exits",
         threads,
         service.config().default_tier.name(),
+        service.config().scheduler.name(),
         if service.disk_cache_enabled() {
+            "on"
+        } else {
+            "off"
+        },
+        if service.prewarm_enabled() {
             "on"
         } else {
             "off"
@@ -257,9 +313,17 @@ pub fn query_main(args: &[String]) -> ExitCode {
         eprintln!("error: --span-log is a serve option\n\n{QUERY_USAGE}");
         return ExitCode::from(2);
     }
+    if opts.prewarm {
+        eprintln!("error: --prewarm is a serve option\n\n{QUERY_USAGE}");
+        return ExitCode::from(2);
+    }
 
     let (service, _) = build_service(&opts);
     let response = handle_target(&service, target);
+    // Streamed responses (stream=1) carry the body as a producer, not
+    // a string; drain it here so the printed bytes still equal what
+    // the HTTP server would have sent (after chunk reassembly).
+    let body = response.full_body();
     // The body goes to stdout verbatim (no trailing newline): the
     // bytes must equal the HTTP response body for the same target.
     // Written by hand rather than print! so a closed pipe (query piped
@@ -269,7 +333,7 @@ pub fn query_main(args: &[String]) -> ExitCode {
         use std::io::Write as _;
         let mut stdout = std::io::stdout().lock();
         let write_result = stdout
-            .write_all(response.body.as_bytes())
+            .write_all(body.as_bytes())
             .and_then(|()| stdout.flush());
         if let Err(e) = write_result {
             if e.kind() == std::io::ErrorKind::BrokenPipe {

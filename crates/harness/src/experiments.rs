@@ -7,6 +7,7 @@
 //! submission order, so the output is byte-for-byte identical whether
 //! the pool has one worker (`LOOKAHEAD_JOBS=1`) or one per core.
 
+use crate::dag::{self, DagStats, Scheduler, TaskDag};
 use crate::parallel;
 use crate::pipeline::{AppRun, PipelineError};
 use lookahead_core::base::Base;
@@ -47,29 +48,258 @@ fn column(label: &str, model: &str, result: &ExecutionResult, base: &Breakdown) 
     }
 }
 
-/// One re-timing cell of a sweep: a labelled model run over the run's
-/// trace. Cells are executed on the worker pool and assembled in
-/// submission order.
-type Cell<'a> = (
-    String,
-    String,
-    Box<dyn FnOnce() -> ExecutionResult + Send + 'a>,
-);
+/// The processor model one sweep cell re-times a run under. `Copy`
+/// (every variant is plain configuration), so cells can be enumerated
+/// once and shipped to any scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelSpec {
+    /// The BASE in-order reference processor.
+    Base,
+    /// In-order with store buffer and blocking reads.
+    Ssbr(ConsistencyModel),
+    /// In-order with store buffer and non-blocking reads.
+    Ss(ConsistencyModel),
+    /// The dynamically-scheduled processor.
+    Ds(DsConfig),
+}
 
-/// Runs labelled cells (the first must be the BASE reference) on
-/// `workers` threads and normalizes every column to the first one.
-fn run_cells(cells: Vec<Cell<'_>>, workers: usize) -> Vec<Figure3Column> {
-    let (labels, jobs): (Vec<_>, Vec<_>) = cells
-        .into_iter()
-        .map(|(label, group, job)| ((label, group), job))
-        .unzip();
-    let results = parallel::run_ordered(jobs, workers);
-    let base = results[0].breakdown;
-    labels
+impl ModelSpec {
+    /// Runs this model over the run's representative trace.
+    #[must_use]
+    pub fn retime(&self, run: &AppRun) -> ExecutionResult {
+        match *self {
+            ModelSpec::Base => run.retime(&Base),
+            ModelSpec::Ssbr(model) => run.retime(&InOrder::ssbr(model)),
+            ModelSpec::Ss(model) => run.retime(&InOrder::ss(model)),
+            ModelSpec::Ds(config) => run.retime(&Ds::new(config)),
+        }
+    }
+
+    /// Coarse cost estimate for DAG scheduling, calibrated from the
+    /// `BENCH_retiming` shape: the in-order models cost about the
+    /// same per cell, while a DS cell grows with its window (the slab
+    /// scan and the dependence bookkeeping scale with it) — DS.256 is
+    /// the cell a rank-ordered schedule must start first.
+    #[must_use]
+    pub fn cost(&self) -> u64 {
+        match *self {
+            ModelSpec::Base => 4,
+            ModelSpec::Ssbr(_) | ModelSpec::Ss(_) => 5,
+            ModelSpec::Ds(config) => 6 + config.window_size as u64 / 16,
+        }
+    }
+}
+
+/// One labelled cell of a sweep: which model, under which figure
+/// label and group. Every report is enumerated as a `Vec<CellSpec>`
+/// (the first cell is always the BASE reference the others are
+/// normalized to), so the flat pool, the DAG scheduler, the driver and
+/// the serve endpoints all run literally the same cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// Column label as in the figure ("BASE", "SSBR", "DS.64", ...).
+    pub label: String,
+    /// Consistency model group ("" for BASE).
+    pub group: String,
+    /// The model to re-time under.
+    pub model: ModelSpec,
+}
+
+impl CellSpec {
+    fn new(label: impl Into<String>, group: impl Into<String>, model: ModelSpec) -> CellSpec {
+        CellSpec {
+            label: label.into(),
+            group: group.into(),
+            model,
+        }
+    }
+}
+
+/// The BASE reference cell every sweep starts with.
+fn base_cell() -> CellSpec {
+    CellSpec::new("BASE", "", ModelSpec::Base)
+}
+
+/// The shared cell-enumeration helper all sweep builders are phrased
+/// in: one `DS.{w}` cell per window under `group`.
+fn push_ds_sweep(
+    cells: &mut Vec<CellSpec>,
+    group: &str,
+    windows: &[usize],
+    config: impl Fn(usize) -> DsConfig,
+) {
+    for &w in windows {
+        cells.push(CellSpec::new(
+            format!("DS.{w}"),
+            group,
+            ModelSpec::Ds(config(w)),
+        ));
+    }
+}
+
+/// The cells of Figure 3: BASE, then {SSBR, SS, DS} under SC, PC and
+/// RC, with the full window sweep under RC.
+#[must_use]
+pub fn figure3_cells(windows: &[usize]) -> Vec<CellSpec> {
+    let mut cells = vec![base_cell()];
+    for model in ConsistencyModel::EVALUATED {
+        let group = model.abbrev();
+        cells.push(CellSpec::new("SSBR", group, ModelSpec::Ssbr(model)));
+        cells.push(CellSpec::new("SS", group, ModelSpec::Ss(model)));
+        let ds_windows: &[usize] = if model == ConsistencyModel::Rc {
+            windows
+        } else {
+            &[256]
+        };
+        push_ds_sweep(&mut cells, group, ds_windows, |w| {
+            DsConfig::with_model(model).window(w)
+        });
+    }
+    cells
+}
+
+/// The cells of Figure 4: BASE, then the perfect-branch-prediction and
+/// ignored-data-dependence ablations across the window sweep.
+#[must_use]
+pub fn figure4_cells(windows: &[usize]) -> Vec<CellSpec> {
+    let mut cells = vec![base_cell()];
+    for (suffix, nodep) in [("bp", false), ("bp+nd", true)] {
+        push_ds_sweep(&mut cells, suffix, windows, |w| DsConfig {
+            perfect_branch_prediction: true,
+            ignore_data_dependences: nodep,
+            ..DsConfig::rc().window(w)
+        });
+    }
+    cells
+}
+
+/// The cells of an RC DS window sweep at a given issue width: BASE
+/// plus one DS cell per window.
+#[must_use]
+pub fn rc_sweep_cells(windows: &[usize], issue_width: usize, group: &str) -> Vec<CellSpec> {
+    let mut cells = vec![base_cell()];
+    push_ds_sweep(&mut cells, group, windows, |w| DsConfig {
+        issue_width,
+        ..DsConfig::rc().window(w)
+    });
+    cells
+}
+
+/// The cells behind one row of the §7 summary matrix: BASE plus the
+/// single-issue RC DS sweep.
+#[must_use]
+pub fn summary_cells(windows: &[usize]) -> Vec<CellSpec> {
+    rc_sweep_cells(windows, 1, "RC")
+}
+
+/// Re-times every cell of `specs` over `run` — on the flat pool or as
+/// a rank-ordered DAG — returning results in spec order.
+#[must_use]
+pub fn retime_cells(
+    run: &AppRun,
+    specs: &[CellSpec],
+    workers: usize,
+    scheduler: Scheduler,
+) -> Vec<ExecutionResult> {
+    retime_matrix(&[run], specs, workers, scheduler)
+        .pop()
+        .unwrap_or_default()
+}
+
+/// Re-times the same cell list over several runs in one scheduler
+/// pass; returns one result row per run, each in spec order. Under
+/// [`Scheduler::Dag`] the (run × cell) nodes share a single
+/// rank-ordered ready heap, so the expensive DS cells of every run
+/// start before any cheap cell straggles the makespan.
+#[must_use]
+pub fn retime_matrix(
+    runs: &[&AppRun],
+    specs: &[CellSpec],
+    workers: usize,
+    scheduler: Scheduler,
+) -> Vec<Vec<ExecutionResult>> {
+    let jobs: Vec<_> = runs
         .iter()
-        .zip(&results)
-        .map(|((label, group), r)| column(label, group, r, &base))
+        .flat_map(|&run| {
+            specs.iter().map(move |spec| {
+                let model = spec.model;
+                move || model.retime(run)
+            })
+        })
+        .collect();
+    let results = match scheduler {
+        Scheduler::Flat => parallel::run_ordered(jobs, workers),
+        Scheduler::Dag => {
+            let mut dag = TaskDag::new();
+            for _ in runs {
+                for spec in specs {
+                    dag.add_task(spec.model.cost(), &[]);
+                }
+            }
+            dag::run_dag(&dag, jobs, workers)
+        }
+    };
+    let mut rows: Vec<Vec<ExecutionResult>> = Vec::with_capacity(runs.len());
+    let mut it = results.into_iter();
+    for _ in runs {
+        rows.push(it.by_ref().take(specs.len()).collect());
+    }
+    rows
+}
+
+/// Normalizes spec-ordered results to the first (BASE) cell, yielding
+/// the figure columns. Shared by every execution path — flat pool,
+/// DAG executor, driver and serve — so their rendered output is
+/// byte-identical by construction.
+#[must_use]
+pub fn columns_from_results(specs: &[CellSpec], results: &[ExecutionResult]) -> Vec<Figure3Column> {
+    let base = results[0].breakdown;
+    specs
+        .iter()
+        .zip(results)
+        .map(|(spec, r)| column(&spec.label, &spec.group, r, &base))
         .collect()
+}
+
+/// Runs one sweep's cells over `run` and normalizes to BASE.
+#[must_use]
+pub fn run_cell_specs(
+    run: &AppRun,
+    specs: &[CellSpec],
+    workers: usize,
+    scheduler: Scheduler,
+) -> Vec<Figure3Column> {
+    let results = retime_cells(run, specs, workers, scheduler);
+    columns_from_results(specs, &results)
+}
+
+/// [`run_cell_specs`] also returning the DAG execution stats (None
+/// under the flat scheduler) — serve exports them to `/metrics`.
+#[must_use]
+pub fn run_cell_specs_with_stats(
+    run: &AppRun,
+    specs: &[CellSpec],
+    workers: usize,
+    scheduler: Scheduler,
+) -> (Vec<Figure3Column>, Option<DagStats>) {
+    match scheduler {
+        Scheduler::Flat => (run_cell_specs(run, specs, workers, scheduler), None),
+        Scheduler::Dag => {
+            let jobs: Vec<_> = specs
+                .iter()
+                .map(|spec| {
+                    let model = spec.model;
+                    move || model.retime(run)
+                })
+                .collect();
+            let mut dag = TaskDag::new();
+            for spec in specs {
+                dag.add_task(spec.model.cost(), &[]);
+            }
+            let (results, stats) = dag::run_dag_with_stats(&dag, jobs, workers);
+            (columns_from_results(specs, &results), Some(stats))
+        }
+    }
 }
 
 /// Figure 3: BASE, then {SSBR, SS, DS} under SC, PC and RC, with the
@@ -81,34 +311,17 @@ pub fn figure3(run: &AppRun, windows: &[usize]) -> Vec<Figure3Column> {
 
 /// [`figure3`] with an explicit worker count (1 = serial).
 pub fn figure3_with(run: &AppRun, windows: &[usize], workers: usize) -> Vec<Figure3Column> {
-    let mut cells: Vec<Cell<'_>> =
-        vec![("BASE".into(), String::new(), Box::new(|| run.retime(&Base)))];
-    for model in ConsistencyModel::EVALUATED {
-        let group = model.abbrev();
-        cells.push((
-            "SSBR".into(),
-            group.into(),
-            Box::new(move || run.retime(&InOrder::ssbr(model))),
-        ));
-        cells.push((
-            "SS".into(),
-            group.into(),
-            Box::new(move || run.retime(&InOrder::ss(model))),
-        ));
-        let ds_windows: &[usize] = if model == ConsistencyModel::Rc {
-            windows
-        } else {
-            &[256]
-        };
-        for &w in ds_windows {
-            cells.push((
-                format!("DS.{w}"),
-                group.into(),
-                Box::new(move || run.retime(&Ds::new(DsConfig::with_model(model).window(w)))),
-            ));
-        }
-    }
-    run_cells(cells, workers)
+    figure3_sched(run, windows, workers, Scheduler::Flat)
+}
+
+/// [`figure3`] with an explicit worker count and scheduler.
+pub fn figure3_sched(
+    run: &AppRun,
+    windows: &[usize],
+    workers: usize,
+    scheduler: Scheduler,
+) -> Vec<Figure3Column> {
+    run_cell_specs(run, &figure3_cells(windows), workers, scheduler)
 }
 
 /// Figure 4: the RC dynamic-scheduling ablations — perfect branch
@@ -120,24 +333,17 @@ pub fn figure4(run: &AppRun, windows: &[usize]) -> Vec<Figure4Column> {
 
 /// [`figure4`] with an explicit worker count (1 = serial).
 pub fn figure4_with(run: &AppRun, windows: &[usize], workers: usize) -> Vec<Figure4Column> {
-    let mut cells: Vec<Cell<'_>> =
-        vec![("BASE".into(), String::new(), Box::new(|| run.retime(&Base)))];
-    for (suffix, nodep) in [("bp", false), ("bp+nd", true)] {
-        for &w in windows {
-            cells.push((
-                format!("DS.{w}"),
-                suffix.into(),
-                Box::new(move || {
-                    run.retime(&Ds::new(DsConfig {
-                        perfect_branch_prediction: true,
-                        ignore_data_dependences: nodep,
-                        ..DsConfig::rc().window(w)
-                    }))
-                }),
-            ));
-        }
-    }
-    run_cells(cells, workers)
+    figure4_sched(run, windows, workers, Scheduler::Flat)
+}
+
+/// [`figure4`] with an explicit worker count and scheduler.
+pub fn figure4_sched(
+    run: &AppRun,
+    windows: &[usize],
+    workers: usize,
+    scheduler: Scheduler,
+) -> Vec<Figure4Column> {
+    run_cell_specs(run, &figure4_cells(windows), workers, scheduler)
 }
 
 /// Table 1: data-reference statistics of the representative trace.
@@ -176,31 +382,32 @@ pub fn read_latency_hidden_matrix(
     windows: &[usize],
     workers: usize,
 ) -> Vec<Vec<f64>> {
-    // Per run: the BASE breakdown followed by one DS breakdown per
-    // window, flattened into a single job list.
-    let mut jobs: Vec<Box<dyn FnOnce() -> Breakdown + Send + '_>> = Vec::new();
-    for run in runs {
-        jobs.push(Box::new(|| run.retime(&Base).breakdown));
-        for &w in windows {
-            jobs.push(Box::new(move || {
-                run.retime(&Ds::new(DsConfig::rc().window(w))).breakdown
-            }));
-        }
-    }
-    let results = parallel::run_ordered(jobs, workers);
-    let stride = 1 + windows.len();
-    runs.iter()
-        .enumerate()
-        .map(|(i, _)| {
-            let base = &results[i * stride];
-            (0..windows.len())
-                .map(|j| {
-                    results[i * stride + 1 + j]
-                        .read_latency_hidden_vs(base)
-                        .unwrap_or(1.0)
-                })
-                .collect()
-        })
+    read_latency_hidden_matrix_sched(runs, windows, workers, Scheduler::Flat)
+}
+
+/// [`read_latency_hidden_matrix`] with an explicit scheduler: all
+/// (run × cell) nodes run in one pass.
+pub fn read_latency_hidden_matrix_sched(
+    runs: &[AppRun],
+    windows: &[usize],
+    workers: usize,
+    scheduler: Scheduler,
+) -> Vec<Vec<f64>> {
+    let run_refs: Vec<&AppRun> = runs.iter().collect();
+    let rows = retime_matrix(&run_refs, &summary_cells(windows), workers, scheduler);
+    rows.iter().map(|row| hidden_row(row)).collect()
+}
+
+/// One summary-matrix row from spec-ordered results (`BASE` first,
+/// then one DS cell per window): the fraction of BASE's read latency
+/// each DS cell hides. Shared by the flat matrix, the DAG sweep and
+/// serve so the rendered summaries agree to the byte.
+#[must_use]
+pub fn hidden_row(results: &[ExecutionResult]) -> Vec<f64> {
+    let base = results[0].breakdown;
+    results[1..]
+        .iter()
+        .map(|ds| ds.breakdown.read_latency_hidden_vs(&base).unwrap_or(1.0))
         .collect()
 }
 
@@ -273,31 +480,6 @@ pub fn miss_delay(run: &AppRun, window: usize) -> MissDelayReport {
     }
 }
 
-/// BASE plus the RC DS window sweep at a given issue width, as cells.
-fn rc_window_sweep(
-    run: &AppRun,
-    windows: &[usize],
-    issue_width: usize,
-    group: &str,
-    workers: usize,
-) -> Vec<Figure3Column> {
-    let mut cells: Vec<Cell<'_>> =
-        vec![("BASE".into(), String::new(), Box::new(|| run.retime(&Base)))];
-    for &w in windows {
-        cells.push((
-            format!("DS.{w}"),
-            group.into(),
-            Box::new(move || {
-                run.retime(&Ds::new(DsConfig {
-                    issue_width,
-                    ..DsConfig::rc().window(w)
-                }))
-            }),
-        ));
-    }
-    run_cells(cells, workers)
-}
-
 /// §4.2 multiple-issue study: the RC window sweep at 4-wide decode,
 /// issue and retirement, normalized to the same BASE.
 pub fn multi_issue(run: &AppRun, windows: &[usize]) -> Vec<Figure3Column> {
@@ -306,13 +488,28 @@ pub fn multi_issue(run: &AppRun, windows: &[usize]) -> Vec<Figure3Column> {
 
 /// [`multi_issue`] with an explicit worker count (1 = serial).
 pub fn multi_issue_with(run: &AppRun, windows: &[usize], workers: usize) -> Vec<Figure3Column> {
-    rc_window_sweep(run, windows, 4, "RCx4", workers)
+    multi_issue_sched(run, windows, workers, Scheduler::Flat)
+}
+
+/// [`multi_issue`] with an explicit worker count and scheduler.
+pub fn multi_issue_sched(
+    run: &AppRun,
+    windows: &[usize],
+    workers: usize,
+    scheduler: Scheduler,
+) -> Vec<Figure3Column> {
+    run_cell_specs(run, &rc_sweep_cells(windows, 4, "RCx4"), workers, scheduler)
 }
 
 /// BASE plus the single-issue RC DS window sweep — the shape the
 /// latency studies re-time an existing run under.
 pub fn rc_sweep_columns(run: &AppRun, windows: &[usize], workers: usize) -> Vec<Figure3Column> {
-    rc_window_sweep(run, windows, 1, "RC", workers)
+    run_cell_specs(
+        run,
+        &rc_sweep_cells(windows, 1, "RC"),
+        workers,
+        Scheduler::Flat,
+    )
 }
 
 /// §4.2 latency study: regenerates the trace with a different miss

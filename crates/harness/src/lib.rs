@@ -15,16 +15,19 @@
 //! [`experiments`] steps 4–5 for each table and figure of the paper,
 //! and [`format`](mod@format) renders text tables and stacked bars.
 //!
-//! Three execution-layer modules make the experiment suite cheap to
+//! Four execution-layer modules make the experiment suite cheap to
 //! rerun and safe to share: [`cache`] stores generated runs in a
 //! content-addressed on-disk cache so the multiprocessor simulation is
 //! pay-once, [`parallel`] fans independent re-timing cells across
-//! cores with deterministic, submission-ordered results, and
-//! [`singleflight`] deduplicates concurrent requests for the same run
-//! onto a single computation (the substrate of the experiment
+//! cores with deterministic, submission-ordered results, [`dag`]
+//! schedules a whole sweep as a costed task graph (critical-path rank,
+//! earliest-finish placement, generation overlapped with re-timing),
+//! and [`singleflight`] deduplicates concurrent requests for the same
+//! run onto a single computation (the substrate of the experiment
 //! service's coalescing).
 
 pub mod cache;
+pub mod dag;
 pub mod experiments;
 pub mod format;
 pub mod obsout;
@@ -34,11 +37,12 @@ pub mod singleflight;
 pub mod tier;
 
 pub use cache::{cache_key, load_or_generate, CacheOutcome, MissReason, TraceCache};
+pub use dag::{run_dag, run_dag_with_stats, DagStats, Plan, Scheduler, TaskDag};
 pub use experiments::{
     figure3, figure3_with, figure4, figure4_with, latency_sweep, miss_delay, multi_issue,
     multi_issue_with, rc_sweep_columns, read_latency_hidden_summary,
-    read_latency_hidden_summary_with, table1, table2, table3, Figure3Column, Figure4Column,
-    MissDelayReport,
+    read_latency_hidden_summary_with, table1, table2, table3, CellSpec, Figure3Column,
+    Figure4Column, MissDelayReport, ModelSpec,
 };
 pub use pipeline::{AppRun, PipelineError};
 pub use singleflight::{FlightOutcome, SharedRunStats, SharedRuns, SingleFlight};

@@ -1,0 +1,136 @@
+//! Property tests for the experiment-DAG scheduler: the upward rank
+//! must agree with an exhaustive longest-path enumeration on random
+//! DAGs, the plan must be a valid schedule (dependencies finish
+//! before dependents start), and the whole pipeline — plan and
+//! execution results — must be deterministic for a given DAG and
+//! worker count.
+
+use lookahead_harness::dag::{run_dag, TaskDag};
+use lookahead_isa::rng::XorShift64;
+
+/// A random DAG: edges only point from lower to higher ids (the
+/// `TaskDag` construction invariant), costs in `1..=max_cost`.
+fn random_dag(rng: &mut XorShift64, n: usize, edge_percent: u32, max_cost: u64) -> TaskDag {
+    let mut dag = TaskDag::new();
+    for id in 0..n {
+        let deps: Vec<usize> = (0..id).filter(|_| rng.percent(edge_percent)).collect();
+        dag.add_task(1 + rng.next_below(max_cost), &deps);
+    }
+    dag
+}
+
+/// Exhaustive longest-path-from-`id` cost: enumerate every downward
+/// chain without memoization. Exponential, fine for n <= 14.
+fn brute_longest_from(dag: &TaskDag, succs: &[Vec<usize>], id: usize) -> u64 {
+    dag.cost(id)
+        + succs[id]
+            .iter()
+            .map(|&s| brute_longest_from(dag, succs, s))
+            .max()
+            .unwrap_or(0)
+}
+
+fn successors(dag: &TaskDag) -> Vec<Vec<usize>> {
+    let mut succs = vec![Vec::new(); dag.len()];
+    for id in 0..dag.len() {
+        for &d in dag.deps(id) {
+            succs[d].push(id);
+        }
+    }
+    succs
+}
+
+#[test]
+fn rank_matches_brute_force_longest_path() {
+    let mut rng = XorShift64::seed_from_u64(0x0009_a7e1);
+    for case in 0..200 {
+        let n = 1 + rng.range_usize(14);
+        let dag = random_dag(&mut rng, n, 30, 50);
+        let succs = successors(&dag);
+        let ranks = dag.ranks();
+        for (id, rank) in ranks.iter().enumerate() {
+            assert_eq!(
+                *rank,
+                brute_longest_from(&dag, &succs, id),
+                "rank of node {id} diverges from exhaustive longest path (case {case}, n={n})"
+            );
+        }
+        assert_eq!(
+            dag.critical_path(),
+            (0..n)
+                .map(|id| brute_longest_from(&dag, &succs, id))
+                .max()
+                .unwrap_or(0)
+        );
+    }
+}
+
+#[test]
+fn plan_is_a_valid_schedule_on_random_dags() {
+    let mut rng = XorShift64::seed_from_u64(0x0009_a7e2);
+    for case in 0..200 {
+        let n = 1 + rng.range_usize(14);
+        let dag = random_dag(&mut rng, n, 30, 50);
+        let workers = 1 + rng.range_usize(4);
+        let plan = dag.plan(workers);
+        for id in 0..n {
+            assert_eq!(plan.finish[id], plan.start[id] + dag.cost(id));
+            for &d in dag.deps(id) {
+                assert!(
+                    plan.finish[d] <= plan.start[id],
+                    "dependency {d} finishes after {id} starts (case {case})"
+                );
+            }
+        }
+        // No two tasks overlap on the same worker.
+        for a in 0..n {
+            for b in 0..a {
+                if plan.worker[a] == plan.worker[b] {
+                    assert!(
+                        plan.finish[a] <= plan.start[b] || plan.finish[b] <= plan.start[a],
+                        "tasks {a} and {b} overlap on worker {} (case {case})",
+                        plan.worker[a]
+                    );
+                }
+            }
+        }
+        // The plan can never beat the critical path nor lose to the
+        // fully serial schedule.
+        assert!(plan.makespan >= dag.critical_path());
+        assert!(plan.makespan <= dag.total_cost());
+    }
+}
+
+#[test]
+fn plan_is_deterministic() {
+    let mut rng = XorShift64::seed_from_u64(0x0009_a7e3);
+    for _ in 0..50 {
+        let n = 1 + rng.range_usize(14);
+        let dag = random_dag(&mut rng, n, 30, 50);
+        for workers in [1, 2, 3, 7] {
+            assert_eq!(dag.plan(workers), dag.plan(workers));
+        }
+    }
+}
+
+/// Same DAG, any worker count: `run_dag` returns results in node-id
+/// order, so the output bytes are identical whether the sweep ran
+/// serially or on eight threads.
+#[test]
+fn execution_results_are_deterministic_across_worker_counts() {
+    let mut rng = XorShift64::seed_from_u64(0x0009_a7e4);
+    for _ in 0..20 {
+        let n = 1 + rng.range_usize(14);
+        let dag = random_dag(&mut rng, n, 30, 50);
+        let run = |workers: usize| -> Vec<String> {
+            let jobs: Vec<_> = (0..dag.len())
+                .map(|id| move || format!("node {id} cost {}", id as u64))
+                .collect();
+            run_dag(&dag, jobs, workers)
+        };
+        let reference = run(1);
+        for workers in [2, 4, 8] {
+            assert_eq!(reference, run(workers));
+        }
+    }
+}

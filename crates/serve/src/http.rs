@@ -9,6 +9,7 @@
 //! status, and nothing in here panics on any byte stream.
 
 use std::io::{self, Read, Write};
+use std::sync::Mutex;
 
 /// Longest accepted request line (method + target + version), bytes.
 pub const MAX_REQUEST_LINE: usize = 8192;
@@ -299,9 +300,64 @@ pub fn percent_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
+/// An incremental response body: a one-shot producer that writes the
+/// body in fragments. Each `write` call the producer makes is framed
+/// as one HTTP/1.1 chunk by [`write_response`], so a client sees
+/// fragments as they are produced instead of waiting for the whole
+/// body. The concatenated fragments must equal the body the buffered
+/// path would have sent — streaming changes the framing, never the
+/// bytes (the streaming tests pin this).
+pub struct StreamBody {
+    /// `FnOnce` behind a `Mutex<Option<..>>` so the producer can run
+    /// through the `&Response` the transport already passes around.
+    producer: Mutex<Option<BodyProducer>>,
+}
+
+type BodyProducer = Box<dyn FnOnce(&mut dyn Write) -> io::Result<()> + Send>;
+
+impl StreamBody {
+    /// Wraps a body producer. The producer receives the sink to write
+    /// fragments into; every `write`/`write_all` becomes one chunk on
+    /// the wire.
+    pub fn new(
+        producer: impl FnOnce(&mut dyn Write) -> io::Result<()> + Send + 'static,
+    ) -> StreamBody {
+        StreamBody {
+            producer: Mutex::new(Some(Box::new(producer))),
+        }
+    }
+
+    /// Runs the producer into `sink`. One-shot: a second call writes
+    /// nothing (the body was already produced).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the producer's sink write failures.
+    pub fn produce(&self, sink: &mut dyn Write) -> io::Result<()> {
+        let producer = self
+            .producer
+            .lock()
+            .expect("stream producer poisoned")
+            .take();
+        match producer {
+            Some(f) => f(sink),
+            None => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Debug for StreamBody {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let consumed = self.producer.lock().map(|g| g.is_none()).unwrap_or(true);
+        f.debug_struct("StreamBody")
+            .field("consumed", &consumed)
+            .finish()
+    }
+}
+
 /// A response about to be written: status, content type, body, and an
 /// optional `Retry-After` (the backpressure signal on 503).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct Response {
     pub status: u16,
     pub content_type: &'static str,
@@ -313,6 +369,10 @@ pub struct Response {
     /// `Server-Timing` header value (per-stage durations for clients
     /// like `loadgen`); the transport fills this from the span tree.
     pub server_timing: Option<String>,
+    /// When set, the body is produced incrementally and written with
+    /// chunked framing; `body` is ignored by the transport (it stays
+    /// empty on streamed responses).
+    pub stream: Option<StreamBody>,
 }
 
 impl Response {
@@ -331,22 +391,78 @@ impl Response {
             retry_after: None,
             request_id: None,
             server_timing: None,
+            stream: None,
+        }
+    }
+
+    /// A streamed JSON response: the producer's fragments are the
+    /// body.
+    pub fn json_stream(
+        producer: impl FnOnce(&mut dyn Write) -> io::Result<()> + Send + 'static,
+    ) -> Response {
+        Response {
+            stream: Some(StreamBody::new(producer)),
+            ..Response::json(200, String::new())
+        }
+    }
+
+    /// The complete body bytes, draining the stream producer into
+    /// memory when the response is streamed (the `lookahead query`
+    /// path and tests; the HTTP transport streams instead). One-shot
+    /// for streamed responses.
+    pub fn full_body(&self) -> String {
+        match &self.stream {
+            None => self.body.clone(),
+            Some(s) => {
+                let mut buf = Vec::new();
+                s.produce(&mut buf).expect("in-memory sink cannot fail");
+                String::from_utf8_lossy(&buf).into_owned()
+            }
         }
     }
 }
 
-/// Writes `response` with `Connection: close` framing.
+/// Frames every `write` call as one HTTP/1.1 chunk.
+struct ChunkWriter<'a, W: Write> {
+    inner: &'a mut W,
+}
+
+impl<W: Write> Write for ChunkWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        // A zero-length chunk would terminate the body early; skip it.
+        if !buf.is_empty() {
+            write!(self.inner, "{:x}\r\n", buf.len())?;
+            self.inner.write_all(buf)?;
+            self.inner.write_all(b"\r\n")?;
+            // Fragments should reach the client as they are produced.
+            self.inner.flush()?;
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Writes `response` with `Connection: close` framing: buffered bodies
+/// with `Content-Length`, streamed bodies with `Transfer-Encoding:
+/// chunked` (one chunk per produced fragment, then the zero-length
+/// terminator).
 ///
 /// # Errors
 ///
 /// Propagates socket write failures (the caller logs and drops).
 pub fn write_response(stream: &mut impl Write, response: &Response) -> io::Result<()> {
+    let framing = match &response.stream {
+        Some(_) => "Transfer-Encoding: chunked".to_string(),
+        None => format!("Content-Length: {}", response.body.len()),
+    };
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\n{framing}\r\nConnection: close\r\n",
         response.status,
         reason(response.status),
         response.content_type,
-        response.body.len()
     );
     if let Some(secs) = response.retry_after {
         head.push_str(&format!("Retry-After: {secs}\r\n"));
@@ -359,8 +475,48 @@ pub fn write_response(stream: &mut impl Write, response: &Response) -> io::Resul
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
+    match &response.stream {
+        Some(body) => {
+            body.produce(&mut ChunkWriter { inner: stream })?;
+            stream.write_all(b"0\r\n\r\n")?;
+        }
+        None => stream.write_all(response.body.as_bytes())?,
+    }
     stream.flush()
+}
+
+/// Decodes a chunked transfer-encoded body back to its bytes (test
+/// and CLI helper; lenient about trailing garbage after the
+/// terminator).
+///
+/// # Errors
+///
+/// Returns a message when the chunk framing is malformed.
+pub fn decode_chunked(body: &[u8]) -> Result<Vec<u8>, String> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    loop {
+        let line_end = rest
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or("missing chunk-size line terminator")?;
+        let size_line =
+            std::str::from_utf8(&rest[..line_end]).map_err(|_| "chunk size is not UTF-8")?;
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .map_err(|_| format!("bad chunk size {size_line:?}"))?;
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            return Ok(out);
+        }
+        if rest.len() < size + 2 {
+            return Err(format!("truncated chunk of {size} bytes"));
+        }
+        out.extend_from_slice(&rest[..size]);
+        if &rest[size..size + 2] != b"\r\n" {
+            return Err("chunk data not terminated by CRLF".into());
+        }
+        rest = &rest[size + 2..];
+    }
 }
 
 #[cfg(test)]

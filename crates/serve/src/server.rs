@@ -213,6 +213,28 @@ impl Server {
         let mut stats = ServerStats::default();
 
         std::thread::scope(|scope| {
+            // Speculative pre-warm: strictly idle-priority. The thread
+            // only computes a predicted body when no client request is
+            // in flight (or being written), and parks otherwise; it
+            // observes the same shutdown signals as the acceptor.
+            if service.prewarm_enabled() {
+                let service = Arc::clone(&service);
+                let shutdown = Arc::clone(&self.shutdown);
+                let watch_sigint = self.config.watch_sigint;
+                std::thread::Builder::new()
+                    .name("serve-prewarm".to_string())
+                    .spawn_scoped(scope, move || loop {
+                        if shutdown.load(Ordering::SeqCst) || (watch_sigint && sigint_received()) {
+                            return;
+                        }
+                        let worked = service.idle() && service.prewarm_tick();
+                        if !worked {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                    })
+                    .expect("spawn prewarm");
+            }
+
             for i in 0..self.config.threads.max(1) {
                 let queue = Arc::clone(&queue);
                 let service = Arc::clone(&service);
@@ -279,6 +301,9 @@ impl Server {
                 }
             }
 
+            // Make shutdown visible to the pre-warm thread even when
+            // it was requested via SIGINT rather than the handle.
+            self.shutdown.store(true, Ordering::SeqCst);
             // Graceful drain: serve everything queued, then join.
             queue.close();
         });
@@ -317,6 +342,9 @@ fn serve_connection(
     service: &ExperimentService,
     config: &ServerConfig,
 ) -> io::Result<()> {
+    // Held across handling AND the response write, so a streamed body
+    // still being produced keeps the pre-warm thread parked.
+    let _in_flight = service.in_flight_guard();
     conn.set_read_timeout(Some(config.read_timeout))?;
     conn.set_write_timeout(Some(config.write_timeout))?;
     let popped = Instant::now();

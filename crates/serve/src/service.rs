@@ -33,7 +33,11 @@ use lookahead_core::ds::{Ds, DsConfig};
 use lookahead_core::inorder::InOrder;
 use lookahead_core::model::ExecutionResult;
 use lookahead_core::ConsistencyModel;
-use lookahead_harness::experiments::{figure3_with, figure4_with, PAPER_WINDOWS};
+use lookahead_harness::dag::{self, DagStats, Scheduler, TaskDag};
+use lookahead_harness::experiments::{
+    columns_from_results, figure3_cells, figure4_cells, hidden_row, retime_matrix,
+    run_cell_specs_with_stats, summary_cells, CellSpec, PAPER_WINDOWS,
+};
 use lookahead_harness::parallel::run_ordered;
 use lookahead_harness::pipeline::AppRun;
 use lookahead_harness::singleflight::{FlightOutcome, SharedRuns, SingleFlight};
@@ -46,7 +50,7 @@ use lookahead_obs::span::{self, TraceContext};
 use lookahead_obs::{log, prom};
 use lookahead_trace::Breakdown;
 use lookahead_workloads::App;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -73,6 +77,17 @@ pub struct ServiceConfig {
     /// line) to this file; `None` disables the sink. The in-memory
     /// `/v1/debug/trace/<id>` ring works either way.
     pub span_log: Option<PathBuf>,
+    /// How sweep bodies schedule their re-timing cells: `Dag` (the
+    /// default) runs them in critical-path rank order, `Flat` keeps
+    /// the submission-ordered pool. Bodies are byte-identical either
+    /// way.
+    pub scheduler: Scheduler,
+    /// Speculatively pre-compute likely-next report bodies (remaining
+    /// apps of a figure sweep, adjacent windows of an experiment
+    /// query) while the server is idle. Off by default: pre-warm runs
+    /// extra generations in the background, which changes the
+    /// process-wide run accounting that cold-start smoke checks pin.
+    pub prewarm: bool,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +97,8 @@ impl Default for ServiceConfig {
             sim: SimConfig::default(),
             retime_workers: 1,
             span_log: None,
+            scheduler: Scheduler::Dag,
+            prewarm: false,
         }
     }
 }
@@ -181,6 +198,27 @@ pub struct ExperimentService {
     /// Most recent finished request traces, newest at the back.
     traces: Mutex<VecDeque<(String, String)>>,
     span_sink: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    /// Client requests currently being handled (or written); the
+    /// pre-warm thread only runs speculative work when this is zero.
+    in_flight: AtomicU64,
+    /// Predicted-next targets waiting for an idle tick, oldest first.
+    prewarm_queue: Mutex<VecDeque<String>>,
+    /// Every target ever enqueued (so a prediction is tried once per
+    /// process, not re-queued on every request that implies it).
+    prewarm_seen: Mutex<HashSet<String>>,
+    /// Body keys the pre-warm thread computed that no client has asked
+    /// for yet — the measure of speculative work not (yet) paid back.
+    prewarm_unclaimed: Mutex<HashSet<String>>,
+}
+
+/// RAII marker for a client request in flight; the pre-warm thread
+/// stays off the CPU while any exist.
+pub struct InFlightGuard<'a>(&'a ExperimentService);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl ExperimentService {
@@ -217,6 +255,10 @@ impl ExperimentService {
             flights_memoized: AtomicU64::new(0),
             traces: Mutex::new(VecDeque::new()),
             span_sink,
+            in_flight: AtomicU64::new(0),
+            prewarm_queue: Mutex::new(VecDeque::new()),
+            prewarm_seen: Mutex::new(HashSet::new()),
+            prewarm_unclaimed: Mutex::new(HashSet::new()),
         }
     }
 
@@ -235,10 +277,38 @@ impl ExperimentService {
         self.runs.disk_cache_enabled()
     }
 
+    /// Marks a client request as in flight until the guard drops; the
+    /// transport holds one across the response write so streamed
+    /// bodies also keep the pre-warm thread parked.
+    pub fn in_flight_guard(&self) -> InFlightGuard<'_> {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        InFlightGuard(self)
+    }
+
+    /// True when no client request is being handled or written —
+    /// the only state in which speculative pre-warm work is admitted.
+    pub fn idle(&self) -> bool {
+        self.in_flight.load(Ordering::SeqCst) == 0
+    }
+
+    /// Whether speculative pre-warm is enabled.
+    pub fn prewarm_enabled(&self) -> bool {
+        self.config.prewarm
+    }
+
     /// Routes one parsed request to a response. Bodies are
     /// deterministic for every route except `/metrics`,
     /// `/metrics.json` and `/v1/debug/trace/<id>`.
     pub fn handle(&self, request: &Request) -> Response {
+        let _guard = self.in_flight_guard();
+        let response = self.handle_inner(request);
+        if self.config.prewarm && response.status == 200 {
+            self.predict(request);
+        }
+        response
+    }
+
+    fn handle_inner(&self, request: &Request) -> Response {
         self.count("serve.http.requests", 1);
         let result = match request.path.as_str() {
             "/healthz" => Ok(Response::json(
@@ -257,8 +327,8 @@ impl ExperimentService {
             "/v1/experiments" => {
                 self.report(request, Self::experiments_key, Self::experiments_body)
             }
-            "/v1/figure3" => self.report(request, Self::figure_key::<3>, Self::figure3_body),
-            "/v1/figure4" => self.report(request, Self::figure_key::<4>, Self::figure4_body),
+            "/v1/figure3" => self.figure_route::<3>(request),
+            "/v1/figure4" => self.figure_route::<4>(request),
             "/v1/summary" => self.report(request, Self::summary_key, Self::summary_body),
             other => match other.strip_prefix("/v1/debug/trace/") {
                 Some(id) => self.debug_trace(id),
@@ -321,7 +391,35 @@ impl ExperimentService {
                 }
             }
         };
+        // A shared result may be speculative pre-warm work paying off:
+        // claim it so the hit/wasted accounting stays exact.
+        if self.config.prewarm && !matches!(outcome, FlightOutcome::Led) {
+            let claimed = self
+                .prewarm_unclaimed
+                .lock()
+                .expect("prewarm unclaimed poisoned")
+                .remove(&key);
+            if claimed {
+                self.count("serve.prewarm.hits", 1);
+            }
+        }
         result.map(|b| Response::json(200, (*b).clone()))
+    }
+
+    /// `/v1/figure3` and `/v1/figure4`: buffered through the body memo
+    /// by default, or streamed cell-by-cell when the query says
+    /// `stream=1` (same bytes, chunked framing, no memo).
+    fn figure_route<const N: u8>(&self, request: &Request) -> Result<Response, ApiError> {
+        match request.param("stream") {
+            None | Some("0") => match N {
+                3 => self.report(request, Self::figure_key::<3>, Self::figure3_body),
+                _ => self.report(request, Self::figure_key::<4>, Self::figure4_body),
+            },
+            Some("1") => self.figure_stream::<N>(request),
+            Some(v) => Err(ApiError::BadQuery(format!(
+                "stream must be \"0\" or \"1\", got {v:?}"
+            ))),
+        }
     }
 
     fn count(&self, path: &str, by: u64) {
@@ -499,7 +597,7 @@ impl ExperimentService {
     }
 
     fn figure_key<const N: u8>(&self, request: &Request) -> Result<String, ApiError> {
-        Self::reject_unknown_params(request, &["app", "tier"])?;
+        Self::reject_unknown_params(request, &["app", "tier", "stream"])?;
         let app = self.parse_app(
             request
                 .param("app")
@@ -576,6 +674,22 @@ impl ExperimentService {
             "serve.flights.memoized",
             self.flights_memoized.load(Ordering::Relaxed),
         );
+        snapshot.gauge_set(
+            "serve.prewarm.queue_depth",
+            self.prewarm_queue
+                .lock()
+                .expect("prewarm queue poisoned")
+                .len() as i64,
+        );
+        // Speculative bodies no client has asked for (yet): the
+        // wasted-work side of the pre-warm ledger.
+        snapshot.gauge_set(
+            "serve.prewarm.unclaimed",
+            self.prewarm_unclaimed
+                .lock()
+                .expect("prewarm unclaimed poisoned")
+                .len() as i64,
+        );
         snapshot
     }
 
@@ -635,68 +749,292 @@ impl ExperimentService {
         }))
     }
 
-    fn figure3_body(&self, request: &Request) -> Result<String, ApiError> {
+    /// Records what one DAG-scheduled sweep observed (no-op for the
+    /// flat scheduler, which reports no stats).
+    fn record_dag_stats(&self, stats: Option<&DagStats>) {
+        if let Some(s) = stats {
+            self.count("serve.dag.sweeps", 1);
+            self.count("serve.dag.cells", s.tasks as u64);
+            self.metrics.with(|r| {
+                r.observe("serve.dag.peak_ready", s.peak_ready as u64);
+                r.observe("serve.dag.critical_path", s.critical_path);
+            });
+        }
+    }
+
+    fn figure_cells<const N: u8>() -> Vec<CellSpec> {
+        match N {
+            3 => figure3_cells(&PAPER_WINDOWS),
+            _ => figure4_cells(&PAPER_WINDOWS),
+        }
+    }
+
+    fn figure_body_for<const N: u8>(&self, request: &Request) -> Result<String, ApiError> {
         let app = self.parse_app(request.param("app").expect("validated by key"))?;
         let tier = self.parse_tier(request)?;
         let run = self.resolve(app, tier)?;
-        let columns = span::record_current("retime", || {
-            figure3_with(&run, &PAPER_WINDOWS, self.config.retime_workers)
+        let specs = Self::figure_cells::<N>();
+        let (columns, stats) = span::record_current("retime", || {
+            run_cell_specs_with_stats(
+                &run,
+                &specs,
+                self.config.retime_workers,
+                self.config.scheduler,
+            )
         });
+        self.record_dag_stats(stats.as_ref());
+        let route = if N == 3 { "figure3" } else { "figure4" };
         Ok(span::record_current("render", || {
-            figure_body("figure3", app, tier, &columns)
+            figure_body(route, app, tier, &columns)
         }))
     }
 
+    fn figure3_body(&self, request: &Request) -> Result<String, ApiError> {
+        self.figure_body_for::<3>(request)
+    }
+
     fn figure4_body(&self, request: &Request) -> Result<String, ApiError> {
+        self.figure_body_for::<4>(request)
+    }
+
+    /// `stream=1` figure sweeps: the response body is produced
+    /// incrementally — the JSON prefix as soon as the run is resolved,
+    /// then each column the moment its re-timing cell (scheduled
+    /// through the same flat/DAG policy as the buffered path) has
+    /// finished and every earlier column is out. The concatenated
+    /// fragments are byte-identical to the buffered body; the trade is
+    /// that a streamed response bypasses the body memo (its cost is
+    /// re-paid per request, while the run resolution still shares the
+    /// process-wide memo).
+    fn figure_stream<const N: u8>(&self, request: &Request) -> Result<Response, ApiError> {
+        // Validate exactly as the buffered path would.
+        let _ = self.figure_key::<N>(request)?;
         let app = self.parse_app(request.param("app").expect("validated by key"))?;
         let tier = self.parse_tier(request)?;
+        // Resolve before committing to stream: a generation failure is
+        // still an ordinary buffered 500.
         let run = self.resolve(app, tier)?;
-        let columns = span::record_current("retime", || {
-            figure4_with(&run, &PAPER_WINDOWS, self.config.retime_workers)
-        });
-        Ok(span::record_current("render", || {
-            figure_body("figure4", app, tier, &columns)
+        let specs = Self::figure_cells::<N>();
+        let route = if N == 3 { "figure3" } else { "figure4" };
+        self.count("serve.stream.responses", 1);
+        self.count("serve.stream.cells", specs.len() as u64);
+        let workers = self.config.retime_workers;
+        let scheduler = self.config.scheduler;
+        let prefix = figure_prefix(route, app, tier);
+        Ok(Response::json_stream(move |sink| {
+            sink.write_all(prefix.as_bytes())?;
+            let (tx, rx) = std::sync::mpsc::channel::<(usize, ExecutionResult)>();
+            std::thread::scope(|scope| -> std::io::Result<()> {
+                let (run, specs) = (&run, &specs);
+                scope.spawn(move || {
+                    let jobs: Vec<_> = specs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, spec)| {
+                            let model = spec.model;
+                            let tx = tx.clone();
+                            move || {
+                                // A vanished receiver just means the
+                                // client hung up mid-stream.
+                                let _ = tx.send((i, model.retime(run)));
+                            }
+                        })
+                        .collect();
+                    match scheduler {
+                        Scheduler::Flat => {
+                            run_ordered(jobs, workers);
+                        }
+                        Scheduler::Dag => {
+                            let mut cell_dag = TaskDag::new();
+                            for spec in specs.iter() {
+                                cell_dag.add_task(spec.model.cost(), &[]);
+                            }
+                            dag::run_dag(&cell_dag, jobs, workers);
+                        }
+                    }
+                });
+                let mut slots: Vec<Option<ExecutionResult>> = vec![None; specs.len()];
+                let mut done: Vec<ExecutionResult> = Vec::new();
+                for (i, result) in rx {
+                    slots[i] = Some(result);
+                    // Emit the contiguous prefix of finished columns.
+                    while done.len() < specs.len() && slots[done.len()].is_some() {
+                        let emit = done.len();
+                        done.push(slots[emit].take().expect("checked above"));
+                        let column = columns_from_results(&specs[..=emit], &done)
+                            .pop()
+                            .expect("one column per result");
+                        let mut fragment = String::new();
+                        if emit > 0 {
+                            fragment.push(',');
+                        }
+                        fragment.push_str(&column_json(&column));
+                        sink.write_all(fragment.as_bytes())?;
+                    }
+                }
+                sink.write_all(b"]}")
+            })
         }))
+    }
+
+    // ---- speculative pre-warm ------------------------------------
+
+    /// Enqueues the targets a just-served request makes likely next:
+    /// the same figure for the remaining applications, or the adjacent
+    /// windows of an experiment sweep. Predictions are computed on the
+    /// request path (cheap string work); the bodies are computed by
+    /// [`prewarm_tick`](Self::prewarm_tick) only while the server is
+    /// idle.
+    fn predict(&self, request: &Request) {
+        let mut targets = Vec::new();
+        match request.path.as_str() {
+            "/v1/figure3" | "/v1/figure4" => {
+                let (Some(app), Ok(tier)) = (request.param("app"), self.parse_tier(request)) else {
+                    return;
+                };
+                for other in App::ALL {
+                    if !other.name().eq_ignore_ascii_case(app) {
+                        targets.push(format!(
+                            "{}?app={}&tier={}",
+                            request.path,
+                            other.name(),
+                            tier.name()
+                        ));
+                    }
+                }
+            }
+            "/v1/experiments" => {
+                let Ok(q) = self.parse_experiment_query(request) else {
+                    return;
+                };
+                let Some(at) = PAPER_WINDOWS.iter().position(|&w| w == q.window) else {
+                    return;
+                };
+                let neighbors = [at.checked_sub(1), Some(at + 1)];
+                for w in neighbors
+                    .into_iter()
+                    .flatten()
+                    .filter_map(|i| PAPER_WINDOWS.get(i))
+                {
+                    targets.push(format!(
+                        "/v1/experiments?app={}&tier={}&model={}&consistency={}&window={}&width={}",
+                        q.app.name(),
+                        q.tier.name(),
+                        q.model.name(),
+                        q.consistency.abbrev(),
+                        w,
+                        q.width
+                    ));
+                }
+            }
+            _ => {}
+        }
+        if targets.is_empty() {
+            return;
+        }
+        let mut seen = self.prewarm_seen.lock().expect("prewarm seen poisoned");
+        let mut queue = self.prewarm_queue.lock().expect("prewarm queue poisoned");
+        for target in targets {
+            if seen.insert(target.clone()) {
+                queue.push_back(target);
+                self.count("serve.prewarm.enqueued", 1);
+            }
+        }
+    }
+
+    /// Pops one predicted target and computes its body through the
+    /// same single-flight map client requests use, so a client asking
+    /// mid-computation coalesces instead of duplicating. Returns
+    /// `false` when the queue is empty. Call only from an idle
+    /// context (the transport's pre-warm thread checks
+    /// [`idle`](Self::idle) first).
+    pub fn prewarm_tick(&self) -> bool {
+        let target = self
+            .prewarm_queue
+            .lock()
+            .expect("prewarm queue poisoned")
+            .pop_front();
+        let Some(target) = target else {
+            return false;
+        };
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target.as_str(), ""),
+        };
+        let request = Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: crate::http::parse_query(query),
+            request_id: None,
+        };
+        type KeyFn = fn(&ExperimentService, &Request) -> Result<String, ApiError>;
+        type BodyFn = fn(&ExperimentService, &Request) -> Result<String, ApiError>;
+        let fns: Option<(KeyFn, BodyFn)> = match path {
+            "/v1/figure3" => Some((Self::figure_key::<3>, Self::figure3_body)),
+            "/v1/figure4" => Some((Self::figure_key::<4>, Self::figure4_body)),
+            "/v1/experiments" => Some((Self::experiments_key, Self::experiments_body)),
+            _ => None,
+        };
+        let Some((key_fn, body_fn)) = fns else {
+            self.count("serve.prewarm.skipped", 1);
+            return true;
+        };
+        let Ok(key) = key_fn(self, &request) else {
+            self.count("serve.prewarm.skipped", 1);
+            return true;
+        };
+        if self.bodies.completed(&key) {
+            self.count("serve.prewarm.skipped", 1);
+            return true;
+        }
+        let (result, outcome) = self
+            .bodies
+            .run(&key, || body_fn(self, &request).map(Arc::new));
+        match outcome {
+            FlightOutcome::Led if result.is_ok() => {
+                self.prewarm_unclaimed
+                    .lock()
+                    .expect("prewarm unclaimed poisoned")
+                    .insert(key);
+                self.count("serve.prewarm.computed", 1);
+            }
+            FlightOutcome::Led => self.count("serve.prewarm.failed", 1),
+            // Someone computed or started it meanwhile; the
+            // speculation was redundant, not wasted compute.
+            _ => self.count("serve.prewarm.skipped", 1),
+        }
+        true
     }
 
     /// The §7 headline matrix: per-app hidden-read-latency fractions
     /// across the window sweep, plus the cross-application average.
     fn summary_body(&self, request: &Request) -> Result<String, ApiError> {
         let tier = self.parse_tier(request)?;
-        let windows = [16usize, 32, 64, 128, 256];
+        let windows = PAPER_WINDOWS;
 
         // Resolve every app first (each at most one generation,
-        // process-wide), then re-time all cells on the worker pool.
+        // process-wide), then re-time the whole matrix under the
+        // configured scheduler (one shared cell enumeration with the
+        // driver's summary report).
         let mut runs = Vec::new();
         for app in App::ALL {
             runs.push((app, self.resolve(app, tier)?));
         }
-        let mut jobs: Vec<Box<dyn FnOnce() -> Breakdown + Send + '_>> = Vec::new();
-        for (_, run) in &runs {
-            let base_run = Arc::clone(run);
-            jobs.push(Box::new(move || base_run.retime(&Base).breakdown));
-            for &w in &windows {
-                let run = Arc::clone(run);
-                jobs.push(Box::new(move || {
-                    run.retime(&Ds::new(DsConfig::rc().window(w))).breakdown
-                }));
-            }
-        }
-        let results =
-            span::record_current("retime", || run_ordered(jobs, self.config.retime_workers));
+        let specs = summary_cells(&windows);
+        let refs: Vec<&AppRun> = runs.iter().map(|(_, r)| r.as_ref()).collect();
+        let matrix = span::record_current("retime", || {
+            retime_matrix(
+                &refs,
+                &specs,
+                self.config.retime_workers,
+                self.config.scheduler,
+            )
+        });
 
         let per_app: Vec<(App, Vec<f64>)> = runs
             .iter()
-            .enumerate()
-            .map(|(i, (app, _))| {
-                let chunk = &results[i * (windows.len() + 1)..(i + 1) * (windows.len() + 1)];
-                let base = &chunk[0];
-                let hidden = chunk[1..]
-                    .iter()
-                    .map(|ds| ds.read_latency_hidden_vs(base).unwrap_or(1.0))
-                    .collect();
-                (*app, hidden)
-            })
+            .zip(&matrix)
+            .map(|((app, _), row)| (*app, hidden_row(row)))
             .collect();
 
         Ok(span::record_current("render", || {
@@ -746,6 +1084,29 @@ fn write_breakdown_fields(o: &mut JsonObject<'_>, b: &Breakdown) {
         .u64("total", b.total());
 }
 
+/// The figure body's byte prefix: everything before the first column.
+/// The streamed and buffered paths both assemble the body from this
+/// prefix, [`column_json`] fragments joined by commas, and the `]}`
+/// suffix — byte-identity between the two framings holds by
+/// construction.
+fn figure_prefix(route: &str, app: App, tier: SizeTier) -> String {
+    let query = JsonObject::render(|o| {
+        o.str("route", route)
+            .str("app", app.name())
+            .str("tier", tier.name());
+    });
+    format!("{{\"query\":{query},\"columns\":[")
+}
+
+/// One rendered column of a figure body.
+fn column_json(col: &lookahead_harness::Figure3Column) -> String {
+    JsonObject::render(|c| {
+        c.str("label", &col.label).str("model", &col.model);
+        c.raw("breakdown", &breakdown_json(&col.breakdown));
+        c.f64("normalized", col.normalized);
+    })
+}
+
 /// Shared rendering for the figure3/figure4 column sweeps.
 fn figure_body(
     route: &str,
@@ -753,22 +1114,15 @@ fn figure_body(
     tier: SizeTier,
     columns: &[lookahead_harness::Figure3Column],
 ) -> String {
-    JsonObject::render(|o| {
-        o.object("query", |qo| {
-            qo.str("route", route)
-                .str("app", app.name())
-                .str("tier", tier.name());
-        });
-        o.array("columns", |a| {
-            for col in columns {
-                a.object(|c| {
-                    c.str("label", &col.label).str("model", &col.model);
-                    c.raw("breakdown", &breakdown_json(&col.breakdown));
-                    c.f64("normalized", col.normalized);
-                });
-            }
-        });
-    })
+    let mut out = figure_prefix(route, app, tier);
+    for (i, col) in columns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&column_json(col));
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Convenience for the CLI and tests: handles a `GET` described by a

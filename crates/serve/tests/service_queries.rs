@@ -27,7 +27,7 @@ fn small_service() -> Arc<ExperimentService> {
                 ..SimConfig::default()
             },
             retime_workers: 2,
-            span_log: None,
+            ..ServiceConfig::default()
         },
         None,
     ))

@@ -27,7 +27,7 @@ fn small_config() -> ServiceConfig {
             ..SimConfig::default()
         },
         retime_workers: 2,
-        span_log: None,
+        ..ServiceConfig::default()
     }
 }
 

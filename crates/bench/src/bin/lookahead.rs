@@ -37,6 +37,7 @@
 use lookahead_bench::{cache_from_env_or, config_from_env, reports, Runner, SizeTier};
 use lookahead_harness::cache::TraceCache;
 use lookahead_harness::dag::Scheduler;
+use lookahead_harness::experiments::{RetimeMode, RETIME_ENV};
 use lookahead_harness::parallel;
 use lookahead_harness::pipeline::AppRun;
 use std::collections::HashMap;
@@ -72,6 +73,7 @@ const USAGE: &str = "usage: lookahead [OPTIONS] REPORT [REPORT ...]
        lookahead bench memory       compare streamed vs materialized peak RSS
        lookahead bench obs          measure request-tracing overhead
        lookahead bench dag          compare DAG vs flat sweep scheduling
+       lookahead bench sweep        compare gang vs per-cell re-timing
 
 Regenerates the requested tables and figures, generating or
 cache-loading each application trace exactly once per process.
@@ -92,6 +94,12 @@ options:
                    overlapped with re-timing; the default) or flat (the
                    plain worker pool). Output is byte-identical either
                    way; the flag wins over LOOKAHEAD_SCHEDULER.
+  --retime M       sweep re-timing path: gang (one streamed traversal
+                   per application feeds every unique cell; the
+                   default, degrading to per-cell on runs that cannot
+                   stream) or per-cell (one traversal per cell). Output
+                   is byte-identical either way; the flag wins over
+                   LOOKAHEAD_RETIME.
   --tier NAME      workload size tier: small, default, paper or large
                    (default: from the environment, see below)
   --obs-out DIR    write per-run observability artifacts under DIR
@@ -99,7 +107,8 @@ options:
 
 environment: LOOKAHEAD_SMALL=1, LOOKAHEAD_PAPER=1, LOOKAHEAD_LARGE=1,
 LOOKAHEAD_PROCS=n, LOOKAHEAD_APPS=LU,MP3D, LOOKAHEAD_CACHE=DIR|off,
-LOOKAHEAD_JOBS=n, LOOKAHEAD_SCHEDULER=dag|flat";
+LOOKAHEAD_JOBS=n, LOOKAHEAD_SCHEDULER=dag|flat,
+LOOKAHEAD_RETIME=gang|per-cell";
 
 struct Options {
     reports: Vec<String>,
@@ -108,6 +117,7 @@ struct Options {
     jobs: Option<usize>,
     tier: Option<SizeTier>,
     scheduler: Option<Scheduler>,
+    retime: Option<RetimeMode>,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
@@ -118,6 +128,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         jobs: None,
         tier: None,
         scheduler: None,
+        retime: None,
     };
     let known: Vec<&str> = SHARED.iter().chain(STANDALONE).copied().collect();
     let mut it = args.iter();
@@ -140,6 +151,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--scheduler" => {
                 opts.scheduler = Some(parse_scheduler(&value(&mut it, "--scheduler")?)?);
             }
+            "--retime" => {
+                opts.retime = Some(parse_retime(&value(&mut it, "--retime")?)?);
+            }
             "--obs-out" => {
                 // Consumed here, parsed by obs_out_dir() from argv.
                 value(&mut it, "--obs-out")?;
@@ -153,6 +167,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     opts.tier = Some(parse_tier(v)?);
                 } else if let Some(v) = a.strip_prefix("--scheduler=") {
                     opts.scheduler = Some(parse_scheduler(v)?);
+                } else if let Some(v) = a.strip_prefix("--retime=") {
+                    opts.retime = Some(parse_retime(v)?);
                 } else if a.strip_prefix("--obs-out=").is_some() {
                     // Parsed by obs_out_dir().
                 } else if a == "all" {
@@ -187,6 +203,11 @@ fn parse_scheduler(name: &str) -> Result<Scheduler, String> {
         .ok_or_else(|| format!("unknown scheduler {name:?}; valid schedulers: flat, dag"))
 }
 
+fn parse_retime(name: &str) -> Result<RetimeMode, String> {
+    RetimeMode::from_name(name)
+        .ok_or_else(|| format!("unknown re-timing mode {name:?}; valid modes: gang, per-cell"))
+}
+
 fn cache_for(opts: &Options) -> Option<TraceCache> {
     if opts.no_cache {
         return None;
@@ -208,6 +229,7 @@ fn main() -> ExitCode {
                 Some("memory") => lookahead_bench::memprobe::memory_main(&args[2..]),
                 Some("obs") => lookahead_bench::obsbench::obs_main(&args[2..]),
                 Some("dag") => lookahead_bench::dagbench::dag_main(&args[2..]),
+                Some("sweep") => lookahead_bench::sweepbench::sweep_main(&args[2..]),
                 _ => lookahead_bench::retiming::bench_main(&args[1..]),
             }
         }
@@ -237,6 +259,19 @@ fn main() -> ExitCode {
             }
         },
     };
+    // The re-timing path: the flag wins and is published through the
+    // environment, so every downstream default-mode callsite (sweep
+    // helpers, serve) picks the same path. A malformed environment
+    // value fails fast like every other knob.
+    match opts.retime {
+        Some(mode) => std::env::set_var(RETIME_ENV, mode.name()),
+        None => {
+            if let Err(e) = RetimeMode::from_env() {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let workers = opts.jobs.unwrap_or_else(parallel::default_workers);
     let runner = Runner::new(
         config_from_env(),
@@ -246,13 +281,14 @@ fn main() -> ExitCode {
     );
     eprintln!(
         "lookahead: {} processors, {}-cycle miss penalty, tier {}, {} workers, cache {}, \
-         scheduler {}",
+         scheduler {}, retime {}",
         runner.config().num_procs,
         runner.config().mem.miss_penalty,
         runner.tier().name(),
         runner.workers(),
         if runner.cache_enabled() { "on" } else { "off" },
         scheduler.name(),
+        RetimeMode::default_mode().name(),
     );
 
     let total = Instant::now();

@@ -97,13 +97,13 @@ impl ChecksumSink {
 }
 
 impl TraceSink for ChecksumSink {
-    fn accept(&mut self, proc: usize, chunk: TraceChunk) -> std::io::Result<()> {
+    fn accept(&mut self, proc: usize, chunk: &TraceChunk) -> std::io::Result<()> {
         self.fold_u64(proc as u64);
         self.fold_u64(chunk.first_index);
-        self.fold_u64(chunk.entries.len() as u64);
-        for e in &chunk.entries {
+        self.fold_u64(chunk.len() as u64);
+        for e in chunk.iter() {
             self.fold(&e.pc.to_le_bytes());
-            match &e.op {
+            match e.op {
                 TraceOp::Compute => self.fold(&[0]),
                 TraceOp::Load(m) => {
                     self.fold(&[1, m.miss as u8]);
@@ -116,7 +116,7 @@ impl TraceSink for ChecksumSink {
                     self.fold(&m.latency.to_le_bytes());
                 }
                 TraceOp::Branch { taken, target } => {
-                    self.fold(&[3, *taken as u8]);
+                    self.fold(&[3, taken as u8]);
                     self.fold(&target.to_le_bytes());
                 }
                 TraceOp::Jump { target } => {
@@ -131,7 +131,7 @@ impl TraceSink for ChecksumSink {
                 }
             }
         }
-        self.entries += chunk.entries.len() as u64;
+        self.entries += chunk.len() as u64;
         Ok(())
     }
 }
@@ -477,7 +477,7 @@ fn usage_error(msg: &str) -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lookahead_trace::{fnv1a, ChunkMeta, TraceEntry};
+    use lookahead_trace::{fnv1a, TraceEntry};
 
     fn cell(app: &'static str, engine: &'static str, latency: u32, wall: f64) -> Cell {
         Cell {
@@ -521,26 +521,22 @@ mod tests {
     #[test]
     fn checksum_is_sensitive_to_chunk_boundaries_and_order() {
         let entries = vec![TraceEntry::compute(0x10), TraceEntry::compute(0x14)];
-        let chunk = |first: u64, e: &[TraceEntry]| TraceChunk {
-            first_index: first,
-            entries: e.to_vec(),
-            meta: ChunkMeta::default(),
-        };
+        let chunk = |first: u64, e: &[TraceEntry]| TraceChunk::from_slice(first, e);
         // Same entries, one chunk vs two.
         let mut one = ChecksumSink::new();
-        one.accept(0, chunk(0, &entries)).unwrap();
+        one.accept(0, &chunk(0, &entries)).unwrap();
         let mut two = ChecksumSink::new();
-        two.accept(0, chunk(0, &entries[..1])).unwrap();
-        two.accept(0, chunk(1, &entries[1..])).unwrap();
+        two.accept(0, &chunk(0, &entries[..1])).unwrap();
+        two.accept(0, &chunk(1, &entries[1..])).unwrap();
         assert_ne!(one.hash, two.hash);
         assert_eq!(one.entries, two.entries);
         // Same chunks, different accept order (processor interleaving).
         let mut ab = ChecksumSink::new();
-        ab.accept(0, chunk(0, &entries)).unwrap();
-        ab.accept(1, chunk(0, &entries)).unwrap();
+        ab.accept(0, &chunk(0, &entries)).unwrap();
+        ab.accept(1, &chunk(0, &entries)).unwrap();
         let mut ba = ChecksumSink::new();
-        ba.accept(1, chunk(0, &entries)).unwrap();
-        ba.accept(0, chunk(0, &entries)).unwrap();
+        ba.accept(1, &chunk(0, &entries)).unwrap();
+        ba.accept(0, &chunk(0, &entries)).unwrap();
         assert_ne!(ab.hash, ba.hash);
     }
 }

@@ -20,8 +20,8 @@ use lookahead_core::ConsistencyModel;
 use lookahead_harness::dag::{self, DagStats, Scheduler, TaskDag};
 use lookahead_harness::experiments::{
     columns_from_results, figure3_cells, figure3_with, figure4_cells, figure4_with, hidden_row,
-    miss_delay, multi_issue_sched, rc_sweep_columns, read_latency_hidden_matrix, summary_cells,
-    table1, table2, table3, CellSpec, ModelSpec, PAPER_WINDOWS,
+    miss_delay, multi_issue_sched, rc_sweep_columns, read_latency_hidden_matrix, retime_gang,
+    summary_cells, table1, table2, table3, CellSpec, ModelSpec, RetimeMode, PAPER_WINDOWS,
 };
 use lookahead_harness::format::{count_with_rate, render_figure, render_table};
 use lookahead_harness::parallel::run_ordered;
@@ -745,6 +745,13 @@ enum NodeKind {
         slot: usize,
         model: ModelSpec,
     },
+    /// One gang node per application: a single streamed traversal
+    /// feeds every unique cell of the merged reports; results land in
+    /// slots `base..base + union.len()`.
+    Gang {
+        app: usize,
+        base: usize,
+    },
 }
 
 /// Runs the requested subset of [`DAG_REPORTS`] as **one** task graph:
@@ -765,6 +772,22 @@ enum NodeKind {
 /// Panics if `wanted` contains a report outside [`DAG_REPORTS`], or if
 /// a workload fails to simulate or verify.
 pub fn dag_sweep(runner: &Runner, wanted: &[&str], workers: usize) -> DagSweep {
+    dag_sweep_mode(runner, wanted, workers, RetimeMode::default_mode())
+}
+
+/// [`dag_sweep`] with an explicit [`RetimeMode`]. Under
+/// [`RetimeMode::Gang`] with a trace cache (so runs are
+/// archive-backed and can stream), each application contributes one
+/// *gang node* computing the union of every merged report's unique
+/// cells off a single streamed traversal, instead of one node per
+/// cell; without a cache the per-cell shape is kept. Rendered texts
+/// are byte-identical in either mode.
+pub fn dag_sweep_mode(
+    runner: &Runner,
+    wanted: &[&str],
+    workers: usize,
+    mode: RetimeMode,
+) -> DagSweep {
     let apps = runner.apps();
     let windows = &PAPER_WINDOWS;
     let report_specs: Vec<(&str, Vec<CellSpec>)> = wanted
@@ -780,6 +803,27 @@ pub fn dag_sweep(runner: &Runner, wanted: &[&str], workers: usize) -> DagSweep {
         })
         .collect();
 
+    // The union of the merged reports' cells, deduplicated by model
+    // (the summary rows repeat figure 3's RC cells): the gang node per
+    // application computes each unique cell exactly once.
+    let mut union: Vec<CellSpec> = Vec::new();
+    let mut report_to_union: Vec<Vec<usize>> = Vec::new();
+    for (_, specs) in &report_specs {
+        let mut map = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let u = match union.iter().position(|c| c.model == spec.model) {
+                Some(u) => u,
+                None => {
+                    union.push(spec.clone());
+                    union.len() - 1
+                }
+            };
+            map.push(u);
+        }
+        report_to_union.push(map);
+    }
+    let gang = mode == RetimeMode::Gang && runner.cache_enabled();
+
     let mut task_dag = TaskDag::new();
     let mut kinds: Vec<NodeKind> = Vec::new();
     let mut slots = 0usize;
@@ -789,11 +833,25 @@ pub fn dag_sweep(runner: &Runner, wanted: &[&str], workers: usize) -> DagSweep {
         let gen = if runner.trace_cached(app) {
             task_dag.add_collapsed(&[])
         } else {
-            task_dag.add_task(COST_GENERATE, &[])
+            task_dag.add_task_kind(COST_GENERATE, &[], "generate")
         };
         kinds.push(NodeKind::Gen(ai));
+        if gang {
+            let base = slots;
+            let cost = union.iter().map(|c| c.model.cost()).sum();
+            task_dag.add_task_kind(cost, &[gen], "gang");
+            kinds.push(NodeKind::Gang { app: ai, base });
+            slots += union.len();
+            report_slots.push(
+                report_to_union
+                    .iter()
+                    .map(|map| map.iter().map(|&u| base + u).collect())
+                    .collect(),
+            );
+            continue;
+        }
         let base_slot = slots;
-        task_dag.add_task(ModelSpec::Base.cost(), &[gen]);
+        task_dag.add_task_kind(ModelSpec::Base.cost(), &[gen], &ModelSpec::Base.kind());
         kinds.push(NodeKind::Cell {
             app: ai,
             slot: base_slot,
@@ -804,7 +862,7 @@ pub fn dag_sweep(runner: &Runner, wanted: &[&str], workers: usize) -> DagSweep {
         for (_, specs) in &report_specs {
             let mut cell_slots = vec![base_slot];
             for spec in &specs[1..] {
-                task_dag.add_task(spec.model.cost(), &[gen]);
+                task_dag.add_task_kind(spec.model.cost(), &[gen], &spec.model.kind());
                 kinds.push(NodeKind::Cell {
                     app: ai,
                     slot: slots,
@@ -842,6 +900,19 @@ pub fn dag_sweep(runner: &Runner, wanted: &[&str], workers: usize) -> DagSweep {
                             .get()
                             .expect("scheduler ran a cell before its generation node");
                         assert!(cell_results[slot].set(model.retime(run)).is_ok());
+                    })
+                }
+                NodeKind::Gang { app, base } => {
+                    let (gen_slots, cell_results, union) = (&gen_slots, &cell_results, &union);
+                    Box::new(move || {
+                        let run = gen_slots[app]
+                            .get()
+                            .expect("scheduler ran a gang before its generation node");
+                        let results = retime_gang(run, union)
+                            .unwrap_or_else(|| union.iter().map(|c| c.model.retime(run)).collect());
+                        for (u, r) in results.into_iter().enumerate() {
+                            assert!(cell_results[base + u].set(r).is_ok());
+                        }
                     })
                 }
             }

@@ -1,0 +1,277 @@
+//! `lookahead bench sweep` — wall-clock comparison of the two
+//! re-timing paths over a warm trace cache.
+//!
+//! Warms the cache (untimed), then runs the merged
+//! figure3/figure4/summary sweep twice through the DAG scheduler:
+//!
+//! * **per-cell** — every cell opens its own streamed traversal of
+//!   the archived trace (the historical path);
+//! * **gang** — [`reports::dag_sweep_mode`] with
+//!   [`RetimeMode::Gang`]: one traversal per application decodes each
+//!   chunk once (structure-of-arrays) and a `GangCursor` fans it out
+//!   to every unique cell's engine concurrently, with the merged
+//!   reports' duplicate cells computed once.
+//!
+//! The three report texts are asserted byte-identical between the two
+//! paths before any number is reported. Results are written as
+//! `BENCH_sweep.json` with a cells/sec headline; `--min-speedup`
+//! turns the ratio into a hard gate (exit 1) for CI.
+
+use crate::{config_from_env, reports, Runner, SizeTier};
+use lookahead_harness::cache::TraceCache;
+use lookahead_harness::experiments::RetimeMode;
+use lookahead_harness::parallel;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One timed side of the comparison.
+struct Side {
+    seconds: f64,
+    /// Unique cells the scheduler actually computed.
+    cells_computed: usize,
+    /// `(report name, text)` in [`reports::DAG_REPORTS`] order.
+    texts: Vec<(String, String)>,
+}
+
+/// Times one warm-cache sweep under `mode` on a fresh runner (so
+/// cache accounting stays per-side).
+fn run_side(cache: &str, tier: SizeTier, workers: usize, mode: RetimeMode) -> Side {
+    let runner = Runner::new(
+        config_from_env(),
+        tier,
+        Some(TraceCache::new(cache)),
+        workers,
+    );
+    let started = Instant::now();
+    let sweep = reports::dag_sweep_mode(&runner, reports::DAG_REPORTS, workers, mode);
+    Side {
+        seconds: started.elapsed().as_secs_f64(),
+        cells_computed: sweep.cells,
+        texts: sweep.texts,
+    }
+}
+
+/// Renders the machine-readable result object.
+fn render_json(
+    runner: &Runner,
+    workers: usize,
+    cells: usize,
+    per_cell: &Side,
+    gang: &Side,
+) -> String {
+    let apps: Vec<String> = runner
+        .apps()
+        .iter()
+        .map(|a| format!("\"{}\"", a.name()))
+        .collect();
+    let per_sec = |seconds: f64| {
+        if seconds > 0.0 {
+            cells as f64 / seconds
+        } else {
+            0.0
+        }
+    };
+    let speedup = if gang.seconds > 0.0 {
+        per_cell.seconds / gang.seconds
+    } else {
+        0.0
+    };
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"sweep\",");
+    let _ = writeln!(out, "  \"tier\": \"{}\",", runner.tier().name());
+    let _ = writeln!(out, "  \"workers\": {workers},");
+    let _ = writeln!(out, "  \"apps\": [{}],", apps.join(", "));
+    let _ = writeln!(
+        out,
+        "  \"reports\": [\"figure3\", \"figure4\", \"summary\"],"
+    );
+    let _ = writeln!(out, "  \"byte_identical\": true,");
+    let _ = writeln!(out, "  \"per_cell_seconds\": {:.4},", per_cell.seconds);
+    let _ = writeln!(out, "  \"gang_seconds\": {:.4},", gang.seconds);
+    let _ = writeln!(out, "  \"cells\": {cells},");
+    let _ = writeln!(
+        out,
+        "  \"per_cell_cells_per_sec\": {:.2},",
+        per_sec(per_cell.seconds)
+    );
+    let _ = writeln!(
+        out,
+        "  \"gang_cells_per_sec\": {:.2},",
+        per_sec(gang.seconds)
+    );
+    let _ = writeln!(out, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(out, "  \"gang_cells_computed\": {}", gang.cells_computed);
+    out.push_str("}\n");
+    out
+}
+
+const USAGE: &str = "usage: lookahead bench sweep [OPTIONS]
+
+Times the merged figure3/figure4/summary sweep on a warm trace cache
+under the per-cell re-timing path (one streamed traversal per cell)
+and the gang path (one traversal per application feeding every unique
+cell), asserting the report texts are byte-identical first. The
+headline is cells/sec over the cells the per-cell path computes.
+
+options:
+  --tier NAME       workload size tier: small|default|paper
+                    (default: from LOOKAHEAD_SMALL/LOOKAHEAD_PAPER)
+  --jobs N          worker threads (default: all cores)
+  --iters N         repetitions per path, best-of (default: 2)
+  --out PATH        result file (default: BENCH_sweep.json)
+  --min-speedup X   exit 1 unless per-cell/gang wall-time ratio >= X
+  --cache-dir DIR   warm and reuse DIR instead of a throwaway
+                    temporary cache
+  -h, --help        show this help
+
+environment: LOOKAHEAD_PROCS=n, LOOKAHEAD_APPS=...";
+
+/// Entry point for `lookahead bench sweep`.
+pub fn sweep_main(args: &[String]) -> ExitCode {
+    let mut out_path = "BENCH_sweep.json".to_string();
+    let mut tier = SizeTier::from_env();
+    let mut jobs: Option<usize> = None;
+    let mut iters = 2usize;
+    let mut min_speedup: Option<f64> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let (key, mut value) = match a.split_once('=') {
+            Some((k, v)) => (k, Some(v.to_string())),
+            None => (a.as_str(), None),
+        };
+        let mut take = |it: &mut std::slice::Iter<String>| match value.take() {
+            Some(v) => Some(v),
+            None => it.next().cloned(),
+        };
+        match key {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--out" => match take(&mut it) {
+                Some(v) => out_path = v,
+                None => return usage_error("--out needs a value"),
+            },
+            "--tier" => match take(&mut it).as_deref().and_then(SizeTier::from_name) {
+                Some(t) => tier = t,
+                None => return usage_error("--tier needs one of small|default|paper"),
+            },
+            "--jobs" => match take(&mut it).and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => return usage_error("--jobs needs a positive integer"),
+            },
+            "--iters" => match take(&mut it).and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => iters = n,
+                _ => return usage_error("--iters needs a positive integer"),
+            },
+            "--min-speedup" => match take(&mut it).and_then(|v| v.parse().ok()) {
+                Some(x) if x > 0.0 => min_speedup = Some(x),
+                _ => return usage_error("--min-speedup needs a positive number"),
+            },
+            "--cache-dir" => match take(&mut it) {
+                Some(v) => cache_dir = Some(v),
+                None => return usage_error("--cache-dir needs a value"),
+            },
+            other => return usage_error(&format!("unknown option {other:?}")),
+        }
+    }
+
+    let workers = jobs.unwrap_or_else(parallel::default_workers);
+    let throwaway = cache_dir.is_none();
+    let cache = cache_dir.unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("lookahead-sweep-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+
+    // Warm the cache untimed: the comparison is about re-timing
+    // throughput, not generation or disk state.
+    let warm_runner = Runner::new(
+        config_from_env(),
+        tier,
+        Some(TraceCache::new(cache.as_str())),
+        workers,
+    );
+    eprintln!(
+        "bench sweep: tier {}, {} processors, {} workers, warming cache {}",
+        tier.name(),
+        warm_runner.config().num_procs,
+        workers,
+        cache,
+    );
+    let started = Instant::now();
+    warm_runner.run_all();
+    eprintln!(
+        "bench sweep: cache warm in {:.2}s (untimed)",
+        started.elapsed().as_secs_f64()
+    );
+
+    // Best-of-N, paths interleaved so ambient load hits both evenly;
+    // every iteration's report texts are byte-compared.
+    let mut per_cell: Option<Side> = None;
+    let mut gang: Option<Side> = None;
+    for i in 1..=iters {
+        let pc = run_side(&cache, tier, workers, RetimeMode::PerCell);
+        eprintln!(
+            "bench sweep: per-cell path {:.2}s ({} cells) [iter {i}/{iters}]",
+            pc.seconds, pc.cells_computed,
+        );
+        let g = run_side(&cache, tier, workers, RetimeMode::Gang);
+        eprintln!(
+            "bench sweep: gang path {:.2}s ({} unique cells) [iter {i}/{iters}]",
+            g.seconds, g.cells_computed,
+        );
+        for ((name, pc_text), (_, gang_text)) in pc.texts.iter().zip(&g.texts) {
+            if pc_text != gang_text {
+                eprintln!(
+                    "error: {name} differs between per-cell and gang re-timing — \
+                     refusing to report a speedup over divergent output"
+                );
+                if throwaway {
+                    let _ = std::fs::remove_dir_all(&cache);
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+        let keep_faster = |best: Option<Side>, next: Side| match best {
+            Some(b) if b.seconds <= next.seconds => Some(b),
+            _ => Some(next),
+        };
+        per_cell = keep_faster(per_cell, pc);
+        gang = keep_faster(gang, g);
+    }
+    let (per_cell, gang) = (per_cell.expect("iters >= 1"), gang.expect("iters >= 1"));
+    if throwaway {
+        let _ = std::fs::remove_dir_all(&cache);
+    }
+
+    let cells = per_cell.cells_computed;
+    let json = render_json(&warm_runner, workers, cells, &per_cell, &gang);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: failed to write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let speedup = per_cell.seconds / gang.seconds.max(f64::MIN_POSITIVE);
+    println!(
+        "gang sweep: {cells} cells, {:.1} -> {:.1} cells/sec ({speedup:.3}x), \
+         reports byte-identical",
+        cells as f64 / per_cell.seconds.max(f64::MIN_POSITIVE),
+        cells as f64 / gang.seconds.max(f64::MIN_POSITIVE),
+    );
+    eprintln!("bench sweep: wrote {out_path}");
+    if let Some(min) = min_speedup {
+        if speedup < min {
+            eprintln!("error: speedup {speedup:.3} below required minimum {min}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

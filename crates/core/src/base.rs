@@ -16,7 +16,7 @@ use crate::model::{ExecutionResult, ProcessorModel};
 use lookahead_isa::Program;
 #[cfg(feature = "obs")]
 use lookahead_obs as obs;
-use lookahead_trace::{Trace, TraceOp};
+use lookahead_trace::{EntryCols, OpClass, Trace};
 
 /// Records `n` stalled cycles starting at `from`, blamed on `pc`.
 #[cfg(feature = "obs")]
@@ -38,7 +38,10 @@ struct Accounting {
 }
 
 impl Accounting {
-    fn step(&mut self, entry: &lookahead_trace::TraceEntry) {
+    /// Written against the [`EntryCols`] accessors, so the streamed
+    /// path reads SoA columns directly and the materialized path runs
+    /// the identical body over reconstructed entries.
+    fn step<E: EntryCols>(&mut self, entry: &E) {
         let result = &mut self.result;
         #[cfg(feature = "obs")]
         let now = self.now;
@@ -48,41 +51,52 @@ impl Accounting {
             result.stats.instructions += 1;
             #[cfg(feature = "obs")]
             obs::with(|r| r.busy_cycle());
-            match entry.op {
-                TraceOp::Compute | TraceOp::Jump { .. } => {}
-                TraceOp::Branch { .. } => {
+            // Cycles past the busy one this entry serializes for.
+            #[cfg(feature = "obs")]
+            let mut spent = 0u64;
+            match entry.class() {
+                OpClass::Compute | OpClass::Jump => {}
+                OpClass::Branch => {
                     result.stats.branches += 1;
                 }
-                TraceOp::Load(m) => {
-                    b.read += (m.latency - 1) as u64;
+                OpClass::Load => {
+                    let d = (entry.latency() - 1) as u64;
+                    b.read += d;
                     #[cfg(feature = "obs")]
-                    stall(
-                        now + 1,
-                        entry.pc,
-                        (m.latency - 1) as u64,
-                        obs::StallClass::Read,
-                        obs::StallCause::ReadMiss,
-                    );
+                    {
+                        stall(
+                            now + 1,
+                            entry.pc(),
+                            d,
+                            obs::StallClass::Read,
+                            obs::StallCause::ReadMiss,
+                        );
+                        spent = d;
+                    }
                 }
-                TraceOp::Store(m) => {
-                    b.write += (m.latency - 1) as u64;
+                OpClass::Store => {
+                    let d = (entry.latency() - 1) as u64;
+                    b.write += d;
                     #[cfg(feature = "obs")]
-                    stall(
-                        now + 1,
-                        entry.pc,
-                        (m.latency - 1) as u64,
-                        obs::StallClass::Write,
-                        obs::StallCause::WriteMiss,
-                    );
+                    {
+                        stall(
+                            now + 1,
+                            entry.pc(),
+                            d,
+                            obs::StallClass::Write,
+                            obs::StallCause::WriteMiss,
+                        );
+                        spent = d;
+                    }
                 }
-                TraceOp::Sync(s) => {
-                    let d = s.wait as u64 + (s.access - 1) as u64;
-                    if s.kind.is_acquire() {
+                OpClass::Sync(kind) => {
+                    let d = entry.wait() as u64 + (entry.latency() - 1) as u64;
+                    if kind.is_acquire() {
                         b.sync += d;
                         #[cfg(feature = "obs")]
                         stall(
                             now + 1,
-                            entry.pc,
+                            entry.pc(),
                             d,
                             obs::StallClass::Sync,
                             obs::StallCause::Acquire,
@@ -92,23 +106,21 @@ impl Accounting {
                         #[cfg(feature = "obs")]
                         stall(
                             now + 1,
-                            entry.pc,
+                            entry.pc(),
                             d,
                             obs::StallClass::Write,
                             obs::StallCause::WriteMiss,
                         );
                     }
+                    #[cfg(feature = "obs")]
+                    {
+                        spent = d;
+                    }
                 }
             }
             #[cfg(feature = "obs")]
             {
-                self.now = now
-                    + 1
-                    + match entry.op {
-                        TraceOp::Load(m) | TraceOp::Store(m) => (m.latency - 1) as u64,
-                        TraceOp::Sync(s) => s.wait as u64 + (s.access - 1) as u64,
-                        _ => 0,
-                    };
+                self.now = now + 1 + spent;
             }
         }
     }
@@ -134,8 +146,8 @@ impl ProcessorModel for Base {
     ) -> Result<ExecutionResult, lookahead_trace::StreamError> {
         let mut acc = Accounting::default();
         while let Some(chunk) = source.next_chunk()? {
-            for entry in &chunk.entries {
-                acc.step(entry);
+            for view in chunk.views() {
+                acc.step(&view);
             }
         }
         Ok(acc.result)
@@ -146,7 +158,7 @@ impl ProcessorModel for Base {
 mod tests {
     use super::*;
     use lookahead_isa::SyncKind;
-    use lookahead_trace::{MemAccess, SyncAccess, TraceEntry};
+    use lookahead_trace::{MemAccess, SyncAccess, TraceEntry, TraceOp};
 
     fn entry(pc: u32, op: TraceOp) -> TraceEntry {
         TraceEntry { pc, op }

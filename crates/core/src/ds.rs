@@ -534,7 +534,7 @@ impl<'a> Engine<'a> {
             }
             #[cfg(feature = "obs")]
             {
-                let pc = self.cursor.entry(self.entry(head).trace_idx).pc;
+                let pc = self.cursor.pc(self.entry(head).trace_idx);
                 let now = self.now;
                 obs::with(|r| {
                     r.event(now, EventKind::Retire { pc });
@@ -982,8 +982,8 @@ impl<'a> Engine<'a> {
             let waiters = std::mem::take(&mut self.entry_mut(id).waiters);
             // Fold into the register file view for consumers that
             // decode after this entry retires.
-            let te = self.cursor.entry(self.entry(id).trace_idx);
-            if let Some(instr) = self.program.fetch(te.pc as usize) {
+            let pc = self.cursor.pc(self.entry(id).trace_idx);
+            if let Some(instr) = self.program.fetch(pc as usize) {
                 if let Some(r) = instr.int_dest() {
                     if self.reg_producer[r.index()] == Some(id) {
                         self.reg_producer[r.index()] = None;
@@ -1052,7 +1052,7 @@ impl<'a> Engine<'a> {
         use obs::StallCause as C;
         if self.head_id < self.next_id {
             let e = self.entry(self.head_id);
-            let pc = self.cursor.entry(e.trace_idx).pc;
+            let pc = self.cursor.pc(e.trace_idx);
             let cause = match e.kind {
                 // ALU/branch at head: retirement waits on its operands.
                 EKind::Alu | EKind::Branch => C::TrueDependence,
@@ -1081,7 +1081,7 @@ impl<'a> Engine<'a> {
             // Window empty: nothing to retire; blame the next
             // instruction the fetch stage would decode.
             let pc = if self.next_decode < self.cursor.loaded_len() {
-                self.cursor.entry(self.next_decode).pc
+                self.cursor.pc(self.next_decode)
             } else {
                 0
             };

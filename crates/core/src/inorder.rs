@@ -30,7 +30,7 @@ use crate::model::{ExecutionResult, ProcessorModel};
 use lookahead_isa::{Program, SyncKind};
 #[cfg(feature = "obs")]
 use lookahead_obs::{self as obs, EventKind};
-use lookahead_trace::{Trace, TraceOp};
+use lookahead_trace::{EntryCols, OpClass, Trace};
 use std::collections::VecDeque;
 
 /// A statically scheduled in-order processor (SSBR or SS).
@@ -240,8 +240,8 @@ impl<'a> Engine<'a> {
         source: &mut dyn lookahead_trace::TraceSource,
     ) -> Result<ExecutionResult, lookahead_trace::StreamError> {
         while let Some(chunk) = source.next_chunk()? {
-            for entry in &chunk.entries {
-                self.step(entry);
+            for view in chunk.views() {
+                self.step(&view);
             }
         }
         Ok(self.finish())
@@ -249,46 +249,48 @@ impl<'a> Engine<'a> {
 
     /// Advances the engine over one trace entry — the single body both
     /// the materialized and streamed passes run, so they agree by
-    /// construction.
-    fn step(&mut self, entry: &lookahead_trace::TraceEntry) {
+    /// construction. Written against the [`EntryCols`] accessors, it
+    /// monomorphizes to direct SoA column reads on the streamed path.
+    fn step<E: EntryCols>(&mut self, entry: &E) {
         {
             #[cfg(feature = "obs")]
             {
-                self.cur_pc = entry.pc;
+                self.cur_pc = entry.pc();
             }
             self.retire_buffers();
-            self.wait_for_operands(entry.pc);
+            self.wait_for_operands(entry.pc());
             self.result.stats.instructions += 1;
             // Every instruction contributes exactly one busy cycle in
             // this model, so attribution's busy count equals the
             // instruction count.
             #[cfg(feature = "obs")]
             obs::with(|r| r.busy_cycle());
-            match entry.op {
-                TraceOp::Compute | TraceOp::Jump { .. } => {
+            match entry.class() {
+                OpClass::Compute | OpClass::Jump => {
                     self.result.breakdown.busy += 1;
-                    self.set_dest_ready(entry.pc, self.now + 1);
+                    self.set_dest_ready(entry.pc(), self.now + 1);
                     self.now += 1;
                 }
-                TraceOp::Branch { .. } => {
+                OpClass::Branch => {
                     self.result.stats.branches += 1;
                     self.result.breakdown.busy += 1;
                     self.now += 1;
                 }
-                TraceOp::Load(m) => {
+                OpClass::Load => {
+                    let latency = entry.latency();
                     self.wait_for_issue(MemOpKind::Read);
                     self.retire_buffers();
                     self.result.breakdown.busy += 1;
                     if self.cfg.blocking_reads {
-                        self.result.breakdown.read += (m.latency - 1) as u64;
+                        self.result.breakdown.read += (latency - 1) as u64;
                         #[cfg(feature = "obs")]
                         self.obs_stall(
                             self.now + 1,
-                            (m.latency - 1) as u64,
+                            (latency - 1) as u64,
                             obs::StallClass::Read,
                             obs::StallCause::ReadMiss,
                         );
-                        self.now += m.latency as u64;
+                        self.now += latency as u64;
                     } else {
                         // Non-blocking: issue, record availability,
                         // move on. Structural: bounded read buffer.
@@ -297,44 +299,45 @@ impl<'a> Engine<'a> {
                             self.stall_to(head, StallClass::Read);
                             self.retire_buffers();
                         }
-                        let done = self.now + m.latency as u64;
+                        let done = self.now + latency as u64;
                         self.reads.push_back(done);
-                        self.set_dest_ready(entry.pc, done);
+                        self.set_dest_ready(entry.pc(), done);
                         self.now += 1;
                     }
                 }
-                TraceOp::Store(m) => {
+                OpClass::Store => {
                     self.wait_for_write_slot();
-                    let done = self.buffered_completion(MemOpKind::Write, m.latency);
+                    let done = self.buffered_completion(MemOpKind::Write, entry.latency());
                     self.writes.push_back((MemOpKind::Write, done));
                     self.result.breakdown.busy += 1;
                     self.now += 1;
                 }
-                TraceOp::Sync(s) => {
-                    let kind = sync_mem_kind(s.kind);
-                    match s.kind {
+                OpClass::Sync(sync) => {
+                    let kind = sync_mem_kind(sync);
+                    match sync {
                         SyncKind::Lock | SyncKind::WaitEvent | SyncKind::Barrier => {
+                            let (wait, access) = (entry.wait(), entry.latency());
                             self.wait_for_issue(kind);
                             self.retire_buffers();
                             self.result.breakdown.busy += 1;
-                            self.result.breakdown.sync += s.wait as u64 + (s.access - 1) as u64;
+                            self.result.breakdown.sync += wait as u64 + (access - 1) as u64;
                             #[cfg(feature = "obs")]
                             {
-                                let (now, addr) = (self.now, s.addr);
-                                let dur = s.wait as u64 + s.access as u64;
+                                let (now, addr) = (self.now, entry.addr());
+                                let dur = wait as u64 + access as u64;
                                 obs::with(|r| r.event(now, EventKind::AcquireWait { addr, dur }));
                                 self.obs_stall(
                                     self.now + 1,
-                                    s.wait as u64 + (s.access - 1) as u64,
+                                    wait as u64 + (access - 1) as u64,
                                     obs::StallClass::Sync,
                                     obs::StallCause::Acquire,
                                 );
                             }
-                            self.now += s.wait as u64 + s.access as u64;
+                            self.now += wait as u64 + access as u64;
                         }
                         SyncKind::Unlock | SyncKind::SetEvent => {
                             self.wait_for_write_slot();
-                            let done = self.buffered_completion(kind, s.access);
+                            let done = self.buffered_completion(kind, entry.latency());
                             self.writes.push_back((kind, done));
                             self.result.breakdown.busy += 1;
                             self.now += 1;
@@ -400,7 +403,7 @@ mod tests {
     use super::*;
     use crate::base::Base;
     use lookahead_isa::{Assembler, IntReg};
-    use lookahead_trace::{MemAccess, SyncAccess, TraceEntry};
+    use lookahead_trace::{MemAccess, SyncAccess, TraceEntry, TraceOp};
 
     /// A program/trace pair: two miss stores then a compute tail.
     fn store_heavy() -> (Program, Trace) {

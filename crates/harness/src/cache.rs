@@ -218,7 +218,7 @@ impl TraceCache {
                 let trace = run.trace_for(p);
                 let mut src = SliceSource::with_chunk_len(&trace, DEFAULT_CHUNK_LEN);
                 while let Some(chunk) = src.next_chunk().expect("slice sources cannot fail") {
-                    aw.accept(p, chunk)?;
+                    aw.accept(p, &chunk)?;
                 }
             }
             let w = aw.finish(run.proc, run.mp_cycles, &run.mp_breakdowns)?;

@@ -13,15 +13,86 @@ use crate::pipeline::{AppRun, PipelineError};
 use lookahead_core::base::Base;
 use lookahead_core::ds::{Ds, DsConfig};
 use lookahead_core::inorder::InOrder;
-use lookahead_core::model::ExecutionResult;
+use lookahead_core::model::{ExecutionResult, ProcessorModel};
 use lookahead_core::{Btb, BtbConfig, ConsistencyModel};
 use lookahead_memsys::MemoryParams;
 use lookahead_multiproc::SimConfig;
-use lookahead_trace::{BranchStats, Breakdown, DataRefStats, SyncStats, TraceStats};
+use lookahead_obs::span;
+use lookahead_trace::{BranchStats, Breakdown, DataRefStats, GangCursor, SyncStats, TraceStats};
 use lookahead_workloads::Workload;
+use std::sync::OnceLock;
 
 /// The window sizes of the paper's sweeps.
 pub const PAPER_WINDOWS: [usize; 5] = [16, 32, 64, 128, 256];
+
+/// Environment knob selecting the sweep re-timing path (`gang` or
+/// `per-cell`); the driver's `--retime` flag wins over it.
+pub const RETIME_ENV: &str = "LOOKAHEAD_RETIME";
+
+/// How many chunks the fastest gang member may run ahead of the
+/// slowest before it blocks. Bounds a gang's shared-ring memory to
+/// `GANG_MAX_LEAD` decoded chunks (each engine's own lookback window
+/// may additionally retain chunks it has already consumed). A deeper
+/// ring lets members run longer between blocking handoffs — on few
+/// cores that means fewer condvar round-trips per traversal — at the
+/// price of a few hundred KiB of extra decoded columns in flight.
+const GANG_MAX_LEAD: usize = 8;
+
+/// How a sweep re-times its cells over a generated run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetimeMode {
+    /// Each cell streams (or materializes) the trace independently —
+    /// the historical path, one archive traversal per cell.
+    PerCell,
+    /// Same-trace cells share one streamed traversal through a
+    /// [`GangCursor`]: the archive is read and decoded once and every
+    /// engine consumes the same refcounted chunks. Runs that cannot
+    /// stream fall back to the per-cell path automatically.
+    Gang,
+}
+
+impl RetimeMode {
+    /// Parses a mode name as used by `--retime` and [`RETIME_ENV`].
+    pub fn from_name(name: &str) -> Option<RetimeMode> {
+        match name.trim() {
+            "gang" => Some(RetimeMode::Gang),
+            "per-cell" => Some(RetimeMode::PerCell),
+            _ => None,
+        }
+    }
+
+    /// The canonical name (`gang` / `per-cell`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RetimeMode::PerCell => "per-cell",
+            RetimeMode::Gang => "gang",
+        }
+    }
+
+    /// Reads [`RETIME_ENV`], failing fast on a malformed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message when the variable is set to
+    /// anything other than `gang` or `per-cell`.
+    pub fn from_env() -> Result<Option<RetimeMode>, String> {
+        match std::env::var(RETIME_ENV) {
+            Ok(v) => RetimeMode::from_name(&v)
+                .map(Some)
+                .ok_or_else(|| format!("{RETIME_ENV} must be \"gang\" or \"per-cell\", got {v:?}")),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// The mode used when a caller does not pick one explicitly:
+    /// [`RETIME_ENV`] if set and valid, otherwise gang (which degrades
+    /// to per-cell on runs that cannot stream).
+    pub fn default_mode() -> RetimeMode {
+        RetimeMode::from_env()
+            .unwrap_or(None)
+            .unwrap_or(RetimeMode::Gang)
+    }
+}
 
 /// One stacked bar of Figure 3 or the latency/issue-width variants.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,13 +150,40 @@ impl ModelSpec {
     /// `BENCH_retiming` shape: the in-order models cost about the
     /// same per cell, while a DS cell grows with its window (the slab
     /// scan and the dependence bookkeeping scale with it) — DS.256 is
-    /// the cell a rank-ordered schedule must start first.
+    /// the cell a rank-ordered schedule must start first. Refined at
+    /// runtime by the learned [`dag::cost_model`] via
+    /// [`kind`](Self::kind).
     #[must_use]
     pub fn cost(&self) -> u64 {
         match *self {
             ModelSpec::Base => 4,
             ModelSpec::Ssbr(_) | ModelSpec::Ss(_) => 5,
             ModelSpec::Ds(config) => 6 + config.window_size as u64 / 16,
+        }
+    }
+
+    /// The cost-model kind key grouping cells with similar runtime
+    /// (consistency model and ablation flags barely move a cell's
+    /// cost; engine type and window size dominate).
+    #[must_use]
+    pub fn kind(&self) -> String {
+        match *self {
+            ModelSpec::Base => "BASE".to_string(),
+            ModelSpec::Ssbr(_) => "SSBR".to_string(),
+            ModelSpec::Ss(_) => "SS".to_string(),
+            ModelSpec::Ds(config) => format!("DS.{}", config.window_size),
+        }
+    }
+
+    /// Boxes the processor model this spec describes — the gang path
+    /// runs one owned engine per unique spec on its own thread.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn ProcessorModel + Send> {
+        match *self {
+            ModelSpec::Base => Box::new(Base),
+            ModelSpec::Ssbr(model) => Box::new(InOrder::ssbr(model)),
+            ModelSpec::Ss(model) => Box::new(InOrder::ss(model)),
+            ModelSpec::Ds(config) => Box::new(Ds::new(config)),
         }
     }
 }
@@ -206,11 +304,122 @@ pub fn retime_cells(
         .unwrap_or_default()
 }
 
+/// The DAG cost of a gang node: the unique cells run concurrently off
+/// one traversal, but they still occupy the node's worker for about
+/// the sum of their individual costs worth of work.
+fn gang_cost(specs: &[CellSpec]) -> u64 {
+    let mut uniq: Vec<ModelSpec> = Vec::new();
+    let mut total = 0;
+    for spec in specs {
+        if !uniq.contains(&spec.model) {
+            uniq.push(spec.model);
+            total += spec.model.cost();
+        }
+    }
+    total
+}
+
+/// Re-times every spec over `run` in **one streamed pass**: identical
+/// specs are deduplicated (a sweep's summary row repeats figure 3's RC
+/// cells), one engine thread runs per unique spec, and a
+/// [`GangCursor`] fans each decoded chunk out to all of them. Returns
+/// `None` when the run cannot stream or any engine fails mid-stream —
+/// callers fall back to the per-cell path.
+///
+/// `observe` fires with `(spec index, result)` for every spec as its
+/// engine finishes (from the engine's thread), letting streaming
+/// consumers emit cells before the whole gang completes.
+pub fn retime_gang_observed(
+    run: &AppRun,
+    specs: &[CellSpec],
+    observe: &(dyn Fn(usize, &ExecutionResult) + Sync),
+) -> Option<Vec<ExecutionResult>> {
+    if specs.is_empty() {
+        return Some(Vec::new());
+    }
+    let mut uniq: Vec<ModelSpec> = Vec::new();
+    let mut canon: Vec<usize> = Vec::with_capacity(specs.len());
+    for spec in specs {
+        match uniq.iter().position(|m| *m == spec.model) {
+            Some(u) => canon.push(u),
+            None => {
+                uniq.push(spec.model);
+                canon.push(uniq.len() - 1);
+            }
+        }
+    }
+    let source = run.gang_source()?;
+    let mut gang = GangCursor::new(source, uniq.len(), GANG_MAX_LEAD);
+    let members = gang.members();
+    let slots: Vec<OnceLock<Result<ExecutionResult, String>>> =
+        (0..uniq.len()).map(|_| OnceLock::new()).collect();
+    let scope_in = span::current_scope();
+    std::thread::scope(|s| {
+        for ((u, model), mut member) in uniq.iter().enumerate().zip(members) {
+            let (slots, canon) = (&slots, &canon);
+            let scope_in = scope_in.clone();
+            s.spawn(move || {
+                // Adopt the submitter's trace scope so per-cell spans
+                // join the request's tree (as parallel.rs does).
+                span::set_scope(scope_in);
+                let engine = model.build();
+                let out = span::record_current("retime.cell", || {
+                    engine.run_source(&run.program, &mut member)
+                });
+                match out {
+                    Ok(result) => {
+                        for (i, &c) in canon.iter().enumerate() {
+                            if c == u {
+                                observe(i, &result);
+                            }
+                        }
+                        let _ = slots[u].set(Ok(result));
+                    }
+                    Err(e) => {
+                        let _ = slots[u].set(Err(e.to_string()));
+                    }
+                }
+                span::set_scope(None);
+            });
+        }
+    });
+    let mut unique_results: Vec<ExecutionResult> = Vec::with_capacity(uniq.len());
+    for (u, slot) in slots.into_iter().enumerate() {
+        match slot.into_inner() {
+            Some(Ok(r)) => unique_results.push(r),
+            Some(Err(e)) => {
+                eprintln!(
+                    "  warning: gang re-timing of {} cell {} failed ({e}); \
+                     falling back to per-cell re-timing",
+                    run.app,
+                    uniq[u].kind()
+                );
+                return None;
+            }
+            None => return None,
+        }
+    }
+    Some(canon.iter().map(|&u| unique_results[u].clone()).collect())
+}
+
+/// [`retime_gang_observed`] without a streaming consumer.
+pub fn retime_gang(run: &AppRun, specs: &[CellSpec]) -> Option<Vec<ExecutionResult>> {
+    retime_gang_observed(run, specs, &|_, _| {})
+}
+
+/// Whether the gang path applies to this (run, specs, mode) triple:
+/// more than one cell to share a traversal across, and a run that can
+/// stream it.
+fn gang_applies(run: &AppRun, specs: &[CellSpec], mode: RetimeMode) -> bool {
+    mode == RetimeMode::Gang && specs.len() > 1 && run.gang_ready()
+}
+
 /// Re-times the same cell list over several runs in one scheduler
 /// pass; returns one result row per run, each in spec order. Under
 /// [`Scheduler::Dag`] the (run × cell) nodes share a single
 /// rank-ordered ready heap, so the expensive DS cells of every run
-/// start before any cheap cell straggles the makespan.
+/// start before any cheap cell straggles the makespan. The re-timing
+/// mode follows [`RetimeMode::default_mode`].
 #[must_use]
 pub fn retime_matrix(
     runs: &[&AppRun],
@@ -218,31 +427,56 @@ pub fn retime_matrix(
     workers: usize,
     scheduler: Scheduler,
 ) -> Vec<Vec<ExecutionResult>> {
-    let jobs: Vec<_> = runs
-        .iter()
-        .flat_map(|&run| {
-            specs.iter().map(move |spec| {
+    retime_matrix_mode(runs, specs, workers, scheduler, RetimeMode::default_mode())
+}
+
+/// [`retime_matrix`] with an explicit [`RetimeMode`]. Under
+/// [`RetimeMode::Gang`], each streamable run contributes a single
+/// *gang node* (one traversal feeding every unique cell on its own
+/// member threads) instead of `specs.len()` per-cell nodes; runs that
+/// cannot stream keep their per-cell nodes. Results are identical in
+/// either mode — only the execution shape changes.
+#[must_use]
+pub fn retime_matrix_mode(
+    runs: &[&AppRun],
+    specs: &[CellSpec],
+    workers: usize,
+    scheduler: Scheduler,
+    mode: RetimeMode,
+) -> Vec<Vec<ExecutionResult>> {
+    type Job<'a> = Box<dyn FnOnce() -> Vec<ExecutionResult> + Send + 'a>;
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut dag = TaskDag::new();
+    let mut jobs_per_run: Vec<usize> = Vec::with_capacity(runs.len());
+    for &run in runs {
+        if gang_applies(run, specs, mode) {
+            jobs_per_run.push(1);
+            dag.add_task_kind(gang_cost(specs), &[], "gang");
+            jobs.push(Box::new(move || {
+                retime_gang(run, specs)
+                    .unwrap_or_else(|| specs.iter().map(|s| s.model.retime(run)).collect())
+            }));
+        } else {
+            jobs_per_run.push(specs.len());
+            for spec in specs {
                 let model = spec.model;
-                move || model.retime(run)
-            })
-        })
-        .collect();
+                dag.add_task_kind(model.cost(), &[], &model.kind());
+                jobs.push(Box::new(move || vec![model.retime(run)]));
+            }
+        }
+    }
     let results = match scheduler {
         Scheduler::Flat => parallel::run_ordered(jobs, workers),
-        Scheduler::Dag => {
-            let mut dag = TaskDag::new();
-            for _ in runs {
-                for spec in specs {
-                    dag.add_task(spec.model.cost(), &[]);
-                }
-            }
-            dag::run_dag(&dag, jobs, workers)
-        }
+        Scheduler::Dag => dag::run_dag(&dag, jobs, workers),
     };
     let mut rows: Vec<Vec<ExecutionResult>> = Vec::with_capacity(runs.len());
     let mut it = results.into_iter();
-    for _ in runs {
-        rows.push(it.by_ref().take(specs.len()).collect());
+    for &n in &jobs_per_run {
+        let mut row: Vec<ExecutionResult> = Vec::with_capacity(specs.len());
+        for group in it.by_ref().take(n) {
+            row.extend(group);
+        }
+        rows.push(row);
     }
     rows
 }
@@ -285,6 +519,19 @@ pub fn run_cell_specs_with_stats(
     match scheduler {
         Scheduler::Flat => (run_cell_specs(run, specs, workers, scheduler), None),
         Scheduler::Dag => {
+            if gang_applies(run, specs, RetimeMode::default_mode()) {
+                // One gang node: a single traversal feeds every cell,
+                // timed and fed back under the "gang" cost kind.
+                let mut dag = TaskDag::new();
+                dag.add_task_kind(gang_cost(specs), &[], "gang");
+                let job = move || {
+                    retime_gang(run, specs)
+                        .unwrap_or_else(|| specs.iter().map(|s| s.model.retime(run)).collect())
+                };
+                let (mut rows, stats) = dag::run_dag_with_stats(&dag, vec![job], workers);
+                let results = rows.pop().expect("one gang node");
+                return (columns_from_results(specs, &results), Some(stats));
+            }
             let jobs: Vec<_> = specs
                 .iter()
                 .map(|spec| {
@@ -294,7 +541,7 @@ pub fn run_cell_specs_with_stats(
                 .collect();
             let mut dag = TaskDag::new();
             for spec in specs {
-                dag.add_task(spec.model.cost(), &[]);
+                dag.add_task_kind(spec.model.cost(), &[], &spec.model.kind());
             }
             let (results, stats) = dag::run_dag_with_stats(&dag, jobs, workers);
             (columns_from_results(specs, &results), Some(stats))

@@ -37,12 +37,15 @@ pub mod singleflight;
 pub mod tier;
 
 pub use cache::{cache_key, load_or_generate, CacheOutcome, MissReason, TraceCache};
-pub use dag::{run_dag, run_dag_with_stats, DagStats, Plan, Scheduler, TaskDag};
+pub use dag::{
+    cost_model, run_dag, run_dag_with_stats, CostModel, DagStats, Plan, Scheduler, TaskDag,
+};
 pub use experiments::{
     figure3, figure3_with, figure4, figure4_with, latency_sweep, miss_delay, multi_issue,
     multi_issue_with, rc_sweep_columns, read_latency_hidden_summary,
-    read_latency_hidden_summary_with, table1, table2, table3, CellSpec, Figure3Column,
-    Figure4Column, MissDelayReport, ModelSpec,
+    read_latency_hidden_summary_with, retime_gang, retime_gang_observed, retime_matrix_mode,
+    table1, table2, table3, CellSpec, Figure3Column, Figure4Column, MissDelayReport, ModelSpec,
+    RetimeMode, RETIME_ENV,
 };
 pub use pipeline::{AppRun, PipelineError};
 pub use singleflight::{FlightOutcome, SharedRunStats, SharedRuns, SingleFlight};

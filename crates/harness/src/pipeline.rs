@@ -11,7 +11,7 @@ use lookahead_workloads::Workload;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
-use std::io::BufReader;
+use std::io::{self, BufReader};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -82,10 +82,70 @@ enum TraceStore {
 struct ArchiveStore {
     path: PathBuf,
     info: ArchiveInfo,
+    /// One OS handle shared by every streamed reader over this archive
+    /// (previously each cell reopened the file); readers carry their
+    /// own offsets, so concurrent cells never fight over a cursor.
+    file: OnceLock<Arc<fs::File>>,
     /// Lazily materialized representative trace.
     rep: OnceLock<Arc<Trace>>,
     /// Lazily materialized non-representative traces.
     others: Mutex<BTreeMap<usize, Arc<Trace>>>,
+}
+
+impl ArchiveStore {
+    /// The shared archive handle, opened once per run instead of once
+    /// per cell.
+    fn shared_file(&self) -> Result<Arc<fs::File>, StreamError> {
+        if let Some(f) = self.file.get() {
+            return Ok(Arc::clone(f));
+        }
+        let f = Arc::new(fs::File::open(&self.path).map_err(StreamError::Io)?);
+        Ok(Arc::clone(self.file.get_or_init(|| f)))
+    }
+
+    /// A chunk reader over processor `proc`, on the shared handle.
+    fn open_reader(
+        &self,
+        proc: usize,
+    ) -> Result<ChunkReader<BufReader<SharedFileReader>>, StreamError> {
+        let reader = SharedFileReader {
+            file: self.shared_file()?,
+            pos: 0,
+        };
+        ChunkReader::new(BufReader::new(reader), &self.info, proc).map_err(StreamError::Decode)
+    }
+}
+
+/// A positioned view over a shared archive file: each reader tracks its
+/// own offset and reads with `read_at`, so any number of concurrent
+/// readers share one OS handle without interfering.
+#[derive(Debug)]
+struct SharedFileReader {
+    file: Arc<fs::File>,
+    pos: u64,
+}
+
+impl io::Read for SharedFileReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        use std::os::unix::fs::FileExt;
+        let n = self.file.read_at(buf, self.pos)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+impl io::Seek for SharedFileReader {
+    fn seek(&mut self, pos: io::SeekFrom) -> io::Result<u64> {
+        let new = match pos {
+            io::SeekFrom::Start(n) => Some(n),
+            io::SeekFrom::Current(d) => self.pos.checked_add_signed(d),
+            io::SeekFrom::End(d) => self.file.metadata()?.len().checked_add_signed(d),
+        };
+        self.pos = new.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "seek before archive start")
+        })?;
+        Ok(self.pos)
+    }
 }
 
 /// A generated run of one application: the program, the representative
@@ -172,6 +232,7 @@ impl AppRun {
             store: TraceStore::Archive(Box::new(ArchiveStore {
                 path,
                 info,
+                file: OnceLock::new(),
                 rep: OnceLock::new(),
                 others: Mutex::new(BTreeMap::new()),
             })),
@@ -261,7 +322,40 @@ impl AppRun {
                 if a.rep.get().is_some() || force_materialize() {
                     return None;
                 }
-                Some(open_reader(&a.path, &a.info, self.proc))
+                Some(a.open_reader(self.proc))
+            }
+        }
+    }
+
+    /// Whether the gang re-timing path can stream this run: it must be
+    /// archive-backed with streaming neither disabled nor already
+    /// bypassed by a materialized representative trace.
+    pub fn gang_ready(&self) -> bool {
+        match &self.store {
+            TraceStore::Memory { .. } => false,
+            TraceStore::Archive(a) => a.rep.get().is_none() && !force_materialize(),
+        }
+    }
+
+    /// A sendable streaming source over the representative trace for
+    /// the gang re-timing path, or `None` when the run cannot (or
+    /// should not) stream — callers fall back to per-cell re-timing.
+    pub fn gang_source(&self) -> Option<Box<dyn TraceSource + Send>> {
+        if !self.gang_ready() {
+            return None;
+        }
+        let TraceStore::Archive(a) = &self.store else {
+            return None;
+        };
+        match a.open_reader(self.proc) {
+            Ok(r) => Some(Box::new(r)),
+            Err(e) => {
+                eprintln!(
+                    "  warning: cannot stream {} trace for gang re-timing ({e}); \
+                     falling back to per-cell re-timing",
+                    self.app
+                );
+                None
             }
         }
     }

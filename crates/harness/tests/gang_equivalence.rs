@@ -1,0 +1,71 @@
+//! Gang-vs-per-cell equivalence: one streamed traversal fanned out to
+//! every cell's engine must produce results identical to re-timing
+//! each cell over its own traversal, at any worker count — the
+//! in-process twin of the CI byte-identity gate on the driver output.
+
+use lookahead_harness::dag::Scheduler;
+use lookahead_harness::experiments::{
+    figure3_cells, retime_gang, retime_matrix_mode, summary_cells, RetimeMode,
+};
+use lookahead_harness::{load_or_generate, AppRun, TraceCache};
+use lookahead_multiproc::SimConfig;
+use lookahead_workloads::lu::Lu;
+
+fn small_config() -> SimConfig {
+    SimConfig {
+        num_procs: 4,
+        ..SimConfig::default()
+    }
+}
+
+/// An archive-backed run (generated through a throwaway cache), which
+/// is what makes the gang path real: it can open streamed readers.
+fn archived_run(tag: &str) -> (AppRun, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("lktr-gang-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = TraceCache::new(dir.clone());
+    let (run, _) = load_or_generate(Some(&cache), &Lu { n: 12 }, "small", &small_config()).unwrap();
+    (run, dir)
+}
+
+#[test]
+fn gang_matches_per_cell_at_any_worker_count() {
+    let (run, dir) = archived_run("matrix");
+    assert!(
+        run.gang_ready(),
+        "a cache-generated run must be able to stream a gang"
+    );
+    // figure3 cells plus the summary cells that repeat its RC sweep:
+    // the union exercises dedup (summary rows canonicalize onto the
+    // figure3 RC results) alongside every engine family.
+    let mut specs = figure3_cells(&[16, 32]);
+    specs.extend(summary_cells(&[16, 32]));
+    let runs = [&run];
+    for scheduler in [Scheduler::Flat, Scheduler::Dag] {
+        let per_cell = retime_matrix_mode(&runs, &specs, 1, scheduler, RetimeMode::PerCell);
+        for workers in [1, 2, 3] {
+            let gang = retime_matrix_mode(&runs, &specs, workers, scheduler, RetimeMode::Gang);
+            assert_eq!(
+                per_cell, gang,
+                "gang must reproduce per-cell results ({scheduler:?}, {workers} workers)"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn gang_direct_path_matches_and_memory_runs_fall_back() {
+    let (run, dir) = archived_run("direct");
+    let specs = summary_cells(&[16, 32]);
+    let gang = retime_gang(&run, &specs).expect("archived run streams a gang");
+    let per_cell: Vec<_> = specs.iter().map(|s| s.model.retime(&run)).collect();
+    assert_eq!(gang, per_cell);
+
+    // A memory-backed run has no archive to stream: the gang path
+    // must decline (callers then run per cell) rather than guess.
+    let memory = AppRun::generate(&Lu { n: 12 }, &small_config()).unwrap();
+    assert!(!memory.gang_ready());
+    assert!(retime_gang(&memory, &specs).is_none());
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -379,7 +379,7 @@ impl Simulator {
                 }
                 let next = self.dispatch(p)?;
                 if let Some(chunk) = self.procs[p].chunks.take_ready() {
-                    sink.accept(p, chunk).map_err(SimError::Sink)?;
+                    sink.accept(p, &chunk).map_err(SimError::Sink)?;
                 }
                 while let Some((wt, wp)) = self.pending_wakeups.pop() {
                     queue.schedule(wp, wt.max(self.now + 1));
@@ -558,7 +558,7 @@ impl Simulator {
                 // chunk completes per turn; drain it before the buffer
                 // can fill again.
                 if let Some(chunk) = self.procs[p].chunks.take_ready() {
-                    sink.accept(p, chunk).map_err(SimError::Sink)?;
+                    sink.accept(p, &chunk).map_err(SimError::Sink)?;
                 }
             }
             if progressed {
@@ -585,7 +585,7 @@ impl Simulator {
     fn finish(mut self, sink: &mut dyn TraceSink) -> Result<SimOutcome, SimError> {
         for (p, proc) in self.procs.iter_mut().enumerate() {
             if let Some(chunk) = proc.chunks.finish() {
-                sink.accept(p, chunk).map_err(SimError::Sink)?;
+                sink.accept(p, &chunk).map_err(SimError::Sink)?;
             }
         }
         Ok(SimOutcome {

@@ -42,15 +42,14 @@ impl RecordingSink {
 }
 
 impl TraceSink for RecordingSink {
-    fn accept(&mut self, proc: usize, chunk: TraceChunk) -> std::io::Result<()> {
+    fn accept(&mut self, proc: usize, chunk: &TraceChunk) -> std::io::Result<()> {
         assert_eq!(
             chunk.first_index,
             self.entries[proc].len() as u64,
             "chunks of one processor arrive in trace order"
         );
-        self.boundaries
-            .push((proc, chunk.first_index, chunk.entries.len()));
-        self.entries[proc].extend_from_slice(&chunk.entries);
+        self.boundaries.push((proc, chunk.first_index, chunk.len()));
+        self.entries[proc].extend(chunk.iter());
         Ok(())
     }
 }

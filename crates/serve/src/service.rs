@@ -35,8 +35,8 @@ use lookahead_core::model::ExecutionResult;
 use lookahead_core::ConsistencyModel;
 use lookahead_harness::dag::{self, DagStats, Scheduler, TaskDag};
 use lookahead_harness::experiments::{
-    columns_from_results, figure3_cells, figure4_cells, hidden_row, retime_matrix,
-    run_cell_specs_with_stats, summary_cells, CellSpec, PAPER_WINDOWS,
+    columns_from_results, figure3_cells, figure4_cells, hidden_row, retime_gang_observed,
+    retime_matrix, run_cell_specs_with_stats, summary_cells, CellSpec, RetimeMode, PAPER_WINDOWS,
 };
 use lookahead_harness::parallel::run_ordered;
 use lookahead_harness::pipeline::AppRun;
@@ -827,6 +827,23 @@ impl ExperimentService {
             std::thread::scope(|scope| -> std::io::Result<()> {
                 let (run, specs) = (&run, &specs);
                 scope.spawn(move || {
+                    if RetimeMode::default_mode() == RetimeMode::Gang {
+                        // One streamed traversal feeds every unique
+                        // cell; each cell's column is sent the moment
+                        // its engine finishes. Falls through to the
+                        // per-cell path when the run cannot stream
+                        // (results are deterministic, so a duplicate
+                        // send after a mid-stream failure is benign).
+                        let gang_tx = std::sync::Mutex::new(tx.clone());
+                        let sent = retime_gang_observed(run, specs, &|i, r| {
+                            // A vanished receiver just means the
+                            // client hung up mid-stream.
+                            let _ = gang_tx.lock().unwrap().send((i, r.clone()));
+                        });
+                        if sent.is_some() {
+                            return;
+                        }
+                    }
                     let jobs: Vec<_> = specs
                         .iter()
                         .enumerate()

@@ -36,6 +36,7 @@ pub use storage::{
     ARCHIVE_VERSION,
 };
 pub use stream::{
-    collect_source, ChunkBuilder, ChunkMeta, CollectSink, NullSink, SliceSource, StreamError,
-    TraceChunk, TraceCursor, TraceSink, TraceSource, DEFAULT_CHUNK_LEN,
+    collect_source, ChunkBuilder, ChunkMeta, CollectSink, EntryCols, EntryView, GangCursor,
+    GangMember, GangStats, NullSink, OpClass, SliceSource, StreamError, TraceChunk, TraceCursor,
+    TraceSink, TraceSource, DEFAULT_CHUNK_LEN,
 };

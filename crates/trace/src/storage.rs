@@ -32,6 +32,7 @@ use lookahead_isa::{
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"LKTR";
 const VERSION: u8 = 1;
@@ -1087,7 +1088,7 @@ impl<W: Write> ArchiveWriter<W> {
 }
 
 impl<W: Write> TraceSink for ArchiveWriter<W> {
-    fn accept(&mut self, proc: usize, chunk: TraceChunk) -> io::Result<()> {
+    fn accept(&mut self, proc: usize, chunk: &TraceChunk) -> io::Result<()> {
         let totals = self.totals.get_mut(proc).ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -1104,12 +1105,12 @@ impl<W: Write> TraceSink for ArchiveWriter<W> {
             ));
         }
         self.scratch.clear();
-        for e in &chunk.entries {
-            write_entry(&mut self.scratch, e)?;
+        for e in chunk.iter() {
+            write_entry(&mut self.scratch, &e)?;
         }
         let mut header = [0u8; 28];
         header[0..4].copy_from_slice(&(proc as u32).to_le_bytes());
-        header[4..8].copy_from_slice(&(chunk.entries.len() as u32).to_le_bytes());
+        header[4..8].copy_from_slice(&(chunk.len() as u32).to_le_bytes());
         header[8..12].copy_from_slice(&(self.scratch.len() as u32).to_le_bytes());
         header[12..20].copy_from_slice(&chunk.first_index.to_le_bytes());
         header[20..24].copy_from_slice(&chunk.meta.mem_entries.to_le_bytes());
@@ -1377,7 +1378,7 @@ impl<R: Read + Seek> ChunkReader<R> {
 }
 
 impl<R: Read + Seek> TraceSource for ChunkReader<R> {
-    fn next_chunk(&mut self) -> Result<Option<TraceChunk>, StreamError> {
+    fn next_chunk(&mut self) -> Result<Option<Arc<TraceChunk>>, StreamError> {
         if self.done {
             return Ok(None);
         }
@@ -1399,10 +1400,10 @@ impl<R: Read + Seek> TraceSource for ChunkReader<R> {
                 continue;
             }
             read_chunk_payload(&mut self.r, &h, &mut self.buf)?;
-            let mut entries = Vec::with_capacity(h.entry_count as usize);
+            let mut chunk = TraceChunk::with_capacity(h.first_index, h.entry_count as usize);
             let payload = &mut self.buf.as_slice();
             for _ in 0..h.entry_count {
-                entries.push(read_entry(payload)?);
+                chunk.push(read_entry(payload)?);
             }
             if !payload.is_empty() {
                 return Err(StreamError::Corrupt(format!(
@@ -1411,12 +1412,14 @@ impl<R: Read + Seek> TraceSource for ChunkReader<R> {
                     payload.len()
                 )));
             }
-            self.next_index = h.first_index + entries.len() as u64;
-            return Ok(Some(TraceChunk {
-                first_index: h.first_index,
-                entries,
-                meta: h.meta,
-            }));
+            if chunk.meta != h.meta {
+                return Err(StreamError::Corrupt(format!(
+                    "chunk of processor {} declares metadata {:?} but decodes to {:?}",
+                    self.proc, h.meta, chunk.meta
+                )));
+            }
+            self.next_index = chunk.end_index();
+            return Ok(Some(Arc::new(chunk)));
         }
     }
 
@@ -1455,7 +1458,7 @@ pub fn write_archive_v3<W: Write>(
     for (proc, trace) in archive.traces.iter().enumerate() {
         let mut src = SliceSource::with_chunk_len(trace, chunk_len.max(1));
         while let Some(chunk) = src.next_chunk().expect("slice sources cannot fail") {
-            aw.accept(proc, chunk)?;
+            aw.accept(proc, &chunk)?;
         }
     }
     aw.finish(
@@ -1773,13 +1776,13 @@ mod tests {
         let mut buf = Vec::new();
         let mut w = ArchiveWriter::new(&mut buf, "k", "APP", 2, &program).unwrap();
         // Interleave: proc 1, proc 0, proc 0, proc 1 — per-proc order holds.
-        w.accept(1, TraceChunk::from_slice(0, &t1.entries()[0..2]))
+        w.accept(1, &TraceChunk::from_slice(0, &t1.entries()[0..2]))
             .unwrap();
-        w.accept(0, TraceChunk::from_slice(0, &t0.entries()[0..6]))
+        w.accept(0, &TraceChunk::from_slice(0, &t0.entries()[0..6]))
             .unwrap();
-        w.accept(0, TraceChunk::from_slice(6, &t0.entries()[6..10]))
+        w.accept(0, &TraceChunk::from_slice(6, &t0.entries()[6..10]))
             .unwrap();
-        w.accept(1, TraceChunk::from_slice(2, &t1.entries()[2..4]))
+        w.accept(1, &TraceChunk::from_slice(2, &t1.entries()[2..4]))
             .unwrap();
         let breakdowns = vec![Breakdown::default(); 2];
         w.finish(0, 7, &breakdowns).unwrap();
@@ -1796,7 +1799,7 @@ mod tests {
         let mut buf = Vec::new();
         let mut w = ArchiveWriter::new(&mut buf, "k", "APP", 1, &program).unwrap();
         let err = w
-            .accept(0, TraceChunk::from_slice(5, &[TraceEntry::compute(0)]))
+            .accept(0, &TraceChunk::from_slice(5, &[TraceEntry::compute(0)]))
             .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }

@@ -25,6 +25,7 @@
 //! single-flight contract under real concurrency.
 
 use lookahead_bench::client::{get, get_with_headers, ClientError};
+use lookahead_bench::servebench::{run_load, LoadOptions};
 use lookahead_bench::{config_from_env, fail_fast};
 use lookahead_harness::parallel;
 use lookahead_harness::SizeTier;
@@ -48,6 +49,12 @@ options:
                           free port and drive that instead
   --clients N             concurrent client threads (default 32)
   --requests N            requests per client (default 4)
+  --connections N         drive N concurrent connections from one
+                          nonblocking epoll thread instead of N client
+                          threads (scales to thousands)
+  --keepalive             with --connections: reuse each connection for
+                          all its requests (HTTP/1.1 keep-alive)
+                          instead of reconnecting per request
   --expect-single-flight  fail unless exactly one simulation ran per
                           distinct app and all requests coalesced
   --slo-p99-ms MS         fail the run when the measured p99 latency
@@ -76,6 +83,8 @@ struct Options {
     spawn: bool,
     clients: usize,
     requests: usize,
+    connections: Option<usize>,
+    keepalive: bool,
     expect_single_flight: bool,
     slo_p99_ms: Option<f64>,
 }
@@ -86,6 +95,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         spawn: false,
         clients: 32,
         requests: 4,
+        connections: None,
+        keepalive: false,
         expect_single_flight: false,
         slo_p99_ms: None,
     };
@@ -111,10 +122,17 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         match a.as_str() {
             "-h" | "--help" => return Ok(None),
             "--spawn" => opts.spawn = true,
+            "--keepalive" => opts.keepalive = true,
             "--expect-single-flight" => opts.expect_single_flight = true,
             "--addr" => opts.addr = Some(value(&mut it, "--addr")?),
             "--clients" => opts.clients = positive(&value(&mut it, "--clients")?, "--clients")?,
             "--requests" => opts.requests = positive(&value(&mut it, "--requests")?, "--requests")?,
+            "--connections" => {
+                opts.connections = Some(positive(
+                    &value(&mut it, "--connections")?,
+                    "--connections",
+                )?)
+            }
             "--slo-p99-ms" => {
                 opts.slo_p99_ms = Some(positive_ms(
                     &value(&mut it, "--slo-p99-ms")?,
@@ -128,6 +146,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     opts.clients = positive(v, "--clients")?;
                 } else if let Some(v) = a.strip_prefix("--requests=") {
                     opts.requests = positive(v, "--requests")?;
+                } else if let Some(v) = a.strip_prefix("--connections=") {
+                    opts.connections = Some(positive(v, "--connections")?);
                 } else if let Some(v) = a.strip_prefix("--slo-p99-ms=") {
                     opts.slo_p99_ms = Some(positive_ms(v, "--slo-p99-ms")?);
                 } else {
@@ -138,6 +158,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     }
     if opts.spawn && opts.addr.is_some() {
         return Err("--spawn and --addr are mutually exclusive".to_string());
+    }
+    if opts.keepalive && opts.connections.is_none() {
+        return Err("--keepalive needs --connections (the epoll engine)".to_string());
     }
     Ok(Some(opts))
 }
@@ -178,6 +201,82 @@ fn server_timing_us(value: &str, stage: &str) -> Option<u64> {
             .parse()
             .ok()?;
         Some((ms * 1000.0) as u64)
+    })
+}
+
+/// The original thread-per-client driver: one blocking client thread
+/// per slot, fired through a barrier so cold keys really do see
+/// concurrent identical requests.
+fn run_threaded(
+    opts: &Options,
+    addr: std::net::SocketAddr,
+    targets: &[String],
+    errors: &AtomicU64,
+) -> Vec<(u64, Option<u64>, Option<u64>)> {
+    eprintln!(
+        "loadgen: {} clients x {} requests against http://{addr} \
+         ({} distinct targets, hot target {})",
+        opts.clients,
+        opts.requests,
+        targets.len(),
+        targets[0],
+    );
+    let barrier = Barrier::new(opts.clients);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..opts.clients)
+            .map(|client| {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut mine = Vec::with_capacity(opts.requests);
+                    barrier.wait();
+                    for r in 0..opts.requests {
+                        let global = client * opts.requests + r;
+                        let target = if global % 2 == 1 {
+                            &targets[0]
+                        } else {
+                            &targets[global / 2 % targets.len()]
+                        };
+                        let t0 = Instant::now();
+                        match get_with_headers(addr, target) {
+                            Ok(reply) if reply.status == 200 => {
+                                let timing = reply.header("Server-Timing");
+                                mine.push((
+                                    t0.elapsed().as_micros() as u64,
+                                    timing.and_then(|t| server_timing_us(t, "queue")),
+                                    timing.and_then(|t| server_timing_us(t, "handler")),
+                                ));
+                            }
+                            Ok(reply) => {
+                                // The request id joins this line to the
+                                // server's own log of the failure.
+                                eprintln!(
+                                    "loadgen: {} for {target} (request_id={}): {}",
+                                    reply.status,
+                                    reply.header("X-Request-Id").unwrap_or("?"),
+                                    reply.body
+                                );
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e @ ClientError::Disconnected) => {
+                                // A draining server closes in-flight
+                                // sockets; report it as what it is.
+                                eprintln!("loadgen: {target}: {e}");
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                eprintln!("loadgen: {target} failed: {e}");
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
     })
 }
 
@@ -232,81 +331,45 @@ fn main() -> ExitCode {
     };
 
     let targets = pool();
-    let total_requests = opts.clients * opts.requests;
-    eprintln!(
-        "loadgen: {} clients x {} requests against http://{addr} \
-         ({} distinct targets, hot target {})",
-        opts.clients,
-        opts.requests,
-        targets.len(),
-        targets[0],
-    );
-
-    // Fire all clients through a barrier so cold keys really do see
-    // concurrent identical requests.
+    let concurrency = opts.connections.unwrap_or(opts.clients);
+    let total_requests = concurrency * opts.requests;
     let errors = AtomicU64::new(0);
-    let barrier = Barrier::new(opts.clients);
     let started = Instant::now();
     // (total, queue wait, handler service time) per successful request,
     // the latter two from the server's Server-Timing header.
-    let samples: Vec<(u64, Option<u64>, Option<u64>)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..opts.clients)
-            .map(|client| {
-                let targets = &targets;
-                let errors = &errors;
-                let barrier = &barrier;
-                s.spawn(move || {
-                    let mut mine = Vec::with_capacity(opts.requests);
-                    barrier.wait();
-                    for r in 0..opts.requests {
-                        let global = client * opts.requests + r;
-                        let target = if global % 2 == 1 {
-                            &targets[0]
-                        } else {
-                            &targets[global / 2 % targets.len()]
-                        };
-                        let t0 = Instant::now();
-                        match get_with_headers(addr, target) {
-                            Ok(reply) if reply.status == 200 => {
-                                let timing = reply.header("Server-Timing");
-                                mine.push((
-                                    t0.elapsed().as_micros() as u64,
-                                    timing.and_then(|t| server_timing_us(t, "queue")),
-                                    timing.and_then(|t| server_timing_us(t, "handler")),
-                                ));
-                            }
-                            Ok(reply) => {
-                                // The request id joins this line to the
-                                // server's own log of the failure.
-                                eprintln!(
-                                    "loadgen: {} for {target} (request_id={}): {}",
-                                    reply.status,
-                                    reply.header("X-Request-Id").unwrap_or("?"),
-                                    reply.body
-                                );
-                                errors.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Err(e @ ClientError::Disconnected) => {
-                                // A draining server closes in-flight
-                                // sockets; report it as what it is.
-                                eprintln!("loadgen: {target}: {e}");
-                                errors.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Err(e) => {
-                                eprintln!("loadgen: {target} failed: {e}");
-                                errors.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                    }
-                    mine
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("client thread"))
+    let samples: Vec<(u64, Option<u64>, Option<u64>)> = if let Some(connections) = opts.connections
+    {
+        // The epoll engine: every connection is a nonblocking socket on
+        // one reactor thread, so thousands of concurrent connections
+        // cost fds, not threads.
+        eprintln!(
+            "loadgen: {connections} connections x {} requests (epoll engine, keep-alive {}) \
+             against http://{addr} ({} distinct targets, hot target {})",
+            opts.requests,
+            if opts.keepalive { "on" } else { "off" },
+            targets.len(),
+            targets[0],
+        );
+        let report = run_load(&LoadOptions {
+            keepalive: opts.keepalive,
+            targets: targets.clone(),
+            ..LoadOptions::new(addr, connections, opts.requests)
+        });
+        errors.fetch_add(report.errors, Ordering::Relaxed);
+        if opts.keepalive {
+            eprintln!(
+                "loadgen: {} responses arrived on a reused connection",
+                report.reused
+            );
+        }
+        report
+            .samples
+            .iter()
+            .map(|s| (s.total_us, s.queue_us, s.handler_us))
             .collect()
-    });
+    } else {
+        run_threaded(&opts, addr, &targets, &errors)
+    };
     let elapsed = started.elapsed().as_secs_f64();
     let mut latencies: Vec<u64> = samples.iter().map(|(t, _, _)| *t).collect();
     let mut queue_waits: Vec<u64> = samples.iter().filter_map(|(_, q, _)| *q).collect();

@@ -74,6 +74,7 @@ const USAGE: &str = "usage: lookahead [OPTIONS] REPORT [REPORT ...]
        lookahead bench obs          measure request-tracing overhead
        lookahead bench dag          compare DAG vs flat sweep scheduling
        lookahead bench sweep        compare gang vs per-cell re-timing
+       lookahead bench serve        compare reactor vs legacy transports
 
 Regenerates the requested tables and figures, generating or
 cache-loading each application trace exactly once per process.
@@ -230,6 +231,7 @@ fn main() -> ExitCode {
                 Some("obs") => lookahead_bench::obsbench::obs_main(&args[2..]),
                 Some("dag") => lookahead_bench::dagbench::dag_main(&args[2..]),
                 Some("sweep") => lookahead_bench::sweepbench::sweep_main(&args[2..]),
+                Some("serve") => lookahead_bench::servebench::serve_bench_main(&args[2..]),
                 _ => lookahead_bench::retiming::bench_main(&args[1..]),
             }
         }

@@ -109,7 +109,11 @@ impl HttpReply {
 /// As [`get`].
 pub fn get_with_headers(addr: SocketAddr, target: &str) -> Result<HttpReply, ClientError> {
     let mut conn = TcpStream::connect(addr).map_err(ClientError::Connect)?;
-    write!(conn, "GET {target} HTTP/1.1\r\nHost: lookahead\r\n\r\n").map_err(map_io)?;
+    write!(
+        conn,
+        "GET {target} HTTP/1.1\r\nHost: lookahead\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(map_io)?;
     let mut text = String::new();
     conn.read_to_string(&mut text).map_err(map_io)?;
     if text.is_empty() {

@@ -38,6 +38,7 @@ pub mod obsbench;
 pub mod reports;
 pub mod retiming;
 pub mod serve_cli;
+pub mod servebench;
 pub mod sweepbench;
 
 use lookahead_harness::cache::{load_or_generate, CacheOutcome, TraceCache};

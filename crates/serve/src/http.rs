@@ -1,12 +1,16 @@
 //! A deliberately small, hardened HTTP/1.1 layer over raw streams.
 //!
 //! This is not a general HTTP implementation: the service only needs
-//! `GET` with a query string, one request per connection, and
-//! `Connection: close` semantics. What it *does* need — and what this
-//! module is careful about — is surviving arbitrary bytes from the
-//! network: every limit is explicit (request-line length, header count
-//! and size), every malformed input is a typed error mapped to a 4xx
-//! status, and nothing in here panics on any byte stream.
+//! `GET` with a query string, HTTP/1.1 keep-alive with `Connection:
+//! close` opt-out, and chunked streaming. What it *does* need — and
+//! what this module is careful about — is surviving arbitrary bytes
+//! from the network: every limit is explicit (request-line length,
+//! header count and size), every malformed input is a typed error
+//! mapped to a 4xx status, and nothing in here panics on any byte
+//! stream. Parsing comes in two shapes over the same `parse_head`
+//! core: the blocking one-shot [`read_request`] (legacy transport) and
+//! the resumable [`HeadParser`] that the epoll reactor feeds as bytes
+//! arrive, including pipelined requests left over from earlier reads.
 
 use std::io::{self, Read, Write};
 use std::sync::Mutex;
@@ -33,6 +37,12 @@ pub struct Request {
     /// safe to echo (see [`lookahead_obs::span::valid_request_id`]);
     /// the transport mints a deterministic id otherwise.
     pub request_id: Option<String>,
+    /// Whether the connection may serve another request after this
+    /// one: HTTP/1.1 defaults to keep-alive unless the client sent
+    /// `Connection: close`; HTTP/1.0 requires an explicit
+    /// `Connection: keep-alive`. The legacy transport ignores this and
+    /// always closes.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -203,6 +213,8 @@ fn parse_head(head: &[u8]) -> Result<Request, RequestError> {
     // Headers: bounded, and a body announcement is rejected outright.
     let mut count = 0usize;
     let mut request_id = None;
+    let mut conn_close = false;
+    let mut conn_keep_alive = false;
     for line in lines {
         if line.is_empty() {
             break;
@@ -223,6 +235,15 @@ fn parse_head(head: &[u8]) -> Result<Request, RequestError> {
         }
         if name == "transfer-encoding" {
             return Err(RequestError::BodyUnsupported);
+        }
+        if name == "connection" {
+            for token in value.split(',') {
+                match token.trim().to_ascii_lowercase().as_str() {
+                    "close" => conn_close = true,
+                    "keep-alive" => conn_keep_alive = true,
+                    _ => {}
+                }
+            }
         }
         // Honor a client correlation id only when it is safe to echo
         // into a response header and logs; junk is ignored, not a 4xx.
@@ -245,7 +266,84 @@ fn parse_head(head: &[u8]) -> Result<Request, RequestError> {
         path: percent_decode(path),
         query: parse_query(query),
         request_id,
+        keep_alive: if version == "HTTP/1.0" {
+            conn_keep_alive && !conn_close
+        } else {
+            !conn_close
+        },
     })
+}
+
+/// A resumable request-head parser for non-blocking transports: feed
+/// it whatever bytes `read` returned (including across `EAGAIN`
+/// boundaries) and it yields a [`Request`] once the blank-line
+/// terminator arrives. Bytes beyond the terminator — pipelined
+/// requests — stay buffered; after the current response is written,
+/// call [`HeadParser::advance`] to parse the next head without
+/// touching the socket.
+///
+/// Limits and error codes are identical to the one-shot
+/// [`read_request`] path: oversized heads are 431, an endless request
+/// line is 414, malformed heads are 400 — pinned by the
+/// split-invariance property tests.
+#[derive(Default)]
+pub struct HeadParser {
+    buf: Vec<u8>,
+}
+
+impl HeadParser {
+    pub fn new() -> HeadParser {
+        HeadParser { buf: Vec::new() }
+    }
+
+    /// Appends freshly-read bytes and tries to complete a head.
+    ///
+    /// # Errors
+    ///
+    /// The same typed [`RequestError`]s as the one-shot parser; the
+    /// caller answers the mapped status and closes the connection.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<Option<Request>, RequestError> {
+        self.buf.extend_from_slice(chunk);
+        self.advance()
+    }
+
+    /// Tries to parse a head from bytes already buffered (pipelined
+    /// requests). Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// See [`HeadParser::feed`].
+    pub fn advance(&mut self) -> Result<Option<Request>, RequestError> {
+        match find_head_end(&self.buf) {
+            Some(end) => {
+                let request = parse_head(&self.buf[..end]);
+                self.buf.drain(..end);
+                request.map(Some)
+            }
+            None => {
+                if self.buf.len() > MAX_HEAD_BYTES {
+                    return Err(RequestError::HeadersTooLarge);
+                }
+                if !self.buf.contains(&b'\n') && self.buf.len() > MAX_REQUEST_LINE {
+                    return Err(RequestError::UriTooLong);
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Whether any bytes of a (possibly partial) next request are
+    /// buffered — the reactor uses this to tell an idle keep-alive
+    /// connection (safe to close silently) from one mid-request (a
+    /// stall deserves a 408).
+    pub fn has_buffered(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Buffered byte count (observability).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
 }
 
 /// Splits a raw query string into decoded pairs, preserving order.
@@ -454,12 +552,30 @@ impl<W: Write> Write for ChunkWriter<'_, W> {
 ///
 /// Propagates socket write failures (the caller logs and drops).
 pub fn write_response(stream: &mut impl Write, response: &Response) -> io::Result<()> {
+    stream.write_all(response_head(response, true).as_bytes())?;
+    match &response.stream {
+        Some(body) => {
+            body.produce(&mut ChunkWriter { inner: stream })?;
+            stream.write_all(b"0\r\n\r\n")?;
+        }
+        None => stream.write_all(response.body.as_bytes())?,
+    }
+    stream.flush()
+}
+
+/// Renders the response head. `close: true` reproduces the legacy
+/// transport's bytes exactly; the reactor passes `false` on keep-alive
+/// responses, which differ from the legacy bytes only in the
+/// `Connection` header value. Header order is load-bearing: the golden
+/// transport-diff in CI compares heads modulo this one header.
+pub fn response_head(response: &Response, close: bool) -> String {
     let framing = match &response.stream {
         Some(_) => "Transfer-Encoding: chunked".to_string(),
         None => format!("Content-Length: {}", response.body.len()),
     };
+    let connection = if close { "close" } else { "keep-alive" };
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\n{framing}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\n{framing}\r\nConnection: {connection}\r\n",
         response.status,
         reason(response.status),
         response.content_type,
@@ -474,15 +590,7 @@ pub fn write_response(stream: &mut impl Write, response: &Response) -> io::Resul
         head.push_str(&format!("Server-Timing: {timing}\r\n"));
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    match &response.stream {
-        Some(body) => {
-            body.produce(&mut ChunkWriter { inner: stream })?;
-            stream.write_all(b"0\r\n\r\n")?;
-        }
-        None => stream.write_all(response.body.as_bytes())?,
-    }
-    stream.flush()
+    head
 }
 
 /// Decodes a chunked transfer-encoded body back to its bytes (test
@@ -632,6 +740,74 @@ mod tests {
     fn bare_lf_line_endings_are_tolerated() {
         let r = parse(b"GET /healthz HTTP/1.1\nHost: x\n\n").unwrap();
         assert_eq!(r.path, "/healthz");
+    }
+
+    #[test]
+    fn keep_alive_follows_http_version_and_connection_header() {
+        let r = parse(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        let r = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = parse(b"GET / HTTP/1.1\r\nConnection: Keep-Alive, close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive, "close wins over keep-alive");
+        let r = parse(b"GET / HTTP/1.0\r\nHost: x\r\n\r\n").unwrap();
+        assert!(!r.keep_alive, "HTTP/1.0 defaults to close");
+        let r = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive, "HTTP/1.0 may opt in");
+    }
+
+    #[test]
+    fn head_parser_resumes_across_arbitrary_splits() {
+        let wire = b"GET /v1/experiments?app=lu HTTP/1.1\r\nX-Request-Id: abc-1\r\n\r\n";
+        let mut parser = HeadParser::new();
+        for b in &wire[..wire.len() - 1] {
+            assert!(parser.feed(&[*b]).unwrap().is_none());
+        }
+        let r = parser
+            .feed(&wire[wire.len() - 1..])
+            .unwrap()
+            .expect("head complete");
+        assert_eq!(r.path, "/v1/experiments");
+        assert_eq!(r.request_id.as_deref(), Some("abc-1"));
+        assert!(!parser.has_buffered());
+    }
+
+    #[test]
+    fn head_parser_retains_pipelined_requests() {
+        let mut parser = HeadParser::new();
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let first = parser.feed(two).unwrap().expect("first head");
+        assert_eq!(first.path, "/a");
+        assert!(first.keep_alive);
+        assert!(parser.has_buffered(), "second request stays buffered");
+        let second = parser.advance().unwrap().expect("second head");
+        assert_eq!(second.path, "/b");
+        assert!(!second.keep_alive);
+        assert!(parser.advance().unwrap().is_none());
+        assert!(!parser.has_buffered());
+    }
+
+    #[test]
+    fn head_parser_applies_the_same_limits() {
+        let mut parser = HeadParser::new();
+        let mut line = b"GET /".to_vec();
+        line.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE + 10));
+        let e = parser.feed(&line).unwrap_err();
+        assert_eq!(e.status(), Some(414));
+    }
+
+    #[test]
+    fn response_head_differs_only_in_connection_header() {
+        let resp = Response {
+            request_id: Some("req-000000000001".into()),
+            ..Response::json(200, "{}".into())
+        };
+        let closed = response_head(&resp, true);
+        let kept = response_head(&resp, false);
+        assert_eq!(
+            closed.replace("Connection: close", "Connection: keep-alive"),
+            kept
+        );
     }
 
     #[test]

@@ -26,22 +26,35 @@
 //!   concurrency, cache state, or worker count — pinned by golden
 //!   tests against the `lookahead` CLI output.
 //!
-//! Module map: [`http`] (hardened parsing/framing), [`service`]
-//! (routing, queries, JSON bodies, metrics), [`server`] (listener,
-//! worker pool, queue), [`knobs`] (fail-fast env configuration),
-//! [`signal`] (SIGINT → flag).
+//! Module map: [`http`] (hardened parsing/framing, incremental
+//! [`http::HeadParser`]), [`service`] (routing, queries, JSON bodies,
+//! metrics), [`reactor`] (raw-syscall epoll + eventfd wakeups),
+//! [`conn`] (per-connection state machines and the reactor event
+//! loop), [`server`] (listener, transports, worker pool, drain),
+//! [`knobs`] (fail-fast env configuration), [`signal`] (SIGINT →
+//! flag).
+//!
+//! Two transports share the listener and handler pool: the default
+//! **reactor** transport multiplexes thousands of keep-alive
+//! connections onto one epoll thread (workers run only handler
+//! compute), while `--legacy-transport` keeps the original
+//! thread-per-connection pool for diffing; response bytes are
+//! identical between the two modulo the `Connection` header on
+//! keep-alive responses.
 
+pub mod conn;
 pub mod http;
 pub mod knobs;
+pub mod reactor;
 pub mod server;
 pub mod service;
 pub mod signal;
 
 pub use http::{Request, RequestError, Response};
 pub use knobs::{
-    parse_serve_addr, parse_serve_threads, serve_addr_from_env, serve_threads_from_env,
-    DEFAULT_ADDR,
+    parse_max_connections, parse_serve_addr, parse_serve_threads, parse_serve_transport,
+    serve_addr_from_env, serve_threads_from_env, serve_transport_from_env, DEFAULT_ADDR,
 };
-pub use server::{Server, ServerConfig, ServerStats, ShutdownHandle};
+pub use server::{Server, ServerConfig, ServerStats, ShutdownHandle, Transport};
 pub use service::{handle_target, ApiError, ExperimentService, ServiceConfig};
 pub use signal::{install_sigint, sigint_received};

@@ -1,7 +1,10 @@
-//! The HTTP transport: a fixed worker pool over a bounded connection
-//! queue, with explicit backpressure and a graceful drain.
+//! The HTTP transports: the default epoll **reactor** (one event-loop
+//! thread multiplexing thousands of nonblocking keep-alive
+//! connections, handlers on a small worker pool — see [`crate::conn`])
+//! and the original **legacy** thread-per-connection pool, kept behind
+//! [`Transport::Legacy`] as a diffing/escape hatch.
 //!
-//! Design, in the order a connection sees it:
+//! The legacy design, in the order a connection sees it:
 //!
 //! 1. the acceptor thread polls a nonblocking listener (no reliance on
 //!    EINTR semantics — SIGINT is observed as a flag between polls);
@@ -14,9 +17,15 @@
 //!    never a panic), asks the [`ExperimentService`] for the response,
 //!    and writes it with `Connection: close` framing.
 //!
-//! Shutdown (a [`ShutdownHandle`] or, opt-in, SIGINT) is graceful: the
-//! acceptor stops accepting, already-queued connections are *served*,
-//! workers drain and join, and `run` returns with the final stats.
+//! The reactor replaces the bounded queue with a connection cap
+//! (`max_connections`) — each connection has at most one request in
+//! flight, so the dispatch queue is bounded by the connection table —
+//! and writes `Connection: keep-alive` framing where the client allows
+//! it. Response bytes are otherwise identical between transports.
+//!
+//! Shutdown (a [`ShutdownHandle`] or, opt-in, SIGINT) is graceful on
+//! both: stop accepting, finish what is in flight, join the workers,
+//! and `run` returns with the final stats.
 
 use crate::http::{read_request, write_response, RequestError, Response};
 use crate::service::ExperimentService;
@@ -30,27 +39,55 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// Which connection-handling machinery [`Server::run`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Readiness-driven epoll event loop with nonblocking sockets and
+    /// HTTP/1.1 keep-alive (the default). Falls back to [`Legacy`]
+    /// (`Transport::Legacy`) on platforms without epoll support.
+    Reactor,
+    /// The original thread-per-connection worker pool
+    /// (`Connection: close` on every response).
+    Legacy,
+}
+
 /// Transport configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Address to bind; port 0 lets the OS pick (see
     /// [`Server::local_addr`]).
     pub addr: SocketAddr,
-    /// Worker threads serving connections.
+    /// Handler worker threads. Under the reactor transport these run
+    /// only handler compute (all socket I/O stays on the event loop);
+    /// under the legacy transport each owns a connection end to end.
     pub threads: usize,
-    /// Most connections waiting for a worker before new ones are
-    /// answered 503.
+    /// Legacy transport only: most connections waiting for a worker
+    /// before new ones are answered 503.
     pub queue_depth: usize,
-    /// Per-connection socket read timeout (slow or silent clients get
-    /// a 408 rather than a worker held hostage).
+    /// Per-connection read timeout. The reactor applies it as a
+    /// header-completion deadline (a connection that has not produced
+    /// a full request head within it gets a 408 — slow-loris clients
+    /// cannot park forever); the legacy transport sets it as the
+    /// socket read timeout.
     pub read_timeout: Duration,
-    /// Per-connection socket write timeout.
+    /// Per-connection socket write timeout (the reactor refreshes its
+    /// write deadline on progress, matching per-write semantics).
     pub write_timeout: Duration,
     /// Whether the accept loop also treats SIGINT (via
     /// [`crate::signal`]) as a shutdown request. Off by default so
     /// in-process servers in tests are not shut down by the signal
     /// test's flag; the `lookahead serve` binary turns it on.
     pub watch_sigint: bool,
+    /// Which transport serves connections.
+    pub transport: Transport,
+    /// Reactor transport only: open-connection cap. New connections
+    /// beyond it are answered 503 + `Retry-After` at accept — the
+    /// reactor's backpressure signal, replacing the legacy queue
+    /// bound.
+    pub max_connections: usize,
+    /// Reactor transport only: how long an idle keep-alive connection
+    /// is kept open before the server closes it.
+    pub keepalive_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +99,9 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             watch_sigint: false,
+            transport: Transport::Reactor,
+            max_connections: 4096,
+            keepalive_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -207,16 +247,14 @@ impl Server {
     /// transport stats. Consumes the server (the listener closes on
     /// return).
     pub fn run(self, service: Arc<ExperimentService>) -> ServerStats {
-        let queue = Arc::new(ConnQueue::new(self.config.queue_depth));
-        let served = Arc::new(AtomicU64::new(0));
-        let aborted = Arc::new(AtomicU64::new(0));
+        let use_reactor =
+            self.config.transport == Transport::Reactor && crate::reactor::supported();
         let mut stats = ServerStats::default();
-
         std::thread::scope(|scope| {
             // Speculative pre-warm: strictly idle-priority. The thread
             // only computes a predicted body when no client request is
             // in flight (or being written), and parks otherwise; it
-            // observes the same shutdown signals as the acceptor.
+            // observes the same shutdown signals as the transport.
             if service.prewarm_enabled() {
                 let service = Arc::clone(&service);
                 let shutdown = Arc::clone(&self.shutdown);
@@ -235,9 +273,30 @@ impl Server {
                     .expect("spawn prewarm");
             }
 
+            stats = if use_reactor {
+                crate::conn::run_reactor(&self.listener, &self.config, &self.shutdown, &service)
+            } else {
+                self.run_legacy(&service)
+            };
+            // Make shutdown visible to the pre-warm thread even when
+            // it was requested via SIGINT rather than the handle.
+            self.shutdown.store(true, Ordering::SeqCst);
+        });
+        stats
+    }
+
+    /// The original thread-per-connection transport: acceptor feeds a
+    /// bounded queue, workers own connections end to end.
+    fn run_legacy(&self, service: &Arc<ExperimentService>) -> ServerStats {
+        let queue = Arc::new(ConnQueue::new(self.config.queue_depth));
+        let served = Arc::new(AtomicU64::new(0));
+        let aborted = Arc::new(AtomicU64::new(0));
+        let mut stats = ServerStats::default();
+
+        std::thread::scope(|scope| {
             for i in 0..self.config.threads.max(1) {
                 let queue = Arc::clone(&queue);
-                let service = Arc::clone(&service);
+                let service = Arc::clone(service);
                 let served = Arc::clone(&served);
                 let aborted = Arc::clone(&aborted);
                 let config = self.config.clone();
@@ -301,9 +360,6 @@ impl Server {
                 }
             }
 
-            // Make shutdown visible to the pre-warm thread even when
-            // it was requested via SIGINT rather than the handle.
-            self.shutdown.store(true, Ordering::SeqCst);
             // Graceful drain: serve everything queued, then join.
             queue.close();
         });
@@ -314,8 +370,9 @@ impl Server {
     }
 }
 
-/// The canned backpressure response.
-fn overloaded() -> Response {
+/// The canned backpressure response (shared by the legacy queue-full
+/// and the reactor connection-cap rejections).
+pub(crate) fn overloaded() -> Response {
     Response {
         retry_after: Some(1),
         ..Response::json(
@@ -411,7 +468,7 @@ fn serve_connection(
 /// `name;dur=<ms>` entries. Nested handler work stays out of the
 /// header (it is in the trace); clients get the coarse where-did-the-
 /// time-go split without asking for the full tree.
-fn server_timing(ctx: &TraceContext, root: u32) -> String {
+pub(crate) fn server_timing(ctx: &TraceContext, root: u32) -> String {
     let mut parts = Vec::new();
     for s in ctx.spans() {
         if s.parent == root && matches!(s.name.as_str(), "queue" | "parse" | "handler") {
@@ -421,7 +478,7 @@ fn server_timing(ctx: &TraceContext, root: u32) -> String {
     parts.join(", ")
 }
 
-fn error_response(status: u16, e: &RequestError) -> Response {
+pub(crate) fn error_response(status: u16, e: &RequestError) -> Response {
     let message = match e {
         RequestError::BadRequest(m) => m.clone(),
         RequestError::MethodNotAllowed(m) => format!("method {m} not allowed; use GET"),
@@ -469,7 +526,11 @@ mod tests {
 
     fn get(addr: SocketAddr, target: &str) -> (u16, String) {
         let mut conn = TcpStream::connect(addr).unwrap();
-        write!(conn, "GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        write!(
+            conn,
+            "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         let mut text = String::new();
         conn.read_to_string(&mut text).unwrap();
         let status = text
@@ -484,62 +545,118 @@ mod tests {
         (status, body)
     }
 
-    fn local_config() -> ServerConfig {
+    fn local_config(transport: Transport) -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".parse().unwrap(),
             threads: 2,
+            transport,
             ..ServerConfig::default()
         }
     }
 
+    const BOTH: [Transport; 2] = [Transport::Reactor, Transport::Legacy];
+
     #[test]
     fn serves_health_and_drains_on_shutdown() {
-        let (addr, handle, join) = spawn_server(local_config());
-        let (status, body) = get(addr, "/healthz");
-        assert_eq!(status, 200);
-        assert_eq!(body, "{\"status\":\"ok\"}");
-        handle.shutdown();
-        let stats = join.join().unwrap();
-        assert_eq!(stats.served, 1);
-        assert_eq!(stats.rejected, 0);
+        for transport in BOTH {
+            let (addr, handle, join) = spawn_server(local_config(transport));
+            let (status, body) = get(addr, "/healthz");
+            assert_eq!(status, 200, "{transport:?}");
+            assert_eq!(body, "{\"status\":\"ok\"}", "{transport:?}");
+            handle.shutdown();
+            let stats = join.join().unwrap();
+            assert_eq!(stats.served, 1, "{transport:?}");
+            assert_eq!(stats.rejected, 0, "{transport:?}");
+        }
     }
 
     #[test]
     fn unknown_route_is_404_and_bad_bytes_400() {
-        let (addr, handle, join) = spawn_server(local_config());
-        let (status, _) = get(addr, "/nope");
-        assert_eq!(status, 404);
+        for transport in BOTH {
+            let (addr, handle, join) = spawn_server(local_config(transport));
+            let (status, _) = get(addr, "/nope");
+            assert_eq!(status, 404, "{transport:?}");
 
-        let mut conn = TcpStream::connect(addr).unwrap();
-        conn.write_all(b"\x01\x02garbage\r\n\r\n").unwrap();
-        let mut text = String::new();
-        conn.read_to_string(&mut text).unwrap();
-        assert!(text.starts_with("HTTP/1.1 400 "), "{text}");
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(b"\x01\x02garbage\r\n\r\n").unwrap();
+            let mut text = String::new();
+            conn.read_to_string(&mut text).unwrap();
+            assert!(text.starts_with("HTTP/1.1 400 "), "{transport:?}: {text}");
 
-        handle.shutdown();
-        join.join().unwrap();
+            handle.shutdown();
+            join.join().unwrap();
+        }
     }
 
     #[test]
     fn slow_client_gets_408_not_a_stuck_worker() {
-        let (addr, handle, join) = spawn_server(ServerConfig {
-            read_timeout: Duration::from_millis(50),
-            ..local_config()
-        });
-        let mut conn = TcpStream::connect(addr).unwrap();
-        conn.write_all(b"GET /healthz HTT").unwrap(); // ...and stall.
-        let mut text = String::new();
-        conn.read_to_string(&mut text).unwrap();
-        assert!(text.starts_with("HTTP/1.1 408 "), "{text}");
-        handle.shutdown();
-        join.join().unwrap();
+        for transport in BOTH {
+            let (addr, handle, join) = spawn_server(ServerConfig {
+                read_timeout: Duration::from_millis(50),
+                ..local_config(transport)
+            });
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(b"GET /healthz HTT").unwrap(); // ...and stall.
+            let mut text = String::new();
+            conn.read_to_string(&mut text).unwrap();
+            assert!(text.starts_with("HTTP/1.1 408 "), "{transport:?}: {text}");
+            handle.shutdown();
+            join.join().unwrap();
+        }
     }
 
     #[test]
     fn shutdown_with_no_traffic_exits_promptly() {
-        let (_addr, handle, join) = spawn_server(local_config());
+        for transport in BOTH {
+            let (_addr, handle, join) = spawn_server(local_config(transport));
+            handle.shutdown();
+            let stats = join.join().unwrap();
+            assert_eq!(stats, ServerStats::default(), "{transport:?}");
+        }
+    }
+
+    #[test]
+    fn reactor_keeps_connections_alive_across_requests() {
+        let (addr, handle, join) = spawn_server(local_config(Transport::Reactor));
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let mut reader = std::io::BufReader::new(conn.try_clone().unwrap());
+        for _ in 0..3 {
+            write!(conn, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let (head, body) = read_one_response(&mut reader);
+            assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
+            assert!(head.contains("Connection: keep-alive"), "{head}");
+            assert_eq!(body, "{\"status\":\"ok\"}");
+        }
+        drop(conn);
+        drop(reader);
         handle.shutdown();
         let stats = join.join().unwrap();
-        assert_eq!(stats, ServerStats::default());
+        assert_eq!(stats.accepted, 1, "one connection carried all requests");
+        assert_eq!(stats.served, 3);
+        assert_eq!(stats.aborted, 0, "client close between requests is clean");
+    }
+
+    /// Reads exactly one `Content-Length`-framed response off a
+    /// keep-alive connection.
+    fn read_one_response(reader: &mut impl std::io::BufRead) -> (String, String) {
+        let mut head = String::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" {
+                break;
+            }
+            head.push_str(&line);
+        }
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content-length")
+            .trim()
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).unwrap();
+        (head, String::from_utf8(body).unwrap())
     }
 }

@@ -209,6 +209,9 @@ pub struct ExperimentService {
     /// Body keys the pre-warm thread computed that no client has asked
     /// for yet — the measure of speculative work not (yet) paid back.
     prewarm_unclaimed: Mutex<HashSet<String>>,
+    /// Connections currently open on the reactor transport (gauge;
+    /// zero under the legacy transport).
+    reactor_open_connections: AtomicU64,
 }
 
 /// RAII marker for a client request in flight; the pre-warm thread
@@ -259,6 +262,7 @@ impl ExperimentService {
             prewarm_queue: Mutex::new(VecDeque::new()),
             prewarm_seen: Mutex::new(HashSet::new()),
             prewarm_unclaimed: Mutex::new(HashSet::new()),
+            reactor_open_connections: AtomicU64::new(0),
         }
     }
 
@@ -442,6 +446,49 @@ impl ExperimentService {
     /// Records a backpressure rejection (called by the transport).
     pub fn record_rejected(&self) {
         self.count("serve.http.rejected_503", 1);
+    }
+
+    /// Raw in-flight accounting for the reactor transport, which
+    /// cannot hold a borrow-scoped [`InFlightGuard`] across event-loop
+    /// iterations: enter when a request is dispatched, exit when its
+    /// response write completes (or the connection dies). Must be
+    /// balanced, or the pre-warm thread starves forever.
+    pub fn in_flight_enter(&self) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// See [`ExperimentService::in_flight_enter`].
+    pub fn in_flight_exit(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Reactor loop accounting, batched once per `epoll_wait` round:
+    /// readiness events delivered, eventfd wakeups consumed, and
+    /// `EAGAIN`-terminated reads/writes (the measure of how often the
+    /// reactor drains sockets dry).
+    pub fn record_reactor_tick(&self, events: u64, wakeups: u64, eagain: u64) {
+        self.metrics.with(|r| {
+            if events > 0 {
+                r.inc("serve.reactor.events", events);
+            }
+            if wakeups > 0 {
+                r.inc("serve.reactor.wakeups", wakeups);
+            }
+            if eagain > 0 {
+                r.inc("serve.reactor.eagain", eagain);
+            }
+        });
+    }
+
+    /// Records a request served on an already-used keep-alive
+    /// connection (the connect the client did not have to pay).
+    pub fn record_keepalive_reuse(&self) {
+        self.count("serve.reactor.keepalive_reuses", 1);
+    }
+
+    /// Publishes the reactor's open-connection count (gauge).
+    pub fn set_open_connections(&self, n: u64) {
+        self.reactor_open_connections.store(n, Ordering::Relaxed);
     }
 
     /// Files a finished request's trace: into the debug ring (served
@@ -689,6 +736,10 @@ impl ExperimentService {
                 .lock()
                 .expect("prewarm unclaimed poisoned")
                 .len() as i64,
+        );
+        snapshot.gauge_set(
+            "serve.reactor.open_connections",
+            self.reactor_open_connections.load(Ordering::Relaxed) as i64,
         );
         snapshot
     }
@@ -983,6 +1034,7 @@ impl ExperimentService {
             path: path.to_string(),
             query: crate::http::parse_query(query),
             request_id: None,
+            keep_alive: false,
         };
         type KeyFn = fn(&ExperimentService, &Request) -> Result<String, ApiError>;
         type BodyFn = fn(&ExperimentService, &Request) -> Result<String, ApiError>;
@@ -1155,5 +1207,6 @@ pub fn handle_target(service: &ExperimentService, target: &str) -> Response {
         path: crate::http::percent_decode(path),
         query: crate::http::parse_query(query),
         request_id: None,
+        keep_alive: false,
     })
 }

@@ -69,7 +69,11 @@ impl Drop for RunningServer {
 
 fn http_get(addr: SocketAddr, target: &str) -> (u16, String) {
     let mut conn = TcpStream::connect(addr).unwrap();
-    write!(conn, "GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    write!(
+        conn,
+        "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
     let mut text = String::new();
     conn.read_to_string(&mut text).unwrap();
     let status = text

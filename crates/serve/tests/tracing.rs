@@ -91,7 +91,7 @@ impl Reply {
 /// status line, headers, and body.
 fn http_get(addr: SocketAddr, target: &str, extra: &[(&str, &str)]) -> Reply {
     let mut conn = TcpStream::connect(addr).unwrap();
-    let mut req = format!("GET {target} HTTP/1.1\r\nHost: t\r\n");
+    let mut req = format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n");
     for (name, value) in extra {
         req.push_str(&format!("{name}: {value}\r\n"));
     }

@@ -20,7 +20,10 @@ use std::net::TcpStream;
 
 fn get(addr: &str, target: &str) -> std::io::Result<(u16, String)> {
     let mut conn = TcpStream::connect(addr)?;
-    write!(conn, "GET {target} HTTP/1.1\r\nHost: {addr}\r\n\r\n")?;
+    write!(
+        conn,
+        "GET {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
     let mut text = String::new();
     conn.read_to_string(&mut text)?;
     let status = text
